@@ -1,0 +1,160 @@
+//! Stable value hashing for hash partitioning.
+//!
+//! Datasets are "hash-partitioned (by primary key) across a set of nodes
+//! that form the nodegroup" (§3.1.2), and the store stage of every ingestion
+//! pipeline routes each record by hashing its primary key (§5.3.1). The hash
+//! must be stable across runs and processes so that partitioning is
+//! deterministic; we use FNV-1a over a canonical byte encoding of the value.
+
+use crate::value::AdmValue;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over bytes.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn hash_into(h: u64, v: &AdmValue) -> u64 {
+    match v {
+        AdmValue::Null => fnv1a(h, b"\x00n"),
+        AdmValue::Missing => fnv1a(h, b"\x00m"),
+        AdmValue::Boolean(b) => fnv1a(h, &[1, *b as u8]),
+        // ints and equal-valued doubles hash identically (they compare equal)
+        AdmValue::Int(i) => fnv1a(fnv1a(h, &[2]), &(*i as f64).to_bits().to_le_bytes()),
+        AdmValue::Double(d) => {
+            // normalize -0.0 to 0.0 so equal values hash equal
+            let d = if *d == 0.0 { 0.0 } else { *d };
+            fnv1a(fnv1a(h, &[2]), &d.to_bits().to_le_bytes())
+        }
+        AdmValue::String(s) => fnv1a(fnv1a(h, &[3]), s.as_bytes()),
+        AdmValue::Point(x, y) => {
+            let h = fnv1a(h, &[4]);
+            let h = fnv1a(h, &x.to_bits().to_le_bytes());
+            fnv1a(h, &y.to_bits().to_le_bytes())
+        }
+        AdmValue::DateTime(ms) => fnv1a(fnv1a(h, &[5]), &ms.to_le_bytes()),
+        AdmValue::OrderedList(items) => {
+            let mut h = fnv1a(h, &[6]);
+            for item in items {
+                h = hash_into(h, item);
+            }
+            h
+        }
+        AdmValue::UnorderedList(items) => {
+            // order-insensitive: xor element hashes
+            let mut acc = 0u64;
+            for item in items {
+                acc ^= hash_into(FNV_OFFSET, item);
+            }
+            fnv1a(fnv1a(h, &[7]), &acc.to_le_bytes())
+        }
+        AdmValue::Record(fields) => {
+            // field-order-insensitive: xor of (key, value) hashes
+            let mut acc = 0u64;
+            for (k, v) in fields {
+                let kh = fnv1a(FNV_OFFSET, k.as_bytes());
+                acc ^= hash_into(kh, v);
+            }
+            fnv1a(fnv1a(h, &[8]), &acc.to_le_bytes())
+        }
+    }
+}
+
+/// Stable 64-bit hash of a value.
+pub fn hash_value(v: &AdmValue) -> u64 {
+    hash_into(FNV_OFFSET, v)
+}
+
+/// Partition index for a key over `partitions` buckets.
+pub fn partition_for(key: &AdmValue, partitions: usize) -> usize {
+    assert!(partitions > 0, "at least one partition required");
+    (hash_value(key) % partitions as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(
+            hash_value(&AdmValue::Int(3)),
+            hash_value(&AdmValue::Double(3.0))
+        );
+        assert_eq!(
+            hash_value(&AdmValue::Double(0.0)),
+            hash_value(&AdmValue::Double(-0.0))
+        );
+    }
+
+    #[test]
+    fn different_values_usually_differ() {
+        let vals = [
+            AdmValue::Null,
+            AdmValue::Missing,
+            AdmValue::Int(0),
+            AdmValue::Int(1),
+            AdmValue::string("a"),
+            AdmValue::string("b"),
+            AdmValue::Point(1.0, 2.0),
+            AdmValue::Point(2.0, 1.0),
+            AdmValue::DateTime(0),
+            AdmValue::OrderedList(vec![1.into()]),
+            AdmValue::UnorderedList(vec![1.into()]),
+        ];
+        let hashes: std::collections::HashSet<u64> =
+            vals.iter().map(hash_value).collect();
+        assert_eq!(hashes.len(), vals.len());
+    }
+
+    #[test]
+    fn record_field_order_does_not_matter() {
+        let a = AdmValue::record(vec![("x", 1.into()), ("y", 2.into())]);
+        let b = AdmValue::record(vec![("y", 2.into()), ("x", 1.into())]);
+        assert_eq!(hash_value(&a), hash_value(&b));
+    }
+
+    #[test]
+    fn bag_order_does_not_matter_but_list_does() {
+        let a = AdmValue::UnorderedList(vec![1.into(), 2.into()]);
+        let b = AdmValue::UnorderedList(vec![2.into(), 1.into()]);
+        assert_eq!(hash_value(&a), hash_value(&b));
+        let c = AdmValue::OrderedList(vec![1.into(), 2.into()]);
+        let d = AdmValue::OrderedList(vec![2.into(), 1.into()]);
+        assert_ne!(hash_value(&c), hash_value(&d));
+    }
+
+    #[test]
+    fn partitioning_is_stable_and_in_range() {
+        for i in 0..100 {
+            let key = AdmValue::string(format!("key{i}"));
+            let p = partition_for(&key, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_for(&key, 7), "stable across calls");
+        }
+    }
+
+    #[test]
+    fn partitions_spread_keys() {
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[partition_for(&AdmValue::string(format!("k{i}")), 4)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 150, "partition starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        partition_for(&AdmValue::Int(1), 0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! The AsterixDB Data Model (ADM), reproduced in Rust.
+//!
+//! ADM (§3.1.2 of the paper) is a superset of JSON designed for
+//! semi-structured data: records may be *open* (instances can carry extra
+//! fields beyond the declared schema) or *closed*, fields may be optional,
+//! and the scalar types include spatial (`point`) and temporal (`datetime`)
+//! primitives alongside the usual numbers and strings. Collections come in
+//! ordered (`[...]`) and unordered (`{{...}}`) flavours.
+//!
+//! This crate provides:
+//!
+//! * [`value::AdmValue`] — the runtime value tree;
+//! * [`types`] — datatype definitions and conformance checking, including
+//!   open/closed records and optional fields;
+//! * [`parse`] — a hand-written recursive-descent parser for ADM text
+//!   (JSON-compatible, plus `point(...)`, `datetime(...)` and `{{ }}` bags);
+//! * [`mod@print`] — the canonical serializer (parse ∘ print = identity, checked
+//!   by property tests);
+//! * [`functions`] — the builtin scalar functions the feeds chapters use
+//!   (`word-tokens`, `starts-with`, `spatial-cell`, `spatial-intersect`, ...);
+//! * [`hash`] — a stable 64-bit value hash used for hash-partitioning
+//!   records across a dataset's nodegroup.
+
+pub mod functions;
+pub mod hash;
+pub mod parse;
+pub mod print;
+pub mod types;
+pub mod value;
+
+pub use parse::parse_value;
+pub use print::to_adm_string;
+pub use types::{AdmType, Field, RecordType, TypeRegistry};
+pub use value::AdmValue;

@@ -1,0 +1,454 @@
+//! ADM datatypes and conformance checking.
+//!
+//! Mirrors the paper's Listing 3.1: `create type Tweet as open { ... }` with
+//! optional fields (`latitude: double?`) and nested record/list types. A
+//! dataset's records must *conform* to its datatype; open record types allow
+//! extra fields, closed ones do not.
+
+use crate::value::AdmValue;
+use asterix_common::{IngestError, IngestResult};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// A field of a record type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: AdmType,
+    /// Declared with `?` — value may be `missing`/absent or `null`.
+    pub optional: bool,
+}
+
+impl Field {
+    /// Required field.
+    pub fn required(name: impl Into<String>, ty: AdmType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            optional: false,
+        }
+    }
+
+    /// Optional (`?`) field.
+    pub fn optional(name: impl Into<String>, ty: AdmType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            optional: true,
+        }
+    }
+}
+
+/// A named record type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordType {
+    /// Type name as registered in the metadata.
+    pub name: String,
+    /// Declared fields, in schema order.
+    pub fields: Vec<Field>,
+    /// Open types admit undeclared extra fields.
+    pub open: bool,
+}
+
+impl RecordType {
+    /// Look up a declared field.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// An ADM datatype.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmType {
+    /// Any value conforms.
+    Any,
+    /// `boolean`.
+    Boolean,
+    /// `int32`/`int64` (single integer width in this reproduction).
+    Int,
+    /// `double`.
+    Double,
+    /// `string`.
+    String,
+    /// `point`.
+    Point,
+    /// `datetime`.
+    DateTime,
+    /// `[T]`.
+    OrderedList(Box<AdmType>),
+    /// `{{T}}`.
+    UnorderedList(Box<AdmType>),
+    /// Inline or named record type.
+    Record(Arc<RecordType>),
+    /// Reference to a named type resolved through a [`TypeRegistry`].
+    Named(String),
+}
+
+impl fmt::Display for AdmType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmType::Any => write!(f, "any"),
+            AdmType::Boolean => write!(f, "boolean"),
+            AdmType::Int => write!(f, "int64"),
+            AdmType::Double => write!(f, "double"),
+            AdmType::String => write!(f, "string"),
+            AdmType::Point => write!(f, "point"),
+            AdmType::DateTime => write!(f, "datetime"),
+            AdmType::OrderedList(t) => write!(f, "[{t}]"),
+            AdmType::UnorderedList(t) => write!(f, "{{{{{t}}}}}"),
+            AdmType::Record(r) => write!(f, "{}", r.name),
+            AdmType::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Registry of named types (the Datatype metadata dataset). Internally
+/// synchronized so `create type` works on a shared registry at runtime.
+#[derive(Debug, Default)]
+pub struct TypeRegistry {
+    types: RwLock<HashMap<String, Arc<RecordType>>>,
+}
+
+impl TypeRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Register a record type under its name. Re-registration replaces.
+    pub fn register(&self, ty: RecordType) -> Arc<RecordType> {
+        let arc = Arc::new(ty);
+        self.types
+            .write()
+            .expect("type registry poisoned")
+            .insert(arc.name.clone(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Look up a record type by name.
+    pub fn get(&self, name: &str) -> Option<Arc<RecordType>> {
+        self.types
+            .read()
+            .expect("type registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Names of all registered types.
+    pub fn type_names(&self) -> Vec<String> {
+        self.types
+            .read()
+            .expect("type registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Resolve a possibly-`Named` type to a concrete one.
+    pub fn resolve(&self, ty: &AdmType) -> IngestResult<AdmType> {
+        match ty {
+            AdmType::Named(n) => self
+                .get(n)
+                .map(AdmType::Record)
+                .ok_or_else(|| IngestError::Metadata(format!("unknown type {n}"))),
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Check that `value` conforms to `ty`, resolving named types.
+    pub fn check(&self, value: &AdmValue, ty: &AdmType) -> IngestResult<()> {
+        let ty = self.resolve(ty)?;
+        conforms(self, value, &ty)
+    }
+}
+
+fn type_err(expected: &AdmType, got: &AdmValue) -> IngestError {
+    IngestError::Type(format!(
+        "expected {expected}, got {} ({got})",
+        got.type_name()
+    ))
+}
+
+/// Core conformance relation.
+fn conforms(reg: &TypeRegistry, value: &AdmValue, ty: &AdmType) -> IngestResult<()> {
+    match (ty, value) {
+        (AdmType::Any, _) => Ok(()),
+        (AdmType::Boolean, AdmValue::Boolean(_)) => Ok(()),
+        (AdmType::Int, AdmValue::Int(_)) => Ok(()),
+        // ints are acceptable where doubles are expected (numeric promotion)
+        (AdmType::Double, AdmValue::Double(_) | AdmValue::Int(_)) => Ok(()),
+        (AdmType::String, AdmValue::String(_)) => Ok(()),
+        (AdmType::Point, AdmValue::Point(_, _)) => Ok(()),
+        (AdmType::DateTime, AdmValue::DateTime(_)) => Ok(()),
+        (AdmType::OrderedList(elem), AdmValue::OrderedList(items)) => {
+            for item in items {
+                reg.check(item, elem)?;
+            }
+            Ok(())
+        }
+        (AdmType::UnorderedList(elem), AdmValue::UnorderedList(items)) => {
+            for item in items {
+                reg.check(item, elem)?;
+            }
+            Ok(())
+        }
+        (AdmType::Record(rt), AdmValue::Record(fields)) => {
+            // every declared required field must be present & conforming
+            for decl in &rt.fields {
+                match fields.iter().find(|(k, _)| *k == decl.name) {
+                    Some((_, v)) => {
+                        if matches!(v, AdmValue::Null | AdmValue::Missing) {
+                            if !decl.optional {
+                                return Err(IngestError::Type(format!(
+                                    "required field '{}' of {} is {}",
+                                    decl.name,
+                                    rt.name,
+                                    v.type_name()
+                                )));
+                            }
+                        } else {
+                            reg.check(v, &decl.ty).map_err(|e| {
+                                IngestError::Type(format!(
+                                    "field '{}' of {}: {e}",
+                                    decl.name, rt.name
+                                ))
+                            })?;
+                        }
+                    }
+                    None if decl.optional => {}
+                    None => {
+                        return Err(IngestError::Type(format!(
+                            "missing required field '{}' of {}",
+                            decl.name, rt.name
+                        )))
+                    }
+                }
+            }
+            // closed types reject undeclared fields
+            if !rt.open {
+                for (k, _) in fields {
+                    if rt.field(k).is_none() {
+                        return Err(IngestError::Type(format!(
+                            "closed type {} does not allow field '{k}'",
+                            rt.name
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+        (AdmType::Named(_), _) => reg.check(value, ty),
+        (expected, got) => Err(type_err(expected, got)),
+    }
+}
+
+/// The paper's `Tweet` open type (Listing 3.1), used across tests and
+/// examples.
+pub fn tweet_type() -> RecordType {
+    RecordType {
+        name: "Tweet".into(),
+        open: true,
+        fields: vec![
+            Field::required("id", AdmType::String),
+            Field::required("user", AdmType::Named("TwitterUser".into())),
+            Field::optional("latitude", AdmType::Double),
+            Field::optional("longitude", AdmType::Double),
+            Field::required("created_at", AdmType::String),
+            Field::required("message_text", AdmType::String),
+            Field::optional("country", AdmType::String),
+        ],
+    }
+}
+
+/// The paper's `TwitterUser` open type (Listing 3.1).
+pub fn twitter_user_type() -> RecordType {
+    RecordType {
+        name: "TwitterUser".into(),
+        open: true,
+        fields: vec![
+            Field::required("screen_name", AdmType::String),
+            Field::required("lang", AdmType::String),
+            Field::required("friends_count", AdmType::Int),
+            Field::required("statuses_count", AdmType::Int),
+            Field::required("name", AdmType::String),
+            Field::required("followers_count", AdmType::Int),
+        ],
+    }
+}
+
+/// The paper's `ProcessedTweet` open type (Listing 3.1).
+pub fn processed_tweet_type() -> RecordType {
+    RecordType {
+        name: "ProcessedTweet".into(),
+        open: true,
+        fields: vec![
+            Field::required("id", AdmType::String),
+            Field::required("user_name", AdmType::String),
+            Field::optional("location", AdmType::Point),
+            Field::required("created_at", AdmType::DateTime),
+            Field::required("message_text", AdmType::String),
+            Field::optional("country", AdmType::String),
+            Field::required("topics", AdmType::OrderedList(Box::new(AdmType::String))),
+            Field::required("sentiment", AdmType::Double),
+        ],
+    }
+}
+
+/// A registry pre-loaded with the paper's example types.
+pub fn paper_registry() -> TypeRegistry {
+    let reg = TypeRegistry::new();
+    reg.register(twitter_user_type());
+    reg.register(tweet_type());
+    reg.register(processed_tweet_type());
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user() -> AdmValue {
+        AdmValue::record(vec![
+            ("screen_name", "rg".into()),
+            ("lang", "en".into()),
+            ("friends_count", AdmValue::Int(10)),
+            ("statuses_count", AdmValue::Int(5)),
+            ("name", "Raman".into()),
+            ("followers_count", AdmValue::Int(3)),
+        ])
+    }
+
+    fn tweet() -> AdmValue {
+        AdmValue::record(vec![
+            ("id", "t1".into()),
+            ("user", user()),
+            ("latitude", AdmValue::Double(33.6)),
+            ("longitude", AdmValue::Double(-117.8)),
+            ("created_at", "2015-01-01".into()),
+            ("message_text", "hi #asterixdb".into()),
+        ])
+    }
+
+    #[test]
+    fn tweet_conforms() {
+        let reg = paper_registry();
+        reg.check(&tweet(), &AdmType::Named("Tweet".into())).unwrap();
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent_or_null() {
+        let reg = paper_registry();
+        let mut t = tweet();
+        t.remove_field("latitude");
+        t.set_field("country", AdmValue::Null);
+        reg.check(&t, &AdmType::Named("Tweet".into())).unwrap();
+    }
+
+    #[test]
+    fn missing_required_field_fails() {
+        let reg = paper_registry();
+        let mut t = tweet();
+        t.remove_field("message_text");
+        let err = reg.check(&t, &AdmType::Named("Tweet".into())).unwrap_err();
+        assert!(err.to_string().contains("message_text"), "{err}");
+    }
+
+    #[test]
+    fn null_required_field_fails() {
+        let reg = paper_registry();
+        let mut t = tweet();
+        t.set_field("id", AdmValue::Null);
+        assert!(reg.check(&t, &AdmType::Named("Tweet".into())).is_err());
+    }
+
+    #[test]
+    fn open_type_allows_extra_fields() {
+        let reg = paper_registry();
+        let mut t = tweet();
+        t.set_field("extra", AdmValue::Int(1));
+        reg.check(&t, &AdmType::Named("Tweet".into())).unwrap();
+    }
+
+    #[test]
+    fn closed_type_rejects_extra_fields() {
+        let reg = TypeRegistry::new();
+        reg.register(RecordType {
+            name: "Pair".into(),
+            open: false,
+            fields: vec![
+                Field::required("a", AdmType::Int),
+                Field::required("b", AdmType::Int),
+            ],
+        });
+        let ok = AdmValue::record(vec![("a", AdmValue::Int(1)), ("b", AdmValue::Int(2))]);
+        reg.check(&ok, &AdmType::Named("Pair".into())).unwrap();
+        let mut bad = ok.clone();
+        bad.set_field("c", AdmValue::Int(3));
+        assert!(reg.check(&bad, &AdmType::Named("Pair".into())).is_err());
+    }
+
+    #[test]
+    fn wrong_field_type_fails_with_context() {
+        let reg = paper_registry();
+        let mut t = tweet();
+        t.set_field("latitude", "north".into());
+        let err = reg.check(&t, &AdmType::Named("Tweet".into())).unwrap_err();
+        assert!(err.to_string().contains("latitude"), "{err}");
+    }
+
+    #[test]
+    fn int_promotes_to_double() {
+        let reg = TypeRegistry::new();
+        reg.check(&AdmValue::Int(3), &AdmType::Double).unwrap();
+    }
+
+    #[test]
+    fn lists_check_elements() {
+        let reg = TypeRegistry::new();
+        let ty = AdmType::OrderedList(Box::new(AdmType::String));
+        reg.check(
+            &AdmValue::OrderedList(vec!["a".into(), "b".into()]),
+            &ty,
+        )
+        .unwrap();
+        assert!(reg
+            .check(&AdmValue::OrderedList(vec![AdmValue::Int(1)]), &ty)
+            .is_err());
+        // ordered value does not satisfy unordered type
+        let bag_ty = AdmType::UnorderedList(Box::new(AdmType::String));
+        assert!(reg
+            .check(&AdmValue::OrderedList(vec!["a".into()]), &bag_ty)
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_named_type_errors() {
+        let reg = TypeRegistry::new();
+        let err = reg
+            .check(&AdmValue::Int(1), &AdmType::Named("Nope".into()))
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Metadata(_)));
+    }
+
+    #[test]
+    fn any_accepts_everything() {
+        let reg = TypeRegistry::new();
+        for v in [
+            AdmValue::Null,
+            AdmValue::Int(1),
+            AdmValue::Point(0.0, 0.0),
+            AdmValue::record(vec![]),
+        ] {
+            reg.check(&v, &AdmType::Any).unwrap();
+        }
+    }
+
+    #[test]
+    fn display_types() {
+        assert_eq!(AdmType::OrderedList(Box::new(AdmType::String)).to_string(), "[string]");
+        assert_eq!(AdmType::Named("Tweet".into()).to_string(), "Tweet");
+    }
+}

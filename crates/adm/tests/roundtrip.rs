@@ -1,0 +1,69 @@
+//! Property tests: the ADM printer and parser are mutual inverses, the value
+//! hash respects equality, and the total order is indeed total.
+
+use asterix_adm::{parse_value, to_adm_string, AdmValue};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary ADM values with finite doubles.
+fn adm_value() -> impl Strategy<Value = AdmValue> {
+    let leaf = prop_oneof![
+        Just(AdmValue::Null),
+        Just(AdmValue::Missing),
+        any::<bool>().prop_map(AdmValue::Boolean),
+        any::<i64>().prop_map(AdmValue::Int),
+        // finite doubles only: NaN/inf have no textual form
+        prop::num::f64::NORMAL.prop_map(AdmValue::Double),
+        Just(AdmValue::Double(0.0)),
+        "[a-zA-Z0-9 #@_\\\\\"\n]{0,20}".prop_map(AdmValue::String),
+        (prop::num::f64::NORMAL, prop::num::f64::NORMAL)
+            .prop_map(|(x, y)| AdmValue::Point(x, y)),
+        any::<i64>().prop_map(AdmValue::DateTime),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(AdmValue::OrderedList),
+            prop::collection::vec(inner.clone(), 0..6).prop_map(AdmValue::UnorderedList),
+            prop::collection::vec(("[a-z_]{1,8}", inner), 0..6).prop_map(|fields| {
+                // dedupe keys: records with duplicate fields are not canonical
+                let mut seen = std::collections::HashSet::new();
+                AdmValue::Record(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(v in adm_value()) {
+        let text = to_adm_string(&v);
+        let back = parse_value(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse `{text}`: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(v in adm_value()) {
+        let copy = v.clone();
+        prop_assert_eq!(
+            asterix_adm::hash::hash_value(&v),
+            asterix_adm::hash::hash_value(&copy)
+        );
+    }
+
+    #[test]
+    fn total_cmp_is_reflexive_and_antisymmetric(a in adm_value(), b in adm_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        let _ = parse_value(&s);
+    }
+}

@@ -1,0 +1,267 @@
+//! The AQL abstract syntax tree.
+
+use asterix_adm::AdmValue;
+use std::collections::BTreeMap;
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `use dataverse <name>` (scoping only; recorded, not enforced).
+    UseDataverse(String),
+    /// `create type <name> as open|closed { ... }`.
+    CreateType {
+        /// Type name.
+        name: String,
+        /// Open (extra fields allowed)?
+        open: bool,
+        /// Field declarations: (name, type text, optional).
+        fields: Vec<TypeField>,
+    },
+    /// `create dataset <name>(<type>) primary key <field>`.
+    CreateDataset {
+        /// Dataset name.
+        name: String,
+        /// Datatype name.
+        datatype: String,
+        /// Primary key field.
+        primary_key: String,
+    },
+    /// `create index <name> on <dataset>(<field>) [type btree|rtree]`.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Target dataset.
+        dataset: String,
+        /// Indexed field.
+        field: String,
+        /// `rtree` or `btree`.
+        rtree: bool,
+    },
+    /// `create feed <name> using <adaptor>(params) [apply function <f>]`.
+    CreateFeed {
+        /// Feed name.
+        name: String,
+        /// Adaptor alias.
+        adaptor: String,
+        /// Adaptor parameters.
+        params: BTreeMap<String, String>,
+        /// Optional pre-processing function.
+        apply: Option<String>,
+    },
+    /// `create secondary feed <name> from feed <parent> [apply function <f>]`.
+    CreateSecondaryFeed {
+        /// Feed name.
+        name: String,
+        /// Parent feed.
+        parent: String,
+        /// Optional pre-processing function.
+        apply: Option<String>,
+    },
+    /// `create function <name>($x) { <expr> }`.
+    CreateFunction {
+        /// Function name.
+        name: String,
+        /// Parameter variable.
+        param: String,
+        /// Body expression.
+        body: Expr,
+    },
+    /// `create ingestion policy <name> from policy <base> (params)`.
+    CreatePolicy {
+        /// New policy name.
+        name: String,
+        /// Base policy.
+        base: String,
+        /// Overridden parameters.
+        params: BTreeMap<String, String>,
+    },
+    /// `connect feed <feed> to dataset <dataset> [using policy <p>]`.
+    ConnectFeed {
+        /// Feed name.
+        feed: String,
+        /// Target dataset.
+        dataset: String,
+        /// Policy name (`Basic` when omitted, §4.5).
+        policy: String,
+    },
+    /// `disconnect feed <feed> from dataset <dataset>`.
+    DisconnectFeed {
+        /// Feed name.
+        feed: String,
+        /// Target dataset.
+        dataset: String,
+    },
+    /// `drop feed <name>`.
+    DropFeed(String),
+    /// `insert into dataset <dataset> ( <query> )`.
+    Insert {
+        /// Target dataset.
+        dataset: String,
+        /// The query producing records.
+        query: Expr,
+    },
+    /// A bare query.
+    Query(Expr),
+}
+
+/// A field declaration in `create type`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeField {
+    /// Field name.
+    pub name: String,
+    /// Type expression text (`string`, `double`, `point`, `[string]`,
+    /// `TwitterUser`, ...).
+    pub ty: TypeExpr,
+    /// Declared with `?`.
+    pub optional: bool,
+}
+
+/// A type expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// A named scalar or record type.
+    Named(String),
+    /// `[T]`.
+    OrderedList(Box<TypeExpr>),
+    /// `{{T}}`.
+    UnorderedList(Box<TypeExpr>),
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// One `for`/`let` clause of a FLWOR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlworClause {
+    /// `for $x in <expr>`.
+    For {
+        /// Bound variable.
+        var: String,
+        /// Source expression.
+        source: Expr,
+    },
+    /// `let $x := <expr>`.
+    Let {
+        /// Bound variable.
+        var: String,
+        /// Value expression.
+        value: Expr,
+    },
+}
+
+/// An AQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// ADM literal.
+    Literal(AdmValue),
+    /// `$x`.
+    Var(String),
+    /// `dataset <name>`.
+    DatasetScan(String),
+    /// `feed_intake("<feed>")` — the §5.3 rewriting marker for the records
+    /// of a feed; evaluable only inside the pipeline builder.
+    FeedIntake(String),
+    /// `<expr>.<field>`.
+    FieldAccess(Box<Expr>, String),
+    /// `{ "k": <expr>, ... }` record constructor.
+    RecordCtor(Vec<(String, Expr)>),
+    /// `[ <expr>, ... ]` list constructor.
+    ListCtor(Vec<Expr>),
+    /// `f(<args>)` builtin or user function call.
+    Call(String, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `not <expr>` / unary minus folded into literals by the parser.
+    Not(Box<Expr>),
+    /// `some $x in <expr> satisfies <expr>`.
+    Some {
+        /// Bound variable.
+        var: String,
+        /// Collection expression.
+        source: Box<Expr>,
+        /// Predicate.
+        predicate: Box<Expr>,
+    },
+    /// FLWOR: for/let clauses, optional where, optional group-by, return.
+    Flwor {
+        /// The for/let clauses in order.
+        clauses: Vec<FlworClause>,
+        /// `where` predicate.
+        where_clause: Option<Box<Expr>>,
+        /// `group by $g := <expr> with $v` — groups bind `$g` to the key
+        /// and `$v` to the list of grouped values.
+        group_by: Option<GroupBy>,
+        /// `return` expression.
+        ret: Box<Expr>,
+    },
+}
+
+/// A `group by` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBy {
+    /// Variable bound to the group key.
+    pub key_var: String,
+    /// Key expression.
+    pub key_expr: Box<Expr>,
+    /// Variable regrouped into a list per group (`with $tweet`).
+    pub with_var: String,
+}
+
+impl Expr {
+    /// Shorthand literal.
+    pub fn lit(v: impl Into<AdmValue>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand variable.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_shorthands() {
+        assert_eq!(Expr::lit(3i64), Expr::Literal(AdmValue::Int(3)));
+        assert_eq!(Expr::var("x"), Expr::Var("x".into()));
+    }
+
+    #[test]
+    fn ast_nodes_are_comparable() {
+        let a = Statement::ConnectFeed {
+            feed: "F".into(),
+            dataset: "D".into(),
+            policy: "Basic".into(),
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

@@ -1,0 +1,591 @@
+//! The AQL expression evaluator.
+//!
+//! Evaluates the expression subset the paper's listings use: FLWOR
+//! iteration over datasets and lists, let-bindings, where-filters,
+//! group-by with aggregation, quantified expressions, the builtin function
+//! library, and record/list construction. The compiler treats AQL UDFs as
+//! transparent expressions evaluated through this module (unlike external
+//! UDFs, which stay black boxes).
+
+use crate::ast::{BinOp, Expr, FlworClause};
+use asterix_adm::functions as builtins;
+use asterix_adm::AdmValue;
+use asterix_common::{IngestError, IngestResult};
+use asterix_storage::Dataset;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Resolves names the evaluator cannot know by itself.
+pub trait EvalContext {
+    /// A dataset for `dataset <name>` scans.
+    fn dataset(&self, name: &str) -> IngestResult<Arc<Dataset>>;
+    /// A user-defined function for calls that are not builtins.
+    fn call_udf(&self, name: &str, arg: &AdmValue) -> IngestResult<AdmValue>;
+}
+
+/// A context with no datasets and no UDFs (pure expressions).
+pub struct EmptyContext;
+
+impl EvalContext for EmptyContext {
+    fn dataset(&self, name: &str) -> IngestResult<Arc<Dataset>> {
+        Err(IngestError::Metadata(format!(
+            "no dataset '{name}' in this context"
+        )))
+    }
+
+    fn call_udf(&self, name: &str, _arg: &AdmValue) -> IngestResult<AdmValue> {
+        Err(IngestError::Metadata(format!(
+            "no function '{name}' in this context"
+        )))
+    }
+}
+
+/// Variable bindings.
+pub type Env = HashMap<String, AdmValue>;
+
+/// Evaluate `expr` under `env`.
+pub fn eval(expr: &Expr, env: &Env, ctx: &dyn EvalContext) -> IngestResult<AdmValue> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IngestError::Language(format!("unbound variable ${name}"))),
+        Expr::DatasetScan(name) => {
+            let ds = ctx.dataset(name)?;
+            Ok(AdmValue::OrderedList(ds.scan_all()))
+        }
+        Expr::FeedIntake(feed) => Err(IngestError::Plan(format!(
+            "feed_intake(\"{feed}\") is a pipeline source, not an evaluable expression"
+        ))),
+        Expr::FieldAccess(inner, field) => {
+            let v = eval(inner, env, ctx)?;
+            match &v {
+                AdmValue::Record(_) => Ok(v.field(field).cloned().unwrap_or(AdmValue::Missing)),
+                AdmValue::Null | AdmValue::Missing => Ok(AdmValue::Missing),
+                other => Err(IngestError::Type(format!(
+                    "field access on non-record {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Expr::RecordCtor(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (k, e) in fields {
+                out.push((k.clone(), eval(e, env, ctx)?));
+            }
+            Ok(AdmValue::Record(out))
+        }
+        Expr::ListCtor(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for e in items {
+                out.push(eval(e, env, ctx)?);
+            }
+            Ok(AdmValue::OrderedList(out))
+        }
+        Expr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, env, ctx)?);
+            }
+            call_function(name, &vals, ctx)
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let l = eval(lhs, env, ctx)?;
+            // short-circuit booleans
+            match op {
+                BinOp::And => {
+                    if l.as_bool() == Some(false) {
+                        return Ok(AdmValue::Boolean(false));
+                    }
+                    let r = eval(rhs, env, ctx)?;
+                    return bool_op(&l, &r, |a, b| a && b);
+                }
+                BinOp::Or => {
+                    if l.as_bool() == Some(true) {
+                        return Ok(AdmValue::Boolean(true));
+                    }
+                    let r = eval(rhs, env, ctx)?;
+                    return bool_op(&l, &r, |a, b| a || b);
+                }
+                _ => {}
+            }
+            let r = eval(rhs, env, ctx)?;
+            apply_binop(*op, &l, &r)
+        }
+        Expr::Not(inner) => {
+            let v = eval(inner, env, ctx)?;
+            v.as_bool()
+                .map(|b| AdmValue::Boolean(!b))
+                .ok_or_else(|| IngestError::Type("not on non-boolean".into()))
+        }
+        Expr::Some {
+            var,
+            source,
+            predicate,
+        } => {
+            let coll = eval(source, env, ctx)?;
+            let items = match coll.as_list() {
+                Some(items) => items,
+                // `some $x in missing` is false, not an error (optional
+                // fields)
+                None if matches!(coll, AdmValue::Null | AdmValue::Missing) => {
+                    return Ok(AdmValue::Boolean(false))
+                }
+                None => {
+                    return Err(IngestError::Type(format!(
+                        "some..in over non-collection {}",
+                        coll.type_name()
+                    )))
+                }
+            };
+            let mut scoped = env.clone();
+            for item in items {
+                scoped.insert(var.clone(), item.clone());
+                if eval(predicate, &scoped, ctx)?.as_bool() == Some(true) {
+                    return Ok(AdmValue::Boolean(true));
+                }
+            }
+            Ok(AdmValue::Boolean(false))
+        }
+        Expr::Flwor { .. } => {
+            let rows = eval_flwor(expr, env, ctx)?;
+            Ok(AdmValue::OrderedList(rows))
+        }
+    }
+}
+
+/// Evaluate a FLWOR expression to its row sequence.
+pub fn eval_flwor(
+    expr: &Expr,
+    env: &Env,
+    ctx: &dyn EvalContext,
+) -> IngestResult<Vec<AdmValue>> {
+    let Expr::Flwor {
+        clauses,
+        where_clause,
+        group_by,
+        ret,
+    } = expr
+    else {
+        return Err(IngestError::Language("not a FLWOR expression".into()));
+    };
+    // expand clauses into a stream of environments
+    let mut envs = vec![env.clone()];
+    for clause in clauses {
+        match clause {
+            FlworClause::For { var, source } => {
+                let mut next = Vec::new();
+                for e in envs {
+                    let coll = eval(source, &e, ctx)?;
+                    let items: Vec<AdmValue> = match coll {
+                        AdmValue::OrderedList(v) | AdmValue::UnorderedList(v) => v,
+                        AdmValue::Null | AdmValue::Missing => Vec::new(),
+                        other => {
+                            return Err(IngestError::Type(format!(
+                                "for..in over non-collection {}",
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    for item in items {
+                        let mut e2 = e.clone();
+                        e2.insert(var.clone(), item);
+                        next.push(e2);
+                    }
+                }
+                envs = next;
+            }
+            FlworClause::Let { var, value } => {
+                for e in envs.iter_mut() {
+                    let v = eval(value, e, ctx)?;
+                    e.insert(var.clone(), v);
+                }
+            }
+        }
+    }
+    // where
+    if let Some(pred) = where_clause {
+        let mut kept = Vec::new();
+        for e in envs {
+            if eval(pred, &e, ctx)?.as_bool() == Some(true) {
+                kept.push(e);
+            }
+        }
+        envs = kept;
+    }
+    // group by
+    match group_by {
+        None => {
+            let mut rows = Vec::with_capacity(envs.len());
+            for e in &envs {
+                rows.push(eval(ret, e, ctx)?);
+            }
+            Ok(rows)
+        }
+        Some(g) => {
+            // group environments by key (total order on ADM values)
+            let mut groups: Vec<(AdmValue, Vec<AdmValue>)> = Vec::new();
+            for e in &envs {
+                let key = eval(&g.key_expr, e, ctx)?;
+                let with_val = e.get(&g.with_var).cloned().ok_or_else(|| {
+                    IngestError::Language(format!(
+                        "group-by with-variable ${} is unbound",
+                        g.with_var
+                    ))
+                })?;
+                match groups
+                    .iter_mut()
+                    .find(|(k, _)| k.total_cmp(&key) == Ordering::Equal)
+                {
+                    Some((_, items)) => items.push(with_val),
+                    None => groups.push((key, vec![with_val])),
+                }
+            }
+            let mut rows = Vec::with_capacity(groups.len());
+            for (key, items) in groups {
+                let mut e = env.clone();
+                e.insert(g.key_var.clone(), key);
+                e.insert(g.with_var.clone(), AdmValue::OrderedList(items));
+                rows.push(eval(ret, &e, ctx)?);
+            }
+            Ok(rows)
+        }
+    }
+}
+
+fn bool_op(l: &AdmValue, r: &AdmValue, f: impl Fn(bool, bool) -> bool) -> IngestResult<AdmValue> {
+    match (l.as_bool(), r.as_bool()) {
+        (Some(a), Some(b)) => Ok(AdmValue::Boolean(f(a, b))),
+        _ => Err(IngestError::Type(format!(
+            "boolean operator on {} / {}",
+            l.type_name(),
+            r.type_name()
+        ))),
+    }
+}
+
+fn apply_binop(op: BinOp, l: &AdmValue, r: &AdmValue) -> IngestResult<AdmValue> {
+    use BinOp::*;
+    match op {
+        Eq => Ok(AdmValue::Boolean(l.total_cmp(r) == Ordering::Equal)),
+        Ne => Ok(AdmValue::Boolean(l.total_cmp(r) != Ordering::Equal)),
+        Lt | Le | Gt | Ge => {
+            let c = l.total_cmp(r);
+            Ok(AdmValue::Boolean(match op {
+                Lt => c == Ordering::Less,
+                Le => c != Ordering::Greater,
+                Gt => c == Ordering::Greater,
+                Ge => c != Ordering::Less,
+                _ => unreachable!(),
+            }))
+        }
+        Add | Sub | Mul | Div => {
+            // string concatenation for Add
+            if op == Add {
+                if let (Some(a), Some(b)) = (l.as_str(), r.as_str()) {
+                    return Ok(AdmValue::String(format!("{a}{b}")));
+                }
+            }
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(IngestError::Type(format!(
+                        "arithmetic on {} / {}",
+                        l.type_name(),
+                        r.type_name()
+                    )))
+                }
+            };
+            if op == Div && b == 0.0 {
+                return Err(IngestError::soft("division by zero"));
+            }
+            let result = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => unreachable!(),
+            };
+            // keep integers integral
+            match (l, r, op) {
+                (AdmValue::Int(_), AdmValue::Int(_), Add | Sub | Mul) => {
+                    Ok(AdmValue::Int(result as i64))
+                }
+                _ => Ok(AdmValue::Double(result)),
+            }
+        }
+        And | Or => unreachable!("handled by short-circuit path"),
+    }
+}
+
+/// Dispatch a function call: builtins first, then the context's UDFs.
+fn call_function(
+    name: &str,
+    args: &[AdmValue],
+    ctx: &dyn EvalContext,
+) -> IngestResult<AdmValue> {
+    let arity = |n: usize| -> IngestResult<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(IngestError::Language(format!(
+                "{name} expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match name.to_ascii_lowercase().as_str() {
+        "word-tokens" => {
+            arity(1)?;
+            builtins::word_tokens(&args[0])
+        }
+        "starts-with" => {
+            arity(2)?;
+            builtins::starts_with(&args[0], &args[1])
+        }
+        "create-point" => {
+            arity(2)?;
+            builtins::create_point(&args[0], &args[1])
+        }
+        "create-rectangle" => {
+            arity(2)?;
+            builtins::create_rectangle(&args[0], &args[1])
+        }
+        "spatial-intersect" => {
+            arity(2)?;
+            builtins::spatial_intersect(&args[0], &args[1])
+        }
+        "spatial-cell" => {
+            arity(4)?;
+            builtins::spatial_cell(&args[0], &args[1], &args[2], &args[3])
+        }
+        "count" => {
+            arity(1)?;
+            match args[0].as_list() {
+                Some(items) => Ok(AdmValue::Int(items.len() as i64)),
+                None => Err(IngestError::Type("count expects a collection".into())),
+            }
+        }
+        "len" | "string-length" => {
+            arity(1)?;
+            args[0]
+                .as_str()
+                .map(|s| AdmValue::Int(s.chars().count() as i64))
+                .ok_or_else(|| IngestError::Type("string-length expects a string".into()))
+        }
+        "lowercase" => {
+            arity(1)?;
+            args[0]
+                .as_str()
+                .map(|s| AdmValue::String(s.to_lowercase()))
+                .ok_or_else(|| IngestError::Type("lowercase expects a string".into()))
+        }
+        _ => {
+            arity(1)?;
+            ctx.call_udf(name, &args[0])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn run(src: &str) -> AdmValue {
+        let e = parse_expr(src).unwrap();
+        eval(&e, &Env::new(), &EmptyContext).unwrap()
+    }
+
+    fn run_env(src: &str, env: &Env) -> AdmValue {
+        let e = parse_expr(src).unwrap();
+        eval(&e, env, &EmptyContext).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert_eq!(run("1 + 2 * 3"), AdmValue::Int(7));
+        assert_eq!(run("10 / 4"), AdmValue::Double(2.5));
+        assert_eq!(run("2.5 + 1"), AdmValue::Double(3.5));
+        assert_eq!(run("3 < 4 and 4 <= 4"), AdmValue::Boolean(true));
+        assert_eq!(run("3 != 3 or 2 > 1"), AdmValue::Boolean(true));
+        assert_eq!(run("\"a\" + \"b\""), AdmValue::string("ab"));
+        assert_eq!(run("not false"), AdmValue::Boolean(true));
+    }
+
+    #[test]
+    fn division_by_zero_is_soft() {
+        let e = parse_expr("1 / 0").unwrap();
+        let err = eval(&e, &Env::new(), &EmptyContext).unwrap_err();
+        assert!(err.is_soft());
+    }
+
+    #[test]
+    fn record_and_list_construction() {
+        let v = run("{ \"a\": [1, 2], \"b\": { \"c\": true } }");
+        assert_eq!(v.field("a").unwrap().as_list().unwrap().len(), 2);
+        assert_eq!(
+            v.field("b").unwrap().field("c"),
+            Some(&AdmValue::Boolean(true))
+        );
+    }
+
+    #[test]
+    fn field_access_and_missing() {
+        let mut env = Env::new();
+        env.insert(
+            "x".into(),
+            AdmValue::record(vec![("id", "t1".into())]),
+        );
+        assert_eq!(run_env("$x.id", &env), AdmValue::string("t1"));
+        assert_eq!(run_env("$x.nope", &env), AdmValue::Missing);
+        assert_eq!(run_env("$x.nope.deeper", &env), AdmValue::Missing);
+    }
+
+    #[test]
+    fn flwor_for_let_where_return() {
+        let v = run(
+            "for $x in [1, 2, 3, 4, 5] let $y := $x * 2 where $y > 4 return $y",
+        );
+        assert_eq!(
+            v,
+            AdmValue::OrderedList(vec![
+                AdmValue::Int(6),
+                AdmValue::Int(8),
+                AdmValue::Int(10)
+            ])
+        );
+    }
+
+    #[test]
+    fn nested_flwor_in_let() {
+        let v = run(
+            r##"let $topics := (for $t in ["#a", "b", "#c"]
+                              where starts-with($t, "#")
+                              return $t)
+               return count($topics)"##,
+        );
+        assert_eq!(v, AdmValue::OrderedList(vec![AdmValue::Int(2)]));
+    }
+
+    #[test]
+    fn group_by_counts() {
+        let v = run(
+            r#"for $x in [1, 2, 3, 4, 5, 6]
+               group by $small := $x < 4 with $x
+               return { "small": $small, "count": count($x) }"#,
+        );
+        let groups = v.as_list().unwrap();
+        assert_eq!(groups.len(), 2);
+        for g in groups {
+            assert_eq!(g.field("count").unwrap(), &AdmValue::Int(3));
+        }
+    }
+
+    #[test]
+    fn some_satisfies() {
+        let mut env = Env::new();
+        env.insert(
+            "t".into(),
+            AdmValue::record(vec![(
+                "topics",
+                AdmValue::OrderedList(vec!["#Obama".into(), "#x".into()]),
+            )]),
+        );
+        assert_eq!(
+            run_env(
+                r##"some $h in $t.topics satisfies ($h = "#Obama")"##,
+                &env
+            ),
+            AdmValue::Boolean(true)
+        );
+        assert_eq!(
+            run_env(r##"some $h in $t.topics satisfies ($h = "#nope")"##, &env),
+            AdmValue::Boolean(false)
+        );
+        // quantifying over a missing field is false
+        assert_eq!(
+            run_env("some $h in $t.missing_field satisfies ($h = 1)", &env),
+            AdmValue::Boolean(false)
+        );
+    }
+
+    #[test]
+    fn spatial_builtins_compose() {
+        let v = run(
+            r#"let $p := create-point(1.0, 2.0)
+               let $r := create-rectangle(create-point(0.0, 0.0), create-point(5.0, 5.0))
+               return spatial-intersect($p, $r)"#,
+        );
+        assert_eq!(v, AdmValue::OrderedList(vec![AdmValue::Boolean(true)]));
+    }
+
+    #[test]
+    fn unbound_variable_and_unknown_function_error() {
+        let e = parse_expr("$nope").unwrap();
+        assert!(eval(&e, &Env::new(), &EmptyContext).is_err());
+        let e = parse_expr("frobnicate(1)").unwrap();
+        assert!(eval(&e, &Env::new(), &EmptyContext).is_err());
+    }
+
+    #[test]
+    fn feed_intake_is_not_evaluable() {
+        let e = parse_expr("for $x in feed_intake(\"F\") return $x").unwrap();
+        assert!(eval(&e, &Env::new(), &EmptyContext).is_err());
+    }
+
+    #[test]
+    fn listing_3_3_spatial_aggregation_end_to_end() {
+        // tweets scattered over two grid cells, one tagged #Obama each
+        let tweets = AdmValue::OrderedList(vec![
+            AdmValue::record(vec![
+                ("location", AdmValue::Point(34.0, -120.0)),
+                (
+                    "topics",
+                    AdmValue::OrderedList(vec!["#Obama".into()]),
+                ),
+            ]),
+            AdmValue::record(vec![
+                ("location", AdmValue::Point(34.2, -120.1)),
+                (
+                    "topics",
+                    AdmValue::OrderedList(vec!["#Obama".into(), "#x".into()]),
+                ),
+            ]),
+            AdmValue::record(vec![
+                ("location", AdmValue::Point(40.0, -90.0)),
+                (
+                    "topics",
+                    AdmValue::OrderedList(vec!["#Obama".into()]),
+                ),
+            ]),
+            AdmValue::record(vec![
+                // tagged differently: filtered out
+                ("location", AdmValue::Point(34.0, -120.0)),
+                ("topics", AdmValue::OrderedList(vec!["#other".into()])),
+            ]),
+        ]);
+        let mut env = Env::new();
+        env.insert("tweets".into(), tweets);
+        let v = run_env(
+            r##"for $tweet in $tweets
+               let $searchHashTag := "Obama"
+               let $leftBottom := create-point(33.13, -124.27)
+               let $latResolution := 3.0
+               let $longResolution := 3.0
+               where some $hashTag in $tweet.topics satisfies ($hashTag = "#Obama")
+               group by $c := spatial-cell($tweet.location, $leftBottom, $latResolution, $longResolution) with $tweet
+               return { "cell": $c, "count": count($tweet) }"##,
+            &env,
+        );
+        let cells = v.as_list().unwrap();
+        assert_eq!(cells.len(), 2);
+        let counts: Vec<i64> = cells
+            .iter()
+            .map(|c| c.field("count").unwrap().as_int().unwrap())
+            .collect();
+        assert!(counts.contains(&2) && counts.contains(&1));
+    }
+}

@@ -1,0 +1,302 @@
+//! AQL tokenizer.
+//!
+//! Keywords are case-insensitive (AQL style); identifiers keep their case.
+//! Variables are `$name`; function names may be qualified
+//! (`tweetlib#sentimentAnalysis`) and builtin names may contain dashes
+//! (`word-tokens`, `starts-with`, `spatial-cell`) — a dash joins two
+//! identifier characters into one name token when not surrounded by
+//! whitespace.
+
+use asterix_common::{IngestError, IngestResult};
+
+/// One token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or name (`create`, `TweetFeed`, `word-tokens`,
+    /// `tweetlib#sentiment`).
+    Ident(String),
+    /// `$x`.
+    Var(String),
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Double(f64),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// Is this the identifier `word` (case-insensitive)?
+    pub fn is_kw(&self, word: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(word))
+    }
+}
+
+/// Tokenize a statement batch.
+pub fn tokenize(input: &str) -> IngestResult<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(IngestError::Language(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                        Some(&q) if q == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = b.get(i + 1).copied().ok_or_else(|| {
+                                IngestError::Language("bad escape".into())
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'\'' => '\'',
+                                other => other as char,
+                            });
+                            i += 2;
+                        }
+                        Some(&ch) if ch < 0x80 => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                        Some(_) => {
+                            // multi-byte utf8
+                            let start = i;
+                            i += 1;
+                            while i < b.len() && (b[i] & 0xC0) == 0x80 {
+                                i += 1;
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&b[start..i]).map_err(|_| {
+                                    IngestError::Language("bad utf8 in string".into())
+                                })?,
+                            );
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'$' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(IngestError::Language("empty variable name".into()));
+                }
+                out.push(Token::Var(
+                    std::str::from_utf8(&b[start..i]).unwrap().to_string(),
+                ));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_double = false;
+                while i < b.len() {
+                    match b[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if b.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
+                            is_double = true;
+                            i += 1;
+                        }
+                        b'e' | b'E'
+                            if i > start
+                                && b.get(i + 1)
+                                    .map(|c| c.is_ascii_digit() || *c == b'-' || *c == b'+')
+                                    .unwrap_or(false) =>
+                        {
+                            is_double = true;
+                            i += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                if is_double {
+                    out.push(Token::Double(text.parse().map_err(|_| {
+                        IngestError::Language(format!("bad number '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        IngestError::Language(format!("bad number '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() {
+                    let ch = b[i];
+                    if ch.is_ascii_alphanumeric() || ch == b'_' || ch == b'#' {
+                        i += 1;
+                    } else if ch == b'-'
+                        && b.get(i + 1)
+                            .map(|n| n.is_ascii_alphanumeric() || *n == b'_')
+                            .unwrap_or(false)
+                    {
+                        // dash inside a name: word-tokens, starts-with
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(
+                    std::str::from_utf8(&b[start..i]).unwrap().to_string(),
+                ));
+            }
+            _ => {
+                // punctuation, longest-match first
+                let two: Option<&'static str> = if i + 1 < b.len() {
+                    match (b[i], b[i + 1]) {
+                        (b':', b'=') => Some(":="),
+                        (b'<', b'=') => Some("<="),
+                        (b'>', b'=') => Some(">="),
+                        (b'!', b'=') => Some("!="),
+                        (b'{', b'{') => Some("{{"),
+                        (b'}', b'}') => Some("}}"),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some(p) = two {
+                    out.push(Token::Punct(p));
+                    i += 2;
+                    continue;
+                }
+                let one: &'static str = match c {
+                    b'{' => "{",
+                    b'}' => "}",
+                    b'(' => "(",
+                    b')' => ")",
+                    b'[' => "[",
+                    b']' => "]",
+                    b',' => ",",
+                    b';' => ";",
+                    b':' => ":",
+                    b'?' => "?",
+                    b'.' => ".",
+                    b'=' => "=",
+                    b'<' => "<",
+                    b'>' => ">",
+                    b'+' => "+",
+                    b'-' => "-",
+                    b'*' => "*",
+                    b'/' => "/",
+                    other => {
+                        return Err(IngestError::Language(format!(
+                            "unexpected character '{}'",
+                            other as char
+                        )))
+                    }
+                };
+                out.push(Token::Punct(one));
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let toks = tokenize("use dataverse feeds;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("use".into()),
+                Token::Ident("dataverse".into()),
+                Token::Ident("feeds".into()),
+                Token::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_numbers_vars() {
+        let toks = tokenize(r#"let $x := "hi\n" + 3.5 - 42"#).unwrap();
+        assert_eq!(toks[0], Token::Ident("let".into()));
+        assert_eq!(toks[1], Token::Var("x".into()));
+        assert_eq!(toks[2], Token::Punct(":="));
+        assert_eq!(toks[3], Token::Str("hi\n".into()));
+        assert_eq!(toks[5], Token::Double(3.5));
+        assert_eq!(toks[7], Token::Int(42));
+    }
+
+    #[test]
+    fn dashed_and_qualified_names() {
+        let toks = tokenize("word-tokens($x) tweetlib#sentimentAnalysis($y)").unwrap();
+        assert_eq!(toks[0], Token::Ident("word-tokens".into()));
+        assert_eq!(
+            toks[4],
+            Token::Ident("tweetlib#sentimentAnalysis".into())
+        );
+    }
+
+    #[test]
+    fn subtraction_vs_name_dash() {
+        // "a - b" is subtraction; "a-b" is one name
+        let toks = tokenize("a - b").unwrap();
+        assert_eq!(toks.len(), 3);
+        let toks = tokenize("a-b").unwrap();
+        assert_eq!(toks, vec![Token::Ident("a-b".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("create // a comment\n-- another\nfeed").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn bag_braces() {
+        let toks = tokenize("{{ 1, 2 }}").unwrap();
+        assert_eq!(toks[0], Token::Punct("{{"));
+        assert_eq!(toks[4], Token::Punct("}}"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("`").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("CREATE Feed").unwrap();
+        assert!(toks[0].is_kw("create"));
+        assert!(toks[1].is_kw("feed"));
+        assert!(!toks[1].is_kw("dataset"));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! A miniature AQL: the language surface of Chapter 4.
+//!
+//! AsterixDB models feeds *at the language level*: feeds are defined,
+//! composed into cascade networks and connected to datasets with AQL DDL,
+//! and the compiler rewrites every `connect feed` statement into an
+//! equivalent `insert` statement before producing the ingestion pipeline
+//! (§5.3, Listings 5.2/5.6). This crate reproduces the statements and
+//! expressions the paper's listings use:
+//!
+//! * [`lexer`] / [`parser`] — `use dataverse`, `create type` (open/closed,
+//!   optional fields), `create dataset`, `create index` (btree/rtree),
+//!   `create feed` / `create secondary feed ... apply function ...`,
+//!   `create function`, `create ingestion policy ... from policy ...`,
+//!   `connect feed ... to dataset ... using policy ...`,
+//!   `disconnect feed`, `insert into dataset`, and FLWOR queries
+//!   (`for/let/where/group by/return`) rich enough for Listing 3.3's
+//!   spatial aggregation;
+//! * [`eval`] — the query evaluator (dataset scans, builtin functions,
+//!   quantified expressions, group-by with aggregation);
+//! * [`rewrite`] — the §5.3 connect-feed→insert rewriting, exposed for
+//!   inspection exactly as the paper's Listings 5.3/5.7 show it;
+//! * [`engine`] — [`engine::AsterixEngine`]: parses statements and executes
+//!   them against the cluster, the storage layer and the feed controller.
+
+pub mod ast;
+pub mod engine;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod rewrite;
+
+pub use ast::{Expr, Statement};
+pub use engine::{AsterixEngine, ExecOutcome};
+pub use parser::parse_statements;

@@ -1,0 +1,925 @@
+//! Recursive-descent parser for the mini-AQL grammar.
+
+use crate::ast::{BinOp, Expr, FlworClause, GroupBy, Statement, TypeExpr, TypeField};
+use crate::lexer::{tokenize, Token};
+use asterix_adm::AdmValue;
+use asterix_common::{IngestError, IngestResult};
+use std::collections::BTreeMap;
+
+/// Parse a semicolon-separated batch of statements.
+pub fn parse_statements(input: &str) -> IngestResult<Vec<Statement>> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_punct(";") {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+/// Parse a single expression (used for UDF bodies in tests).
+pub fn parse_expr(input: &str) -> IngestResult<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> IngestError {
+        IngestError::Language(format!(
+            "{} (at token {}: {:?})",
+            msg.into(),
+            self.pos,
+            self.tokens.get(self.pos)
+        ))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> IngestResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}'")))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> IngestResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{p}'")))
+        }
+    }
+
+    fn ident(&mut self) -> IngestResult<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(IngestError::Language(format!(
+                "expected identifier, got {other:?}"
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> IngestResult<String> {
+        match self.bump() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(IngestError::Language(format!(
+                "expected string literal, got {other:?}"
+            ))),
+        }
+    }
+
+    fn var(&mut self) -> IngestResult<String> {
+        match self.bump() {
+            Some(Token::Var(s)) => Ok(s),
+            other => Err(IngestError::Language(format!(
+                "expected $variable, got {other:?}"
+            ))),
+        }
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn statement(&mut self) -> IngestResult<Statement> {
+        if self.eat_kw("use") {
+            self.expect_kw("dataverse")?;
+            return Ok(Statement::UseDataverse(self.ident()?));
+        }
+        if self.eat_kw("create") {
+            return self.create_statement();
+        }
+        if self.eat_kw("connect") {
+            self.expect_kw("feed")?;
+            let feed = self.ident()?;
+            self.expect_kw("to")?;
+            self.expect_kw("dataset")?;
+            let dataset = self.ident()?;
+            let policy = if self.eat_kw("using") {
+                self.expect_kw("policy")?;
+                self.ident()?
+            } else {
+                "Basic".to_string()
+            };
+            return Ok(Statement::ConnectFeed {
+                feed,
+                dataset,
+                policy,
+            });
+        }
+        if self.eat_kw("disconnect") {
+            self.expect_kw("feed")?;
+            let feed = self.ident()?;
+            self.expect_kw("from")?;
+            self.expect_kw("dataset")?;
+            let dataset = self.ident()?;
+            return Ok(Statement::DisconnectFeed { feed, dataset });
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("feed")?;
+            return Ok(Statement::DropFeed(self.ident()?));
+        }
+        if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            self.expect_kw("dataset")?;
+            let dataset = self.ident()?;
+            self.expect_punct("(")?;
+            let query = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Statement::Insert { dataset, query });
+        }
+        // bare query
+        Ok(Statement::Query(self.expr()?))
+    }
+
+    fn create_statement(&mut self) -> IngestResult<Statement> {
+        if self.eat_kw("type") {
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let open = if self.eat_kw("open") {
+                true
+            } else if self.eat_kw("closed") {
+                false
+            } else {
+                true // AQL defaults to open
+            };
+            self.expect_punct("{")?;
+            let mut fields = Vec::new();
+            loop {
+                if self.eat_punct("}") {
+                    break;
+                }
+                let fname = self.ident()?;
+                self.expect_punct(":")?;
+                let ty = self.type_expr()?;
+                let optional = self.eat_punct("?");
+                fields.push(TypeField {
+                    name: fname,
+                    ty,
+                    optional,
+                });
+                if !self.eat_punct(",") {
+                    self.expect_punct("}")?;
+                    break;
+                }
+            }
+            return Ok(Statement::CreateType { name, open, fields });
+        }
+        if self.eat_kw("dataset") {
+            let name = self.ident()?;
+            self.expect_punct("(")?;
+            let datatype = self.ident()?;
+            self.expect_punct(")")?;
+            self.expect_kw("primary")?;
+            self.expect_kw("key")?;
+            let primary_key = self.ident()?;
+            return Ok(Statement::CreateDataset {
+                name,
+                datatype,
+                primary_key,
+            });
+        }
+        if self.eat_kw("index") {
+            let name = self.ident()?;
+            self.expect_kw("on")?;
+            let dataset = self.ident()?;
+            self.expect_punct("(")?;
+            let field = self.ident()?;
+            self.expect_punct(")")?;
+            let rtree = if self.eat_kw("type") {
+                let kind = self.ident()?;
+                match kind.to_ascii_lowercase().as_str() {
+                    "rtree" => true,
+                    "btree" => false,
+                    other => {
+                        return Err(self.err(format!("unknown index type '{other}'")))
+                    }
+                }
+            } else {
+                false
+            };
+            return Ok(Statement::CreateIndex {
+                name,
+                dataset,
+                field,
+                rtree,
+            });
+        }
+        if self.eat_kw("secondary") {
+            self.expect_kw("feed")?;
+            let name = self.ident()?;
+            self.expect_kw("from")?;
+            self.expect_kw("feed")?;
+            let parent = self.ident()?;
+            let apply = self.apply_clause()?;
+            return Ok(Statement::CreateSecondaryFeed {
+                name,
+                parent,
+                apply,
+            });
+        }
+        if self.eat_kw("feed") {
+            let name = self.ident()?;
+            self.expect_kw("using")?;
+            let adaptor = self.ident()?;
+            let params = self.param_list()?;
+            let apply = self.apply_clause()?;
+            return Ok(Statement::CreateFeed {
+                name,
+                adaptor,
+                params,
+                apply,
+            });
+        }
+        if self.eat_kw("function") {
+            let name = self.ident()?;
+            self.expect_punct("(")?;
+            let param = self.var()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let body = self.expr()?;
+            // tolerate an optional trailing semicolon inside the braces
+            self.eat_punct(";");
+            self.expect_punct("}")?;
+            return Ok(Statement::CreateFunction { name, param, body });
+        }
+        if self.eat_kw("ingestion") {
+            self.expect_kw("policy")?;
+            let name = self.ident()?;
+            self.expect_kw("from")?;
+            self.expect_kw("policy")?;
+            let base = self.ident()?;
+            let params = self.param_list()?;
+            return Ok(Statement::CreatePolicy { name, base, params });
+        }
+        Err(self.err("unknown create statement"))
+    }
+
+    /// `("k"="v", "k"="v")`, possibly doubly parenthesized (Listing 5.19).
+    fn param_list(&mut self) -> IngestResult<BTreeMap<String, String>> {
+        let mut params = BTreeMap::new();
+        if !self.eat_punct("(") {
+            return Ok(params);
+        }
+        let doubled = self.eat_punct("(");
+        loop {
+            if self.eat_punct(")") {
+                break;
+            }
+            // tolerate inner parens around individual pairs
+            let inner = self.eat_punct("(");
+            let k = self.string()?;
+            self.expect_punct("=")?;
+            let v = self.string()?;
+            if inner {
+                self.expect_punct(")")?;
+            }
+            params.insert(k, v);
+            if !self.eat_punct(",") {
+                self.expect_punct(")")?;
+                break;
+            }
+        }
+        if doubled {
+            self.expect_punct(")")?;
+        }
+        Ok(params)
+    }
+
+    fn apply_clause(&mut self) -> IngestResult<Option<String>> {
+        if self.eat_kw("apply") {
+            self.expect_kw("function")?;
+            // the name may be a bare identifier or quoted ("tweetlib#f")
+            match self.peek() {
+                Some(Token::Str(_)) => Ok(Some(self.string()?)),
+                _ => Ok(Some(self.ident()?)),
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn type_expr(&mut self) -> IngestResult<TypeExpr> {
+        if self.eat_punct("[") {
+            let inner = self.type_expr()?;
+            self.expect_punct("]")?;
+            return Ok(TypeExpr::OrderedList(Box::new(inner)));
+        }
+        if self.eat_punct("{{") {
+            let inner = self.type_expr()?;
+            self.expect_punct("}}")?;
+            return Ok(TypeExpr::UnorderedList(Box::new(inner)));
+        }
+        Ok(TypeExpr::Named(self.ident()?))
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> IngestResult<Expr> {
+        // FLWOR?
+        if self.peek_kw("for") || self.peek_kw("let") {
+            return self.flwor();
+        }
+        self.or_expr()
+    }
+
+    fn some_expr(&mut self) -> IngestResult<Expr> {
+        self.expect_kw("some")?;
+        let var = self.var()?;
+        self.expect_kw("in")?;
+        let source = self.postfix_expr()?;
+        self.expect_kw("satisfies")?;
+        self.expect_punct("(")?;
+        let predicate = self.expr()?;
+        self.expect_punct(")")?;
+        Ok(Expr::Some {
+            var,
+            source: Box::new(source),
+            predicate: Box::new(predicate),
+        })
+    }
+
+    fn flwor(&mut self) -> IngestResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.eat_kw("for") {
+                let var = self.var()?;
+                self.expect_kw("in")?;
+                let source = self.or_expr()?;
+                clauses.push(FlworClause::For { var, source });
+            } else if self.eat_kw("let") {
+                let var = self.var()?;
+                self.expect_punct(":=")?;
+                let value = self.expr_or_paren()?;
+                clauses.push(FlworClause::Let { var, value });
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            let key_var = self.var()?;
+            self.expect_punct(":=")?;
+            let key_expr = Box::new(self.or_expr()?);
+            self.expect_kw("with")?;
+            let with_var = self.var()?;
+            Some(GroupBy {
+                key_var,
+                key_expr,
+                with_var,
+            })
+        } else {
+            None
+        };
+        self.expect_kw("return")?;
+        let ret = Box::new(self.expr_or_paren()?);
+        Ok(Expr::Flwor {
+            clauses,
+            where_clause,
+            group_by,
+            ret,
+        })
+    }
+
+    /// A let/return value may be a parenthesized sub-FLWOR.
+    fn expr_or_paren(&mut self) -> IngestResult<Expr> {
+        if matches!(self.peek(), Some(Token::Punct("(")))
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .map(|t| t.is_kw("for") || t.is_kw("let"))
+                .unwrap_or(false)
+        {
+            self.expect_punct("(")?;
+            let inner = self.flwor()?;
+            self.expect_punct(")")?;
+            return Ok(inner);
+        }
+        self.expr()
+    }
+
+    fn or_expr(&mut self) -> IngestResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> IngestResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> IngestResult<Expr> {
+        // quantified expressions sit at comparison level so they compose
+        // with `and`/`or` (Listing 3.3's where clause)
+        if self.peek_kw("some") {
+            return self.some_expr();
+        }
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Punct("=")) => Some(BinOp::Eq),
+            Some(Token::Punct("!=")) => Some(BinOp::Ne),
+            Some(Token::Punct("<")) => Some(BinOp::Lt),
+            Some(Token::Punct("<=")) => Some(BinOp::Le),
+            Some(Token::Punct(">")) => Some(BinOp::Gt),
+            Some(Token::Punct(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.add_expr()?;
+                Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self) -> IngestResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_punct("+") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_punct("-") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> IngestResult<Expr> {
+        let mut lhs = self.postfix_expr()?;
+        loop {
+            if self.eat_punct("*") {
+                let rhs = self.postfix_expr()?;
+                lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_punct("/") {
+                let rhs = self.postfix_expr()?;
+                lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn postfix_expr(&mut self) -> IngestResult<Expr> {
+        let mut e = self.primary_expr()?;
+        while self.eat_punct(".") {
+            let field = self.ident()?;
+            e = Expr::FieldAccess(Box::new(e), field);
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> IngestResult<Expr> {
+        match self.peek().cloned() {
+            None => Err(self.err("unexpected end of input")),
+            Some(Token::Var(v)) => {
+                self.bump();
+                Ok(Expr::Var(v))
+            }
+            Some(Token::Str(s)) => {
+                self.bump();
+                Ok(Expr::Literal(AdmValue::String(s)))
+            }
+            Some(Token::Int(i)) => {
+                self.bump();
+                Ok(Expr::Literal(AdmValue::Int(i)))
+            }
+            Some(Token::Double(d)) => {
+                self.bump();
+                Ok(Expr::Literal(AdmValue::Double(d)))
+            }
+            Some(Token::Punct("-")) => {
+                self.bump();
+                match self.bump() {
+                    Some(Token::Int(i)) => Ok(Expr::Literal(AdmValue::Int(-i))),
+                    Some(Token::Double(d)) => Ok(Expr::Literal(AdmValue::Double(-d))),
+                    other => Err(IngestError::Language(format!(
+                        "expected number after unary '-', got {other:?}"
+                    ))),
+                }
+            }
+            Some(Token::Punct("(")) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(inner)
+            }
+            Some(Token::Punct("[")) => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            self.expect_punct("]")?;
+                            break;
+                        }
+                    }
+                }
+                Ok(Expr::ListCtor(items))
+            }
+            Some(Token::Punct("{")) => {
+                self.bump();
+                let mut fields = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let key = match self.peek() {
+                            Some(Token::Str(_)) => self.string()?,
+                            _ => self.ident()?,
+                        };
+                        self.expect_punct(":")?;
+                        let value = self.expr_or_paren()?;
+                        fields.push((key, value));
+                        if !self.eat_punct(",") {
+                            self.expect_punct("}")?;
+                            break;
+                        }
+                    }
+                }
+                Ok(Expr::RecordCtor(fields))
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("dataset") {
+                    self.bump();
+                    let ds = self.ident()?;
+                    return Ok(Expr::DatasetScan(ds));
+                }
+                if name.eq_ignore_ascii_case("not") {
+                    self.bump();
+                    let inner = self.postfix_expr()?;
+                    return Ok(Expr::Not(Box::new(inner)));
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    self.bump();
+                    return Ok(Expr::Literal(AdmValue::Boolean(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    self.bump();
+                    return Ok(Expr::Literal(AdmValue::Boolean(false)));
+                }
+                if name.eq_ignore_ascii_case("null") {
+                    self.bump();
+                    return Ok(Expr::Literal(AdmValue::Null));
+                }
+                self.bump();
+                // function call?
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                self.expect_punct(")")?;
+                                break;
+                            }
+                        }
+                    }
+                    if name.eq_ignore_ascii_case("feed_intake") {
+                        // feed_intake("FeedName")
+                        match args.as_slice() {
+                            [Expr::Literal(AdmValue::String(f))] => {
+                                return Ok(Expr::FeedIntake(f.clone()))
+                            }
+                            _ => {
+                                return Err(self.err(
+                                    "feed_intake expects one string argument",
+                                ))
+                            }
+                        }
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                Err(self.err(format!("unexpected identifier '{name}'")))
+            }
+            Some(other) => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing_3_2_ddl() {
+        let stmts = parse_statements(
+            r#"
+            use dataverse feeds;
+            create dataset Tweets(Tweet) primary key id;
+            create index locationIndex on ProcessedTweets(location) type rtree;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(
+            stmts[1],
+            Statement::CreateDataset {
+                name: "Tweets".into(),
+                datatype: "Tweet".into(),
+                primary_key: "id".into()
+            }
+        );
+        assert!(matches!(
+            &stmts[2],
+            Statement::CreateIndex { rtree: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_create_type_with_optionals() {
+        let stmts = parse_statements(
+            r#"create type Tweet as open {
+                id: string,
+                latitude: double?,
+                topics: [string],
+                user: TwitterUser
+            };"#,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::CreateType { name, open, fields } => {
+                assert_eq!(name, "Tweet");
+                assert!(open);
+                assert_eq!(fields.len(), 4);
+                assert!(fields[1].optional);
+                assert_eq!(
+                    fields[2].ty,
+                    TypeExpr::OrderedList(Box::new(TypeExpr::Named("string".into())))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing_4_1_create_feed() {
+        let stmts = parse_statements(
+            r#"create feed TwitterFeed using TwitterAdaptor
+                ("query"="Obama", "interval"="60");"#,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::CreateFeed {
+                name,
+                adaptor,
+                params,
+                apply,
+            } => {
+                assert_eq!(name, "TwitterFeed");
+                assert_eq!(adaptor, "TwitterAdaptor");
+                assert_eq!(params.get("query").unwrap(), "Obama");
+                assert!(apply.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing_4_4_secondary_feed() {
+        let stmts = parse_statements(
+            "create secondary feed ProcessedTwitterFeed from feed TwitterFeed apply function addHashTags;",
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Statement::CreateSecondaryFeed {
+                name: "ProcessedTwitterFeed".into(),
+                parent: "TwitterFeed".into(),
+                apply: Some("addHashTags".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_listing_4_5_connect_disconnect() {
+        let stmts = parse_statements(
+            r#"
+            connect feed ProcessedTwitterFeed to dataset ProcessedTweets;
+            connect feed TwitterFeed to dataset RawTweets using policy Basic;
+            disconnect feed ProcessedTwitterFeed from dataset ProcessedTweets;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Statement::ConnectFeed {
+                feed: "ProcessedTwitterFeed".into(),
+                dataset: "ProcessedTweets".into(),
+                policy: "Basic".into()
+            }
+        );
+        assert_eq!(
+            stmts[2],
+            Statement::DisconnectFeed {
+                feed: "ProcessedTwitterFeed".into(),
+                dataset: "ProcessedTweets".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_listing_4_6_custom_policy() {
+        let stmts = parse_statements(
+            r#"create ingestion policy Spill_then_Throttle from policy Spill
+               (("max.spill.size.on.disk"="512MB", "excess.records.throttle"="true"));"#,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::CreatePolicy { name, base, params } => {
+                assert_eq!(name, "Spill_then_Throttle");
+                assert_eq!(base, "Spill");
+                assert_eq!(params.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing_4_2_udf() {
+        let stmts = parse_statements(
+            r##"create function addHashTags($x) {
+                let $topics := (for $token in word-tokens($x.message_text)
+                                where starts-with($token, "#")
+                                return $token)
+                return {
+                    "id": $x.id,
+                    "message_text": $x.message_text,
+                    "topics": $topics
+                };
+            };"##,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::CreateFunction { name, param, body } => {
+                assert_eq!(name, "addHashTags");
+                assert_eq!(param, "x");
+                assert!(matches!(body, Expr::Flwor { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_with_feed_intake() {
+        let stmts = parse_statements(
+            r#"insert into dataset ProcessedTweets (
+                for $x in feed_intake("TwitterFeed")
+                let $y := addHashTags($x)
+                return $y
+            );"#,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::Insert { dataset, query } => {
+                assert_eq!(dataset, "ProcessedTweets");
+                match query {
+                    Expr::Flwor { clauses, .. } => match &clauses[0] {
+                        FlworClause::For { source, .. } => {
+                            assert_eq!(source, &Expr::FeedIntake("TwitterFeed".into()));
+                        }
+                        other => panic!("{other:?}"),
+                    },
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing_3_3_spatial_aggregation() {
+        let stmts = parse_statements(
+            r#"for $tweet in dataset ProcessedTweets
+               let $searchHashTag := "Obama"
+               let $leftBottom := create-point(33.13, -124.27)
+               let $rightTop := create-point(48.57, -66.18)
+               let $region := create-rectangle($leftBottom, $rightTop)
+               where spatial-intersect($tweet.location, $region) and
+                     some $hashTag in $tweet.topics satisfies ($hashTag = $searchHashTag)
+               group by $c := spatial-cell($tweet.location, $leftBottom, 3.0, 3.0) with $tweet
+               return { "cell": $c, "count": count($tweet) };"#,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::Query(Expr::Flwor {
+                clauses,
+                where_clause,
+                group_by,
+                ..
+            }) => {
+                assert_eq!(clauses.len(), 5);
+                assert!(where_clause.is_some());
+                let g = group_by.as_ref().unwrap();
+                assert_eq!(g.key_var, "c");
+                assert_eq!(g.with_var, "tweet");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("1 + 2 * 3 = 7 and true").unwrap();
+        // ((1 + (2*3)) = 7) and true
+        match e {
+            Expr::Bin(BinOp::And, lhs, _) => match *lhs {
+                Expr::Bin(BinOp::Eq, l2, _) => {
+                    assert!(matches!(*l2, Expr::Bin(BinOp::Add, _, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_statements("create frobnicate X;").is_err());
+        assert!(parse_statements("connect feed F to table T;").is_err());
+        assert!(parse_statements("insert into dataset D for $x in").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("feed_intake(42)").is_err());
+    }
+
+    #[test]
+    fn qualified_and_quoted_function_names() {
+        let stmts = parse_statements(
+            r#"create secondary feed S from feed P apply function "tweetlib#sentimentAnalysis";"#,
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Statement::CreateSecondaryFeed {
+                name: "S".into(),
+                parent: "P".into(),
+                apply: Some("tweetlib#sentimentAnalysis".into()),
+            }
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! The §5.3 connect-feed → insert rewriting.
+//!
+//! "In constructing the tail section, the AsterixDB compiler first rewrites
+//! the connect feed statement into an equivalent insert statement"
+//! (Listing 5.2's template for primary feeds, Listing 5.6's for secondary
+//! feeds):
+//!
+//! ```text
+//! insert into dataset <target_dataset> (
+//!     for $x in feed_intake("<name_of_the_source_feed>")
+//!     let $y1 := f1($x)
+//!     ...
+//!     let $yN := fN($yN-1)
+//!     return $yN
+//! )
+//! ```
+//!
+//! AQL UDF bodies are looked up and "inlined in the template" (Listing
+//! 5.7); external (Java) UDFs stay as opaque calls (Listing 5.10). The
+//! runtime builds pipelines directly from the feed metadata, but the
+//! rewriting is exposed here — it is the compiler contract the paper
+//! specifies, and tests assert its exact shape.
+
+use crate::ast::{Expr, FlworClause, Statement};
+use asterix_common::IngestResult;
+
+/// A step of the UDF chain between the source feed and the connected feed.
+#[derive(Debug, Clone)]
+pub struct ChainStep {
+    /// Function name.
+    pub name: String,
+    /// For AQL functions, the `(parameter, body)` to inline; external
+    /// functions stay opaque calls.
+    pub inline: Option<(String, Expr)>,
+}
+
+/// Substitute `$param` with `replacement` throughout `body` (the inlining
+/// primitive).
+pub fn substitute(body: &Expr, param: &str, replacement: &Expr) -> Expr {
+    match body {
+        Expr::Var(v) if v == param => replacement.clone(),
+        Expr::Var(_) | Expr::Literal(_) | Expr::DatasetScan(_) | Expr::FeedIntake(_) => {
+            body.clone()
+        }
+        Expr::FieldAccess(inner, f) => Expr::FieldAccess(
+            Box::new(substitute(inner, param, replacement)),
+            f.clone(),
+        ),
+        Expr::RecordCtor(fields) => Expr::RecordCtor(
+            fields
+                .iter()
+                .map(|(k, e)| (k.clone(), substitute(e, param, replacement)))
+                .collect(),
+        ),
+        Expr::ListCtor(items) => Expr::ListCtor(
+            items
+                .iter()
+                .map(|e| substitute(e, param, replacement))
+                .collect(),
+        ),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter()
+                .map(|e| substitute(e, param, replacement))
+                .collect(),
+        ),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(substitute(l, param, replacement)),
+            Box::new(substitute(r, param, replacement)),
+        ),
+        Expr::Not(e) => Expr::Not(Box::new(substitute(e, param, replacement))),
+        Expr::Some {
+            var,
+            source,
+            predicate,
+        } => {
+            let source = Box::new(substitute(source, param, replacement));
+            // shadowing: an inner binding of the same name hides the param
+            if var == param {
+                Expr::Some {
+                    var: var.clone(),
+                    source,
+                    predicate: predicate.clone(),
+                }
+            } else {
+                Expr::Some {
+                    var: var.clone(),
+                    source,
+                    predicate: Box::new(substitute(predicate, param, replacement)),
+                }
+            }
+        }
+        Expr::Flwor {
+            clauses,
+            where_clause,
+            group_by,
+            ret,
+        } => {
+            let mut shadowed = false;
+            let new_clauses = clauses
+                .iter()
+                .map(|c| {
+                    if shadowed {
+                        return c.clone();
+                    }
+                    match c {
+                        FlworClause::For { var, source } => {
+                            let out = FlworClause::For {
+                                var: var.clone(),
+                                source: substitute(source, param, replacement),
+                            };
+                            if var == param {
+                                shadowed = true;
+                            }
+                            out
+                        }
+                        FlworClause::Let { var, value } => {
+                            let out = FlworClause::Let {
+                                var: var.clone(),
+                                value: substitute(value, param, replacement),
+                            };
+                            if var == param {
+                                shadowed = true;
+                            }
+                            out
+                        }
+                    }
+                })
+                .collect();
+            if shadowed {
+                Expr::Flwor {
+                    clauses: new_clauses,
+                    where_clause: where_clause.clone(),
+                    group_by: group_by.clone(),
+                    ret: ret.clone(),
+                }
+            } else {
+                Expr::Flwor {
+                    clauses: new_clauses,
+                    where_clause: where_clause
+                        .as_ref()
+                        .map(|w| Box::new(substitute(w, param, replacement))),
+                    group_by: group_by.clone(),
+                    ret: Box::new(substitute(ret, param, replacement)),
+                }
+            }
+        }
+    }
+}
+
+/// Build the equivalent insert statement for connecting a feed (reached
+/// from `source_feed` via `chain`) to `target_dataset`.
+pub fn connect_to_insert(
+    source_feed: &str,
+    target_dataset: &str,
+    chain: &[ChainStep],
+) -> IngestResult<Statement> {
+    let mut clauses = vec![FlworClause::For {
+        var: "x".into(),
+        source: Expr::FeedIntake(source_feed.to_string()),
+    }];
+    let mut current = Expr::Var("x".into());
+    for (i, step) in chain.iter().enumerate() {
+        let var = format!("y{}", i + 1);
+        let value = match &step.inline {
+            // AQL UDF: body inlined with the argument substituted
+            Some((param, body)) => substitute(body, param, &current),
+            // external UDF: opaque call
+            None => Expr::Call(step.name.clone(), vec![current.clone()]),
+        };
+        clauses.push(FlworClause::Let {
+            var: var.clone(),
+            value,
+        });
+        current = Expr::Var(var);
+    }
+    Ok(Statement::Insert {
+        dataset: target_dataset.to_string(),
+        query: Expr::Flwor {
+            clauses,
+            where_clause: None,
+            group_by: None,
+            ret: Box::new(current),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn primary_feed_without_udf_matches_listing_5_3() {
+        // insert into dataset Tweets (for $x in feed_intake("TwitterFeed") return $x)
+        let stmt = connect_to_insert("TwitterFeed", "Tweets", &[]).unwrap();
+        match stmt {
+            Statement::Insert { dataset, query } => {
+                assert_eq!(dataset, "Tweets");
+                match query {
+                    Expr::Flwor { clauses, ret, .. } => {
+                        assert_eq!(clauses.len(), 1);
+                        assert_eq!(*ret, Expr::Var("x".into()));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_udf_stays_opaque_like_listing_5_10() {
+        let stmt = connect_to_insert(
+            "ProcessedTwitterFeed",
+            "TwitterSentiments",
+            &[ChainStep {
+                name: "tweetlib#sentimentAnalysis".into(),
+                inline: None,
+            }],
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { query, .. } => match query {
+                Expr::Flwor { clauses, ret, .. } => {
+                    assert_eq!(clauses.len(), 2);
+                    match &clauses[1] {
+                        FlworClause::Let { value, .. } => {
+                            assert_eq!(
+                                value,
+                                &Expr::Call(
+                                    "tweetlib#sentimentAnalysis".into(),
+                                    vec![Expr::Var("x".into())]
+                                )
+                            );
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                    assert_eq!(*ret, Expr::Var("y1".into()));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aql_udf_body_is_inlined_like_listing_5_7() {
+        let body = parse_expr(
+            r##"let $topics := (for $t in word-tokens($v.message_text)
+                               where starts-with($t, "#") return $t)
+                return { "id": $v.id, "topics": $topics }"##,
+        )
+        .unwrap();
+        let stmt = connect_to_insert(
+            "TwitterFeed",
+            "ProcessedTweets",
+            &[ChainStep {
+                name: "addHashTags".into(),
+                inline: Some(("v".into(), body)),
+            }],
+        )
+        .unwrap();
+        // $v must have been replaced with $x throughout the inlined body
+        let text = format!("{stmt:?}");
+        assert!(!text.contains("Var(\"v\")"), "parameter not substituted");
+        assert!(text.contains("message_text"));
+    }
+
+    #[test]
+    fn chains_compose_in_order() {
+        let stmt = connect_to_insert(
+            "TwitterFeed",
+            "D",
+            &[
+                ChainStep {
+                    name: "f1".into(),
+                    inline: None,
+                },
+                ChainStep {
+                    name: "f2".into(),
+                    inline: None,
+                },
+            ],
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { query, .. } => match query {
+                Expr::Flwor { clauses, ret, .. } => {
+                    assert_eq!(clauses.len(), 3);
+                    match &clauses[2] {
+                        FlworClause::Let { value, .. } => {
+                            // f2 applied to f1's output
+                            assert_eq!(
+                                value,
+                                &Expr::Call("f2".into(), vec![Expr::Var("y1".into())])
+                            );
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                    assert_eq!(*ret, Expr::Var("y2".into()));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        // for $x in [$x] return $x : the outer $x only appears in the source
+        let body = parse_expr("for $x in [$x] return $x").unwrap();
+        let replaced = substitute(&body, "x", &Expr::lit(42i64));
+        match replaced {
+            Expr::Flwor { clauses, ret, .. } => {
+                match &clauses[0] {
+                    FlworClause::For { source, .. } => {
+                        assert_eq!(source, &Expr::ListCtor(vec![Expr::lit(42i64)]));
+                    }
+                    other => panic!("{other:?}"),
+                }
+                // the return still references the *bound* $x
+                assert_eq!(*ret, Expr::Var("x".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitution_in_some_respects_shadowing() {
+        let body = parse_expr("some $x in $x satisfies ($x = 1)").unwrap();
+        let replaced = substitute(&body, "x", &Expr::var("outer"));
+        match replaced {
+            Expr::Some {
+                source, predicate, ..
+            } => {
+                assert_eq!(*source, Expr::var("outer"));
+                // predicate's $x stays bound to the quantifier
+                assert_eq!(
+                    *predicate,
+                    Expr::Bin(
+                        crate::ast::BinOp::Eq,
+                        Box::new(Expr::var("x")),
+                        Box::new(Expr::lit(1i64))
+                    )
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

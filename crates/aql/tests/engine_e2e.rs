@@ -1,0 +1,278 @@
+//! Full-stack AQL test: the paper's listings executed as statements against
+//! a live simulated cluster, driving real feed pipelines and queries.
+
+use asterix_aql::engine::{AsterixEngine, ExecOutcome};
+use asterix_common::{SimClock, SimDuration};
+use asterix_feeds::controller::ControllerConfig;
+use asterix_feeds::udf::Udf;
+use asterix_hyracks::cluster::{Cluster, ClusterConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tweetgen::{PatternDescriptor, TweetGen, TweetGenConfig};
+
+fn engine(nodes: usize) -> (Arc<AsterixEngine>, Cluster, SimClock) {
+    let clock = SimClock::with_scale(10.0);
+    let cluster = Cluster::start(
+        nodes,
+        clock.clone(),
+        ClusterConfig {
+            heartbeat_interval: SimDuration::from_secs(5),
+            failure_threshold: SimDuration::from_secs(1_000_000),
+        },
+    );
+    let engine = AsterixEngine::start(cluster.clone(), ControllerConfig::default());
+    (engine, cluster, clock)
+}
+
+const DDL: &str = r#"
+use dataverse feeds;
+
+create type TwitterUser as open {
+    screen_name: string,
+    lang: string,
+    friends_count: int32,
+    statuses_count: int32,
+    name: string,
+    followers_count: int32
+};
+
+create type Tweet as open {
+    id: string,
+    user: TwitterUser,
+    latitude: double?,
+    longitude: double?,
+    created_at: string,
+    message_text: string,
+    country: string?
+};
+
+create dataset Tweets(Tweet) primary key id;
+create dataset ProcessedTweets(Tweet) primary key id;
+"#;
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn paper_scenario_in_aql_end_to_end() {
+    let (engine, cluster, clock) = engine(3);
+    engine.execute(DDL).unwrap();
+
+    // Listing 4.2's UDF, as AQL text
+    engine
+        .execute(
+            r##"create function addHashTags($x) {
+                let $topics := (for $token in word-tokens($x.message_text)
+                                where starts-with($token, "#")
+                                return $token)
+                return {
+                    "id": $x.id,
+                    "user": $x.user,
+                    "latitude": $x.latitude,
+                    "longitude": $x.longitude,
+                    "created_at": $x.created_at,
+                    "message_text": $x.message_text,
+                    "country": $x.country,
+                    "topics": $topics
+                };
+            };"##,
+        )
+        .unwrap();
+
+    let gen = TweetGen::bind(
+        TweetGenConfig::new("aql-e2e:9000", 0, PatternDescriptor::constant(300, 4)),
+        clock.clone(),
+    )
+    .unwrap();
+
+    engine
+        .execute(
+            r#"
+            create feed TwitterFeed using TweetGenAdaptor ("datasource"="aql-e2e:9000");
+            create secondary feed ProcessedTwitterFeed from feed TwitterFeed
+                apply function addHashTags;
+            connect feed ProcessedTwitterFeed to dataset ProcessedTweets using policy Basic;
+            connect feed TwitterFeed to dataset Tweets using policy Basic;
+            "#,
+        )
+        .unwrap();
+
+    // wait for the pattern to finish and the pipelines to drain
+    let mut last = gen.generated();
+    loop {
+        std::thread::sleep(Duration::from_millis(150));
+        let now = gen.generated();
+        if now == last && now > 0 {
+            break;
+        }
+        last = now;
+    }
+    let generated = gen.generated() as usize;
+    let raw = engine.catalog().dataset("Tweets").unwrap();
+    let processed = engine.catalog().dataset("ProcessedTweets").unwrap();
+    assert!(
+        wait_until(Duration::from_secs(20), || raw.len() >= generated
+            && processed.len() >= generated),
+        "generated={generated} raw={} processed={}",
+        raw.len(),
+        processed.len()
+    );
+
+    // the processed path has hashtag topics
+    let sample = processed.scan_all().pop().unwrap();
+    assert!(sample.field("topics").is_some());
+
+    // a query over the ingested data: count tweets per country
+    let rows = match engine
+        .execute(
+            r#"for $t in dataset Tweets
+               group by $c := $t.country with $t
+               return { "country": $c, "count": count($t) };"#,
+        )
+        .unwrap()
+        .pop()
+        .unwrap()
+    {
+        ExecOutcome::Rows(rows) => rows,
+        other => panic!("{other:?}"),
+    };
+    assert!(!rows.is_empty());
+    let total: i64 = rows
+        .iter()
+        .map(|r| r.field("count").unwrap().as_int().unwrap())
+        .sum();
+    assert_eq!(total as usize, raw.len());
+
+    // disconnect via AQL
+    engine
+        .execute("disconnect feed TwitterFeed from dataset Tweets;")
+        .unwrap();
+    engine
+        .execute("disconnect feed ProcessedTwitterFeed from dataset ProcessedTweets;")
+        .unwrap();
+    gen.stop();
+    engine.controller().shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn insert_statement_runs_as_a_job() {
+    let (engine, cluster, _clock) = engine(2);
+    engine.execute(DDL).unwrap();
+    let outcome = engine
+        .execute(
+            r#"insert into dataset Tweets (
+                for $i in [{ "id": "a", "user": { "screen_name": "s", "lang": "en",
+                             "friends_count": 1, "statuses_count": 1, "name": "n",
+                             "followers_count": 1 },
+                             "created_at": "2015", "message_text": "hi" },
+                           { "id": "b", "user": { "screen_name": "s", "lang": "en",
+                             "friends_count": 1, "statuses_count": 1, "name": "n",
+                             "followers_count": 1 },
+                             "created_at": "2015", "message_text": "yo" }]
+                return $i
+            );"#,
+        )
+        .unwrap();
+    assert!(matches!(outcome[0], ExecOutcome::Inserted(2)));
+    let ds = engine.catalog().dataset("Tweets").unwrap();
+    assert_eq!(ds.len(), 2);
+    // type validation: a record missing required fields fails the job
+    let bad = engine.execute(
+        r#"insert into dataset Tweets (for $i in [{ "id": "c" }] return $i);"#,
+    );
+    assert!(bad.is_err());
+    engine.controller().shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn rtree_index_and_spatial_query() {
+    let (engine, cluster, _clock) = engine(2);
+    engine
+        .execute(
+            r#"
+            create type Place as open { id: string, location: point };
+            create dataset Places(Place) primary key id;
+            create index locIdx on Places(location) type rtree;
+            "#,
+        )
+        .unwrap();
+    let ds = engine.catalog().dataset("Places").unwrap();
+    for i in 0..50 {
+        let rec = asterix_adm::AdmValue::record(vec![
+            ("id", format!("p{i}").into()),
+            (
+                "location",
+                asterix_adm::AdmValue::Point(i as f64, i as f64),
+            ),
+        ]);
+        ds.upsert(&rec).unwrap();
+    }
+    let hits = ds.query_rect("locIdx", 10.0, 10.0, 19.0, 19.0).unwrap();
+    assert_eq!(hits.len(), 10);
+    engine.controller().shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn rewrite_connect_shows_the_paper_templates() {
+    let (engine, cluster, _clock) = engine(1);
+    engine.execute(DDL).unwrap();
+    engine
+        .execute(
+            r##"create function f1($x) { let $y := $x return $y; };"##,
+        )
+        .unwrap();
+    engine
+        .install_external_function(Udf::sentiment_analysis())
+        .unwrap();
+    engine
+        .execute(
+            r#"
+            create feed TwitterFeed using TweetGenAdaptor ("datasource"="nowhere:1");
+            create secondary feed P from feed TwitterFeed apply function f1;
+            create secondary feed S from feed P apply function "tweetlib#sentimentAnalysis";
+            "#,
+        )
+        .unwrap();
+    // primary without UDF: Listing 5.3 shape
+    let stmt = engine.rewrite_connect("TwitterFeed", "Tweets").unwrap();
+    let text = format!("{stmt:?}");
+    assert!(text.contains("FeedIntake(\"TwitterFeed\")"));
+    // chain: AQL function inlined, external left opaque (Listing 5.10)
+    let stmt = engine.rewrite_connect("S", "ProcessedTweets").unwrap();
+    let text = format!("{stmt:?}");
+    assert!(
+        text.contains("Call(\"tweetlib#sentimentAnalysis\""),
+        "{text}"
+    );
+    assert!(!text.contains("Call(\"f1\""), "AQL UDF should be inlined: {text}");
+    engine.controller().shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn custom_policy_via_aql_listing_4_6() {
+    let (engine, cluster, _clock) = engine(1);
+    engine
+        .execute(
+            r#"create ingestion policy Spill_then_Throttle from policy Spill
+               (("max.spill.size.on.disk"="512MB", "excess.records.throttle"="true"));"#,
+        )
+        .unwrap();
+    let p = engine.catalog().policy("Spill_then_Throttle").unwrap();
+    assert!(p.excess_records_spill);
+    assert!(p.excess_records_throttle);
+    assert_eq!(p.max_spill_bytes, Some(512 << 20));
+    engine.controller().shutdown();
+    cluster.shutdown();
+}

@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks over the substrate hot paths: ADM
+//! parse/print, value hashing, LSM and R-tree operations, feed-joint
+//! routing, the WAL, and the UDF sandbox.
+
+use asterix_adm::{hash::hash_value, parse_value, to_adm_string, AdmValue};
+use asterix_common::{DataFrame, Record, RecordId};
+use asterix_feeds::joint::FeedJoint;
+use asterix_feeds::udf::Udf;
+use asterix_storage::lsm::{LsmConfig, LsmTree};
+use asterix_storage::partition::{DatasetPartition, PartitionConfig};
+use asterix_storage::rtree::{RTree, Rect};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn sample_tweet_json() -> String {
+    let mut f = tweetgen::TweetFactory::new(0, 42);
+    f.next_json()
+}
+
+fn bench_adm(c: &mut Criterion) {
+    let json = sample_tweet_json();
+    let value = parse_value(&json).unwrap();
+    let text = to_adm_string(&value);
+    c.bench_function("adm/parse_tweet", |b| {
+        b.iter(|| parse_value(black_box(&text)).unwrap())
+    });
+    c.bench_function("adm/print_tweet", |b| {
+        b.iter(|| to_adm_string(black_box(&value)))
+    });
+    c.bench_function("adm/hash_tweet", |b| b.iter(|| hash_value(black_box(&value))));
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    c.bench_function("lsm/put_1k", |b| {
+        b.iter(|| {
+            let mut t = LsmTree::new(LsmConfig::default());
+            for i in 0..1000 {
+                t.put(AdmValue::Int(i), AdmValue::Int(i));
+            }
+            black_box(t.live_count())
+        })
+    });
+    let mut t = LsmTree::new(LsmConfig::default());
+    for i in 0..10_000 {
+        t.put(AdmValue::Int(i), AdmValue::Int(i));
+    }
+    c.bench_function("lsm/get_hit", |b| {
+        b.iter(|| black_box(t.get(&AdmValue::Int(5000))))
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let json = sample_tweet_json();
+    let tweet = parse_value(&json).unwrap();
+    c.bench_function("partition/upsert_tweet", |b| {
+        let p = DatasetPartition::new(PartitionConfig::keyed_on("id"));
+        b.iter(|| p.upsert(black_box(&tweet)).unwrap())
+    });
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut tree = RTree::new();
+    for i in 0..10_000usize {
+        tree.insert((i % 100) as f64, (i / 100) as f64, i);
+    }
+    c.bench_function("rtree/query_100_of_10k", |b| {
+        b.iter(|| black_box(tree.query(&Rect::new(20.0, 20.0, 29.0, 29.0)).len()))
+    });
+    c.bench_function("rtree/insert", |b| {
+        b.iter(|| {
+            let mut t: RTree<usize> = RTree::new();
+            for i in 0..500usize {
+                t.insert((i % 25) as f64, (i / 25) as f64, i);
+            }
+            black_box(t.len())
+        })
+    });
+}
+
+fn frame(n: usize) -> DataFrame {
+    DataFrame::from_records(
+        (0..n)
+            .map(|i| Record::tracked(RecordId(i as u64), 0, "payload-bytes-here"))
+            .collect(),
+    )
+}
+
+fn bench_joint(c: &mut Criterion) {
+    c.bench_function("joint/deposit_short_circuit", |b| {
+        let joint = FeedJoint::new("bench");
+        let _sub = joint.subscribe("only");
+        let f = frame(64);
+        b.iter(|| joint.deposit(black_box(f.clone())).unwrap())
+    });
+    c.bench_function("joint/deposit_shared_3_subscribers", |b| {
+        let joint = FeedJoint::new("bench3");
+        let _s1 = joint.subscribe("a");
+        let _s2 = joint.subscribe("b");
+        let _s3 = joint.subscribe("c");
+        let f = frame(64);
+        b.iter(|| joint.deposit(black_box(f.clone())).unwrap())
+    });
+}
+
+fn bench_udf(c: &mut Criterion) {
+    let json = sample_tweet_json();
+    let tweet = parse_value(&json).unwrap();
+    let add_tags = Udf::add_hash_tags();
+    c.bench_function("udf/add_hash_tags", |b| {
+        b.iter(|| add_tags.apply(black_box(&tweet)).unwrap())
+    });
+    let spin = Udf::busy_spin("bench", 10_000);
+    c.bench_function("udf/busy_spin_10k", |b| {
+        b.iter(|| spin.apply(black_box(&tweet)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_adm,
+    bench_lsm,
+    bench_partition,
+    bench_rtree,
+    bench_joint,
+    bench_udf
+);
+criterion_main!(benches);

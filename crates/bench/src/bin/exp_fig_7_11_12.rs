@@ -1,0 +1,187 @@
+//! Figures 7.11/7.12 — the glued Storm+MongoDB baseline: instantaneous
+//! throughput under durable and non-durable writes, against AsterixDB's
+//! native feed on the same workload.
+//!
+//! The glue topology is spout → parse/UDF bolt → store bolt, with Storm's
+//! at-least-once ack machinery and one client insert per tuple. Durable
+//! writes wait out Mongo's journal group commit, collapsing throughput
+//! (Fig 7.11); non-durable writes go fast but guarantee nothing
+//! (Fig 7.12). AsterixDB persists durably (WAL per record) at native
+//! pipeline speed.
+
+use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};
+use asterix_bench::report::print_table;
+use asterix_bench::{write_json, ExperimentReport};
+use asterix_common::{SimClock, SimDuration};
+use asterix_feeds::controller::ControllerConfig;
+use serde::Serialize;
+use std::time::Duration;
+use stormsim::glue::{run_storm_mongo, StormMongoConfig};
+use stormsim::mongo::MongoConfig;
+use stormsim::topology::TopologyConfig;
+use stormsim::WriteConcern;
+use tweetgen::{PatternDescriptor, TweetGen, TweetGenConfig};
+
+const RATE: u32 = 300;
+const WINDOW: u64 = 60;
+const SCALE: f64 = 100.0;
+
+#[derive(Debug, Serialize)]
+struct SystemRun {
+    system: String,
+    generated: u64,
+    persisted: usize,
+    mean_rate: f64,
+    peak_rate: f64,
+    spout_stalls: u64,
+    replayed: u64,
+    t_secs: Vec<f64>,
+    rate: Vec<f64>,
+}
+
+fn run_glued(concern: WriteConcern, addr: &str) -> SystemRun {
+    let clock = SimClock::with_scale(SCALE);
+    let gen = TweetGen::bind(
+        TweetGenConfig::new(addr, 0, PatternDescriptor::constant(RATE, WINDOW)),
+        clock.clone(),
+    )
+    .expect("bind");
+    let source = tweetgen::connect(addr).expect("connect");
+    let report = run_storm_mongo(
+        StormMongoConfig {
+            concern,
+            transform_parallelism: 2,
+            store_parallelism: 2,
+            topology: TopologyConfig {
+                max_spout_pending: 512,
+                ..TopologyConfig::default()
+            },
+            mongo: MongoConfig {
+                // journal group commit every 100 sim-ms (MongoDB default)
+                commit_interval: SimDuration::from_millis(100),
+                per_op_spin: 2_000,
+                ..MongoConfig::default()
+            },
+            udf_spin: 1_000,
+            meter_bucket: SimDuration::from_secs(2),
+        },
+        clock,
+        source,
+    )
+    .expect("glued run");
+    let generated = gen.generated();
+    gen.stop();
+    SystemRun {
+        system: match concern {
+            WriteConcern::Durable => "Storm+MongoDB (durable)".into(),
+            WriteConcern::NonDurable => "Storm+MongoDB (non-durable)".into(),
+        },
+        generated,
+        persisted: report.persisted,
+        mean_rate: report.throughput.mean_rate(),
+        peak_rate: report.throughput.peak_rate(),
+        spout_stalls: report.spout_stalls,
+        replayed: report.replayed,
+        t_secs: report.throughput.points.iter().map(|p| p.t_secs).collect(),
+        rate: report.throughput.points.iter().map(|p| p.rate).collect(),
+    }
+}
+
+fn run_asterix(addr: &str) -> SystemRun {
+    let rig = ExperimentRig::start(RigOptions {
+        nodes: 2,
+        time_scale: SCALE,
+        controller: ControllerConfig::default(),
+        ..RigOptions::default()
+    });
+    let gen = rig.tweetgen(addr, 0, PatternDescriptor::constant(RATE, WINDOW));
+    let dataset = rig.dataset("Tweets", "Tweet");
+    rig.primary_feed("TwitterFeed", addr, None);
+    let conn = rig
+        .controller
+        .connect_feed("TwitterFeed", "Tweets", "Basic")
+        .unwrap();
+    let generated = wait_pattern_done(&gen);
+    wait_stable(|| dataset.len(), Duration::from_millis(400));
+    let m = rig.controller.connection_metrics(conn).unwrap();
+    let series = m.throughput();
+    let out = SystemRun {
+        system: "AsterixDB feed (durable WAL)".into(),
+        generated,
+        persisted: dataset.len(),
+        mean_rate: series.mean_rate(),
+        peak_rate: series.peak_rate(),
+        spout_stalls: 0,
+        replayed: 0,
+        t_secs: series.points.iter().map(|p| p.t_secs).collect(),
+        rate: series.points.iter().map(|p| p.rate).collect(),
+    };
+    gen.stop();
+    rig.stop();
+    out
+}
+
+fn main() {
+    println!("Figures 7.11/7.12 reproduction: Storm+MongoDB vs AsterixDB");
+    println!("({RATE} twps for {WINDOW} sim-s at scale {SCALE})");
+    println!("running Storm+MongoDB durable...");
+    let durable = run_glued(WriteConcern::Durable, "fig711-d:9000");
+    println!("running Storm+MongoDB non-durable...");
+    let nondurable = run_glued(WriteConcern::NonDurable, "fig711-n:9000");
+    println!("running AsterixDB native feed...");
+    let asterix = run_asterix("fig711-a:9000");
+
+    print_table(
+        "Figs 7.11/7.12: glued system vs native ingestion",
+        &[
+            "System",
+            "Generated",
+            "Persisted",
+            "Mean tw/s",
+            "Peak tw/s",
+            "Spout stalls",
+            "Replays",
+        ],
+        &[&durable, &nondurable, &asterix]
+            .iter()
+            .map(|r| {
+                vec![
+                    r.system.clone(),
+                    r.generated.to_string(),
+                    r.persisted.to_string(),
+                    format!("{:.0}", r.mean_rate),
+                    format!("{:.0}", r.peak_rate),
+                    r.spout_stalls.to_string(),
+                    r.replayed.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!("\nCSV: t_secs,storm_durable,storm_nondurable,asterix");
+    let n = [&durable, &nondurable, &asterix]
+        .iter()
+        .map(|r| r.rate.len())
+        .max()
+        .unwrap_or(0);
+    for i in 0..n {
+        println!(
+            "{:.0},{:.0},{:.0},{:.0}",
+            i as f64 * 2.0,
+            durable.rate.get(i).copied().unwrap_or(0.0),
+            nondurable.rate.get(i).copied().unwrap_or(0.0),
+            asterix.rate.get(i).copied().unwrap_or(0.0),
+        );
+    }
+    println!(
+        "\nexpected shape (paper): durable writes collapse the glued system's \
+         throughput (Fig 7.11) and stall the spout on max.spout.pending; \
+         non-durable writes run near the arrival rate but guarantee nothing \
+         (Fig 7.12); AsterixDB ingests durably at the arrival rate"
+    );
+    write_json(&ExperimentReport {
+        experiment: "fig_7_11_12".into(),
+        paper_artifact: "Figures 7.11/7.12 — Storm+MongoDB comparison".into(),
+        data: vec![durable, nondurable, asterix],
+    });
+}

@@ -1,0 +1,88 @@
+//! Figures 7.2/7.8 — the rate of arrival of data: TweetGen driven by the
+//! square-wave pattern descriptor (Listing 5.13's shape, scaled down),
+//! measured at the receiver.
+//!
+//! This is the workload every Chapter 7 policy experiment runs against:
+//! alternating low/high phases where the high phase exceeds the pipeline's
+//! capacity.
+
+use asterix_bench::{write_json, ExperimentReport};
+use asterix_common::{RateMeter, SimClock, SimDuration};
+use serde::Serialize;
+use tweetgen::{Interval, PatternDescriptor, TweetGen, TweetGenConfig};
+
+#[derive(Debug, Serialize)]
+struct Point {
+    t_secs: f64,
+    rate: f64,
+}
+
+/// The Chapter 7 square wave: 300/600 twps alternating every 30 sim-s,
+/// two cycles (the paper's Listing 5.13 uses 400 s intervals; same shape).
+pub fn chapter7_pattern() -> PatternDescriptor {
+    PatternDescriptor {
+        intervals: vec![
+            Interval {
+                rate_twps: 300,
+                duration: SimDuration::from_secs(30),
+            },
+            Interval {
+                rate_twps: 600,
+                duration: SimDuration::from_secs(30),
+            },
+        ],
+        repeat: 2,
+    }
+}
+
+fn main() {
+    println!("Figure 7.2 reproduction: rate of arrival of data (square wave)");
+    let clock = SimClock::with_scale(10.0);
+    let pattern = chapter7_pattern();
+    println!(
+        "(pattern: {} cycles of {:?} twps; total {} tweets over {} sim-s)",
+        pattern.repeat,
+        pattern
+            .intervals
+            .iter()
+            .map(|i| i.rate_twps)
+            .collect::<Vec<_>>(),
+        pattern.total_tweets(),
+        pattern.total_duration().as_secs_f64(),
+    );
+    let gen = TweetGen::bind(
+        TweetGenConfig::new("fig72:9000", 0, pattern.clone()),
+        clock.clone(),
+    )
+    .expect("bind");
+    let meter = RateMeter::new(clock.now(), SimDuration::from_secs(2));
+    let rx = tweetgen::connect("fig72:9000").expect("connect");
+    for _tweet in rx.iter() {
+        meter.record_at(clock.now(), 1);
+    }
+    let series = meter.series();
+    println!("\nCSV: t_secs,arrival_rate");
+    for p in &series.points {
+        println!("{:.0},{:.0}", p.t_secs, p.rate);
+    }
+    println!(
+        "\ntotal received: {} of {} generated (wire drops: {})",
+        series.total(),
+        gen.generated(),
+        gen.wire_drops()
+    );
+    println!("expected shape (paper Fig 7.2): square wave alternating 300/600 twps");
+    write_json(&ExperimentReport {
+        experiment: "fig_7_2".into(),
+        paper_artifact: "Figures 7.2/7.8 — rate of arrival of data".into(),
+        data: series
+            .points
+            .iter()
+            .map(|p| Point {
+                t_secs: p.t_secs,
+                rate: p.rate,
+            })
+            .collect::<Vec<_>>(),
+    });
+    gen.stop();
+}

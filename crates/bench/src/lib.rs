@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! The experiment harness.
+//!
+//! One binary per table/figure of the paper's evaluation regenerates the
+//! corresponding rows or series (see DESIGN.md's experiment index):
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `exp_table_5_1` | Table 5.1 — batch inserts vs data ingestion |
+//! | `exp_fig_5_13` | Fig 5.13 (+ Table 5.2) — cascade vs independent network |
+//! | `exp_fig_5_16` | Figs 5.14/5.16 — scalability with cluster size |
+//! | `exp_fig_6_5` | Fig 6.5 — throughput under interim hardware failures |
+//! | `exp_fig_7_2` | Figs 7.2/7.8 — square-wave arrival pattern |
+//! | `exp_fig_7_policies` | Figs 7.3–7.7 — ingestion policies under overload |
+//! | `exp_fig_7_9_10` | Figs 7.9/7.10 — Discard vs Throttle persisted-id pattern |
+//! | `exp_fig_7_11_12` | Figs 7.11/7.12 — Storm+MongoDB durable / non-durable |
+//!
+//! Each binary prints a human-readable table plus CSV series, and writes a
+//! JSON record under `results/`. Absolute numbers are simulator-scale; the
+//! *shapes* are what reproduce the paper (see EXPERIMENTS.md).
+
+pub mod report;
+pub mod rig;
+
+pub use report::{write_json, ExperimentReport};
+pub use rig::{ExperimentRig, RigOptions};

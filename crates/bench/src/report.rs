@@ -1,0 +1,69 @@
+//! Experiment output: pretty tables to stdout, JSON records to `results/`.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// A finished experiment's machine-readable record.
+#[derive(Debug, Serialize)]
+pub struct ExperimentReport<T: Serialize> {
+    /// Experiment id (e.g. "table_5_1").
+    pub experiment: String,
+    /// Which paper artefact it regenerates.
+    pub paper_artifact: String,
+    /// The measured data.
+    pub data: T,
+}
+
+/// Write the report as JSON under `results/<experiment>.json`; returns the
+/// path. Failures are printed, not fatal (the stdout table is the primary
+/// output).
+pub fn write_json<T: Serialize>(report: &ExperimentReport<T>) -> Option<PathBuf> {
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return None;
+    }
+    let path = dir.join(format!("{}.json", report.experiment));
+    match serde_json::to_string_pretty(report) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: cannot serialize report: {e}");
+            None
+        }
+    }
+}
+
+/// Render a simple aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}

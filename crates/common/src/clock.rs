@@ -1,0 +1,199 @@
+//! Scaled simulation clock.
+//!
+//! The paper's experiments run for 400 wall-clock seconds (Fig 5.13), 20
+//! minutes (Fig 5.16), or 200+ seconds with failures injected at t=70 s and
+//! t=140 s (Fig 6.5). Re-running those at 1:1 speed would make the benchmark
+//! suite take hours, so the whole runtime is written against *sim-time*:
+//! pattern descriptors, policy timers, ack windows and failure injection
+//! points are all expressed in sim-seconds, and the clock maps one sim-second
+//! onto a configurable number of real milliseconds (the *time scale*).
+//!
+//! With the default scale of 25 ms/sim-s, a 400-sim-second experiment takes
+//! 10 real seconds, and the *shape* of every timeline figure is preserved
+//! because every component of the system is slowed or sped up by the same
+//! factor.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A point in simulation time, in sim-milliseconds since clock start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant(pub u64);
+
+impl SimInstant {
+    /// Sim-milliseconds since the clock started.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Sim-seconds since the clock started (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Duration elapsed since `earlier`; zero if `earlier` is later.
+    pub fn since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// This instant advanced by `d`.
+    pub fn plus(self, d: SimDuration) -> SimInstant {
+        SimInstant(self.0 + d.0)
+    }
+}
+
+/// A span of simulation time, in sim-milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// From whole sim-seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// From sim-milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Sim-milliseconds in this duration.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Sim-seconds (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    /// Real nanoseconds per sim-millisecond.
+    real_nanos_per_sim_milli: f64,
+}
+
+/// Shared, cloneable clock handle.
+///
+/// All components of a simulated cluster share one `SimClock`, so their
+/// notion of "now" is consistent and uniformly scaled.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    inner: Arc<Inner>,
+}
+
+impl SimClock {
+    /// A clock where one sim-second lasts `real_millis_per_sim_sec` real
+    /// milliseconds. A scale of 1000.0 is real time.
+    pub fn with_scale(real_millis_per_sim_sec: f64) -> Self {
+        assert!(
+            real_millis_per_sim_sec > 0.0,
+            "time scale must be positive"
+        );
+        SimClock {
+            inner: Arc::new(Inner {
+                start: Instant::now(),
+                real_nanos_per_sim_milli: real_millis_per_sim_sec * 1_000_000.0 / 1000.0,
+            }),
+        }
+    }
+
+    /// Default experiment scale: 25 real ms per sim-second (40x speed-up).
+    pub fn fast() -> Self {
+        SimClock::with_scale(25.0)
+    }
+
+    /// Real-time clock (1 sim-second = 1 real second).
+    pub fn realtime() -> Self {
+        SimClock::with_scale(1000.0)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimInstant {
+        let real = self.inner.start.elapsed();
+        let sim_millis = real.as_nanos() as f64 / self.inner.real_nanos_per_sim_milli;
+        SimInstant(sim_millis as u64)
+    }
+
+    /// Sleep the calling thread for a span of sim-time.
+    pub fn sleep(&self, d: SimDuration) {
+        std::thread::sleep(self.to_real(d));
+    }
+
+    /// Convert a sim-duration to the real duration it occupies.
+    pub fn to_real(&self, d: SimDuration) -> Duration {
+        Duration::from_nanos((d.0 as f64 * self.inner.real_nanos_per_sim_milli) as u64)
+    }
+
+    /// Sleep until the given simulation instant (no-op if already past).
+    pub fn sleep_until(&self, t: SimInstant) {
+        let now = self.now();
+        if t > now {
+            self.sleep(t.since(now));
+        }
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::fast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_convert() {
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn instants_do_arithmetic() {
+        let a = SimInstant(1000);
+        let b = a.plus(SimDuration::from_secs(1));
+        assert_eq!(b, SimInstant(2000));
+        assert_eq!(b.since(a), SimDuration::from_secs(1));
+        // saturates rather than panicking
+        assert_eq!(a.since(b), SimDuration(0));
+    }
+
+    #[test]
+    fn clock_advances_with_scale() {
+        // 1 sim-second = 10 real ms; sleeping 100 sim-ms = 1 real ms.
+        let clock = SimClock::with_scale(10.0);
+        let t0 = clock.now();
+        clock.sleep(SimDuration::from_millis(500));
+        let t1 = clock.now();
+        let elapsed = t1.since(t0).as_millis();
+        // Scheduling jitter allowed, but we slept for >= 500 sim-ms.
+        assert!(elapsed >= 500, "elapsed {elapsed} < 500 sim-ms");
+        assert!(elapsed < 5000, "elapsed {elapsed} unreasonably long");
+    }
+
+    #[test]
+    fn to_real_maps_scale() {
+        let clock = SimClock::with_scale(10.0); // 10 real ms per sim-s
+        let real = clock.to_real(SimDuration::from_secs(3));
+        assert_eq!(real, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn sleep_until_past_is_noop() {
+        let clock = SimClock::with_scale(10.0);
+        clock.sleep(SimDuration::from_millis(100));
+        let before = Instant::now();
+        clock.sleep_until(SimInstant(0));
+        assert!(before.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = SimClock::with_scale(0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Error taxonomy.
+//!
+//! Chapter 6 of the paper distinguishes two failure classes:
+//!
+//! * **Soft failures** — runtime exceptions raised while processing a single
+//!   record (format error, unexpected null, a bug in a user-provided UDF).
+//!   The MetaFeed sandbox catches these, logs them, and skips the offending
+//!   record.
+//! * **Hard failures** — loss of a physical node (disk / network / power).
+//!   These trigger the fault-tolerance protocol.
+//!
+//! `IngestError` is the common currency for everything that can go wrong in
+//! the pipeline; `SoftError` is the record-scoped subset that the sandbox is
+//! allowed to swallow.
+
+use crate::ids::{FeedId, NodeId, RecordId};
+use std::fmt;
+
+/// A record-scoped, recoverable failure (a "soft failure", §6.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftError {
+    /// Human-readable description of the exception.
+    pub message: String,
+    /// The record that triggered it, if identifiable.
+    pub record: Option<RecordId>,
+}
+
+impl SoftError {
+    /// Build a soft error with no record attribution.
+    pub fn new(message: impl Into<String>) -> Self {
+        SoftError {
+            message: message.into(),
+            record: None,
+        }
+    }
+
+    /// Build a soft error attributed to a specific record.
+    pub fn for_record(record: RecordId, message: impl Into<String>) -> Self {
+        SoftError {
+            message: message.into(),
+            record: Some(record),
+        }
+    }
+}
+
+impl fmt::Display for SoftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.record {
+            Some(r) => write!(f, "soft failure on {r}: {}", self.message),
+            None => write!(f, "soft failure: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SoftError {}
+
+/// Any error raised inside the ingestion machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// Record-level runtime exception; candidate for sandbox recovery.
+    Soft(SoftError),
+    /// A node was lost (hard failure, §6.2).
+    NodeFailed(NodeId),
+    /// A feed ended early (policy forbade recovery, or the consecutive
+    /// soft-failure limit was reached, §6.1.2).
+    FeedTerminated {
+        /// The terminated feed.
+        feed: FeedId,
+        /// Why it ended.
+        reason: String,
+    },
+    /// Data could not be parsed into ADM.
+    Parse(String),
+    /// A type error in the data model (value does not conform to datatype).
+    Type(String),
+    /// Storage layer failure (WAL, component IO).
+    Storage(String),
+    /// Malformed or unknown statement in the language layer.
+    Language(String),
+    /// Catalog lookup failed (unknown dataset / feed / function / policy).
+    Metadata(String),
+    /// Plan construction or scheduling failed.
+    Plan(String),
+    /// A channel/queue peer went away unexpectedly.
+    Disconnected(String),
+    /// Invalid configuration parameter.
+    Config(String),
+}
+
+impl IngestError {
+    /// True if this error can be handled by skipping a record.
+    pub fn is_soft(&self) -> bool {
+        matches!(self, IngestError::Soft(_))
+    }
+
+    /// Shorthand constructor for a soft failure with a message only.
+    pub fn soft(message: impl Into<String>) -> Self {
+        IngestError::Soft(SoftError::new(message))
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Soft(e) => write!(f, "{e}"),
+            IngestError::NodeFailed(n) => write!(f, "hard failure: node {n} lost"),
+            IngestError::FeedTerminated { feed, reason } => {
+                write!(f, "feed {feed} terminated: {reason}")
+            }
+            IngestError::Parse(m) => write!(f, "parse error: {m}"),
+            IngestError::Type(m) => write!(f, "type error: {m}"),
+            IngestError::Storage(m) => write!(f, "storage error: {m}"),
+            IngestError::Language(m) => write!(f, "language error: {m}"),
+            IngestError::Metadata(m) => write!(f, "metadata error: {m}"),
+            IngestError::Plan(m) => write!(f, "plan error: {m}"),
+            IngestError::Disconnected(m) => write!(f, "disconnected: {m}"),
+            IngestError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<SoftError> for IngestError {
+    fn from(e: SoftError) -> Self {
+        IngestError::Soft(e)
+    }
+}
+
+/// Convenience result alias.
+pub type IngestResult<T> = Result<T, IngestError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_errors_are_soft() {
+        let e = IngestError::soft("bad attribute");
+        assert!(e.is_soft());
+        assert!(!IngestError::NodeFailed(NodeId(1)).is_soft());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = IngestError::Soft(SoftError::for_record(RecordId(5), "null field"));
+        assert_eq!(e.to_string(), "soft failure on REC5: null field");
+        let e = IngestError::NodeFailed(NodeId(2));
+        assert_eq!(e.to_string(), "hard failure: node NC2 lost");
+        let e = IngestError::FeedTerminated {
+            feed: FeedId(1),
+            reason: "limit".into(),
+        };
+        assert_eq!(e.to_string(), "feed FEED1 terminated: limit");
+    }
+
+    #[test]
+    fn soft_error_converts() {
+        let s = SoftError::new("x");
+        let e: IngestError = s.clone().into();
+        assert_eq!(e, IngestError::Soft(s));
+    }
+}

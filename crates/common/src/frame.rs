@@ -1,0 +1,249 @@
+//! Data frames.
+//!
+//! In Hyracks, data flows between operators "in the form of data frames
+//! containing physical records" (§3.2.2). A frame is the unit of transfer,
+//! back-pressure, soft-failure slicing (§6.1.1) and feed-joint routing
+//! (§5.4). Records are carried in serialized form (ADM text bytes); operators
+//! that need structured access deserialize, transform, and re-serialize —
+//! exactly as AsterixDB's operators do with its binary ADM format.
+
+use crate::ids::RecordId;
+use bytes::Bytes;
+
+/// Default number of records per frame.
+pub const DEFAULT_FRAME_CAPACITY: usize = 64;
+
+/// A single physical record travelling through a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Tracking id assigned at the intake stage (§5.6). `RecordId(u64::MAX)`
+    /// denotes "not yet assigned".
+    pub id: RecordId,
+    /// Index of the feed-adaptor instance that sourced this record; used to
+    /// group ack messages per adaptor instance.
+    pub adaptor: u32,
+    /// Serialized payload (ADM text bytes).
+    pub payload: Bytes,
+}
+
+impl Record {
+    /// Sentinel id for records that have not passed through intake yet.
+    pub const UNTRACKED: RecordId = RecordId(u64::MAX);
+
+    /// A record fresh out of an adaptor, before intake assigns a tracking id.
+    pub fn untracked(adaptor: u32, payload: impl Into<Bytes>) -> Self {
+        Record {
+            id: Self::UNTRACKED,
+            adaptor,
+            payload: payload.into(),
+        }
+    }
+
+    /// A record with a known tracking id.
+    pub fn tracked(id: RecordId, adaptor: u32, payload: impl Into<Bytes>) -> Self {
+        Record {
+            id,
+            adaptor,
+            payload: payload.into(),
+        }
+    }
+
+    /// Whether intake has assigned a tracking id.
+    pub fn is_tracked(&self) -> bool {
+        self.id != Self::UNTRACKED
+    }
+
+    /// Payload as UTF-8, if valid.
+    pub fn payload_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.payload).ok()
+    }
+}
+
+/// A fixed-capacity batch of records.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataFrame {
+    records: Vec<Record>,
+}
+
+impl DataFrame {
+    /// Empty frame.
+    pub fn new() -> Self {
+        DataFrame {
+            records: Vec::new(),
+        }
+    }
+
+    /// Frame holding the given records.
+    pub fn from_records(records: Vec<Record>) -> Self {
+        DataFrame { records }
+    }
+
+    /// Records in the frame.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consume the frame, yielding its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the frame carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, r: Record) {
+        self.records.push(r);
+    }
+
+    /// Slice out a *remnant* frame: the records strictly after `index`.
+    ///
+    /// This is the §6.1.1 soft-failure recovery primitive: when record
+    /// `index` raises an exception, the MetaFeed sandbox forms the subset
+    /// frame that "excludes the processed records and the exception
+    /// generating record" and re-feeds it to the core operator.
+    pub fn remnant_after(&self, index: usize) -> DataFrame {
+        if index + 1 >= self.records.len() {
+            DataFrame::new()
+        } else {
+            DataFrame {
+                records: self.records[index + 1..].to_vec(),
+            }
+        }
+    }
+
+    /// Approximate in-memory size in bytes (for spill accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.payload.len() + std::mem::size_of::<Record>())
+            .sum()
+    }
+}
+
+/// Accumulates records and emits full frames.
+#[derive(Debug)]
+pub struct FrameBuilder {
+    capacity: usize,
+    current: Vec<Record>,
+}
+
+impl FrameBuilder {
+    /// Builder emitting frames of `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "frame capacity must be positive");
+        FrameBuilder {
+            capacity,
+            current: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Push a record; returns a full frame when the capacity is reached.
+    pub fn push(&mut self, r: Record) -> Option<DataFrame> {
+        self.current.push(r);
+        if self.current.len() >= self.capacity {
+            Some(self.flush_inner())
+        } else {
+            None
+        }
+    }
+
+    /// Emit whatever has accumulated (possibly empty -> None).
+    pub fn flush(&mut self) -> Option<DataFrame> {
+        if self.current.is_empty() {
+            None
+        } else {
+            Some(self.flush_inner())
+        }
+    }
+
+    fn flush_inner(&mut self) -> DataFrame {
+        let records = std::mem::replace(&mut self.current, Vec::with_capacity(self.capacity));
+        DataFrame { records }
+    }
+
+    /// Records currently buffered, not yet emitted.
+    pub fn pending(&self) -> usize {
+        self.current.len()
+    }
+}
+
+impl Default for FrameBuilder {
+    fn default() -> Self {
+        FrameBuilder::new(DEFAULT_FRAME_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> Record {
+        Record::tracked(RecordId(i), 0, format!("r{i}"))
+    }
+
+    #[test]
+    fn untracked_records() {
+        let r = Record::untracked(1, "hello");
+        assert!(!r.is_tracked());
+        assert_eq!(r.payload_str(), Some("hello"));
+        let t = Record::tracked(RecordId(5), 1, "x");
+        assert!(t.is_tracked());
+    }
+
+    #[test]
+    fn remnant_excludes_processed_and_failing() {
+        let f = DataFrame::from_records((0..5).map(rec).collect());
+        // record index 2 failed: remnant is records 3, 4
+        let rem = f.remnant_after(2);
+        assert_eq!(rem.len(), 2);
+        assert_eq!(rem.records()[0].id, RecordId(3));
+        assert_eq!(rem.records()[1].id, RecordId(4));
+    }
+
+    #[test]
+    fn remnant_at_end_is_empty() {
+        let f = DataFrame::from_records((0..3).map(rec).collect());
+        assert!(f.remnant_after(2).is_empty());
+        assert!(f.remnant_after(10).is_empty());
+    }
+
+    #[test]
+    fn builder_emits_at_capacity() {
+        let mut b = FrameBuilder::new(3);
+        assert!(b.push(rec(0)).is_none());
+        assert!(b.push(rec(1)).is_none());
+        let f = b.push(rec(2)).expect("frame at capacity");
+        assert_eq!(f.len(), 3);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn builder_flush_emits_partial() {
+        let mut b = FrameBuilder::new(10);
+        b.push(rec(0));
+        b.push(rec(1));
+        let f = b.flush().expect("partial frame");
+        assert_eq!(f.len(), 2);
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn size_bytes_counts_payloads() {
+        let f = DataFrame::from_records(vec![rec(0), rec(1)]);
+        assert!(f.size_bytes() >= 4); // at least the payload bytes
+    }
+
+    #[test]
+    #[should_panic(expected = "frame capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FrameBuilder::new(0);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Shared primitives for the AsterixDB data-feed reproduction.
+//!
+//! Every other crate in the workspace builds on the small set of concepts
+//! defined here:
+//!
+//! * [`ids`] — strongly-typed identifiers for nodes, jobs, operators, feeds
+//!   and records.
+//! * [`error`] — the common error type distinguishing *soft* failures
+//!   (record-level runtime exceptions, recoverable by the MetaFeed sandbox)
+//!   from *hard* failures (loss of a node).
+//! * [`clock`] — the scaled simulation clock. The paper's experiments run for
+//!   hundreds of wall-clock seconds; we express all durations in
+//!   *sim-seconds* and map them onto a configurable number of real
+//!   milliseconds so a full figure regenerates in seconds.
+//! * [`frame`] — fixed-capacity data frames, the unit in which records move
+//!   between operators (Hyracks §3.2.2).
+//! * [`meter`] — instantaneous-throughput meters used to produce the paper's
+//!   timeline figures.
+
+pub mod clock;
+pub mod error;
+pub mod frame;
+pub mod ids;
+pub mod meter;
+
+pub use clock::{SimClock, SimDuration, SimInstant};
+pub use error::{IngestError, IngestResult, SoftError};
+pub use frame::{DataFrame, FrameBuilder, Record, DEFAULT_FRAME_CAPACITY};
+pub use ids::{FeedId, JobId, NodeId, OperatorId, RecordId};
+pub use meter::{RateMeter, ThroughputSeries};

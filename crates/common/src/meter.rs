@@ -1,0 +1,180 @@
+//! Throughput metering.
+//!
+//! The paper's timeline figures (6.5, 7.3–7.12) plot *instantaneous ingestion
+//! throughput*: "the number of records inserted into each target dataset
+//! during consecutive two-second intervals" (§6.3). [`RateMeter`] counts
+//! events into fixed-width sim-time buckets; [`ThroughputSeries`] is the
+//! finished series a harness prints.
+
+use crate::clock::{SimDuration, SimInstant};
+use parking_lot::Mutex;
+
+/// One bucket of a throughput timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePoint {
+    /// Start of the bucket, sim-seconds.
+    pub t_secs: f64,
+    /// Events counted in the bucket.
+    pub count: u64,
+    /// Events per sim-second over the bucket.
+    pub rate: f64,
+}
+
+/// A finished throughput timeline.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputSeries {
+    /// Ordered buckets.
+    pub points: Vec<RatePoint>,
+}
+
+impl ThroughputSeries {
+    /// Total events across all buckets.
+    pub fn total(&self) -> u64 {
+        self.points.iter().map(|p| p.count).sum()
+    }
+
+    /// Mean rate over non-empty buckets (events / sim-second).
+    pub fn mean_rate(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.rate).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Peak bucket rate.
+    pub fn peak_rate(&self) -> f64 {
+        self.points.iter().map(|p| p.rate).fold(0.0, f64::max)
+    }
+
+    /// Render as `t,count,rate` CSV lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_secs,count,rate\n");
+        for p in &self.points {
+            out.push_str(&format!("{:.1},{},{:.1}\n", p.t_secs, p.count, p.rate));
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct MeterState {
+    buckets: Vec<u64>,
+}
+
+/// Thread-safe event counter bucketed by sim-time.
+///
+/// Cheap enough to call from every store-operator commit; contention is one
+/// short mutex hold per event.
+#[derive(Debug)]
+pub struct RateMeter {
+    origin: SimInstant,
+    bucket_width: SimDuration,
+    state: Mutex<MeterState>,
+}
+
+impl RateMeter {
+    /// Meter with buckets of `bucket_width`, starting at `origin`.
+    pub fn new(origin: SimInstant, bucket_width: SimDuration) -> Self {
+        assert!(bucket_width.as_millis() > 0, "bucket width must be positive");
+        RateMeter {
+            origin,
+            bucket_width,
+            state: Mutex::new(MeterState {
+                buckets: Vec::new(),
+            }),
+        }
+    }
+
+    /// Record `n` events occurring at sim-time `t`.
+    pub fn record_at(&self, t: SimInstant, n: u64) {
+        let idx = (t.since(self.origin).as_millis() / self.bucket_width.as_millis()) as usize;
+        let mut st = self.state.lock();
+        if st.buckets.len() <= idx {
+            st.buckets.resize(idx + 1, 0);
+        }
+        st.buckets[idx] += n;
+    }
+
+    /// Snapshot the series accumulated so far.
+    pub fn series(&self) -> ThroughputSeries {
+        let st = self.state.lock();
+        let width_secs = self.bucket_width.as_secs_f64();
+        let points = st
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| RatePoint {
+                t_secs: i as f64 * width_secs,
+                count,
+                rate: count as f64 / width_secs,
+            })
+            .collect();
+        ThroughputSeries { points }
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.state.lock().buckets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> RateMeter {
+        RateMeter::new(SimInstant(0), SimDuration::from_secs(2))
+    }
+
+    #[test]
+    fn events_land_in_buckets() {
+        let m = meter();
+        m.record_at(SimInstant(0), 1);
+        m.record_at(SimInstant(1999), 1);
+        m.record_at(SimInstant(2000), 5);
+        let s = m.series();
+        assert_eq!(s.points[0].count, 2);
+        assert_eq!(s.points[1].count, 5);
+        assert_eq!(s.total(), 7);
+        assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn rate_is_per_second() {
+        let m = meter();
+        m.record_at(SimInstant(100), 10);
+        let s = m.series();
+        assert!((s.points[0].rate - 5.0).abs() < 1e-9); // 10 events / 2 s
+    }
+
+    #[test]
+    fn gaps_are_zero_buckets() {
+        let m = meter();
+        m.record_at(SimInstant(9000), 3); // bucket index 4
+        let s = m.series();
+        assert_eq!(s.points.len(), 5);
+        assert_eq!(s.points[0].count, 0);
+        assert_eq!(s.points[4].count, 3);
+    }
+
+    #[test]
+    fn stats_and_csv() {
+        let m = meter();
+        m.record_at(SimInstant(0), 4);
+        m.record_at(SimInstant(2000), 8);
+        let s = m.series();
+        assert!((s.peak_rate() - 4.0).abs() < 1e-9);
+        assert!((s.mean_rate() - 3.0).abs() < 1e-9);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("t_secs,count,rate\n"));
+        assert!(csv.contains("0.0,4,2.0"));
+        assert!(csv.contains("2.0,8,4.0"));
+    }
+
+    #[test]
+    fn events_before_origin_clamp_to_first_bucket() {
+        let m = RateMeter::new(SimInstant(5000), SimDuration::from_secs(2));
+        m.record_at(SimInstant(100), 1); // before origin: since() saturates to 0
+        assert_eq!(m.series().points[0].count, 1);
+    }
+}

@@ -1,0 +1,504 @@
+//! Feed adaptors (Ch. 4.1).
+//!
+//! "The functionality of establishing a connection with an external data
+//! source, receiving, parsing, and translating data into ADM records is
+//! contained in a Feed Adaptor ... the Feed Adaptor is treated by the rest
+//! of the system as a black box that outputs ADM records." An adaptor's
+//! *factory* tells AsterixDB the adaptor's parallelism (the `getConstraints`
+//! API of §5.3.1) and builds configured instances.
+//!
+//! Built-ins:
+//! * [`TweetGenAdaptorFactory`] (`TweetGenAdaptor`) — connects to TweetGen
+//!   instances at the socket addresses listed in its `datasource`
+//!   parameter, one adaptor instance per address (parallel ingestion,
+//!   Listing 5.19);
+//! * [`SocketAdaptorFactory`] (`socket_adaptor`) — the "generic socket-based
+//!   feed adaptor that can be used to ingest data that is directed at a
+//!   specified socket address" (§4.1), backed by an in-process channel
+//!   registry;
+//! * [`FileAdaptorFactory`] (`file_based_feed`) — reads ADM/JSON records
+//!   (one per line) from a file, the §5.7.1 "simulated feed" used to compare
+//!   batch inserts against feed ingestion.
+
+use asterix_adm::{parse_value, to_adm_string};
+use asterix_common::{IngestError, IngestResult, Record, SimClock};
+use asterix_hyracks::job::Constraint;
+use asterix_hyracks::operator::StopToken;
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Adaptor configuration: the `("key"="value")` pairs of `create feed`.
+pub type AdaptorConfig = BTreeMap<String, String>;
+
+/// Emission callback handed to a running adaptor.
+pub type EmitFn<'a> = &'a mut dyn FnMut(Record) -> IngestResult<()>;
+
+/// A configured adaptor instance.
+pub trait FeedAdaptor: Send {
+    /// Fetch/receive records and emit them until the source is exhausted or
+    /// `stop` fires. Returning `Ok` ends the feed gracefully; returning an
+    /// error signals that reconnection proved futile (§6.2.3, "External
+    /// Source Failure") and terminates the feed.
+    fn run(&mut self, emit: EmitFn<'_>, stop: &StopToken) -> IngestResult<()>;
+}
+
+/// Factory for a named adaptor.
+pub trait AdaptorFactory: Send + Sync {
+    /// The alias used in `create feed ... using <alias>`.
+    fn alias(&self) -> &str;
+
+    /// The §5.3.1 `getConstraints()` API: how many instances, where.
+    fn constraints(&self, config: &AdaptorConfig) -> IngestResult<Constraint>;
+
+    /// Build the instance for `partition`.
+    fn create(
+        &self,
+        config: &AdaptorConfig,
+        partition: usize,
+        clock: &SimClock,
+    ) -> IngestResult<Box<dyn FeedAdaptor>>;
+}
+
+fn parse_datasource_list(config: &AdaptorConfig, key: &str) -> IngestResult<Vec<String>> {
+    let raw = config
+        .get(key)
+        .ok_or_else(|| IngestError::Config(format!("adaptor requires '{key}' parameter")))?;
+    let addrs: Vec<String> = raw
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err(IngestError::Config(format!("'{key}' lists no addresses")));
+    }
+    Ok(addrs)
+}
+
+/// Translate one external JSON/ADM line into a canonical ADM record
+/// payload. Malformed input yields a parse error the adaptor may skip.
+fn translate(line: &str, adaptor_instance: u32) -> IngestResult<Record> {
+    let value = parse_value(line)?;
+    Ok(Record::untracked(
+        adaptor_instance,
+        to_adm_string(&value),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// TweetGen adaptor
+// ---------------------------------------------------------------------------
+
+/// Factory for the TweetGen adaptor.
+#[derive(Debug, Default)]
+pub struct TweetGenAdaptorFactory;
+
+impl AdaptorFactory for TweetGenAdaptorFactory {
+    fn alias(&self) -> &str {
+        "TweetGenAdaptor"
+    }
+
+    fn constraints(&self, config: &AdaptorConfig) -> IngestResult<Constraint> {
+        Ok(Constraint::Count(
+            parse_datasource_list(config, "datasource")?.len(),
+        ))
+    }
+
+    fn create(
+        &self,
+        config: &AdaptorConfig,
+        partition: usize,
+        _clock: &SimClock,
+    ) -> IngestResult<Box<dyn FeedAdaptor>> {
+        let addrs = parse_datasource_list(config, "datasource")?;
+        let addr = addrs
+            .get(partition)
+            .ok_or_else(|| {
+                IngestError::Plan(format!(
+                    "adaptor partition {partition} exceeds datasource list of {}",
+                    addrs.len()
+                ))
+            })?
+            .clone();
+        Ok(Box::new(TweetGenAdaptor {
+            addr,
+            instance: partition as u32,
+            parse_failures: 0,
+        }))
+    }
+}
+
+struct TweetGenAdaptor {
+    addr: String,
+    instance: u32,
+    parse_failures: u64,
+}
+
+impl FeedAdaptor for TweetGenAdaptor {
+    fn run(&mut self, emit: EmitFn<'_>, stop: &StopToken) -> IngestResult<()> {
+        // the initial handshake; a failure here is fatal for the feed
+        let rx = tweetgen::connect(&self.addr)?;
+        let poll = Duration::from_millis(10);
+        loop {
+            if stop.is_stopped() {
+                return Ok(());
+            }
+            match rx.recv_timeout(poll) {
+                Ok(line) => match translate(&line, self.instance) {
+                    Ok(rec) => emit(rec)?,
+                    Err(_) => self.parse_failures += 1,
+                },
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // TweetGen closes the push channel when its pattern
+                    // completes (or it was stopped): the feed's data is
+                    // exhausted, end gracefully. Recovery from a *transient*
+                    // source outage (§6.2.3) is adaptor-specific; TweetGen
+                    // has no such failure mode, so no reconnect is attempted
+                    // — reconnecting would restart the pattern from zero.
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic socket adaptor
+// ---------------------------------------------------------------------------
+
+static SOCKETS: Mutex<Option<HashMap<String, Receiver<String>>>> = Mutex::new(None);
+
+/// Bind an in-process "socket" at `addr` that external producers can push
+/// lines into; the generic socket adaptor consumes it.
+pub fn bind_socket(addr: &str, capacity: usize) -> IngestResult<Sender<String>> {
+    let (tx, rx) = crossbeam_channel::bounded(capacity);
+    let mut reg = SOCKETS.lock();
+    let map = reg.get_or_insert_with(HashMap::new);
+    if map.contains_key(addr) {
+        return Err(IngestError::Config(format!("socket {addr} already bound")));
+    }
+    map.insert(addr.to_string(), rx);
+    Ok(tx)
+}
+
+/// Remove a socket binding.
+pub fn unbind_socket(addr: &str) {
+    if let Some(map) = SOCKETS.lock().as_mut() {
+        map.remove(addr);
+    }
+}
+
+/// Factory for the generic socket adaptor.
+#[derive(Debug, Default)]
+pub struct SocketAdaptorFactory;
+
+impl AdaptorFactory for SocketAdaptorFactory {
+    fn alias(&self) -> &str {
+        "socket_adaptor"
+    }
+
+    fn constraints(&self, config: &AdaptorConfig) -> IngestResult<Constraint> {
+        Ok(Constraint::Count(
+            parse_datasource_list(config, "sockets")?.len(),
+        ))
+    }
+
+    fn create(
+        &self,
+        config: &AdaptorConfig,
+        partition: usize,
+        _clock: &SimClock,
+    ) -> IngestResult<Box<dyn FeedAdaptor>> {
+        let addrs = parse_datasource_list(config, "sockets")?;
+        let addr = addrs
+            .get(partition)
+            .ok_or_else(|| IngestError::Plan("socket partition out of range".into()))?;
+        let rx = SOCKETS
+            .lock()
+            .as_ref()
+            .and_then(|m| m.get(addr))
+            .cloned()
+            .ok_or_else(|| IngestError::Disconnected(format!("no socket bound at {addr}")))?;
+        Ok(Box::new(SocketAdaptor {
+            rx,
+            instance: partition as u32,
+            parse_failures: Arc::new(AtomicU64::new(0)),
+        }))
+    }
+}
+
+struct SocketAdaptor {
+    rx: Receiver<String>,
+    instance: u32,
+    parse_failures: Arc<AtomicU64>,
+}
+
+impl FeedAdaptor for SocketAdaptor {
+    fn run(&mut self, emit: EmitFn<'_>, stop: &StopToken) -> IngestResult<()> {
+        let poll = Duration::from_millis(10);
+        loop {
+            if stop.is_stopped() {
+                return Ok(());
+            }
+            match self.rx.recv_timeout(poll) {
+                Ok(line) => match translate(&line, self.instance) {
+                    Ok(rec) => emit(rec)?,
+                    Err(_) => {
+                        self.parse_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File adaptor
+// ---------------------------------------------------------------------------
+
+/// Factory for the file-based adaptor (Listing 5.16's `file_based_feed`).
+#[derive(Debug, Default)]
+pub struct FileAdaptorFactory;
+
+impl AdaptorFactory for FileAdaptorFactory {
+    fn alias(&self) -> &str {
+        "file_based_feed"
+    }
+
+    fn constraints(&self, _config: &AdaptorConfig) -> IngestResult<Constraint> {
+        Ok(Constraint::Count(1))
+    }
+
+    fn create(
+        &self,
+        config: &AdaptorConfig,
+        _partition: usize,
+        _clock: &SimClock,
+    ) -> IngestResult<Box<dyn FeedAdaptor>> {
+        let path = config
+            .get("path")
+            .ok_or_else(|| IngestError::Config("file_based_feed requires 'path'".into()))?
+            .clone();
+        Ok(Box::new(FileAdaptor { path }))
+    }
+}
+
+struct FileAdaptor {
+    path: String,
+}
+
+impl FeedAdaptor for FileAdaptor {
+    fn run(&mut self, emit: EmitFn<'_>, stop: &StopToken) -> IngestResult<()> {
+        use std::io::BufRead;
+        let file = std::fs::File::open(&self.path)
+            .map_err(|e| IngestError::Config(format!("open {}: {e}", self.path)))?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut line = String::new();
+        loop {
+            if stop.is_stopped() {
+                return Ok(());
+            }
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| IngestError::Config(format!("read {}: {e}", self.path)))?;
+            if n == 0 {
+                return Ok(());
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match translate(trimmed, 0) {
+                Ok(rec) => emit(rec)?,
+                Err(e) => return Err(e), // a corrupt file is not survivable
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Registry of adaptor factories (the DatasourceAdapter metadata dataset,
+/// pre-populated with the built-ins — §5.1).
+#[derive(Clone)]
+pub struct AdaptorRegistry {
+    factories: Arc<Mutex<HashMap<String, Arc<dyn AdaptorFactory>>>>,
+}
+
+impl AdaptorRegistry {
+    /// Registry holding the built-in adaptors.
+    pub fn with_builtins() -> AdaptorRegistry {
+        let reg = AdaptorRegistry {
+            factories: Arc::new(Mutex::new(HashMap::new())),
+        };
+        reg.register(Arc::new(TweetGenAdaptorFactory));
+        reg.register(Arc::new(SocketAdaptorFactory));
+        reg.register(Arc::new(FileAdaptorFactory));
+        reg
+    }
+
+    /// Install a (custom) adaptor factory.
+    pub fn register(&self, factory: Arc<dyn AdaptorFactory>) {
+        self.factories
+            .lock()
+            .insert(factory.alias().to_string(), factory);
+    }
+
+    /// Look up by alias.
+    pub fn get(&self, alias: &str) -> IngestResult<Arc<dyn AdaptorFactory>> {
+        self.factories
+            .lock()
+            .get(alias)
+            .cloned()
+            .ok_or_else(|| IngestError::Metadata(format!("unknown adaptor '{alias}'")))
+    }
+
+    /// Registered aliases.
+    pub fn aliases(&self) -> Vec<String> {
+        self.factories.lock().keys().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for AdaptorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AdaptorRegistry({:?})", self.aliases())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweetgen::{PatternDescriptor, TweetGen, TweetGenConfig};
+
+    fn collect_run(adaptor: &mut dyn FeedAdaptor) -> Vec<Record> {
+        let mut out = Vec::new();
+        let stop = StopToken::new();
+        let mut emit = |r: Record| {
+            out.push(r);
+            Ok(())
+        };
+        adaptor.run(&mut emit, &stop).unwrap();
+        out
+    }
+
+    #[test]
+    fn registry_has_builtins() {
+        let reg = AdaptorRegistry::with_builtins();
+        assert!(reg.get("TweetGenAdaptor").is_ok());
+        assert!(reg.get("socket_adaptor").is_ok());
+        assert!(reg.get("file_based_feed").is_ok());
+        assert!(matches!(
+            reg.get("CNNAdaptor"),
+            Err(IngestError::Metadata(_))
+        ));
+    }
+
+    #[test]
+    fn tweetgen_adaptor_constraints_follow_datasource_list() {
+        let f = TweetGenAdaptorFactory;
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("datasource".into(), "a:1, b:2 ,c:3".into());
+        assert_eq!(f.constraints(&cfg).unwrap(), Constraint::Count(3));
+        assert!(f.constraints(&AdaptorConfig::new()).is_err());
+        let mut empty = AdaptorConfig::new();
+        empty.insert("datasource".into(), " , ".into());
+        assert!(f.constraints(&empty).is_err());
+    }
+
+    #[test]
+    fn tweetgen_adaptor_receives_and_translates() {
+        let clock = SimClock::with_scale(10.0);
+        let g = TweetGen::bind(
+            TweetGenConfig::new("adap:9000", 0, PatternDescriptor::constant(200, 2)),
+            clock.clone(),
+        )
+        .unwrap();
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("datasource".into(), "adap:9000".into());
+        let mut adaptor = TweetGenAdaptorFactory
+            .create(&cfg, 0, &clock)
+            .unwrap();
+        let records = collect_run(adaptor.as_mut());
+        assert!(records.len() > 100, "got {}", records.len());
+        // payload is canonical ADM, reparseable, with an id field
+        let v = parse_value(records[0].payload_str().unwrap()).unwrap();
+        assert!(v.field("id").is_some());
+        assert!(!records[0].is_tracked());
+        g.stop();
+    }
+
+    #[test]
+    fn socket_adaptor_skips_malformed_lines() {
+        let tx = bind_socket("sock:1", 16).unwrap();
+        tx.send("{\"id\":\"a\"}".into()).unwrap();
+        tx.send("not adm at all {{{".into()).unwrap();
+        tx.send("{\"id\":\"b\"}".into()).unwrap();
+        drop(tx);
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("sockets".into(), "sock:1".into());
+        let mut adaptor = SocketAdaptorFactory
+            .create(&cfg, 0, &SimClock::fast())
+            .unwrap();
+        let records = collect_run(adaptor.as_mut());
+        assert_eq!(records.len(), 2);
+        unbind_socket("sock:1");
+    }
+
+    #[test]
+    fn socket_double_bind_rejected() {
+        let _tx = bind_socket("sock:2", 4).unwrap();
+        assert!(bind_socket("sock:2", 4).is_err());
+        unbind_socket("sock:2");
+    }
+
+    #[test]
+    fn file_adaptor_reads_records() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("asterix_file_adaptor_test.adm");
+        std::fs::write(
+            &path,
+            "{\"id\":\"a\",\"x\":1}\n\n{\"id\":\"b\",\"x\":2}\n",
+        )
+        .unwrap();
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("path".into(), path.to_string_lossy().into_owned());
+        let mut adaptor = FileAdaptorFactory.create(&cfg, 0, &SimClock::fast()).unwrap();
+        let records = collect_run(adaptor.as_mut());
+        assert_eq!(records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_adaptor_missing_file_errors() {
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("path".into(), "/definitely/not/here.adm".into());
+        let mut adaptor = FileAdaptorFactory.create(&cfg, 0, &SimClock::fast()).unwrap();
+        let stop = StopToken::new();
+        let mut emit = |_r: Record| Ok(());
+        assert!(adaptor.run(&mut emit, &stop).is_err());
+    }
+
+    #[test]
+    fn stop_token_halts_adaptor() {
+        let _tx = bind_socket("sock:3", 4).unwrap();
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("sockets".into(), "sock:3".into());
+        let mut adaptor = SocketAdaptorFactory
+            .create(&cfg, 0, &SimClock::fast())
+            .unwrap();
+        let stop = StopToken::new();
+        stop.stop();
+        let mut emit = |_r: Record| Ok(());
+        adaptor.run(&mut emit, &stop).unwrap(); // returns promptly
+        unbind_socket("sock:3");
+    }
+}

@@ -1,0 +1,1237 @@
+//! The Central Feed Manager and connection lifecycle.
+//!
+//! The controller is the §5.3/§6.2 "Central Feed Manager (CFM)" co-located
+//! with the Cluster Controller: it processes `connect feed` / `disconnect
+//! feed`, constructs cascade networks by reusing active feed joints, "keeps
+//! track of the location for each operator instance that is participating
+//! in a data ingestion pipeline", subscribes to cluster events, and drives
+//! the fault-tolerance protocol (§6.2.2) and elastic restructuring
+//! (§7.3.5).
+//!
+//! ## Pipeline segments
+//!
+//! A connected cascade network is a set of *segments*, each one Hyracks job:
+//!
+//! * **Collect segment** (head, one per primary feed with a live external
+//!   connection): `FeedCollect(adaptor) → NullSink`, publishing the root
+//!   joint;
+//! * **Compute segment** (one per feed with a UDF): `FeedIntake(parent
+//!   joint) → Assign(UDF)`, publishing the feed's joint;
+//! * **Store segment** (tail, one per connection): `FeedIntake(source
+//!   joint) → hash-partition → IndexInsert`, co-located with the target
+//!   dataset's partitions.
+//!
+//! Segments are shared: connecting a feed reuses the nearest active
+//! ancestor joint (§5.3.2, "to minimize the processing involved in forming
+//! a feed, it is desired to source the feed from the nearest ancestor feed
+//! that is in the connected state"). Disconnecting kills only the store
+//! segment; producer segments are garbage-collected when their joints lose
+//! their last subscriber.
+
+use crate::catalog::{FeedCatalog, FeedKind};
+use crate::flow::ElasticRequest;
+use crate::manager::FeedManager;
+use crate::metrics::FeedMetrics;
+use crate::ops::{
+    new_soft_failure_log, AckPlumbing, AssignDesc, CollectDesc, IntakeDesc, SoftFailureLog,
+    StoreAck, StoreDesc,
+};
+use crate::policy::IngestionPolicy;
+use crate::udf::Udf;
+use asterix_common::ids::IdGen;
+use asterix_common::{IngestError, IngestResult, NodeId, SimDuration};
+use asterix_hyracks::cluster::{Cluster, ClusterEvent};
+use asterix_hyracks::connector::ConnectorSpec;
+use asterix_hyracks::executor::{run_job, JobHandle, TaskContext};
+use asterix_hyracks::job::{Constraint, JobSpec, OperatorDescriptor};
+use asterix_hyracks::operator::{FrameWriter, NullSink, OperatorRuntime};
+use asterix_storage::Dataset;
+use crossbeam_channel::Sender;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+static CONNECTION_IDS: IdGen = IdGen::new();
+
+/// Identifies one feed-to-dataset connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnectionId(pub u64);
+
+impl From<u64> for ConnectionId {
+    fn from(v: u64) -> Self {
+        ConnectionId(v)
+    }
+}
+
+impl std::fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CONN{}", self.0)
+    }
+}
+
+/// Observable state of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionState {
+    /// Ingesting.
+    Active,
+    /// Store node lost; awaiting its re-join (§6.2.3, store failure).
+    Suspended,
+    /// Disconnected or terminated.
+    Ended,
+}
+
+struct CollectSegment {
+    joint_id: String,
+    factory: Arc<dyn crate::adaptor::AdaptorFactory>,
+    config: crate::adaptor::AdaptorConfig,
+    locations: Vec<NodeId>,
+    job: JobHandle,
+}
+
+struct ComputeSegment {
+    out_joint: String,
+    in_joint: String,
+    udf: Udf,
+    compute_locations: Vec<NodeId>,
+    policy: IngestionPolicy,
+    metrics: Arc<FeedMetrics>,
+    depth: usize,
+    extra_spin: u64,
+    extra_delay_us: u64,
+    job: JobHandle,
+}
+
+struct Connection {
+    id: ConnectionId,
+    key: String,
+    feed: String,
+    dataset: Arc<Dataset>,
+    source_joint: String,
+    policy: IngestionPolicy,
+    metrics: Arc<FeedMetrics>,
+    job: Option<JobHandle>,
+    state: ConnectionState,
+}
+
+#[derive(Default)]
+struct State {
+    /// joint id → nodes hosting an instance of it
+    joints: HashMap<String, Vec<NodeId>>,
+    collects: HashMap<String, CollectSegment>,
+    computes: HashMap<String, ComputeSegment>,
+    connections: HashMap<ConnectionId, Connection>,
+}
+
+/// Tuning knobs for the controller.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Hand-off queue depth per intake (frames) — the congestion sensor.
+    pub flow_capacity: usize,
+    /// Ack grouping window for at-least-once.
+    pub ack_window: SimDuration,
+    /// Replay timeout for at-least-once.
+    pub ack_timeout: SimDuration,
+    /// Default compute parallelism (`None` = one instance per alive node).
+    pub compute_parallelism: Option<usize>,
+    /// Offset into the alive-node list where compute instances are placed
+    /// (round-robin). Lets experiments separate intake, compute and store
+    /// roles onto distinct nodes, like the paper's Fig 6.4 layout.
+    pub compute_node_offset: usize,
+    /// Busy-spin iterations added per record at every compute stage
+    /// (experiment knob; normally 0).
+    pub compute_extra_spin: u64,
+    /// Sleep (µs) added per record at every compute stage — fixed per-node
+    /// capacity modelling for scalability experiments (normally 0).
+    pub compute_extra_delay_us: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            flow_capacity: 16,
+            ack_window: SimDuration::from_millis(500),
+            ack_timeout: SimDuration::from_secs(10),
+            compute_parallelism: None,
+            compute_node_offset: 0,
+            compute_extra_spin: 0,
+            compute_extra_delay_us: 0,
+        }
+    }
+}
+
+/// The Central Feed Manager.
+pub struct FeedController {
+    cluster: Cluster,
+    catalog: Arc<FeedCatalog>,
+    config: ControllerConfig,
+    state: Mutex<State>,
+    elastic_tx: Sender<ElasticRequest>,
+    log: SoftFailureLog,
+    log_dataset: Mutex<Option<Arc<Dataset>>>,
+    shutdown: AtomicBool,
+}
+
+impl FeedController {
+    /// Start the controller: subscribes to cluster events and begins
+    /// monitoring for failures and elastic requests.
+    pub fn start(
+        cluster: Cluster,
+        catalog: Arc<FeedCatalog>,
+        config: ControllerConfig,
+    ) -> Arc<FeedController> {
+        let (elastic_tx, elastic_rx) = crossbeam_channel::unbounded::<ElasticRequest>();
+        let ctrl = Arc::new(FeedController {
+            cluster: cluster.clone(),
+            catalog,
+            config,
+            state: Mutex::new(State::default()),
+            elastic_tx,
+            log: new_soft_failure_log(),
+            log_dataset: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        // failure monitor
+        let events = cluster.subscribe();
+        let c1 = Arc::clone(&ctrl);
+        std::thread::Builder::new()
+            .name("cfm-failure-monitor".into())
+            .spawn(move || {
+                while !c1.shutdown.load(Ordering::SeqCst) {
+                    match events.recv_timeout(std::time::Duration::from_millis(20)) {
+                        Ok(ClusterEvent::NodeFailed(n)) => c1.handle_node_failure(n),
+                        Ok(ClusterEvent::NodeJoined(n)) => c1.handle_node_join(n),
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                            c1.sweep_dead_segments();
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn cfm monitor");
+        // elastic monitor
+        let c2 = Arc::clone(&ctrl);
+        std::thread::Builder::new()
+            .name("cfm-elastic-monitor".into())
+            .spawn(move || {
+                while !c2.shutdown.load(Ordering::SeqCst) {
+                    match elastic_rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                        Ok(req) => c2.handle_elastic_request(&req),
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn elastic monitor");
+        ctrl
+    }
+
+    /// Start with default config.
+    pub fn start_default(cluster: Cluster, catalog: Arc<FeedCatalog>) -> Arc<FeedController> {
+        FeedController::start(cluster, catalog, ControllerConfig::default())
+    }
+
+    /// The global soft-failure error log.
+    pub fn error_log(&self) -> SoftFailureLog {
+        Arc::clone(&self.log)
+    }
+
+    /// Set the dedicated dataset for persisted soft-failure logging
+    /// (`soft.failure.log.data`).
+    pub fn set_failure_log_dataset(&self, ds: Arc<Dataset>) {
+        *self.log_dataset.lock() = Some(ds);
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<FeedCatalog> {
+        &self.catalog
+    }
+
+    /// The cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    // -----------------------------------------------------------------------
+    // connect / disconnect
+    // -----------------------------------------------------------------------
+
+    /// `connect feed <feed> to dataset <dataset> using policy <policy>`.
+    pub fn connect_feed(
+        &self,
+        feed: &str,
+        dataset: &str,
+        policy_name: &str,
+    ) -> IngestResult<ConnectionId> {
+        let policy = self.catalog.policy(policy_name)?;
+        let dataset_arc = self.catalog.dataset(dataset)?;
+        let lineage = self.catalog.lineage(feed)?;
+        let key = format!("{feed}->{dataset}");
+
+        let mut st = self.state.lock();
+        if st
+            .connections
+            .values()
+            .any(|c| c.key == key && c.state != ConnectionState::Ended)
+        {
+            return Err(IngestError::Metadata(format!(
+                "feed {feed} is already connected to dataset {dataset}"
+            )));
+        }
+
+        // Build the stage chain: stage 0 is the raw collect joint (the
+        // primary feed's name); each further stage is a UDF application
+        // with its own joint id ("<root>:f1:...:fk", §5.3.1).
+        let root_raw_joint = lineage[0].name.clone();
+        let mut stages: Vec<(String, Option<Udf>)> = vec![(root_raw_joint.clone(), None)];
+        for f in &lineage {
+            if let Some(udf_name) = &f.udf {
+                let udf = self.catalog.function(udf_name)?;
+                stages.push((self.catalog.joint_id_for(&f.name)?, Some(udf)));
+            }
+        }
+        let source_joint = stages.last().unwrap().0.clone();
+
+        // Find the deepest stage whose joint is already live — the nearest
+        // connected ancestor (§5.3.2). None ⇒ the head section must be
+        // constructed too.
+        let mut have = None;
+        for (i, (jid, _)) in stages.iter().enumerate().rev() {
+            if st.joints.contains_key(jid) {
+                have = Some(i);
+                break;
+            }
+        }
+        let need_collect = have.is_none();
+        let first_new_stage = have.map(|i| i + 1).unwrap_or(1);
+
+        // resources
+        let alive: Vec<NodeId> = self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
+        if alive.is_empty() {
+            return Err(IngestError::Plan("no alive nodes".into()));
+        }
+        let compute_n = self
+            .config
+            .compute_parallelism
+            .unwrap_or(alive.len())
+            .clamp(1, alive.len().max(1));
+
+        // --- pre-register every joint so no startup frame is lost ----------
+        let mut planned_joints: Vec<(String, Vec<NodeId>)> = Vec::new();
+        if need_collect {
+            let root_def = &lineage[0];
+            let (factory, config) = match &root_def.kind {
+                FeedKind::Primary { adaptor, config } => {
+                    (self.catalog.adaptors().get(adaptor)?, config.clone())
+                }
+                FeedKind::Secondary { .. } => {
+                    return Err(IngestError::Plan(
+                        "lineage root must be a primary feed".into(),
+                    ))
+                }
+            };
+            let constraint = factory.constraints(&config)?;
+            let locations: Vec<NodeId> = match constraint {
+                Constraint::Count(n) => (0..n).map(|i| alive[i % alive.len()]).collect(),
+                Constraint::Locations(locs) => locs,
+            };
+            planned_joints.push((root_raw_joint.clone(), locations));
+        }
+        // (depth, in_joint, out_joint, udf, locations)
+        let mut compute_segments: Vec<(usize, String, String, Udf, Vec<NodeId>)> = Vec::new();
+        for i in first_new_stage..stages.len() {
+            let udf = stages[i].1.clone().expect("stages past 0 carry a UDF");
+            let in_joint = stages[i - 1].0.clone();
+            let out_joint = stages[i].0.clone();
+            let offset = self.config.compute_node_offset;
+            let locs = dedup_nodes(
+                (0..compute_n)
+                    .map(|k| alive[(offset + k) % alive.len()])
+                    .collect(),
+            );
+            planned_joints.push((out_joint.clone(), locs.clone()));
+            compute_segments.push((i, in_joint, out_joint, udf, locs));
+        }
+        for (joint, locs) in &planned_joints {
+            self.preregister_joint(joint, locs);
+            st.joints.insert(joint.clone(), locs.clone());
+        }
+
+        // --- store segment (started first so its subscription is live) -----
+        let id: ConnectionId = CONNECTION_IDS.next();
+        let metrics = FeedMetrics::with_default_bucket(self.cluster.clock().clone());
+        let conn = Connection {
+            id,
+            key: key.clone(),
+            feed: feed.to_string(),
+            dataset: Arc::clone(&dataset_arc),
+            source_joint: source_joint.clone(),
+            policy: policy.clone(),
+            metrics: Arc::clone(&metrics),
+            job: None,
+            state: ConnectionState::Active,
+        };
+        let job = self.spawn_store_job(&st, &conn)?;
+        let mut conn = conn;
+        conn.job = Some(job);
+        st.connections.insert(id, conn);
+
+        // --- compute segments, deepest first --------------------------------
+        compute_segments.sort_by_key(|s| std::cmp::Reverse(s.0));
+        for (depth, in_joint, out_joint, udf, locs) in compute_segments {
+            let seg_metrics = FeedMetrics::with_default_bucket(self.cluster.clock().clone());
+            let seg = ComputeSegment {
+                out_joint: out_joint.clone(),
+                in_joint,
+                udf,
+                compute_locations: locs,
+                policy: policy.clone(),
+                metrics: seg_metrics,
+                depth,
+                extra_spin: self.config.compute_extra_spin,
+                extra_delay_us: self.config.compute_extra_delay_us,
+                job: JobHandle::detached(),
+            };
+            let job = self.spawn_compute_job(&st, &seg)?;
+            let mut seg = seg;
+            seg.job = job;
+            st.computes.insert(out_joint, seg);
+        }
+
+        // --- collect segment, last -------------------------------------------
+        if need_collect {
+            let root_def = &lineage[0];
+            let (factory, config) = match &root_def.kind {
+                FeedKind::Primary { adaptor, config } => {
+                    (self.catalog.adaptors().get(adaptor)?, config.clone())
+                }
+                FeedKind::Secondary { .. } => unreachable!("validated above"),
+            };
+            let locations = st.joints.get(&root_raw_joint).unwrap().clone();
+            let seg = CollectSegment {
+                joint_id: root_raw_joint.clone(),
+                factory,
+                config,
+                locations,
+                job: JobHandle::detached(),
+            };
+            let job = self.spawn_collect_job(&seg)?;
+            let mut seg = seg;
+            seg.job = job;
+            st.collects.insert(root_raw_joint, seg);
+        }
+
+        Ok(id)
+    }
+
+    /// `disconnect feed <feed> from dataset <dataset>` — graceful: already
+    /// received records drain to the target dataset; shared segments keep
+    /// serving other connections; orphaned producer segments are reclaimed.
+    pub fn disconnect_feed(&self, feed: &str, dataset: &str) -> IngestResult<()> {
+        let key = format!("{feed}->{dataset}");
+        let job = {
+            let mut st = self.state.lock();
+            let conn = st
+                .connections
+                .values_mut()
+                .find(|c| c.key == key && c.state != ConnectionState::Ended)
+                .ok_or_else(|| {
+                    IngestError::Metadata(format!(
+                        "feed {feed} is not connected to dataset {dataset}"
+                    ))
+                })?;
+            conn.state = ConnectionState::Ended;
+            conn.job.take()
+        };
+        if let Some(job) = job {
+            job.stop_sources();
+            let _ = job.wait();
+        }
+        self.gc_segments();
+        Ok(())
+    }
+
+    /// Stop everything.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let (jobs, all_joints) = {
+            let mut st = self.state.lock();
+            let mut jobs = Vec::new();
+            for c in st.connections.values_mut() {
+                c.state = ConnectionState::Ended;
+                if let Some(j) = c.job.take() {
+                    jobs.push(j);
+                }
+            }
+            for (_, seg) in st.computes.drain() {
+                jobs.push(seg.job);
+            }
+            for (_, seg) in st.collects.drain() {
+                jobs.push(seg.job);
+            }
+            let joints: Vec<(String, Vec<NodeId>)> =
+                st.joints.drain().collect();
+            (jobs, joints)
+        };
+        for (joint, locs) in &all_joints {
+            for n in locs {
+                if let Some(node) = self.cluster.node(*n) {
+                    FeedManager::on(&node).retire_joint(joint);
+                }
+            }
+        }
+        for j in &jobs {
+            j.abort();
+        }
+        for j in jobs {
+            let _ = j.wait();
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // introspection
+    // -----------------------------------------------------------------------
+
+    /// Metrics of a connection.
+    pub fn connection_metrics(&self, id: ConnectionId) -> IngestResult<Arc<FeedMetrics>> {
+        self.state
+            .lock()
+            .connections
+            .get(&id)
+            .map(|c| Arc::clone(&c.metrics))
+            .ok_or_else(|| IngestError::Metadata(format!("unknown connection {id}")))
+    }
+
+    /// Metrics of the compute segment publishing `joint_id`.
+    pub fn compute_metrics(&self, joint_id: &str) -> Option<Arc<FeedMetrics>> {
+        self.state
+            .lock()
+            .computes
+            .get(joint_id)
+            .map(|s| Arc::clone(&s.metrics))
+    }
+
+    /// Current state of a connection.
+    pub fn connection_state(&self, id: ConnectionId) -> ConnectionState {
+        let st = self.state.lock();
+        match st.connections.get(&id) {
+            Some(c) => {
+                if c.state == ConnectionState::Active
+                    && c.job.as_ref().map(|j| !j.is_running()).unwrap_or(true)
+                {
+                    // the job ended on its own (e.g. FeedTerminated)
+                    ConnectionState::Ended
+                } else {
+                    c.state
+                }
+            }
+            None => ConnectionState::Ended,
+        }
+    }
+
+    /// Nodes currently hosting instances of `joint_id`.
+    pub fn joint_locations(&self, joint_id: &str) -> Vec<NodeId> {
+        self.state
+            .lock()
+            .joints
+            .get(joint_id)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Compute parallelism of the segment publishing `joint_id`.
+    pub fn compute_parallelism_of(&self, joint_id: &str) -> Option<usize> {
+        self.state
+            .lock()
+            .computes
+            .get(joint_id)
+            .map(|s| s.compute_locations.len())
+    }
+
+    /// Live connections as `(id, feed, dataset)` triples.
+    pub fn connections_detailed(&self) -> Vec<(ConnectionId, String, String)> {
+        let st = self.state.lock();
+        let mut out: Vec<(ConnectionId, String, String)> = st
+            .connections
+            .values()
+            .filter(|c| c.state != ConnectionState::Ended)
+            .map(|c| (c.id, c.feed.clone(), c.dataset.config.name.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Live connection ids.
+    pub fn connections(&self) -> Vec<ConnectionId> {
+        let st = self.state.lock();
+        let mut ids: Vec<ConnectionId> = st
+            .connections
+            .values()
+            .filter(|c| c.state != ConnectionState::Ended)
+            .map(|c| c.id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// The Appendix A "Feed Management Console" view: per connection, the
+    /// physical nodes participating at the intake, compute and store stages
+    /// and the instantaneous rates at which data is received and persisted.
+    pub fn console_report(&self) -> String {
+        use std::fmt::Write as _;
+        let st = self.state.lock();
+        let mut out = String::from("Feed Management Console
+");
+        let mut conns: Vec<&Connection> = st
+            .connections
+            .values()
+            .filter(|c| c.state != ConnectionState::Ended)
+            .collect();
+        conns.sort_by_key(|c| c.id);
+        for c in conns {
+            let intake = st
+                .joints
+                .get(&c.source_joint)
+                .cloned()
+                .unwrap_or_default();
+            let compute = st
+                .computes
+                .get(&c.source_joint)
+                .map(|s| s.compute_locations.clone())
+                .unwrap_or_default();
+            let series = c.metrics.throughput();
+            let last_rate = series.points.last().map(|p| p.rate).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  {} {} -> {} [{:?}]
+    intake: {:?}  compute: {:?}  store: {:?}
+                     received: {} records  persisted: {}  instantaneous: {:.0} rec/s",
+                c.id,
+                c.feed,
+                c.dataset.config.name,
+                c.state,
+                intake,
+                compute,
+                c.dataset.config.nodegroup,
+                c.metrics.records_in.load(Ordering::Relaxed),
+                c.metrics.records_persisted.load(Ordering::Relaxed),
+                last_rate,
+            );
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------------
+    // job construction
+    // -----------------------------------------------------------------------
+
+    fn preregister_joint(&self, joint_id: &str, locations: &[NodeId]) {
+        for n in locations {
+            if let Some(node) = self.cluster.node(*n) {
+                FeedManager::on(&node).register_joint(joint_id);
+            }
+        }
+    }
+
+    fn spawn_collect_job(&self, seg: &CollectSegment) -> IngestResult<JobHandle> {
+        let mut job = JobSpec::new(format!("collect:{}", seg.joint_id));
+        let collect = job.add_operator(Box::new(CollectDesc {
+            joint_id: seg.joint_id.clone(),
+            factory: Arc::clone(&seg.factory),
+            config: seg.config.clone(),
+            locations: seg.locations.clone(),
+        }));
+        let sink = job.add_operator(Box::new(NullSinkDesc {
+            locations: seg.locations.clone(),
+        }));
+        job.connect(collect, sink, ConnectorSpec::OneToOne);
+        run_job(&self.cluster, job)
+    }
+
+    fn spawn_compute_job(&self, st: &State, seg: &ComputeSegment) -> IngestResult<JobHandle> {
+        let in_locations = st
+            .joints
+            .get(&seg.in_joint)
+            .cloned()
+            .ok_or_else(|| {
+                IngestError::Plan(format!("no live joint '{}'", seg.in_joint))
+            })?;
+        let mut job = JobSpec::new(format!("compute:{}", seg.out_joint));
+        let intake = job.add_operator(Box::new(IntakeDesc {
+            joint_id: seg.in_joint.clone(),
+            sub_key: format!("compute:{}", seg.out_joint),
+            locations: in_locations,
+            policy: seg.policy.clone(),
+            metrics: Arc::clone(&seg.metrics),
+            elastic_tx: Some(self.elastic_tx.clone()),
+            flow_capacity: self.config.flow_capacity,
+            ack: None,
+            connection_key: format!("compute:{}", seg.out_joint),
+        }));
+        let assign = job.add_operator(Box::new(AssignDesc {
+            udf: seg.udf.clone(),
+            out_joint_id: seg.out_joint.clone(),
+            locations: seg.compute_locations.clone(),
+            policy: seg.policy.clone(),
+            metrics: Arc::clone(&seg.metrics),
+            log: Arc::clone(&self.log),
+            log_dataset: self.log_dataset.lock().clone(),
+            extra_spin: seg.extra_spin,
+            extra_delay_us: seg.extra_delay_us,
+        }));
+        job.connect(intake, assign, ConnectorSpec::MNRandomPartition);
+        run_job(&self.cluster, job)
+    }
+
+    fn spawn_store_job(&self, st: &State, conn: &Connection) -> IngestResult<JobHandle> {
+        let in_locations = st
+            .joints
+            .get(&conn.source_joint)
+            .cloned()
+            .ok_or_else(|| {
+                IngestError::Plan(format!("no live joint '{}'", conn.source_joint))
+            })?;
+        // at-least-once plumbing
+        let (ack_plumbing, store_ack) = if conn.policy.at_least_once {
+            let mut txs = Vec::new();
+            let mut rxs = Vec::new();
+            for _ in 0..in_locations.len() {
+                let (tx, rx) = crossbeam_channel::unbounded();
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            (
+                Some(Arc::new(AckPlumbing {
+                    rxs,
+                    timeout: self.config.ack_timeout,
+                })),
+                Some(Arc::new(StoreAck {
+                    txs,
+                    window: self.config.ack_window,
+                })),
+            )
+        } else {
+            (None, None)
+        };
+        let mut job = JobSpec::new(format!("store:{}", conn.key));
+        let intake = job.add_operator(Box::new(IntakeDesc {
+            joint_id: conn.source_joint.clone(),
+            sub_key: format!("conn:{}", conn.key),
+            locations: in_locations,
+            policy: conn.policy.clone(),
+            metrics: Arc::clone(&conn.metrics),
+            elastic_tx: Some(self.elastic_tx.clone()),
+            flow_capacity: self.config.flow_capacity,
+            ack: ack_plumbing,
+            connection_key: conn.key.clone(),
+        }));
+        let store = job.add_operator(Box::new(StoreDesc {
+            dataset: Arc::clone(&conn.dataset),
+            registry: Some(Arc::clone(self.catalog.types())),
+            policy: conn.policy.clone(),
+            metrics: Arc::clone(&conn.metrics),
+            log: Arc::clone(&self.log),
+            log_dataset: self.log_dataset.lock().clone(),
+            ack: store_ack,
+        }));
+        job.connect(
+            intake,
+            store,
+            ConnectorSpec::MNHashPartition(crate::ops::store_key_fn(
+                conn.dataset.config.primary_key.clone(),
+            )),
+        );
+        run_job(&self.cluster, job)
+    }
+
+    // -----------------------------------------------------------------------
+    // garbage collection of producer segments
+    // -----------------------------------------------------------------------
+
+    fn joint_subscriber_count(&self, joint_id: &str, locations: &[NodeId]) -> usize {
+        locations
+            .iter()
+            .filter_map(|n| self.cluster.node(*n))
+            .filter_map(|node| FeedManager::on(&node).search_joint(joint_id))
+            .map(|j| j.subscriber_count())
+            .sum()
+    }
+
+    /// Reclaim compute and collect segments whose joints have no
+    /// subscribers left.
+    pub fn gc_segments(&self) {
+        loop {
+            let victim = {
+                let st = self.state.lock();
+                let mut found: Option<(bool, String)> = None;
+                for (out, seg) in &st.computes {
+                    let locs = st.joints.get(out).cloned().unwrap_or_default();
+                    if self.joint_subscriber_count(out, &locs) == 0 {
+                        found = Some((false, seg.out_joint.clone()));
+                        break;
+                    }
+                }
+                if found.is_none() {
+                    for (root, seg) in &st.collects {
+                        let locs = st.joints.get(root).cloned().unwrap_or_default();
+                        if self.joint_subscriber_count(root, &locs) == 0 {
+                            found = Some((true, seg.joint_id.clone()));
+                            break;
+                        }
+                    }
+                }
+                found
+            };
+            let Some((is_collect, joint)) = victim else {
+                return;
+            };
+            let (job, locations) = {
+                let mut st = self.state.lock();
+                let locations = st.joints.remove(&joint).unwrap_or_default();
+                let job = if is_collect {
+                    st.collects.remove(&joint).map(|s| s.job)
+                } else {
+                    st.computes.remove(&joint).map(|s| s.job)
+                };
+                (job, locations)
+            };
+            for n in &locations {
+                if let Some(node) = self.cluster.node(*n) {
+                    FeedManager::on(&node).retire_joint(&joint);
+                }
+            }
+            if let Some(job) = job {
+                job.stop_sources();
+                let _ = job.wait();
+            }
+            // removing this segment may orphan its own source joint: loop
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // segment health
+    // -----------------------------------------------------------------------
+
+    /// Detect segments that terminated on their own (e.g. a FeedTerminated
+    /// raised by the Basic policy's memory budget or the consecutive
+    /// soft-failure limit) and end the connections that depend on them.
+    /// Collect segments ending is *not* a failure: a finite source simply
+    /// ran dry, and its connections stay connected (feeds are conceptually
+    /// unbounded).
+    fn sweep_dead_segments(&self) {
+        // a finished job is a *self*-termination only when none of its
+        // tasks died of a hard failure — those are the fault-tolerance
+        // protocol's to handle (the heartbeat monitor lags the actual
+        // crash, so the sweep must not misclassify them)
+        fn self_terminated(job: &JobHandle) -> bool {
+            match job.try_outcome() {
+                None => false, // still running
+                Some(results) => !results.iter().any(|(_, r)| {
+                    matches!(
+                        r,
+                        Err(IngestError::NodeFailed(_)) | Err(IngestError::Disconnected(_))
+                    )
+                }),
+            }
+        }
+        let mut st = self.state.lock();
+        // transitively collect dead compute segments
+        let mut dead: Vec<String> = st
+            .computes
+            .iter()
+            .filter(|(_, s)| self_terminated(&s.job))
+            .map(|(k, _)| k.clone())
+            .collect();
+        if dead.is_empty() {
+            // still mark connections whose own store job self-terminated
+            for c in st.connections.values_mut() {
+                if c.state == ConnectionState::Active
+                    && c.job.as_ref().map(self_terminated).unwrap_or(false)
+                {
+                    c.state = ConnectionState::Ended;
+                    c.job.take();
+                }
+            }
+            return;
+        }
+        let mut i = 0;
+        while i < dead.len() {
+            let joint = dead[i].clone();
+            let downstream: Vec<String> = st
+                .computes
+                .values()
+                .filter(|s| s.in_joint == joint && !dead.contains(&s.out_joint))
+                .map(|s| s.out_joint.clone())
+                .collect();
+            dead.extend(downstream);
+            i += 1;
+        }
+        // end dependent connections
+        let conn_ids: Vec<ConnectionId> = st
+            .connections
+            .values()
+            .filter(|c| c.state == ConnectionState::Active && dead.contains(&c.source_joint))
+            .map(|c| c.id)
+            .collect();
+        for id in conn_ids {
+            let c = st.connections.get_mut(&id).unwrap();
+            c.state = ConnectionState::Ended;
+            if let Some(job) = c.job.take() {
+                job.abort();
+            }
+        }
+        // dismantle the dead segments and retire their joints
+        let mut to_retire: Vec<(String, Vec<NodeId>)> = Vec::new();
+        for joint in &dead {
+            if let Some(seg) = st.computes.remove(joint) {
+                seg.job.abort();
+            }
+            if let Some(locs) = st.joints.remove(joint) {
+                to_retire.push((joint.clone(), locs));
+            }
+        }
+        drop(st);
+        for (joint, locs) in to_retire {
+            for n in locs {
+                if let Some(node) = self.cluster.node(n) {
+                    FeedManager::on(&node).retire_joint(&joint);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // fault-tolerance protocol (§6.2.2)
+    // -----------------------------------------------------------------------
+
+    fn pick_substitute(&self, dead: NodeId, avoid: &[NodeId]) -> Option<NodeId> {
+        let alive = self.cluster.alive_nodes();
+        alive
+            .iter()
+            .map(|n| n.id())
+            .find(|id| *id != dead && !avoid.contains(id))
+            .or_else(|| alive.first().map(|n| n.id()))
+    }
+
+    fn handle_node_failure(&self, dead: NodeId) {
+        // phase 1: decide what is affected, under the lock
+        let mut st = self.state.lock();
+
+        // connections whose store stage lives on the dead node are suspended
+        // (no replication: the dataset partition is gone until re-join)
+        let mut suspend: Vec<ConnectionId> = Vec::new();
+        let mut end: Vec<ConnectionId> = Vec::new();
+        for c in st.connections.values() {
+            if c.state != ConnectionState::Active {
+                continue;
+            }
+            if c.dataset.config.nodegroup.contains(&dead) {
+                if c.policy.recover_hard_failure {
+                    suspend.push(c.id);
+                } else {
+                    end.push(c.id);
+                }
+            }
+        }
+        for id in &suspend {
+            if let Some(c) = st.connections.get_mut(id) {
+                c.state = ConnectionState::Suspended;
+                if let Some(job) = c.job.take() {
+                    job.abort();
+                }
+            }
+        }
+        for id in &end {
+            if let Some(c) = st.connections.get_mut(id) {
+                c.state = ConnectionState::Ended;
+                if let Some(job) = c.job.take() {
+                    job.abort();
+                }
+            }
+        }
+
+        // collect segments on the dead node: substitute and rebuild the head
+        let mut moved_joints: Vec<String> = Vec::new();
+        let collect_keys: Vec<String> = st.collects.keys().cloned().collect();
+        for key in collect_keys {
+            let affected = st.collects.get(&key).map(|s| s.locations.contains(&dead));
+            if affected != Some(true) {
+                continue;
+            }
+            let seg = st.collects.get_mut(&key).unwrap();
+            let avoid = seg.locations.clone();
+            let Some(substitute) = self.pick_substitute(dead, &avoid) else {
+                continue;
+            };
+            for l in seg.locations.iter_mut() {
+                if *l == dead {
+                    *l = substitute;
+                }
+            }
+            seg.job.abort();
+            let locations = seg.locations.clone();
+            let joint = seg.joint_id.clone();
+            st.joints.insert(joint.clone(), locations.clone());
+            moved_joints.push(joint.clone());
+            self.preregister_joint(&joint, &locations);
+            let seg_ref = st.collects.get(&key).unwrap();
+            if let Ok(job) = self.spawn_collect_job(seg_ref) {
+                st.collects.get_mut(&key).unwrap().job = job;
+            }
+        }
+
+        // compute segments, in depth order (upstream first)
+        let mut compute_keys: Vec<(usize, String)> = st
+            .computes
+            .values()
+            .map(|s| (s.depth, s.out_joint.clone()))
+            .collect();
+        compute_keys.sort();
+        for (_, key) in compute_keys {
+            let (needs_rebuild, seg_in_joint) = {
+                let seg = st.computes.get(&key).unwrap();
+                let hit_compute = seg.compute_locations.contains(&dead);
+                let in_moved = moved_joints.contains(&seg.in_joint);
+                let in_on_dead = st
+                    .joints
+                    .get(&seg.in_joint)
+                    .map(|l| l.contains(&dead))
+                    .unwrap_or(false);
+                (hit_compute || in_moved || in_on_dead, seg.in_joint.clone())
+            };
+            if !needs_rebuild {
+                continue;
+            }
+            // fix the in-joint's directory entry if it still lists the dead
+            // node (can happen when the upstream producer itself was fine
+            // but hosted an instance on the dead node — the whole joint
+            // location set is owned by the producer, so only rewrite here
+            // when the producer was untouched)
+            let _ = seg_in_joint;
+            let seg = st.computes.get_mut(&key).unwrap();
+            if seg.compute_locations.contains(&dead) {
+                let avoid = seg.compute_locations.clone();
+                if let Some(substitute) = self.pick_substitute(dead, &avoid) {
+                    for l in seg.compute_locations.iter_mut() {
+                        if *l == dead {
+                            *l = substitute;
+                        }
+                    }
+                }
+                seg.compute_locations = dedup_nodes(seg.compute_locations.clone());
+            }
+            seg.job.abort();
+            let out = seg.out_joint.clone();
+            let locs = seg.compute_locations.clone();
+            st.joints.insert(out.clone(), locs.clone());
+            moved_joints.push(out.clone());
+            self.preregister_joint(&out, &locs);
+            let seg_ref = st.computes.get(&key).unwrap();
+            if let Ok(job) = self.spawn_compute_job(&st, seg_ref) {
+                st.computes.get_mut(&key).unwrap().job = job;
+            }
+        }
+
+        // store segments: rebuild when their intake was co-located with the
+        // dead node or their source joint moved
+        let conn_ids: Vec<ConnectionId> = st.connections.keys().copied().collect();
+        for id in conn_ids {
+            let rebuild = {
+                let c = st.connections.get(&id).unwrap();
+                c.state == ConnectionState::Active
+                    && (moved_joints.contains(&c.source_joint)
+                        || st
+                            .joints
+                            .get(&c.source_joint)
+                            .map(|l| l.contains(&dead))
+                            .unwrap_or(false))
+            };
+            if !rebuild {
+                continue;
+            }
+            if let Some(job) = st.connections.get_mut(&id).unwrap().job.take() {
+                job.abort();
+            }
+            let conn_ref = st.connections.get(&id).unwrap();
+            if let Ok(job) = self.spawn_store_job(&st, conn_ref) {
+                st.connections.get_mut(&id).unwrap().job = Some(job);
+            }
+        }
+    }
+
+    fn handle_node_join(&self, node: NodeId) {
+        // store-failure recovery: "as and when the failed store node re-joins
+        // the cluster and becomes available, the data ingestion pipeline is
+        // rescheduled" — after log-based recovery of its partitions (§6.2.3)
+        let mut st = self.state.lock();
+        let ids: Vec<ConnectionId> = st
+            .connections
+            .values()
+            .filter(|c| {
+                c.state == ConnectionState::Suspended
+                    && c.dataset.config.nodegroup.contains(&node)
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in ids {
+            let c = st.connections.get(&id).unwrap();
+            if let Some(p) = c.dataset.partition_on(node) {
+                let _ = p.recover();
+            }
+            // make sure the source joint still exists; if its segment was
+            // also affected it has been rebuilt already by the failure path
+            if !st.joints.contains_key(&c.source_joint) {
+                continue;
+            }
+            let conn_ref = st.connections.get(&id).unwrap();
+            if let Ok(job) = self.spawn_store_job(&st, conn_ref) {
+                let c = st.connections.get_mut(&id).unwrap();
+                c.job = Some(job);
+                c.state = ConnectionState::Active;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // elasticity (§7.3.5)
+    // -----------------------------------------------------------------------
+
+    fn handle_elastic_request(&self, req: &ElasticRequest) {
+        // the congested pipeline names either a connection ("F->D") or a
+        // compute segment ("compute:<joint>"); scale the compute segment
+        // feeding it out by one instance
+        let joint = {
+            let st = self.state.lock();
+            if let Some(rest) = req.connection_key.strip_prefix("compute:") {
+                Some(rest.to_string())
+            } else {
+                st.connections
+                    .values()
+                    .find(|c| c.key == req.connection_key)
+                    .map(|c| c.source_joint.clone())
+            }
+        };
+        if let Some(joint) = joint {
+            let _ = self.scale_compute(&joint, 1);
+        }
+    }
+
+    /// Change the parallelism of the compute segment publishing `joint_id`
+    /// by `delta` instances (elastic scale-out/in). Dependent store
+    /// segments are rebuilt to follow the joint.
+    pub fn scale_compute(&self, joint_id: &str, delta: i64) -> IngestResult<usize> {
+        let mut st = self.state.lock();
+        let alive: Vec<NodeId> = self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
+        let seg = st
+            .computes
+            .get_mut(joint_id)
+            .ok_or_else(|| {
+                IngestError::Metadata(format!("no compute segment publishes '{joint_id}'"))
+            })?;
+        let current = seg.compute_locations.len() as i64;
+        let target = (current + delta).max(1) as usize;
+        let target = target.min(alive.len().max(1));
+        if target == seg.compute_locations.len() {
+            return Ok(target);
+        }
+        if target > seg.compute_locations.len() {
+            // add nodes not yet used, round-robin
+            let mut candidates: Vec<NodeId> = alive
+                .iter()
+                .copied()
+                .filter(|n| !seg.compute_locations.contains(n))
+                .collect();
+            while seg.compute_locations.len() < target {
+                match candidates.pop() {
+                    Some(n) => seg.compute_locations.push(n),
+                    None => break,
+                }
+            }
+        } else {
+            seg.compute_locations.truncate(target);
+        }
+        seg.job.abort();
+        let out = seg.out_joint.clone();
+        let locs = seg.compute_locations.clone();
+        let new_n = locs.len();
+        st.joints.insert(out.clone(), locs.clone());
+        self.preregister_joint(&out, &locs);
+        let seg_ref = st.computes.get(&out).unwrap();
+        let job = self.spawn_compute_job(&st, seg_ref)?;
+        st.computes.get_mut(&out).unwrap().job = job;
+        // rebuild dependents
+        let conn_ids: Vec<ConnectionId> = st
+            .connections
+            .values()
+            .filter(|c| c.state == ConnectionState::Active && c.source_joint == out)
+            .map(|c| c.id)
+            .collect();
+        for id in conn_ids {
+            if let Some(job) = st.connections.get_mut(&id).unwrap().job.take() {
+                job.abort();
+            }
+            let conn_ref = st.connections.get(&id).unwrap();
+            if let Ok(job) = self.spawn_store_job(&st, conn_ref) {
+                st.connections.get_mut(&id).unwrap().job = Some(job);
+            }
+        }
+        let compute_keys: Vec<String> = st
+            .computes
+            .values()
+            .filter(|s| s.in_joint == out)
+            .map(|s| s.out_joint.clone())
+            .collect();
+        for key in compute_keys {
+            st.computes.get_mut(&key).unwrap().job.abort();
+            let seg_ref = st.computes.get(&key).unwrap();
+            if let Ok(job) = self.spawn_compute_job(&st, seg_ref) {
+                st.computes.get_mut(&key).unwrap().job = job;
+            }
+        }
+        Ok(new_n)
+    }
+}
+
+impl std::fmt::Debug for FeedController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "FeedController({} connections, {} computes, {} collects)",
+            st.connections.len(),
+            st.computes.len(),
+            st.collects.len()
+        )
+    }
+}
+
+fn dedup_nodes(mut nodes: Vec<NodeId>) -> Vec<NodeId> {
+    let mut seen = std::collections::HashSet::new();
+    nodes.retain(|n| seen.insert(*n));
+    nodes
+}
+
+/// Null-sink descriptor terminating a collect job (§5.3.1's NullSink).
+struct NullSinkDesc {
+    locations: Vec<NodeId>,
+}
+
+impl OperatorDescriptor for NullSinkDesc {
+    fn name(&self) -> String {
+        "NullSink".into()
+    }
+
+    fn constraints(&self) -> Constraint {
+        Constraint::Locations(self.locations.clone())
+    }
+
+    fn instantiate(
+        &self,
+        _ctx: &TaskContext,
+        output: Box<dyn FrameWriter>,
+    ) -> IngestResult<OperatorRuntime> {
+        Ok(OperatorRuntime::Unary(Box::new(
+            asterix_hyracks::executor::UnaryHost::new(Box::new(NullSink), output),
+        )))
+    }
+}

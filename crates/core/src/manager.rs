@@ -1,0 +1,191 @@
+//! The per-node Feed Manager (§5.3.1, §5.4).
+//!
+//! "Each Node Controller has an associated Feed Manager, a data structure
+//! that holds all runtime metadata about the active components of a data
+//! ingestion pipeline that are hosted by the NC. This metadata includes the
+//! set of operator instances and the available feed joints." Subscribable
+//! operator instances register their joints under a symbolic id
+//! (`<feed>` or `<feed>:f1:...:fN`), discoverable through the *search API*
+//! by co-located operator instances.
+//!
+//! The Feed Manager also holds *zombie state* (§6.2.2): when an operator
+//! instance transitions to a zombie during the fault-tolerance protocol, its
+//! unprocessed input is parked here for the replacement instance (scheduled
+//! at the same node) to adopt.
+
+use crate::joint::FeedJoint;
+use asterix_common::DataFrame;
+use asterix_hyracks::cluster::NodeHandle;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Node-local feed runtime metadata.
+#[derive(Default)]
+pub struct FeedManager {
+    joints: Mutex<HashMap<String, Arc<FeedJoint>>>,
+    zombies: Mutex<HashMap<String, Vec<DataFrame>>>,
+}
+
+impl FeedManager {
+    /// Fresh manager.
+    pub fn new() -> Arc<FeedManager> {
+        Arc::new(FeedManager::default())
+    }
+
+    /// The Feed Manager hosted by `node`, created on first use.
+    pub fn on(node: &NodeHandle) -> Arc<FeedManager> {
+        node.services().get_or_insert_with(FeedManager::new)
+    }
+
+    /// Register (or fetch) the joint with symbolic id `id`. A producing
+    /// operator that is rescheduled onto this node after a failure re-binds
+    /// to the same joint and thereby to its surviving subscriptions.
+    pub fn register_joint(&self, id: &str) -> Arc<FeedJoint> {
+        let mut joints = self.joints.lock();
+        if let Some(existing) = joints.get(id) {
+            if !existing.is_retired() {
+                return Arc::clone(existing);
+            }
+        }
+        let fresh = FeedJoint::new(id);
+        joints.insert(id.to_string(), Arc::clone(&fresh));
+        fresh
+    }
+
+    /// The §5.3.1 search API: find a co-located joint by id.
+    pub fn search_joint(&self, id: &str) -> Option<Arc<FeedJoint>> {
+        self.joints
+            .lock()
+            .get(id)
+            .filter(|j| !j.is_retired())
+            .cloned()
+    }
+
+    /// Retire and drop the joint with id `id`.
+    pub fn retire_joint(&self, id: &str) {
+        if let Some(j) = self.joints.lock().remove(id) {
+            j.retire();
+        }
+    }
+
+    /// Ids of all live joints on this node.
+    pub fn joint_ids(&self) -> Vec<String> {
+        self.joints.lock().keys().cloned().collect()
+    }
+
+    /// Park zombie state under `key` (appends to any existing state).
+    pub fn save_zombie_state(&self, key: &str, frames: Vec<DataFrame>) {
+        if frames.is_empty() {
+            return;
+        }
+        self.zombies
+            .lock()
+            .entry(key.to_string())
+            .or_default()
+            .extend(frames);
+    }
+
+    /// Adopt (take) the zombie state under `key`.
+    pub fn take_zombie_state(&self, key: &str) -> Vec<DataFrame> {
+        self.zombies.lock().remove(key).unwrap_or_default()
+    }
+
+    /// Is there parked state under `key`?
+    pub fn has_zombie_state(&self, key: &str) -> bool {
+        self.zombies.lock().contains_key(key)
+    }
+}
+
+impl std::fmt::Debug for FeedManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FeedManager({} joints, {} zombie entries)",
+            self.joints.lock().len(),
+            self.zombies.lock().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_common::{Record, RecordId};
+    use asterix_hyracks::cluster::Cluster;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_records(vec![Record::tracked(RecordId(1), 0, "x")])
+    }
+
+    #[test]
+    fn register_and_search() {
+        let fm = FeedManager::new();
+        assert!(fm.search_joint("TwitterFeed").is_none());
+        let j = fm.register_joint("TwitterFeed");
+        let found = fm.search_joint("TwitterFeed").unwrap();
+        assert!(Arc::ptr_eq(&j, &found));
+        assert_eq!(fm.joint_ids(), vec!["TwitterFeed".to_string()]);
+    }
+
+    #[test]
+    fn register_is_idempotent_rebind() {
+        let fm = FeedManager::new();
+        let a = fm.register_joint("F");
+        let b = fm.register_joint("F");
+        assert!(Arc::ptr_eq(&a, &b), "same joint across rebinds");
+    }
+
+    #[test]
+    fn retired_joint_is_replaced_on_register() {
+        let fm = FeedManager::new();
+        let a = fm.register_joint("F");
+        a.retire();
+        assert!(fm.search_joint("F").is_none(), "retired joints hidden");
+        let b = fm.register_joint("F");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!b.is_retired());
+    }
+
+    #[test]
+    fn retire_joint_by_id() {
+        let fm = FeedManager::new();
+        let j = fm.register_joint("F");
+        fm.retire_joint("F");
+        assert!(j.is_retired());
+        assert!(fm.search_joint("F").is_none());
+    }
+
+    #[test]
+    fn zombie_state_roundtrip() {
+        let fm = FeedManager::new();
+        assert!(!fm.has_zombie_state("conn1:intake:0"));
+        fm.save_zombie_state("conn1:intake:0", vec![frame()]);
+        fm.save_zombie_state("conn1:intake:0", vec![frame(), frame()]);
+        assert!(fm.has_zombie_state("conn1:intake:0"));
+        let adopted = fm.take_zombie_state("conn1:intake:0");
+        assert_eq!(adopted.len(), 3);
+        assert!(fm.take_zombie_state("conn1:intake:0").is_empty());
+    }
+
+    #[test]
+    fn empty_zombie_saves_are_ignored() {
+        let fm = FeedManager::new();
+        fm.save_zombie_state("k", vec![]);
+        assert!(!fm.has_zombie_state("k"));
+    }
+
+    #[test]
+    fn per_node_singleton_via_services() {
+        let cluster = Cluster::start_default(2);
+        let n0 = cluster.node(asterix_common::NodeId(0)).unwrap();
+        let n1 = cluster.node(asterix_common::NodeId(1)).unwrap();
+        let a = FeedManager::on(&n0);
+        let b = FeedManager::on(&n0);
+        let c = FeedManager::on(&n1);
+        assert!(Arc::ptr_eq(&a, &b));
+        a.register_joint("F");
+        assert!(c.search_joint("F").is_none(), "joints are node-local");
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-connection counters and the Table 7.1 metrics.
+//!
+//! Chapter 7 monitors a data ingestion pipeline through a small set of
+//! symbols — arrival rate, processing rate, excess records and their fate —
+//! and the evaluation figures plot instantaneous ingestion throughput.
+//! [`FeedMetrics`] is the shared counter block every operator of a
+//! connection updates; the harnesses snapshot it into series.
+
+use asterix_common::{RateMeter, SimClock, SimDuration, SimInstant, ThroughputSeries};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for one feed connection (all monotonically increasing, except
+/// the gauges at the bottom).
+#[derive(Debug)]
+pub struct FeedMetrics {
+    /// Records received from the source / parent joint (rate-of-arrival
+    /// numerator, Table 7.1's λ).
+    pub records_in: AtomicU64,
+    /// Records that passed the compute stage.
+    pub records_computed: AtomicU64,
+    /// Records persisted (and indexed) — the paper's headline metric.
+    pub records_persisted: AtomicU64,
+    /// Records dropped by the Discard strategy.
+    pub records_discarded: AtomicU64,
+    /// Records dropped by the Throttle strategy's sampling.
+    pub records_throttled: AtomicU64,
+    /// Records written to the spill file.
+    pub records_spilled: AtomicU64,
+    /// Records read back from the spill file and processed.
+    pub records_despilled: AtomicU64,
+    /// Soft failures skipped by the MetaFeed sandbox.
+    pub soft_failures: AtomicU64,
+    /// Records replayed by the at-least-once tracker.
+    pub records_replayed: AtomicU64,
+    /// Elastic scale-out events requested.
+    pub elastic_scaleouts: AtomicU64,
+    /// Current spill file size in bytes (gauge).
+    pub spill_bytes: AtomicU64,
+    /// Current in-memory excess buffer size in bytes (gauge).
+    pub buffer_bytes: AtomicU64,
+    meter: RateMeter,
+    clock: SimClock,
+}
+
+impl FeedMetrics {
+    /// Fresh metrics; the persist meter buckets by `bucket` (the paper uses
+    /// two-second buckets).
+    pub fn new(clock: SimClock, bucket: SimDuration) -> Arc<FeedMetrics> {
+        let origin = clock.now();
+        Arc::new(FeedMetrics {
+            records_in: AtomicU64::new(0),
+            records_computed: AtomicU64::new(0),
+            records_persisted: AtomicU64::new(0),
+            records_discarded: AtomicU64::new(0),
+            records_throttled: AtomicU64::new(0),
+            records_spilled: AtomicU64::new(0),
+            records_despilled: AtomicU64::new(0),
+            soft_failures: AtomicU64::new(0),
+            records_replayed: AtomicU64::new(0),
+            elastic_scaleouts: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+            buffer_bytes: AtomicU64::new(0),
+            meter: RateMeter::new(origin, bucket),
+            clock,
+        })
+    }
+
+    /// Default two-second buckets (§6.3).
+    pub fn with_default_bucket(clock: SimClock) -> Arc<FeedMetrics> {
+        FeedMetrics::new(clock, SimDuration::from_secs(2))
+    }
+
+    /// Record `n` persisted records now (store stage calls this post-WAL).
+    pub fn persisted(&self, n: u64) {
+        self.records_persisted.fetch_add(n, Ordering::Relaxed);
+        self.meter.record_at(self.clock.now(), n);
+    }
+
+    /// Record `n` persisted records at an explicit instant (tests).
+    pub fn persisted_at(&self, t: SimInstant, n: u64) {
+        self.records_persisted.fetch_add(n, Ordering::Relaxed);
+        self.meter.record_at(t, n);
+    }
+
+    /// Instantaneous-throughput series of persisted records.
+    pub fn throughput(&self) -> ThroughputSeries {
+        self.meter.series()
+    }
+
+    /// Convenience getter.
+    pub fn get(&self, c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// One-line summary for experiment output.
+    pub fn summary(&self) -> String {
+        format!(
+            "in={} computed={} persisted={} discarded={} throttled={} spilled={} despilled={} soft_failures={} replayed={}",
+            self.records_in.load(Ordering::Relaxed),
+            self.records_computed.load(Ordering::Relaxed),
+            self.records_persisted.load(Ordering::Relaxed),
+            self.records_discarded.load(Ordering::Relaxed),
+            self.records_throttled.load(Ordering::Relaxed),
+            self.records_spilled.load(Ordering::Relaxed),
+            self.records_despilled.load(Ordering::Relaxed),
+            self.soft_failures.load(Ordering::Relaxed),
+            self.records_replayed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persisted_updates_counter_and_meter() {
+        let clock = SimClock::with_scale(5.0);
+        let m = FeedMetrics::with_default_bucket(clock.clone());
+        m.persisted(10);
+        clock.sleep(SimDuration::from_secs(2));
+        m.persisted(4);
+        assert_eq!(m.records_persisted.load(Ordering::Relaxed), 14);
+        let series = m.throughput();
+        assert_eq!(series.total(), 14);
+        assert!(series.points.len() >= 2);
+    }
+
+    #[test]
+    fn persisted_at_allows_backdating() {
+        let clock = SimClock::with_scale(5.0);
+        let m = FeedMetrics::new(clock, SimDuration::from_secs(1));
+        m.persisted_at(SimInstant(500), 3);
+        m.persisted_at(SimInstant(1500), 7);
+        let s = m.throughput();
+        assert_eq!(s.points[0].count, 3);
+        assert_eq!(s.points[1].count, 7);
+    }
+
+    #[test]
+    fn summary_mentions_all_counters() {
+        let m = FeedMetrics::with_default_bucket(SimClock::fast());
+        m.records_in.fetch_add(5, Ordering::Relaxed);
+        m.records_discarded.fetch_add(2, Ordering::Relaxed);
+        let s = m.summary();
+        assert!(s.contains("in=5"));
+        assert!(s.contains("discarded=2"));
+        assert!(s.contains("persisted=0"));
+    }
+}

@@ -1,0 +1,915 @@
+//! The feed pipeline operators.
+//!
+//! * [`CollectDesc`] — *FeedCollect* (§5.3.1): hosts a feed adaptor
+//!   instance, manages its lifecycle, and deposits collected frames into
+//!   the feed joint registered at its output. Adaptor creation is deferred
+//!   "until there is a request for the operator's output data".
+//! * [`IntakeDesc`] — *FeedIntake*: co-located with a joint, subscribes
+//!   through the local Feed Manager's search API, and pushes frames
+//!   downstream through the policy-governed [`FlowController`]. Hosts the
+//!   at-least-once tracker when the policy demands it.
+//! * [`AssignDesc`] — *Assign* (the compute stage): applies the
+//!   pre-processing UDF to every record and deposits results into the
+//!   feed's output joint.
+//! * [`StoreDesc`] — the store stage (*IndexInsert*): co-located with a
+//!   partition of the target dataset; validates, upserts (WAL first),
+//!   meters, and acks.
+//!
+//! Every unary operator is wrapped in [`MetaFeed`] (§6.1): the sandbox that
+//! catches record-level runtime exceptions, logs them, skips the offending
+//! record (the frame-slicing recovery of §6.1.1) and terminates the feed
+//! only after too many consecutive failures.
+
+use crate::ack::{AckBatch, AckSender, AckTracker};
+use crate::adaptor::{AdaptorConfig, AdaptorFactory};
+use crate::flow::{ElasticRequest, FlowController};
+use crate::joint::{FeedJoint, JointRecv};
+use crate::manager::FeedManager;
+use crate::metrics::FeedMetrics;
+use crate::policy::IngestionPolicy;
+use crate::udf::Udf;
+use asterix_adm::{parse_value, to_adm_string, AdmType, TypeRegistry};
+use asterix_common::{
+    DataFrame, FrameBuilder, IngestError, IngestResult, NodeId, Record, SimDuration, SimInstant,
+};
+use asterix_hyracks::executor::{SourceHost, TaskContext, UnaryHost};
+use asterix_hyracks::job::{Constraint, OperatorDescriptor};
+use asterix_hyracks::operator::{
+    FrameWriter, OperatorRuntime, SourceOperator, StopToken, UnaryOperator,
+};
+use asterix_storage::Dataset;
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// One logged soft failure (§6.1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftFailureEntry {
+    /// When it happened.
+    pub at: SimInstant,
+    /// Which operator caught it.
+    pub operator: String,
+    /// The exception message.
+    pub message: String,
+    /// The offending record's payload, if identifiable.
+    pub payload: Option<String>,
+}
+
+/// The in-memory error log ("appended to the standard AsterixDB error log
+/// file").
+pub type SoftFailureLog = Arc<Mutex<Vec<SoftFailureEntry>>>;
+
+/// Empty log.
+pub fn new_soft_failure_log() -> SoftFailureLog {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+// ---------------------------------------------------------------------------
+// MetaFeed
+// ---------------------------------------------------------------------------
+
+/// The sandbox wrapper (§6.1). Drives a per-record processing function,
+/// surviving soft failures by skipping the offending record — the runtime
+/// equivalent of slicing the input frame around it.
+pub struct MetaFeed<F>
+where
+    F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
+{
+    name: String,
+    policy: IngestionPolicy,
+    metrics: Arc<FeedMetrics>,
+    log: SoftFailureLog,
+    log_dataset: Option<Arc<Dataset>>,
+    clock: asterix_common::SimClock,
+    consecutive_failures: usize,
+    process: F,
+    on_close: Option<Box<dyn FnMut() + Send>>,
+}
+
+impl<F> MetaFeed<F>
+where
+    F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
+{
+    /// Wrap `process` in the sandbox.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        policy: IngestionPolicy,
+        metrics: Arc<FeedMetrics>,
+        log: SoftFailureLog,
+        log_dataset: Option<Arc<Dataset>>,
+        clock: asterix_common::SimClock,
+        process: F,
+        on_close: Option<Box<dyn FnMut() + Send>>,
+    ) -> Self {
+        MetaFeed {
+            name: name.into(),
+            policy,
+            metrics,
+            log,
+            log_dataset,
+            clock,
+            consecutive_failures: 0,
+            process,
+            on_close,
+        }
+    }
+
+    fn log_soft(&mut self, err: &IngestError, record: &Record) {
+        self.metrics.soft_failures.fetch_add(1, Ordering::Relaxed);
+        let entry = SoftFailureEntry {
+            at: self.clock.now(),
+            operator: self.name.clone(),
+            message: err.to_string(),
+            payload: record.payload_str().map(str::to_string),
+        };
+        // at minimum, append to the error log
+        self.log.lock().push(entry.clone());
+        // optionally persist to a dedicated dataset
+        if self.policy.log_soft_failures_to_dataset {
+            if let Some(ds) = &self.log_dataset {
+                let rec = asterix_adm::AdmValue::record(vec![
+                    (
+                        "id",
+                        format!("sf-{}-{}", self.name, self.metrics.get(&self.metrics.soft_failures)).into(),
+                    ),
+                    ("at_millis", asterix_adm::AdmValue::Int(entry.at.0 as i64)),
+                    ("operator", entry.operator.clone().into()),
+                    ("message", entry.message.clone().into()),
+                    (
+                        "payload",
+                        entry
+                            .payload
+                            .clone()
+                            .map(asterix_adm::AdmValue::String)
+                            .unwrap_or(asterix_adm::AdmValue::Null),
+                    ),
+                ]);
+                let _ = ds.upsert(&rec);
+            }
+        }
+    }
+}
+
+impl<F> UnaryOperator for MetaFeed<F>
+where
+    F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
+{
+    fn next_frame(
+        &mut self,
+        frame: DataFrame,
+        output: &mut dyn FrameWriter,
+    ) -> IngestResult<()> {
+        let mut out = Vec::new();
+        for record in frame.records() {
+            match (self.process)(record) {
+                Ok(Some(r)) => {
+                    self.consecutive_failures = 0;
+                    out.push(r);
+                }
+                Ok(None) => {
+                    self.consecutive_failures = 0;
+                }
+                Err(e) if e.is_soft() && self.policy.recover_soft_failure => {
+                    // sandbox: skip past the exception-generating record
+                    self.log_soft(&e, record);
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures > self.policy.max_consecutive_soft_failures {
+                        return Err(IngestError::FeedTerminated {
+                            feed: asterix_common::FeedId(0),
+                            reason: format!(
+                                "{}: {} consecutive soft failures",
+                                self.name, self.consecutive_failures
+                            ),
+                        });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !out.is_empty() {
+            output.next_frame(DataFrame::from_records(out))?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, _output: &mut dyn FrameWriter) -> IngestResult<()> {
+        if let Some(f) = &mut self.on_close {
+            f();
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self) {
+        if let Some(f) = &mut self.on_close {
+            f();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FeedCollect
+// ---------------------------------------------------------------------------
+
+/// Descriptor for the FeedCollect operator.
+pub struct CollectDesc {
+    /// The joint id records are published under (the feed's name).
+    pub joint_id: String,
+    /// Adaptor factory.
+    pub factory: Arc<dyn AdaptorFactory>,
+    /// Adaptor configuration.
+    pub config: AdaptorConfig,
+    /// Pinned locations (the controller resolves Count constraints up front
+    /// so that failure recovery can substitute individual nodes).
+    pub locations: Vec<NodeId>,
+}
+
+impl OperatorDescriptor for CollectDesc {
+    fn name(&self) -> String {
+        format!("FeedCollect({})", self.joint_id)
+    }
+
+    fn constraints(&self) -> Constraint {
+        Constraint::Locations(self.locations.clone())
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &TaskContext,
+        output: Box<dyn FrameWriter>,
+    ) -> IngestResult<OperatorRuntime> {
+        let fm = FeedManager::on(&ctx.node);
+        let joint = fm.register_joint(&self.joint_id);
+        let adaptor = self.factory.create(&self.config, ctx.partition, &ctx.clock)?;
+        let source = CollectSource {
+            adaptor: Some(adaptor),
+            joint,
+            node: ctx.node.clone(),
+        };
+        Ok(OperatorRuntime::Source(Box::new(SourceHost::new(
+            Box::new(source),
+            output,
+        ))))
+    }
+}
+
+struct CollectSource {
+    adaptor: Option<Box<dyn crate::adaptor::FeedAdaptor>>,
+    joint: Arc<FeedJoint>,
+    node: asterix_hyracks::cluster::NodeHandle,
+}
+
+impl SourceOperator for CollectSource {
+    fn run(&mut self, _output: &mut dyn FrameWriter, stop: &StopToken) -> IngestResult<()> {
+        // defer adaptor use until the output is requested
+        while !self.joint.has_subscribers() {
+            if stop.is_stopped() || !self.node.is_alive() {
+                return Ok(());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let mut adaptor = self.adaptor.take().expect("collect runs once");
+        let joint = Arc::clone(&self.joint);
+        // the builder is shared with a flusher thread so partial frames
+        // reach the joint even when the source goes quiet (low-rate feeds)
+        let builder = Arc::new(Mutex::new(FrameBuilder::default()));
+        let flusher_builder = Arc::clone(&builder);
+        let flusher_joint = Arc::clone(&joint);
+        let flusher_stop = StopToken::new();
+        let flusher_stop2 = flusher_stop.clone();
+        let flusher = std::thread::Builder::new()
+            .name("collect-flusher".into())
+            .spawn(move || {
+                while !flusher_stop2.is_stopped() {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    let partial = flusher_builder.lock().flush();
+                    if let Some(f) = partial {
+                        if flusher_joint.deposit(f).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })
+            .map_err(|e| IngestError::Plan(format!("spawn flusher: {e}")))?;
+        let emit_builder = Arc::clone(&builder);
+        let emit_joint = Arc::clone(&joint);
+        let mut emit = |rec: Record| -> IngestResult<()> {
+            let full = emit_builder.lock().push(rec);
+            if let Some(full) = full {
+                emit_joint.deposit(full)?;
+            }
+            Ok(())
+        };
+        let result = adaptor.run(&mut emit, stop);
+        flusher_stop.stop();
+        let _ = flusher.join();
+        let rest = builder.lock().flush();
+        if let Some(rest) = rest {
+            let _ = self.joint.deposit(rest);
+        }
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FeedIntake
+// ---------------------------------------------------------------------------
+
+/// At-least-once plumbing for an intake partition.
+pub struct AckPlumbing {
+    /// Per-intake-partition ack receivers.
+    pub rxs: Vec<Receiver<AckBatch>>,
+    /// Replay timeout.
+    pub timeout: SimDuration,
+}
+
+/// Descriptor for the FeedIntake operator.
+pub struct IntakeDesc {
+    /// Joint to subscribe to.
+    pub joint_id: String,
+    /// Stable subscription key prefix (per-partition keys derive from it).
+    pub sub_key: String,
+    /// Pinned locations — must coincide with the joint's host nodes.
+    pub locations: Vec<NodeId>,
+    /// The connection's ingestion policy.
+    pub policy: IngestionPolicy,
+    /// Shared connection metrics.
+    pub metrics: Arc<FeedMetrics>,
+    /// Elastic scale-out signal channel.
+    pub elastic_tx: Option<Sender<ElasticRequest>>,
+    /// Hand-off queue depth (congestion sensor).
+    pub flow_capacity: usize,
+    /// At-least-once plumbing, when the policy enables it.
+    pub ack: Option<Arc<AckPlumbing>>,
+    /// Connection key (for elastic requests and zombie state).
+    pub connection_key: String,
+}
+
+impl OperatorDescriptor for IntakeDesc {
+    fn name(&self) -> String {
+        format!("FeedIntake({})", self.joint_id)
+    }
+
+    fn constraints(&self) -> Constraint {
+        Constraint::Locations(self.locations.clone())
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &TaskContext,
+        output: Box<dyn FrameWriter>,
+    ) -> IngestResult<OperatorRuntime> {
+        let fm = FeedManager::on(&ctx.node);
+        let sub_key = format!("{}#p{}", self.sub_key, ctx.partition);
+        let mut flow = FlowController::new(
+            self.policy.clone(),
+            Arc::clone(&self.metrics),
+            output,
+            self.flow_capacity,
+            self.connection_key.clone(),
+            self.elastic_tx.clone(),
+        );
+        // adopt any zombie state parked by a previous incarnation (§6.2.2)
+        let zombie = fm.take_zombie_state(&sub_key);
+        if !zombie.is_empty() {
+            flow.adopt_deferred(zombie);
+        }
+        let tracker = match &self.ack {
+            Some(plumbing) => {
+                let rx = plumbing
+                    .rxs
+                    .get(ctx.partition)
+                    .cloned()
+                    .ok_or_else(|| IngestError::Plan("missing ack receiver".into()))?;
+                Some(AckTracker::new(
+                    ctx.partition as u32,
+                    rx,
+                    plumbing.timeout,
+                    ctx.clock.clone(),
+                ))
+            }
+            None => None,
+        };
+        Ok(OperatorRuntime::Source(Box::new(IntakeSource {
+            joint_id: self.joint_id.clone(),
+            sub_key,
+            node: ctx.node.clone(),
+            clock: ctx.clock.clone(),
+            metrics: Arc::clone(&self.metrics),
+            flow: Some(flow),
+            tracker,
+        })))
+    }
+}
+
+struct IntakeSource {
+    joint_id: String,
+    sub_key: String,
+    node: asterix_hyracks::cluster::NodeHandle,
+    clock: asterix_common::SimClock,
+    metrics: Arc<FeedMetrics>,
+    flow: Option<FlowController>,
+    tracker: Option<AckTracker>,
+}
+
+impl IntakeSource {
+    fn fail_with_zombie(&mut self, fm: &Arc<FeedManager>) {
+        if let Some(flow) = self.flow.take() {
+            let deferred = flow.fail();
+            fm.save_zombie_state(&self.sub_key, deferred);
+        }
+    }
+
+    fn track_frame(&self, frame: DataFrame) -> DataFrame {
+        match &self.tracker {
+            Some(t) => DataFrame::from_records(
+                frame.records().iter().map(|r| t.track(r)).collect(),
+            ),
+            None => frame,
+        }
+    }
+
+    fn handle_acks_and_replays(&mut self) -> IngestResult<()> {
+        let due = match &self.tracker {
+            Some(t) => {
+                t.process_acks();
+                t.due_replays()
+            }
+            None => return Ok(()),
+        };
+        if !due.is_empty() {
+            self.metrics
+                .records_replayed
+                .fetch_add(due.len() as u64, Ordering::Relaxed);
+            let flow = self.flow.as_mut().expect("flow active");
+            flow.offer(DataFrame::from_records(due))?;
+        }
+        Ok(())
+    }
+}
+
+impl SourceOperator for IntakeSource {
+    fn run(&mut self, _output: &mut dyn FrameWriter, stop: &StopToken) -> IngestResult<()> {
+        let fm = FeedManager::on(&self.node);
+        let joint = fm.search_joint(&self.joint_id).ok_or_else(|| {
+            IngestError::Plan(format!(
+                "no joint '{}' on node {}",
+                self.joint_id,
+                self.node.id()
+            ))
+        })?;
+        let sub = joint.subscribe(self.sub_key.clone());
+        let poll = SimDuration::from_millis(100);
+        loop {
+            if !self.node.is_alive() {
+                // hard failure of this node: vanish (state on this node is
+                // lost with the node)
+                self.flow = None;
+                return Err(IngestError::NodeFailed(self.node.id()));
+            }
+            match stop.mode() {
+                asterix_hyracks::operator::StopMode::Running => {}
+                asterix_hyracks::operator::StopMode::Graceful => {
+                    // graceful disconnect: drain and leave
+                    sub.unsubscribe();
+                    let flow = self.flow.take().expect("flow active");
+                    return flow.finish();
+                }
+                asterix_hyracks::operator::StopMode::Abandon => {
+                    // pipeline rebuild: park deferred work and exit while
+                    // the subscription keeps buffering for the successor
+                    self.fail_with_zombie(&fm);
+                    return Ok(());
+                }
+            }
+            match sub.recv(&self.clock, poll) {
+                JointRecv::Frame(frame) => {
+                    self.metrics
+                        .records_in
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    let frame = self.track_frame(frame);
+                    let flow = self.flow.as_mut().expect("flow active");
+                    match flow.offer(frame) {
+                        Ok(()) => {}
+                        Err(e @ IngestError::FeedTerminated { .. }) => {
+                            sub.unsubscribe();
+                            self.flow = None;
+                            return Err(e);
+                        }
+                        Err(e) => {
+                            // downstream died: park state, keep the
+                            // subscription buffering for the rebuild
+                            self.fail_with_zombie(&fm);
+                            return Err(e);
+                        }
+                    }
+                }
+                JointRecv::Timeout => {
+                    let flow = self.flow.as_mut().expect("flow active");
+                    if let Err(e) = flow.drain_deferred() {
+                        self.fail_with_zombie(&fm);
+                        return Err(e);
+                    }
+                    if let Err(e) = self.handle_acks_and_replays() {
+                        self.fail_with_zombie(&fm);
+                        return Err(e);
+                    }
+                }
+                JointRecv::Retired => {
+                    let flow = self.flow.take().expect("flow active");
+                    return flow.finish();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assign (compute stage)
+// ---------------------------------------------------------------------------
+
+/// Descriptor for the Assign operator applying a UDF.
+pub struct AssignDesc {
+    /// The UDF to apply per record.
+    pub udf: Udf,
+    /// Joint id registered at the operator's output
+    /// (`<feed>:f1:...:fN`).
+    pub out_joint_id: String,
+    /// Pinned compute locations.
+    pub locations: Vec<NodeId>,
+    /// Connection policy (sandbox settings).
+    pub policy: IngestionPolicy,
+    /// Shared metrics.
+    pub metrics: Arc<FeedMetrics>,
+    /// Soft-failure log.
+    pub log: SoftFailureLog,
+    /// Optional dataset for persisted failure logging.
+    pub log_dataset: Option<Arc<Dataset>>,
+    /// Busy-spin iterations added per record (models the §7.1 "expensive
+    /// UDF" knob orthogonally to the UDF itself; usually 0).
+    pub extra_spin: u64,
+    /// Sleep (µs) added per record: models a fixed per-node processing
+    /// capacity of `1e6/extra_delay_us` records/s *without* consuming host
+    /// CPU, so capacity scales with instance count even on few physical
+    /// cores (the Fig 5.16 scalability substitution — see DESIGN.md).
+    pub extra_delay_us: u64,
+}
+
+impl OperatorDescriptor for AssignDesc {
+    fn name(&self) -> String {
+        format!("Assign({})", self.udf.name)
+    }
+
+    fn constraints(&self) -> Constraint {
+        Constraint::Locations(self.locations.clone())
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &TaskContext,
+        output: Box<dyn FrameWriter>,
+    ) -> IngestResult<OperatorRuntime> {
+        let fm = FeedManager::on(&ctx.node);
+        let joint = fm.register_joint(&self.out_joint_id);
+        let udf = self.udf.clone();
+        let metrics = Arc::clone(&self.metrics);
+        let extra_spin = self.extra_spin;
+        let extra_delay_us = self.extra_delay_us;
+        let process = move |rec: &Record| -> IngestResult<Option<Record>> {
+            let text = rec
+                .payload_str()
+                .ok_or_else(|| IngestError::soft("payload is not utf-8"))?;
+            let value = parse_value(text).map_err(|e| IngestError::soft(e.to_string()))?;
+            if extra_delay_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(extra_delay_us));
+            }
+            if extra_spin > 0 {
+                let mut acc = 0u64;
+                for i in 0..extra_spin {
+                    acc = acc.wrapping_add(i).rotate_left(1);
+                }
+                std::hint::black_box(acc);
+            }
+            let out = udf.apply(&value)?;
+            // a UDF returning `missing` filters the record out — the basis
+            // of the publish-subscribe use case (§8.2), where subscriptions
+            // are predicate feeds
+            if matches!(out, asterix_adm::AdmValue::Missing) {
+                return Ok(None);
+            }
+            metrics.records_computed.fetch_add(1, Ordering::Relaxed);
+            Ok(Some(Record {
+                id: rec.id,
+                adaptor: rec.adaptor,
+                payload: to_adm_string(&out).into(),
+            }))
+        };
+        let meta = MetaFeed::new(
+            self.name(),
+            self.policy.clone(),
+            Arc::clone(&self.metrics),
+            Arc::clone(&self.log),
+            self.log_dataset.clone(),
+            ctx.clock.clone(),
+            process,
+            None,
+        );
+        // data goes to the joint; the job edge carries only the close signal
+        let writer = JointWriter {
+            joint,
+            close_path: output,
+        };
+        Ok(OperatorRuntime::Unary(Box::new(UnaryHost::new(
+            Box::new(meta),
+            Box::new(writer),
+        ))))
+    }
+}
+
+/// Writer depositing frames into a joint while propagating lifecycle events
+/// down the job edge.
+struct JointWriter {
+    joint: Arc<FeedJoint>,
+    close_path: Box<dyn FrameWriter>,
+}
+
+impl FrameWriter for JointWriter {
+    fn open(&mut self) -> IngestResult<()> {
+        self.close_path.open()
+    }
+
+    fn next_frame(&mut self, frame: DataFrame) -> IngestResult<()> {
+        self.joint.deposit(frame)
+    }
+
+    fn close(&mut self) -> IngestResult<()> {
+        self.close_path.close()
+    }
+
+    fn fail(&mut self) {
+        self.close_path.fail();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store stage
+// ---------------------------------------------------------------------------
+
+/// Ack emission plumbing for the store stage.
+pub struct StoreAck {
+    /// Per-intake-partition ack senders.
+    pub txs: Vec<Sender<AckBatch>>,
+    /// Grouping window.
+    pub window: SimDuration,
+}
+
+/// Descriptor for the store (IndexInsert) operator.
+pub struct StoreDesc {
+    /// Target dataset.
+    pub dataset: Arc<Dataset>,
+    /// Type registry for record validation; `None` skips validation.
+    pub registry: Option<Arc<TypeRegistry>>,
+    /// Connection policy.
+    pub policy: IngestionPolicy,
+    /// Shared metrics.
+    pub metrics: Arc<FeedMetrics>,
+    /// Soft-failure log.
+    pub log: SoftFailureLog,
+    /// Optional dataset for persisted failure logging.
+    pub log_dataset: Option<Arc<Dataset>>,
+    /// At-least-once ack plumbing.
+    pub ack: Option<Arc<StoreAck>>,
+}
+
+impl OperatorDescriptor for StoreDesc {
+    fn name(&self) -> String {
+        format!("IndexInsert({})", self.dataset.config.name)
+    }
+
+    fn constraints(&self) -> Constraint {
+        // each store instance is co-located with its dataset partition
+        Constraint::Locations(self.dataset.config.nodegroup.clone())
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &TaskContext,
+        output: Box<dyn FrameWriter>,
+    ) -> IngestResult<OperatorRuntime> {
+        let expected = self.dataset.partition_node(ctx.partition);
+        if expected != ctx.node.id() {
+            return Err(IngestError::Plan(format!(
+                "store partition {} must run on {expected}, scheduled on {}",
+                ctx.partition,
+                ctx.node.id()
+            )));
+        }
+        let partition = self.dataset.partition(ctx.partition);
+        let datatype = AdmType::Named(self.dataset.config.datatype.clone());
+        let registry = self.registry.clone();
+        let metrics = Arc::clone(&self.metrics);
+        let mut ack_sender = self.ack.as_ref().map(|a| {
+            AckSender::new(a.txs.clone(), a.window, ctx.clock.clone())
+        });
+        let ack_for_close = self.ack.clone();
+        let process = move |rec: &Record| -> IngestResult<Option<Record>> {
+            let text = rec
+                .payload_str()
+                .ok_or_else(|| IngestError::soft("payload is not utf-8"))?;
+            let value = parse_value(text).map_err(|e| IngestError::soft(e.to_string()))?;
+            if let Some(reg) = &registry {
+                reg.check(&value, &datatype)
+                    .map_err(|e| IngestError::soft(e.to_string()))?;
+            }
+            partition.upsert(&value)?;
+            metrics.persisted(1);
+            if let Some(s) = &mut ack_sender {
+                s.ack(rec);
+            }
+            Ok(None)
+        };
+        let _ = ack_for_close; // acks flush when the sender drops with the op
+        let meta = MetaFeed::new(
+            self.name(),
+            self.policy.clone(),
+            Arc::clone(&self.metrics),
+            Arc::clone(&self.log),
+            self.log_dataset.clone(),
+            ctx.clock.clone(),
+            process,
+            None,
+        );
+        Ok(OperatorRuntime::Unary(Box::new(UnaryHost::new(
+            Box::new(meta),
+            output,
+        ))))
+    }
+}
+
+/// The hash-partitioning key function for the store connector: hash of the
+/// record's primary key (falls back to hashing raw bytes on unparseable
+/// payloads — the store's sandbox reports those as soft failures).
+pub fn store_key_fn(primary_key: String) -> Arc<dyn Fn(&Record) -> u64 + Send + Sync> {
+    Arc::new(move |rec: &Record| {
+        match rec.payload_str().and_then(|t| parse_value(t).ok()) {
+            Some(v) => match v.field(&primary_key) {
+                Some(k) => asterix_adm::hash::hash_value(k),
+                None => asterix_adm::hash::hash_value(&v),
+            },
+            None => {
+                // raw-byte hash keeps routing deterministic
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &b in rec.payload.iter() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_common::{RecordId, SimClock};
+
+    fn metrics() -> Arc<FeedMetrics> {
+        FeedMetrics::with_default_bucket(SimClock::fast())
+    }
+
+    type MetaRig<F> = (MetaFeed<F>, Arc<FeedMetrics>, SoftFailureLog);
+
+    fn meta_with<F>(policy: IngestionPolicy, process: F) -> MetaRig<F>
+    where
+        F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
+    {
+        let m = metrics();
+        let log = new_soft_failure_log();
+        let meta = MetaFeed::new(
+            "test-op",
+            policy,
+            Arc::clone(&m),
+            Arc::clone(&log),
+            None,
+            SimClock::fast(),
+            process,
+            None,
+        );
+        (meta, m, log)
+    }
+
+    fn frame_of(payloads: &[&str]) -> DataFrame {
+        DataFrame::from_records(
+            payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Record::tracked(RecordId(i as u64), 0, p.to_string()))
+                .collect(),
+        )
+    }
+
+    struct CaptureWriter(Vec<DataFrame>);
+    impl FrameWriter for CaptureWriter {
+        fn open(&mut self) -> IngestResult<()> {
+            Ok(())
+        }
+        fn next_frame(&mut self, f: DataFrame) -> IngestResult<()> {
+            self.0.push(f);
+            Ok(())
+        }
+        fn close(&mut self) -> IngestResult<()> {
+            Ok(())
+        }
+        fn fail(&mut self) {}
+    }
+
+    #[test]
+    fn metafeed_skips_soft_failures_and_logs() {
+        let (mut meta, m, log) = meta_with(IngestionPolicy::basic(), |r: &Record| {
+            if r.payload_str() == Some("bad") {
+                Err(IngestError::soft("cannot parse"))
+            } else {
+                Ok(Some(r.clone()))
+            }
+        });
+        let mut out = CaptureWriter(Vec::new());
+        meta.next_frame(frame_of(&["a", "bad", "b", "bad", "c"]), &mut out)
+            .unwrap();
+        assert_eq!(out.0[0].len(), 3);
+        assert_eq!(m.soft_failures.load(Ordering::Relaxed), 2);
+        let entries = log.lock();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].operator, "test-op");
+        assert_eq!(entries[0].payload.as_deref(), Some("bad"));
+    }
+
+    #[test]
+    fn metafeed_terminates_after_consecutive_limit() {
+        let mut policy = IngestionPolicy::basic();
+        policy.max_consecutive_soft_failures = 3;
+        let (mut meta, _m, _log) = meta_with(policy, |_r: &Record| {
+            Err(IngestError::soft("always fails"))
+        });
+        let mut out = CaptureWriter(Vec::new());
+        let err = meta
+            .next_frame(frame_of(&["a", "b", "c", "d", "e"]), &mut out)
+            .unwrap_err();
+        assert!(matches!(err, IngestError::FeedTerminated { .. }), "{err}");
+    }
+
+    #[test]
+    fn metafeed_success_resets_consecutive_count() {
+        let mut policy = IngestionPolicy::basic();
+        policy.max_consecutive_soft_failures = 2;
+        let (mut meta, _m, _log) = meta_with(policy, |r: &Record| {
+            if r.payload_str() == Some("bad") {
+                Err(IngestError::soft("x"))
+            } else {
+                Ok(Some(r.clone()))
+            }
+        });
+        let mut out = CaptureWriter(Vec::new());
+        // alternating failures never hit the consecutive limit
+        meta.next_frame(
+            frame_of(&["bad", "ok", "bad", "ok", "bad", "ok", "bad"]),
+            &mut out,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn metafeed_propagates_soft_error_when_recovery_disabled() {
+        let mut policy = IngestionPolicy::basic();
+        policy.recover_soft_failure = false;
+        let (mut meta, _m, _log) =
+            meta_with(policy, |_r: &Record| Err(IngestError::soft("boom")));
+        let mut out = CaptureWriter(Vec::new());
+        let err = meta.next_frame(frame_of(&["a"]), &mut out).unwrap_err();
+        assert!(err.is_soft());
+    }
+
+    #[test]
+    fn metafeed_hard_errors_pass_through() {
+        let (mut meta, _m, _log) = meta_with(IngestionPolicy::basic(), |_r: &Record| {
+            Err(IngestError::Storage("disk on fire".into()))
+        });
+        let mut out = CaptureWriter(Vec::new());
+        let err = meta.next_frame(frame_of(&["a"]), &mut out).unwrap_err();
+        assert!(matches!(err, IngestError::Storage(_)));
+    }
+
+    #[test]
+    fn store_key_fn_routes_by_primary_key() {
+        let key_fn = store_key_fn("id".into());
+        let r1 = Record::tracked(RecordId(0), 0, "{\"id\":\"a\",\"x\":1}");
+        let r2 = Record::tracked(RecordId(1), 0, "{\"id\":\"a\",\"x\":2}");
+        let r3 = Record::tracked(RecordId(2), 0, "{\"id\":\"b\",\"x\":1}");
+        assert_eq!(key_fn(&r1), key_fn(&r2), "same key, same route");
+        assert_ne!(key_fn(&r1), key_fn(&r3));
+        // unparseable payloads still route deterministically
+        let bad = Record::tracked(RecordId(3), 0, "}{");
+        assert_eq!(key_fn(&bad), key_fn(&bad));
+    }
+}

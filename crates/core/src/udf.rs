@@ -1,0 +1,243 @@
+//! The user-defined-function framework (Ch. 4.2).
+//!
+//! A feed may "apply function" a UDF to every record before persistence.
+//! Two kinds exist, with different compiler treatment:
+//!
+//! * **AQL UDFs** — transparent to the compiler ("the AsterixDB compiler can
+//!   reason about an AQL UDF and even involve the use of indexes");
+//! * **External (Java) UDFs** — "treated as a black box", assumed stateless
+//!   and embarrassingly parallel.
+//!
+//! Both run as `AdmValue → AdmValue` functions at the compute stage. The
+//! experiments of §5.7.2 use synthetic external UDFs whose cost is a busy
+//! spin loop "that runs for a given number of iterations" —
+//! [`Udf::busy_spin`] reproduces those.
+
+use asterix_adm::functions::add_hash_tags;
+use asterix_adm::AdmValue;
+use asterix_common::{IngestError, IngestResult};
+use std::sync::Arc;
+
+/// How the function was authored (affects compiler treatment, not runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdfKind {
+    /// Declarative AQL function — inlined by the compiler.
+    Aql,
+    /// External black-box function (the paper's Java UDFs).
+    External,
+}
+
+/// The callable inside a UDF.
+pub type UdfFn = Arc<dyn Fn(&AdmValue) -> IngestResult<AdmValue> + Send + Sync>;
+
+/// A record-to-record pre-processing function.
+#[derive(Clone)]
+pub struct Udf {
+    /// Function name; external functions use the qualified
+    /// `library#function` form (Listing 5.9).
+    pub name: String,
+    /// AQL or external.
+    pub kind: UdfKind,
+    f: UdfFn,
+}
+
+impl Udf {
+    /// Wrap a closure as an AQL UDF.
+    pub fn aql(
+        name: impl Into<String>,
+        f: impl Fn(&AdmValue) -> IngestResult<AdmValue> + Send + Sync + 'static,
+    ) -> Udf {
+        Udf {
+            name: name.into(),
+            kind: UdfKind::Aql,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Wrap a closure as an external ("Java") UDF.
+    pub fn external(
+        name: impl Into<String>,
+        f: impl Fn(&AdmValue) -> IngestResult<AdmValue> + Send + Sync + 'static,
+    ) -> Udf {
+        Udf {
+            name: name.into(),
+            kind: UdfKind::External,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Apply to one record. A panic inside an external function is caught
+    /// and surfaced as a soft failure — the sandbox boundary for buggy
+    /// user code (§6.1).
+    pub fn apply(&self, record: &AdmValue) -> IngestResult<AdmValue> {
+        match self.kind {
+            UdfKind::Aql => (self.f)(record),
+            UdfKind::External => {
+                let f = Arc::clone(&self.f);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(record)))
+                    .unwrap_or_else(|p| {
+                        let msg = p
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "panic in external UDF".into());
+                        Err(IngestError::soft(format!(
+                            "external UDF {} panicked: {msg}",
+                            self.name
+                        )))
+                    })
+            }
+        }
+    }
+
+    /// The paper's Listing 4.2 `addHashTags` AQL UDF.
+    pub fn add_hash_tags() -> Udf {
+        Udf::aql("addHashTags", add_hash_tags)
+    }
+
+    /// A synthetic external UDF spinning for `iterations` loop steps per
+    /// record, optionally composing an inner transformation — the §5.7.2
+    /// technique for modelling UDFs of varying computational cost.
+    pub fn busy_spin(name: impl Into<String>, iterations: u64) -> Udf {
+        Udf::external(name, move |r| {
+            let mut acc = 0u64;
+            for i in 0..iterations {
+                acc = acc.wrapping_add(i).rotate_left(1);
+            }
+            std::hint::black_box(acc);
+            Ok(r.clone())
+        })
+    }
+
+    /// A filtering UDF: keeps records satisfying `predicate`, drops the
+    /// rest (by returning `missing`, which the compute stage interprets as
+    /// "filtered"). Subscriptions in the §8.2 publish-subscribe use case
+    /// are such predicate feeds.
+    pub fn filter(
+        name: impl Into<String>,
+        predicate: impl Fn(&AdmValue) -> bool + Send + Sync + 'static,
+    ) -> Udf {
+        Udf::aql(name, move |r| {
+            if predicate(r) {
+                Ok(r.clone())
+            } else {
+                Ok(AdmValue::Missing)
+            }
+        })
+    }
+
+    /// A sentiment-analysis stand-in (the paper's `tweetlib#sentimentAnalysis`,
+    /// Listing 5.9): appends a deterministic `sentiment ∈ [0, 1]` derived
+    /// from the message text.
+    pub fn sentiment_analysis() -> Udf {
+        Udf::external("tweetlib#sentimentAnalysis", |r| {
+            let text = r
+                .field("message_text")
+                .and_then(AdmValue::as_str)
+                .ok_or_else(|| IngestError::soft("record has no message_text"))?;
+            let positive = ["love", "great", "awesome", "good", "happy", "like"];
+            let negative = ["hate", "terrible", "bad", "sad", "never"];
+            let mut score = 0i32;
+            for w in text.split_whitespace() {
+                let w = w.to_ascii_lowercase();
+                if positive.contains(&w.as_str()) {
+                    score += 1;
+                } else if negative.contains(&w.as_str()) {
+                    score -= 1;
+                }
+            }
+            let sentiment = 1.0 / (1.0 + (-(score as f64)).exp());
+            let mut out = r.clone();
+            out.set_field("sentiment", AdmValue::Double(sentiment));
+            Ok(out)
+        })
+    }
+}
+
+impl std::fmt::Debug for Udf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Udf({}, {:?})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet(text: &str) -> AdmValue {
+        AdmValue::record(vec![
+            ("id", "t1".into()),
+            ("message_text", text.into()),
+        ])
+    }
+
+    #[test]
+    fn add_hash_tags_udf() {
+        let u = Udf::add_hash_tags();
+        assert_eq!(u.kind, UdfKind::Aql);
+        let out = u.apply(&tweet("go #lakers")).unwrap();
+        assert_eq!(
+            out.field("topics").unwrap().as_list().unwrap()[0],
+            AdmValue::string("#lakers")
+        );
+    }
+
+    #[test]
+    fn busy_spin_is_identity() {
+        let u = Udf::busy_spin("f1", 10_000);
+        let t = tweet("x");
+        assert_eq!(u.apply(&t).unwrap(), t);
+        assert_eq!(u.kind, UdfKind::External);
+    }
+
+    #[test]
+    fn busy_spin_cost_scales() {
+        let cheap = Udf::busy_spin("cheap", 0);
+        let costly = Udf::busy_spin("costly", 3_000_000);
+        let t = tweet("x");
+        let t0 = std::time::Instant::now();
+        for _ in 0..50 {
+            cheap.apply(&t).unwrap();
+        }
+        let cheap_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        for _ in 0..50 {
+            costly.apply(&t).unwrap();
+        }
+        let costly_time = t1.elapsed();
+        assert!(
+            costly_time > cheap_time * 3,
+            "costly {costly_time:?} vs cheap {cheap_time:?}"
+        );
+    }
+
+    #[test]
+    fn sentiment_lands_in_unit_interval() {
+        let u = Udf::sentiment_analysis();
+        for text in ["love love great", "hate terrible bad sad", "neutral words"] {
+            let out = u.apply(&tweet(text)).unwrap();
+            let s = out.field("sentiment").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&s), "{text} → {s}");
+        }
+        let pos = u.apply(&tweet("love great awesome")).unwrap();
+        let neg = u.apply(&tweet("hate terrible bad")).unwrap();
+        assert!(
+            pos.field("sentiment").unwrap().as_f64().unwrap()
+                > neg.field("sentiment").unwrap().as_f64().unwrap()
+        );
+    }
+
+    #[test]
+    fn external_panic_becomes_soft_failure() {
+        let u = Udf::external("buggy", |_| panic!("NPE!"));
+        let err = u.apply(&tweet("x")).unwrap_err();
+        assert!(err.is_soft());
+        assert!(err.to_string().contains("NPE"), "{err}");
+    }
+
+    #[test]
+    fn aql_errors_pass_through() {
+        let u = Udf::aql("checker", |_| Err(IngestError::soft("bad record")));
+        assert!(u.apply(&tweet("x")).unwrap_err().is_soft());
+    }
+}

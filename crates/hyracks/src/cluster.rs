@@ -1,0 +1,424 @@
+//! The simulated shared-nothing cluster.
+//!
+//! §3.2.1: a Hyracks cluster is "managed by a Cluster Controller process";
+//! each worker runs a "Node Controller" that "reports on its health (e.g.,
+//! resource usage levels) via a heartbeat mechanism". §6.2.1: "A failure in
+//! receiving a heartbeat for a configurable threshold duration is assumed by
+//! the CC as a node failure", upon which a cluster event is dispatched to
+//! subscribers (the Central Feed Manager among them).
+//!
+//! Here a *node* is a logical container: an alive flag, a set of running
+//! task threads, node-local services and a heartbeat thread. Killing a node
+//! flips the flag — its heartbeats cease, its tasks exit without closing
+//! their outputs, and after the detection threshold the monitor emits
+//! [`ClusterEvent::NodeFailed`].
+
+use crate::services::ServiceMap;
+use asterix_common::{NodeId, SimClock, SimDuration, SimInstant};
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cluster-membership events (§6.2.1's "cluster-events").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// A node joined (or re-joined) the cluster.
+    NodeJoined(NodeId),
+    /// The CC stopped receiving heartbeats from a node.
+    NodeFailed(NodeId),
+}
+
+/// Timing knobs for heartbeat-based failure detection, in sim-time.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// How often each Node Controller heartbeats.
+    pub heartbeat_interval: SimDuration,
+    /// Missing heartbeats for this long ⇒ the node is declared failed.
+    pub failure_threshold: SimDuration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            heartbeat_interval: SimDuration::from_millis(250),
+            failure_threshold: SimDuration::from_millis(1000),
+        }
+    }
+}
+
+pub(crate) struct NodeInner {
+    pub id: NodeId,
+    pub alive: AtomicBool,
+    pub services: ServiceMap,
+    last_heartbeat: Mutex<SimInstant>,
+    /// set when the failure monitor has already reported this node
+    reported_failed: AtomicBool,
+}
+
+/// Handle to one node of the cluster.
+#[derive(Clone)]
+pub struct NodeHandle {
+    pub(crate) inner: Arc<NodeInner>,
+}
+
+impl NodeHandle {
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.inner.id
+    }
+
+    /// Is the node up?
+    pub fn is_alive(&self) -> bool {
+        self.inner.alive.load(Ordering::SeqCst)
+    }
+
+    /// Node-local services (the per-node Feed Manager lives here).
+    pub fn services(&self) -> &ServiceMap {
+        &self.inner.services
+    }
+
+}
+
+impl std::fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NodeHandle({}, alive={})",
+            self.inner.id,
+            self.is_alive()
+        )
+    }
+}
+
+struct ClusterInner {
+    clock: SimClock,
+    config: ClusterConfig,
+    nodes: RwLock<Vec<NodeHandle>>,
+    subscribers: Mutex<Vec<Sender<ClusterEvent>>>,
+    shutdown: AtomicBool,
+}
+
+/// The whole simulated cluster: Cluster Controller plus its nodes.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl Cluster {
+    /// Start a cluster of `n_nodes` with the given clock and config.
+    pub fn start(n_nodes: usize, clock: SimClock, config: ClusterConfig) -> Self {
+        let cluster = Cluster {
+            inner: Arc::new(ClusterInner {
+                clock,
+                config,
+                nodes: RwLock::new(Vec::new()),
+                subscribers: Mutex::new(Vec::new()),
+                shutdown: AtomicBool::new(false),
+            }),
+        };
+        for _ in 0..n_nodes {
+            cluster.add_node();
+        }
+        cluster.spawn_monitor();
+        cluster
+    }
+
+    /// Start with default config and a fast clock — the common test setup.
+    pub fn start_default(n_nodes: usize) -> Self {
+        Cluster::start(n_nodes, SimClock::fast(), ClusterConfig::default())
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Add a node; it begins heartbeating immediately. Returns its handle.
+    pub fn add_node(&self) -> NodeHandle {
+        let mut nodes = self.inner.nodes.write();
+        let id = NodeId(nodes.len() as u64);
+        let handle = NodeHandle {
+            inner: Arc::new(NodeInner {
+                id,
+                alive: AtomicBool::new(true),
+                services: ServiceMap::new(),
+                last_heartbeat: Mutex::new(self.inner.clock.now()),
+                reported_failed: AtomicBool::new(false),
+            }),
+        };
+        nodes.push(handle.clone());
+        drop(nodes);
+        self.spawn_heartbeat(handle.clone());
+        self.emit(ClusterEvent::NodeJoined(id));
+        handle
+    }
+
+    /// Revive a previously failed node: it re-joins the cluster under its
+    /// old id (the paper's store-failure recovery path, §6.2.3).
+    pub fn revive_node(&self, id: NodeId) -> Option<NodeHandle> {
+        let handle = self.node(id)?;
+        if handle.is_alive() {
+            return Some(handle);
+        }
+        handle.inner.alive.store(true, Ordering::SeqCst);
+        handle.inner.reported_failed.store(false, Ordering::SeqCst);
+        *handle.inner.last_heartbeat.lock() = self.inner.clock.now();
+        self.spawn_heartbeat(handle.clone());
+        self.emit(ClusterEvent::NodeJoined(id));
+        Some(handle)
+    }
+
+    /// All nodes ever registered (alive or failed).
+    pub fn nodes(&self) -> Vec<NodeHandle> {
+        self.inner.nodes.read().clone()
+    }
+
+    /// Alive nodes only.
+    pub fn alive_nodes(&self) -> Vec<NodeHandle> {
+        self.inner
+            .nodes
+            .read()
+            .iter()
+            .filter(|n| n.is_alive())
+            .cloned()
+            .collect()
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> Option<NodeHandle> {
+        self.inner
+            .nodes
+            .read()
+            .iter()
+            .find(|n| n.id() == id)
+            .cloned()
+    }
+
+    /// Kill a node: a hard failure. Heartbeats stop; tasks scheduled on the
+    /// node observe the dead flag and exit abruptly; the failure monitor
+    /// reports [`ClusterEvent::NodeFailed`] after the detection threshold.
+    pub fn kill_node(&self, id: NodeId) {
+        if let Some(n) = self.node(id) {
+            n.inner.alive.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Subscribe to cluster events.
+    pub fn subscribe(&self) -> Receiver<ClusterEvent> {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        self.inner.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Tear the cluster down (stops monitor and heartbeat threads).
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for n in self.nodes() {
+            n.inner.alive.store(false, Ordering::SeqCst);
+        }
+    }
+
+    fn emit(&self, event: ClusterEvent) {
+        let mut subs = self.inner.subscribers.lock();
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    fn spawn_heartbeat(&self, node: NodeHandle) {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("hb-{}", node.id()))
+            .spawn(move || {
+                while node.is_alive() && !inner.shutdown.load(Ordering::SeqCst) {
+                    *node.inner.last_heartbeat.lock() = inner.clock.now();
+                    inner.clock.sleep(inner.config.heartbeat_interval);
+                }
+            })
+            .expect("spawn heartbeat thread");
+    }
+
+    fn spawn_monitor(&self) {
+        let inner = Arc::clone(&self.inner);
+        let cluster = self.clone();
+        std::thread::Builder::new()
+            .name("cc-failure-monitor".into())
+            .spawn(move || {
+                while !inner.shutdown.load(Ordering::SeqCst) {
+                    inner.clock.sleep(inner.config.heartbeat_interval);
+                    let now = inner.clock.now();
+                    let nodes = inner.nodes.read().clone();
+                    for n in nodes {
+                        if n.inner.reported_failed.load(Ordering::SeqCst) {
+                            continue;
+                        }
+                        let last = *n.inner.last_heartbeat.lock();
+                        let silent = now.since(last);
+                        if silent >= inner.config.failure_threshold
+                            && n.inner
+                                .reported_failed
+                                .compare_exchange(
+                                    false,
+                                    true,
+                                    Ordering::SeqCst,
+                                    Ordering::SeqCst,
+                                )
+                                .is_ok()
+                        {
+                            // the node may still think it's alive (e.g. a
+                            // network partition); declare it dead anyway
+                            n.inner.alive.store(false, Ordering::SeqCst);
+                            cluster.emit(ClusterEvent::NodeFailed(n.id()));
+                        }
+                    }
+                }
+            })
+            .expect("spawn failure monitor");
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Cluster({} nodes, {} alive)",
+            self.inner.nodes.read().len(),
+            self.alive_nodes().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn nodes_join_with_sequential_ids() {
+        let c = Cluster::start_default(3);
+        let ids: Vec<_> = c.nodes().iter().map(|n| n.id()).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(c.alive_nodes().len(), 3);
+        c.shutdown();
+    }
+
+    #[test]
+    fn subscriber_sees_joins() {
+        let c = Cluster::start_default(0);
+        let rx = c.subscribe();
+        let n = c.add_node();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap(),
+            ClusterEvent::NodeJoined(n.id())
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn killed_node_is_detected_by_heartbeat_loss() {
+        // generous real-time margins: heartbeats every 10 ms, detection
+        // after 60 ms — robust against scheduler noise on loaded hosts
+        // heartbeat every 10 ms real, detection after 300 ms real — wide
+        // margins against scheduler starvation on loaded hosts
+        let c = Cluster::start(
+            2,
+            SimClock::with_scale(100.0),
+            ClusterConfig {
+                heartbeat_interval: SimDuration::from_millis(100),
+                failure_threshold: SimDuration::from_millis(3000),
+            },
+        );
+        let rx = c.subscribe();
+        c.kill_node(NodeId(1));
+        assert!(!c.node(NodeId(1)).unwrap().is_alive());
+        // the failure event for the killed node arrives after the threshold
+        // (a starved healthy node may rarely be reported too; tolerate it)
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(ClusterEvent::NodeFailed(id)) if id == NodeId(1) => break,
+                Ok(_) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "never saw NodeFailed(NC1)"
+                    );
+                }
+                Err(e) => panic!("no failure event: {e}"),
+            }
+        }
+        assert!(!c.alive_nodes().iter().any(|n| n.id() == NodeId(1)));
+        c.shutdown();
+    }
+
+    #[test]
+    fn healthy_nodes_are_not_reported_failed() {
+        // heartbeat every 10 ms real, threshold 300 ms real: even heavy
+        // scheduler starvation on a loaded host stays under the threshold
+        let c = Cluster::start(
+            1,
+            SimClock::with_scale(100.0),
+            ClusterConfig {
+                heartbeat_interval: SimDuration::from_millis(100),
+                failure_threshold: SimDuration::from_millis(3000),
+            },
+        );
+        let rx = c.subscribe();
+        // wait several heartbeat periods of real time
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(rx.try_recv().is_err(), "no spurious failure events");
+        assert!(c.node(NodeId(0)).unwrap().is_alive());
+        c.shutdown();
+    }
+
+    #[test]
+    fn revive_rejoins_under_same_id() {
+        let c = Cluster::start(
+            2,
+            SimClock::with_scale(100.0),
+            ClusterConfig {
+                heartbeat_interval: SimDuration::from_millis(100),
+                failure_threshold: SimDuration::from_millis(600),
+            },
+        );
+        let rx = c.subscribe();
+        c.kill_node(NodeId(0));
+        // wait for the failure report
+        loop {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                ClusterEvent::NodeFailed(id) => {
+                    assert_eq!(id, NodeId(0));
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        let n = c.revive_node(NodeId(0)).unwrap();
+        assert!(n.is_alive());
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap(),
+            ClusterEvent::NodeJoined(NodeId(0))
+        );
+        assert_eq!(c.alive_nodes().len(), 2);
+        c.shutdown();
+    }
+
+    #[test]
+    fn revive_unknown_node_is_none() {
+        let c = Cluster::start_default(1);
+        assert!(c.revive_node(NodeId(42)).is_none());
+        c.shutdown();
+    }
+
+    #[test]
+    fn services_are_per_node() {
+        let c = Cluster::start_default(2);
+        #[derive(Debug)]
+        struct S(u32);
+        c.node(NodeId(0)).unwrap().services().put(Arc::new(S(1)));
+        assert!(c.node(NodeId(1)).unwrap().services().get::<S>().is_none());
+        assert_eq!(
+            c.node(NodeId(0)).unwrap().services().get::<S>().unwrap().0,
+            1
+        );
+        c.shutdown();
+    }
+}

@@ -1,0 +1,620 @@
+//! Job scheduling and execution.
+//!
+//! The executor turns a [`JobSpec`] into running threads: one task per
+//! operator partition, placed on nodes according to the operator's count or
+//! location constraints, connected by bounded channels. Bounded queues give
+//! the pipeline its back-pressure: a slow consumer stalls its producers,
+//! which is precisely the congestion mechanism Chapter 7 studies.
+//!
+//! Tasks scheduled on a node observe the node's alive flag; when the node is
+//! killed they exit *without* closing their outputs — the frames in their
+//! input queues are simply lost, as they would be on a real machine crash.
+
+use crate::cluster::{Cluster, NodeHandle};
+use crate::connector::{ConnectorSpec, RouterWriter, TeeWriter};
+use crate::job::{Constraint, JobSpec, OperatorSpecId};
+use crate::operator::{DevNull, FrameWriter, OperatorRuntime, StopToken};
+use asterix_common::ids::IdGen;
+use asterix_common::{
+    DataFrame, IngestError, IngestResult, JobId, NodeId, SimClock, DEFAULT_FRAME_CAPACITY,
+};
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+static JOB_IDS: IdGen = IdGen::new();
+
+/// Message on an inter-task queue.
+#[derive(Debug)]
+pub enum TaskMsg {
+    /// A data frame.
+    Frame(DataFrame),
+    /// Graceful end-of-stream from one producer.
+    Close,
+    /// Abnormal termination signal.
+    Fail,
+}
+
+/// Sender side of a task's input queue.
+#[derive(Debug, Clone)]
+pub struct TaskInput {
+    tx: Sender<TaskMsg>,
+}
+
+impl TaskInput {
+    /// Create a bounded input queue; returns the sender and receiver halves.
+    pub fn bounded(capacity: usize) -> (TaskInput, Receiver<TaskMsg>) {
+        let (tx, rx) = crossbeam_channel::bounded(capacity);
+        (TaskInput { tx }, rx)
+    }
+
+    /// Blocking send (back-pressure point).
+    pub fn send_frame(&self, frame: DataFrame) -> IngestResult<()> {
+        self.tx
+            .send(TaskMsg::Frame(frame))
+            .map_err(|_| IngestError::Disconnected("consumer gone".into()))
+    }
+
+    /// Non-blocking send; on a full queue the frame is handed back so the
+    /// caller (an ingestion-policy writer) can decide what to do with the
+    /// excess.
+    pub fn try_send_frame(&self, frame: DataFrame) -> Result<(), TrySendFrame> {
+        match self.tx.try_send(TaskMsg::Frame(frame)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(TaskMsg::Frame(f))) => Err(TrySendFrame::Full(f)),
+            Err(TrySendError::Disconnected(_)) => Err(TrySendFrame::Disconnected),
+            Err(_) => unreachable!("only frames are try-sent"),
+        }
+    }
+
+    /// Signal graceful end-of-stream.
+    pub fn send_close(&self) -> IngestResult<()> {
+        self.tx
+            .send(TaskMsg::Close)
+            .map_err(|_| IngestError::Disconnected("consumer gone".into()))
+    }
+
+    /// Signal abnormal termination (best effort).
+    pub fn send_fail(&self) {
+        let _ = self.tx.send(TaskMsg::Fail);
+    }
+}
+
+/// Outcome of a failed [`TaskInput::try_send_frame`].
+#[derive(Debug)]
+pub enum TrySendFrame {
+    /// Queue full; the frame is returned to the caller.
+    Full(DataFrame),
+    /// Consumer is gone.
+    Disconnected,
+}
+
+/// Runtime context handed to operator descriptors at instantiation.
+#[derive(Clone)]
+pub struct TaskContext {
+    /// The job this task belongs to.
+    pub job: JobId,
+    /// Node the task is scheduled on.
+    pub node: NodeHandle,
+    /// Partition index of this task within its operator.
+    pub partition: usize,
+    /// Total partitions of this operator.
+    pub n_partitions: usize,
+    /// Shared cluster clock.
+    pub clock: SimClock,
+}
+
+impl TaskContext {
+    /// Is the hosting node still alive?
+    pub fn node_alive(&self) -> bool {
+        self.node.is_alive()
+    }
+}
+
+impl std::fmt::Debug for TaskContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TaskContext(job={}, node={}, partition={}/{})",
+            self.job,
+            self.node.id(),
+            self.partition,
+            self.n_partitions
+        )
+    }
+}
+
+/// Per-task result list (placement plus outcome).
+pub type TaskResults = Vec<(TaskPlacement, IngestResult<()>)>;
+
+/// Where one task of a job ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPlacement {
+    /// Operator within the job spec.
+    pub op: OperatorSpecId,
+    /// Operator display name.
+    pub op_name: String,
+    /// Partition index.
+    pub partition: usize,
+    /// Hosting node.
+    pub node: NodeId,
+}
+
+struct TaskRecord {
+    placement: TaskPlacement,
+    join: std::thread::JoinHandle<IngestResult<()>>,
+    stop: StopToken,
+    is_source: bool,
+}
+
+/// Handle to a scheduled job.
+pub struct JobHandle {
+    /// The job's id.
+    pub id: JobId,
+    /// The job's display name.
+    pub name: String,
+    tasks: Mutex<Vec<TaskRecord>>,
+    layout: Vec<TaskPlacement>,
+    /// results cached by the first wait()/try_outcome() reap
+    results: Mutex<Option<TaskResults>>,
+}
+
+impl JobHandle {
+    /// A detached handle with no tasks — a placeholder for two-phase
+    /// construction of structures that embed a `JobHandle`.
+    pub fn detached() -> JobHandle {
+        JobHandle {
+            id: JobId(u64::MAX),
+            name: "<detached>".into(),
+            tasks: Mutex::new(Vec::new()),
+            layout: Vec::new(),
+            results: Mutex::new(Some(Vec::new())),
+        }
+    }
+
+    /// Placement of every task (feeds' Central Feed Manager uses this to
+    /// find pipelines affected by a node failure).
+    pub fn layout(&self) -> &[TaskPlacement] {
+        &self.layout
+    }
+
+    /// Request the source operators stop; in-flight frames drain through
+    /// the pipeline and downstream operators close gracefully.
+    pub fn stop_sources(&self) {
+        for t in self.tasks.lock().iter() {
+            if t.is_source {
+                t.stop.stop();
+            }
+        }
+    }
+
+    /// Abort: fire every task's stop token in abandon mode (no graceful
+    /// drain; shared state such as joint subscriptions is preserved for a
+    /// successor incarnation).
+    pub fn abort(&self) {
+        for t in self.tasks.lock().iter() {
+            t.stop.stop_abandon();
+        }
+    }
+
+    /// Wait for all tasks to finish; returns per-task results (cached, so
+    /// repeated calls return the same results).
+    pub fn wait(&self) -> TaskResults {
+        let tasks: Vec<TaskRecord> = std::mem::take(&mut *self.tasks.lock());
+        let fresh: TaskResults = tasks
+            .into_iter()
+            .map(|t| {
+                let r = t
+                    .join
+                    .join()
+                    .unwrap_or_else(|_| Err(IngestError::Plan("task panicked".into())));
+                (t.placement, r)
+            })
+            .collect();
+        let mut cache = self.results.lock();
+        cache.get_or_insert_with(Vec::new).extend(fresh);
+        cache.clone().unwrap_or_default()
+    }
+
+    /// Non-blocking: if every task has finished, reap and return the cached
+    /// per-task results; `None` while any task still runs.
+    pub fn try_outcome(&self) -> Option<TaskResults> {
+        if self.is_running() {
+            return None;
+        }
+        Some(self.wait())
+    }
+
+    /// Wait and assert every task succeeded.
+    pub fn wait_ok(&self) -> IngestResult<()> {
+        for (p, r) in self.wait() {
+            r.map_err(|e| {
+                IngestError::Plan(format!("task {}[{}] failed: {e}", p.op_name, p.partition))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Are any tasks still running?
+    pub fn is_running(&self) -> bool {
+        self.tasks.lock().iter().any(|t| !t.join.is_finished())
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JobHandle({}, '{}')", self.id, self.name)
+    }
+}
+
+/// Resolve an operator's constraint to a list of hosting nodes.
+fn resolve_placement(
+    cluster: &Cluster,
+    constraint: &Constraint,
+    op_name: &str,
+) -> IngestResult<Vec<NodeHandle>> {
+    match constraint {
+        Constraint::Count(n) => {
+            let alive = cluster.alive_nodes();
+            if alive.is_empty() {
+                return Err(IngestError::Plan(format!(
+                    "no alive nodes to place operator {op_name}"
+                )));
+            }
+            Ok((0..*n).map(|i| alive[i % alive.len()].clone()).collect())
+        }
+        Constraint::Locations(locs) => locs
+            .iter()
+            .map(|id| {
+                let node = cluster
+                    .node(*id)
+                    .ok_or_else(|| {
+                        IngestError::Plan(format!("operator {op_name}: unknown node {id}"))
+                    })?;
+                if !node.is_alive() {
+                    return Err(IngestError::Plan(format!(
+                        "operator {op_name}: node {id} is not alive"
+                    )));
+                }
+                Ok(node)
+            })
+            .collect(),
+    }
+}
+
+/// Schedule and start a job on the cluster.
+pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
+    spec.topo_order()?; // validates the DAG
+    let job_id: JobId = JOB_IDS.next();
+    let n_ops = spec.operators().len();
+
+    // 1. placements
+    let mut placements: Vec<Vec<NodeHandle>> = Vec::with_capacity(n_ops);
+    for (i, op) in spec.operators().iter().enumerate() {
+        let p = resolve_placement(cluster, &op.constraints(), &op.name())?;
+        if p.is_empty() {
+            return Err(IngestError::Plan(format!(
+                "operator {} has zero partitions",
+                spec.operator(OperatorSpecId(i)).name()
+            )));
+        }
+        placements.push(p);
+    }
+
+    // 2. input queues for every operator with producers
+    let mut inputs: HashMap<OperatorSpecId, Vec<TaskInput>> = HashMap::new();
+    let mut receivers: HashMap<OperatorSpecId, Vec<Receiver<TaskMsg>>> = HashMap::new();
+    for (i, placement) in placements.iter().enumerate() {
+        let id = OperatorSpecId(i);
+        if spec.producers_of(id).is_empty() {
+            continue;
+        }
+        let (ins, rxs): (Vec<_>, Vec<_>) = (0..placement.len())
+            .map(|_| TaskInput::bounded(spec.queue_capacity))
+            .unzip();
+        inputs.insert(id, ins);
+        receivers.insert(id, rxs);
+    }
+
+    // 3. expected Close count per consumer partition
+    let mut expected_closes: HashMap<OperatorSpecId, usize> = HashMap::new();
+    for e in spec.edges() {
+        let from_card = placements[e.from.0].len();
+        let to_entry = expected_closes.entry(e.to).or_insert(0);
+        *to_entry += match e.connector {
+            ConnectorSpec::OneToOne => {
+                if from_card != placements[e.to.0].len() {
+                    return Err(IngestError::Plan(format!(
+                        "one-to-one edge {} -> {} with mismatched cardinalities {} vs {}",
+                        spec.operator(e.from).name(),
+                        spec.operator(e.to).name(),
+                        from_card,
+                        placements[e.to.0].len()
+                    )));
+                }
+                1
+            }
+            _ => from_card,
+        };
+    }
+
+    // 4. spawn tasks
+    let mut tasks = Vec::new();
+    let mut layout = Vec::new();
+    for (i, placement) in placements.iter().enumerate() {
+        let op_id = OperatorSpecId(i);
+        let op = spec.operator(op_id);
+        let op_name = op.name();
+        let out_edges: Vec<_> = spec.edges().iter().filter(|e| e.from == op_id).collect();
+        let has_input = receivers.contains_key(&op_id);
+        for (partition, node) in placement.iter().enumerate() {
+            let ctx = TaskContext {
+                job: job_id,
+                node: node.clone(),
+                partition,
+                n_partitions: placement.len(),
+                clock: cluster.clock().clone(),
+            };
+            // output writer: tee of routers over outgoing edges
+            let mut writers: Vec<Box<dyn FrameWriter>> = Vec::new();
+            for e in &out_edges {
+                let consumer_inputs = inputs
+                    .get(&e.to)
+                    .expect("consumer has inputs")
+                    .clone();
+                writers.push(Box::new(RouterWriter::new(
+                    &e.connector,
+                    consumer_inputs,
+                    partition,
+                    DEFAULT_FRAME_CAPACITY,
+                )?));
+            }
+            let output: Box<dyn FrameWriter> = match writers.len() {
+                0 => Box::new(DevNull),
+                1 => writers.pop().unwrap(),
+                _ => Box::new(TeeWriter::new(writers)),
+            };
+            let runtime = op.instantiate(&ctx, output)?;
+            let is_source = matches!(runtime, OperatorRuntime::Source(_));
+            let stop = StopToken::new();
+            let placement_rec = TaskPlacement {
+                op: op_id,
+                op_name: op_name.clone(),
+                partition,
+                node: node.id(),
+            };
+            let rx = if has_input {
+                Some(receivers.get_mut(&op_id).unwrap()[partition].clone())
+            } else {
+                None
+            };
+            let expected = expected_closes.get(&op_id).copied().unwrap_or(0);
+            let join = spawn_task(
+                runtime,
+                ctx,
+                rx,
+                expected,
+                stop.clone(),
+                format!("{job_id}-{op_name}-{partition}"),
+            )?;
+            tasks.push(TaskRecord {
+                placement: placement_rec.clone(),
+                join,
+                stop,
+                is_source,
+            });
+            layout.push(placement_rec);
+        }
+    }
+
+    Ok(JobHandle {
+        id: job_id,
+        name: spec.name,
+        tasks: Mutex::new(tasks),
+        layout,
+        results: Mutex::new(None),
+    })
+}
+
+fn spawn_task(
+    runtime: OperatorRuntime,
+    ctx: TaskContext,
+    rx: Option<Receiver<TaskMsg>>,
+    expected_closes: usize,
+    stop: StopToken,
+    thread_name: String,
+) -> IngestResult<std::thread::JoinHandle<IngestResult<()>>> {
+    std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || match runtime {
+            OperatorRuntime::Source(mut src) => run_source(&mut *src, &ctx, &stop),
+            OperatorRuntime::Unary(op) => run_unary(op, ctx, rx, expected_closes, stop),
+        })
+        .map_err(|e| IngestError::Plan(format!("spawn task: {e}")))
+}
+
+// Calling convention: `OperatorDescriptor::instantiate` receives the output
+// writer and must move it into the runtime it returns — wrap sources in
+// [`SourceHost`] and unary operators in [`UnaryHost`]. The drive loops below
+// therefore pass a `DevNull` placeholder for the writer parameter of the
+// operator traits; the real writer lives inside the host.
+fn run_source(
+    src: &mut dyn crate::operator::SourceOperator,
+    ctx: &TaskContext,
+    stop: &StopToken,
+) -> IngestResult<()> {
+    // watcher: node death fires the stop token so blocked sources exit
+    let watcher_stop = stop.clone();
+    let node = ctx.node.clone();
+    let watcher = std::thread::Builder::new()
+        .name("source-watcher".into())
+        .spawn(move || {
+            while !watcher_stop.is_stopped() {
+                if !node.is_alive() {
+                    watcher_stop.stop();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+        .map_err(|e| IngestError::Plan(format!("spawn watcher: {e}")))?;
+    let mut sink = DevNull;
+    let result = src.run(&mut sink, stop);
+    stop.stop();
+    let _ = watcher.join();
+    result
+}
+
+/// Hosts a source operator together with its output writer, adapting it to
+/// the executor's writer-less drive loop. Operator descriptors building
+/// sources should wrap them:
+///
+/// ```ignore
+/// Ok(OperatorRuntime::Source(Box::new(SourceHost::new(my_source, output))))
+/// ```
+pub struct SourceHost {
+    source: Box<dyn crate::operator::SourceOperator>,
+    output: Option<Box<dyn FrameWriter>>,
+}
+
+impl SourceHost {
+    /// Pair a source with the output writer the executor handed the
+    /// descriptor.
+    pub fn new(
+        source: Box<dyn crate::operator::SourceOperator>,
+        output: Box<dyn FrameWriter>,
+    ) -> Self {
+        SourceHost {
+            source,
+            output: Some(output),
+        }
+    }
+}
+
+impl crate::operator::SourceOperator for SourceHost {
+    fn run(&mut self, _ignored: &mut dyn FrameWriter, stop: &StopToken) -> IngestResult<()> {
+        let mut output = self.output.take().expect("source host runs once");
+        output.open()?;
+        match self.source.run(&mut *output, stop) {
+            Ok(()) => output.close(),
+            Err(e) => {
+                output.fail();
+                Err(e)
+            }
+        }
+    }
+}
+
+fn run_unary(
+    mut op: Box<dyn crate::operator::UnaryOperator>,
+    ctx: TaskContext,
+    rx: Option<Receiver<TaskMsg>>,
+    expected_closes: usize,
+    stop: StopToken,
+) -> IngestResult<()> {
+    let rx = match rx {
+        Some(rx) => rx,
+        None => {
+            return Err(IngestError::Plan(
+                "unary operator scheduled without an input".into(),
+            ))
+        }
+    };
+    let mut closes = 0usize;
+    let poll = Duration::from_millis(20);
+    op.open(&mut DevNull)?;
+    loop {
+        if !ctx.node_alive() {
+            // hard failure: vanish without closing downstream
+            op.fail();
+            return Err(IngestError::NodeFailed(ctx.node.id()));
+        }
+        if stop.is_stopped() {
+            op.fail();
+            return Ok(());
+        }
+        match rx.recv_timeout(poll) {
+            Ok(TaskMsg::Frame(frame)) => {
+                if let Err(e) = op.next_frame(frame, &mut DevNull) {
+                    op.fail();
+                    return Err(e);
+                }
+            }
+            Ok(TaskMsg::Close) => {
+                closes += 1;
+                if closes >= expected_closes.max(1) {
+                    op.close(&mut DevNull)?;
+                    return Ok(());
+                }
+            }
+            Ok(TaskMsg::Fail) => {
+                op.fail();
+                return Err(IngestError::Disconnected("upstream failed".into()));
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                // all producers vanished without Close: abnormal
+                op.fail();
+                return Err(IngestError::Disconnected(
+                    "producers disappeared".into(),
+                ));
+            }
+        }
+    }
+}
+
+/// Pairs a unary operator with its output writer so the task loop can drive
+/// it with a single object. Operator descriptors building unary operators
+/// should wrap them:
+///
+/// ```ignore
+/// Ok(OperatorRuntime::Unary(Box::new(UnaryHost::new(my_op, output))))
+/// ```
+pub struct UnaryHost {
+    op: Box<dyn crate::operator::UnaryOperator>,
+    output: Box<dyn FrameWriter>,
+    opened: bool,
+}
+
+impl UnaryHost {
+    /// Pair an operator with the writer from `instantiate`.
+    pub fn new(
+        op: Box<dyn crate::operator::UnaryOperator>,
+        output: Box<dyn FrameWriter>,
+    ) -> Self {
+        UnaryHost {
+            op,
+            output,
+            opened: false,
+        }
+    }
+}
+
+impl crate::operator::UnaryOperator for UnaryHost {
+    fn open(&mut self, _ignored: &mut dyn FrameWriter) -> IngestResult<()> {
+        self.output.open()?;
+        self.opened = true;
+        self.op.open(&mut *self.output)
+    }
+
+    fn next_frame(
+        &mut self,
+        frame: DataFrame,
+        _ignored: &mut dyn FrameWriter,
+    ) -> IngestResult<()> {
+        self.op.next_frame(frame, &mut *self.output)
+    }
+
+    fn close(&mut self, _ignored: &mut dyn FrameWriter) -> IngestResult<()> {
+        self.op.close(&mut *self.output)?;
+        self.output.close()
+    }
+
+    fn fail(&mut self) {
+        self.op.fail();
+        if self.opened {
+            self.output.fail();
+        }
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! A Hyracks-like partitioned-parallel dataflow engine (§3.2 of the paper),
+//! running on a simulated shared-nothing cluster.
+//!
+//! AsterixDB compiles every statement — including the head and tail sections
+//! of a data-ingestion pipeline — into a *Hyracks job*: a DAG of operators
+//! (partitioned-parallel computation steps) and connectors (the
+//! redistribution of data between steps). This crate reproduces the subset
+//! of Hyracks the feeds work depends on:
+//!
+//! * [`job`] — job specifications: operator descriptors with *count* and
+//!   *location* constraints, wired by connectors;
+//! * [`operator`] — the runtime interfaces ([`operator::FrameWriter`],
+//!   source and unary operators) and a library of built-ins (`NullSink`,
+//!   `FnUnary`, collectors for tests);
+//! * [`connector`] — one-to-one, M:N hash-partitioning and M:N
+//!   random-partitioning exchange;
+//! * [`cluster`] — the Cluster Controller and Node Controllers: node
+//!   lifecycle, heartbeats, failure detection, cluster/job event
+//!   subscription, node-local services (used by feeds for the per-node Feed
+//!   Manager), and failure injection for the Chapter 6 experiments;
+//! * [`executor`] — schedules a job's tasks onto nodes and runs them as
+//!   threads connected by bounded channels (bounded queues are what gives
+//!   the pipeline its back-pressure, the mechanism behind Chapter 7's
+//!   congestion study).
+//!
+//! ## Simplifications vs. real Hyracks
+//!
+//! Real Hyracks expands operators into activities and schedules stage by
+//! stage. Ingestion pipelines are single-stage pipelined jobs, so this
+//! engine co-schedules all tasks of a job at once. Frames move over
+//! `crossbeam` bounded channels instead of TCP, and a "node" is a logical
+//! container of threads rather than a machine — see DESIGN.md for why this
+//! preserves the behaviour the paper measures.
+
+pub mod cluster;
+pub mod connector;
+pub mod executor;
+pub mod job;
+pub mod operator;
+pub mod services;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterEvent, NodeHandle};
+pub use connector::ConnectorSpec;
+pub use executor::{JobHandle, TaskContext};
+pub use job::{Constraint, JobSpec, OperatorDescriptor, OperatorSpecId};
+pub use operator::{FrameWriter, OperatorRuntime, SourceOperator, StopToken, UnaryOperator};

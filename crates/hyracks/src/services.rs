@@ -1,0 +1,122 @@
+//! Node-local services.
+//!
+//! Each Node Controller hosts singleton services that operator instances
+//! discover at runtime — in the paper, "each Node Controller additionally
+//! hosts a FeedManager" (§5.3) that co-located operator instances query to
+//! find feed joints. The service map is a small type-indexed registry so the
+//! feeds crate can attach its per-node Feed Manager without `hyracks`
+//! knowing about feeds.
+
+use parking_lot::RwLock;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Type-indexed map of node-local singleton services.
+#[derive(Default)]
+pub struct ServiceMap {
+    services: RwLock<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl ServiceMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        ServiceMap::default()
+    }
+
+    /// Register (or replace) the service of type `T`.
+    pub fn put<T: Any + Send + Sync>(&self, service: Arc<T>) {
+        self.services
+            .write()
+            .insert(TypeId::of::<T>(), service as Arc<dyn Any + Send + Sync>);
+    }
+
+    /// Look up the service of type `T`.
+    pub fn get<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        self.services
+            .read()
+            .get(&TypeId::of::<T>())
+            .cloned()
+            .and_then(|s| s.downcast::<T>().ok())
+    }
+
+    /// Get the service of type `T`, inserting the result of `make` if absent.
+    pub fn get_or_insert_with<T: Any + Send + Sync>(
+        &self,
+        make: impl FnOnce() -> Arc<T>,
+    ) -> Arc<T> {
+        if let Some(existing) = self.get::<T>() {
+            return existing;
+        }
+        let mut guard = self.services.write();
+        // re-check under the write lock
+        if let Some(existing) = guard.get(&TypeId::of::<T>()) {
+            if let Ok(t) = Arc::clone(existing).downcast::<T>() {
+                return t;
+            }
+        }
+        let fresh = make();
+        guard.insert(
+            TypeId::of::<T>(),
+            Arc::clone(&fresh) as Arc<dyn Any + Send + Sync>,
+        );
+        fresh
+    }
+
+    /// Remove the service of type `T`.
+    pub fn remove<T: Any + Send + Sync>(&self) -> bool {
+        self.services.write().remove(&TypeId::of::<T>()).is_some()
+    }
+}
+
+impl std::fmt::Debug for ServiceMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServiceMap({} services)", self.services.read().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct FeedManagerStub(u32);
+
+    #[derive(Debug)]
+    struct OtherService;
+
+    #[test]
+    fn put_and_get() {
+        let map = ServiceMap::new();
+        assert!(map.get::<FeedManagerStub>().is_none());
+        map.put(Arc::new(FeedManagerStub(7)));
+        assert_eq!(map.get::<FeedManagerStub>().unwrap().0, 7);
+        assert!(map.get::<OtherService>().is_none());
+    }
+
+    #[test]
+    fn replace_service() {
+        let map = ServiceMap::new();
+        map.put(Arc::new(FeedManagerStub(1)));
+        map.put(Arc::new(FeedManagerStub(2)));
+        assert_eq!(map.get::<FeedManagerStub>().unwrap().0, 2);
+    }
+
+    #[test]
+    fn get_or_insert_is_idempotent() {
+        let map = ServiceMap::new();
+        let a = map.get_or_insert_with(|| Arc::new(FeedManagerStub(5)));
+        let b = map.get_or_insert_with(|| Arc::new(FeedManagerStub(99)));
+        assert_eq!(a.0, 5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn remove_service() {
+        let map = ServiceMap::new();
+        map.put(Arc::new(FeedManagerStub(1)));
+        assert!(map.remove::<FeedManagerStub>());
+        assert!(!map.remove::<FeedManagerStub>());
+        assert!(map.get::<FeedManagerStub>().is_none());
+    }
+}

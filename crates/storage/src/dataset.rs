@@ -1,0 +1,288 @@
+//! Hash-partitioned datasets.
+//!
+//! "Data is hash-partitioned (by primary key) across a set of nodes that
+//! form the nodegroup for a dataset. By default, all nodes in an AsterixDB
+//! cluster form the nodegroup" (§3.1.2). A [`Dataset`] owns one
+//! [`DatasetPartition`] per nodegroup member and routes each record to the
+//! partition its key hashes to — the same function the store-stage
+//! hash-partitioning connector uses, so records always land on the partition
+//! co-located with their store operator.
+
+use crate::partition::{DatasetPartition, PartitionConfig};
+use crate::secondary::IndexKind;
+use asterix_adm::hash::partition_for;
+use asterix_adm::AdmValue;
+use asterix_common::{IngestError, IngestResult, NodeId};
+use std::sync::Arc;
+
+/// Static description of a dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Name of the datatype records must conform to (checked by the
+    /// language layer; storage trusts its caller).
+    pub datatype: String,
+    /// Primary key field.
+    pub primary_key: String,
+    /// Nodes hosting a partition each.
+    pub nodegroup: Vec<NodeId>,
+}
+
+/// A dataset: partitions spread over a nodegroup.
+pub struct Dataset {
+    /// The dataset's configuration.
+    pub config: DatasetConfig,
+    partitions: Vec<(NodeId, Arc<DatasetPartition>)>,
+}
+
+impl Dataset {
+    /// Create the dataset with one partition per nodegroup member.
+    pub fn create(config: DatasetConfig) -> IngestResult<Self> {
+        Self::create_with(config, 0)
+    }
+
+    /// Create with a per-insert busy-spin cost (capacity experiments).
+    pub fn create_with(config: DatasetConfig, insert_spin: u64) -> IngestResult<Self> {
+        if config.nodegroup.is_empty() {
+            return Err(IngestError::Config(format!(
+                "dataset {} has an empty nodegroup",
+                config.name
+            )));
+        }
+        let partitions = config
+            .nodegroup
+            .iter()
+            .map(|&node| {
+                let mut pc = PartitionConfig::keyed_on(config.primary_key.clone());
+                pc.insert_spin = insert_spin;
+                (node, Arc::new(DatasetPartition::new(pc)))
+            })
+            .collect();
+        Ok(Dataset { config, partitions })
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition index a key routes to.
+    pub fn partition_index_for(&self, key: &AdmValue) -> usize {
+        partition_for(key, self.partitions.len())
+    }
+
+    /// The partition hosted on `node`, if any.
+    pub fn partition_on(&self, node: NodeId) -> Option<Arc<DatasetPartition>> {
+        self.partitions
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, p)| Arc::clone(p))
+    }
+
+    /// The partition at index `i`.
+    pub fn partition(&self, i: usize) -> Arc<DatasetPartition> {
+        Arc::clone(&self.partitions[i].1)
+    }
+
+    /// Node hosting partition `i`.
+    pub fn partition_node(&self, i: usize) -> NodeId {
+        self.partitions[i].0
+    }
+
+    /// Route a record to its partition and upsert it there.
+    pub fn upsert(&self, record: &AdmValue) -> IngestResult<()> {
+        let key = record
+            .field(&self.config.primary_key)
+            .filter(|v| !matches!(v, AdmValue::Null | AdmValue::Missing))
+            .ok_or_else(|| {
+                IngestError::soft(format!(
+                    "record lacks primary key '{}'",
+                    self.config.primary_key
+                ))
+            })?;
+        let idx = self.partition_index_for(key);
+        self.partitions[idx].1.upsert(record)
+    }
+
+    /// Route and strict-insert (duplicate key errors softly).
+    pub fn insert(&self, record: &AdmValue) -> IngestResult<()> {
+        let key = record
+            .field(&self.config.primary_key)
+            .filter(|v| !matches!(v, AdmValue::Null | AdmValue::Missing))
+            .ok_or_else(|| {
+                IngestError::soft(format!(
+                    "record lacks primary key '{}'",
+                    self.config.primary_key
+                ))
+            })?;
+        let idx = self.partition_index_for(key);
+        self.partitions[idx].1.insert(record)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &AdmValue) -> Option<AdmValue> {
+        let idx = self.partition_index_for(key);
+        self.partitions[idx].1.get(key)
+    }
+
+    /// Delete by key.
+    pub fn delete(&self, key: &AdmValue) -> IngestResult<()> {
+        let idx = self.partition_index_for(key);
+        self.partitions[idx].1.delete(key)
+    }
+
+    /// Total live records across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    /// No live records?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live records (merged, unordered across partitions).
+    pub fn scan_all(&self) -> Vec<AdmValue> {
+        self.partitions
+            .iter()
+            .flat_map(|(_, p)| p.scan_all().into_iter().map(|(_, v)| v))
+            .collect()
+    }
+
+    /// Add a secondary index on every partition.
+    pub fn create_index(
+        &self,
+        name: impl Into<String> + Clone,
+        field: impl Into<String> + Clone,
+        kind: IndexKind,
+    ) -> IngestResult<()> {
+        for (_, p) in &self.partitions {
+            p.add_secondary(name.clone(), field.clone(), kind)?;
+        }
+        Ok(())
+    }
+
+    /// Spatial query fanned out across partitions.
+    pub fn query_rect(
+        &self,
+        index_name: &str,
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+    ) -> IngestResult<Vec<AdmValue>> {
+        let mut out = Vec::new();
+        for (_, p) in &self.partitions {
+            out.extend(p.query_rect(index_name, x0, y0, x1, y1)?);
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dataset({}, {} partitions, {} records)",
+            self.config.name,
+            self.partitions.len(),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(nodes: u64) -> Dataset {
+        Dataset::create(DatasetConfig {
+            name: "Tweets".into(),
+            datatype: "Tweet".into(),
+            primary_key: "id".into(),
+            nodegroup: (0..nodes).map(NodeId).collect(),
+        })
+        .unwrap()
+    }
+
+    fn rec(id: u32) -> AdmValue {
+        AdmValue::record(vec![
+            ("id", format!("t{id}").into()),
+            ("message_text", "hi".into()),
+        ])
+    }
+
+    #[test]
+    fn records_spread_over_partitions() {
+        let d = dataset(4);
+        for i in 0..200 {
+            d.upsert(&rec(i)).unwrap();
+        }
+        assert_eq!(d.len(), 200);
+        for i in 0..4 {
+            let n = d.partition(i).len();
+            assert!(n > 20, "partition {i} starved with {n}");
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_reachable() {
+        let d = dataset(3);
+        d.upsert(&rec(7)).unwrap();
+        let key: AdmValue = "t7".into();
+        let idx = d.partition_index_for(&key);
+        assert!(d.partition(idx).get(&key).is_some());
+        assert_eq!(d.get(&key).unwrap().field("id").unwrap(), &key);
+    }
+
+    #[test]
+    fn empty_nodegroup_rejected() {
+        let r = Dataset::create(DatasetConfig {
+            name: "X".into(),
+            datatype: "T".into(),
+            primary_key: "id".into(),
+            nodegroup: vec![],
+        });
+        assert!(matches!(r, Err(IngestError::Config(_))));
+    }
+
+    #[test]
+    fn partition_on_node_lookup() {
+        let d = dataset(2);
+        assert!(d.partition_on(NodeId(0)).is_some());
+        assert!(d.partition_on(NodeId(1)).is_some());
+        assert!(d.partition_on(NodeId(9)).is_none());
+        assert_eq!(d.partition_node(0), NodeId(0));
+    }
+
+    #[test]
+    fn delete_and_scan() {
+        let d = dataset(2);
+        for i in 0..10 {
+            d.insert(&rec(i)).unwrap();
+        }
+        d.delete(&"t3".into()).unwrap();
+        assert_eq!(d.len(), 9);
+        let scanned = d.scan_all();
+        assert_eq!(scanned.len(), 9);
+        assert!(!scanned
+            .iter()
+            .any(|r| r.field("id") == Some(&"t3".into())));
+    }
+
+    #[test]
+    fn index_fans_out_to_all_partitions() {
+        let d = dataset(3);
+        d.create_index("locIdx", "location", IndexKind::RTree).unwrap();
+        for i in 0..20 {
+            let r = AdmValue::record(vec![
+                ("id", format!("t{i}").into()),
+                ("location", AdmValue::Point(i as f64, 0.0)),
+            ]);
+            d.upsert(&r).unwrap();
+        }
+        let hits = d.query_rect("locIdx", 0.0, -1.0, 9.0, 1.0).unwrap();
+        assert_eq!(hits.len(), 10);
+    }
+}

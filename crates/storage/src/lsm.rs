@@ -1,0 +1,341 @@
+//! The LSM tree: a mutable in-memory component (memtable) over a stack of
+//! immutable sorted components.
+//!
+//! Inserts and deletes go to the memtable; when it exceeds its budget it is
+//! *flushed* into an immutable component. When the component count exceeds
+//! the merge threshold, all components are *merged* into one (the simplest
+//! of AsterixDB's merge policies, the "constant" policy). Reads consult the
+//! memtable first, then components newest-to-oldest; deletes are tombstones
+//! that shadow older versions until a merge discards them.
+
+use crate::KeyOrd;
+use asterix_adm::AdmValue;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// One version of a key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Entry {
+    /// A live record.
+    Put(AdmValue),
+    /// A deletion marker.
+    Tombstone,
+}
+
+/// An immutable sorted run.
+#[derive(Debug, Default)]
+pub struct Component {
+    entries: BTreeMap<KeyOrd, Entry>,
+}
+
+impl Component {
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No entries at all?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Flush the memtable after this many entries.
+    pub memtable_budget: usize,
+    /// Merge all components once more than this many exist.
+    pub max_components: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_budget: 4096,
+            max_components: 4,
+        }
+    }
+}
+
+/// The LSM tree.
+#[derive(Debug)]
+pub struct LsmTree {
+    config: LsmConfig,
+    memtable: BTreeMap<KeyOrd, Entry>,
+    /// newest first
+    components: Vec<Arc<Component>>,
+    flushes: u64,
+    merges: u64,
+}
+
+impl LsmTree {
+    /// Empty tree.
+    pub fn new(config: LsmConfig) -> Self {
+        LsmTree {
+            config,
+            memtable: BTreeMap::new(),
+            components: Vec::new(),
+            flushes: 0,
+            merges: 0,
+        }
+    }
+
+    /// Insert or replace a record under `key`.
+    pub fn put(&mut self, key: AdmValue, value: AdmValue) {
+        self.memtable.insert(KeyOrd(key), Entry::Put(value));
+        self.maybe_flush();
+    }
+
+    /// Delete `key` (tombstone).
+    pub fn delete(&mut self, key: AdmValue) {
+        self.memtable.insert(KeyOrd(key), Entry::Tombstone);
+        self.maybe_flush();
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &AdmValue) -> Option<AdmValue> {
+        let k = KeyOrd(key.clone());
+        if let Some(e) = self.memtable.get(&k) {
+            return match e {
+                Entry::Put(v) => Some(v.clone()),
+                Entry::Tombstone => None,
+            };
+        }
+        for c in &self.components {
+            if let Some(e) = c.entries.get(&k) {
+                return match e {
+                    Entry::Put(v) => Some(v.clone()),
+                    Entry::Tombstone => None,
+                };
+            }
+        }
+        None
+    }
+
+    /// Does `key` currently have a live record?
+    pub fn contains(&self, key: &AdmValue) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Range scan over live records, `lo..=hi` inclusive on both ends (pass
+    /// `None` for open ends). Results are key-ordered.
+    pub fn scan_range(
+        &self,
+        lo: Option<&AdmValue>,
+        hi: Option<&AdmValue>,
+    ) -> Vec<(AdmValue, AdmValue)> {
+        let lo_b = lo
+            .map(|v| Bound::Included(KeyOrd(v.clone())))
+            .unwrap_or(Bound::Unbounded);
+        let hi_b = hi
+            .map(|v| Bound::Included(KeyOrd(v.clone())))
+            .unwrap_or(Bound::Unbounded);
+        // merge: newest version of each key wins
+        let mut merged: BTreeMap<KeyOrd, Entry> = BTreeMap::new();
+        for c in self.components.iter().rev() {
+            for (k, e) in c.entries.range((lo_b.clone(), hi_b.clone())) {
+                merged.insert(k.clone(), e.clone());
+            }
+        }
+        for (k, e) in self.memtable.range((lo_b, hi_b)) {
+            merged.insert(k.clone(), e.clone());
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Put(v) => Some((k.0, v)),
+                Entry::Tombstone => None,
+            })
+            .collect()
+    }
+
+    /// All live records in key order.
+    pub fn scan_all(&self) -> Vec<(AdmValue, AdmValue)> {
+        self.scan_range(None, None)
+    }
+
+    /// Count of live records (full scan; fine at simulation scale).
+    pub fn live_count(&self) -> usize {
+        self.scan_all().len()
+    }
+
+    /// Force a memtable flush.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.memtable);
+        self.components.insert(0, Arc::new(Component { entries }));
+        self.flushes += 1;
+        if self.components.len() > self.config.max_components {
+            self.merge_all();
+        }
+    }
+
+    /// Merge every component into one, discarding shadowed versions and
+    /// dropping tombstones (all older versions are in the merge input).
+    pub fn merge_all(&mut self) {
+        let mut merged: BTreeMap<KeyOrd, Entry> = BTreeMap::new();
+        for c in self.components.iter().rev() {
+            for (k, e) in &c.entries {
+                merged.insert(k.clone(), e.clone());
+            }
+        }
+        merged.retain(|_, e| matches!(e, Entry::Put(_)));
+        self.components = vec![Arc::new(Component { entries: merged })];
+        self.merges += 1;
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.memtable.len() >= self.config.memtable_budget {
+            self.flush();
+        }
+    }
+
+    /// Number of immutable components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Lifetime flush count.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Lifetime merge count.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+}
+
+impl Default for LsmTree {
+    fn default() -> Self {
+        LsmTree::new(LsmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tree() -> LsmTree {
+        LsmTree::new(LsmConfig {
+            memtable_budget: 4,
+            max_components: 2,
+        })
+    }
+
+    fn k(i: i64) -> AdmValue {
+        AdmValue::Int(i)
+    }
+
+    fn v(s: &str) -> AdmValue {
+        AdmValue::string(s)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut t = LsmTree::default();
+        t.put(k(1), v("a"));
+        t.put(k(2), v("b"));
+        assert_eq!(t.get(&k(1)), Some(v("a")));
+        assert_eq!(t.get(&k(2)), Some(v("b")));
+        assert_eq!(t.get(&k(3)), None);
+        assert!(t.contains(&k(1)));
+    }
+
+    #[test]
+    fn replace_takes_latest() {
+        let mut t = small_tree();
+        t.put(k(1), v("old"));
+        // force old version into a component
+        t.flush();
+        t.put(k(1), v("new"));
+        assert_eq!(t.get(&k(1)), Some(v("new")));
+    }
+
+    #[test]
+    fn delete_shadows_older_components() {
+        let mut t = small_tree();
+        t.put(k(1), v("a"));
+        t.flush();
+        t.delete(k(1));
+        assert_eq!(t.get(&k(1)), None);
+        assert!(!t.contains(&k(1)));
+        // even after the tombstone itself is flushed
+        t.flush();
+        assert_eq!(t.get(&k(1)), None);
+    }
+
+    #[test]
+    fn automatic_flush_at_budget() {
+        let mut t = small_tree();
+        for i in 0..4 {
+            t.put(k(i), v("x"));
+        }
+        assert_eq!(t.component_count(), 1);
+        assert_eq!(t.flushes(), 1);
+    }
+
+    #[test]
+    fn merge_reclaims_tombstones() {
+        let mut t = small_tree();
+        for i in 0..4 {
+            t.put(k(i), v("x"));
+        }
+        t.delete(k(0));
+        t.delete(k(1));
+        t.flush();
+        t.put(k(9), v("y"));
+        t.flush(); // exceeds max_components=2 → merge
+        assert_eq!(t.component_count(), 1);
+        assert!(t.merges() >= 1);
+        let live = t.scan_all();
+        let keys: Vec<i64> = live.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![2, 3, 9]);
+    }
+
+    #[test]
+    fn scan_range_is_inclusive_and_ordered() {
+        let mut t = small_tree();
+        for i in (0..10).rev() {
+            t.put(k(i), v("x"));
+        }
+        let r = t.scan_range(Some(&k(3)), Some(&k(6)));
+        let keys: Vec<i64> = r.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![3, 4, 5, 6]);
+        // open ends
+        assert_eq!(t.scan_range(None, Some(&k(1))).len(), 2);
+        assert_eq!(t.scan_range(Some(&k(8)), None).len(), 2);
+    }
+
+    #[test]
+    fn scan_sees_latest_version_across_components() {
+        let mut t = small_tree();
+        t.put(k(1), v("v1"));
+        t.flush();
+        t.put(k(1), v("v2"));
+        t.flush();
+        t.put(k(1), v("v3"));
+        let all = t.scan_all();
+        assert_eq!(all, vec![(k(1), v("v3"))]);
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn empty_flush_is_noop() {
+        let mut t = small_tree();
+        t.flush();
+        assert_eq!(t.component_count(), 0);
+        assert_eq!(t.flushes(), 0);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t = LsmTree::default();
+        t.put(v("tweet-1"), v("payload"));
+        assert_eq!(t.get(&v("tweet-1")), Some(v("payload")));
+    }
+}

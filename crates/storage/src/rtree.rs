@@ -1,0 +1,497 @@
+//! A small R-tree over 2-D points, backing the paper's spatial secondary
+//! indexes (`create index locationIndex on ProcessedTweets(location) type
+//! rtree`, Listing 3.2) and the spatial-aggregation query of Listing 3.3.
+//!
+//! Classic Guttman R-tree with quadratic split. Entries are points tagged
+//! with an opaque payload (the primary key of the indexed record). Deletion
+//! removes a specific (point, payload) pair; the tree does not rebalance on
+//! delete (condense is skipped — acceptable for an ingestion-dominated
+//! workload, documented trade-off).
+
+/// Axis-aligned bounding rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// min x
+    pub x0: f64,
+    /// min y
+    pub y0: f64,
+    /// max x
+    pub x1: f64,
+    /// max y
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Rectangle covering a single point.
+    pub fn point(x: f64, y: f64) -> Rect {
+        Rect {
+            x0: x,
+            y0: y,
+            x1: x,
+            y1: y,
+        }
+    }
+
+    /// Rectangle from two corners (any orientation).
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Area (zero for points/lines).
+    pub fn area(&self) -> f64 {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Growth in area needed to cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Do the rectangles overlap (closed boundaries)?
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && self.x1 >= other.x0 && self.y0 <= other.y1 && self.y1 >= other.y0
+    }
+
+    /// Is the point inside (closed)?
+    pub fn contains_point(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+}
+
+const MAX_ENTRIES: usize = 8;
+const MIN_ENTRIES: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Node<P> {
+    Leaf(Vec<(f64, f64, P)>),
+    Inner(Vec<(Rect, Box<Node<P>>)>),
+}
+
+impl<P: Clone> Node<P> {
+    fn mbr(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf(pts) => {
+                let mut it = pts.iter();
+                let first = it.next()?;
+                let mut r = Rect::point(first.0, first.1);
+                for p in it {
+                    r = r.union(&Rect::point(p.0, p.1));
+                }
+                Some(r)
+            }
+            Node::Inner(children) => {
+                let mut it = children.iter();
+                let first = it.next()?;
+                let mut r = first.0;
+                for c in it {
+                    r = r.union(&c.0);
+                }
+                Some(r)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(pts) => pts.len(),
+            Node::Inner(children) => children.len(),
+        }
+    }
+}
+
+/// R-tree over points with payloads of type `P`.
+#[derive(Debug, Clone)]
+pub struct RTree<P> {
+    root: Node<P>,
+    count: usize,
+}
+
+impl<P: Clone + PartialEq> Default for RTree<P> {
+    fn default() -> Self {
+        RTree::new()
+    }
+}
+
+impl<P: Clone + PartialEq> RTree<P> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            count: 0,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Insert a point with its payload (duplicates allowed).
+    pub fn insert(&mut self, x: f64, y: f64, payload: P) {
+        if let Some((r1, n1, r2, n2)) = Self::insert_into(&mut self.root, x, y, payload) {
+            // root split
+            self.root = Node::Inner(vec![(r1, Box::new(n1)), (r2, Box::new(n2))]);
+        }
+        self.count += 1;
+    }
+
+    /// Remove one occurrence of (x, y, payload). Returns true if removed.
+    pub fn remove(&mut self, x: f64, y: f64, payload: &P) -> bool {
+        let removed = Self::remove_from(&mut self.root, x, y, payload);
+        if removed {
+            self.count -= 1;
+        }
+        removed
+    }
+
+    /// All payloads whose point intersects `query`.
+    pub fn query(&self, query: &Rect) -> Vec<P> {
+        let mut out = Vec::new();
+        Self::query_node(&self.root, query, &mut out);
+        out
+    }
+
+    /// All (point, payload) pairs in `query`.
+    pub fn query_points(&self, query: &Rect) -> Vec<(f64, f64, P)> {
+        let mut out = Vec::new();
+        Self::query_points_node(&self.root, query, &mut out);
+        out
+    }
+
+    fn query_node(node: &Node<P>, query: &Rect, out: &mut Vec<P>) {
+        match node {
+            Node::Leaf(pts) => {
+                for (x, y, p) in pts {
+                    if query.contains_point(*x, *y) {
+                        out.push(p.clone());
+                    }
+                }
+            }
+            Node::Inner(children) => {
+                for (mbr, child) in children {
+                    if mbr.intersects(query) {
+                        Self::query_node(child, query, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn query_points_node(node: &Node<P>, query: &Rect, out: &mut Vec<(f64, f64, P)>) {
+        match node {
+            Node::Leaf(pts) => {
+                for (x, y, p) in pts {
+                    if query.contains_point(*x, *y) {
+                        out.push((*x, *y, p.clone()));
+                    }
+                }
+            }
+            Node::Inner(children) => {
+                for (mbr, child) in children {
+                    if mbr.intersects(query) {
+                        Self::query_points_node(child, query, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert; on overflow returns the two halves for the parent to adopt.
+    fn insert_into(
+        node: &mut Node<P>,
+        x: f64,
+        y: f64,
+        payload: P,
+    ) -> Option<(Rect, Node<P>, Rect, Node<P>)> {
+        match node {
+            Node::Leaf(pts) => {
+                pts.push((x, y, payload));
+                if pts.len() > MAX_ENTRIES {
+                    let (a, b) = Self::split_leaf(std::mem::take(pts));
+                    let (ra, rb) = (a.mbr().unwrap(), b.mbr().unwrap());
+                    Some((ra, a, rb, b))
+                } else {
+                    None
+                }
+            }
+            Node::Inner(children) => {
+                // choose subtree with least enlargement
+                let target = Rect::point(x, y);
+                let idx = children
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (ra, _)), (_, (rb, _))| {
+                        ra.enlargement(&target)
+                            .total_cmp(&rb.enlargement(&target))
+                            .then(ra.area().total_cmp(&rb.area()))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("inner node has children");
+                let split = Self::insert_into(&mut children[idx].1, x, y, payload);
+                // refresh child's mbr
+                children[idx].0 = children[idx].1.mbr().unwrap_or(children[idx].0);
+                if let Some((r1, n1, r2, n2)) = split {
+                    children[idx] = (r1, Box::new(n1));
+                    children.push((r2, Box::new(n2)));
+                    if children.len() > MAX_ENTRIES {
+                        let (a, b) = Self::split_inner(std::mem::take(children));
+                        let (ra, rb) = (a.mbr().unwrap(), b.mbr().unwrap());
+                        return Some((ra, a, rb, b));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn remove_from(node: &mut Node<P>, x: f64, y: f64, payload: &P) -> bool {
+        match node {
+            Node::Leaf(pts) => {
+                if let Some(i) = pts
+                    .iter()
+                    .position(|(px, py, p)| *px == x && *py == y && p == payload)
+                {
+                    pts.remove(i);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Inner(children) => {
+                for (mbr, child) in children.iter_mut() {
+                    if mbr.contains_point(x, y) && Self::remove_from(child, x, y, payload) {
+                        if let Some(new_mbr) = child.mbr() {
+                            *mbr = new_mbr;
+                        }
+                        return true;
+                    }
+                }
+                // drop empty children
+                children.retain(|(_, c)| c.len() > 0);
+                false
+            }
+        }
+    }
+
+    /// Quadratic split of leaf entries.
+    fn split_leaf(pts: Vec<(f64, f64, P)>) -> (Node<P>, Node<P>) {
+        let rects: Vec<Rect> = pts.iter().map(|(x, y, _)| Rect::point(*x, *y)).collect();
+        let (seeds, assignment) = Self::quadratic_assign(&rects);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (i, p) in pts.into_iter().enumerate() {
+            if i == seeds.0 || assignment[i] == 0 {
+                a.push(p);
+            } else {
+                b.push(p);
+            }
+        }
+        (Node::Leaf(a), Node::Leaf(b))
+    }
+
+    /// Quadratic split of inner entries.
+    fn split_inner(
+        children: Vec<(Rect, Box<Node<P>>)>,
+    ) -> (Node<P>, Node<P>) {
+        let rects: Vec<Rect> = children.iter().map(|(r, _)| *r).collect();
+        let (seeds, assignment) = Self::quadratic_assign(&rects);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (i, c) in children.into_iter().enumerate() {
+            if i == seeds.0 || assignment[i] == 0 {
+                a.push(c);
+            } else {
+                b.push(c);
+            }
+        }
+        (Node::Inner(a), Node::Inner(b))
+    }
+
+    /// Pick the two seeds wasting the most area together, then assign each
+    /// remaining rect to the group needing least enlargement (respecting the
+    /// minimum fill).
+    fn quadratic_assign(rects: &[Rect]) -> ((usize, usize), Vec<u8>) {
+        let n = rects.len();
+        let (mut s1, mut s2, mut worst) = (0usize, 1usize.min(n - 1), f64::NEG_INFINITY);
+        for i in 0..n {
+            for j in i + 1..n {
+                let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+                if waste > worst {
+                    worst = waste;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+        let mut group_a = rects[s1];
+        let mut group_b = rects[s2];
+        let mut count_a = 1usize;
+        let mut count_b = 1usize;
+        let mut assignment = vec![0u8; n];
+        assignment[s2] = 1;
+        for i in 0..n {
+            if i == s1 || i == s2 {
+                continue;
+            }
+            let remaining = n - i;
+            // force minimum fill
+            if count_a + remaining <= MIN_ENTRIES {
+                assignment[i] = 0;
+                group_a = group_a.union(&rects[i]);
+                count_a += 1;
+                continue;
+            }
+            if count_b + remaining <= MIN_ENTRIES {
+                assignment[i] = 1;
+                group_b = group_b.union(&rects[i]);
+                count_b += 1;
+                continue;
+            }
+            let (ea, eb) = (group_a.enlargement(&rects[i]), group_b.enlargement(&rects[i]));
+            if ea < eb || (ea == eb && count_a <= count_b) {
+                assignment[i] = 0;
+                group_a = group_a.union(&rects[i]);
+                count_a += 1;
+            } else {
+                assignment[i] = 1;
+                group_b = group_b.union(&rects[i]);
+                count_b += 1;
+            }
+        }
+        ((s1, s2), assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(5.0, 5.0, 0.0, 0.0); // reversed corners ok
+        assert_eq!(r.x0, 0.0);
+        assert_eq!(r.area(), 25.0);
+        assert!(r.contains_point(2.5, 2.5));
+        assert!(r.contains_point(0.0, 5.0)); // boundary closed
+        assert!(!r.contains_point(5.1, 0.0));
+        let u = r.union(&Rect::point(10.0, 10.0));
+        assert_eq!(u.x1, 10.0);
+        assert!(r.intersects(&Rect::new(4.0, 4.0, 6.0, 6.0)));
+        assert!(!r.intersects(&Rect::new(6.0, 6.0, 7.0, 7.0)));
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut t = RTree::new();
+        t.insert(1.0, 1.0, "a");
+        t.insert(2.0, 2.0, "b");
+        t.insert(9.0, 9.0, "c");
+        assert_eq!(t.len(), 3);
+        let mut hits = t.query(&Rect::new(0.0, 0.0, 3.0, 3.0));
+        hits.sort();
+        assert_eq!(hits, vec!["a", "b"]);
+        assert!(t.query(&Rect::new(20.0, 20.0, 30.0, 30.0)).is_empty());
+    }
+
+    #[test]
+    fn grows_past_splits_and_finds_everything() {
+        let mut t = RTree::new();
+        let n = 500usize;
+        for i in 0..n {
+            let x = (i % 25) as f64;
+            let y = (i / 25) as f64;
+            t.insert(x, y, i);
+        }
+        assert_eq!(t.len(), n);
+        // whole-space query returns all
+        let all = t.query(&Rect::new(-1.0, -1.0, 100.0, 100.0));
+        assert_eq!(all.len(), n);
+        // a 5x5 window returns exactly 25 (grid is 25 wide, so x in 0..=4
+        // and y in 0..=4)
+        let window = t.query(&Rect::new(0.0, 0.0, 4.0, 4.0));
+        assert_eq!(window.len(), 25);
+        for &i in &window {
+            assert!(i % 25 <= 4 && i / 25 <= 4);
+        }
+    }
+
+    #[test]
+    fn duplicates_allowed_and_query_points() {
+        let mut t = RTree::new();
+        t.insert(1.0, 1.0, "x");
+        t.insert(1.0, 1.0, "y");
+        let pts = t.query_points(&Rect::point(1.0, 1.0));
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn remove_specific_payload() {
+        let mut t = RTree::new();
+        for i in 0..100 {
+            t.insert(i as f64, i as f64, i);
+        }
+        assert!(t.remove(50.0, 50.0, &50));
+        assert!(!t.remove(50.0, 50.0, &50), "already removed");
+        assert!(!t.remove(200.0, 0.0, &0), "never existed");
+        assert_eq!(t.len(), 99);
+        assert!(t.query(&Rect::point(50.0, 50.0)).is_empty());
+        assert_eq!(t.query(&Rect::point(51.0, 51.0)), vec![51]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let mut t = RTree::new();
+        t.insert(-117.8, 33.6, "irvine");
+        t.insert(-122.4, 37.7, "sf");
+        let socal = t.query(&Rect::new(-120.0, 32.0, -115.0, 35.0));
+        assert_eq!(socal, vec!["irvine"]);
+    }
+
+    #[test]
+    fn randomized_matches_linear_scan() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut t = RTree::new();
+        let mut pts = Vec::new();
+        for i in 0..1000 {
+            let x: f64 = rng.gen_range(-100.0..100.0);
+            let y: f64 = rng.gen_range(-100.0..100.0);
+            t.insert(x, y, i);
+            pts.push((x, y, i));
+        }
+        for _ in 0..20 {
+            let x0: f64 = rng.gen_range(-100.0..100.0);
+            let y0: f64 = rng.gen_range(-100.0..100.0);
+            let q = Rect::new(x0, y0, x0 + 30.0, y0 + 30.0);
+            let mut expected: Vec<usize> = pts
+                .iter()
+                .filter(|(x, y, _)| q.contains_point(*x, *y))
+                .map(|(_, _, i)| *i)
+                .collect();
+            let mut got = t.query(&q);
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Synthetic tweet content.
+//!
+//! "Synthetic but meaningful tweets (in JSON format)" conforming to the
+//! paper's `Tweet` datatype (Listing 3.1): a string id, a nested
+//! `TwitterUser`, optional latitude/longitude, a created_at timestamp and a
+//! message text that sprinkles `#hashtags` drawn from a topic pool — so the
+//! `addHashTags` UDF has something to extract.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOPICS: &[&str] = &[
+    "Obama", "politics", "sports", "asterixdb", "bigdata", "verizon", "at_t", "tmobile",
+    "sprint", "iphone", "android", "lakers", "dodgers", "oscars", "worldcup", "election",
+];
+
+const WORDS: &[&str] = &[
+    "love", "hate", "like", "great", "terrible", "awesome", "bad", "good", "happy", "sad",
+    "network", "coverage", "signal", "phone", "plan", "customer", "service", "today",
+    "tomorrow", "never", "always", "really", "very", "much", "game", "news", "deal",
+];
+
+const NAMES: &[&str] = &[
+    "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi", "Ivan", "Judy",
+];
+
+const COUNTRIES: &[&str] = &["US", "IN", "UK", "CA", "AU", "DE", "FR", "BR", "JP", "MX"];
+
+/// Deterministic tweet generator.
+///
+/// Each factory instance produces an independent id-space: ids are
+/// `"<instance>-<seq>"`, matching the paper's setup where several TweetGen
+/// instances run in parallel and the union of their outputs is ingested.
+#[derive(Debug)]
+pub struct TweetFactory {
+    instance: u32,
+    seq: u64,
+    rng: StdRng,
+}
+
+impl TweetFactory {
+    /// Factory for TweetGen instance `instance`, seeded deterministically.
+    pub fn new(instance: u32, seed: u64) -> Self {
+        TweetFactory {
+            instance,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed ^ (instance as u64) << 32),
+        }
+    }
+
+    /// Number of tweets produced so far.
+    pub fn produced(&self) -> u64 {
+        self.seq
+    }
+
+    /// Next tweet as a JSON string.
+    pub fn next_json(&mut self) -> String {
+        let id = format!("{}-{}", self.instance, self.seq);
+        self.seq += 1;
+        let name = NAMES[self.rng.gen_range(0..NAMES.len())];
+        let screen = format!("{}{}", name.to_lowercase(), self.rng.gen_range(0..1000));
+        let lat: f64 = self.rng.gen_range(25.0..49.0);
+        let lon: f64 = self.rng.gen_range(-124.0..-66.0);
+        let country = COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())];
+        let created = 1_420_070_400_000i64 + self.seq as i64 * 1000;
+        let message = self.message();
+        format!(
+            concat!(
+                "{{\"id\":\"{id}\",",
+                "\"user\":{{\"screen_name\":\"{screen}\",\"lang\":\"en\",",
+                "\"friends_count\":{friends},\"statuses_count\":{statuses},",
+                "\"name\":\"{name}\",\"followers_count\":{followers}}},",
+                "\"latitude\":{lat:.4},\"longitude\":{lon:.4},",
+                "\"created_at\":\"{created}\",",
+                "\"message_text\":\"{message}\",",
+                "\"country\":\"{country}\"}}"
+            ),
+            id = id,
+            screen = screen,
+            friends = self.rng.gen_range(0..5000),
+            statuses = self.rng.gen_range(0..100_000),
+            name = name,
+            followers = self.rng.gen_range(0..100_000),
+            lat = lat,
+            lon = lon,
+            created = created,
+            message = message,
+            country = country,
+        )
+    }
+
+    fn message(&mut self) -> String {
+        let n_words = self.rng.gen_range(4..12);
+        let n_tags = self.rng.gen_range(0..3);
+        let mut parts: Vec<String> = (0..n_words)
+            .map(|_| WORDS[self.rng.gen_range(0..WORDS.len())].to_string())
+            .collect();
+        for _ in 0..n_tags {
+            let tag = format!("#{}", TOPICS[self.rng.gen_range(0..TOPICS.len())]);
+            let pos = self.rng.gen_range(0..=parts.len());
+            parts.insert(pos, tag);
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_adm::types::paper_registry;
+    use asterix_adm::{parse_value, AdmType, AdmValue};
+
+    #[test]
+    fn tweets_parse_as_adm_and_conform_to_tweet_type() {
+        let mut f = TweetFactory::new(0, 7);
+        let reg = paper_registry();
+        for _ in 0..50 {
+            let json = f.next_json();
+            let v = parse_value(&json).unwrap_or_else(|e| panic!("bad tweet {json}: {e}"));
+            reg.check(&v, &AdmType::Named("Tweet".into()))
+                .unwrap_or_else(|e| panic!("non-conforming tweet {json}: {e}"));
+        }
+        assert_eq!(f.produced(), 50);
+    }
+
+    #[test]
+    fn ids_are_unique_and_instance_scoped() {
+        let mut f0 = TweetFactory::new(0, 1);
+        let mut f1 = TweetFactory::new(1, 1);
+        let id0 = parse_value(&f0.next_json())
+            .unwrap()
+            .field("id")
+            .unwrap()
+            .clone();
+        let id1 = parse_value(&f1.next_json())
+            .unwrap()
+            .field("id")
+            .unwrap()
+            .clone();
+        assert_eq!(id0, AdmValue::string("0-0"));
+        assert_eq!(id1, AdmValue::string("1-0"));
+        let id0b = parse_value(&f0.next_json())
+            .unwrap()
+            .field("id")
+            .unwrap()
+            .clone();
+        assert_eq!(id0b, AdmValue::string("0-1"));
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TweetFactory::new(3, 42);
+        let mut b = TweetFactory::new(3, 42);
+        for _ in 0..10 {
+            assert_eq!(a.next_json(), b.next_json());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TweetFactory::new(3, 42);
+        let mut b = TweetFactory::new(3, 43);
+        let same = (0..10).filter(|_| a.next_json() == b.next_json()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn some_tweets_have_hashtags() {
+        let mut f = TweetFactory::new(0, 9);
+        let tagged = (0..100)
+            .filter(|_| {
+                let v = parse_value(&f.next_json()).unwrap();
+                v.field("message_text")
+                    .and_then(AdmValue::as_str)
+                    .map(|t| t.contains('#'))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(tagged > 20, "only {tagged}/100 tweets tagged");
+    }
+}

@@ -1,0 +1,303 @@
+//! TweetGen instances and the socket-style handshake.
+//!
+//! An instance is bound to an address string ("10.1.0.1:9000" style) in a
+//! process-global registry — the simulation's network. A receiver (the feed
+//! adaptor) performs the initial handshake with [`connect`]; generation
+//! starts at that moment and tweets are *pushed* at the pattern's rate
+//! regardless of whether the receiver keeps up. When the receiver's buffer
+//! (the socket) is full, further tweets are counted as dropped-on-the-wire —
+//! the external source "continues to send data irrespective of any failures
+//! that have occurred inside the data management system" (§1.1.4).
+
+use crate::gen::TweetFactory;
+use crate::pattern::PatternDescriptor;
+use asterix_common::{IngestError, IngestResult, SimClock, SimDuration};
+use crossbeam_channel::{Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of one TweetGen instance.
+#[derive(Debug, Clone)]
+pub struct TweetGenConfig {
+    /// Address to bind in the registry ("host:port").
+    pub addr: String,
+    /// Instance number (scopes the tweet id space).
+    pub instance: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// The generation pattern.
+    pub pattern: PatternDescriptor,
+    /// Capacity of the push channel (the "socket buffer"), in tweets.
+    pub socket_buffer: usize,
+    /// Generator tick (how often owed tweets are emitted).
+    pub tick: SimDuration,
+}
+
+impl TweetGenConfig {
+    /// Sensible defaults for an instance at `addr` with a pattern.
+    pub fn new(addr: impl Into<String>, instance: u32, pattern: PatternDescriptor) -> Self {
+        TweetGenConfig {
+            addr: addr.into(),
+            instance,
+            seed: 0xA57E41D,
+            pattern,
+            socket_buffer: 4096,
+            tick: SimDuration::from_millis(100),
+        }
+    }
+}
+
+struct Binding {
+    config: TweetGenConfig,
+    clock: SimClock,
+    running: Arc<AtomicBool>,
+    generated: Arc<AtomicU64>,
+    wire_drops: Arc<AtomicU64>,
+}
+
+static REGISTRY: Mutex<Option<HashMap<String, Arc<Binding>>>> = Mutex::new(None);
+
+/// A TweetGen instance, bound to its address until dropped or stopped.
+pub struct TweetGen {
+    addr: String,
+    running: Arc<AtomicBool>,
+    generated: Arc<AtomicU64>,
+    wire_drops: Arc<AtomicU64>,
+}
+
+impl TweetGen {
+    /// Bind an instance at `config.addr`. Errors if the address is taken.
+    pub fn bind(config: TweetGenConfig, clock: SimClock) -> IngestResult<TweetGen> {
+        let mut reg = REGISTRY.lock();
+        let map = reg.get_or_insert_with(HashMap::new);
+        if map.contains_key(&config.addr) {
+            return Err(IngestError::Config(format!(
+                "address {} already bound",
+                config.addr
+            )));
+        }
+        let running = Arc::new(AtomicBool::new(true));
+        let generated = Arc::new(AtomicU64::new(0));
+        let wire_drops = Arc::new(AtomicU64::new(0));
+        let binding = Arc::new(Binding {
+            config: config.clone(),
+            clock,
+            running: Arc::clone(&running),
+            generated: Arc::clone(&generated),
+            wire_drops: Arc::clone(&wire_drops),
+        });
+        map.insert(config.addr.clone(), binding);
+        Ok(TweetGen {
+            addr: config.addr,
+            running,
+            generated,
+            wire_drops,
+        })
+    }
+
+    /// Address the instance is bound to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Tweets generated so far (across all its connections).
+    pub fn generated(&self) -> u64 {
+        self.generated.load(Ordering::Relaxed)
+    }
+
+    /// Tweets dropped because the receiver's socket buffer was full.
+    pub fn wire_drops(&self) -> u64 {
+        self.wire_drops.load(Ordering::Relaxed)
+    }
+
+    /// Stop generating and unbind.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(map) = REGISTRY.lock().as_mut() {
+            map.remove(&self.addr);
+        }
+    }
+}
+
+impl Drop for TweetGen {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Handshake with the instance bound at `addr`. Generation starts now; the
+/// returned receiver yields JSON tweet strings until the pattern completes
+/// (channel closes) or the instance is stopped.
+pub fn connect(addr: &str) -> IngestResult<Receiver<String>> {
+    let binding = {
+        let reg = REGISTRY.lock();
+        reg.as_ref()
+            .and_then(|m| m.get(addr))
+            .cloned()
+            .ok_or_else(|| {
+                IngestError::Disconnected(format!("no TweetGen bound at {addr}"))
+            })?
+    };
+    let (tx, rx) = crossbeam_channel::bounded(binding.config.socket_buffer);
+    spawn_pusher(binding, tx);
+    Ok(rx)
+}
+
+fn spawn_pusher(binding: Arc<Binding>, tx: Sender<String>) {
+    std::thread::Builder::new()
+        .name(format!("tweetgen-{}", binding.config.addr))
+        .spawn(move || {
+            let mut factory =
+                TweetFactory::new(binding.config.instance, binding.config.seed);
+            let clock = binding.clock.clone();
+            let start = clock.now();
+            let tick = binding.config.tick;
+            let mut owed = 0.0f64;
+            let mut last = start;
+            loop {
+                if !binding.running.load(Ordering::SeqCst) {
+                    break;
+                }
+                let now = clock.now();
+                let offset = now.since(start);
+                let (rate, final_tick) = match binding.config.pattern.rate_at(offset) {
+                    Some(r) => (r, false),
+                    None => {
+                        // pattern complete: emit what was still owed for the
+                        // span between the last tick and the pattern's end,
+                        // at the rate in effect back then (keeps totals
+                        // accurate when the generator thread lags)
+                        let end = start.plus(binding.config.pattern.total_duration());
+                        let last_offset = last.since(start);
+                        match binding.config.pattern.rate_at(last_offset) {
+                            Some(r) if end > last => {
+                                let dt = end.since(last).as_millis() as f64 / 1000.0;
+                                owed += r as f64 * dt;
+                                let to_send = owed as u64;
+                                for _ in 0..to_send {
+                                    let tweet = factory.next_json();
+                                    binding.generated.fetch_add(1, Ordering::Relaxed);
+                                    match tx.try_send(tweet) {
+                                        Ok(()) => {}
+                                        Err(TrySendError::Full(_)) => {
+                                            binding
+                                                .wire_drops
+                                                .fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        Err(TrySendError::Disconnected(_)) => return,
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        break;
+                    }
+                };
+                let _ = final_tick;
+                let dt = now.since(last).as_millis() as f64 / 1000.0;
+                last = now;
+                owed += rate as f64 * dt;
+                let to_send = owed as u64;
+                owed -= to_send as f64;
+                for _ in 0..to_send {
+                    let tweet = factory.next_json();
+                    binding.generated.fetch_add(1, Ordering::Relaxed);
+                    match tx.try_send(tweet) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => {
+                            // push-based source: the wire drops it
+                            binding.wire_drops.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Disconnected(_)) => return,
+                    }
+                }
+                clock.sleep(tick);
+            }
+            // channel closes when tx drops → receiver sees end of stream
+        })
+        .expect("spawn tweetgen pusher");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> SimClock {
+        SimClock::with_scale(10.0) // 10 real ms per sim-second
+    }
+
+    #[test]
+    fn handshake_then_push_at_rate() {
+        let pattern = PatternDescriptor::constant(100, 5); // 500 tweets total
+        let gen = TweetGen::bind(
+            TweetGenConfig::new("t1:9000", 0, pattern),
+            clock(),
+        )
+        .unwrap();
+        let rx = connect("t1:9000").unwrap();
+        let tweets: Vec<String> = rx.iter().collect(); // until pattern ends
+        // rate control is approximate: allow 10% slack
+        assert!(
+            tweets.len() as i64 >= 400 && tweets.len() as i64 <= 550,
+            "got {} tweets",
+            tweets.len()
+        );
+        assert_eq!(gen.wire_drops(), 0);
+        gen.stop();
+    }
+
+    #[test]
+    fn connect_to_unbound_address_fails() {
+        assert!(connect("nowhere:1").is_err());
+    }
+
+    #[test]
+    fn double_bind_fails() {
+        let p = PatternDescriptor::constant(1, 1);
+        let g1 = TweetGen::bind(TweetGenConfig::new("t2:9000", 0, p.clone()), clock()).unwrap();
+        assert!(TweetGen::bind(TweetGenConfig::new("t2:9000", 1, p), clock()).is_err());
+        g1.stop();
+    }
+
+    #[test]
+    fn stop_unbinds_and_ends_stream() {
+        let p = PatternDescriptor::constant(1000, 1000); // long pattern
+        let g = TweetGen::bind(TweetGenConfig::new("t3:9000", 0, p), clock()).unwrap();
+        let rx = connect("t3:9000").unwrap();
+        // consume a few then stop
+        for _ in 0..5 {
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+        g.stop();
+        // stream ends (drain whatever is buffered, then disconnect)
+        while rx.recv_timeout(std::time::Duration::from_secs(1)).is_ok() {}
+        assert!(connect("t3:9000").is_err(), "unbound after stop");
+    }
+
+    #[test]
+    fn slow_receiver_causes_wire_drops() {
+        let mut cfg = TweetGenConfig::new("t4:9000", 0, PatternDescriptor::constant(2000, 3));
+        cfg.socket_buffer = 16;
+        let g = TweetGen::bind(cfg, clock()).unwrap();
+        let rx = connect("t4:9000").unwrap();
+        // receiver that never drains until the pattern is over
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let received = rx.try_iter().count();
+        assert!(received <= 16 + 1);
+        assert!(g.wire_drops() > 0, "expected drops, got none");
+        g.stop();
+    }
+
+    #[test]
+    fn generated_counts_match_pattern_budget() {
+        let p = PatternDescriptor::constant(50, 4); // 200 tweets
+        let g = TweetGen::bind(TweetGenConfig::new("t5:9000", 0, p), clock()).unwrap();
+        let rx = connect("t5:9000").unwrap();
+        let n = rx.iter().count() as u64;
+        assert_eq!(g.generated(), n, "nothing dropped with default buffer");
+        assert!((150..=220).contains(&n), "n={n}");
+        g.stop();
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's §8.3 use case: analysis of a Twitter feed.
+//!
+//! Builds the full cascade network of Chapter 5 — raw tweets, hashtag
+//! extraction, sentiment analysis — with the Fetch-Once-Compute-Many model
+//! (one connection to the external source feeds three datasets), then runs
+//! Listing 3.3's spatial aggregation over the ingested data and renders the
+//! Fig 3.2-style heat map.
+//!
+//! ```sh
+//! cargo run --release --example twitter_analysis
+//! ```
+
+use asterixdb_ingestion::adm::AdmValue;
+use asterixdb_ingestion::aql::engine::{AsterixEngine, ExecOutcome};
+use asterixdb_ingestion::common::{SimClock, SimDuration};
+use asterixdb_ingestion::feeds::controller::ControllerConfig;
+use asterixdb_ingestion::feeds::udf::Udf;
+use asterixdb_ingestion::hyracks::cluster::{Cluster, ClusterConfig};
+use asterixdb_ingestion::tweetgen::{PatternDescriptor, TweetGen, TweetGenConfig};
+use std::time::Duration;
+
+fn main() {
+    let clock = SimClock::with_scale(10.0);
+    let cluster = Cluster::start(
+        6,
+        clock.clone(),
+        ClusterConfig {
+            heartbeat_interval: SimDuration::from_secs(5),
+            failure_threshold: SimDuration::from_secs(1_000_000),
+        },
+    );
+    let engine = AsterixEngine::start(cluster.clone(), ControllerConfig::default());
+
+    engine
+        .execute(
+            r#"
+            use dataverse feeds;
+            create type TwitterUser as open {
+                screen_name: string, lang: string, friends_count: int32,
+                statuses_count: int32, name: string, followers_count: int32
+            };
+            create type Tweet as open {
+                id: string, user: TwitterUser, latitude: double?,
+                longitude: double?, created_at: string,
+                message_text: string, country: string?
+            };
+            create dataset Tweets(Tweet) primary key id;
+            create dataset ProcessedTweets(Tweet) primary key id;
+            create dataset TwitterSentiments(Tweet) primary key id;
+            "#,
+        )
+        .expect("DDL");
+
+    // Listing 4.2's AQL UDF, defined in AQL text; the sentiment UDF is an
+    // external ("Java") library function
+    engine
+        .execute(
+            r##"create function addHashTags($x) {
+                let $topics := (for $token in word-tokens($x.message_text)
+                                where starts-with($token, "#")
+                                return $token)
+                return {
+                    "id": $x.id, "user": $x.user, "latitude": $x.latitude,
+                    "longitude": $x.longitude, "created_at": $x.created_at,
+                    "message_text": $x.message_text, "country": $x.country,
+                    "topics": $topics
+                };
+            };"##,
+        )
+        .expect("create function");
+    engine
+        .install_external_function(Udf::sentiment_analysis())
+        .expect("install sentiment UDF");
+
+    let gen = TweetGen::bind(
+        TweetGenConfig::new("twitter-uc:9000", 0, PatternDescriptor::constant(600, 8)),
+        clock,
+    )
+    .expect("bind");
+
+    // the Fig 5.9 cascade: one external connection, three persisted views
+    engine
+        .execute(
+            r#"
+            create feed TwitterFeed using TweetGenAdaptor ("datasource"="twitter-uc:9000");
+            create secondary feed ProcessedTwitterFeed from feed TwitterFeed
+                apply function addHashTags;
+            create secondary feed SentimentFeed from feed ProcessedTwitterFeed
+                apply function "tweetlib#sentimentAnalysis";
+            connect feed SentimentFeed to dataset TwitterSentiments;
+            connect feed ProcessedTwitterFeed to dataset ProcessedTweets;
+            connect feed TwitterFeed to dataset Tweets;
+            "#,
+        )
+        .expect("cascade");
+    println!("cascade network connected (fetch once, compute many); ingesting...");
+
+    let sentiments = engine.catalog().dataset("TwitterSentiments").unwrap();
+    let mut last = 0;
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let n = sentiments.len();
+        if n == last && n > 0 {
+            break;
+        }
+        last = n;
+    }
+    let raw = engine.catalog().dataset("Tweets").unwrap();
+    let processed = engine.catalog().dataset("ProcessedTweets").unwrap();
+    println!(
+        "persisted: raw={} processed={} sentiments={} (from one source connection)",
+        raw.len(),
+        processed.len(),
+        sentiments.len()
+    );
+
+    // Listing 3.3: spatial aggregation over the processed tweets
+    let rows = match engine
+        .execute(
+            r#"for $tweet in dataset ProcessedTweets
+               let $leftBottom := create-point(25.0, -124.0)
+               let $latResolution := 6.0
+               let $longResolution := 14.5
+               let $loc := create-point($tweet.latitude, $tweet.longitude)
+               group by $c := spatial-cell($loc, $leftBottom, $latResolution, $longResolution)
+                   with $tweet
+               return { "cell": $c, "count": count($tweet) };"#,
+        )
+        .expect("spatial aggregation")
+        .pop()
+        .unwrap()
+    {
+        ExecOutcome::Rows(rows) => rows,
+        other => panic!("{other:?}"),
+    };
+
+    // render the Fig 3.2-style heat map: 4 lat bands x 4 lon bands over the
+    // continental US
+    println!("\ntweet density heat map (Fig 3.2 style; # = busiest cell):");
+    let mut grid = [[0i64; 4]; 4];
+    let mut max = 1i64;
+    for row in &rows {
+        if let (Some((lat, lon)), Some(count)) = (
+            row.field("cell").and_then(AdmValue::as_point),
+            row.field("count").and_then(AdmValue::as_int),
+        ) {
+            let i = (((lat - 25.0) / 6.0) as usize).min(3);
+            let j = (((lon + 124.0) / 14.5) as usize).min(3);
+            grid[i][j] += count;
+            max = max.max(grid[i][j]);
+        }
+    }
+    const SHADES: [char; 5] = ['.', ':', '+', '*', '#'];
+    for i in (0..4).rev() {
+        let mut line = String::from("  ");
+        for j in 0..4 {
+            let shade = SHADES[(grid[i][j] * 4 / max) as usize];
+            line.push(shade);
+            line.push(' ');
+        }
+        println!("{line}   lat {:.0}..{:.0}", 25.0 + 6.0 * i as f64, 31.0 + 6.0 * i as f64);
+    }
+
+    // most positive topics from the sentiment feed
+    let avg = sentiments
+        .scan_all()
+        .iter()
+        .filter_map(|t| t.field("sentiment").and_then(AdmValue::as_f64))
+        .sum::<f64>()
+        / sentiments.len().max(1) as f64;
+    println!("\nmean sentiment across {} tweets: {avg:.3}", sentiments.len());
+
+    gen.stop();
+    engine.controller().shutdown();
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate: re-exports every crate of the AsterixDB data-feed reproduction.
+//!
+//! See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+pub use asterix_adm as adm;
+pub use asterix_aql as aql;
+pub use asterix_common as common;
+pub use asterix_feeds as feeds;
+pub use asterix_hyracks as hyracks;
+pub use asterix_storage as storage;
+pub use stormsim;
+pub use tweetgen;

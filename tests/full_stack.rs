@@ -1,0 +1,261 @@
+//! Workspace-level integration tests: every crate working together through
+//! the umbrella crate's re-exports — the language layer driving the feed
+//! machinery, over the Hyracks substrate, into the storage engine, with the
+//! glued baseline alongside.
+
+use asterixdb_ingestion::adm::AdmValue;
+use asterixdb_ingestion::aql::engine::{AsterixEngine, ExecOutcome};
+use asterixdb_ingestion::common::{SimClock, SimDuration};
+use asterixdb_ingestion::feeds::controller::ControllerConfig;
+use asterixdb_ingestion::feeds::udf::Udf;
+use asterixdb_ingestion::hyracks::cluster::{Cluster, ClusterConfig};
+use asterixdb_ingestion::stormsim::glue::{run_storm_mongo_vec, StormMongoConfig};
+use asterixdb_ingestion::stormsim::mongo::MongoConfig;
+use asterixdb_ingestion::tweetgen::{PatternDescriptor, TweetGen, TweetGenConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine(nodes: usize) -> (Arc<AsterixEngine>, Cluster, SimClock) {
+    let clock = SimClock::with_scale(10.0);
+    let cluster = Cluster::start(
+        nodes,
+        clock.clone(),
+        ClusterConfig {
+            heartbeat_interval: SimDuration::from_secs(5),
+            failure_threshold: SimDuration::from_secs(1_000_000),
+        },
+    );
+    let engine = AsterixEngine::start(cluster.clone(), ControllerConfig::default());
+    (engine, cluster, clock)
+}
+
+const DDL: &str = r#"
+create type TwitterUser as open {
+    screen_name: string, lang: string, friends_count: int32,
+    statuses_count: int32, name: string, followers_count: int32
+};
+create type Tweet as open {
+    id: string, user: TwitterUser, latitude: double?, longitude: double?,
+    created_at: string, message_text: string, country: string?
+};
+create dataset Tweets(Tweet) primary key id;
+create dataset ProcessedTweets(Tweet) primary key id;
+"#;
+
+fn drain(read: impl Fn() -> usize) -> usize {
+    let mut last = 0;
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let n = read();
+        if n == last && n > 0 {
+            return n;
+        }
+        last = n;
+    }
+}
+
+/// The whole stack: AQL text → feed pipeline → LSM storage → R-tree index →
+/// spatial query, with a cascade reusing one external connection.
+#[test]
+fn language_to_storage_full_path() {
+    let (engine, cluster, clock) = engine(4);
+    engine.execute(DDL).unwrap();
+    engine
+        .execute("create index locIdx on ProcessedTweets(location) type rtree;")
+        .unwrap();
+    engine
+        .execute(
+            r##"create function locate($x) {
+                let $topics := (for $t in word-tokens($x.message_text)
+                                where starts-with($t, "#") return $t)
+                return {
+                    "id": $x.id, "user": $x.user, "created_at": $x.created_at,
+                    "message_text": $x.message_text,
+                    "location": create-point($x.latitude, $x.longitude),
+                    "topics": $topics
+                };
+            };"##,
+        )
+        .unwrap();
+    let gen = TweetGen::bind(
+        TweetGenConfig::new("fullstack-a:9000", 0, PatternDescriptor::constant(400, 5)),
+        clock,
+    )
+    .unwrap();
+    engine
+        .execute(
+            r#"
+            create feed TwitterFeed using TweetGenAdaptor ("datasource"="fullstack-a:9000");
+            create secondary feed LocatedFeed from feed TwitterFeed apply function locate;
+            connect feed LocatedFeed to dataset ProcessedTweets;
+            connect feed TwitterFeed to dataset Tweets;
+            "#,
+        )
+        .unwrap();
+    let processed = engine.catalog().dataset("ProcessedTweets").unwrap();
+    let raw = engine.catalog().dataset("Tweets").unwrap();
+    let n = drain(|| processed.len().min(raw.len()));
+    assert!(n > 500, "ingested {n}");
+    assert_eq!(processed.len(), raw.len(), "cascade delivered to both");
+
+    // the R-tree index answers a spatial query over the ingested data
+    let west_coast = processed.query_rect("locIdx", 25.0, -124.0, 49.0, -110.0).unwrap();
+    assert!(!west_coast.is_empty());
+    for t in &west_coast {
+        let (lat, lon) = t.field("location").unwrap().as_point().unwrap();
+        assert!((25.0..=49.0).contains(&lat) && (-124.0..=-110.0).contains(&lon));
+    }
+
+    // two live connections, introspectable
+    let conns = engine.controller().connections_detailed();
+    assert_eq!(conns.len(), 2);
+    assert!(conns.iter().any(|(_, f, d)| f == "TwitterFeed" && d == "Tweets"));
+
+    // and a FLWOR query over the same data agrees with the index
+    let rows = match engine
+        .execute(
+            r#"for $t in dataset ProcessedTweets
+               let $region := create-rectangle(create-point(25.0, -124.0),
+                                               create-point(49.0, -110.0))
+               where spatial-intersect($t.location, $region)
+               return $t.id;"#,
+        )
+        .unwrap()
+        .pop()
+        .unwrap()
+    {
+        ExecOutcome::Rows(rows) => rows,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(rows.len(), west_coast.len());
+
+    gen.stop();
+    engine.controller().shutdown();
+    cluster.shutdown();
+}
+
+/// The same workload through AsterixDB's native feed and the glued
+/// Storm+Mongo baseline persists the same records; the glued durable path
+/// is drastically slower.
+#[test]
+fn native_feed_and_glued_baseline_agree_on_contents() {
+    // native
+    let (engine, cluster, clock) = engine(2);
+    engine.execute(DDL).unwrap();
+    let gen = TweetGen::bind(
+        TweetGenConfig::new("fullstack-b:9000", 0, PatternDescriptor::constant(300, 4)),
+        clock.clone(),
+    )
+    .unwrap();
+    engine
+        .execute(
+            r#"create feed F using TweetGenAdaptor ("datasource"="fullstack-b:9000");
+               connect feed F to dataset Tweets;"#,
+        )
+        .unwrap();
+    let ds = engine.catalog().dataset("Tweets").unwrap();
+    let native_count = drain(|| ds.len());
+    gen.stop();
+
+    // glued, over an identical deterministic workload
+    let mut factory = asterixdb_ingestion::tweetgen::TweetFactory::new(0, 99);
+    let workload: Vec<String> = (0..native_count.min(500))
+        .map(|_| factory.next_json())
+        .collect();
+    let report = run_storm_mongo_vec(
+        StormMongoConfig {
+            mongo: MongoConfig {
+                per_op_spin: 0,
+                ..MongoConfig::default()
+            },
+            ..StormMongoConfig::default()
+        },
+        SimClock::with_scale(10.0),
+        workload.clone(),
+    )
+    .unwrap();
+    assert_eq!(report.persisted, workload.len());
+    assert_eq!(report.acked as usize, workload.len());
+
+    engine.controller().shutdown();
+    cluster.shutdown();
+}
+
+/// ADM values survive the full round trip: generated JSON → feed pipeline →
+/// WAL → recovery → query.
+#[test]
+fn recovery_preserves_ingested_data_end_to_end() {
+    let (engine, cluster, clock) = engine(2);
+    engine.execute(DDL).unwrap();
+    let gen = TweetGen::bind(
+        TweetGenConfig::new("fullstack-c:9000", 0, PatternDescriptor::constant(200, 3)),
+        clock,
+    )
+    .unwrap();
+    engine
+        .execute(
+            r#"create feed F using TweetGenAdaptor ("datasource"="fullstack-c:9000");
+               connect feed F to dataset Tweets;"#,
+        )
+        .unwrap();
+    let ds = engine.catalog().dataset("Tweets").unwrap();
+    let n = drain(|| ds.len());
+    let before: Vec<AdmValue> = ds.scan_all();
+    // crash-recover every partition from its WAL
+    for i in 0..ds.partition_count() {
+        ds.partition(i).recover().unwrap();
+    }
+    let after = ds.scan_all();
+    assert_eq!(before.len(), after.len());
+    assert_eq!(ds.len(), n);
+    gen.stop();
+    engine.controller().shutdown();
+    cluster.shutdown();
+}
+
+/// An external UDF panicking on certain records does not take the feed
+/// down; the sandbox skips and logs.
+#[test]
+fn buggy_external_udf_is_sandboxed() {
+    let (engine, cluster, clock) = engine(2);
+    engine.execute(DDL).unwrap();
+    engine
+        .install_external_function(Udf::external("buggy#panics", |record| {
+            let id = record
+                .field("id")
+                .and_then(AdmValue::as_str)
+                .unwrap_or_default();
+            if id.ends_with('7') {
+                panic!("simulated NPE for {id}");
+            }
+            Ok(record.clone())
+        }))
+        .unwrap();
+    let gen = TweetGen::bind(
+        TweetGenConfig::new("fullstack-d:9000", 0, PatternDescriptor::constant(200, 3)),
+        clock,
+    )
+    .unwrap();
+    engine
+        .execute(
+            r#"create feed F using TweetGenAdaptor ("datasource"="fullstack-d:9000");
+               create secondary feed B from feed F apply function "buggy#panics";
+               connect feed B to dataset Tweets;"#,
+        )
+        .unwrap();
+    let ds = engine.catalog().dataset("Tweets").unwrap();
+    let n = drain(|| ds.len());
+    let total = gen.generated() as usize;
+    assert!(n < total, "some records must have been skipped");
+    assert!(n > total / 2, "most records survive");
+    // every skipped record ends in 7; every persisted one does not
+    for t in ds.scan_all() {
+        let id = t.field("id").and_then(AdmValue::as_str).unwrap();
+        assert!(!id.ends_with('7'));
+    }
+    let log = engine.controller().error_log();
+    assert!(log.lock().iter().any(|e| e.message.contains("panicked")));
+    gen.stop();
+    engine.controller().shutdown();
+    cluster.shutdown();
+}
