@@ -1,0 +1,318 @@
+//! Compact length-prefixed binary codec for ADM values.
+//!
+//! AsterixDB stores and ships records in a binary ADM format rather than
+//! re-printing and re-parsing text at every boundary. This module is the
+//! analogue for this codebase: a tag byte per value, little-endian fixed
+//! width scalars, and `u32` length prefixes for strings and collections.
+//! It is used where a value must be materialized as bytes but text is
+//! wasteful — write-ahead-log records and the stormsim Mongo glue.
+//!
+//! Layout (`tag` byte first):
+//!
+//! | tag | type          | body                                        |
+//! |-----|---------------|---------------------------------------------|
+//! | 0   | null          | —                                           |
+//! | 1   | missing       | —                                           |
+//! | 2   | boolean       | 1 byte (0/1)                                |
+//! | 3   | int64         | 8 bytes LE                                  |
+//! | 4   | double        | 8 bytes LE (IEEE-754 bits)                  |
+//! | 5   | string        | u32 LE length + UTF-8 bytes                 |
+//! | 6   | point         | 2 × 8 bytes LE (x, y)                       |
+//! | 7   | datetime      | 8 bytes LE (millis since epoch)             |
+//! | 8   | ordered list  | u32 LE count + encoded items                |
+//! | 9   | unordered list| u32 LE count + encoded items                |
+//! | 10  | record        | u32 LE count + (string name, value) pairs   |
+//!
+//! `decode_value(&encode_value(v)) == v` for every `AdmValue`, including
+//! non-finite doubles (bit-exact, unlike the text round-trip) — verified by
+//! a proptest suite sharing the generator with the text round-trip tests.
+
+use crate::value::AdmValue;
+use asterix_common::{IngestError, IngestResult};
+
+const TAG_NULL: u8 = 0;
+const TAG_MISSING: u8 = 1;
+const TAG_BOOLEAN: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_DOUBLE: u8 = 4;
+const TAG_STRING: u8 = 5;
+const TAG_POINT: u8 = 6;
+const TAG_DATETIME: u8 = 7;
+const TAG_ORDERED_LIST: u8 = 8;
+const TAG_UNORDERED_LIST: u8 = 9;
+const TAG_RECORD: u8 = 10;
+
+/// Encode a value into a fresh buffer.
+pub fn encode_value(v: &AdmValue) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_into(v, &mut out);
+    out
+}
+
+/// Encode a value, appending to `out`.
+pub fn encode_into(v: &AdmValue, out: &mut Vec<u8>) {
+    match v {
+        AdmValue::Null => out.push(TAG_NULL),
+        AdmValue::Missing => out.push(TAG_MISSING),
+        AdmValue::Boolean(b) => {
+            out.push(TAG_BOOLEAN);
+            out.push(*b as u8);
+        }
+        AdmValue::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        AdmValue::Double(d) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        AdmValue::String(s) => {
+            out.push(TAG_STRING);
+            encode_str(s, out);
+        }
+        AdmValue::Point(x, y) => {
+            out.push(TAG_POINT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+            out.extend_from_slice(&y.to_bits().to_le_bytes());
+        }
+        AdmValue::DateTime(ms) => {
+            out.push(TAG_DATETIME);
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+        AdmValue::OrderedList(items) => {
+            out.push(TAG_ORDERED_LIST);
+            encode_seq(items, out);
+        }
+        AdmValue::UnorderedList(items) => {
+            out.push(TAG_UNORDERED_LIST);
+            encode_seq(items, out);
+        }
+        AdmValue::Record(fields) => {
+            out.push(TAG_RECORD);
+            out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+            for (name, value) in fields {
+                encode_str(name, out);
+                encode_into(value, out);
+            }
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_seq(items: &[AdmValue], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for item in items {
+        encode_into(item, out);
+    }
+}
+
+/// Decode a single value occupying the whole input.
+pub fn decode_value(input: &[u8]) -> IngestResult<AdmValue> {
+    let mut r = Reader { buf: input, pos: 0 };
+    let v = r.value()?;
+    if r.pos != input.len() {
+        return Err(IngestError::Parse(format!(
+            "binary ADM: {} trailing bytes after value",
+            input.len() - r.pos
+        )));
+    }
+    Ok(v)
+}
+
+/// Decode a value from the front of `input`; returns it and the rest.
+pub fn decode_prefix(input: &[u8]) -> IngestResult<(AdmValue, &[u8])> {
+    let mut r = Reader { buf: input, pos: 0 };
+    let v = r.value()?;
+    Ok((v, &input[r.pos..]))
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, msg: &str) -> IngestError {
+        IngestError::Parse(format!("binary ADM: {msg} at byte {}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> IngestResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.err("truncated input"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> IngestResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> IngestResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> IngestResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> IngestResult<f64> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    fn string(&mut self) -> IngestResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    /// Guard collection counts against allocating on garbage: a count can
+    /// never exceed the bytes remaining (every element is ≥ 1 byte).
+    fn count(&mut self) -> IngestResult<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(self.err("collection count exceeds input"));
+        }
+        Ok(n)
+    }
+
+    fn value(&mut self) -> IngestResult<AdmValue> {
+        match self.u8()? {
+            TAG_NULL => Ok(AdmValue::Null),
+            TAG_MISSING => Ok(AdmValue::Missing),
+            TAG_BOOLEAN => match self.u8()? {
+                0 => Ok(AdmValue::Boolean(false)),
+                1 => Ok(AdmValue::Boolean(true)),
+                _ => Err(self.err("invalid boolean byte")),
+            },
+            TAG_INT => Ok(AdmValue::Int(self.i64()?)),
+            TAG_DOUBLE => Ok(AdmValue::Double(self.f64()?)),
+            TAG_STRING => Ok(AdmValue::String(self.string()?)),
+            TAG_POINT => Ok(AdmValue::Point(self.f64()?, self.f64()?)),
+            TAG_DATETIME => Ok(AdmValue::DateTime(self.i64()?)),
+            TAG_ORDERED_LIST => {
+                let n = self.count()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(AdmValue::OrderedList(items))
+            }
+            TAG_UNORDERED_LIST => {
+                let n = self.count()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(AdmValue::UnorderedList(items))
+            }
+            TAG_RECORD => {
+                let n = self.count()?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = self.string()?;
+                    let value = self.value()?;
+                    fields.push((name, value));
+                }
+                Ok(AdmValue::Record(fields))
+            }
+            _ => Err(self.err("unknown type tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet() -> AdmValue {
+        AdmValue::record(vec![
+            ("id", "t-42".into()),
+            ("user", AdmValue::record(vec![("name", "alice".into())])),
+            ("location", AdmValue::Point(-71.1, 42.3)),
+            ("created_at", AdmValue::DateTime(1_400_000_000_000)),
+            ("tags", AdmValue::OrderedList(vec!["a".into(), "b".into()])),
+            ("retweets", AdmValue::Int(7)),
+            ("score", AdmValue::Double(0.25)),
+            ("verified", AdmValue::Boolean(false)),
+            ("maybe", AdmValue::Null),
+        ])
+    }
+
+    #[test]
+    fn round_trip_nested_record() {
+        let v = tweet();
+        let bytes = encode_value(&v);
+        assert_eq!(decode_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn round_trip_preserves_nan_and_infinity() {
+        for d in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0] {
+            let bytes = encode_value(&AdmValue::Double(d));
+            match decode_value(&bytes).unwrap() {
+                AdmValue::Double(back) => assert_eq!(back.to_bits(), d.to_bits()),
+                other => panic!("expected double, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text_for_tweet_sized_records() {
+        // a tweet-sized message body: quotes and newlines cost an escape
+        // byte each in text but nothing in binary
+        let body = "\"hello\"\n".repeat(18);
+        let mut v = tweet();
+        v.set_field("message_text", AdmValue::string(body));
+        let text = crate::print::to_adm_string(&v);
+        let bin = encode_value(&v);
+        assert!(
+            bin.len() < text.len(),
+            "binary {} >= text {}",
+            bin.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_anywhere() {
+        let bytes = encode_value(&tweet());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_value(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes_and_bad_tags() {
+        let mut bytes = encode_value(&AdmValue::Int(1));
+        bytes.push(0);
+        assert!(decode_value(&bytes).is_err());
+        assert!(decode_value(&[0xFF]).is_err());
+        assert!(decode_value(&[]).is_err());
+        // huge collection count with no elements behind it
+        let mut garbage = vec![TAG_ORDERED_LIST];
+        garbage.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_value(&garbage).is_err());
+    }
+
+    #[test]
+    fn decode_prefix_returns_rest() {
+        let mut bytes = encode_value(&AdmValue::Int(5));
+        bytes.extend_from_slice(b"rest");
+        let (v, rest) = decode_prefix(&bytes).unwrap();
+        assert_eq!(v, AdmValue::Int(5));
+        assert_eq!(rest, b"rest");
+    }
+}

@@ -11,9 +11,9 @@ use asterix_common::{IngestError, IngestResult};
 /// `word-tokens($s)` — split a string on non-alphanumeric boundaries,
 /// keeping `#` and `@` prefixes attached to their word (Twitter jargon).
 pub fn word_tokens(v: &AdmValue) -> IngestResult<AdmValue> {
-    let s = v
-        .as_str()
-        .ok_or_else(|| IngestError::Type(format!("word-tokens expects string, got {}", v.type_name())))?;
+    let s = v.as_str().ok_or_else(|| {
+        IngestError::Type(format!("word-tokens expects string, got {}", v.type_name()))
+    })?;
     let mut tokens = Vec::new();
     let mut current = String::new();
     for c in s.chars() {

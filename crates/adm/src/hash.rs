@@ -109,8 +109,7 @@ mod tests {
             AdmValue::OrderedList(vec![1.into()]),
             AdmValue::UnorderedList(vec![1.into()]),
         ];
-        let hashes: std::collections::HashSet<u64> =
-            vals.iter().map(hash_value).collect();
+        let hashes: std::collections::HashSet<u64> = vals.iter().map(hash_value).collect();
         assert_eq!(hashes.len(), vals.len());
     }
 

@@ -18,19 +18,29 @@
 //!   (JSON-compatible, plus `point(...)`, `datetime(...)` and `{{ }}` bags);
 //! * [`mod@print`] — the canonical serializer (parse ∘ print = identity, checked
 //!   by property tests);
+//! * [`binary`] — a compact length-prefixed binary codec (`AdmValue` ↔
+//!   bytes), the analogue of AsterixDB's binary ADM format, used by the
+//!   write-ahead log and external-system glue;
+//! * [`payload`] — typed access to the shared lazy parse cache carried by
+//!   every [`asterix_common::RecordPayload`], the heart of the parse-once
+//!   ingestion pipeline;
 //! * [`functions`] — the builtin scalar functions the feeds chapters use
 //!   (`word-tokens`, `starts-with`, `spatial-cell`, `spatial-intersect`, ...);
 //! * [`hash`] — a stable 64-bit value hash used for hash-partitioning
 //!   records across a dataset's nodegroup.
 
+pub mod binary;
 pub mod functions;
 pub mod hash;
 pub mod parse;
+pub mod payload;
 pub mod print;
 pub mod types;
 pub mod value;
 
-pub use parse::parse_value;
+pub use binary::{decode_value, encode_value};
+pub use parse::{parse_calls, parse_value};
+pub use payload::{payload_from_value, AdmPayloadExt};
 pub use print::to_adm_string;
 pub use types::{AdmType, Field, RecordType, TypeRegistry};
 pub use value::AdmValue;

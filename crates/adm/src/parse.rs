@@ -15,9 +15,23 @@
 
 use crate::value::AdmValue;
 use asterix_common::{IngestError, IngestResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of text-parser invocations.
+///
+/// The parse-once pipeline tests read this to assert that a record flowing
+/// adaptor → intake → assign → store is parsed exactly once; benchmarks use
+/// it to attribute cost. Incremented by every [`parse_value`] call.
+pub static PARSE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the global parse counter.
+pub fn parse_calls() -> u64 {
+    PARSE_CALLS.load(Ordering::Relaxed)
+}
 
 /// Parse a complete ADM value; trailing non-whitespace is an error.
 pub fn parse_value(input: &str) -> IngestResult<AdmValue> {
+    PARSE_CALLS.fetch_add(1, Ordering::Relaxed);
     let mut p = Parser::new(input);
     let v = p.value()?;
     p.skip_ws();
@@ -456,10 +470,7 @@ mod tests {
 
     #[test]
     fn datetime_forms() {
-        assert_eq!(
-            parse_value("datetime(0)").unwrap(),
-            AdmValue::DateTime(0)
-        );
+        assert_eq!(parse_value("datetime(0)").unwrap(), AdmValue::DateTime(0));
         assert_eq!(
             parse_value("datetime(\"1970-01-01T00:00:00Z\")").unwrap(),
             AdmValue::DateTime(0)

@@ -1,0 +1,119 @@
+//! Typed access to the shared parse cache of a [`RecordPayload`].
+//!
+//! `asterix-common` keeps the payload's parse cell type-erased so it does
+//! not depend on this crate; here the erased value is pinned to
+//! [`AdmValue`]. Every pipeline stage that needs the structured form of a
+//! record goes through [`AdmPayloadExt::adm_value`]: the first caller pays
+//! for one text parse, everyone after that (and every clone of the record,
+//! e.g. in the ack tracker or behind a feed joint) gets the cached
+//! `Arc<AdmValue>` back.
+
+use crate::parse::parse_value;
+use crate::print::to_adm_string;
+use crate::value::AdmValue;
+use asterix_common::{IngestError, IngestResult, RecordPayload};
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Typed accessors over a payload's shared parse cache.
+pub trait AdmPayloadExt {
+    /// The payload's ADM value, parsing the bytes on first use and reusing
+    /// the shared cache on every later call.
+    fn adm_value(&self) -> IngestResult<Arc<AdmValue>>;
+
+    /// Like [`AdmPayloadExt::adm_value`], but bumps `misses` when this call
+    /// actually ran the parser (i.e. the cache was cold). Feed metrics use
+    /// this to count parses per feed.
+    fn adm_value_counted(&self, misses: &AtomicU64) -> IngestResult<Arc<AdmValue>>;
+}
+
+fn parse_erased(bytes: &[u8]) -> Result<Arc<dyn Any + Send + Sync>, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+    match parse_value(text) {
+        Ok(v) => Ok(Arc::new(v)),
+        // store the bare message; `adm_value` re-wraps it as a parse error
+        Err(IngestError::Parse(m)) => Err(m),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn downcast(erased: Result<Arc<dyn Any + Send + Sync>, String>) -> IngestResult<Arc<AdmValue>> {
+    match erased {
+        Ok(any) => any
+            .downcast::<AdmValue>()
+            .map_err(|_| IngestError::Parse("payload cache holds a non-ADM value".into())),
+        Err(m) => Err(IngestError::Parse(m)),
+    }
+}
+
+impl AdmPayloadExt for RecordPayload {
+    fn adm_value(&self) -> IngestResult<Arc<AdmValue>> {
+        downcast(self.parse_with(parse_erased))
+    }
+
+    fn adm_value_counted(&self, misses: &AtomicU64) -> IngestResult<Arc<AdmValue>> {
+        downcast(self.parse_with(|bytes| {
+            misses.fetch_add(1, Ordering::Relaxed);
+            parse_erased(bytes)
+        }))
+    }
+}
+
+/// Build a payload from an already-known value: the bytes are the canonical
+/// ADM text and the parse cache is pre-seeded, so no downstream stage ever
+/// parses this record.
+pub fn payload_from_value(value: AdmValue) -> RecordPayload {
+    let text = to_adm_string(&value);
+    RecordPayload::with_parsed(text, Arc::new(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_calls;
+
+    #[test]
+    fn adm_value_parses_once_across_clones() {
+        let p = RecordPayload::new(r#"{ "id": 1, "name": "x" }"#);
+        let clone = p.clone();
+        let before = parse_calls();
+        let v1 = p.adm_value().unwrap();
+        let v2 = clone.adm_value().unwrap();
+        let v3 = p.adm_value().unwrap();
+        assert_eq!(parse_calls() - before, 1);
+        assert!(Arc::ptr_eq(&v1, &v2) && Arc::ptr_eq(&v2, &v3));
+        assert_eq!(v1.field("id").and_then(AdmValue::as_int), Some(1));
+    }
+
+    #[test]
+    fn adm_value_counted_counts_only_misses() {
+        let misses = AtomicU64::new(0);
+        let p = RecordPayload::new("42");
+        p.adm_value_counted(&misses).unwrap();
+        p.adm_value_counted(&misses).unwrap();
+        p.adm_value().unwrap();
+        assert_eq!(misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_cached() {
+        let p = RecordPayload::new("{ not valid");
+        let before = parse_calls();
+        assert!(p.adm_value().is_err());
+        assert!(p.adm_value().is_err());
+        assert_eq!(parse_calls() - before, 1);
+    }
+
+    #[test]
+    fn payload_from_value_never_reparses() {
+        let v = AdmValue::record(vec![("k", AdmValue::Int(9))]);
+        let p = payload_from_value(v.clone());
+        assert!(p.is_parsed());
+        let before = parse_calls();
+        assert_eq!(*p.adm_value().unwrap(), v);
+        assert_eq!(parse_calls(), before);
+        // bytes are the canonical text form
+        assert_eq!(p.as_str().unwrap(), to_adm_string(&v));
+    }
+}

@@ -335,7 +335,8 @@ mod tests {
     #[test]
     fn tweet_conforms() {
         let reg = paper_registry();
-        reg.check(&tweet(), &AdmType::Named("Tweet".into())).unwrap();
+        reg.check(&tweet(), &AdmType::Named("Tweet".into()))
+            .unwrap();
     }
 
     #[test]
@@ -409,11 +410,8 @@ mod tests {
     fn lists_check_elements() {
         let reg = TypeRegistry::new();
         let ty = AdmType::OrderedList(Box::new(AdmType::String));
-        reg.check(
-            &AdmValue::OrderedList(vec!["a".into(), "b".into()]),
-            &ty,
-        )
-        .unwrap();
+        reg.check(&AdmValue::OrderedList(vec!["a".into(), "b".into()]), &ty)
+            .unwrap();
         assert!(reg
             .check(&AdmValue::OrderedList(vec![AdmValue::Int(1)]), &ty)
             .is_err());
@@ -448,7 +446,10 @@ mod tests {
 
     #[test]
     fn display_types() {
-        assert_eq!(AdmType::OrderedList(Box::new(AdmType::String)).to_string(), "[string]");
+        assert_eq!(
+            AdmType::OrderedList(Box::new(AdmType::String)).to_string(),
+            "[string]"
+        );
         assert_eq!(AdmType::Named("Tweet".into()).to_string(), "Tweet");
     }
 }

@@ -61,9 +61,7 @@ impl AdmValue {
     /// Mutable field lookup.
     pub fn field_mut(&mut self, name: &str) -> Option<&mut AdmValue> {
         match self {
-            AdmValue::Record(fields) => {
-                fields.iter_mut().find(|(k, _)| k == name).map(|(_, v)| v)
-            }
+            AdmValue::Record(fields) => fields.iter_mut().find(|(k, _)| k == name).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -198,9 +196,9 @@ impl AdmValue {
                 x.total_cmp(&y)
             }
             (AdmValue::String(a), AdmValue::String(b)) => a.cmp(b),
-            (AdmValue::Point(ax, ay), AdmValue::Point(bx, by)) => ax
-                .total_cmp(bx)
-                .then_with(|| ay.total_cmp(by)),
+            (AdmValue::Point(ax, ay), AdmValue::Point(bx, by)) => {
+                ax.total_cmp(bx).then_with(|| ay.total_cmp(by))
+            }
             (AdmValue::DateTime(a), AdmValue::DateTime(b)) => a.cmp(b),
             (AdmValue::OrderedList(a), AdmValue::OrderedList(b))
             | (AdmValue::UnorderedList(a), AdmValue::UnorderedList(b)) => {
@@ -282,15 +280,9 @@ mod tests {
     fn set_and_remove_field() {
         let mut t = tweet();
         t.set_field("sentiment", AdmValue::Double(0.7));
-        assert_eq!(
-            t.field("sentiment").and_then(AdmValue::as_f64),
-            Some(0.7)
-        );
+        assert_eq!(t.field("sentiment").and_then(AdmValue::as_f64), Some(0.7));
         t.set_field("sentiment", AdmValue::Double(0.9));
-        assert_eq!(
-            t.field("sentiment").and_then(AdmValue::as_f64),
-            Some(0.9)
-        );
+        assert_eq!(t.field("sentiment").and_then(AdmValue::as_f64), Some(0.9));
         assert_eq!(t.remove_field("sentiment"), Some(AdmValue::Double(0.9)));
         assert_eq!(t.remove_field("sentiment"), None);
     }
@@ -309,7 +301,9 @@ mod tests {
         assert_eq!(AdmValue::Boolean(true).as_bool(), Some(true));
         assert_eq!(AdmValue::Point(1.0, 2.0).as_point(), Some((1.0, 2.0)));
         assert_eq!(
-            AdmValue::OrderedList(vec![AdmValue::Int(1)]).as_list().map(|l| l.len()),
+            AdmValue::OrderedList(vec![AdmValue::Int(1)])
+                .as_list()
+                .map(|l| l.len()),
             Some(1)
         );
         assert!(AdmValue::Null.as_str().is_none());

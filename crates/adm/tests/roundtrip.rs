@@ -1,7 +1,8 @@
-//! Property tests: the ADM printer and parser are mutual inverses, the value
-//! hash respects equality, and the total order is indeed total.
+//! Property tests: the ADM printer and parser are mutual inverses, the
+//! binary codec round-trips bit-exactly, the value hash respects equality,
+//! and the total order is indeed total.
 
-use asterix_adm::{parse_value, to_adm_string, AdmValue};
+use asterix_adm::{decode_value, encode_value, parse_value, to_adm_string, AdmValue};
 use proptest::prelude::*;
 
 /// Strategy producing arbitrary ADM values with finite doubles.
@@ -15,8 +16,7 @@ fn adm_value() -> impl Strategy<Value = AdmValue> {
         prop::num::f64::NORMAL.prop_map(AdmValue::Double),
         Just(AdmValue::Double(0.0)),
         "[a-zA-Z0-9 #@_\\\\\"\n]{0,20}".prop_map(AdmValue::String),
-        (prop::num::f64::NORMAL, prop::num::f64::NORMAL)
-            .prop_map(|(x, y)| AdmValue::Point(x, y)),
+        (prop::num::f64::NORMAL, prop::num::f64::NORMAL).prop_map(|(x, y)| AdmValue::Point(x, y)),
         any::<i64>().prop_map(AdmValue::DateTime),
     ];
     leaf.prop_recursive(3, 32, 6, |inner| {
@@ -65,5 +65,37 @@ proptest! {
     #[test]
     fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
         let _ = parse_value(&s);
+    }
+
+    #[test]
+    fn binary_roundtrip(v in adm_value()) {
+        let bytes = encode_value(&v);
+        let back = decode_value(&bytes)
+            .unwrap_or_else(|e| panic!("failed to decode {v:?}: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn binary_and_text_roundtrips_agree(v in adm_value()) {
+        // decoding the binary form and reparsing the text form must land on
+        // the same value: the two codecs describe the same data model
+        let via_binary = decode_value(&encode_value(&v)).unwrap();
+        let via_text = parse_value(&to_adm_string(&v)).unwrap();
+        prop_assert_eq!(via_binary, via_text);
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..128)
+    ) {
+        let _ = decode_value(&bytes);
+    }
+
+    #[test]
+    fn binary_decoder_rejects_appended_garbage(v in adm_value(), junk in 1u8..=255) {
+        // a valid encoding followed by any extra byte must be rejected whole
+        let mut bytes = encode_value(&v);
+        bytes.push(junk);
+        prop_assert!(decode_value(&bytes).is_err());
     }
 }

@@ -15,7 +15,7 @@
 use crate::ast::{Expr, Statement, TypeExpr};
 use crate::eval::{eval, eval_flwor, Env, EvalContext};
 use crate::rewrite::{self, ChainStep};
-use asterix_adm::{to_adm_string, AdmType, AdmValue, Field, RecordType};
+use asterix_adm::{payload_from_value, AdmType, AdmValue, Field, RecordType};
 use asterix_common::{DataFrame, IngestError, IngestResult, NodeId, Record};
 use asterix_feeds::adaptor::AdaptorConfig;
 use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
@@ -189,16 +189,10 @@ impl AsterixEngine {
                 primary_key,
             } => {
                 if self.catalog.types().get(&datatype).is_none() {
-                    return Err(IngestError::Metadata(format!(
-                        "unknown type '{datatype}'"
-                    )));
+                    return Err(IngestError::Metadata(format!("unknown type '{datatype}'")));
                 }
-                let nodegroup: Vec<NodeId> = self
-                    .cluster
-                    .alive_nodes()
-                    .iter()
-                    .map(|n| n.id())
-                    .collect();
+                let nodegroup: Vec<NodeId> =
+                    self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
                 let ds = Dataset::create_with(
                     DatasetConfig {
                         name: name.clone(),
@@ -221,7 +215,11 @@ impl AsterixEngine {
                 ds.create_index(
                     name.clone(),
                     field,
-                    if rtree { IndexKind::RTree } else { IndexKind::BTree },
+                    if rtree {
+                        IndexKind::RTree
+                    } else {
+                        IndexKind::BTree
+                    },
                 )?;
                 Ok(ExecOutcome::Done(format!("index {name} created")))
             }
@@ -261,22 +259,23 @@ impl AsterixEngine {
                 let shared = Arc::clone(&self.shared);
                 let fn_name = name.clone();
                 let udf = Udf::aql(name.clone(), move |record| {
-                    let body = shared
-                        .aql_bodies
-                        .lock()
-                        .get(&fn_name)
-                        .cloned()
-                        .ok_or_else(|| {
-                            IngestError::Metadata(format!("function '{fn_name}' dropped"))
-                        })?;
+                    let body =
+                        shared
+                            .aql_bodies
+                            .lock()
+                            .get(&fn_name)
+                            .cloned()
+                            .ok_or_else(|| {
+                                IngestError::Metadata(format!("function '{fn_name}' dropped"))
+                            })?;
                     let ctx = BodiesContext {
                         shared: &shared,
                         catalog: None,
                     };
                     let mut env = Env::new();
                     env.insert(body.0, record.clone());
-                    let out = eval(&body.1, &env, &ctx)
-                        .map_err(|e| IngestError::soft(e.to_string()))?;
+                    let out =
+                        eval(&body.1, &env, &ctx).map_err(|e| IngestError::soft(e.to_string()))?;
                     Ok(unwrap_singleton(out))
                 });
                 self.catalog.create_function(udf)?;
@@ -340,11 +339,12 @@ impl AsterixEngine {
             },
         };
         let n = rows.len();
-        // records → frames
+        // records → frames; the payload cache is seeded with each row so the
+        // store job re-uses this parse instead of re-reading the text
         let mut builder = asterix_common::FrameBuilder::default();
         let mut frames = Vec::new();
-        for row in &rows {
-            if let Some(f) = builder.push(Record::untracked(0, to_adm_string(row))) {
+        for row in rows {
+            if let Some(f) = builder.push(Record::untracked(0, payload_from_value(row))) {
                 frames.push(f);
             }
         }
@@ -420,9 +420,7 @@ fn type_expr_to_adm(te: &TypeExpr) -> IngestResult<AdmType> {
             "any" => AdmType::Any,
             _ => AdmType::Named(n.clone()),
         },
-        TypeExpr::OrderedList(inner) => {
-            AdmType::OrderedList(Box::new(type_expr_to_adm(inner)?))
-        }
+        TypeExpr::OrderedList(inner) => AdmType::OrderedList(Box::new(type_expr_to_adm(inner)?)),
         TypeExpr::UnorderedList(inner) => {
             AdmType::UnorderedList(Box::new(type_expr_to_adm(inner)?))
         }

@@ -157,11 +157,7 @@ pub fn eval(expr: &Expr, env: &Env, ctx: &dyn EvalContext) -> IngestResult<AdmVa
 }
 
 /// Evaluate a FLWOR expression to its row sequence.
-pub fn eval_flwor(
-    expr: &Expr,
-    env: &Env,
-    ctx: &dyn EvalContext,
-) -> IngestResult<Vec<AdmValue>> {
+pub fn eval_flwor(expr: &Expr, env: &Env, ctx: &dyn EvalContext) -> IngestResult<Vec<AdmValue>> {
     let Expr::Flwor {
         clauses,
         where_clause,
@@ -321,11 +317,7 @@ fn apply_binop(op: BinOp, l: &AdmValue, r: &AdmValue) -> IngestResult<AdmValue> 
 }
 
 /// Dispatch a function call: builtins first, then the context's UDFs.
-fn call_function(
-    name: &str,
-    args: &[AdmValue],
-    ctx: &dyn EvalContext,
-) -> IngestResult<AdmValue> {
+fn call_function(name: &str, args: &[AdmValue], ctx: &dyn EvalContext) -> IngestResult<AdmValue> {
     let arity = |n: usize| -> IngestResult<()> {
         if args.len() == n {
             Ok(())
@@ -435,10 +427,7 @@ mod tests {
     #[test]
     fn field_access_and_missing() {
         let mut env = Env::new();
-        env.insert(
-            "x".into(),
-            AdmValue::record(vec![("id", "t1".into())]),
-        );
+        env.insert("x".into(), AdmValue::record(vec![("id", "t1".into())]));
         assert_eq!(run_env("$x.id", &env), AdmValue::string("t1"));
         assert_eq!(run_env("$x.nope", &env), AdmValue::Missing);
         assert_eq!(run_env("$x.nope.deeper", &env), AdmValue::Missing);
@@ -446,37 +435,27 @@ mod tests {
 
     #[test]
     fn flwor_for_let_where_return() {
-        let v = run(
-            "for $x in [1, 2, 3, 4, 5] let $y := $x * 2 where $y > 4 return $y",
-        );
+        let v = run("for $x in [1, 2, 3, 4, 5] let $y := $x * 2 where $y > 4 return $y");
         assert_eq!(
             v,
-            AdmValue::OrderedList(vec![
-                AdmValue::Int(6),
-                AdmValue::Int(8),
-                AdmValue::Int(10)
-            ])
+            AdmValue::OrderedList(vec![AdmValue::Int(6), AdmValue::Int(8), AdmValue::Int(10)])
         );
     }
 
     #[test]
     fn nested_flwor_in_let() {
-        let v = run(
-            r##"let $topics := (for $t in ["#a", "b", "#c"]
+        let v = run(r##"let $topics := (for $t in ["#a", "b", "#c"]
                               where starts-with($t, "#")
                               return $t)
-               return count($topics)"##,
-        );
+               return count($topics)"##);
         assert_eq!(v, AdmValue::OrderedList(vec![AdmValue::Int(2)]));
     }
 
     #[test]
     fn group_by_counts() {
-        let v = run(
-            r#"for $x in [1, 2, 3, 4, 5, 6]
+        let v = run(r#"for $x in [1, 2, 3, 4, 5, 6]
                group by $small := $x < 4 with $x
-               return { "small": $small, "count": count($x) }"#,
-        );
+               return { "small": $small, "count": count($x) }"#);
         let groups = v.as_list().unwrap();
         assert_eq!(groups.len(), 2);
         for g in groups {
@@ -495,10 +474,7 @@ mod tests {
             )]),
         );
         assert_eq!(
-            run_env(
-                r##"some $h in $t.topics satisfies ($h = "#Obama")"##,
-                &env
-            ),
+            run_env(r##"some $h in $t.topics satisfies ($h = "#Obama")"##, &env),
             AdmValue::Boolean(true)
         );
         assert_eq!(
@@ -514,11 +490,9 @@ mod tests {
 
     #[test]
     fn spatial_builtins_compose() {
-        let v = run(
-            r#"let $p := create-point(1.0, 2.0)
+        let v = run(r#"let $p := create-point(1.0, 2.0)
                let $r := create-rectangle(create-point(0.0, 0.0), create-point(5.0, 5.0))
-               return spatial-intersect($p, $r)"#,
-        );
+               return spatial-intersect($p, $r)"#);
         assert_eq!(v, AdmValue::OrderedList(vec![AdmValue::Boolean(true)]));
     }
 
@@ -542,10 +516,7 @@ mod tests {
         let tweets = AdmValue::OrderedList(vec![
             AdmValue::record(vec![
                 ("location", AdmValue::Point(34.0, -120.0)),
-                (
-                    "topics",
-                    AdmValue::OrderedList(vec!["#Obama".into()]),
-                ),
+                ("topics", AdmValue::OrderedList(vec!["#Obama".into()])),
             ]),
             AdmValue::record(vec![
                 ("location", AdmValue::Point(34.2, -120.1)),
@@ -556,10 +527,7 @@ mod tests {
             ]),
             AdmValue::record(vec![
                 ("location", AdmValue::Point(40.0, -90.0)),
-                (
-                    "topics",
-                    AdmValue::OrderedList(vec!["#Obama".into()]),
-                ),
+                ("topics", AdmValue::OrderedList(vec!["#Obama".into()])),
             ]),
             AdmValue::record(vec![
                 // tagged differently: filtered out

@@ -60,18 +60,17 @@ pub fn tokenize(input: &str) -> IngestResult<Vec<Token>> {
                 loop {
                     match b.get(i) {
                         None => {
-                            return Err(IngestError::Language(
-                                "unterminated string literal".into(),
-                            ))
+                            return Err(IngestError::Language("unterminated string literal".into()))
                         }
                         Some(&q) if q == quote => {
                             i += 1;
                             break;
                         }
                         Some(b'\\') => {
-                            let esc = b.get(i + 1).copied().ok_or_else(|| {
-                                IngestError::Language("bad escape".into())
-                            })?;
+                            let esc = b
+                                .get(i + 1)
+                                .copied()
+                                .ok_or_else(|| IngestError::Language("bad escape".into()))?;
                             s.push(match esc {
                                 b'n' => '\n',
                                 b't' => '\t',
@@ -257,10 +256,7 @@ mod tests {
     fn dashed_and_qualified_names() {
         let toks = tokenize("word-tokens($x) tweetlib#sentimentAnalysis($y)").unwrap();
         assert_eq!(toks[0], Token::Ident("word-tokens".into()));
-        assert_eq!(
-            toks[4],
-            Token::Ident("tweetlib#sentimentAnalysis".into())
-        );
+        assert_eq!(toks[4], Token::Ident("tweetlib#sentimentAnalysis".into()));
     }
 
     #[test]

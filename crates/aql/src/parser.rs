@@ -240,9 +240,7 @@ impl Parser {
                 match kind.to_ascii_lowercase().as_str() {
                     "rtree" => true,
                     "btree" => false,
-                    other => {
-                        return Err(self.err(format!("unknown index type '{other}'")))
-                    }
+                    other => return Err(self.err(format!("unknown index type '{other}'"))),
                 }
             } else {
                 false
@@ -646,11 +644,7 @@ impl Parser {
                             [Expr::Literal(AdmValue::String(f))] => {
                                 return Ok(Expr::FeedIntake(f.clone()))
                             }
-                            _ => {
-                                return Err(self.err(
-                                    "feed_intake expects one string argument",
-                                ))
-                            }
+                            _ => return Err(self.err("feed_intake expects one string argument")),
                         }
                     }
                     return Ok(Expr::Call(name, args));

@@ -42,10 +42,9 @@ pub fn substitute(body: &Expr, param: &str, replacement: &Expr) -> Expr {
         Expr::Var(_) | Expr::Literal(_) | Expr::DatasetScan(_) | Expr::FeedIntake(_) => {
             body.clone()
         }
-        Expr::FieldAccess(inner, f) => Expr::FieldAccess(
-            Box::new(substitute(inner, param, replacement)),
-            f.clone(),
-        ),
+        Expr::FieldAccess(inner, f) => {
+            Expr::FieldAccess(Box::new(substitute(inner, param, replacement)), f.clone())
+        }
         Expr::RecordCtor(fields) => Expr::RecordCtor(
             fields
                 .iter()

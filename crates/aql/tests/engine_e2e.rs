@@ -186,9 +186,8 @@ fn insert_statement_runs_as_a_job() {
     let ds = engine.catalog().dataset("Tweets").unwrap();
     assert_eq!(ds.len(), 2);
     // type validation: a record missing required fields fails the job
-    let bad = engine.execute(
-        r#"insert into dataset Tweets (for $i in [{ "id": "c" }] return $i);"#,
-    );
+    let bad =
+        engine.execute(r#"insert into dataset Tweets (for $i in [{ "id": "c" }] return $i);"#);
     assert!(bad.is_err());
     engine.controller().shutdown();
     cluster.shutdown();
@@ -210,10 +209,7 @@ fn rtree_index_and_spatial_query() {
     for i in 0..50 {
         let rec = asterix_adm::AdmValue::record(vec![
             ("id", format!("p{i}").into()),
-            (
-                "location",
-                asterix_adm::AdmValue::Point(i as f64, i as f64),
-            ),
+            ("location", asterix_adm::AdmValue::Point(i as f64, i as f64)),
         ]);
         ds.upsert(&rec).unwrap();
     }
@@ -228,9 +224,7 @@ fn rewrite_connect_shows_the_paper_templates() {
     let (engine, cluster, _clock) = engine(1);
     engine.execute(DDL).unwrap();
     engine
-        .execute(
-            r##"create function f1($x) { let $y := $x return $y; };"##,
-        )
+        .execute(r##"create function f1($x) { let $y := $x return $y; };"##)
         .unwrap();
     engine
         .install_external_function(Udf::sentiment_analysis())
@@ -255,7 +249,10 @@ fn rewrite_connect_shows_the_paper_templates() {
         text.contains("Call(\"tweetlib#sentimentAnalysis\""),
         "{text}"
     );
-    assert!(!text.contains("Call(\"f1\""), "AQL UDF should be inlined: {text}");
+    assert!(
+        !text.contains("Call(\"f1\""),
+        "AQL UDF should be inlined: {text}"
+    );
     engine.controller().shutdown();
     cluster.shutdown();
 }

@@ -2,7 +2,7 @@
 //! parse/print, value hashing, LSM and R-tree operations, feed-joint
 //! routing, the WAL, and the UDF sandbox.
 
-use asterix_adm::{hash::hash_value, parse_value, to_adm_string, AdmValue};
+use asterix_adm::{hash::hash_value, parse_value, to_adm_string, AdmPayloadExt, AdmValue};
 use asterix_common::{DataFrame, Record, RecordId};
 use asterix_feeds::joint::FeedJoint;
 use asterix_feeds::udf::Udf;
@@ -26,7 +26,9 @@ fn bench_adm(c: &mut Criterion) {
     c.bench_function("adm/print_tweet", |b| {
         b.iter(|| to_adm_string(black_box(&value)))
     });
-    c.bench_function("adm/hash_tweet", |b| b.iter(|| hash_value(black_box(&value))));
+    c.bench_function("adm/hash_tweet", |b| {
+        b.iter(|| hash_value(black_box(&value)))
+    });
 }
 
 fn bench_lsm(c: &mut Criterion) {
@@ -114,6 +116,67 @@ fn bench_udf(c: &mut Criterion) {
     });
 }
 
+/// The store path touches each record's value three times downstream of the
+/// adaptor: the assign stage (UDF input), the partitioner key function, and
+/// the store's type check. Pre-refactor each touch reparsed the ADM text;
+/// post-refactor they all share the payload's cached parse.
+fn bench_parse_once(c: &mut Criterion) {
+    let mut factory = tweetgen::TweetFactory::new(0, 42);
+    let lines: Vec<String> = (0..64).map(|_| factory.next_json()).collect();
+    c.bench_function("pipeline/store_path_reparse_x3", |b| {
+        b.iter(|| {
+            let mut odd_hashes = 0usize;
+            for line in &lines {
+                let assign = parse_value(black_box(line)).unwrap();
+                let key = parse_value(black_box(line)).unwrap();
+                let store = parse_value(black_box(line)).unwrap();
+                odd_hashes += (hash_value(&key) as usize) & 1;
+                black_box((&assign, &store));
+            }
+            odd_hashes
+        })
+    });
+    c.bench_function("pipeline/store_path_parse_once", |b| {
+        b.iter(|| {
+            let mut odd_hashes = 0usize;
+            for line in &lines {
+                let rec = Record::untracked(0, line.as_str());
+                let assign = rec.payload.adm_value().unwrap();
+                let key = rec.payload.adm_value().unwrap();
+                let store = rec.payload.adm_value().unwrap();
+                odd_hashes += (hash_value(&key) as usize) & 1;
+                black_box((&assign, &store));
+            }
+            odd_hashes
+        })
+    });
+}
+
+/// WAL encoding: the binary codec against the ADM-text format it replaced.
+fn bench_wal_codec(c: &mut Criterion) {
+    let json = sample_tweet_json();
+    let tweet = parse_value(&json).unwrap();
+    let key = tweet.field("id").unwrap().clone();
+    c.bench_function("wal/encode_put_binary", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(256);
+            asterix_adm::binary::encode_into(black_box(&key), &mut buf);
+            asterix_adm::binary::encode_into(black_box(&tweet), &mut buf);
+            black_box(buf.len())
+        })
+    });
+    c.bench_function("wal/encode_put_text", |b| {
+        b.iter(|| {
+            let line = format!(
+                "PUT {} {}",
+                to_adm_string(black_box(&key)),
+                to_adm_string(black_box(&tweet))
+            );
+            black_box(line.len())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_adm,
@@ -121,6 +184,8 @@ criterion_group!(
     bench_partition,
     bench_rtree,
     bench_joint,
-    bench_udf
+    bench_udf,
+    bench_parse_once,
+    bench_wal_codec
 );
 criterion_main!(benches);

@@ -10,12 +10,12 @@
 //! the Discard policy, so persisted counts measure effective capacity —
 //! the cascade wins, and the gap widens with %OVERLAP.
 
-use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};
+use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
+use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_feeds::controller::ControllerConfig;
 use asterix_feeds::udf::Udf;
-use serde::Serialize;
 use std::time::Duration;
 use tweetgen::PatternDescriptor;
 
@@ -27,7 +27,7 @@ const RATE: u32 = 500;
 /// Window, sim-seconds.
 const WINDOW: u64 = 40;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Row {
     overlap_pct: u64,
     f1_cost: u64,
@@ -37,6 +37,15 @@ struct Row {
     independent_feed_a: usize,
     independent_feed_b: usize,
 }
+json_fields!(Row {
+    overlap_pct,
+    f1_cost,
+    f2_cost,
+    cascade_feed_a,
+    cascade_feed_b,
+    independent_feed_a,
+    independent_feed_b,
+});
 
 fn rig() -> ExperimentRig {
     ExperimentRig::start(RigOptions {
@@ -63,12 +72,20 @@ fn run_cascade(overlap: u64, f1_cost: u64, f2_cost: u64) -> (usize, usize) {
     let gen = rig.tweetgen(&addr, 0, PatternDescriptor::constant(RATE, WINDOW));
     let d1 = rig.dataset("D1", "Tweet");
     let d2 = rig.dataset("D2", "Tweet");
-    rig.catalog.create_function(Udf::busy_spin("f1", f1_cost)).unwrap();
-    rig.catalog.create_function(Udf::busy_spin("f2", f2_cost)).unwrap();
+    rig.catalog
+        .create_function(Udf::busy_spin("f1", f1_cost))
+        .unwrap();
+    rig.catalog
+        .create_function(Udf::busy_spin("f2", f2_cost))
+        .unwrap();
     rig.primary_feed("FeedA", &addr, Some("f1"));
     rig.secondary_feed("FeedB", "FeedA", "f2");
-    rig.controller.connect_feed("FeedA", "D1", "Discard").unwrap();
-    rig.controller.connect_feed("FeedB", "D2", "Discard").unwrap();
+    rig.controller
+        .connect_feed("FeedA", "D1", "Discard")
+        .unwrap();
+    rig.controller
+        .connect_feed("FeedB", "D2", "Discard")
+        .unwrap();
     wait_pattern_done(&gen);
     let a = wait_stable(|| d1.len(), Duration::from_millis(300));
     let b = wait_stable(|| d2.len(), Duration::from_millis(300));
@@ -89,14 +106,22 @@ fn run_independent(overlap: u64, f1_cost: u64) -> (usize, usize) {
     let gen = rig.tweetgen(&addr, 0, PatternDescriptor::constant(RATE, WINDOW));
     let d1 = rig.dataset("D1", "Tweet");
     let d2 = rig.dataset("D2", "Tweet");
-    rig.catalog.create_function(Udf::busy_spin("f1", f1_cost)).unwrap();
+    rig.catalog
+        .create_function(Udf::busy_spin("f1", f1_cost))
+        .unwrap();
     // f3 recomputes f1's work plus f2's
-    rig.catalog.create_function(Udf::busy_spin("f3", F3_COST)).unwrap();
+    rig.catalog
+        .create_function(Udf::busy_spin("f3", F3_COST))
+        .unwrap();
     // two independent connections to the same external source
     rig.primary_feed("FeedA", &addr, Some("f1"));
     rig.primary_feed("FeedB", &addr, Some("f3"));
-    rig.controller.connect_feed("FeedA", "D1", "Discard").unwrap();
-    rig.controller.connect_feed("FeedB", "D2", "Discard").unwrap();
+    rig.controller
+        .connect_feed("FeedA", "D1", "Discard")
+        .unwrap();
+    rig.controller
+        .connect_feed("FeedB", "D2", "Discard")
+        .unwrap();
     wait_pattern_done(&gen);
     let a = wait_stable(|| d1.len(), Duration::from_millis(300));
     let b = wait_stable(|| d2.len(), Duration::from_millis(300));
@@ -134,9 +159,7 @@ fn main() {
             independent_feed_a: ia,
             independent_feed_b: ib,
         });
-        println!(
-            "  %OVERLAP={overlap}: cascade A={ca} B={cb} | independent A={ia} B={ib}"
-        );
+        println!("  %OVERLAP={overlap}: cascade A={ca} B={cb} | independent A={ia} B={ib}");
     }
 
     print_table(

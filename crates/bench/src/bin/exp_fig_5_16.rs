@@ -13,12 +13,12 @@
 //! may have a single physical core, where busy-spin capacity could not
 //! scale with simulated nodes).
 
-use asterix_bench::rig::{wait_pattern_done, ExperimentRig, RigOptions};
+use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
+use asterix_bench::rig::{wait_pattern_done, ExperimentRig, RigOptions};
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_feeds::controller::ControllerConfig;
 use asterix_feeds::udf::Udf;
-use serde::Serialize;
 use std::time::Duration;
 use tweetgen::PatternDescriptor;
 
@@ -31,7 +31,7 @@ const WINDOW: u64 = 40;
 /// Per-record compute delay, µs (per-node capacity = 1e6/DELAY records/s).
 const DELAY_US: u64 = 400;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Row {
     nodes: usize,
     generated: u64,
@@ -40,6 +40,14 @@ struct Row {
     persisted_pct: f64,
     speedup_vs_1: f64,
 }
+json_fields!(Row {
+    nodes,
+    generated,
+    persisted,
+    discarded,
+    persisted_pct,
+    speedup_vs_1,
+});
 
 fn run(nodes: usize, round: usize) -> (u64, usize, u64) {
     let rig = ExperimentRig::start(RigOptions {
@@ -123,7 +131,13 @@ fn main() {
 
     print_table(
         "Fig 5.16: ingested records vs cluster size",
-        &["Nodes", "Generated", "Persisted", "% persisted", "Speedup vs 1"],
+        &[
+            "Nodes",
+            "Generated",
+            "Persisted",
+            "% persisted",
+            "Speedup vs 1",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -15,12 +15,12 @@
 //! 0–1, compute on nodes 2–3, dataset partitions on nodes 6–9 (never
 //! killed, so no connection suspends on a store loss).
 
+use asterix_bench::json_fields;
 use asterix_bench::rig::{ExperimentRig, RigOptions};
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_common::NodeId;
 use asterix_feeds::controller::ControllerConfig;
 use asterix_feeds::udf::Udf;
-use serde::Serialize;
 use tweetgen::PatternDescriptor;
 
 /// Tweets per sim-second per generator.
@@ -28,12 +28,13 @@ const RATE: u32 = 300;
 /// Experiment length, sim-seconds.
 const T_END: u64 = 210;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Series {
     feed: String,
     t_secs: Vec<f64>,
     rate: Vec<f64>,
 }
+json_fields!(Series { feed, t_secs, rate });
 
 fn main() {
     println!("Figure 6.5 reproduction: throughput under interim hardware failures");
@@ -78,9 +79,7 @@ fn main() {
     let sim_elapsed = |rig: &ExperimentRig| rig.clock.now().since(t0).as_secs_f64();
 
     // t = 70: kill a compute node of the processed pipeline
-    let compute_nodes = rig
-        .controller
-        .joint_locations("TweetGenFeed:addHashTags");
+    let compute_nodes = rig.controller.joint_locations("TweetGenFeed:addHashTags");
     let intake_nodes = rig.controller.joint_locations("TweetGenFeed");
     println!("layout: intake={intake_nodes:?} compute={compute_nodes:?} store=6..9");
     while sim_elapsed(&rig) < 70.0 {
@@ -95,9 +94,7 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
     let victim_a = intake_nodes[0];
-    let current_compute = rig
-        .controller
-        .joint_locations("TweetGenFeed:addHashTags");
+    let current_compute = rig.controller.joint_locations("TweetGenFeed:addHashTags");
     let victim_d = current_compute
         .iter()
         .copied()

@@ -9,12 +9,12 @@
 //! (Fig 7.12). AsterixDB persists durably (WAL per record) at native
 //! pipeline speed.
 
-use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};
+use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
+use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_common::{SimClock, SimDuration};
 use asterix_feeds::controller::ControllerConfig;
-use serde::Serialize;
 use std::time::Duration;
 use stormsim::glue::{run_storm_mongo, StormMongoConfig};
 use stormsim::mongo::MongoConfig;
@@ -26,7 +26,7 @@ const RATE: u32 = 300;
 const WINDOW: u64 = 60;
 const SCALE: f64 = 100.0;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SystemRun {
     system: String,
     generated: u64,
@@ -38,6 +38,17 @@ struct SystemRun {
     t_secs: Vec<f64>,
     rate: Vec<f64>,
 }
+json_fields!(SystemRun {
+    system,
+    generated,
+    persisted,
+    mean_rate,
+    peak_rate,
+    spout_stalls,
+    replayed,
+    t_secs,
+    rate,
+});
 
 fn run_glued(concern: WriteConcern, addr: &str) -> SystemRun {
     let clock = SimClock::with_scale(SCALE);

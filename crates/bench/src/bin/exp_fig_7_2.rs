@@ -6,16 +6,17 @@
 //! alternating low/high phases where the high phase exceeds the pipeline's
 //! capacity.
 
+use asterix_bench::json_fields;
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_common::{RateMeter, SimClock, SimDuration};
-use serde::Serialize;
 use tweetgen::{Interval, PatternDescriptor, TweetGen, TweetGenConfig};
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Point {
     t_secs: f64,
     rate: f64,
 }
+json_fields!(Point { t_secs, rate });
 
 /// The Chapter 7 square wave: 300/600 twps alternating every 30 sim-s,
 /// two cycles (the paper's Listing 5.13 uses 400 s intervals; same shape).

@@ -6,13 +6,13 @@
 //! from the data source are persisted"). Throttle randomly samples →
 //! *uniform thinning* with only short gaps.
 
-use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};
-use asterix_bench::report::print_table;
-use asterix_bench::{write_json, ExperimentReport};
 use asterix_adm::AdmValue;
+use asterix_bench::json_fields;
+use asterix_bench::report::print_table;
+use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};
+use asterix_bench::{write_json, ExperimentReport};
 use asterix_feeds::controller::ControllerConfig;
 use asterix_feeds::udf::Udf;
-use serde::Serialize;
 use std::time::Duration;
 use tweetgen::PatternDescriptor;
 
@@ -21,7 +21,7 @@ const RATE: u32 = 800;
 const WINDOW: u64 = 60;
 const DELAY_US: u64 = 250; // capacity ≈ 4000/s real vs offered 8000/s real
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct PatternStats {
     policy: String,
     offered: usize,
@@ -33,6 +33,16 @@ struct PatternStats {
     /// fraction persisted per 2%-of-stream bucket (a printable "plot")
     buckets: Vec<f64>,
 }
+json_fields!(PatternStats {
+    policy,
+    offered,
+    persisted,
+    kept_fraction,
+    longest_gap,
+    mean_gap,
+    gap_count,
+    buckets,
+});
 
 fn run(policy: &str) -> PatternStats {
     let rig = ExperimentRig::start(RigOptions {

@@ -16,13 +16,13 @@
 //! * **Elastic** (Fig 7.7) — the first congestion episode triggers a
 //!   scale-out; later high phases are ingested at full rate.
 
-use asterix_bench::rig::{wait_pattern_done, ExperimentRig, RigOptions};
+use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
+use asterix_bench::rig::{wait_pattern_done, ExperimentRig, RigOptions};
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_common::SimDuration;
 use asterix_feeds::controller::ControllerConfig;
 use asterix_feeds::udf::Udf;
-use serde::Serialize;
 use std::sync::atomic::Ordering;
 use tweetgen::{Interval, PatternDescriptor};
 
@@ -49,7 +49,7 @@ fn pattern() -> PatternDescriptor {
     }
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct PolicyRun {
     policy: String,
     generated: u64,
@@ -63,6 +63,19 @@ struct PolicyRun {
     t_secs: Vec<f64>,
     rate: Vec<f64>,
 }
+json_fields!(PolicyRun {
+    policy,
+    generated,
+    persisted,
+    discarded,
+    throttled,
+    spilled,
+    despilled,
+    elastic_scaleouts,
+    final_compute_parallelism,
+    t_secs,
+    rate,
+});
 
 fn run(policy: &str, round: usize) -> PolicyRun {
     let rig = ExperimentRig::start(RigOptions {

@@ -9,21 +9,27 @@
 //! of magnitude below batch(1).
 
 use asterix_aql::engine::AsterixEngine;
+use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_common::{SimClock, SimDuration};
 use asterix_feeds::controller::ControllerConfig;
 use asterix_hyracks::cluster::{Cluster, ClusterConfig};
-use serde::Serialize;
 use std::time::Instant;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Row {
     method: String,
     records: usize,
     total_ms: f64,
     avg_ms_per_record: f64,
 }
+json_fields!(Row {
+    method,
+    records,
+    total_ms,
+    avg_ms_per_record,
+});
 
 const DDL: &str = r#"
 create type TwitterUser as open {
@@ -42,9 +48,7 @@ fn batch_insert(engine: &AsterixEngine, records: &[String], batch: usize) -> Row
     let t0 = Instant::now();
     for chunk in records.chunks(batch) {
         let literals = chunk.join(",\n");
-        let stmt = format!(
-            "insert into dataset BatchTweets (for $x in [{literals}] return $x);"
-        );
+        let stmt = format!("insert into dataset BatchTweets (for $x in [{literals}] return $x);");
         engine.execute(&stmt).expect("batch insert");
     }
     let total = t0.elapsed();

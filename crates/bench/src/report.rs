@@ -1,11 +1,185 @@
 //! Experiment output: pretty tables to stdout, JSON records to `results/`.
+//!
+//! Serialization is hand-rolled (a tiny [`Json`] tree + the [`ToJson`]
+//! trait + the [`json_fields!`] field-list macro) so the harness has no
+//! external serialization dependency.
 
-use serde::Serialize;
 use std::path::PathBuf;
 
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (serialized via shortest-roundtrip formatting).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serialize with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no inf/NaN
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, level + 1);
+                    item.write(out, level + 1);
+                }
+                out.push('\n');
+                indent(out, level);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, level + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, level + 1);
+                }
+                out.push('\n');
+                indent(out, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree (the harness's `Serialize`).
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+macro_rules! to_json_num {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+to_json_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// Implement [`ToJson`] for a struct by listing its fields:
+/// `json_fields!(Row { nodes, persisted, rate });`
+#[macro_export]
+macro_rules! json_fields {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::report::ToJson for $name {
+            fn to_json(&self) -> $crate::report::Json {
+                $crate::report::Json::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::report::ToJson::to_json(&self.$field))),+
+                ])
+            }
+        }
+    };
+}
+
 /// A finished experiment's machine-readable record.
-#[derive(Debug, Serialize)]
-pub struct ExperimentReport<T: Serialize> {
+#[derive(Debug)]
+pub struct ExperimentReport<T: ToJson> {
     /// Experiment id (e.g. "table_5_1").
     pub experiment: String,
     /// Which paper artefact it regenerates.
@@ -14,26 +188,33 @@ pub struct ExperimentReport<T: Serialize> {
     pub data: T,
 }
 
+impl<T: ToJson> ToJson for ExperimentReport<T> {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            (
+                "paper_artifact".into(),
+                Json::Str(self.paper_artifact.clone()),
+            ),
+            ("data".into(), self.data.to_json()),
+        ])
+    }
+}
+
 /// Write the report as JSON under `results/<experiment>.json`; returns the
 /// path. Failures are printed, not fatal (the stdout table is the primary
 /// output).
-pub fn write_json<T: Serialize>(report: &ExperimentReport<T>) -> Option<PathBuf> {
+pub fn write_json<T: ToJson>(report: &ExperimentReport<T>) -> Option<PathBuf> {
     let dir = PathBuf::from("results");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create results/: {e}");
         return None;
     }
     let path = dir.join(format!("{}.json", report.experiment));
-    match serde_json::to_string_pretty(report) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => Some(path),
-            Err(e) => {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-                None
-            }
-        },
+    match std::fs::write(&path, report.to_json().pretty()) {
+        Ok(()) => Some(path),
         Err(e) => {
-            eprintln!("warning: cannot serialize report: {e}");
+            eprintln!("warning: cannot write {}: {e}", path.display());
             None
         }
     }
@@ -62,8 +243,65 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Point {
+        t_secs: f64,
+        rate: f64,
+        label: String,
+    }
+    json_fields!(Point {
+        t_secs,
+        rate,
+        label
+    });
+
+    #[test]
+    fn struct_serializes_in_field_order() {
+        let p = Point {
+            t_secs: 1.5,
+            rate: 300.0,
+            label: "a\"b".into(),
+        };
+        let j = p.to_json().pretty();
+        assert!(j.contains("\"t_secs\": 1.5"));
+        assert!(j.contains("\"rate\": 300"));
+        assert!(j.contains("\"label\": \"a\\\"b\""));
+        let t = j.find("t_secs").unwrap();
+        let r = j.find("rate").unwrap();
+        assert!(t < r, "field order preserved");
+    }
+
+    #[test]
+    fn report_wraps_data() {
+        let rep = ExperimentReport {
+            experiment: "x".into(),
+            paper_artifact: "y".into(),
+            data: vec![1u64, 2, 3],
+        };
+        let j = rep.to_json().pretty();
+        assert!(j.contains("\"experiment\": \"x\""));
+        assert!(j.contains('['));
+    }
+
+    #[test]
+    fn escapes_and_specials() {
+        assert_eq!(Json::Str("a\nb".into()).pretty(), "\"a\\nb\"");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
     }
 }

@@ -88,12 +88,7 @@ impl ExperimentRig {
 
     /// Create and register a dataset on an explicit nodegroup (role
     /// separation for the Fig 6.4-style layouts).
-    pub fn dataset_on(
-        &self,
-        name: &str,
-        datatype: &str,
-        nodegroup: Vec<NodeId>,
-    ) -> Arc<Dataset> {
+    pub fn dataset_on(&self, name: &str, datatype: &str, nodegroup: Vec<NodeId>) -> Arc<Dataset> {
         let d = Arc::new(
             Dataset::create_with(
                 DatasetConfig {
@@ -112,8 +107,11 @@ impl ExperimentRig {
 
     /// Bind a TweetGen instance.
     pub fn tweetgen(&self, addr: &str, instance: u32, pattern: PatternDescriptor) -> TweetGen {
-        TweetGen::bind(TweetGenConfig::new(addr, instance, pattern), self.clock.clone())
-            .expect("bind tweetgen")
+        TweetGen::bind(
+            TweetGenConfig::new(addr, instance, pattern),
+            self.clock.clone(),
+        )
+        .expect("bind tweetgen")
     }
 
     /// Define a primary feed over TweetGen addresses, optionally with a UDF.

@@ -88,10 +88,7 @@ impl SimClock {
     /// A clock where one sim-second lasts `real_millis_per_sim_sec` real
     /// milliseconds. A scale of 1000.0 is real time.
     pub fn with_scale(real_millis_per_sim_sec: f64) -> Self {
-        assert!(
-            real_millis_per_sim_sec > 0.0,
-            "time scale must be positive"
-        );
+        assert!(real_millis_per_sim_sec > 0.0, "time scale must be positive");
         SimClock {
             inner: Arc::new(Inner {
                 start: Instant::now(),

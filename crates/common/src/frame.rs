@@ -3,15 +3,163 @@
 //! In Hyracks, data flows between operators "in the form of data frames
 //! containing physical records" (§3.2.2). A frame is the unit of transfer,
 //! back-pressure, soft-failure slicing (§6.1.1) and feed-joint routing
-//! (§5.4). Records are carried in serialized form (ADM text bytes); operators
-//! that need structured access deserialize, transform, and re-serialize —
-//! exactly as AsterixDB's operators do with its binary ADM format.
+//! (§5.4). Records carry their serialized form (ADM text bytes) in a
+//! [`RecordPayload`] that also holds a lazily-computed, *shared* parsed
+//! value: the first operator that needs structured access parses the bytes
+//! once and every later stage (assign, partitioner key-fn, type check,
+//! store, secondary-index maintenance) reuses that same parse. Records are
+//! only re-serialized at true materialization boundaries — UDF output, the
+//! write-ahead log, and disk spills.
 
 use crate::ids::RecordId;
 use bytes::Bytes;
+use std::any::Any;
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
 
 /// Default number of records per frame.
 pub const DEFAULT_FRAME_CAPACITY: usize = 64;
+
+/// The shared lazily-parsed form of a payload.
+///
+/// The value is type-erased (`dyn Any`) so that this crate stays independent
+/// of the ADM crate; `asterix-adm` layers a typed accessor on top. A cached
+/// parse *failure* is kept too, so malformed records don't get re-parsed at
+/// every stage either.
+pub type ParsedCell = OnceLock<Result<Arc<dyn Any + Send + Sync>, String>>;
+
+/// A record payload: raw serialized bytes plus a shared, lazily-computed
+/// parsed value.
+///
+/// Cloning is cheap (two `Arc` bumps) and clones *share* the parse cache:
+/// when a record is routed through a feed joint to several subscribers, or
+/// retained by the ack tracker, whichever stage parses first fills the cell
+/// for all of them.
+///
+/// Equality, ordering and hashing consider only the bytes, so the cache is
+/// invisible to collections and tests.
+#[derive(Clone)]
+pub struct RecordPayload {
+    bytes: Bytes,
+    parsed: Arc<ParsedCell>,
+}
+
+impl RecordPayload {
+    /// Payload from raw serialized bytes; nothing parsed yet.
+    pub fn new(bytes: impl Into<Bytes>) -> Self {
+        RecordPayload {
+            bytes: bytes.into(),
+            parsed: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Payload whose parse cache is pre-seeded with an already-known value
+    /// (e.g. the adaptor just parsed the wire bytes, or a UDF just produced
+    /// the value and serialized it).
+    pub fn with_parsed(bytes: impl Into<Bytes>, value: Arc<dyn Any + Send + Sync>) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(Ok(value));
+        RecordPayload {
+            bytes: bytes.into(),
+            parsed: Arc::new(cell),
+        }
+    }
+
+    /// The raw serialized bytes.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Payload as UTF-8, if valid.
+    pub fn as_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.bytes).ok()
+    }
+
+    /// Whether a parse result (success or failure) is already cached.
+    pub fn is_parsed(&self) -> bool {
+        self.parsed.get().is_some()
+    }
+
+    /// Get the cached parse result, computing it with `parse` on first use.
+    ///
+    /// `parse` runs at most once per payload *family* (original + clones);
+    /// later callers — and later clones — get the cached `Arc` back.
+    pub fn parse_with<F>(&self, parse: F) -> Result<Arc<dyn Any + Send + Sync>, String>
+    where
+        F: FnOnce(&[u8]) -> Result<Arc<dyn Any + Send + Sync>, String>,
+    {
+        self.parsed.get_or_init(|| parse(&self.bytes)).clone()
+    }
+}
+
+impl Deref for RecordPayload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl AsRef<[u8]> for RecordPayload {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Borrow<[u8]> for RecordPayload {
+    fn borrow(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl PartialEq for RecordPayload {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for RecordPayload {}
+
+impl Hash for RecordPayload {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.bytes.hash(state);
+    }
+}
+
+impl fmt::Debug for RecordPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecordPayload")
+            .field("bytes", &self.bytes)
+            .field("parsed", &self.is_parsed())
+            .finish()
+    }
+}
+
+impl From<Bytes> for RecordPayload {
+    fn from(b: Bytes) -> Self {
+        RecordPayload::new(b)
+    }
+}
+
+impl From<String> for RecordPayload {
+    fn from(s: String) -> Self {
+        RecordPayload::new(s)
+    }
+}
+
+impl From<&str> for RecordPayload {
+    fn from(s: &str) -> Self {
+        RecordPayload::new(s)
+    }
+}
+
+impl From<Vec<u8>> for RecordPayload {
+    fn from(v: Vec<u8>) -> Self {
+        RecordPayload::new(v)
+    }
+}
 
 /// A single physical record travelling through a pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,8 +170,8 @@ pub struct Record {
     /// Index of the feed-adaptor instance that sourced this record; used to
     /// group ack messages per adaptor instance.
     pub adaptor: u32,
-    /// Serialized payload (ADM text bytes).
-    pub payload: Bytes,
+    /// Serialized payload (ADM text bytes) plus the shared parse cache.
+    pub payload: RecordPayload,
 }
 
 impl Record {
@@ -31,7 +179,7 @@ impl Record {
     pub const UNTRACKED: RecordId = RecordId(u64::MAX);
 
     /// A record fresh out of an adaptor, before intake assigns a tracking id.
-    pub fn untracked(adaptor: u32, payload: impl Into<Bytes>) -> Self {
+    pub fn untracked(adaptor: u32, payload: impl Into<RecordPayload>) -> Self {
         Record {
             id: Self::UNTRACKED,
             adaptor,
@@ -40,7 +188,7 @@ impl Record {
     }
 
     /// A record with a known tracking id.
-    pub fn tracked(id: RecordId, adaptor: u32, payload: impl Into<Bytes>) -> Self {
+    pub fn tracked(id: RecordId, adaptor: u32, payload: impl Into<RecordPayload>) -> Self {
         Record {
             id,
             adaptor,
@@ -55,7 +203,7 @@ impl Record {
 
     /// Payload as UTF-8, if valid.
     pub fn payload_str(&self) -> Option<&str> {
-        std::str::from_utf8(&self.payload).ok()
+        self.payload.as_str()
     }
 }
 
@@ -245,5 +393,51 @@ mod tests {
     #[should_panic(expected = "frame capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = FrameBuilder::new(0);
+    }
+
+    #[test]
+    fn payload_parse_runs_once_and_is_shared_by_clones() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = AtomicU32::new(0);
+        let parse = |bytes: &[u8]| -> Result<Arc<dyn Any + Send + Sync>, String> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(Arc::new(bytes.len()))
+        };
+        let p = RecordPayload::new("hello");
+        assert!(!p.is_parsed());
+        let clone = p.clone(); // clone taken *before* the first parse
+        let v1 = p.parse_with(parse).unwrap();
+        let v2 = clone.parse_with(parse).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(&v1, &v2));
+        assert_eq!(*v1.downcast_ref::<usize>().unwrap(), 5);
+        assert!(clone.is_parsed());
+    }
+
+    #[test]
+    fn payload_caches_parse_failures() {
+        let p = RecordPayload::new("oops");
+        let e1 = p
+            .parse_with(|_| Err("bad".into()))
+            .expect_err("first parse fails");
+        let e2 = p
+            .parse_with(|_| panic!("must not re-parse"))
+            .expect_err("cached failure");
+        assert_eq!(e1, "bad");
+        assert_eq!(e2, "bad");
+    }
+
+    #[test]
+    // the interior mutability is the parse cache, which Eq/Hash ignore by
+    // construction — exactly what this test demonstrates
+    #[allow(clippy::mutable_key_type)]
+    fn payload_eq_and_hash_ignore_parse_cache() {
+        let a = RecordPayload::new("same");
+        let b = RecordPayload::with_parsed("same", Arc::new(42u64));
+        assert_eq!(a, b);
+        assert!(b.is_parsed());
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
     }
 }

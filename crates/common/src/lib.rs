@@ -27,6 +27,6 @@ pub mod meter;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use error::{IngestError, IngestResult, SoftError};
-pub use frame::{DataFrame, FrameBuilder, Record, DEFAULT_FRAME_CAPACITY};
+pub use frame::{DataFrame, FrameBuilder, Record, RecordPayload, DEFAULT_FRAME_CAPACITY};
 pub use ids::{FeedId, JobId, NodeId, OperatorId, RecordId};
 pub use meter::{RateMeter, ThroughputSeries};

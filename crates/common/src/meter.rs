@@ -75,7 +75,10 @@ pub struct RateMeter {
 impl RateMeter {
     /// Meter with buckets of `bucket_width`, starting at `origin`.
     pub fn new(origin: SimInstant, bucket_width: SimDuration) -> Self {
-        assert!(bucket_width.as_millis() > 0, "bucket width must be positive");
+        assert!(
+            bucket_width.as_millis() > 0,
+            "bucket width must be positive"
+        );
         RateMeter {
             origin,
             bucket_width,

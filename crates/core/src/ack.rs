@@ -166,8 +166,7 @@ impl AckTracker {
         for p in pending.values_mut() {
             if now >= p.deadline {
                 p.attempts = (p.attempts + 1).min(5);
-                let backoff =
-                    asterix_common::SimDuration(self.timeout.0 << p.attempts);
+                let backoff = asterix_common::SimDuration(self.timeout.0 << p.attempts);
                 p.deadline = now.plus(backoff);
                 due.push(p.record.clone());
             }

@@ -20,7 +20,7 @@
 //!   (one per line) from a file, the §5.7.1 "simulated feed" used to compare
 //!   batch inserts against feed ingestion.
 
-use asterix_adm::{parse_value, to_adm_string};
+use asterix_adm::{parse_value, payload_from_value};
 use asterix_common::{IngestError, IngestResult, Record, SimClock};
 use asterix_hyracks::job::Constraint;
 use asterix_hyracks::operator::StopToken;
@@ -80,11 +80,15 @@ fn parse_datasource_list(config: &AdaptorConfig, key: &str) -> IngestResult<Vec<
 
 /// Translate one external JSON/ADM line into a canonical ADM record
 /// payload. Malformed input yields a parse error the adaptor may skip.
+///
+/// This is the *one* parse on the happy path: the payload's shared cache is
+/// seeded with the parsed value here, so assign, the partitioner key
+/// function, type checking and the store all reuse it instead of re-parsing.
 fn translate(line: &str, adaptor_instance: u32) -> IngestResult<Record> {
     let value = parse_value(line)?;
     Ok(Record::untracked(
         adaptor_instance,
-        to_adm_string(&value),
+        payload_from_value(value),
     ))
 }
 
@@ -424,9 +428,7 @@ mod tests {
         .unwrap();
         let mut cfg = AdaptorConfig::new();
         cfg.insert("datasource".into(), "adap:9000".into());
-        let mut adaptor = TweetGenAdaptorFactory
-            .create(&cfg, 0, &clock)
-            .unwrap();
+        let mut adaptor = TweetGenAdaptorFactory.create(&cfg, 0, &clock).unwrap();
         let records = collect_run(adaptor.as_mut());
         assert!(records.len() > 100, "got {}", records.len());
         // payload is canonical ADM, reparseable, with an id field
@@ -464,14 +466,12 @@ mod tests {
     fn file_adaptor_reads_records() {
         let dir = std::env::temp_dir();
         let path = dir.join("asterix_file_adaptor_test.adm");
-        std::fs::write(
-            &path,
-            "{\"id\":\"a\",\"x\":1}\n\n{\"id\":\"b\",\"x\":2}\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "{\"id\":\"a\",\"x\":1}\n\n{\"id\":\"b\",\"x\":2}\n").unwrap();
         let mut cfg = AdaptorConfig::new();
         cfg.insert("path".into(), path.to_string_lossy().into_owned());
-        let mut adaptor = FileAdaptorFactory.create(&cfg, 0, &SimClock::fast()).unwrap();
+        let mut adaptor = FileAdaptorFactory
+            .create(&cfg, 0, &SimClock::fast())
+            .unwrap();
         let records = collect_run(adaptor.as_mut());
         assert_eq!(records.len(), 2);
         std::fs::remove_file(&path).ok();
@@ -481,7 +481,9 @@ mod tests {
     fn file_adaptor_missing_file_errors() {
         let mut cfg = AdaptorConfig::new();
         cfg.insert("path".into(), "/definitely/not/here.adm".into());
-        let mut adaptor = FileAdaptorFactory.create(&cfg, 0, &SimClock::fast()).unwrap();
+        let mut adaptor = FileAdaptorFactory
+            .create(&cfg, 0, &SimClock::fast())
+            .unwrap();
         let stop = StopToken::new();
         let mut emit = |_r: Record| Ok(());
         assert!(adaptor.run(&mut emit, &stop).is_err());

@@ -185,10 +185,7 @@ impl FeedCatalog {
     pub fn joint_id_for(&self, name: &str) -> IngestResult<String> {
         let lineage = self.lineage(name)?;
         let root = &lineage[0].name;
-        let fns: Vec<&str> = lineage
-            .iter()
-            .filter_map(|f| f.udf.as_deref())
-            .collect();
+        let fns: Vec<&str> = lineage.iter().filter_map(|f| f.udf.as_deref()).collect();
         Ok(if fns.is_empty() {
             root.clone()
         } else {

@@ -469,8 +469,7 @@ impl FeedController {
             for (_, seg) in st.collects.drain() {
                 jobs.push(seg.job);
             }
-            let joints: Vec<(String, Vec<NodeId>)> =
-                st.joints.drain().collect();
+            let joints: Vec<(String, Vec<NodeId>)> = st.joints.drain().collect();
             (jobs, joints)
         };
         for (joint, locs) in &all_joints {
@@ -580,8 +579,10 @@ impl FeedController {
     pub fn console_report(&self) -> String {
         use std::fmt::Write as _;
         let st = self.state.lock();
-        let mut out = String::from("Feed Management Console
-");
+        let mut out = String::from(
+            "Feed Management Console
+",
+        );
         let mut conns: Vec<&Connection> = st
             .connections
             .values()
@@ -589,11 +590,7 @@ impl FeedController {
             .collect();
         conns.sort_by_key(|c| c.id);
         for c in conns {
-            let intake = st
-                .joints
-                .get(&c.source_joint)
-                .cloned()
-                .unwrap_or_default();
+            let intake = st.joints.get(&c.source_joint).cloned().unwrap_or_default();
             let compute = st
                 .computes
                 .get(&c.source_joint)
@@ -653,9 +650,7 @@ impl FeedController {
             .joints
             .get(&seg.in_joint)
             .cloned()
-            .ok_or_else(|| {
-                IngestError::Plan(format!("no live joint '{}'", seg.in_joint))
-            })?;
+            .ok_or_else(|| IngestError::Plan(format!("no live joint '{}'", seg.in_joint)))?;
         let mut job = JobSpec::new(format!("compute:{}", seg.out_joint));
         let intake = job.add_operator(Box::new(IntakeDesc {
             joint_id: seg.in_joint.clone(),
@@ -684,11 +679,8 @@ impl FeedController {
     }
 
     fn spawn_store_job(&self, st: &State, conn: &Connection) -> IngestResult<JobHandle> {
-        let in_locations = st
-            .joints
-            .get(&conn.source_joint)
-            .cloned()
-            .ok_or_else(|| {
+        let in_locations =
+            st.joints.get(&conn.source_joint).cloned().ok_or_else(|| {
                 IngestError::Plan(format!("no live joint '{}'", conn.source_joint))
             })?;
         // at-least-once plumbing
@@ -1068,8 +1060,7 @@ impl FeedController {
             .connections
             .values()
             .filter(|c| {
-                c.state == ConnectionState::Suspended
-                    && c.dataset.config.nodegroup.contains(&node)
+                c.state == ConnectionState::Suspended && c.dataset.config.nodegroup.contains(&node)
             })
             .map(|c| c.id)
             .collect();
@@ -1122,12 +1113,9 @@ impl FeedController {
     pub fn scale_compute(&self, joint_id: &str, delta: i64) -> IngestResult<usize> {
         let mut st = self.state.lock();
         let alive: Vec<NodeId> = self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
-        let seg = st
-            .computes
-            .get_mut(joint_id)
-            .ok_or_else(|| {
-                IngestError::Metadata(format!("no compute segment publishes '{joint_id}'"))
-            })?;
+        let seg = st.computes.get_mut(joint_id).ok_or_else(|| {
+            IngestError::Metadata(format!("no compute segment publishes '{joint_id}'"))
+        })?;
         let current = seg.compute_locations.len() as i64;
         let target = (current + delta).max(1) as usize;
         let target = target.min(alive.len().max(1));

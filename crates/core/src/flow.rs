@@ -23,9 +23,7 @@
 
 use crate::metrics::FeedMetrics;
 use crate::policy::{ExcessStrategy, IngestionPolicy};
-use asterix_common::{
-    DataFrame, IngestError, IngestResult, Record, RecordId,
-};
+use asterix_common::{DataFrame, IngestError, IngestResult, Record, RecordId};
 use asterix_hyracks::operator::FrameWriter;
 use crossbeam_channel::{Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -202,9 +200,7 @@ impl FlowController {
                     self.backlog.push_front(f);
                     return Ok(false);
                 }
-                Err(None) => {
-                    return Err(IngestError::Disconnected("pipeline gone".into()))
-                }
+                Err(None) => return Err(IngestError::Disconnected("pipeline gone".into())),
             }
         }
         while !self.spill.is_empty() {
@@ -212,7 +208,9 @@ impl FlowController {
             let n = frame.len() as u64;
             match self.try_send(frame) {
                 Ok(()) => {
-                    self.metrics.records_despilled.fetch_add(n, Ordering::Relaxed);
+                    self.metrics
+                        .records_despilled
+                        .fetch_add(n, Ordering::Relaxed);
                     self.metrics
                         .spill_bytes
                         .store(self.spill.bytes() as u64, Ordering::Relaxed);
@@ -230,9 +228,7 @@ impl FlowController {
                         .store(self.spill.bytes() as u64, Ordering::Relaxed);
                     return Ok(false);
                 }
-                Err(None) => {
-                    return Err(IngestError::Disconnected("pipeline gone".into()))
-                }
+                Err(None) => return Err(IngestError::Disconnected("pipeline gone".into())),
             }
         }
         Ok(true)
@@ -248,9 +244,7 @@ impl FlowController {
             match self.try_send(frame) {
                 Ok(()) => return Ok(()),
                 Err(Some(f)) => return self.handle_excess(f),
-                Err(None) => {
-                    return Err(IngestError::Disconnected("pipeline gone".into()))
-                }
+                Err(None) => return Err(IngestError::Disconnected("pipeline gone".into())),
             }
         }
         // deferred data still pending: arriving frame is excess by definition
@@ -271,7 +265,9 @@ impl FlowController {
             ExcessStrategy::Elastic => {
                 if !self.elastic_signalled {
                     self.elastic_signalled = true;
-                    self.metrics.elastic_scaleouts.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .elastic_scaleouts
+                        .fetch_add(1, Ordering::Relaxed);
                     if let Some(tx) = &self.elastic_tx {
                         let _ = tx.send(ElasticRequest {
                             connection_key: self.connection_key.clone(),
@@ -353,12 +349,7 @@ impl FlowController {
         // pace the kept fraction through with a blocking send: throttling
         // "regulates the rate of inflow"
         let frame = DataFrame::from_records(kept);
-        match self
-            .q_tx
-            .as_ref()
-            .expect("flow active")
-            .send(frame)
-        {
+        match self.q_tx.as_ref().expect("flow active").send(frame) {
             Ok(()) => Ok(()),
             Err(_) => Err(IngestError::Disconnected("pipeline gone".into())),
         }
@@ -402,7 +393,9 @@ impl FlowController {
                 let n = f.len() as u64;
                 tx.send(f)
                     .map_err(|_| IngestError::Disconnected("pipeline gone".into()))?;
-                self.metrics.records_despilled.fetch_add(n, Ordering::Relaxed);
+                self.metrics
+                    .records_despilled
+                    .fetch_add(n, Ordering::Relaxed);
             }
             self.metrics.buffer_bytes.store(0, Ordering::Relaxed);
             self.metrics.spill_bytes.store(0, Ordering::Relaxed);

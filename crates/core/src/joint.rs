@@ -185,10 +185,9 @@ impl FeedJoint {
                 });
                 self.stats.buckets_created.fetch_add(1, Ordering::Relaxed);
                 for entry in inner.subscribers.values() {
-                    entry.queued_bytes.fetch_add(
-                        bucket.frame.size_bytes() as u64,
-                        Ordering::Relaxed,
-                    );
+                    entry
+                        .queued_bytes
+                        .fetch_add(bucket.frame.size_bytes() as u64, Ordering::Relaxed);
                     let _ = entry.tx.send(JointMsg::Bucket(Arc::clone(&bucket)));
                 }
                 Ok(())
@@ -300,9 +299,7 @@ mod tests {
     use asterix_common::{Record, RecordId};
 
     fn frame(ids: std::ops::Range<u64>) -> DataFrame {
-        DataFrame::from_records(
-            ids.map(|i| Record::tracked(RecordId(i), 0, "x")).collect(),
-        )
+        DataFrame::from_records(ids.map(|i| Record::tracked(RecordId(i), 0, "x")).collect())
     }
 
     fn clock() -> SimClock {

@@ -35,6 +35,13 @@ pub struct FeedMetrics {
     pub records_replayed: AtomicU64,
     /// Elastic scale-out events requested.
     pub elastic_scaleouts: AtomicU64,
+    /// Text-parser invocations attributed to this connection — cache
+    /// *misses* of the shared per-payload parse cell. On the happy path the
+    /// adaptor seeds the cache, so every downstream stage hits it and this
+    /// stays 0; despilled records (whose cache was shed with the spill) and
+    /// records arriving through a joint from another feed's serialized
+    /// output show up here.
+    pub parse_calls: AtomicU64,
     /// Current spill file size in bytes (gauge).
     pub spill_bytes: AtomicU64,
     /// Current in-memory excess buffer size in bytes (gauge).
@@ -59,6 +66,7 @@ impl FeedMetrics {
             soft_failures: AtomicU64::new(0),
             records_replayed: AtomicU64::new(0),
             elastic_scaleouts: AtomicU64::new(0),
+            parse_calls: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
             buffer_bytes: AtomicU64::new(0),
             meter: RateMeter::new(origin, bucket),
@@ -96,7 +104,7 @@ impl FeedMetrics {
     /// One-line summary for experiment output.
     pub fn summary(&self) -> String {
         format!(
-            "in={} computed={} persisted={} discarded={} throttled={} spilled={} despilled={} soft_failures={} replayed={}",
+            "in={} computed={} persisted={} discarded={} throttled={} spilled={} despilled={} soft_failures={} replayed={} parse_calls={}",
             self.records_in.load(Ordering::Relaxed),
             self.records_computed.load(Ordering::Relaxed),
             self.records_persisted.load(Ordering::Relaxed),
@@ -106,6 +114,7 @@ impl FeedMetrics {
             self.records_despilled.load(Ordering::Relaxed),
             self.soft_failures.load(Ordering::Relaxed),
             self.records_replayed.load(Ordering::Relaxed),
+            self.parse_calls.load(Ordering::Relaxed),
         )
     }
 }

@@ -28,7 +28,7 @@ use crate::manager::FeedManager;
 use crate::metrics::FeedMetrics;
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
-use asterix_adm::{parse_value, to_adm_string, AdmType, TypeRegistry};
+use asterix_adm::{payload_from_value, AdmPayloadExt, AdmType, TypeRegistry};
 use asterix_common::{
     DataFrame, FrameBuilder, IngestError, IngestResult, NodeId, Record, SimDuration, SimInstant,
 };
@@ -132,7 +132,12 @@ where
                 let rec = asterix_adm::AdmValue::record(vec![
                     (
                         "id",
-                        format!("sf-{}-{}", self.name, self.metrics.get(&self.metrics.soft_failures)).into(),
+                        format!(
+                            "sf-{}-{}",
+                            self.name,
+                            self.metrics.get(&self.metrics.soft_failures)
+                        )
+                        .into(),
                     ),
                     ("at_millis", asterix_adm::AdmValue::Int(entry.at.0 as i64)),
                     ("operator", entry.operator.clone().into()),
@@ -156,11 +161,7 @@ impl<F> UnaryOperator for MetaFeed<F>
 where
     F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
 {
-    fn next_frame(
-        &mut self,
-        frame: DataFrame,
-        output: &mut dyn FrameWriter,
-    ) -> IngestResult<()> {
+    fn next_frame(&mut self, frame: DataFrame, output: &mut dyn FrameWriter) -> IngestResult<()> {
         let mut out = Vec::new();
         for record in frame.records() {
             match (self.process)(record) {
@@ -241,7 +242,9 @@ impl OperatorDescriptor for CollectDesc {
     ) -> IngestResult<OperatorRuntime> {
         let fm = FeedManager::on(&ctx.node);
         let joint = fm.register_joint(&self.joint_id);
-        let adaptor = self.factory.create(&self.config, ctx.partition, &ctx.clock)?;
+        let adaptor = self
+            .factory
+            .create(&self.config, ctx.partition, &ctx.clock)?;
         let source = CollectSource {
             adaptor: Some(adaptor),
             joint,
@@ -423,9 +426,9 @@ impl IntakeSource {
 
     fn track_frame(&self, frame: DataFrame) -> DataFrame {
         match &self.tracker {
-            Some(t) => DataFrame::from_records(
-                frame.records().iter().map(|r| t.track(r)).collect(),
-            ),
+            Some(t) => {
+                DataFrame::from_records(frame.records().iter().map(|r| t.track(r)).collect())
+            }
             None => frame,
         }
     }
@@ -577,10 +580,12 @@ impl OperatorDescriptor for AssignDesc {
         let extra_spin = self.extra_spin;
         let extra_delay_us = self.extra_delay_us;
         let process = move |rec: &Record| -> IngestResult<Option<Record>> {
-            let text = rec
-                .payload_str()
-                .ok_or_else(|| IngestError::soft("payload is not utf-8"))?;
-            let value = parse_value(text).map_err(|e| IngestError::soft(e.to_string()))?;
+            // shared parse: a cache hit when the adaptor seeded the payload,
+            // an attributed miss for despilled or externally-built records
+            let value = rec
+                .payload
+                .adm_value_counted(&metrics.parse_calls)
+                .map_err(|e| IngestError::soft(e.to_string()))?;
             if extra_delay_us > 0 {
                 std::thread::sleep(std::time::Duration::from_micros(extra_delay_us));
             }
@@ -599,10 +604,12 @@ impl OperatorDescriptor for AssignDesc {
                 return Ok(None);
             }
             metrics.records_computed.fetch_add(1, Ordering::Relaxed);
+            // UDF output is a true materialization boundary: serialize the
+            // new value once, seeding the cache so the store never re-parses
             Ok(Some(Record {
                 id: rec.id,
                 adaptor: rec.adaptor,
-                payload: to_adm_string(&out).into(),
+                payload: payload_from_value(out),
             }))
         };
         let meta = MetaFeed::new(
@@ -709,15 +716,18 @@ impl OperatorDescriptor for StoreDesc {
         let datatype = AdmType::Named(self.dataset.config.datatype.clone());
         let registry = self.registry.clone();
         let metrics = Arc::clone(&self.metrics);
-        let mut ack_sender = self.ack.as_ref().map(|a| {
-            AckSender::new(a.txs.clone(), a.window, ctx.clock.clone())
-        });
+        let mut ack_sender = self
+            .ack
+            .as_ref()
+            .map(|a| AckSender::new(a.txs.clone(), a.window, ctx.clock.clone()));
         let ack_for_close = self.ack.clone();
         let process = move |rec: &Record| -> IngestResult<Option<Record>> {
-            let text = rec
-                .payload_str()
-                .ok_or_else(|| IngestError::soft("payload is not utf-8"))?;
-            let value = parse_value(text).map_err(|e| IngestError::soft(e.to_string()))?;
+            // reuses the parse seeded at the adaptor (or by assign's UDF
+            // output); only despilled/externally-built records miss here
+            let value = rec
+                .payload
+                .adm_value_counted(&metrics.parse_calls)
+                .map_err(|e| IngestError::soft(e.to_string()))?;
             if let Some(reg) = &registry {
                 reg.check(&value, &datatype)
                     .map_err(|e| IngestError::soft(e.to_string()))?;
@@ -750,9 +760,13 @@ impl OperatorDescriptor for StoreDesc {
 /// The hash-partitioning key function for the store connector: hash of the
 /// record's primary key (falls back to hashing raw bytes on unparseable
 /// payloads — the store's sandbox reports those as soft failures).
+///
+/// Uses the payload's shared parse cache, so routing a record costs no parse
+/// beyond the adaptor's (and caches the parse for the store if the record
+/// somehow arrives cold).
 pub fn store_key_fn(primary_key: String) -> Arc<dyn Fn(&Record) -> u64 + Send + Sync> {
     Arc::new(move |rec: &Record| {
-        match rec.payload_str().and_then(|t| parse_value(t).ok()) {
+        match rec.payload.adm_value().ok() {
             Some(v) => match v.field(&primary_key) {
                 Some(k) => asterix_adm::hash::hash_value(k),
                 None => asterix_adm::hash::hash_value(&v),
@@ -849,9 +863,8 @@ mod tests {
     fn metafeed_terminates_after_consecutive_limit() {
         let mut policy = IngestionPolicy::basic();
         policy.max_consecutive_soft_failures = 3;
-        let (mut meta, _m, _log) = meta_with(policy, |_r: &Record| {
-            Err(IngestError::soft("always fails"))
-        });
+        let (mut meta, _m, _log) =
+            meta_with(policy, |_r: &Record| Err(IngestError::soft("always fails")));
         let mut out = CaptureWriter(Vec::new());
         let err = meta
             .next_frame(frame_of(&["a", "b", "c", "d", "e"]), &mut out)
@@ -883,8 +896,7 @@ mod tests {
     fn metafeed_propagates_soft_error_when_recovery_disabled() {
         let mut policy = IngestionPolicy::basic();
         policy.recover_soft_failure = false;
-        let (mut meta, _m, _log) =
-            meta_with(policy, |_r: &Record| Err(IngestError::soft("boom")));
+        let (mut meta, _m, _log) = meta_with(policy, |_r: &Record| Err(IngestError::soft("boom")));
         let mut out = CaptureWriter(Vec::new());
         let err = meta.next_frame(frame_of(&["a"]), &mut out).unwrap_err();
         assert!(err.is_soft());

@@ -139,9 +139,7 @@ impl IngestionPolicy {
             "discard" => Some(Self::discard()),
             "throttle" => Some(Self::throttle()),
             "elastic" => Some(Self::elastic()),
-            "faulttolerant" | "fault-tolerant" | "fault_tolerant" => {
-                Some(Self::fault_tolerant())
-            }
+            "faulttolerant" | "fault-tolerant" | "fault_tolerant" => Some(Self::fault_tolerant()),
             _ => None,
         }
     }
@@ -195,17 +193,15 @@ impl IngestionPolicy {
             "memory.budget.bytes" => self.memory_budget_bytes = parse_bytes(key, value)?,
             "max.spill.size.on.disk" => self.max_spill_bytes = Some(parse_bytes(key, value)?),
             "max.consecutive.soft.failures" => {
-                self.max_consecutive_soft_failures = value.parse().map_err(|_| {
-                    IngestError::Config(format!("{key}: bad count '{value}'"))
-                })?
+                self.max_consecutive_soft_failures = value
+                    .parse()
+                    .map_err(|_| IngestError::Config(format!("{key}: bad count '{value}'")))?
             }
-            "soft.failure.log.data" => {
-                self.log_soft_failures_to_dataset = parse_bool(key, value)?
-            }
+            "soft.failure.log.data" => self.log_soft_failures_to_dataset = parse_bool(key, value)?,
             "throttle.keep.fraction" => {
-                let f: f64 = value.parse().map_err(|_| {
-                    IngestError::Config(format!("{key}: bad fraction '{value}'"))
-                })?;
+                let f: f64 = value
+                    .parse()
+                    .map_err(|_| IngestError::Config(format!("{key}: bad fraction '{value}'")))?;
                 if !(f > 0.0 && f <= 1.0) {
                     return Err(IngestError::Config(format!(
                         "{key}: fraction must be in (0, 1], got {f}"

@@ -74,8 +74,8 @@ impl Udf {
             UdfKind::Aql => (self.f)(record),
             UdfKind::External => {
                 let f = Arc::clone(&self.f);
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(record)))
-                    .unwrap_or_else(|p| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(record))).unwrap_or_else(
+                    |p| {
                         let msg = p
                             .downcast_ref::<&str>()
                             .map(|s| s.to_string())
@@ -85,7 +85,8 @@ impl Udf {
                             "external UDF {} panicked: {msg}",
                             self.name
                         )))
-                    })
+                    },
+                )
             }
         }
     }
@@ -165,10 +166,7 @@ mod tests {
     use super::*;
 
     fn tweet(text: &str) -> AdmValue {
-        AdmValue::record(vec![
-            ("id", "t1".into()),
-            ("message_text", text.into()),
-        ])
+        AdmValue::record(vec![("id", "t1".into()), ("message_text", text.into())])
     }
 
     #[test]

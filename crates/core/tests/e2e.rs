@@ -172,7 +172,7 @@ fn primary_feed_ingests_into_dataset() {
     let generated = wait_pattern_done(&gen);
     assert!(generated >= 1000, "generated {generated}");
     assert!(
-        wait_until(Duration::from_secs(20), || dataset.len() as u64
+        wait_until(Duration::from_secs(20 * 3), || dataset.len() as u64
             >= generated),
         "persisted {} of {generated}",
         dataset.len()
@@ -208,7 +208,7 @@ fn secondary_feed_applies_udf_and_shares_head() {
 
     let generated = wait_pattern_done(&gen) as usize;
     assert!(
-        wait_until(Duration::from_secs(20), || processed.len() >= generated
+        wait_until(Duration::from_secs(20 * 3), || processed.len() >= generated
             && raw.len() >= generated),
         "generated={generated} raw={} processed={}",
         raw.len(),
@@ -245,7 +245,8 @@ fn three_level_cascade_listing_5_9() {
         .unwrap();
     let generated = wait_pattern_done(&gen) as usize;
     assert!(
-        wait_until(Duration::from_secs(25), || sentiments.len() >= generated),
+        wait_until(Duration::from_secs(25 * 3), || sentiments.len()
+            >= generated),
         "persisted {} of {generated}",
         sentiments.len()
     );
@@ -273,7 +274,7 @@ fn disconnect_is_graceful_and_isolated() {
     rig.controller
         .connect_feed("ProcessedTwitterFeed", "ProcessedTweets", "Basic")
         .unwrap();
-    assert!(wait_until(Duration::from_secs(10), || raw.len() > 500
+    assert!(wait_until(Duration::from_secs(10 * 3), || raw.len() > 500
         && processed.len() > 500));
 
     // disconnect the primary: the secondary keeps flowing (Fig 5.10)
@@ -283,7 +284,7 @@ fn disconnect_is_graceful_and_isolated() {
     let raw_at_disconnect = raw.len();
     let processed_at_disconnect = processed.len();
     assert!(
-        wait_until(Duration::from_secs(10), || processed.len()
+        wait_until(Duration::from_secs(10 * 3), || processed.len()
             > processed_at_disconnect + 500),
         "secondary feed stalled after sibling disconnect"
     );
@@ -334,13 +335,13 @@ fn soft_failures_are_skipped_and_logged() {
         }
     }
     assert!(
-        wait_until(Duration::from_secs(15), || dataset.len() >= 40),
+        wait_until(Duration::from_secs(15 * 3), || dataset.len() >= 40),
         "persisted {}",
         dataset.len()
     );
     let m = rig.controller.connection_metrics(conn).unwrap();
     assert!(
-        wait_until(Duration::from_secs(5), || m
+        wait_until(Duration::from_secs(5 * 3), || m
             .soft_failures
             .load(Ordering::Relaxed)
             >= 19),
@@ -387,7 +388,8 @@ fn compute_node_failure_recovers_with_fault_isolation() {
     rig.controller
         .connect_feed("ProcessedTwitterFeed", "ProcessedTweets", "Basic")
         .unwrap();
-    assert!(wait_until(Duration::from_secs(15), || processed.len() > 300
+    assert!(wait_until(Duration::from_secs(15 * 3), || processed.len()
+        > 300
         && raw.len() > 300));
 
     // kill a node hosting a compute instance of the processed pipeline;
@@ -404,14 +406,14 @@ fn compute_node_failure_recovers_with_fault_isolation() {
     let processed_before = processed.len();
     let raw_before = raw.len();
     assert!(
-        wait_until(Duration::from_secs(30), || processed.len()
+        wait_until(Duration::from_secs(30 * 3), || processed.len()
             > processed_before + 300),
         "processed pipeline did not resume: {} -> {}",
         processed_before,
         processed.len()
     );
     assert!(
-        wait_until(Duration::from_secs(15), || raw.len() > raw_before + 300),
+        wait_until(Duration::from_secs(15 * 3), || raw.len() > raw_before + 300),
         "raw pipeline did not resume"
     );
     gen.stop();
@@ -428,7 +430,7 @@ fn store_node_failure_suspends_then_resumes_on_rejoin() {
         .controller
         .connect_feed("TwitterFeed", "Tweets", "FaultTolerant")
         .unwrap();
-    assert!(wait_until(Duration::from_secs(15), || dataset.len() > 300));
+    assert!(wait_until(Duration::from_secs(15 * 3), || dataset.len() > 300));
 
     // kill a node hosting a dataset partition but no intake
     let intake_nodes = rig.controller.joint_locations("TwitterFeed");
@@ -441,7 +443,7 @@ fn store_node_failure_suspends_then_resumes_on_rejoin() {
         .expect("a pure store node exists");
     rig.cluster.kill_node(victim);
     assert!(
-        wait_until(Duration::from_secs(10), || {
+        wait_until(Duration::from_secs(10 * 3), || {
             rig.controller.connection_state(conn) == ConnectionState::Suspended
         }),
         "connection should suspend on store-node loss"
@@ -449,14 +451,14 @@ fn store_node_failure_suspends_then_resumes_on_rejoin() {
     // re-join: log-based recovery, pipeline rescheduled
     rig.cluster.revive_node(victim);
     assert!(
-        wait_until(Duration::from_secs(10), || {
+        wait_until(Duration::from_secs(10 * 3), || {
             rig.controller.connection_state(conn) == ConnectionState::Active
         }),
         "connection should resume on re-join"
     );
     let before = dataset.len();
     assert!(
-        wait_until(Duration::from_secs(30), || dataset.len() > before + 300),
+        wait_until(Duration::from_secs(30 * 3), || dataset.len() > before + 300),
         "ingestion did not resume: {} -> {}",
         before,
         dataset.len()
@@ -489,14 +491,14 @@ fn discard_policy_sheds_load_under_overload() {
         .compute_metrics("TwitterFeed:addHashTags")
         .unwrap();
     assert!(
-        wait_until(Duration::from_secs(20), || m
+        wait_until(Duration::from_secs(20 * 3), || m
             .records_discarded
             .load(Ordering::Relaxed)
             > 0),
         "no records discarded under overload"
     );
     assert!(
-        wait_until(Duration::from_secs(10), || !dataset.is_empty()),
+        wait_until(Duration::from_secs(10 * 3), || !dataset.is_empty()),
         "nothing persisted at all"
     );
     gen.stop();
@@ -528,7 +530,7 @@ fn elastic_policy_scales_compute_out() {
         Some(1)
     );
     assert!(
-        wait_until(Duration::from_secs(25), || {
+        wait_until(Duration::from_secs(25 * 3), || {
             rig.controller
                 .compute_parallelism_of("TwitterFeed:addHashTags")
                 .map(|n| n > 1)
@@ -559,7 +561,7 @@ fn at_least_once_tracks_and_survives_duplicates() {
         .unwrap();
     let generated = wait_pattern_done(&gen);
     assert!(
-        wait_until(Duration::from_secs(15), || dataset.len() as u64
+        wait_until(Duration::from_secs(15 * 3), || dataset.len() as u64
             >= generated),
         "persisted {} of {generated}",
         dataset.len()
@@ -641,7 +643,7 @@ fn basic_policy_memory_budget_terminates_feed() {
         .connect_feed("P", "Tweets", "TinyBasic")
         .unwrap();
     assert!(
-        wait_until(Duration::from_secs(30), || {
+        wait_until(Duration::from_secs(30 * 3), || {
             rig.controller.connection_state(conn) == ConnectionState::Ended
         }),
         "feed should terminate when the Basic buffer budget blows"
@@ -685,8 +687,7 @@ fn policy_comparison_discard_vs_throttle_pattern() {
         let mut present = vec![false; total];
         for rec in dataset.scan_all() {
             if let Some(id) = rec.field("id").and_then(AdmValue::as_str) {
-                if let Some(seq) = id.strip_prefix("0-").and_then(|s| s.parse::<usize>().ok())
-                {
+                if let Some(seq) = id.strip_prefix("0-").and_then(|s| s.parse::<usize>().ok()) {
                     if seq < total {
                         present[seq] = true;
                     }
@@ -742,7 +743,7 @@ fn console_report_and_elastic_scale_in() {
     rig.primary_feed("TwitterFeed", "e2e-console:9000");
     rig.secondary_feed("P", "TwitterFeed", "addHashTags");
     rig.controller.connect_feed("P", "Tweets", "Basic").unwrap();
-    assert!(wait_until(Duration::from_secs(10), || dataset.len() > 100));
+    assert!(wait_until(Duration::from_secs(10 * 3), || dataset.len() > 100));
 
     // the Appendix A console shows the physical layout and rates
     let report = rig.controller.console_report();
@@ -758,7 +759,7 @@ fn console_report_and_elastic_scale_in() {
     assert_eq!(n, 3);
     let before = dataset.len();
     assert!(
-        wait_until(Duration::from_secs(10), || dataset.len() > before + 200),
+        wait_until(Duration::from_secs(10 * 3), || dataset.len() > before + 200),
         "flow continues after scale-out"
     );
     let n = rig
@@ -768,7 +769,7 @@ fn console_report_and_elastic_scale_in() {
     assert_eq!(n, 1);
     let before = dataset.len();
     assert!(
-        wait_until(Duration::from_secs(10), || dataset.len() > before + 200),
+        wait_until(Duration::from_secs(10 * 3), || dataset.len() > before + 200),
         "flow continues after scale-in"
     );
     gen.stop();
@@ -809,7 +810,7 @@ fn publish_subscribe_with_filter_feeds_and_dataset_union() {
         .unwrap();
     let generated = wait_pattern_done(&gen) as usize;
     assert!(
-        wait_until(Duration::from_secs(15), || {
+        wait_until(Duration::from_secs(15 * 3), || {
             !us_tweets.is_empty() && union.len() > us_tweets.len()
         }),
         "subscriptions stalled"

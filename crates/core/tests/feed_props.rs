@@ -77,9 +77,9 @@ impl FrameWriter for ScriptedSink {
 
 #[derive(Debug, Clone)]
 enum Step {
-    Offer(u8),     // offer a frame of 1..=32 records
-    Budget(u8),    // let the sink accept up to n more frames
-    Drain,         // opportunistic drain of deferred work
+    Offer(u8),  // offer a frame of 1..=32 records
+    Budget(u8), // let the sink accept up to n more frames
+    Drain,      // opportunistic drain of deferred work
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {

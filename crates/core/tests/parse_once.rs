@@ -1,0 +1,140 @@
+//! Regression test for the parse-once typed record pipeline.
+//!
+//! A record travelling adaptor → intake → assign (UDF) → partitioner →
+//! store → secondary index must be parsed from text exactly once — at the
+//! adaptor, which seeds the payload's shared parse cache. Before the
+//! parse-once refactor this path parsed each record three or more times
+//! (assign, key function and store each re-read the text).
+//!
+//! This file holds a single `#[test]` so its process owns the global
+//! [`asterix_adm::parse_calls`] counter — other test binaries run in their
+//! own processes and cannot perturb it.
+
+use asterix_adm::types::paper_registry;
+use asterix_adm::{parse_calls, AdmValue};
+use asterix_common::{NodeId, SimClock, SimDuration};
+use asterix_feeds::adaptor::{bind_socket, unbind_socket, AdaptorConfig};
+use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
+use asterix_feeds::controller::{ControllerConfig, FeedController};
+use asterix_feeds::udf::Udf;
+use asterix_hyracks::cluster::{Cluster, ClusterConfig};
+use asterix_storage::secondary::IndexKind;
+use asterix_storage::{Dataset, DatasetConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const RECORDS: u64 = 400;
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn intake_to_store_parses_each_record_exactly_once() {
+    let clock = SimClock::with_scale(10.0);
+    let cluster = Cluster::start(
+        2,
+        clock.clone(),
+        ClusterConfig {
+            heartbeat_interval: SimDuration::from_secs(5),
+            failure_threshold: SimDuration::from_secs(1_000_000),
+        },
+    );
+    let catalog = FeedCatalog::new(paper_registry());
+    let controller = FeedController::start(
+        cluster.clone(),
+        Arc::clone(&catalog),
+        ControllerConfig::default(),
+    );
+
+    // dataset with a secondary index, so index maintenance is on the path
+    let nodegroup: Vec<NodeId> = cluster.alive_nodes().iter().map(|n| n.id()).collect();
+    let dataset = Arc::new(
+        Dataset::create(DatasetConfig {
+            name: "Tweets".into(),
+            datatype: "Tweet".into(),
+            primary_key: "id".into(),
+            nodegroup,
+        })
+        .unwrap(),
+    );
+    dataset
+        .create_index("byText", "message_text", IndexKind::BTree)
+        .unwrap();
+    catalog.register_dataset(Arc::clone(&dataset));
+    catalog.create_function(Udf::add_hash_tags()).unwrap();
+
+    // socket-fed primary feed with a UDF'd secondary feed on top: the full
+    // collect → intake → assign → hash-partition → store pipeline
+    let tx = bind_socket("parse-once:9000", 1024).unwrap();
+    let mut config = AdaptorConfig::new();
+    config.insert("sockets".into(), "parse-once:9000".into());
+    catalog
+        .create_feed(FeedDef {
+            name: "RawFeed".into(),
+            kind: FeedKind::Primary {
+                adaptor: "socket_adaptor".into(),
+                config,
+            },
+            udf: None,
+        })
+        .unwrap();
+    catalog
+        .create_feed(FeedDef {
+            name: "ProcessedFeed".into(),
+            kind: FeedKind::Secondary {
+                parent: "RawFeed".into(),
+            },
+            udf: Some("addHashTags".into()),
+        })
+        .unwrap();
+    let conn = controller
+        .connect_feed("ProcessedFeed", "Tweets", "Basic")
+        .unwrap();
+
+    let mut factory = tweetgen::TweetFactory::new(3, 7);
+    let lines: Vec<String> = (0..RECORDS).map(|_| factory.next_json()).collect();
+
+    let before = parse_calls();
+    for line in &lines {
+        tx.send(line.clone()).unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(60), || dataset.len() as u64 == RECORDS),
+        "expected {RECORDS} records persisted, saw {}",
+        dataset.len()
+    );
+    let parsed = parse_calls() - before;
+
+    // exactly one parse per record: the adaptor's. Assign, the partitioner
+    // key function, the type check, the store and the secondary index all
+    // reuse the shared cached value. (The pre-refactor pipeline cost 3+
+    // parses per record on this path.)
+    assert_eq!(
+        parsed, RECORDS,
+        "pipeline parsed {parsed} times for {RECORDS} records"
+    );
+
+    // the per-feed cache-miss counter agrees: no stage downstream of the
+    // adaptor ever parsed
+    let metrics = controller.connection_metrics(conn).unwrap();
+    assert_eq!(metrics.parse_calls.load(Ordering::Relaxed), 0);
+
+    // sanity: the records really went through the UDF and the store
+    let sample = dataset.scan_all();
+    assert!(sample
+        .iter()
+        .all(|r| !matches!(r.field("topics"), None | Some(AdmValue::Missing))));
+
+    controller.shutdown();
+    cluster.shutdown();
+    unbind_socket("parse-once:9000");
+}

@@ -77,7 +77,6 @@ impl NodeHandle {
     pub fn services(&self) -> &ServiceMap {
         &self.inner.services
     }
-
 }
 
 impl std::fmt::Debug for NodeHandle {
@@ -256,12 +255,7 @@ impl Cluster {
                         if silent >= inner.config.failure_threshold
                             && n.inner
                                 .reported_failed
-                                .compare_exchange(
-                                    false,
-                                    true,
-                                    Ordering::SeqCst,
-                                    Ordering::SeqCst,
-                                )
+                                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                                 .is_ok()
                         {
                             // the node may still think it's alive (e.g. a
@@ -335,7 +329,7 @@ mod tests {
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         loop {
             match rx.recv_timeout(Duration::from_secs(10)) {
-                Ok(ClusterEvent::NodeFailed(id)) if id == NodeId(1) => break,
+                Ok(ClusterEvent::NodeFailed(NodeId(1))) => break,
                 Ok(_) => {
                     assert!(
                         std::time::Instant::now() < deadline,

@@ -5,9 +5,9 @@
 //! each record by primary-key hash) and the `RandomPartitioningConnector`
 //! (intake → compute spreads records over UDF instances).
 
-use asterix_common::{DataFrame, FrameBuilder, IngestError, IngestResult, Record};
 use crate::executor::TaskInput;
 use crate::operator::FrameWriter;
+use asterix_common::{DataFrame, FrameBuilder, IngestError, IngestResult, Record};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -247,7 +247,12 @@ mod tests {
         DataFrame::from_records(ids.map(rec).collect())
     }
 
-    fn inputs(n: usize) -> (Vec<TaskInput>, Vec<crossbeam_channel::Receiver<crate::executor::TaskMsg>>) {
+    fn inputs(
+        n: usize,
+    ) -> (
+        Vec<TaskInput>,
+        Vec<crossbeam_channel::Receiver<crate::executor::TaskMsg>>,
+    ) {
         (0..n).map(|_| TaskInput::bounded(64)).unzip()
     }
 
@@ -290,8 +295,7 @@ mod tests {
     fn hash_partition_routes_by_key_and_is_stable() {
         let key_fn: KeyHashFn = Arc::new(|r: &Record| r.id.raw());
         let (ins, rxs) = inputs(4);
-        let mut w =
-            RouterWriter::new(&ConnectorSpec::MNHashPartition(key_fn), ins, 0, 8).unwrap();
+        let mut w = RouterWriter::new(&ConnectorSpec::MNHashPartition(key_fn), ins, 0, 8).unwrap();
         w.next_frame(frame(0..100)).unwrap();
         w.close().unwrap();
         let mut total = 0;

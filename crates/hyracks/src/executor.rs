@@ -267,11 +267,9 @@ fn resolve_placement(
         Constraint::Locations(locs) => locs
             .iter()
             .map(|id| {
-                let node = cluster
-                    .node(*id)
-                    .ok_or_else(|| {
-                        IngestError::Plan(format!("operator {op_name}: unknown node {id}"))
-                    })?;
+                let node = cluster.node(*id).ok_or_else(|| {
+                    IngestError::Plan(format!("operator {op_name}: unknown node {id}"))
+                })?;
                 if !node.is_alive() {
                     return Err(IngestError::Plan(format!(
                         "operator {op_name}: node {id} is not alive"
@@ -359,10 +357,7 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
             // output writer: tee of routers over outgoing edges
             let mut writers: Vec<Box<dyn FrameWriter>> = Vec::new();
             for e in &out_edges {
-                let consumer_inputs = inputs
-                    .get(&e.to)
-                    .expect("consumer has inputs")
-                    .clone();
+                let consumer_inputs = inputs.get(&e.to).expect("consumer has inputs").clone();
                 writers.push(Box::new(RouterWriter::new(
                     &e.connector,
                     consumer_inputs,
@@ -556,9 +551,7 @@ fn run_unary(
             Err(RecvTimeoutError::Disconnected) => {
                 // all producers vanished without Close: abnormal
                 op.fail();
-                return Err(IngestError::Disconnected(
-                    "producers disappeared".into(),
-                ));
+                return Err(IngestError::Disconnected("producers disappeared".into()));
             }
         }
     }
@@ -579,10 +572,7 @@ pub struct UnaryHost {
 
 impl UnaryHost {
     /// Pair an operator with the writer from `instantiate`.
-    pub fn new(
-        op: Box<dyn crate::operator::UnaryOperator>,
-        output: Box<dyn FrameWriter>,
-    ) -> Self {
+    pub fn new(op: Box<dyn crate::operator::UnaryOperator>, output: Box<dyn FrameWriter>) -> Self {
         UnaryHost {
             op,
             output,
@@ -598,11 +588,7 @@ impl crate::operator::UnaryOperator for UnaryHost {
         self.op.open(&mut *self.output)
     }
 
-    fn next_frame(
-        &mut self,
-        frame: DataFrame,
-        _ignored: &mut dyn FrameWriter,
-    ) -> IngestResult<()> {
+    fn next_frame(&mut self, frame: DataFrame, _ignored: &mut dyn FrameWriter) -> IngestResult<()> {
         self.op.next_frame(frame, &mut *self.output)
     }
 

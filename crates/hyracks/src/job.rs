@@ -92,12 +92,7 @@ impl JobSpec {
     }
 
     /// Connect `from` to `to` with the given connector.
-    pub fn connect(
-        &mut self,
-        from: OperatorSpecId,
-        to: OperatorSpecId,
-        connector: ConnectorSpec,
-    ) {
+    pub fn connect(&mut self, from: OperatorSpecId, to: OperatorSpecId, connector: ConnectorSpec) {
         assert!(from.0 < self.ops.len(), "unknown producer {from:?}");
         assert!(to.0 < self.ops.len(), "unknown consumer {to:?}");
         assert_ne!(from, to, "self-loops are not allowed");
@@ -172,7 +167,10 @@ impl std::fmt::Debug for JobSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobSpec")
             .field("name", &self.name)
-            .field("ops", &self.ops.iter().map(|o| o.name()).collect::<Vec<_>>())
+            .field(
+                "ops",
+                &self.ops.iter().map(|o| o.name()).collect::<Vec<_>>(),
+            )
             .field("edges", &self.edges.len())
             .finish()
     }

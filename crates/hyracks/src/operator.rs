@@ -71,12 +71,9 @@ impl StopToken {
     /// Request a graceful stop.
     pub fn stop(&self) {
         // never downgrade an abandon to graceful
-        let _ = self.flag.compare_exchange(
-            0,
-            1,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
+        let _ = self
+            .flag
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
     }
 
     /// Request an immediate abandon.
@@ -113,11 +110,7 @@ pub trait UnaryOperator: Send {
         Ok(())
     }
     /// Process one input frame, pushing any output frames.
-    fn next_frame(
-        &mut self,
-        frame: DataFrame,
-        output: &mut dyn FrameWriter,
-    ) -> IngestResult<()>;
+    fn next_frame(&mut self, frame: DataFrame, output: &mut dyn FrameWriter) -> IngestResult<()>;
     /// Graceful end of input; flush any buffered output.
     fn close(&mut self, _output: &mut dyn FrameWriter) -> IngestResult<()> {
         Ok(())
@@ -153,11 +146,7 @@ impl std::fmt::Debug for OperatorRuntime {
 pub struct NullSink;
 
 impl UnaryOperator for NullSink {
-    fn next_frame(
-        &mut self,
-        _frame: DataFrame,
-        _output: &mut dyn FrameWriter,
-    ) -> IngestResult<()> {
+    fn next_frame(&mut self, _frame: DataFrame, _output: &mut dyn FrameWriter) -> IngestResult<()> {
         Ok(())
     }
 }
@@ -184,11 +173,7 @@ impl<F> UnaryOperator for FnUnary<F>
 where
     F: FnMut(DataFrame) -> IngestResult<DataFrame> + Send,
 {
-    fn next_frame(
-        &mut self,
-        frame: DataFrame,
-        output: &mut dyn FrameWriter,
-    ) -> IngestResult<()> {
+    fn next_frame(&mut self, frame: DataFrame, output: &mut dyn FrameWriter) -> IngestResult<()> {
         let out = (self.f)(frame)?;
         if !out.is_empty() {
             output.next_frame(out)?;
@@ -270,15 +255,8 @@ pub struct CollectorOp {
 }
 
 impl UnaryOperator for CollectorOp {
-    fn next_frame(
-        &mut self,
-        frame: DataFrame,
-        _output: &mut dyn FrameWriter,
-    ) -> IngestResult<()> {
-        self.collector
-            .records
-            .lock()
-            .extend(frame.into_records());
+    fn next_frame(&mut self, frame: DataFrame, _output: &mut dyn FrameWriter) -> IngestResult<()> {
+        self.collector.records.lock().extend(frame.into_records());
         Ok(())
     }
 

@@ -6,9 +6,7 @@ use asterix_hyracks::cluster::Cluster;
 use asterix_hyracks::connector::ConnectorSpec;
 use asterix_hyracks::executor::{run_job, SourceHost, TaskContext, UnaryHost};
 use asterix_hyracks::job::{Constraint, JobSpec, OperatorDescriptor};
-use asterix_hyracks::operator::{
-    Collector, FnUnary, FrameWriter, OperatorRuntime, VecSource,
-};
+use asterix_hyracks::operator::{Collector, FnUnary, FrameWriter, OperatorRuntime, VecSource};
 use std::sync::Arc;
 
 fn frames(n_frames: usize, per_frame: usize) -> Vec<DataFrame> {
@@ -16,9 +14,7 @@ fn frames(n_frames: usize, per_frame: usize) -> Vec<DataFrame> {
         .map(|f| {
             DataFrame::from_records(
                 (0..per_frame)
-                    .map(|i| {
-                        Record::tracked(RecordId((f * per_frame + i) as u64), 0, "payload")
-                    })
+                    .map(|i| Record::tracked(RecordId((f * per_frame + i) as u64), 0, "payload"))
                     .collect(),
             )
         })
@@ -248,18 +244,10 @@ fn killing_a_node_aborts_its_tasks() {
     // an endless source so the pipeline stays busy until the kill
     struct Endless;
     impl SourceOperator for Endless {
-        fn run(
-            &mut self,
-            output: &mut dyn FrameWriter,
-            stop: &StopToken,
-        ) -> IngestResult<()> {
+        fn run(&mut self, output: &mut dyn FrameWriter, stop: &StopToken) -> IngestResult<()> {
             let mut i = 0u64;
             while !stop.is_stopped() {
-                let f = DataFrame::from_records(vec![Record::tracked(
-                    RecordId(i),
-                    0,
-                    "x",
-                )]);
+                let f = DataFrame::from_records(vec![Record::tracked(RecordId(i), 0, "x")]);
                 output.next_frame(f)?;
                 i += 1;
             }
@@ -333,11 +321,7 @@ fn stop_sources_drains_gracefully() {
     use asterix_hyracks::operator::{SourceOperator, StopToken};
     struct Endless;
     impl SourceOperator for Endless {
-        fn run(
-            &mut self,
-            output: &mut dyn FrameWriter,
-            stop: &StopToken,
-        ) -> IngestResult<()> {
+        fn run(&mut self, output: &mut dyn FrameWriter, stop: &StopToken) -> IngestResult<()> {
             let mut i = 0u64;
             while !stop.is_stopped() {
                 output.next_frame(DataFrame::from_records(vec![Record::tracked(

@@ -266,15 +266,14 @@ mod tests {
         assert_eq!(d.len(), 9);
         let scanned = d.scan_all();
         assert_eq!(scanned.len(), 9);
-        assert!(!scanned
-            .iter()
-            .any(|r| r.field("id") == Some(&"t3".into())));
+        assert!(!scanned.iter().any(|r| r.field("id") == Some(&"t3".into())));
     }
 
     #[test]
     fn index_fans_out_to_all_partitions() {
         let d = dataset(3);
-        d.create_index("locIdx", "location", IndexKind::RTree).unwrap();
+        d.create_index("locIdx", "location", IndexKind::RTree)
+            .unwrap();
         for i in 0..20 {
             let r = AdmValue::record(vec![
                 ("id", format!("t{i}").into()),

@@ -105,9 +105,7 @@ impl DatasetPartition {
         let key = self.extract_key(record)?;
         let mut st = self.state.lock();
         if st.primary.contains(&key) {
-            return Err(IngestError::soft(format!(
-                "duplicate primary key {key}"
-            )));
+            return Err(IngestError::soft(format!("duplicate primary key {key}")));
         }
         self.apply_put(&mut st, key, record)
     }
@@ -132,11 +130,10 @@ impl DatasetPartition {
         record: &AdmValue,
     ) -> IngestResult<()> {
         self.spin();
-        // WAL first: the record is durable once logged
-        self.wal.append(LogOp::Put {
-            key: key.clone(),
-            value: record.clone(),
-        });
+        // WAL first: the record is durable once logged. The by-reference
+        // append encodes straight into the log's binary buffer — no deep
+        // clone of the record just to build a LogOp.
+        self.wal.append_put(&key, record);
         st.primary.put(key.clone(), record.clone());
         for idx in &mut st.secondaries {
             idx.insert(&key, record)?;
@@ -148,7 +145,7 @@ impl DatasetPartition {
     pub fn delete(&self, key: &AdmValue) -> IngestResult<()> {
         let mut st = self.state.lock();
         if let Some(old) = st.primary.get(key) {
-            self.wal.append(LogOp::Delete { key: key.clone() });
+            self.wal.append_delete(key);
             st.primary.delete(key.clone());
             for idx in &mut st.secondaries {
                 idx.remove(key, &old)?;
@@ -350,7 +347,8 @@ mod tests {
     #[test]
     fn secondary_maintained_through_upsert_and_delete() {
         let p = part();
-        p.add_secondary("locIdx", "location", IndexKind::RTree).unwrap();
+        p.add_secondary("locIdx", "location", IndexKind::RTree)
+            .unwrap();
         p.insert(&rec("a", "x")).unwrap();
         assert_eq!(p.query_rect("locIdx", 0.0, 0.0, 5.0, 5.0).unwrap().len(), 1);
         // upsert with a moved location
@@ -360,9 +358,14 @@ mod tests {
             ("location", AdmValue::Point(50.0, 50.0)),
         ]);
         p.upsert(&moved).unwrap();
-        assert!(p.query_rect("locIdx", 0.0, 0.0, 5.0, 5.0).unwrap().is_empty());
+        assert!(p
+            .query_rect("locIdx", 0.0, 0.0, 5.0, 5.0)
+            .unwrap()
+            .is_empty());
         assert_eq!(
-            p.query_rect("locIdx", 49.0, 49.0, 51.0, 51.0).unwrap().len(),
+            p.query_rect("locIdx", 49.0, 49.0, 51.0, 51.0)
+                .unwrap()
+                .len(),
             1
         );
         p.delete(&"a".into()).unwrap();
@@ -377,7 +380,8 @@ mod tests {
         let p = part();
         p.insert(&rec("a", "x")).unwrap();
         p.insert(&rec("b", "y")).unwrap();
-        p.add_secondary("locIdx", "location", IndexKind::RTree).unwrap();
+        p.add_secondary("locIdx", "location", IndexKind::RTree)
+            .unwrap();
         assert_eq!(p.query_rect("locIdx", 0.0, 0.0, 5.0, 5.0).unwrap().len(), 2);
     }
 
@@ -394,7 +398,8 @@ mod tests {
     #[test]
     fn recovery_rebuilds_state_from_wal() {
         let p = part();
-        p.add_secondary("locIdx", "location", IndexKind::RTree).unwrap();
+        p.add_secondary("locIdx", "location", IndexKind::RTree)
+            .unwrap();
         p.insert(&rec("a", "one")).unwrap();
         p.upsert(&rec("a", "two")).unwrap();
         p.insert(&rec("b", "three")).unwrap();
@@ -414,7 +419,8 @@ mod tests {
     #[test]
     fn query_eq_via_btree_secondary() {
         let p = part();
-        p.add_secondary("byText", "message_text", IndexKind::BTree).unwrap();
+        p.add_secondary("byText", "message_text", IndexKind::BTree)
+            .unwrap();
         p.insert(&rec("a", "hello")).unwrap();
         p.insert(&rec("b", "hello")).unwrap();
         p.insert(&rec("c", "other")).unwrap();

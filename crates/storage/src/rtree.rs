@@ -310,9 +310,7 @@ impl<P: Clone + PartialEq> RTree<P> {
     }
 
     /// Quadratic split of inner entries.
-    fn split_inner(
-        children: Vec<(Rect, Box<Node<P>>)>,
-    ) -> (Node<P>, Node<P>) {
+    fn split_inner(children: Vec<(Rect, Box<Node<P>>)>) -> (Node<P>, Node<P>) {
         let rects: Vec<Rect> = children.iter().map(|(r, _)| *r).collect();
         let (seeds, assignment) = Self::quadratic_assign(&rects);
         let mut a = Vec::new();
@@ -367,7 +365,10 @@ impl<P: Clone + PartialEq> RTree<P> {
                 count_b += 1;
                 continue;
             }
-            let (ea, eb) = (group_a.enlargement(&rects[i]), group_b.enlargement(&rects[i]));
+            let (ea, eb) = (
+                group_a.enlargement(&rects[i]),
+                group_b.enlargement(&rects[i]),
+            );
             if ea < eb || (ea == eb && count_a <= count_b) {
                 assignment[i] = 0;
                 group_a = group_a.union(&rects[i]);

@@ -192,9 +192,12 @@ mod tests {
     #[test]
     fn btree_eq_and_range_lookup() {
         let mut idx = SecondaryIndex::new("byCountry", "country", IndexKind::BTree);
-        idx.insert(&"t1".into(), &tweet("t1", Some("US"), None)).unwrap();
-        idx.insert(&"t2".into(), &tweet("t2", Some("US"), None)).unwrap();
-        idx.insert(&"t3".into(), &tweet("t3", Some("IN"), None)).unwrap();
+        idx.insert(&"t1".into(), &tweet("t1", Some("US"), None))
+            .unwrap();
+        idx.insert(&"t2".into(), &tweet("t2", Some("US"), None))
+            .unwrap();
+        idx.insert(&"t3".into(), &tweet("t3", Some("IN"), None))
+            .unwrap();
         assert_eq!(idx.len(), 3);
         let mut us = idx.lookup_eq(&"US".into());
         us.sort_by(|a, b| a.total_cmp(b));
@@ -208,10 +211,7 @@ mod tests {
     fn null_or_absent_field_skipped() {
         let mut idx = SecondaryIndex::new("byCountry", "country", IndexKind::BTree);
         idx.insert(&"t1".into(), &tweet("t1", None, None)).unwrap();
-        let with_null = AdmValue::record(vec![
-            ("id", "t2".into()),
-            ("country", AdmValue::Null),
-        ]);
+        let with_null = AdmValue::record(vec![("id", "t2".into()), ("country", AdmValue::Null)]);
         idx.insert(&"t2".into(), &with_null).unwrap();
         assert!(idx.is_empty());
     }
@@ -231,8 +231,11 @@ mod tests {
     #[test]
     fn rtree_spatial_lookup() {
         let mut idx = SecondaryIndex::new("locationIndex", "location", IndexKind::RTree);
-        idx.insert(&"irvine".into(), &tweet("irvine", None, Some((-117.8, 33.6))))
-            .unwrap();
+        idx.insert(
+            &"irvine".into(),
+            &tweet("irvine", None, Some((-117.8, 33.6))),
+        )
+        .unwrap();
         idx.insert(&"sf".into(), &tweet("sf", None, Some((-122.4, 37.7))))
             .unwrap();
         let socal = idx.lookup_rect(-120.0, 32.0, -115.0, 35.0);
@@ -253,7 +256,8 @@ mod tests {
     #[test]
     fn btree_rect_lookup_is_empty() {
         let mut idx = SecondaryIndex::new("byCountry", "country", IndexKind::BTree);
-        idx.insert(&"t1".into(), &tweet("t1", Some("US"), None)).unwrap();
+        idx.insert(&"t1".into(), &tweet("t1", Some("US"), None))
+            .unwrap();
         assert!(idx.lookup_rect(0.0, 0.0, 1.0, 1.0).is_empty());
     }
 }

@@ -7,15 +7,23 @@
 //! the local disk)") — once its log record is appended.
 //!
 //! The log lives in memory (the simulation's "local disk"): entries are
-//! serialized to ADM text bytes on append and deserialized on replay, so
-//! recovery exercises the real encode/decode path. A crashed node's
-//! partition can be rebuilt by replaying its log ([`WriteAheadLog::replay`]),
-//! which is how a store node re-joins the cluster "after log-based recovery"
-//! (§6.2.3).
+//! serialized with the compact binary ADM codec ([`asterix_adm::binary`]) on
+//! append and decoded on replay, so recovery exercises the real
+//! encode/decode path without the cost of printing and re-parsing text. A
+//! crashed node's partition can be rebuilt by replaying its log
+//! ([`WriteAheadLog::replay`]), which is how a store node re-joins the
+//! cluster "after log-based recovery" (§6.2.3).
+//!
+//! Entry layout: `[lsn: u64 LE][op: u8 (1 = put, 2 = delete)][key: binary
+//! ADM][value: binary ADM, put only]`.
 
-use asterix_adm::{parse_value, to_adm_string, AdmValue};
+use asterix_adm::binary::{decode_prefix, encode_into};
+use asterix_adm::AdmValue;
 use asterix_common::{IngestError, IngestResult};
 use parking_lot::Mutex;
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
 
 /// The logged operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,61 +51,58 @@ pub struct LogRecord {
     pub op: LogOp,
 }
 
-impl LogRecord {
-    fn encode(&self) -> String {
-        let body = match &self.op {
-            LogOp::Put { key, value } => AdmValue::record(vec![
-                ("lsn", AdmValue::Int(self.lsn as i64)),
-                ("op", "put".into()),
-                ("key", key.clone()),
-                ("value", value.clone()),
-            ]),
-            LogOp::Delete { key } => AdmValue::record(vec![
-                ("lsn", AdmValue::Int(self.lsn as i64)),
-                ("op", "delete".into()),
-                ("key", key.clone()),
-            ]),
-        };
-        to_adm_string(&body)
+fn encode_entry(lsn: u64, op: u8, key: &AdmValue, value: Option<&AdmValue>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&lsn.to_le_bytes());
+    buf.push(op);
+    encode_into(key, &mut buf);
+    if let Some(v) = value {
+        encode_into(v, &mut buf);
     }
+    buf
+}
 
-    fn decode(text: &str) -> IngestResult<LogRecord> {
-        let v = parse_value(text)?;
-        let lsn = v
-            .field("lsn")
-            .and_then(AdmValue::as_int)
-            .ok_or_else(|| IngestError::Storage("log record missing lsn".into()))?
-            as u64;
-        let op_name = v
-            .field("op")
-            .and_then(AdmValue::as_str)
-            .ok_or_else(|| IngestError::Storage("log record missing op".into()))?;
-        let key = v
-            .field("key")
-            .cloned()
-            .ok_or_else(|| IngestError::Storage("log record missing key".into()))?;
-        let op = match op_name {
-            "put" => LogOp::Put {
-                key,
-                value: v
-                    .field("value")
-                    .cloned()
-                    .ok_or_else(|| IngestError::Storage("put log record missing value".into()))?,
-            },
-            "delete" => LogOp::Delete { key },
-            other => {
-                return Err(IngestError::Storage(format!(
-                    "unknown log op '{other}'"
-                )))
+impl LogRecord {
+    fn decode(entry: &[u8]) -> IngestResult<LogRecord> {
+        if entry.len() < 9 {
+            return Err(IngestError::Storage("log record truncated".into()));
+        }
+        let lsn = u64::from_le_bytes(entry[..8].try_into().unwrap());
+        let op_byte = entry[8];
+        let (key, rest) = decode_prefix(&entry[9..])
+            .map_err(|e| IngestError::Storage(format!("log record key: {e}")))?;
+        let op = match op_byte {
+            OP_PUT => {
+                let (value, rest) = decode_prefix(rest)
+                    .map_err(|e| IngestError::Storage(format!("log record value: {e}")))?;
+                if !rest.is_empty() {
+                    return Err(IngestError::Storage("log record has trailing bytes".into()));
+                }
+                LogOp::Put { key, value }
             }
+            OP_DELETE => {
+                if !rest.is_empty() {
+                    return Err(IngestError::Storage("log record has trailing bytes".into()));
+                }
+                LogOp::Delete { key }
+            }
+            other => return Err(IngestError::Storage(format!("unknown log op byte {other}"))),
         };
         Ok(LogRecord { lsn, op })
+    }
+
+    /// The LSN of a raw entry, without decoding the payload.
+    fn entry_lsn(entry: &[u8]) -> IngestResult<u64> {
+        if entry.len() < 8 {
+            return Err(IngestError::Storage("log record truncated".into()));
+        }
+        Ok(u64::from_le_bytes(entry[..8].try_into().unwrap()))
     }
 }
 
 #[derive(Debug, Default)]
 struct LogState {
-    entries: Vec<String>,
+    entries: Vec<Vec<u8>>,
     next_lsn: u64,
 }
 
@@ -116,11 +121,29 @@ impl WriteAheadLog {
     /// Append an operation; returns its LSN. The record is durable once this
     /// returns.
     pub fn append(&self, op: LogOp) -> u64 {
+        match &op {
+            LogOp::Put { key, value } => self.append_put(key, value),
+            LogOp::Delete { key } => self.append_delete(key),
+        }
+    }
+
+    /// Log a put by reference — encodes straight from the caller's values,
+    /// with no intermediate clone of key or record.
+    pub fn append_put(&self, key: &AdmValue, value: &AdmValue) -> u64 {
+        self.append_encoded(|lsn| encode_entry(lsn, OP_PUT, key, Some(value)))
+    }
+
+    /// Log a delete by reference.
+    pub fn append_delete(&self, key: &AdmValue) -> u64 {
+        self.append_encoded(|lsn| encode_entry(lsn, OP_DELETE, key, None))
+    }
+
+    fn append_encoded(&self, encode: impl FnOnce(u64) -> Vec<u8>) -> u64 {
         let mut st = self.state.lock();
         let lsn = st.next_lsn;
         st.next_lsn += 1;
-        let rec = LogRecord { lsn, op };
-        st.entries.push(rec.encode());
+        let entry = encode(lsn);
+        st.entries.push(entry);
         lsn
     }
 
@@ -144,13 +167,13 @@ impl WriteAheadLog {
             .collect()
     }
 
-    /// Truncate the log up to and including `lsn` (checkpointing).
+    /// Truncate the log up to and including `lsn` (checkpointing). Only the
+    /// fixed-width LSN header is read; payloads are not decoded.
     pub fn truncate_through(&self, lsn: u64) -> IngestResult<()> {
         let mut st = self.state.lock();
         let mut keep = Vec::new();
         for e in &st.entries {
-            let rec = LogRecord::decode(e)?;
-            if rec.lsn > lsn {
+            if LogRecord::entry_lsn(e)? > lsn {
                 keep.push(e.clone());
             }
         }
@@ -204,17 +227,33 @@ mod tests {
     }
 
     #[test]
+    fn by_reference_appends_match_logop_appends() {
+        let a = WriteAheadLog::new();
+        let b = WriteAheadLog::new();
+        let key = AdmValue::string("t-9");
+        let value = AdmValue::record(vec![("id", "t-9".into()), ("n", AdmValue::Int(3))]);
+        a.append(LogOp::Put {
+            key: key.clone(),
+            value: value.clone(),
+        });
+        a.append(LogOp::Delete { key: key.clone() });
+        b.append_put(&key, &value);
+        b.append_delete(&key);
+        assert_eq!(a.replay().unwrap(), b.replay().unwrap());
+    }
+
+    #[test]
     fn replay_preserves_nested_values() {
         let wal = WriteAheadLog::new();
         let value = AdmValue::record(vec![
             ("id", "t-1".into()),
             ("loc", AdmValue::Point(1.5, -2.5)),
-            ("tags", AdmValue::OrderedList(vec!["#a".into(), "#b".into()])),
+            (
+                "tags",
+                AdmValue::OrderedList(vec!["#a".into(), "#b".into()]),
+            ),
         ]);
-        wal.append(LogOp::Put {
-            key: "t-1".into(),
-            value: value.clone(),
-        });
+        wal.append_put(&"t-1".into(), &value);
         let recs = wal.replay().unwrap();
         match &recs[0].op {
             LogOp::Put { value: v, .. } => assert_eq!(v, &value),
@@ -245,9 +284,24 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(LogRecord::decode("not a record").is_err());
-        assert!(LogRecord::decode("{\"lsn\":1}").is_err());
-        assert!(LogRecord::decode("{\"lsn\":1,\"op\":\"frob\",\"key\":1}").is_err());
-        assert!(LogRecord::decode("{\"lsn\":1,\"op\":\"put\",\"key\":1}").is_err());
+        // too short for the lsn+op header
+        assert!(LogRecord::decode(b"short").is_err());
+        // unknown op byte
+        let mut bad_op = 7u64.to_le_bytes().to_vec();
+        bad_op.push(99);
+        bad_op.extend_from_slice(&asterix_adm::encode_value(&AdmValue::Int(1)));
+        assert!(LogRecord::decode(&bad_op).is_err());
+        // put missing its value
+        let missing_value = encode_entry(1, OP_PUT, &AdmValue::Int(1), None);
+        assert!(LogRecord::decode(&missing_value).is_err());
+        // delete with trailing bytes
+        let mut trailing = encode_entry(1, OP_DELETE, &AdmValue::Int(1), None);
+        trailing.push(0);
+        assert!(LogRecord::decode(&trailing).is_err());
+        // corrupted key payload
+        let mut bad_key = 1u64.to_le_bytes().to_vec();
+        bad_key.push(OP_DELETE);
+        bad_key.push(0xFF);
+        assert!(LogRecord::decode(&bad_key).is_err());
     }
 }

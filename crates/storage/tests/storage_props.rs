@@ -2,10 +2,10 @@
 //! recovery is lossless, and partitioning preserves every record.
 
 use asterix_adm::AdmValue;
+use asterix_common::NodeId;
 use asterix_storage::lsm::{LsmConfig, LsmTree};
 use asterix_storage::partition::{DatasetPartition, PartitionConfig};
 use asterix_storage::{Dataset, DatasetConfig};
-use asterix_common::NodeId;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

@@ -227,8 +227,8 @@ mod tests {
             ..StormMongoConfig::default()
         };
         let t0 = std::time::Instant::now();
-        let nd = run_storm_mongo_vec(mk(WriteConcern::NonDurable), clock.clone(), tweets(100))
-            .unwrap();
+        let nd =
+            run_storm_mongo_vec(mk(WriteConcern::NonDurable), clock.clone(), tweets(100)).unwrap();
         let nd_time = t0.elapsed();
         let t1 = std::time::Instant::now();
         let d = run_storm_mongo_vec(mk(WriteConcern::Durable), clock, tweets(100)).unwrap();

@@ -52,7 +52,11 @@ impl Default for MongoConfig {
 
 #[derive(Default)]
 struct Collection {
-    docs: HashMap<String, AdmValue>,
+    /// Documents keyed by the *binary-ADM* encoding of their primary key —
+    /// compact, byte-exact (no text round-trip can collide e.g. the string
+    /// `"1"` with the int `1`... the tag byte keeps them distinct), and
+    /// cheaper to build than printing ADM text.
+    docs: HashMap<Vec<u8>, AdmValue>,
     /// writes applied but not yet journaled
     unjournaled: u64,
     journaled: u64,
@@ -129,12 +133,9 @@ impl MongoStore {
         let id = doc
             .field(&self.config.id_field)
             .filter(|v| !matches!(v, AdmValue::Null | AdmValue::Missing))
-            .map(asterix_adm::to_adm_string)
+            .map(asterix_adm::encode_value)
             .ok_or_else(|| {
-                IngestError::soft(format!(
-                    "document lacks '{}' field",
-                    self.config.id_field
-                ))
+                IngestError::soft(format!("document lacks '{}' field", self.config.id_field))
             })?;
         {
             let mut cols = self.collections.lock();
@@ -155,7 +156,7 @@ impl MongoStore {
 
     /// Fetch a document by primary key value.
     pub fn find_by_id(&self, collection: &str, id: &AdmValue) -> Option<AdmValue> {
-        let key = asterix_adm::to_adm_string(id);
+        let key = asterix_adm::encode_value(id);
         self.collections
             .lock()
             .get(collection)?
@@ -215,8 +216,10 @@ mod tests {
     #[test]
     fn nondurable_insert_and_find() {
         let s = store();
-        s.insert("tweets", &doc("a"), WriteConcern::NonDurable).unwrap();
-        s.insert("tweets", &doc("b"), WriteConcern::NonDurable).unwrap();
+        s.insert("tweets", &doc("a"), WriteConcern::NonDurable)
+            .unwrap();
+        s.insert("tweets", &doc("b"), WriteConcern::NonDurable)
+            .unwrap();
         assert_eq!(s.count("tweets"), 2);
         let found = s.find_by_id("tweets", &"a".into()).unwrap();
         assert_eq!(found.field("x"), Some(&AdmValue::Int(1)));

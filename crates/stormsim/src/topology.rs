@@ -145,7 +145,9 @@ impl Topology {
         bolts: Vec<(BoltFactory, usize)>,
     ) -> IngestResult<Topology> {
         if bolts.is_empty() {
-            return Err(IngestError::Config("topology needs at least one bolt".into()));
+            return Err(IngestError::Config(
+                "topology needs at least one bolt".into(),
+            ));
         }
         let acker = Acker::new();
         let stop = Arc::new(AtomicBool::new(false));
@@ -237,8 +239,7 @@ impl Topology {
                                     next_id += 1;
                                     {
                                         let st = &mut *acker.state.lock();
-                                        st.pending
-                                            .insert(id, (payload.clone(), clock2.now()));
+                                        st.pending.insert(id, (payload.clone(), clock2.now()));
                                     }
                                     emitted2.fetch_add(1, Ordering::Relaxed);
                                     if first
@@ -255,9 +256,7 @@ impl Topology {
                                     if spout.exhausted() && acker.pending() == 0 {
                                         return; // drop senders → bolts drain out
                                     }
-                                    std::thread::sleep(std::time::Duration::from_micros(
-                                        200,
-                                    ));
+                                    std::thread::sleep(std::time::Duration::from_micros(200));
                                 }
                             }
                         }
@@ -295,11 +294,8 @@ impl Topology {
                                         } else {
                                             // terminal emit = ack
                                             let st = &mut *acker.state.lock();
-                                            if st.pending.remove(&tuple.message_id).is_some()
-                                            {
-                                                acker
-                                                    .acked
-                                                    .fetch_add(1, Ordering::Relaxed);
+                                            if st.pending.remove(&tuple.message_id).is_some() {
+                                                acker.acked.fetch_add(1, Ordering::Relaxed);
                                             }
                                         }
                                     }

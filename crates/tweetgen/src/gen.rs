@@ -10,14 +10,28 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const TOPICS: &[&str] = &[
-    "Obama", "politics", "sports", "asterixdb", "bigdata", "verizon", "at_t", "tmobile",
-    "sprint", "iphone", "android", "lakers", "dodgers", "oscars", "worldcup", "election",
+    "Obama",
+    "politics",
+    "sports",
+    "asterixdb",
+    "bigdata",
+    "verizon",
+    "at_t",
+    "tmobile",
+    "sprint",
+    "iphone",
+    "android",
+    "lakers",
+    "dodgers",
+    "oscars",
+    "worldcup",
+    "election",
 ];
 
 const WORDS: &[&str] = &[
     "love", "hate", "like", "great", "terrible", "awesome", "bad", "good", "happy", "sad",
-    "network", "coverage", "signal", "phone", "plan", "customer", "service", "today",
-    "tomorrow", "never", "always", "really", "very", "much", "game", "news", "deal",
+    "network", "coverage", "signal", "phone", "plan", "customer", "service", "today", "tomorrow",
+    "never", "always", "really", "very", "much", "game", "news", "deal",
 ];
 
 const NAMES: &[&str] = &[

@@ -215,10 +215,10 @@ mod tests {
             "<pattern><cycle><interval><rate>x</rate><duration>1</duration></interval></cycle></pattern>"
         )
         .is_err());
-        assert!(PatternDescriptor::parse_xml(
-            "<pattern><cycle repeat=\"2\"></cycle></pattern>"
-        )
-        .is_err());
+        assert!(
+            PatternDescriptor::parse_xml("<pattern><cycle repeat=\"2\"></cycle></pattern>")
+                .is_err()
+        );
     }
 
     #[test]

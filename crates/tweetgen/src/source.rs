@@ -136,9 +136,7 @@ pub fn connect(addr: &str) -> IngestResult<Receiver<String>> {
         reg.as_ref()
             .and_then(|m| m.get(addr))
             .cloned()
-            .ok_or_else(|| {
-                IngestError::Disconnected(format!("no TweetGen bound at {addr}"))
-            })?
+            .ok_or_else(|| IngestError::Disconnected(format!("no TweetGen bound at {addr}")))?
     };
     let (tx, rx) = crossbeam_channel::bounded(binding.config.socket_buffer);
     spawn_pusher(binding, tx);
@@ -149,8 +147,7 @@ fn spawn_pusher(binding: Arc<Binding>, tx: Sender<String>) {
     std::thread::Builder::new()
         .name(format!("tweetgen-{}", binding.config.addr))
         .spawn(move || {
-            let mut factory =
-                TweetFactory::new(binding.config.instance, binding.config.seed);
+            let mut factory = TweetFactory::new(binding.config.instance, binding.config.seed);
             let clock = binding.clock.clone();
             let start = clock.now();
             let tick = binding.config.tick;
@@ -182,9 +179,7 @@ fn spawn_pusher(binding: Arc<Binding>, tx: Sender<String>) {
                                     match tx.try_send(tweet) {
                                         Ok(()) => {}
                                         Err(TrySendError::Full(_)) => {
-                                            binding
-                                                .wire_drops
-                                                .fetch_add(1, Ordering::Relaxed);
+                                            binding.wire_drops.fetch_add(1, Ordering::Relaxed);
                                         }
                                         Err(TrySendError::Disconnected(_)) => return,
                                     }
@@ -231,14 +226,10 @@ mod tests {
     #[test]
     fn handshake_then_push_at_rate() {
         let pattern = PatternDescriptor::constant(100, 5); // 500 tweets total
-        let gen = TweetGen::bind(
-            TweetGenConfig::new("t1:9000", 0, pattern),
-            clock(),
-        )
-        .unwrap();
+        let gen = TweetGen::bind(TweetGenConfig::new("t1:9000", 0, pattern), clock()).unwrap();
         let rx = connect("t1:9000").unwrap();
         let tweets: Vec<String> = rx.iter().collect(); // until pattern ends
-        // rate control is approximate: allow 10% slack
+                                                       // rate control is approximate: allow 10% slack
         assert!(
             tweets.len() as i64 >= 400 && tweets.len() as i64 <= 550,
             "got {} tweets",

@@ -10,9 +10,7 @@ use asterixdb_ingestion::adm::types::paper_registry;
 use asterixdb_ingestion::common::{NodeId, SimClock, SimDuration};
 use asterixdb_ingestion::feeds::adaptor::AdaptorConfig;
 use asterixdb_ingestion::feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
-use asterixdb_ingestion::feeds::controller::{
-    ConnectionState, ControllerConfig, FeedController,
-};
+use asterixdb_ingestion::feeds::controller::{ConnectionState, ControllerConfig, FeedController};
 use asterixdb_ingestion::feeds::udf::Udf;
 use asterixdb_ingestion::hyracks::cluster::{Cluster, ClusterConfig};
 use asterixdb_ingestion::storage::{Dataset, DatasetConfig};

@@ -35,8 +35,11 @@ fn main() {
         },
     );
     let catalog = FeedCatalog::new(paper_registry());
-    let controller =
-        FeedController::start(cluster.clone(), Arc::clone(&catalog), ControllerConfig::default());
+    let controller = FeedController::start(
+        cluster.clone(),
+        Arc::clone(&catalog),
+        ControllerConfig::default(),
+    );
 
     let gen = TweetGen::bind(
         TweetGenConfig::new("pubsub:9000", 0, PatternDescriptor::constant(500, 10_000)),
@@ -117,14 +120,19 @@ fn main() {
 
     for round in 1..=3 {
         std::thread::sleep(Duration::from_secs(1));
-        println!("after {round}s (source generated {} tweets):", gen.generated());
+        println!(
+            "after {round}s (source generated {} tweets):",
+            gen.generated()
+        );
         for ds in ["ObamaTweets", "UsTweets", "InfluencerTweets"] {
             let d = catalog.dataset(ds).unwrap();
             println!("  {ds:<18} {:>6} matches", d.len());
         }
         if round == 2 {
             println!("  >>> detaching the Obama subscription (others unaffected)");
-            controller.disconnect_feed("ObamaSub", "ObamaTweets").unwrap();
+            controller
+                .disconnect_feed("ObamaSub", "ObamaTweets")
+                .unwrap();
         }
     }
     println!("\n{}", controller.console_report());

@@ -158,7 +158,11 @@ fn main() {
             line.push(shade);
             line.push(' ');
         }
-        println!("{line}   lat {:.0}..{:.0}", 25.0 + 6.0 * i as f64, 31.0 + 6.0 * i as f64);
+        println!(
+            "{line}   lat {:.0}..{:.0}",
+            25.0 + 6.0 * i as f64,
+            31.0 + 6.0 * i as f64
+        );
     }
 
     // most positive topics from the sentiment feed
@@ -168,7 +172,10 @@ fn main() {
         .filter_map(|t| t.field("sentiment").and_then(AdmValue::as_f64))
         .sum::<f64>()
         / sentiments.len().max(1) as f64;
-    println!("\nmean sentiment across {} tweets: {avg:.3}", sentiments.len());
+    println!(
+        "\nmean sentiment across {} tweets: {avg:.3}",
+        sentiments.len()
+    );
 
     gen.stop();
     engine.controller().shutdown();

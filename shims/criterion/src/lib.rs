@@ -1,0 +1,185 @@
+//! Minimal stand-in for `criterion`: same macro/entry-point shape
+//! (`criterion_group!` / `criterion_main!` / `Criterion::bench_function` /
+//! `Bencher::iter`), measuring wall-clock time and printing mean ns/iter.
+//!
+//! Under `cargo test` (the binary receives `--test`) each benchmark body runs
+//! once as a smoke test; under `cargo bench` it warms up and measures.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    smoke_only: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measure `inner`, called in a loop until the measurement window fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut inner: R) {
+        if self.smoke_only {
+            black_box(inner());
+            self.iters_done = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // warm-up: discover a per-iteration estimate
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(inner());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        // measure in batches to amortize clock reads
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 10_000) as u64;
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        while total_time < self.measurement_time {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(inner());
+            }
+            total_time += t0.elapsed();
+            total_iters += batch;
+        }
+        self.iters_done = total_iters;
+        self.elapsed = total_time;
+    }
+}
+
+/// Benchmark registry/runner.
+pub struct Criterion {
+    smoke_only: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` passes --test to harness=false targets; run each body
+        // once there so the benches double as smoke tests.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion {
+            smoke_only,
+            warm_up_time: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Override the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .unwrap_or_default();
+        if !filter.is_empty() && !name.contains(&filter) {
+            return self;
+        }
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            smoke_only: self.smoke_only,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        if self.smoke_only {
+            println!("{name:<40} ok (smoke)");
+        } else if b.iters_done > 0 {
+            let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+            println!(
+                "{name:<40} {:>12} ns/iter ({} iters)",
+                format_ns(ns),
+                b.iters_done
+            );
+        } else {
+            println!("{name:<40} (no measurement: Bencher::iter never called)");
+        }
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Define a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            smoke_only: false,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert!(b.iters_done > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            smoke_only: true,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+}

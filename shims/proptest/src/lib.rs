@@ -1,0 +1,863 @@
+//! Minimal stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API used by this workspace's
+//! property tests: `Strategy` with `prop_map`/`prop_recursive`/`boxed`,
+//! weighted unions (`prop_oneof!`), range and regex-literal strategies,
+//! `prop::collection::{vec, btree_set}`, `prop::num::f64::NORMAL`, and the
+//! `proptest!` / `prop_assert*` macros. Generation is seeded and
+//! deterministic per test. Failing cases are reported with their inputs;
+//! there is no shrinking.
+
+pub mod test_runner {
+    //! Test configuration, case errors, and the deterministic RNG.
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 128 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Fail the current case with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+
+        /// Reject the current case (treated as a failure here).
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::fail(message)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded generator.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase into a clonable, shareable strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+
+        /// Build recursive structures: `recurse` receives a strategy for the
+        /// substructure and returns the composite strategy. Nesting is
+        /// structurally bounded by `depth`; `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                // mix leaves back in at every level so sizes stay bounded
+                let branch = recurse(current).boxed();
+                current = Union::new(vec![(2, base.clone()), (1, branch)]).boxed();
+            }
+            current
+        }
+    }
+
+    trait DynGen<T> {
+        fn gen_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynGen<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn DynGen<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.gen_dyn(rng)
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "BoxedStrategy {{ .. }}")
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Union over weighted arms; total weight must be positive.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(
+                arms.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0,
+                "prop_oneof! needs positive total weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut x = rng.next_u64() % total;
+            for (w, s) in &self.arms {
+                if x < *w as u64 {
+                    return s.generate(rng);
+                }
+                x -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// String literals are regex-subset strategies (see [`crate::string`]).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    // bias toward boundary and small values, like proptest
+                    match rng.next_u64() % 8 {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 | 4 => (rng.next_u64() % 32) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The `any::<T>()` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<A> {
+        _marker: PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    /// Strategy generating arbitrary values of `A`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod string {
+    //! Generation from the regex subset used as string-literal strategies:
+    //! sequences of `[...]` classes, escaped literals, or `\PC`, each with an
+    //! optional `{m,n}` / `{m}` / `*` / `+` / `?` repetition.
+
+    use crate::test_runner::TestRng;
+
+    struct Unit {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn printable_chars() -> Vec<char> {
+        let mut set: Vec<char> = (0x20u8..=0x7E).map(|b| b as char).collect();
+        // a little non-ASCII seasoning for parser fuzzing
+        set.extend(['é', 'ß', 'λ', '→', '中', '𝔸']);
+        set
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Unit> {
+        let mut units = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut class: Vec<char> = Vec::new();
+                    for c in chars.by_ref() {
+                        class.push(c);
+                        if c == ']' && !matches!(class[..], [.., '\\', ']']) {
+                            break;
+                        }
+                    }
+                    class.pop(); // trailing ']'
+                    let mut it = class.into_iter().peekable();
+                    while let Some(c) = it.next() {
+                        let lo = if c == '\\' {
+                            unescape(it.next().unwrap_or('\\'))
+                        } else {
+                            c
+                        };
+                        if it.peek() == Some(&'-') {
+                            let mut ahead = it.clone();
+                            ahead.next(); // consume '-'
+                            if let Some(&hi) = ahead.peek() {
+                                it = ahead;
+                                it.next();
+                                set.extend((lo..=hi).filter(|ch| ch.is_ascii() || lo > '\u{7f}'));
+                                continue;
+                            }
+                        }
+                        set.push(lo);
+                    }
+                    set
+                }
+                '\\' => match chars.next() {
+                    Some('P') | Some('p') => {
+                        // only `\PC` ("not a control char") is supported
+                        let _class = chars.next();
+                        printable_chars()
+                    }
+                    Some(esc) => vec![unescape(esc)],
+                    None => vec!['\\'],
+                },
+                '.' => printable_chars(),
+                other => vec![other],
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let parts: Vec<&str> = spec.splitn(2, ',').collect();
+                    let lo: usize = parts[0].trim().parse().unwrap_or(0);
+                    let hi: usize = parts
+                        .get(1)
+                        .map(|s| s.trim().parse().unwrap_or(lo))
+                        .unwrap_or(lo);
+                    (lo, hi.max(lo))
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            if !set.is_empty() {
+                units.push(Unit {
+                    chars: set,
+                    min,
+                    max,
+                });
+            }
+        }
+        units
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for unit in parse(pattern) {
+            let n = unit.min + rng.below(unit.max - unit.min + 1);
+            for _ in 0..n {
+                out.push(unit.chars[rng.below(unit.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! `vec` and `btree_set` collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Accepted size arguments: a count, `lo..hi`, or `lo..=hi`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below(self.hi_inclusive - self.lo + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // bounded attempts: small element domains may not fill `n`
+            for _ in 0..n.saturating_mul(20) {
+                if set.len() >= n {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// Set of (up to) `size` distinct elements drawn from `element`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric sub-strategies.
+
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over normal (non-zero, non-subnormal, finite) doubles.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalStrategy;
+
+        /// Normal doubles: both signs, full exponent range, never NaN/inf,
+        /// never zero or subnormal.
+        pub const NORMAL: NormalStrategy = NormalStrategy;
+
+        impl Strategy for NormalStrategy {
+            type Value = core::primitive::f64;
+            fn generate(&self, rng: &mut TestRng) -> core::primitive::f64 {
+                let sign = rng.next_u64() & 1;
+                let exponent = 1 + rng.next_u64() % 2046; // biased exp in [1, 2046]
+                let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+                core::primitive::f64::from_bits((sign << 63) | (exponent << 52) | mantissa)
+            }
+        }
+    }
+}
+
+/// Weighted or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless both operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fail the current case if both operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// `config.cases` generated cases; failures report the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config = $cfg;
+                // stable per-test seed derived from the test name
+                let mut seed = 0xcbf2_9ce4_8422_2325u64;
+                for b in stringify!($name).bytes() {
+                    seed ^= b as u64;
+                    seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let mut desc = ::std::string::String::new();
+                    $(
+                        desc.push_str(stringify!($arg));
+                        desc.push_str(" = ");
+                        desc.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => panic!(
+                            "property failed at case {}/{}: {}\n  inputs: {}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            desc
+                        ),
+                        Err(payload) => {
+                            eprintln!(
+                                "property panicked at case {}/{}\n  inputs: {}",
+                                case + 1,
+                                config.cases,
+                                desc
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to sub-strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::{collection, num, string};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_tree() -> impl Strategy<Value = Vec<u32>> {
+        prop::collection::vec(0u32..10, 0..4)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 5u32..10, y in 1usize..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn regex_class_matches(s in "[a-z_]{1,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in small_tree()) {
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_weighted_covers(x in prop_oneof![2 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+
+        #[test]
+        fn normal_doubles_are_normal(f in prop::num::f64::NORMAL) {
+            prop_assert!(f.is_normal(), "{f} not normal");
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_domain() {
+        let strat = prop::collection::btree_set(0u32..5, 1..10);
+        let mut rng = crate::test_runner::TestRng::new(9);
+        for _ in 0..50 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -99,7 +99,9 @@ fn language_to_storage_full_path() {
     assert_eq!(processed.len(), raw.len(), "cascade delivered to both");
 
     // the R-tree index answers a spatial query over the ingested data
-    let west_coast = processed.query_rect("locIdx", 25.0, -124.0, 49.0, -110.0).unwrap();
+    let west_coast = processed
+        .query_rect("locIdx", 25.0, -124.0, 49.0, -110.0)
+        .unwrap();
     assert!(!west_coast.is_empty());
     for t in &west_coast {
         let (lat, lon) = t.field("location").unwrap().as_point().unwrap();
@@ -109,7 +111,9 @@ fn language_to_storage_full_path() {
     // two live connections, introspectable
     let conns = engine.controller().connections_detailed();
     assert_eq!(conns.len(), 2);
-    assert!(conns.iter().any(|(_, f, d)| f == "TwitterFeed" && d == "Tweets"));
+    assert!(conns
+        .iter()
+        .any(|(_, f, d)| f == "TwitterFeed" && d == "Tweets"));
 
     // and a FLWOR query over the same data agrees with the index
     let rows = match engine
