@@ -152,6 +152,44 @@ fn bench_parse_once(c: &mut Criterion) {
     });
 }
 
+/// The storage write path at frame granularity: 64 tweets (one default
+/// frame) pushed through the per-record seed path (`upsert` — one lock, one
+/// WAL append, one deep clone per record) versus the group-commit batch
+/// path (`upsert_batch` — one lock, one multi-entry WAL block, `Arc`-shared
+/// records). The acceptance bar for this refactor is ≥ 2x.
+fn bench_store_batch(c: &mut Criterion) {
+    use std::sync::Arc;
+    const FRAME: usize = 64;
+    const FRAMES: usize = 32;
+    let mut factory = tweetgen::TweetFactory::new(0, 42);
+    let tweets: Vec<AdmValue> = (0..FRAME * FRAMES)
+        .map(|_| parse_value(&factory.next_json()).unwrap())
+        .collect();
+    let shared: Vec<Arc<AdmValue>> = tweets.iter().cloned().map(Arc::new).collect();
+    // a fresh partition per iteration keeps the tree the same bounded size
+    // on both sides, so the measurement is the write path itself rather
+    // than lookups in an ever-growing accumulated tree
+    c.bench_function("store_batch/per_record_64", |b| {
+        b.iter(|| {
+            let p = DatasetPartition::new(PartitionConfig::keyed_on("id"));
+            for t in &tweets {
+                p.upsert(black_box(t)).unwrap();
+            }
+            black_box(p.wal_len())
+        })
+    });
+    c.bench_function("store_batch/batched_64", |b| {
+        b.iter(|| {
+            let p = DatasetPartition::new(PartitionConfig::keyed_on("id"));
+            let mut committed = 0usize;
+            for f in shared.chunks(FRAME) {
+                committed += p.upsert_batch(black_box(f)).unwrap().committed;
+            }
+            black_box(committed)
+        })
+    });
+}
+
 /// WAL encoding: the binary codec against the ADM-text format it replaced.
 fn bench_wal_codec(c: &mut Criterion) {
     let json = sample_tweet_json();
@@ -186,6 +224,7 @@ criterion_group!(
     bench_joint,
     bench_udf,
     bench_parse_once,
+    bench_store_batch,
     bench_wal_codec
 );
 criterion_main!(benches);

@@ -35,6 +35,10 @@ pub struct FeedMetrics {
     pub records_replayed: AtomicU64,
     /// Elastic scale-out events requested.
     pub elastic_scaleouts: AtomicU64,
+    /// Frames group-committed by the store stage. Together with
+    /// `records_persisted` this gives the effective batch size the write
+    /// path achieved (persisted / frames_stored).
+    pub frames_stored: AtomicU64,
     /// Text-parser invocations attributed to this connection — cache
     /// *misses* of the shared per-payload parse cell. On the happy path the
     /// adaptor seeds the cache, so every downstream stage hits it and this
@@ -66,6 +70,7 @@ impl FeedMetrics {
             soft_failures: AtomicU64::new(0),
             records_replayed: AtomicU64::new(0),
             elastic_scaleouts: AtomicU64::new(0),
+            frames_stored: AtomicU64::new(0),
             parse_calls: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
             buffer_bytes: AtomicU64::new(0),
@@ -104,7 +109,7 @@ impl FeedMetrics {
     /// One-line summary for experiment output.
     pub fn summary(&self) -> String {
         format!(
-            "in={} computed={} persisted={} discarded={} throttled={} spilled={} despilled={} soft_failures={} replayed={} parse_calls={}",
+            "in={} computed={} persisted={} discarded={} throttled={} spilled={} despilled={} soft_failures={} replayed={} parse_calls={} frames_stored={}",
             self.records_in.load(Ordering::Relaxed),
             self.records_computed.load(Ordering::Relaxed),
             self.records_persisted.load(Ordering::Relaxed),
@@ -115,6 +120,7 @@ impl FeedMetrics {
             self.soft_failures.load(Ordering::Relaxed),
             self.records_replayed.load(Ordering::Relaxed),
             self.parse_calls.load(Ordering::Relaxed),
+            self.frames_stored.load(Ordering::Relaxed),
         )
     }
 }
@@ -156,5 +162,6 @@ mod tests {
         assert!(s.contains("in=5"));
         assert!(s.contains("discarded=2"));
         assert!(s.contains("persisted=0"));
+        assert!(s.contains("frames_stored=0"));
     }
 }

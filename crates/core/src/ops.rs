@@ -66,16 +66,14 @@ pub fn new_soft_failure_log() -> SoftFailureLog {
 }
 
 // ---------------------------------------------------------------------------
-// MetaFeed
+// Sandbox + MetaFeed
 // ---------------------------------------------------------------------------
 
-/// The sandbox wrapper (§6.1). Drives a per-record processing function,
-/// surviving soft failures by skipping the offending record — the runtime
-/// equivalent of slicing the input frame around it.
-pub struct MetaFeed<F>
-where
-    F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
-{
+/// The record-level failure sandbox (§6.1), factored out of [`MetaFeed`] so
+/// frame-granular operators (the batch store path) share the exact same
+/// semantics: log the exception, skip the offending record, and terminate
+/// the feed only after too many *consecutive* failures.
+pub struct Sandbox {
     name: String,
     policy: IngestionPolicy,
     metrics: Arc<FeedMetrics>,
@@ -83,16 +81,10 @@ where
     log_dataset: Option<Arc<Dataset>>,
     clock: asterix_common::SimClock,
     consecutive_failures: usize,
-    process: F,
-    on_close: Option<Box<dyn FnMut() + Send>>,
 }
 
-impl<F> MetaFeed<F>
-where
-    F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
-{
-    /// Wrap `process` in the sandbox.
-    #[allow(clippy::too_many_arguments)]
+impl Sandbox {
+    /// A sandbox reporting as operator `name`.
     pub fn new(
         name: impl Into<String>,
         policy: IngestionPolicy,
@@ -100,10 +92,8 @@ where
         log: SoftFailureLog,
         log_dataset: Option<Arc<Dataset>>,
         clock: asterix_common::SimClock,
-        process: F,
-        on_close: Option<Box<dyn FnMut() + Send>>,
     ) -> Self {
-        MetaFeed {
+        Sandbox {
             name: name.into(),
             policy,
             metrics,
@@ -111,9 +101,34 @@ where
             log_dataset,
             clock,
             consecutive_failures: 0,
-            process,
-            on_close,
         }
+    }
+
+    /// Does the policy allow skipping this error?
+    pub fn recoverable(&self, err: &IngestError) -> bool {
+        err.is_soft() && self.policy.recover_soft_failure
+    }
+
+    /// A record made it through: the consecutive-failure streak is broken.
+    pub fn record_ok(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// A record failed softly: log it and skip it (the frame-slicing
+    /// recovery of §6.1.1), or terminate the feed if the streak is too long.
+    pub fn record_soft(&mut self, err: &IngestError, record: &Record) -> IngestResult<()> {
+        self.log_soft(err, record);
+        self.consecutive_failures += 1;
+        if self.consecutive_failures > self.policy.max_consecutive_soft_failures {
+            return Err(IngestError::FeedTerminated {
+                feed: asterix_common::FeedId(0),
+                reason: format!(
+                    "{}: {} consecutive soft failures",
+                    self.name, self.consecutive_failures
+                ),
+            });
+        }
+        Ok(())
     }
 
     fn log_soft(&mut self, err: &IngestError, record: &Record) {
@@ -157,6 +172,42 @@ where
     }
 }
 
+/// The sandbox wrapper (§6.1). Drives a per-record processing function,
+/// surviving soft failures by skipping the offending record — the runtime
+/// equivalent of slicing the input frame around it.
+pub struct MetaFeed<F>
+where
+    F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
+{
+    sandbox: Sandbox,
+    process: F,
+    on_close: Option<Box<dyn FnMut() + Send>>,
+}
+
+impl<F> MetaFeed<F>
+where
+    F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
+{
+    /// Wrap `process` in the sandbox.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        policy: IngestionPolicy,
+        metrics: Arc<FeedMetrics>,
+        log: SoftFailureLog,
+        log_dataset: Option<Arc<Dataset>>,
+        clock: asterix_common::SimClock,
+        process: F,
+        on_close: Option<Box<dyn FnMut() + Send>>,
+    ) -> Self {
+        MetaFeed {
+            sandbox: Sandbox::new(name, policy, metrics, log, log_dataset, clock),
+            process,
+            on_close,
+        }
+    }
+}
+
 impl<F> UnaryOperator for MetaFeed<F>
 where
     F: FnMut(&Record) -> IngestResult<Option<Record>> + Send,
@@ -166,25 +217,15 @@ where
         for record in frame.records() {
             match (self.process)(record) {
                 Ok(Some(r)) => {
-                    self.consecutive_failures = 0;
+                    self.sandbox.record_ok();
                     out.push(r);
                 }
                 Ok(None) => {
-                    self.consecutive_failures = 0;
+                    self.sandbox.record_ok();
                 }
-                Err(e) if e.is_soft() && self.policy.recover_soft_failure => {
+                Err(e) if self.sandbox.recoverable(&e) => {
                     // sandbox: skip past the exception-generating record
-                    self.log_soft(&e, record);
-                    self.consecutive_failures += 1;
-                    if self.consecutive_failures > self.policy.max_consecutive_soft_failures {
-                        return Err(IngestError::FeedTerminated {
-                            feed: asterix_common::FeedId(0),
-                            reason: format!(
-                                "{}: {} consecutive soft failures",
-                                self.name, self.consecutive_failures
-                            ),
-                        });
-                    }
+                    self.sandbox.record_soft(&e, record)?;
                 }
                 Err(e) => return Err(e),
             }
@@ -712,49 +753,118 @@ impl OperatorDescriptor for StoreDesc {
                 ctx.node.id()
             )));
         }
-        let partition = self.dataset.partition(ctx.partition);
-        let datatype = AdmType::Named(self.dataset.config.datatype.clone());
-        let registry = self.registry.clone();
-        let metrics = Arc::clone(&self.metrics);
-        let mut ack_sender = self
-            .ack
-            .as_ref()
-            .map(|a| AckSender::new(a.txs.clone(), a.window, ctx.clock.clone()));
-        let ack_for_close = self.ack.clone();
-        let process = move |rec: &Record| -> IngestResult<Option<Record>> {
-            // reuses the parse seeded at the adaptor (or by assign's UDF
-            // output); only despilled/externally-built records miss here
-            let value = rec
-                .payload
-                .adm_value_counted(&metrics.parse_calls)
-                .map_err(|e| IngestError::soft(e.to_string()))?;
-            if let Some(reg) = &registry {
-                reg.check(&value, &datatype)
-                    .map_err(|e| IngestError::soft(e.to_string()))?;
-            }
-            partition.upsert(&value)?;
-            metrics.persisted(1);
-            if let Some(s) = &mut ack_sender {
-                s.ack(rec);
-            }
-            Ok(None)
+        let store = StoreFeed {
+            sandbox: Sandbox::new(
+                self.name(),
+                self.policy.clone(),
+                Arc::clone(&self.metrics),
+                Arc::clone(&self.log),
+                self.log_dataset.clone(),
+                ctx.clock.clone(),
+            ),
+            partition: self.dataset.partition(ctx.partition),
+            datatype: AdmType::Named(self.dataset.config.datatype.clone()),
+            registry: self.registry.clone(),
+            metrics: Arc::clone(&self.metrics),
+            ack_sender: self
+                .ack
+                .as_ref()
+                .map(|a| AckSender::new(a.txs.clone(), a.window, ctx.clock.clone())),
         };
-        let _ = ack_for_close; // acks flush when the sender drops with the op
-        let meta = MetaFeed::new(
-            self.name(),
-            self.policy.clone(),
-            Arc::clone(&self.metrics),
-            Arc::clone(&self.log),
-            self.log_dataset.clone(),
-            ctx.clock.clone(),
-            process,
-            None,
-        );
         Ok(OperatorRuntime::Unary(Box::new(UnaryHost::new(
-            Box::new(meta),
+            Box::new(store),
             output,
         ))))
     }
+}
+
+/// What became of one record of a store frame before the batch write.
+enum StoreFate {
+    /// Parse or typecheck rejected it (soft).
+    Rejected(IngestError),
+    /// Valid; its position in the batch handed to the partition.
+    Batched(usize),
+}
+
+/// The frame-granular store operator. Per frame: parse + typecheck every
+/// record (reusing the shared parse cache), then hand the survivors to the
+/// partition in **one** `upsert_batch` call — one partition lock, one
+/// multi-entry WAL append — and finally run the §6.1 sandbox bookkeeping
+/// over the merged per-record outcomes in arrival order, so soft-failure
+/// logging and the consecutive-failure cutoff behave exactly like the old
+/// record-at-a-time path.
+struct StoreFeed {
+    sandbox: Sandbox,
+    partition: Arc<asterix_storage::DatasetPartition>,
+    datatype: AdmType,
+    registry: Option<Arc<TypeRegistry>>,
+    metrics: Arc<FeedMetrics>,
+    ack_sender: Option<AckSender>,
+}
+
+impl UnaryOperator for StoreFeed {
+    fn next_frame(&mut self, frame: DataFrame, _output: &mut dyn FrameWriter) -> IngestResult<()> {
+        let records = frame.records();
+        let mut fates: Vec<StoreFate> = Vec::with_capacity(records.len());
+        let mut batch: Vec<Arc<asterix_adm::AdmValue>> = Vec::with_capacity(records.len());
+        for rec in records {
+            // reuses the parse seeded at the adaptor (or by assign's UDF
+            // output); only despilled/externally-built records miss here
+            let parsed = rec
+                .payload
+                .adm_value_counted(&self.metrics.parse_calls)
+                .map_err(|e| IngestError::soft(e.to_string()))
+                .and_then(|value| {
+                    if let Some(reg) = &self.registry {
+                        reg.check(&value, &self.datatype)
+                            .map_err(|e| IngestError::soft(e.to_string()))?;
+                    }
+                    Ok(value)
+                });
+            match parsed {
+                Ok(value) => {
+                    fates.push(StoreFate::Batched(batch.len()));
+                    batch.push(value);
+                }
+                Err(e) => fates.push(StoreFate::Rejected(e)),
+            }
+        }
+        // the group commit: WAL first (one block), then primary + secondary
+        // updates, all under one acquisition of the partition lock
+        let outcome = self.partition.upsert_batch(&batch)?;
+        let mut batch_soft: Vec<Option<IngestError>> = Vec::new();
+        batch_soft.resize_with(batch.len(), || None);
+        for (j, e) in outcome.soft {
+            batch_soft[j] = Some(e);
+        }
+        for (rec, fate) in records.iter().zip(fates) {
+            let soft = match fate {
+                StoreFate::Rejected(e) => Some(e),
+                StoreFate::Batched(j) => batch_soft[j].take(),
+            };
+            match soft {
+                None => {
+                    self.sandbox.record_ok();
+                    if let Some(s) = &mut self.ack_sender {
+                        s.ack(rec);
+                    }
+                }
+                Some(e) if self.sandbox.recoverable(&e) => {
+                    self.sandbox.record_soft(&e, rec)?;
+                }
+                Some(e) => return Err(e),
+            }
+        }
+        self.metrics.persisted(outcome.committed as u64);
+        self.metrics.frames_stored.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn close(&mut self, _output: &mut dyn FrameWriter) -> IngestResult<()> {
+        Ok(())
+    }
+
+    fn fail(&mut self) {}
 }
 
 /// The hash-partitioning key function for the store connector: hash of the

@@ -185,6 +185,13 @@ fn primary_feed_ingests_into_dataset() {
     assert_eq!(m.records_persisted.load(Ordering::Relaxed), generated);
     assert_eq!(m.records_discarded.load(Ordering::Relaxed), 0);
     assert_eq!(m.soft_failures.load(Ordering::Relaxed), 0);
+    // the store stage group-commits per frame, not per record
+    let frames = m.frames_stored.load(Ordering::Relaxed);
+    assert!(frames >= 1, "no frames group-committed");
+    assert!(
+        frames < generated,
+        "store ran record-at-a-time: {frames} frames for {generated} records"
+    );
     gen.stop();
     rig.stop();
 }

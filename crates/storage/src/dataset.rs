@@ -8,7 +8,7 @@
 //! hash-partitioning connector uses, so records always land on the partition
 //! co-located with their store operator.
 
-use crate::partition::{DatasetPartition, PartitionConfig};
+use crate::partition::{BatchOutcome, DatasetPartition, PartitionConfig};
 use crate::secondary::IndexKind;
 use asterix_adm::hash::partition_for;
 use asterix_adm::AdmValue;
@@ -118,6 +118,66 @@ impl Dataset {
             })?;
         let idx = self.partition_index_for(key);
         self.partitions[idx].1.insert(record)
+    }
+
+    /// Group-commit a frame's worth of upserts: records are routed to their
+    /// partitions by key hash, then each partition gets **one** batch call —
+    /// one partition lock, one multi-entry WAL append — instead of one call
+    /// per record. Soft failures (missing primary key) come back in the
+    /// outcome, indexed by position in `records`.
+    pub fn upsert_batch(&self, records: &[Arc<AdmValue>]) -> IngestResult<BatchOutcome> {
+        self.batch_write(records, true)
+    }
+
+    /// Group-commit a frame's worth of strict inserts (duplicate keys fail
+    /// softly, per record). Same routing and locking shape as
+    /// [`Dataset::upsert_batch`].
+    pub fn insert_batch(&self, records: &[Arc<AdmValue>]) -> IngestResult<BatchOutcome> {
+        self.batch_write(records, false)
+    }
+
+    fn batch_write(&self, records: &[Arc<AdmValue>], upsert: bool) -> IngestResult<BatchOutcome> {
+        let mut outcome = BatchOutcome::default();
+        // route first: per-partition sub-batches remembering original indexes
+        let mut routed: Vec<(Vec<usize>, Vec<Arc<AdmValue>>)> = (0..self.partitions.len())
+            .map(|_| Default::default())
+            .collect();
+        for (i, record) in records.iter().enumerate() {
+            match record
+                .field(&self.config.primary_key)
+                .filter(|v| !matches!(v, AdmValue::Null | AdmValue::Missing))
+            {
+                Some(key) => {
+                    let p = self.partition_index_for(key);
+                    routed[p].0.push(i);
+                    routed[p].1.push(Arc::clone(record));
+                }
+                None => outcome.soft.push((
+                    i,
+                    IngestError::soft(format!(
+                        "record lacks primary key '{}'",
+                        self.config.primary_key
+                    )),
+                )),
+            }
+        }
+        for (p, (indexes, sub)) in routed.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let part = &self.partitions[p].1;
+            let sub_outcome = if upsert {
+                part.upsert_batch(&sub)?
+            } else {
+                part.insert_batch(&sub)?
+            };
+            outcome.committed += sub_outcome.committed;
+            // remap partition-local soft indexes back to caller positions
+            outcome
+                .soft
+                .extend(sub_outcome.soft.into_iter().map(|(j, e)| (indexes[j], e)));
+        }
+        Ok(outcome)
     }
 
     /// Point lookup.
@@ -267,6 +327,45 @@ mod tests {
         let scanned = d.scan_all();
         assert_eq!(scanned.len(), 9);
         assert!(!scanned.iter().any(|r| r.field("id") == Some(&"t3".into())));
+    }
+
+    #[test]
+    fn upsert_batch_routes_and_matches_per_record_path() {
+        let a = dataset(3);
+        let b = dataset(3);
+        let records: Vec<Arc<AdmValue>> = (0..100).map(|i| Arc::new(rec(i))).collect();
+        for r in &records {
+            a.upsert(r).unwrap();
+        }
+        let outcome = b.upsert_batch(&records).unwrap();
+        assert_eq!(outcome.committed, 100);
+        assert!(outcome.is_clean());
+        for i in 0..3 {
+            assert_eq!(a.partition(i).scan_all(), b.partition(i).scan_all());
+        }
+        // each partition saw exactly one group commit
+        for i in 0..3 {
+            assert_eq!(b.partition(i).wal_group_commits(), 1);
+        }
+    }
+
+    #[test]
+    fn batch_soft_failures_keep_caller_indexes() {
+        let d = dataset(2);
+        d.insert(&rec(1)).unwrap();
+        let no_key = Arc::new(AdmValue::record(vec![("message_text", "hi".into())]));
+        let batch = vec![
+            Arc::new(rec(0)), // commits
+            no_key,           // 1: missing key
+            Arc::new(rec(1)), // 2: duplicate (strict insert)
+            Arc::new(rec(2)), // commits
+        ];
+        let outcome = d.insert_batch(&batch).unwrap();
+        assert_eq!(outcome.committed, 2);
+        let mut failed: Vec<usize> = outcome.soft.iter().map(|(i, _)| *i).collect();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![1, 2]);
+        assert_eq!(d.len(), 3);
     }
 
     #[test]

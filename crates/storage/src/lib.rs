@@ -29,7 +29,8 @@ pub mod wal;
 
 pub use dataset::{Dataset, DatasetConfig};
 pub use lsm::LsmTree;
-pub use partition::{DatasetPartition, PartitionConfig};
+pub use lsm::{Component, LsmConfig};
+pub use partition::{BatchOutcome, DatasetPartition, PartitionConfig};
 pub use secondary::{IndexKind, SecondaryIndex};
 pub use wal::{LogOp, LogRecord, WriteAheadLog};
 

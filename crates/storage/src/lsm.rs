@@ -2,11 +2,23 @@
 //! immutable sorted components.
 //!
 //! Inserts and deletes go to the memtable; when it exceeds its budget it is
-//! *flushed* into an immutable component. When the component count exceeds
-//! the merge threshold, all components are *merged* into one (the simplest
-//! of AsterixDB's merge policies, the "constant" policy). Reads consult the
-//! memtable first, then components newest-to-oldest; deletes are tombstones
-//! that shadow older versions until a merge discards them.
+//! *sealed* (flushed) into an immutable component. Components are
+//! `Arc`-shared, so a compactor can take a snapshot under a short lock,
+//! merge the snapshot entirely outside the lock ([`merge_components`] works
+//! by reference and clones only the surviving entries, once), and swap the
+//! result back in with [`LsmTree::install_merged`] — this is how
+//! [`crate::partition::DatasetPartition`] keeps merges off the insert path,
+//! mirroring AsterixDB's asynchronous LSM flush/merge. When
+//! [`LsmConfig::defer_merge`] is unset the tree instead merges inline once
+//! the component count exceeds the threshold (the simplest of AsterixDB's
+//! merge policies, the "constant" policy), which keeps a standalone tree
+//! self-contained.
+//!
+//! Reads consult the memtable first, then components newest-to-oldest;
+//! deletes are tombstones that shadow older versions until a merge discards
+//! them. Values are `Arc`-shared with the caller: an insert through
+//! [`LsmTree::put_shared`] stores the caller's `Arc` directly — no deep
+//! clone of the record on the hot path.
 
 use crate::KeyOrd;
 use asterix_adm::AdmValue;
@@ -17,8 +29,8 @@ use std::sync::Arc;
 /// One version of a key.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Entry {
-    /// A live record.
-    Put(AdmValue),
+    /// A live record, shared with whoever inserted/read it.
+    Put(Arc<AdmValue>),
     /// A deletion marker.
     Tombstone,
 }
@@ -39,6 +51,47 @@ impl Component {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Iterate the component's entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&KeyOrd, &Entry)> {
+        self.entries.iter()
+    }
+}
+
+/// Merge `inputs` (newest first, as [`LsmTree::components_snapshot`] returns
+/// them) into a single component, discarding shadowed versions and dropping
+/// tombstones. Works entirely by reference over the shared components: the
+/// only clones are one key clone and one `Arc` bump per *surviving* entry.
+///
+/// Dropping tombstones is sound only when `inputs` end at the oldest
+/// component of the tree — which a snapshot always does, and which
+/// [`LsmTree::install_merged`] re-verifies before swapping the result in.
+///
+/// `spin_per_entry` busy-spins per surviving entry, modelling merge I/O cost
+/// in capacity experiments (0 = free).
+pub fn merge_components(inputs: &[Arc<Component>], spin_per_entry: u64) -> Component {
+    // newest version of each key wins: walk oldest → newest, later inserts
+    // overwrite. Everything here is a borrow; nothing is cloned yet.
+    let mut newest: BTreeMap<&KeyOrd, &Entry> = BTreeMap::new();
+    for c in inputs.iter().rev() {
+        for (k, e) in c.iter() {
+            newest.insert(k, e);
+        }
+    }
+    let mut entries = BTreeMap::new();
+    for (k, e) in newest {
+        if let Entry::Put(v) = e {
+            if spin_per_entry > 0 {
+                let mut acc = 0u64;
+                for i in 0..spin_per_entry {
+                    acc = acc.wrapping_add(i).rotate_left(1);
+                }
+                std::hint::black_box(acc);
+            }
+            entries.insert(k.clone(), Entry::Put(Arc::clone(v)));
+        }
+    }
+    Component { entries }
 }
 
 /// Tuning knobs.
@@ -46,8 +99,13 @@ impl Component {
 pub struct LsmConfig {
     /// Flush the memtable after this many entries.
     pub memtable_budget: usize,
-    /// Merge all components once more than this many exist.
+    /// Merge once more than this many components exist.
     pub max_components: usize,
+    /// When set, a flush only *seals* the memtable into a component and
+    /// never merges inline — an external compactor (the partition's
+    /// background worker) is responsible for merging. When unset, exceeding
+    /// `max_components` merges inline as part of the flush.
+    pub defer_merge: bool,
 }
 
 impl Default for LsmConfig {
@@ -55,6 +113,7 @@ impl Default for LsmConfig {
         LsmConfig {
             memtable_budget: 4096,
             max_components: 4,
+            defer_merge: false,
         }
     }
 }
@@ -84,6 +143,12 @@ impl LsmTree {
 
     /// Insert or replace a record under `key`.
     pub fn put(&mut self, key: AdmValue, value: AdmValue) {
+        self.put_shared(key, Arc::new(value));
+    }
+
+    /// Insert or replace a record under `key`, sharing the caller's `Arc` —
+    /// the hot-path insert: no deep clone of the record.
+    pub fn put_shared(&mut self, key: AdmValue, value: Arc<AdmValue>) {
         self.memtable.insert(KeyOrd(key), Entry::Put(value));
         self.maybe_flush();
     }
@@ -94,61 +159,83 @@ impl LsmTree {
         self.maybe_flush();
     }
 
-    /// Point lookup.
-    pub fn get(&self, key: &AdmValue) -> Option<AdmValue> {
-        let k = KeyOrd(key.clone());
-        if let Some(e) = self.memtable.get(&k) {
-            return match e {
-                Entry::Put(v) => Some(v.clone()),
-                Entry::Tombstone => None,
-            };
+    fn lookup(&self, k: &KeyOrd) -> Option<&Entry> {
+        if let Some(e) = self.memtable.get(k) {
+            return Some(e);
         }
         for c in &self.components {
-            if let Some(e) = c.entries.get(&k) {
-                return match e {
-                    Entry::Put(v) => Some(v.clone()),
-                    Entry::Tombstone => None,
-                };
+            if let Some(e) = c.entries.get(k) {
+                return Some(e);
             }
         }
         None
     }
 
-    /// Does `key` currently have a live record?
-    pub fn contains(&self, key: &AdmValue) -> bool {
-        self.get(key).is_some()
+    /// Point lookup, sharing the stored value.
+    pub fn get_shared(&self, key: &AdmValue) -> Option<Arc<AdmValue>> {
+        match self.lookup(&KeyOrd(key.clone())) {
+            Some(Entry::Put(v)) => Some(Arc::clone(v)),
+            _ => None,
+        }
     }
 
-    /// Range scan over live records, `lo..=hi` inclusive on both ends (pass
-    /// `None` for open ends). Results are key-ordered.
-    pub fn scan_range(
+    /// Point lookup (cloning the value out).
+    pub fn get(&self, key: &AdmValue) -> Option<AdmValue> {
+        self.get_shared(key).map(|v| (*v).clone())
+    }
+
+    /// Does `key` currently have a live record?
+    pub fn contains(&self, key: &AdmValue) -> bool {
+        matches!(self.lookup(&KeyOrd(key.clone())), Some(Entry::Put(_)))
+    }
+
+    /// Visit the newest version of every key in `[lo, hi]` (both optional),
+    /// in key order, tombstones excluded — by reference, no cloning.
+    pub fn for_each_live_in(
         &self,
         lo: Option<&AdmValue>,
         hi: Option<&AdmValue>,
-    ) -> Vec<(AdmValue, AdmValue)> {
+        mut f: impl FnMut(&AdmValue, &AdmValue),
+    ) {
         let lo_b = lo
             .map(|v| Bound::Included(KeyOrd(v.clone())))
             .unwrap_or(Bound::Unbounded);
         let hi_b = hi
             .map(|v| Bound::Included(KeyOrd(v.clone())))
             .unwrap_or(Bound::Unbounded);
-        // merge: newest version of each key wins
-        let mut merged: BTreeMap<KeyOrd, Entry> = BTreeMap::new();
+        // newest version of each key wins; borrows only
+        let mut newest: BTreeMap<&KeyOrd, &Entry> = BTreeMap::new();
         for c in self.components.iter().rev() {
             for (k, e) in c.entries.range((lo_b.clone(), hi_b.clone())) {
-                merged.insert(k.clone(), e.clone());
+                newest.insert(k, e);
             }
         }
         for (k, e) in self.memtable.range((lo_b, hi_b)) {
-            merged.insert(k.clone(), e.clone());
+            newest.insert(k, e);
         }
-        merged
-            .into_iter()
-            .filter_map(|(k, e)| match e {
-                Entry::Put(v) => Some((k.0, v)),
-                Entry::Tombstone => None,
-            })
-            .collect()
+        for (k, e) in newest {
+            if let Entry::Put(v) = e {
+                f(&k.0, v);
+            }
+        }
+    }
+
+    /// Visit every live record in key order — by reference, no cloning.
+    pub fn for_each_live(&self, f: impl FnMut(&AdmValue, &AdmValue)) {
+        self.for_each_live_in(None, None, f)
+    }
+
+    /// Range scan over live records, `lo..=hi` inclusive on both ends (pass
+    /// `None` for open ends). Results are key-ordered; surviving entries are
+    /// cloned exactly once.
+    pub fn scan_range(
+        &self,
+        lo: Option<&AdmValue>,
+        hi: Option<&AdmValue>,
+    ) -> Vec<(AdmValue, AdmValue)> {
+        let mut out = Vec::new();
+        self.for_each_live_in(lo, hi, |k, v| out.push((k.clone(), v.clone())));
+        out
     }
 
     /// All live records in key order.
@@ -156,35 +243,73 @@ impl LsmTree {
         self.scan_range(None, None)
     }
 
-    /// Count of live records (full scan; fine at simulation scale).
+    /// Count of live records (full walk, but nothing is cloned).
     pub fn live_count(&self) -> usize {
-        self.scan_all().len()
+        let mut n = 0;
+        self.for_each_live(|_, _| n += 1);
+        n
     }
 
-    /// Force a memtable flush.
-    pub fn flush(&mut self) {
+    /// Seal the memtable into an immutable component (no merge, ever) —
+    /// the only mutation a hot-path insert can trigger in deferred mode.
+    pub fn seal(&mut self) {
         if self.memtable.is_empty() {
             return;
         }
         let entries = std::mem::take(&mut self.memtable);
         self.components.insert(0, Arc::new(Component { entries }));
         self.flushes += 1;
-        if self.components.len() > self.config.max_components {
+    }
+
+    /// Force a memtable flush. In deferred-merge mode this only seals; in
+    /// inline mode it also merges once the component count exceeds the
+    /// threshold.
+    pub fn flush(&mut self) {
+        self.seal();
+        if !self.config.defer_merge && self.needs_merge() {
             self.merge_all();
         }
     }
 
-    /// Merge every component into one, discarding shadowed versions and
-    /// dropping tombstones (all older versions are in the merge input).
-    pub fn merge_all(&mut self) {
-        let mut merged: BTreeMap<KeyOrd, Entry> = BTreeMap::new();
-        for c in self.components.iter().rev() {
-            for (k, e) in &c.entries {
-                merged.insert(k.clone(), e.clone());
-            }
+    /// Whether enough components accumulated that a merge is due.
+    pub fn needs_merge(&self) -> bool {
+        self.components.len() > self.config.max_components
+    }
+
+    /// The current component stack (newest first), `Arc`-shared: the input
+    /// to an off-lock [`merge_components`] run.
+    pub fn components_snapshot(&self) -> Vec<Arc<Component>> {
+        self.components.clone()
+    }
+
+    /// Swap `merged` in for the `inputs` it was built from. The inputs must
+    /// still be the *oldest* suffix of the component stack (pointer
+    /// equality); components sealed while the merge ran stay in front.
+    /// Returns `false` — leaving the tree untouched — if the stack changed
+    /// incompatibly (e.g. another merge won, or recovery rebuilt the tree).
+    pub fn install_merged(&mut self, inputs: &[Arc<Component>], merged: Arc<Component>) -> bool {
+        if inputs.is_empty() || self.components.len() < inputs.len() {
+            return false;
         }
-        merged.retain(|_, e| matches!(e, Entry::Put(_)));
-        self.components = vec![Arc::new(Component { entries: merged })];
+        let tail_start = self.components.len() - inputs.len();
+        let tail_matches = self.components[tail_start..]
+            .iter()
+            .zip(inputs)
+            .all(|(a, b)| Arc::ptr_eq(a, b));
+        if !tail_matches {
+            return false;
+        }
+        self.components.truncate(tail_start);
+        self.components.push(merged);
+        self.merges += 1;
+        true
+    }
+
+    /// Merge every component into one inline, discarding shadowed versions
+    /// and dropping tombstones (all older versions are in the merge input).
+    pub fn merge_all(&mut self) {
+        let snapshot = self.components_snapshot();
+        self.components = vec![Arc::new(merge_components(&snapshot, 0))];
         self.merges += 1;
     }
 
@@ -197,6 +322,11 @@ impl LsmTree {
     /// Number of immutable components.
     pub fn component_count(&self) -> usize {
         self.components.len()
+    }
+
+    /// Number of entries currently in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
     }
 
     /// Lifetime flush count.
@@ -224,6 +354,7 @@ mod tests {
         LsmTree::new(LsmConfig {
             memtable_budget: 4,
             max_components: 2,
+            defer_merge: false,
         })
     }
 
@@ -244,6 +375,15 @@ mod tests {
         assert_eq!(t.get(&k(2)), Some(v("b")));
         assert_eq!(t.get(&k(3)), None);
         assert!(t.contains(&k(1)));
+    }
+
+    #[test]
+    fn put_shared_stores_the_callers_arc() {
+        let mut t = LsmTree::default();
+        let value = Arc::new(v("shared"));
+        t.put_shared(k(1), Arc::clone(&value));
+        let got = t.get_shared(&k(1)).unwrap();
+        assert!(Arc::ptr_eq(&got, &value), "no deep clone on the hot path");
     }
 
     #[test]
@@ -277,6 +417,7 @@ mod tests {
         }
         assert_eq!(t.component_count(), 1);
         assert_eq!(t.flushes(), 1);
+        assert_eq!(t.memtable_len(), 0);
     }
 
     #[test]
@@ -295,6 +436,92 @@ mod tests {
         let live = t.scan_all();
         let keys: Vec<i64> = live.iter().map(|(k, _)| k.as_int().unwrap()).collect();
         assert_eq!(keys, vec![2, 3, 9]);
+    }
+
+    #[test]
+    fn deferred_mode_seals_without_merging() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_budget: 2,
+            max_components: 1,
+            defer_merge: true,
+        });
+        for i in 0..8 {
+            t.put(k(i), v("x"));
+        }
+        // four seals, zero merges: the insert path never compacted
+        assert_eq!(t.component_count(), 4);
+        assert_eq!(t.merges(), 0);
+        assert!(t.needs_merge());
+        // an external compactor merges from a snapshot and installs
+        let snap = t.components_snapshot();
+        let merged = Arc::new(merge_components(&snap, 0));
+        assert!(t.install_merged(&snap, merged));
+        assert_eq!(t.component_count(), 1);
+        assert_eq!(t.live_count(), 8);
+    }
+
+    #[test]
+    fn install_merged_keeps_components_sealed_during_the_merge() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_budget: 2,
+            max_components: 1,
+            defer_merge: true,
+        });
+        for i in 0..4 {
+            t.put(k(i), v("old"));
+        }
+        let snap = t.components_snapshot();
+        assert_eq!(snap.len(), 2);
+        let merged = Arc::new(merge_components(&snap, 0));
+        // a concurrent seal lands while the merge "runs"
+        t.put(k(100), v("new"));
+        t.put(k(101), v("new"));
+        assert_eq!(t.component_count(), 3);
+        assert!(t.install_merged(&snap, merged));
+        // the newer component survived in front of the merged result
+        assert_eq!(t.component_count(), 2);
+        assert_eq!(t.live_count(), 6);
+        assert_eq!(t.get(&k(100)), Some(v("new")));
+        assert_eq!(t.get(&k(0)), Some(v("old")));
+    }
+
+    #[test]
+    fn install_merged_refuses_a_stale_snapshot() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_budget: 2,
+            max_components: 1,
+            defer_merge: true,
+        });
+        for i in 0..4 {
+            t.put(k(i), v("x"));
+        }
+        let snap = t.components_snapshot();
+        let merged = Arc::new(merge_components(&snap, 0));
+        // another merge won the race and replaced the tail
+        t.merge_all();
+        assert!(!t.install_merged(&snap, merged));
+        assert_eq!(t.live_count(), 4);
+        // empty input never installs
+        assert!(!t.install_merged(&[], Arc::new(Component::default())));
+    }
+
+    #[test]
+    fn merge_components_drops_shadowed_versions_and_tombstones() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_budget: 2,
+            max_components: 10,
+            defer_merge: true,
+        });
+        t.put(k(1), v("v1"));
+        t.put(k(2), v("x"));
+        t.delete(k(2));
+        t.put(k(1), v("v2"));
+        t.seal();
+        let snap = t.components_snapshot();
+        let merged = merge_components(&snap, 0);
+        assert_eq!(merged.len(), 1, "tombstone dropped, one survivor");
+        let survivors: Vec<_> = merged.iter().collect();
+        assert_eq!(survivors[0].1, &Entry::Put(Arc::new(v("v2"))));
     }
 
     #[test]
@@ -322,6 +549,18 @@ mod tests {
         let all = t.scan_all();
         assert_eq!(all, vec![(k(1), v("v3"))]);
         assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn for_each_live_walks_without_cloning() {
+        let mut t = small_tree();
+        t.put(k(2), v("b"));
+        t.flush();
+        t.put(k(1), v("a"));
+        t.delete(k(2));
+        let mut seen = Vec::new();
+        t.for_each_live(|key, val| seen.push((key.clone(), val.clone())));
+        assert_eq!(seen, vec![(k(1), v("a"))]);
     }
 
     #[test]

@@ -1,27 +1,57 @@
-//! One storage partition: WAL + primary LSM index + secondary indexes.
+//! One storage partition: WAL + primary LSM index + secondary indexes, with
+//! a group-commit batch write path and off-critical-path compaction.
 //!
 //! The store operator instance of an ingestion pipeline is co-located with
 //! one of these (§5.3.1: "Each of these instances is co-located with a
 //! stored partition of the target dataset"). Inserts are logged first, then
 //! applied to the primary index and every secondary — record-level ACID.
+//!
+//! Two properties keep the insert path frame-at-a-time fast, mirroring how
+//! AsterixDB's real LSM storage stays off the ingestion critical path:
+//!
+//! * **Group commit** — [`DatasetPartition::insert_batch`] /
+//!   [`DatasetPartition::upsert_batch`] take a frame's worth of records,
+//!   acquire the partition lock once, append one multi-entry WAL block
+//!   (one buffer, one log lock, one contiguous LSN range) and apply both
+//!   primary and secondary updates in a single pass. Records are
+//!   `Arc`-shared with the caller, so nothing is deep-cloned on the way
+//!   into the memtable.
+//! * **Background compaction** — the insert path only ever *seals* the
+//!   memtable into an immutable component
+//!   ([`crate::lsm::LsmConfig::defer_merge`] is forced on). A per-partition
+//!   compaction worker merges sealed components from an `Arc` snapshot
+//!   entirely outside the partition lock and swaps the result in under a
+//!   short lock, so a merge of any size never stalls intake.
 
-use crate::lsm::{LsmConfig, LsmTree};
+use crate::lsm::{merge_components, LsmTree};
 use crate::secondary::{IndexKind, SecondaryIndex};
 use crate::wal::{LogOp, WriteAheadLog};
 use asterix_adm::AdmValue;
 use asterix_common::{IngestError, IngestResult};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub use crate::lsm::LsmConfig;
 
 /// Partition tuning.
 #[derive(Debug, Clone)]
 pub struct PartitionConfig {
     /// The record field holding the primary key.
     pub primary_key_field: String,
-    /// LSM tuning.
+    /// LSM tuning. `defer_merge` is forced on by the partition: merges run
+    /// on the background compaction worker, never on the insert path.
     pub lsm: LsmConfig,
     /// Busy-spin iterations per insert, modelling per-record storage cost in
     /// capacity-bounded experiments (0 = free).
     pub insert_spin: u64,
+    /// Busy-spin iterations per surviving entry during a merge, modelling
+    /// merge I/O cost (0 = free). Useful to make compaction measurably slow
+    /// in tests and experiments without blocking inserts.
+    pub merge_spin: u64,
 }
 
 impl PartitionConfig {
@@ -31,7 +61,26 @@ impl PartitionConfig {
             primary_key_field: field.into(),
             lsm: LsmConfig::default(),
             insert_spin: 0,
+            merge_spin: 0,
         }
+    }
+}
+
+/// Per-record outcome of a batch write: how many records committed, and
+/// which input indexes failed softly (duplicate key, missing key). Hard
+/// errors abort the whole call instead.
+#[derive(Debug, Default)]
+pub struct BatchOutcome {
+    /// Records logged, applied and indexed.
+    pub committed: usize,
+    /// `(input index, soft error)` for records the batch skipped.
+    pub soft: Vec<(usize, IngestError)>,
+}
+
+impl BatchOutcome {
+    /// Did every record commit?
+    pub fn is_clean(&self) -> bool {
+        self.soft.is_empty()
     }
 }
 
@@ -40,56 +89,24 @@ struct PartitionState {
     secondaries: Vec<SecondaryIndex>,
 }
 
-/// A single dataset partition.
-pub struct DatasetPartition {
+#[derive(Default)]
+struct CompactorSignal {
+    wake: bool,
+    shutdown: bool,
+}
+
+/// State shared between the partition handle and its compaction worker.
+struct PartitionInner {
     config: PartitionConfig,
     wal: WriteAheadLog,
     state: Mutex<PartitionState>,
+    signal: Mutex<CompactorSignal>,
+    signal_cv: Condvar,
+    merging: AtomicBool,
+    compactions: AtomicU64,
 }
 
-impl DatasetPartition {
-    /// Fresh empty partition.
-    pub fn new(config: PartitionConfig) -> Self {
-        DatasetPartition {
-            state: Mutex::new(PartitionState {
-                primary: LsmTree::new(config.lsm.clone()),
-                secondaries: Vec::new(),
-            }),
-            wal: WriteAheadLog::new(),
-            config,
-        }
-    }
-
-    /// Add a secondary index (normally before data arrives; existing records
-    /// are back-filled).
-    pub fn add_secondary(
-        &self,
-        name: impl Into<String>,
-        field: impl Into<String>,
-        kind: IndexKind,
-    ) -> IngestResult<()> {
-        let mut idx = SecondaryIndex::new(name, field, kind);
-        let mut st = self.state.lock();
-        for (key, record) in st.primary.scan_all() {
-            idx.insert(&key, &record)?;
-        }
-        st.secondaries.push(idx);
-        Ok(())
-    }
-
-    fn extract_key(&self, record: &AdmValue) -> IngestResult<AdmValue> {
-        record
-            .field(&self.config.primary_key_field)
-            .filter(|v| !matches!(v, AdmValue::Null | AdmValue::Missing))
-            .cloned()
-            .ok_or_else(|| {
-                IngestError::soft(format!(
-                    "record lacks primary key field '{}'",
-                    self.config.primary_key_field
-                ))
-            })
-    }
-
+impl PartitionInner {
     fn spin(&self) {
         // models storage CPU cost; the loop is opaque to the optimizer
         let mut acc = 0u64;
@@ -99,74 +116,309 @@ impl DatasetPartition {
         std::hint::black_box(acc);
     }
 
+    /// Wake the compaction worker (called after a mutation sealed enough
+    /// components; never while holding the state lock).
+    fn nudge_compactor(&self) {
+        self.signal.lock().wake = true;
+        self.signal_cv.notify_all();
+    }
+
+    /// One merge round: snapshot under a short lock, merge off-lock, swap
+    /// the result in under a short lock. Returns whether a merge installed.
+    /// `min_components` gates how eager the round is (the worker uses the
+    /// configured threshold via `needs_merge`; `force_merge` uses 2).
+    fn compact_once(&self, forced: bool) -> bool {
+        let snapshot = {
+            let st = self.state.lock();
+            let due = if forced {
+                st.primary.component_count() >= 2
+            } else {
+                st.primary.needs_merge()
+            };
+            if !due {
+                return false;
+            }
+            st.primary.components_snapshot()
+        };
+        if snapshot.len() < 2 {
+            return false;
+        }
+        self.merging.store(true, Ordering::SeqCst);
+        // the expensive part: runs on Arc'd component clones, lock-free
+        let merged = Arc::new(merge_components(&snapshot, self.config.merge_spin));
+        let installed = self.state.lock().primary.install_merged(&snapshot, merged);
+        self.merging.store(false, Ordering::SeqCst);
+        if installed {
+            self.compactions.fetch_add(1, Ordering::SeqCst);
+        }
+        installed
+    }
+
+    fn compactor_loop(&self) {
+        loop {
+            {
+                let mut sig = self.signal.lock();
+                if !sig.wake && !sig.shutdown {
+                    // the timeout doubles as a safety net if a nudge is lost
+                    self.signal_cv.wait_for(&mut sig, Duration::from_millis(20));
+                }
+                if sig.shutdown {
+                    return;
+                }
+                sig.wake = false;
+            }
+            // drain: keep merging while over threshold; stop on a lost race
+            while self.compact_once(false) {}
+        }
+    }
+}
+
+/// A single dataset partition.
+pub struct DatasetPartition {
+    inner: Arc<PartitionInner>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl DatasetPartition {
+    /// Fresh empty partition; spawns its background compaction worker.
+    pub fn new(mut config: PartitionConfig) -> Self {
+        // merges belong to the worker, never to the insert path
+        config.lsm.defer_merge = true;
+        let inner = Arc::new(PartitionInner {
+            state: Mutex::new(PartitionState {
+                primary: LsmTree::new(config.lsm.clone()),
+                secondaries: Vec::new(),
+            }),
+            wal: WriteAheadLog::new(),
+            signal: Mutex::new(CompactorSignal::default()),
+            signal_cv: Condvar::new(),
+            merging: AtomicBool::new(false),
+            compactions: AtomicU64::new(0),
+            config,
+        });
+        let for_worker = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("lsm-compactor".into())
+            .spawn(move || for_worker.compactor_loop())
+            .ok();
+        DatasetPartition {
+            inner,
+            worker: Mutex::new(worker),
+        }
+    }
+
+    /// Add a secondary index (normally before data arrives; existing records
+    /// are back-filled from the component snapshot by reference — no
+    /// materialized copy of the tree).
+    pub fn add_secondary(
+        &self,
+        name: impl Into<String>,
+        field: impl Into<String>,
+        kind: IndexKind,
+    ) -> IngestResult<()> {
+        let mut idx = SecondaryIndex::new(name, field, kind);
+        let mut st = self.inner.state.lock();
+        let mut backfill_err = None;
+        st.primary.for_each_live(|key, record| {
+            if backfill_err.is_none() {
+                if let Err(e) = idx.insert(key, record) {
+                    backfill_err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = backfill_err {
+            return Err(e);
+        }
+        st.secondaries.push(idx);
+        Ok(())
+    }
+
+    fn extract_key(&self, record: &AdmValue) -> IngestResult<AdmValue> {
+        record
+            .field(&self.inner.config.primary_key_field)
+            .filter(|v| !matches!(v, AdmValue::Null | AdmValue::Missing))
+            .cloned()
+            .ok_or_else(|| {
+                IngestError::soft(format!(
+                    "record lacks primary key field '{}'",
+                    self.inner.config.primary_key_field
+                ))
+            })
+    }
+
     /// Insert a record; errors (softly) on a duplicate primary key, like
     /// AsterixDB's `insert`.
     pub fn insert(&self, record: &AdmValue) -> IngestResult<()> {
         let key = self.extract_key(record)?;
-        let mut st = self.state.lock();
-        if st.primary.contains(&key) {
-            return Err(IngestError::soft(format!("duplicate primary key {key}")));
+        let needs_merge;
+        {
+            let mut st = self.inner.state.lock();
+            if st.primary.contains(&key) {
+                return Err(IngestError::soft(format!("duplicate primary key {key}")));
+            }
+            self.apply_put(&mut st, key, Arc::new(record.clone()))?;
+            needs_merge = st.primary.needs_merge();
         }
-        self.apply_put(&mut st, key, record)
+        if needs_merge {
+            self.inner.nudge_compactor();
+        }
+        Ok(())
     }
 
     /// Insert or replace a record (the feeds store path: makes at-least-once
     /// replays idempotent).
     pub fn upsert(&self, record: &AdmValue) -> IngestResult<()> {
         let key = self.extract_key(record)?;
-        let mut st = self.state.lock();
-        if let Some(old) = st.primary.get(&key) {
-            for idx in &mut st.secondaries {
-                idx.remove(&key, &old)?;
+        let needs_merge;
+        {
+            let mut st = self.inner.state.lock();
+            if let Some(old) = st.primary.get_shared(&key) {
+                for idx in &mut st.secondaries {
+                    idx.remove(&key, &old)?;
+                }
             }
+            self.apply_put(&mut st, key, Arc::new(record.clone()))?;
+            needs_merge = st.primary.needs_merge();
         }
-        self.apply_put(&mut st, key, record)
+        if needs_merge {
+            self.inner.nudge_compactor();
+        }
+        Ok(())
     }
 
     fn apply_put(
         &self,
         st: &mut PartitionState,
         key: AdmValue,
-        record: &AdmValue,
+        record: Arc<AdmValue>,
     ) -> IngestResult<()> {
-        self.spin();
+        self.inner.spin();
         // WAL first: the record is durable once logged. The by-reference
         // append encodes straight into the log's binary buffer — no deep
         // clone of the record just to build a LogOp.
-        self.wal.append_put(&key, record);
-        st.primary.put(key.clone(), record.clone());
+        self.inner.wal.append_put(&key, &record);
+        st.primary.put_shared(key.clone(), Arc::clone(&record));
         for idx in &mut st.secondaries {
-            idx.insert(&key, record)?;
+            idx.insert(&key, &record)?;
         }
         Ok(())
     }
 
+    /// Group-commit a frame's worth of strict inserts: one partition lock,
+    /// one multi-entry WAL append, one apply pass over primary + secondary
+    /// indexes. Records with a missing or duplicate primary key (already
+    /// stored, or earlier in this same batch) are reported per-index in the
+    /// outcome instead of failing the batch.
+    pub fn insert_batch(&self, records: &[Arc<AdmValue>]) -> IngestResult<BatchOutcome> {
+        self.batch_write(records, false)
+    }
+
+    /// Group-commit a frame's worth of upserts (the feeds store path): one
+    /// partition lock, one multi-entry WAL append, one apply pass. Only
+    /// records lacking a primary key fail (softly, per index).
+    pub fn upsert_batch(&self, records: &[Arc<AdmValue>]) -> IngestResult<BatchOutcome> {
+        self.batch_write(records, true)
+    }
+
+    fn batch_write(&self, records: &[Arc<AdmValue>], upsert: bool) -> IngestResult<BatchOutcome> {
+        let mut outcome = BatchOutcome::default();
+        let mut accepted: Vec<(usize, AdmValue)> = Vec::with_capacity(records.len());
+        for (i, record) in records.iter().enumerate() {
+            match self.extract_key(record) {
+                Ok(key) => accepted.push((i, key)),
+                Err(e) => outcome.soft.push((i, e)),
+            }
+        }
+        if accepted.is_empty() {
+            return Ok(outcome);
+        }
+        let needs_merge;
+        {
+            let mut st = self.inner.state.lock();
+            if !upsert {
+                // strict inserts: drop duplicates (stored or in-batch)
+                // before anything reaches the log
+                let mut in_batch: BTreeSet<crate::KeyOrd> = BTreeSet::new();
+                accepted.retain(|(i, key)| {
+                    let dup =
+                        st.primary.contains(key) || !in_batch.insert(crate::KeyOrd(key.clone()));
+                    if dup {
+                        outcome.soft.push((
+                            *i,
+                            IngestError::soft(format!("duplicate primary key {key}")),
+                        ));
+                    }
+                    !dup
+                });
+                if accepted.is_empty() {
+                    return Ok(outcome);
+                }
+            }
+            // WAL first, as one block: every record of the batch is durable
+            // — and recoverable all-or-nothing — once this returns
+            self.inner
+                .wal
+                .append_put_batch(accepted.iter().map(|(i, key)| (key, &*records[*i])));
+            for (i, key) in &accepted {
+                self.inner.spin();
+                let record = &records[*i];
+                if upsert {
+                    if let Some(old) = st.primary.get_shared(key) {
+                        for idx in &mut st.secondaries {
+                            idx.remove(key, &old)?;
+                        }
+                    }
+                }
+                st.primary.put_shared(key.clone(), Arc::clone(record));
+                for idx in &mut st.secondaries {
+                    idx.insert(key, record)?;
+                }
+                outcome.committed += 1;
+            }
+            needs_merge = st.primary.needs_merge();
+        }
+        if needs_merge {
+            self.inner.nudge_compactor();
+        }
+        Ok(outcome)
+    }
+
     /// Delete by primary key; no-op if absent.
     pub fn delete(&self, key: &AdmValue) -> IngestResult<()> {
-        let mut st = self.state.lock();
-        if let Some(old) = st.primary.get(key) {
-            self.wal.append_delete(key);
-            st.primary.delete(key.clone());
-            for idx in &mut st.secondaries {
-                idx.remove(key, &old)?;
+        let needs_merge;
+        {
+            let mut st = self.inner.state.lock();
+            match st.primary.get_shared(key) {
+                Some(old) => {
+                    self.inner.wal.append_delete(key);
+                    st.primary.delete(key.clone());
+                    for idx in &mut st.secondaries {
+                        idx.remove(key, &old)?;
+                    }
+                }
+                None => return Ok(()),
             }
+            needs_merge = st.primary.needs_merge();
+        }
+        if needs_merge {
+            self.inner.nudge_compactor();
         }
         Ok(())
     }
 
     /// Point lookup by primary key.
     pub fn get(&self, key: &AdmValue) -> Option<AdmValue> {
-        self.state.lock().primary.get(key)
+        self.inner.state.lock().primary.get(key)
     }
 
     /// All live records in key order.
     pub fn scan_all(&self) -> Vec<(AdmValue, AdmValue)> {
-        self.state.lock().primary.scan_all()
+        self.inner.state.lock().primary.scan_all()
     }
 
     /// Live record count.
     pub fn len(&self) -> usize {
-        self.state.lock().primary.live_count()
+        self.inner.state.lock().primary.live_count()
     }
 
     /// No live records?
@@ -183,7 +435,7 @@ impl DatasetPartition {
         x1: f64,
         y1: f64,
     ) -> IngestResult<Vec<AdmValue>> {
-        let st = self.state.lock();
+        let st = self.inner.state.lock();
         let idx = st
             .secondaries
             .iter()
@@ -198,7 +450,7 @@ impl DatasetPartition {
 
     /// Equality lookup through a named secondary.
     pub fn query_eq(&self, index_name: &str, value: &AdmValue) -> IngestResult<Vec<AdmValue>> {
-        let st = self.state.lock();
+        let st = self.inner.state.lock();
         let idx = st
             .secondaries
             .iter()
@@ -213,16 +465,17 @@ impl DatasetPartition {
 
     /// Log-based restart recovery (§6.2.3): rebuild the primary and all
     /// secondaries from the WAL, as a failed store node does when re-joining
-    /// the cluster.
+    /// the cluster. Batched appends replay exactly like single appends; a
+    /// torn trailing block (crash mid-append) is dropped whole.
     pub fn recover(&self) -> IngestResult<()> {
-        let records = self.wal.replay()?;
-        let mut st = self.state.lock();
+        let records = self.inner.wal.replay()?;
+        let mut st = self.inner.state.lock();
         let secondary_specs: Vec<(String, String, IndexKind)> = st
             .secondaries
             .iter()
             .map(|i| (i.name.clone(), i.field.clone(), i.kind))
             .collect();
-        st.primary = LsmTree::new(self.config.lsm.clone());
+        st.primary = LsmTree::new(self.inner.config.lsm.clone());
         st.secondaries = secondary_specs
             .into_iter()
             .map(|(n, f, k)| SecondaryIndex::new(n, f, k))
@@ -230,32 +483,89 @@ impl DatasetPartition {
         for rec in records {
             match rec.op {
                 LogOp::Put { key, value } => {
-                    if let Some(old) = st.primary.get(&key) {
+                    let value = Arc::new(value);
+                    if let Some(old) = st.primary.get_shared(&key) {
                         for idx in &mut st.secondaries {
                             idx.remove(&key, &old)?;
                         }
                     }
-                    st.primary.put(key.clone(), value.clone());
+                    st.primary.put_shared(key.clone(), Arc::clone(&value));
                     for idx in &mut st.secondaries {
                         idx.insert(&key, &value)?;
                     }
                 }
                 LogOp::Delete { key } => {
-                    if let Some(old) = st.primary.get(&key) {
+                    if let Some(old) = st.primary.get_shared(&key) {
                         for idx in &mut st.secondaries {
                             idx.remove(&key, &old)?;
                         }
+                        st.primary.delete(key);
                     }
-                    st.primary.delete(key);
                 }
             }
         }
         Ok(())
     }
 
+    /// Seal the memtable and synchronously merge all sealed components down
+    /// to one, on the calling thread (tests, checkpoints). Runs the same
+    /// snapshot/merge/install cycle as the background worker — concurrent
+    /// inserts proceed while the merge itself runs.
+    pub fn force_merge(&self) {
+        self.inner.state.lock().primary.seal();
+        loop {
+            if !self.inner.compact_once(true) {
+                // nothing left to merge, or a racing merge won — both mean
+                // the component stack is being taken care of
+                let st = self.inner.state.lock();
+                if st.primary.component_count() < 2 {
+                    return;
+                }
+                drop(st);
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Is a merge running right now (off the insert path)?
+    pub fn is_merging(&self) -> bool {
+        self.inner.merging.load(Ordering::SeqCst)
+    }
+
+    /// Completed background/forced merge cycles.
+    pub fn compactions(&self) -> u64 {
+        self.inner.compactions.load(Ordering::SeqCst)
+    }
+
+    /// Immutable components currently stacked (observability for tests).
+    pub fn component_count(&self) -> usize {
+        self.inner.state.lock().primary.component_count()
+    }
+
     /// WAL record count (observability for tests).
     pub fn wal_len(&self) -> usize {
-        self.wal.len()
+        self.inner.wal.len()
+    }
+
+    /// Multi-entry (group-commit) WAL appends so far.
+    pub fn wal_group_commits(&self) -> u64 {
+        self.inner.wal.group_commits()
+    }
+
+    /// Crash injection for recovery tests: tear `bytes` off the end of the
+    /// WAL, as a crash mid-append would.
+    pub fn corrupt_wal_tail(&self, bytes: usize) {
+        self.inner.wal.corrupt_tail(bytes);
+    }
+}
+
+impl Drop for DatasetPartition {
+    fn drop(&mut self) {
+        self.inner.signal.lock().shutdown = true;
+        self.inner.signal_cv.notify_all();
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -264,7 +574,7 @@ impl std::fmt::Debug for DatasetPartition {
         write!(
             f,
             "DatasetPartition(key='{}', {} live records)",
-            self.config.primary_key_field,
+            self.inner.config.primary_key_field,
             self.len()
         )
     }
@@ -284,6 +594,10 @@ mod tests {
             ("message_text", text.into()),
             ("location", AdmValue::Point(1.0, 2.0)),
         ])
+    }
+
+    fn arc_rec(id: &str, text: &str) -> Arc<AdmValue> {
+        Arc::new(rec(id, text))
     }
 
     #[test]
@@ -342,6 +656,103 @@ mod tests {
         assert!(p.get(&"x".into()).is_none());
         p.delete(&"x".into()).unwrap(); // no-op
         assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn insert_batch_group_commits_one_wal_block() {
+        let p = part();
+        let batch: Vec<Arc<AdmValue>> =
+            (0..5).map(|i| arc_rec(&format!("t{i}"), "hello")).collect();
+        let outcome = p.insert_batch(&batch).unwrap();
+        assert_eq!(outcome.committed, 5);
+        assert!(outcome.is_clean());
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.wal_len(), 5);
+        assert_eq!(p.wal_group_commits(), 1, "one multi-entry append");
+    }
+
+    #[test]
+    fn insert_batch_reports_duplicates_and_missing_keys_per_index() {
+        let p = part();
+        p.insert(&rec("stored", "already here")).unwrap();
+        let no_key = Arc::new(AdmValue::record(vec![("message_text", "hi".into())]));
+        let batch = vec![
+            arc_rec("a", "fresh"),        // 0: commits
+            arc_rec("stored", "dup"),     // 1: duplicate of stored record
+            no_key,                       // 2: lacks the key field
+            arc_rec("b", "fresh"),        // 3: commits
+            arc_rec("a", "in-batch dup"), // 4: duplicate within the batch
+        ];
+        let outcome = p.insert_batch(&batch).unwrap();
+        assert_eq!(outcome.committed, 2);
+        let failed: Vec<usize> = outcome.soft.iter().map(|(i, _)| *i).collect();
+        assert_eq!(
+            failed,
+            vec![2, 1, 4],
+            "missing key first, then dups in order"
+        );
+        assert!(outcome.soft.iter().all(|(_, e)| e.is_soft()));
+        // the first 'a' won; the stored record is untouched
+        assert_eq!(
+            p.get(&"a".into()).unwrap().field("message_text").unwrap(),
+            &AdmValue::string("fresh")
+        );
+        assert_eq!(
+            p.get(&"stored".into())
+                .unwrap()
+                .field("message_text")
+                .unwrap(),
+            &AdmValue::string("already here")
+        );
+        // only committed records reached the log
+        assert_eq!(p.wal_len(), 3);
+    }
+
+    #[test]
+    fn upsert_batch_applies_in_order_and_maintains_secondaries() {
+        let p = part();
+        p.add_secondary("byText", "message_text", IndexKind::BTree)
+            .unwrap();
+        let batch = vec![
+            arc_rec("x", "first"),
+            arc_rec("y", "other"),
+            arc_rec("x", "second"), // in-batch replacement: later wins
+        ];
+        let outcome = p.upsert_batch(&batch).unwrap();
+        assert_eq!(outcome.committed, 3);
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            p.get(&"x".into()).unwrap().field("message_text").unwrap(),
+            &AdmValue::string("second")
+        );
+        // the secondary tracked the replacement: "first" is gone
+        assert!(p.query_eq("byText", &"first".into()).unwrap().is_empty());
+        assert_eq!(p.query_eq("byText", &"second".into()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_and_per_record_paths_agree() {
+        let a = part();
+        let b = part();
+        let records: Vec<Arc<AdmValue>> = (0..40)
+            .map(|i| arc_rec(&format!("t{i}"), &format!("m{i}")))
+            .collect();
+        for r in &records {
+            a.upsert(r).unwrap();
+        }
+        for chunk in records.chunks(7) {
+            b.upsert_batch(chunk).unwrap();
+        }
+        assert_eq!(a.scan_all(), b.scan_all());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let p = part();
+        let outcome = p.upsert_batch(&[]).unwrap();
+        assert_eq!(outcome.committed, 0);
+        assert!(outcome.is_clean());
+        assert_eq!(p.wal_len(), 0);
     }
 
     #[test]
@@ -417,14 +828,68 @@ mod tests {
     }
 
     #[test]
-    fn query_eq_via_btree_secondary() {
+    fn recovery_covers_batched_appends() {
         let p = part();
-        p.add_secondary("byText", "message_text", IndexKind::BTree)
+        let batch: Vec<Arc<AdmValue>> = (0..10).map(|i| arc_rec(&format!("t{i}"), "v")).collect();
+        p.upsert_batch(&batch).unwrap();
+        p.delete(&"t3".into()).unwrap();
+        let before = p.scan_all();
+        p.recover().unwrap();
+        assert_eq!(p.scan_all(), before);
+        assert_eq!(p.len(), 9);
+    }
+
+    #[test]
+    fn torn_batch_recovers_all_or_nothing() {
+        let p = part();
+        p.upsert_batch(&[arc_rec("a", "1"), arc_rec("b", "2")])
             .unwrap();
-        p.insert(&rec("a", "hello")).unwrap();
-        p.insert(&rec("b", "hello")).unwrap();
-        p.insert(&rec("c", "other")).unwrap();
-        assert_eq!(p.query_eq("byText", &"hello".into()).unwrap().len(), 2);
+        p.upsert_batch(&[arc_rec("c", "3"), arc_rec("d", "4")])
+            .unwrap();
+        // crash mid-way through the second batch append
+        p.corrupt_wal_tail(1);
+        p.recover().unwrap();
+        let keys: Vec<AdmValue> = p.scan_all().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![AdmValue::string("a"), AdmValue::string("b")]);
+    }
+
+    #[test]
+    fn background_compactor_merges_sealed_components() {
+        let mut cfg = PartitionConfig::keyed_on("id");
+        cfg.lsm.memtable_budget = 8;
+        cfg.lsm.max_components = 2;
+        let p = DatasetPartition::new(cfg);
+        for i in 0..200 {
+            p.insert(&rec(&format!("t{i:03}"), "x")).unwrap();
+        }
+        // the worker should bring the stack back under the threshold
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while p.component_count() > 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            p.component_count() <= 2,
+            "compactor never caught up: {} components",
+            p.component_count()
+        );
+        assert!(p.compactions() >= 1);
+        assert_eq!(p.len(), 200, "no records lost to compaction");
+    }
+
+    #[test]
+    fn force_merge_compacts_to_one_component() {
+        let mut cfg = PartitionConfig::keyed_on("id");
+        cfg.lsm.memtable_budget = 4;
+        cfg.lsm.max_components = 100; // high threshold: worker stays idle
+        let p = DatasetPartition::new(cfg);
+        for i in 0..40 {
+            p.insert(&rec(&format!("t{i:02}"), "x")).unwrap();
+        }
+        assert!(p.component_count() > 1);
+        p.force_merge();
+        assert_eq!(p.component_count(), 1);
+        assert_eq!(p.len(), 40);
+        assert!(p.compactions() >= 1);
     }
 
     #[test]

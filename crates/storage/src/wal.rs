@@ -1,4 +1,4 @@
-//! Write-ahead logging and restart recovery.
+//! Write-ahead logging, group commit, and restart recovery.
 //!
 //! "The insert of a record into the primary and any secondary indexes uses
 //! write-ahead logging and offers record-level ACID semantics" (§5.3.1). A
@@ -6,16 +6,28 @@
 //! (§5.6: "subsequent to persisting a record (log record has been written to
 //! the local disk)") — once its log record is appended.
 //!
-//! The log lives in memory (the simulation's "local disk"): entries are
-//! serialized with the compact binary ADM codec ([`asterix_adm::binary`]) on
-//! append and decoded on replay, so recovery exercises the real
-//! encode/decode path without the cost of printing and re-parsing text. A
-//! crashed node's partition can be rebuilt by replaying its log
-//! ([`WriteAheadLog::replay`]), which is how a store node re-joins the
-//! cluster "after log-based recovery" (§6.2.3).
+//! The log lives in memory (the simulation's "local disk") as a sequence of
+//! *blocks*, each block being one physical append: a single-record append
+//! produces a one-entry block, while the store operator's frame-granular
+//! path group-commits a whole frame as one multi-entry block
+//! ([`WriteAheadLog::append_put_batch`]) — one buffer, one lock
+//! acquisition, one contiguous LSN range. Entries are serialized with the
+//! compact binary ADM codec ([`asterix_adm::binary`]) on append and decoded
+//! on replay, so recovery exercises the real encode/decode path without the
+//! cost of printing and re-parsing text.
 //!
-//! Entry layout: `[lsn: u64 LE][op: u8 (1 = put, 2 = delete)][key: binary
-//! ADM][value: binary ADM, put only]`.
+//! A crashed node's partition can be rebuilt by replaying its log
+//! ([`WriteAheadLog::replay`]), which is how a store node re-joins the
+//! cluster "after log-based recovery" (§6.2.3). Replay is torn-tail
+//! tolerant: a block whose trailing bytes never made it to "disk" (crash
+//! mid-append, injectable with [`WriteAheadLog::corrupt_tail`]) is
+//! discarded *whole*, so a group-committed frame is recovered
+//! all-or-nothing and every fully-appended block survives exactly.
+//!
+//! Physical layout, per block:
+//! `[body_len: u32 LE][entry_count: u32 LE][entry]*`, where each entry is
+//! `[entry_len: u32 LE][lsn: u64 LE][op: u8 (1 = put, 2 = delete)][key:
+//! binary ADM][value: binary ADM, put only]`.
 
 use asterix_adm::binary::{decode_prefix, encode_into};
 use asterix_adm::AdmValue;
@@ -24,6 +36,8 @@ use parking_lot::Mutex;
 
 const OP_PUT: u8 = 1;
 const OP_DELETE: u8 = 2;
+const BLOCK_HEADER: usize = 8;
+const ENTRY_HEADER: usize = 4;
 
 /// The logged operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,15 +65,25 @@ pub struct LogRecord {
     pub op: LogOp,
 }
 
-fn encode_entry(lsn: u64, op: u8, key: &AdmValue, value: Option<&AdmValue>) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(64);
+/// Append one entry (`[entry_len][lsn][op][key][value?]`) to `buf`.
+fn encode_entry_into(
+    buf: &mut Vec<u8>,
+    lsn: u64,
+    op: u8,
+    key: &AdmValue,
+    value: Option<&AdmValue>,
+) {
+    let len_at = buf.len();
+    buf.extend_from_slice(&[0u8; ENTRY_HEADER]);
+    let body_at = buf.len();
     buf.extend_from_slice(&lsn.to_le_bytes());
     buf.push(op);
-    encode_into(key, &mut buf);
+    encode_into(key, buf);
     if let Some(v) = value {
-        encode_into(v, &mut buf);
+        encode_into(v, buf);
     }
-    buf
+    let body_len = (buf.len() - body_at) as u32;
+    buf[len_at..len_at + ENTRY_HEADER].copy_from_slice(&body_len.to_le_bytes());
 }
 
 impl LogRecord {
@@ -91,7 +115,7 @@ impl LogRecord {
         Ok(LogRecord { lsn, op })
     }
 
-    /// The LSN of a raw entry, without decoding the payload.
+    /// The LSN of a raw entry body, without decoding the payload.
     fn entry_lsn(entry: &[u8]) -> IngestResult<u64> {
         if entry.len() < 8 {
             return Err(IngestError::Storage("log record truncated".into()));
@@ -100,13 +124,76 @@ impl LogRecord {
     }
 }
 
-#[derive(Debug, Default)]
-struct LogState {
-    entries: Vec<Vec<u8>>,
-    next_lsn: u64,
+/// One physical append: header + one or more entries in a single buffer.
+#[derive(Debug)]
+struct LogBlock {
+    buf: Vec<u8>,
 }
 
-/// An append-only write-ahead log.
+impl LogBlock {
+    /// Start a block buffer; entry count is backpatched by `finish`.
+    fn begin() -> Vec<u8> {
+        vec![0u8; BLOCK_HEADER]
+    }
+
+    /// Backpatch the header once `entries` entries were encoded into `buf`.
+    fn finish(mut buf: Vec<u8>, entries: u32) -> LogBlock {
+        let body_len = (buf.len() - BLOCK_HEADER) as u32;
+        buf[0..4].copy_from_slice(&body_len.to_le_bytes());
+        buf[4..8].copy_from_slice(&entries.to_le_bytes());
+        LogBlock { buf }
+    }
+
+    /// Whether the block's bytes are complete (header present and the whole
+    /// declared body on "disk"). A torn block is one cut short by a crash
+    /// mid-append.
+    fn is_complete(&self) -> bool {
+        if self.buf.len() < BLOCK_HEADER {
+            return false;
+        }
+        let body_len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize;
+        self.buf.len() >= BLOCK_HEADER + body_len
+    }
+
+    fn entry_count(&self) -> usize {
+        if self.buf.len() < BLOCK_HEADER {
+            return 0;
+        }
+        u32::from_le_bytes(self.buf[4..8].try_into().unwrap()) as usize
+    }
+
+    /// Visit each entry body (`[lsn][op][payload]`) in the block.
+    fn for_each_entry(&self, mut f: impl FnMut(&[u8]) -> IngestResult<()>) -> IngestResult<()> {
+        let mut rest = &self.buf[BLOCK_HEADER..];
+        for _ in 0..self.entry_count() {
+            if rest.len() < ENTRY_HEADER {
+                return Err(IngestError::Storage(
+                    "log block entry header cut short".into(),
+                ));
+            }
+            let len = u32::from_le_bytes(rest[..ENTRY_HEADER].try_into().unwrap()) as usize;
+            rest = &rest[ENTRY_HEADER..];
+            if rest.len() < len {
+                return Err(IngestError::Storage(
+                    "log block entry body cut short".into(),
+                ));
+            }
+            f(&rest[..len])?;
+            rest = &rest[len..];
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct LogState {
+    blocks: Vec<LogBlock>,
+    entry_count: usize,
+    next_lsn: u64,
+    group_commits: u64,
+}
+
+/// An append-only, group-commit-capable write-ahead log.
 #[derive(Debug, Default)]
 pub struct WriteAheadLog {
     state: Mutex<LogState>,
@@ -130,26 +217,57 @@ impl WriteAheadLog {
     /// Log a put by reference — encodes straight from the caller's values,
     /// with no intermediate clone of key or record.
     pub fn append_put(&self, key: &AdmValue, value: &AdmValue) -> u64 {
-        self.append_encoded(|lsn| encode_entry(lsn, OP_PUT, key, Some(value)))
+        self.append_one(OP_PUT, key, Some(value))
     }
 
     /// Log a delete by reference.
     pub fn append_delete(&self, key: &AdmValue) -> u64 {
-        self.append_encoded(|lsn| encode_entry(lsn, OP_DELETE, key, None))
+        self.append_one(OP_DELETE, key, None)
     }
 
-    fn append_encoded(&self, encode: impl FnOnce(u64) -> Vec<u8>) -> u64 {
+    fn append_one(&self, op: u8, key: &AdmValue, value: Option<&AdmValue>) -> u64 {
         let mut st = self.state.lock();
         let lsn = st.next_lsn;
         st.next_lsn += 1;
-        let entry = encode(lsn);
-        st.entries.push(entry);
+        let mut buf = LogBlock::begin();
+        encode_entry_into(&mut buf, lsn, op, key, value);
+        st.blocks.push(LogBlock::finish(buf, 1));
+        st.entry_count += 1;
         lsn
     }
 
-    /// Number of log records.
+    /// Group-commit a frame's worth of puts as one multi-entry block: a
+    /// single lock acquisition, a single buffer, and one contiguous LSN
+    /// range `(first, last)`. Returns `None` for an empty batch (nothing is
+    /// appended).
+    ///
+    /// Atomicity is block-granular: replay after a crash recovers either the
+    /// whole batch or none of it (see [`WriteAheadLog::replay`]).
+    pub fn append_put_batch<'a, I>(&self, puts: I) -> Option<(u64, u64)>
+    where
+        I: IntoIterator<Item = (&'a AdmValue, &'a AdmValue)>,
+    {
+        let mut st = self.state.lock();
+        let first = st.next_lsn;
+        let mut buf = LogBlock::begin();
+        let mut n = 0u32;
+        for (key, value) in puts {
+            encode_entry_into(&mut buf, first + n as u64, OP_PUT, key, Some(value));
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        st.next_lsn = first + n as u64;
+        st.blocks.push(LogBlock::finish(buf, n));
+        st.entry_count += n as usize;
+        st.group_commits += 1;
+        Some((first, first + n as u64 - 1))
+    }
+
+    /// Number of log records (entries, across all blocks).
     pub fn len(&self) -> usize {
-        self.state.lock().entries.len()
+        self.state.lock().entry_count
     }
 
     /// Is the log empty?
@@ -157,33 +275,94 @@ impl WriteAheadLog {
         self.len() == 0
     }
 
-    /// Decode the whole log in LSN order (restart recovery input).
-    pub fn replay(&self) -> IngestResult<Vec<LogRecord>> {
-        self.state
-            .lock()
-            .entries
-            .iter()
-            .map(|e| LogRecord::decode(e))
-            .collect()
+    /// Lifetime count of multi-entry (group-commit) appends.
+    pub fn group_commits(&self) -> u64 {
+        self.state.lock().group_commits
     }
 
-    /// Truncate the log up to and including `lsn` (checkpointing). Only the
-    /// fixed-width LSN header is read; payloads are not decoded.
+    /// Decode the whole log in LSN order (restart recovery input).
+    ///
+    /// A torn *final* block — a crash cut the append short — is skipped
+    /// whole, so a group-committed batch recovers all-or-nothing. A torn or
+    /// malformed block anywhere else is real corruption and errors.
+    pub fn replay(&self) -> IngestResult<Vec<LogRecord>> {
+        let st = self.state.lock();
+        let mut out = Vec::with_capacity(st.entry_count);
+        for (i, block) in st.blocks.iter().enumerate() {
+            if !block.is_complete() {
+                if i + 1 == st.blocks.len() {
+                    break; // torn tail: the in-flight append never committed
+                }
+                return Err(IngestError::Storage(
+                    "torn log block before end of log".into(),
+                ));
+            }
+            block.for_each_entry(|entry| {
+                out.push(LogRecord::decode(entry)?);
+                Ok(())
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// Truncate the log up to and including `lsn` (checkpointing). Surviving
+    /// entries are repacked; only the fixed-width LSN header of each entry
+    /// is read — payloads are not decoded.
     pub fn truncate_through(&self, lsn: u64) -> IngestResult<()> {
         let mut st = self.state.lock();
-        let mut keep = Vec::new();
-        for e in &st.entries {
-            if LogRecord::entry_lsn(e)? > lsn {
-                keep.push(e.clone());
+        let mut buf = LogBlock::begin();
+        let mut kept = 0u32;
+        for block in &st.blocks {
+            if !block.is_complete() {
+                continue;
             }
+            block.for_each_entry(|entry| {
+                if LogRecord::entry_lsn(entry)? > lsn {
+                    buf.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(entry);
+                    kept += 1;
+                }
+                Ok(())
+            })?;
         }
-        st.entries = keep;
+        st.blocks = if kept == 0 {
+            Vec::new()
+        } else {
+            vec![LogBlock::finish(buf, kept)]
+        };
+        st.entry_count = kept as usize;
         Ok(())
     }
 
-    /// Total bytes in the log (spill/size accounting).
+    /// Total bytes in the log (spill/size accounting), headers included —
+    /// the length of the simulated on-disk file.
     pub fn size_bytes(&self) -> usize {
-        self.state.lock().entries.iter().map(|e| e.len()).sum()
+        self.state.lock().blocks.iter().map(|b| b.buf.len()).sum()
+    }
+
+    /// Crash injection: tear `bytes` off the end of the simulated log file,
+    /// as an interrupted append would. Tearing into a block leaves it
+    /// incomplete, so [`WriteAheadLog::replay`] discards that block whole;
+    /// tearing past a block boundary removes trailing blocks entirely.
+    pub fn corrupt_tail(&self, mut bytes: usize) {
+        let mut st = self.state.lock();
+        while bytes > 0 {
+            let Some(last) = st.blocks.last_mut() else {
+                break;
+            };
+            let cut = bytes.min(last.buf.len());
+            last.buf.truncate(last.buf.len() - cut);
+            bytes -= cut;
+            if last.buf.is_empty() {
+                st.blocks.pop();
+            }
+        }
+        st.entry_count = st
+            .blocks
+            .iter()
+            .filter(|b| b.is_complete())
+            .map(|b| b.entry_count())
+            .sum();
     }
 }
 
@@ -196,6 +375,10 @@ mod tests {
             key: AdmValue::Int(i),
             value: AdmValue::record(vec![("id", AdmValue::Int(i)), ("x", "data".into())]),
         }
+    }
+
+    fn recval(i: i64) -> AdmValue {
+        AdmValue::record(vec![("id", AdmValue::Int(i)), ("x", "data".into())])
     }
 
     #[test]
@@ -243,6 +426,35 @@ mod tests {
     }
 
     #[test]
+    fn batch_append_matches_single_appends_and_spans_one_lsn_range() {
+        let singles = WriteAheadLog::new();
+        let batched = WriteAheadLog::new();
+        let pairs: Vec<(AdmValue, AdmValue)> =
+            (0..5).map(|i| (AdmValue::Int(i), recval(i))).collect();
+        for (k, v) in &pairs {
+            singles.append_put(k, v);
+        }
+        let range = batched
+            .append_put_batch(pairs.iter().map(|(k, v)| (k, v)))
+            .unwrap();
+        assert_eq!(range, (0, 4));
+        assert_eq!(singles.replay().unwrap(), batched.replay().unwrap());
+        assert_eq!(batched.group_commits(), 1);
+        assert_eq!(singles.group_commits(), 0);
+        // next append continues the LSN sequence
+        assert_eq!(batched.append_put(&AdmValue::Int(9), &recval(9)), 5);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let wal = WriteAheadLog::new();
+        assert_eq!(wal.append_put_batch(std::iter::empty()), None);
+        assert!(wal.is_empty());
+        assert_eq!(wal.size_bytes(), 0);
+        assert_eq!(wal.group_commits(), 0);
+    }
+
+    #[test]
     fn replay_preserves_nested_values() {
         let wal = WriteAheadLog::new();
         let value = AdmValue::record(vec![
@@ -264,13 +476,19 @@ mod tests {
     #[test]
     fn truncate_through_drops_prefix() {
         let wal = WriteAheadLog::new();
-        for i in 0..5 {
+        for i in 0..3 {
             wal.append(putop(i));
         }
+        wal.append_put_batch([
+            (&AdmValue::Int(3), &recval(3)),
+            (&AdmValue::Int(4), &recval(4)),
+        ])
+        .unwrap();
         wal.truncate_through(2).unwrap();
         let recs = wal.replay().unwrap();
         let lsns: Vec<u64> = recs.iter().map(|r| r.lsn).collect();
         assert_eq!(lsns, vec![3, 4]);
+        assert_eq!(wal.len(), 2);
     }
 
     #[test]
@@ -283,6 +501,37 @@ mod tests {
     }
 
     #[test]
+    fn torn_tail_discards_only_the_final_block() {
+        let wal = WriteAheadLog::new();
+        wal.append(putop(1));
+        let committed = wal.size_bytes();
+        wal.append_put_batch([
+            (&AdmValue::Int(2), &recval(2)),
+            (&AdmValue::Int(3), &recval(3)),
+        ])
+        .unwrap();
+        let torn = wal.size_bytes() - committed;
+        // tear one byte: the whole trailing batch must vanish, atomically
+        wal.corrupt_tail(1);
+        let recs = wal.replay().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].lsn, 0);
+        assert_eq!(wal.len(), 1);
+        // tearing the rest of the batch block leaves the first block intact
+        wal.corrupt_tail(torn - 1);
+        assert_eq!(wal.replay().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn torn_everything_replays_empty() {
+        let wal = WriteAheadLog::new();
+        wal.append(putop(1));
+        wal.corrupt_tail(usize::MAX);
+        assert!(wal.replay().unwrap().is_empty());
+        assert_eq!(wal.size_bytes(), 0);
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         // too short for the lsn+op header
         assert!(LogRecord::decode(b"short").is_err());
@@ -292,12 +541,14 @@ mod tests {
         bad_op.extend_from_slice(&asterix_adm::encode_value(&AdmValue::Int(1)));
         assert!(LogRecord::decode(&bad_op).is_err());
         // put missing its value
-        let missing_value = encode_entry(1, OP_PUT, &AdmValue::Int(1), None);
-        assert!(LogRecord::decode(&missing_value).is_err());
+        let mut missing_value = Vec::new();
+        encode_entry_into(&mut missing_value, 1, OP_PUT, &AdmValue::Int(1), None);
+        assert!(LogRecord::decode(&missing_value[ENTRY_HEADER..]).is_err());
         // delete with trailing bytes
-        let mut trailing = encode_entry(1, OP_DELETE, &AdmValue::Int(1), None);
+        let mut trailing = Vec::new();
+        encode_entry_into(&mut trailing, 1, OP_DELETE, &AdmValue::Int(1), None);
         trailing.push(0);
-        assert!(LogRecord::decode(&trailing).is_err());
+        assert!(LogRecord::decode(&trailing[ENTRY_HEADER..]).is_err());
         // corrupted key payload
         let mut bad_key = 1u64.to_le_bytes().to_vec();
         bad_key.push(OP_DELETE);
