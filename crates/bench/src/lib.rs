@@ -11,6 +11,7 @@
 //! | `exp_fig_5_13` | Fig 5.13 (+ Table 5.2) — cascade vs independent network |
 //! | `exp_fig_5_16` | Figs 5.14/5.16 — scalability with cluster size |
 //! | `exp_fig_6_5` | Fig 6.5 — throughput under interim hardware failures |
+//! | `exp_chaos_recovery` | Fig 6.5 again, driven by a seeded `FaultPlan` (replayable chaos) |
 //! | `exp_fig_7_2` | Figs 7.2/7.8 — square-wave arrival pattern |
 //! | `exp_fig_7_policies` | Figs 7.3–7.7 — ingestion policies under overload |
 //! | `exp_fig_7_9_10` | Figs 7.9/7.10 — Discard vs Throttle persisted-id pattern |

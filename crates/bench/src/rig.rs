@@ -2,8 +2,8 @@
 //! with helpers for the setups the paper's experiments repeat.
 
 use asterix_adm::types::paper_registry;
-use asterix_common::{NodeId, SimClock, SimDuration};
-use asterix_feeds::adaptor::AdaptorConfig;
+use asterix_common::{FaultPlan, NodeId, SimClock, SimDuration};
+use asterix_feeds::adaptor::{AdaptorConfig, ChaosAdaptorFactory, TweetGenAdaptorFactory};
 use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
 use asterix_feeds::controller::{ControllerConfig, FeedController};
 use asterix_hyracks::cluster::{Cluster, ClusterConfig};
@@ -128,6 +128,32 @@ impl ExperimentRig {
                 udf: udf.map(str::to_string),
             })
             .expect("create feed");
+    }
+
+    /// Define a primary feed whose TweetGen adaptor is wrapped in the
+    /// fault-injection rig: the plan's record counter ticks on every emitted
+    /// record, and scheduled adaptor disconnects sever the source (chaos
+    /// experiments). Node kills/revives still need [`Cluster::arm_fault_plan`]
+    /// and operator panics `ControllerConfig::fault_plan`.
+    pub fn chaos_primary_feed(&self, name: &str, datasource: &str, plan: &Arc<FaultPlan>) {
+        self.catalog
+            .adaptors()
+            .register(Arc::new(ChaosAdaptorFactory::new(
+                Arc::new(TweetGenAdaptorFactory),
+                Arc::clone(plan),
+            )));
+        let mut config = AdaptorConfig::new();
+        config.insert("datasource".into(), datasource.into());
+        self.catalog
+            .create_feed(FeedDef {
+                name: name.into(),
+                kind: FeedKind::Primary {
+                    adaptor: "chaos:TweetGenAdaptor".into(),
+                    config,
+                },
+                udf: None,
+            })
+            .expect("create chaos feed");
     }
 
     /// Define a secondary feed.

@@ -1,0 +1,440 @@
+//! Seeded deterministic fault injection (§6, Fig 6.5).
+//!
+//! Chapter 6's contribution is that a feed *survives* failures: soft,
+//! per-record exceptions are swallowed by the MetaFeed sandbox and hard
+//! failures (a node dying mid-ingestion) are healed by moving the dead
+//! operators elsewhere and adopting their parked state. None of that
+//! machinery is exercised unless something actually breaks, so this module
+//! provides the breakage — on a schedule.
+//!
+//! A [`FaultPlan`] is generated from a single RNG seed and a
+//! [`FaultPlanConfig`] describing *how much* chaos to schedule. The plan is
+//! a sorted list of [`FaultEvent`]s, each anchored to a **record count**
+//! rather than a wall-clock instant: "kill node 3 after the 12_000th record
+//! enters the pipeline". Anchoring to record counts is what makes runs
+//! replayable — two runs with the same seed see the same schedule
+//! regardless of scheduler jitter, and [`FaultPlan::describe`] renders the
+//! schedule as a canonical string so tests can assert byte-equality.
+//!
+//! The plan is shared (behind an `Arc`) between the layers that inject the
+//! faults: the adaptor ticks [`FaultPlan::tick_records`] as records are
+//! emitted, the cluster polls for due node events, the intake operator
+//! checks for operator panics, and the WAL applies torn tails. Each event
+//! fires exactly once (claimed by compare-and-swap), no matter how many
+//! threads poll.
+
+use crate::ids::NodeId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Hard-kill a node (heartbeats stop, operators on it die) — §6.2.2.
+    KillNode(NodeId),
+    /// Bring a previously killed node back so it can rejoin the cluster.
+    ReviveNode(NodeId),
+    /// Sever the external data source: the adaptor stops emitting, as if
+    /// the remote endpoint closed the socket (§6.1 soft-ish failure).
+    AdaptorDisconnect,
+    /// Panic inside a running feed operator (runtime exception that is
+    /// *not* a per-record soft failure) — §6.2.3.
+    OperatorPanic,
+    /// Tear the trailing `bytes` off a WAL before recovery, simulating a
+    /// crash mid-write. Recovery must drop the torn block whole.
+    TearWalTail {
+        /// How many trailing bytes to destroy.
+        bytes: usize,
+    },
+}
+
+impl FaultKind {
+    /// Event handled by the cluster layer (kill / revive).
+    pub fn is_node_event(&self) -> bool {
+        matches!(self, FaultKind::KillNode(_) | FaultKind::ReviveNode(_))
+    }
+
+    /// Event handled by the adaptor wrapper.
+    pub fn is_adaptor_event(&self) -> bool {
+        matches!(self, FaultKind::AdaptorDisconnect)
+    }
+
+    /// Event handled inside a feed operator.
+    pub fn is_operator_event(&self) -> bool {
+        matches!(self, FaultKind::OperatorPanic)
+    }
+
+    /// Event handled by the storage/WAL layer.
+    pub fn is_wal_event(&self) -> bool {
+        matches!(self, FaultKind::TearWalTail { .. })
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::KillNode(n) => write!(f, "kill-node({})", n.raw()),
+            FaultKind::ReviveNode(n) => write!(f, "revive-node({})", n.raw()),
+            FaultKind::AdaptorDisconnect => write!(f, "adaptor-disconnect"),
+            FaultKind::OperatorPanic => write!(f, "operator-panic"),
+            FaultKind::TearWalTail { bytes } => write!(f, "tear-wal-tail({bytes})"),
+        }
+    }
+}
+
+/// A failure scheduled at a precise point in the record stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The event becomes due once this many records have entered the
+    /// pipeline (see [`FaultPlan::tick_records`]).
+    pub at_record: u64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// Knobs for [`FaultPlan::generate`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanConfig {
+    /// Number of nodes in the cluster (ids `0..nodes`).
+    pub nodes: u64,
+    /// The first `protected_nodes` node ids are never kill victims. The
+    /// chaos harness protects the intake/collect node: losing the node
+    /// that talks to the external source is unrecoverable without source
+    /// replay, which the paper does not claim (§6.2.2).
+    pub protected_nodes: u64,
+    /// Events are scheduled in `1..=horizon_records`.
+    pub horizon_records: u64,
+    /// How many kill/rejoin pairs to schedule.
+    pub node_kills: usize,
+    /// How many adaptor disconnects to schedule (usually 0 or 1 — the
+    /// adaptor stops for good).
+    pub adaptor_disconnects: usize,
+    /// How many operator panics to schedule.
+    pub operator_panics: usize,
+    /// How many torn WAL tails to schedule.
+    pub wal_tears: usize,
+    /// A killed node's revive event fires this many records after its kill.
+    pub rejoin_delay_records: u64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> FaultPlanConfig {
+        FaultPlanConfig {
+            nodes: 4,
+            protected_nodes: 1,
+            horizon_records: 10_000,
+            node_kills: 1,
+            adaptor_disconnects: 0,
+            operator_panics: 0,
+            wal_tears: 0,
+            rejoin_delay_records: 2_000,
+        }
+    }
+}
+
+/// xorshift64* seeded through splitmix64 — self-contained so the plan does
+/// not pull an RNG dependency into `asterix-common`. Deterministic across
+/// platforms: only `u64` wrapping arithmetic.
+struct PlanRng(u64);
+
+impl PlanRng {
+    fn new(seed: u64) -> PlanRng {
+        // splitmix64 step so that small / adjacent seeds still diverge
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        PlanRng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`; `hi > lo`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// A replayable schedule of injected failures plus the shared record
+/// counter that drives it. See the module docs for the wiring.
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+    records: AtomicU64,
+    fired: Vec<AtomicBool>,
+}
+
+impl FaultPlan {
+    /// Generate a schedule from `seed`. The same `(seed, cfg)` pair always
+    /// yields the same schedule.
+    pub fn generate(seed: u64, cfg: &FaultPlanConfig) -> FaultPlan {
+        assert!(cfg.horizon_records >= 2, "horizon too small to schedule");
+        let mut rng = PlanRng::new(seed);
+        let mut events = Vec::new();
+        // Kills land in the first half of the horizon so the rejoin and the
+        // recovery it triggers still happen inside the run.
+        let kill_hi = (cfg.horizon_records / 2).max(2);
+        for _ in 0..cfg.node_kills {
+            assert!(
+                cfg.nodes > cfg.protected_nodes,
+                "no unprotected nodes to kill"
+            );
+            let victim = NodeId(rng.range(cfg.protected_nodes, cfg.nodes));
+            let at = rng.range(1, kill_hi);
+            events.push(FaultEvent {
+                at_record: at,
+                kind: FaultKind::KillNode(victim),
+            });
+            events.push(FaultEvent {
+                at_record: at + cfg.rejoin_delay_records,
+                kind: FaultKind::ReviveNode(victim),
+            });
+        }
+        for _ in 0..cfg.adaptor_disconnects {
+            events.push(FaultEvent {
+                at_record: rng.range(1, cfg.horizon_records),
+                kind: FaultKind::AdaptorDisconnect,
+            });
+        }
+        for _ in 0..cfg.operator_panics {
+            events.push(FaultEvent {
+                at_record: rng.range(1, kill_hi),
+                kind: FaultKind::OperatorPanic,
+            });
+        }
+        for _ in 0..cfg.wal_tears {
+            events.push(FaultEvent {
+                at_record: rng.range(1, cfg.horizon_records),
+                kind: FaultKind::TearWalTail {
+                    bytes: rng.range(1, 256) as usize,
+                },
+            });
+        }
+        FaultPlan::from_events(seed, events)
+    }
+
+    /// Build a plan from an explicit event list (tests, hand-written
+    /// scenarios). Events are sorted by `at_record`.
+    pub fn from_events(seed: u64, mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.at_record);
+        let fired = (0..events.len()).map(|_| AtomicBool::new(false)).collect();
+        FaultPlan {
+            seed,
+            events,
+            records: AtomicU64::new(0),
+            fired,
+        }
+    }
+
+    /// The seed the plan was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The full schedule, sorted by trigger point.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Advance the shared record counter by `n` (the adaptor calls this as
+    /// it emits) and return the new total.
+    pub fn tick_records(&self, n: u64) -> u64 {
+        self.records.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Records counted so far.
+    pub fn records_seen(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Claim every due, unfired event matching `filter`. Each event is
+    /// returned exactly once across all callers (compare-and-swap on a
+    /// per-event flag), so concurrent pollers never double-fire.
+    pub fn take_due(&self, filter: impl Fn(&FaultKind) -> bool) -> Vec<FaultEvent> {
+        let seen = self.records_seen();
+        let mut due = Vec::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.at_record > seen {
+                break; // sorted: nothing later is due either
+            }
+            if !filter(&ev.kind) {
+                continue;
+            }
+            if self.fired[i]
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                due.push(*ev);
+            }
+        }
+        due
+    }
+
+    /// Events not yet claimed (due or not).
+    pub fn unfired_count(&self) -> usize {
+        self.fired
+            .iter()
+            .filter(|f| !f.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Canonical one-line-per-event rendering of the schedule. Two plans
+    /// from the same seed and config produce byte-identical output — the
+    /// replayability tests assert on this.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("fault-plan seed={:#018x}\n", self.seed);
+        for ev in &self.events {
+            let _ = writeln!(out, "  at_record={:>8} {}", ev.at_record, ev.kind);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FaultPlan(seed={:#x}, {} events, {} records seen)",
+            self.seed,
+            self.events.len(),
+            self.records_seen()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultPlanConfig {
+            node_kills: 2,
+            adaptor_disconnects: 1,
+            operator_panics: 1,
+            wal_tears: 1,
+            ..FaultPlanConfig::default()
+        };
+        let a = FaultPlan::generate(42, &cfg);
+        let b = FaultPlan::generate(42, &cfg);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let cfg = FaultPlanConfig {
+            node_kills: 2,
+            ..FaultPlanConfig::default()
+        };
+        let a = FaultPlan::generate(1, &cfg);
+        let b = FaultPlan::generate(2, &cfg);
+        assert_ne!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn kills_spare_protected_nodes_and_get_rejoins() {
+        let cfg = FaultPlanConfig {
+            nodes: 6,
+            protected_nodes: 2,
+            node_kills: 4,
+            ..FaultPlanConfig::default()
+        };
+        for seed in 0..20 {
+            let plan = FaultPlan::generate(seed, &cfg);
+            let mut kills = 0;
+            for ev in plan.events() {
+                match ev.kind {
+                    FaultKind::KillNode(n) => {
+                        assert!(n.raw() >= 2, "protected node killed: {n}");
+                        kills += 1;
+                        // its revive must exist, later
+                        assert!(plan
+                            .events()
+                            .iter()
+                            .any(|r| r.kind == FaultKind::ReviveNode(n)
+                                && r.at_record > ev.at_record));
+                    }
+                    FaultKind::ReviveNode(n) => assert!(n.raw() >= 2),
+                    _ => {}
+                }
+            }
+            assert_eq!(kills, 4);
+        }
+    }
+
+    #[test]
+    fn events_fire_exactly_once_when_due() {
+        let plan = FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent {
+                    at_record: 10,
+                    kind: FaultKind::KillNode(NodeId(1)),
+                },
+                FaultEvent {
+                    at_record: 20,
+                    kind: FaultKind::OperatorPanic,
+                },
+            ],
+        );
+        assert!(plan.take_due(|_| true).is_empty(), "nothing due at 0");
+        plan.tick_records(10);
+        let due = plan.take_due(FaultKind::is_node_event);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::KillNode(NodeId(1)));
+        assert!(plan.take_due(FaultKind::is_node_event).is_empty(), "fired");
+        plan.tick_records(15);
+        // the panic is due but a node-event filter must not claim it
+        assert!(plan.take_due(FaultKind::is_node_event).is_empty());
+        let due = plan.take_due(FaultKind::is_operator_event);
+        assert_eq!(due.len(), 1);
+        assert_eq!(plan.unfired_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_pollers_never_double_fire() {
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::from_events(
+            0,
+            (1..=64)
+                .map(|i| FaultEvent {
+                    at_record: i,
+                    kind: FaultKind::OperatorPanic,
+                })
+                .collect(),
+        ));
+        plan.tick_records(100);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&plan);
+            handles.push(std::thread::spawn(move || p.take_due(|_| true).len()));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn schedule_respects_horizon() {
+        let cfg = FaultPlanConfig {
+            horizon_records: 1_000,
+            node_kills: 3,
+            adaptor_disconnects: 1,
+            operator_panics: 2,
+            wal_tears: 2,
+            rejoin_delay_records: 100,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(7, &cfg);
+        for ev in plan.events() {
+            assert!(ev.at_record <= 1_100, "event beyond horizon: {ev:?}");
+            assert!(ev.at_record >= 1);
+        }
+    }
+}

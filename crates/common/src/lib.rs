@@ -18,15 +18,19 @@
 //!   between operators (Hyracks §3.2.2).
 //! * [`meter`] — instantaneous-throughput meters used to produce the paper's
 //!   timeline figures.
+//! * [`fault`] — the seeded deterministic fault-injection plan used by the
+//!   chaos harness to provoke §6 failure scenarios reproducibly.
 
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod ids;
 pub mod meter;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use error::{IngestError, IngestResult, SoftError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use frame::{DataFrame, FrameBuilder, Record, RecordPayload, DEFAULT_FRAME_CAPACITY};
 pub use ids::{FeedId, JobId, NodeId, OperatorId, RecordId};
 pub use meter::{RateMeter, ThroughputSeries};

@@ -177,6 +177,16 @@ impl AckTracker {
         due
     }
 
+    /// Take every record still awaiting an ack, clearing the tracker. Used
+    /// when an intake instance dies hard: the unacked in-flight records are
+    /// parked with the zombie state so the successor can re-emit them,
+    /// closing the at-least-once window for records that were sitting in
+    /// the hand-off queue when the node went down (§6.2.2).
+    pub fn drain_pending(&self) -> Vec<Record> {
+        let mut pending = self.pending.lock();
+        pending.drain().map(|(_, p)| p.record).collect()
+    }
+
     /// Records still awaiting acks.
     pub fn pending_count(&self) -> usize {
         self.pending.lock().len()
@@ -266,6 +276,24 @@ mod tests {
         c.sleep(SimDuration::from_millis(600));
         assert_eq!(t.due_replays().len(), 1);
         assert_eq!(t.replay_count(), 2);
+    }
+
+    #[test]
+    fn drain_pending_takes_unacked_records() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let t = AckTracker::new(0, rx, SimDuration::from_secs(1), clock());
+        let a = t.track(&rec("a"));
+        let b = t.track(&rec("b"));
+        tx.send(AckBatch {
+            source: 0,
+            ids: vec![a.id],
+        })
+        .unwrap();
+        t.process_acks();
+        let drained = t.drain_pending();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id, b.id);
+        assert_eq!(t.pending_count(), 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //!   batch inserts against feed ingestion.
 
 use asterix_adm::{parse_value, payload_from_value};
-use asterix_common::{IngestError, IngestResult, Record, SimClock};
+use asterix_common::{FaultKind, FaultPlan, IngestError, IngestResult, Record, SimClock};
 use asterix_hyracks::job::Constraint;
 use asterix_hyracks::operator::StopToken;
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
@@ -328,6 +328,82 @@ impl FeedAdaptor for FileAdaptor {
 }
 
 // ---------------------------------------------------------------------------
+// Chaos wrapper
+// ---------------------------------------------------------------------------
+
+/// Decorator installing a [`FaultPlan`] around any adaptor: every emitted
+/// record advances the plan's shared record counter (the clock the whole
+/// chaos schedule runs on), and a due [`FaultKind::AdaptorDisconnect`]
+/// makes the wrapped adaptor stop emitting — the external source hanging
+/// up, §6.2.3's "External Source Failure" without a viable reconnect.
+///
+/// Registered under `chaos:<inner alias>` so chaos experiments opt in per
+/// feed while the plain alias keeps working untouched.
+pub struct ChaosAdaptorFactory {
+    inner: Arc<dyn AdaptorFactory>,
+    plan: Arc<FaultPlan>,
+    alias: String,
+}
+
+impl ChaosAdaptorFactory {
+    /// Wrap `inner`, driving (and driven by) `plan`.
+    pub fn new(inner: Arc<dyn AdaptorFactory>, plan: Arc<FaultPlan>) -> ChaosAdaptorFactory {
+        let alias = format!("chaos:{}", inner.alias());
+        ChaosAdaptorFactory { inner, plan, alias }
+    }
+}
+
+impl AdaptorFactory for ChaosAdaptorFactory {
+    fn alias(&self) -> &str {
+        &self.alias
+    }
+
+    fn constraints(&self, config: &AdaptorConfig) -> IngestResult<Constraint> {
+        self.inner.constraints(config)
+    }
+
+    fn create(
+        &self,
+        config: &AdaptorConfig,
+        partition: usize,
+        clock: &SimClock,
+    ) -> IngestResult<Box<dyn FeedAdaptor>> {
+        Ok(Box::new(ChaosAdaptor {
+            inner: self.inner.create(config, partition, clock)?,
+            plan: Arc::clone(&self.plan),
+        }))
+    }
+}
+
+struct ChaosAdaptor {
+    inner: Box<dyn FeedAdaptor>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FeedAdaptor for ChaosAdaptor {
+    fn run(&mut self, emit: EmitFn<'_>, stop: &StopToken) -> IngestResult<()> {
+        let plan = Arc::clone(&self.plan);
+        let disconnected = std::cell::Cell::new(false);
+        let mut wrapped = |rec: Record| -> IngestResult<()> {
+            emit(rec)?;
+            plan.tick_records(1);
+            if !plan.take_due(FaultKind::is_adaptor_event).is_empty() {
+                disconnected.set(true);
+                // surfacing an error makes any inner adaptor stop promptly
+                return Err(IngestError::Disconnected("chaos: source hung up".into()));
+            }
+            Ok(())
+        };
+        let result = self.inner.run(&mut wrapped, stop);
+        if disconnected.get() {
+            // the injected hang-up is an exhausted source, not a feed error
+            return Ok(());
+        }
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -487,6 +563,32 @@ mod tests {
         let stop = StopToken::new();
         let mut emit = |_r: Record| Ok(());
         assert!(adaptor.run(&mut emit, &stop).is_err());
+    }
+
+    #[test]
+    fn chaos_adaptor_disconnects_after_scheduled_record() {
+        use asterix_common::fault::FaultEvent;
+        let tx = bind_socket("sock:chaos", 64).unwrap();
+        for i in 0..20 {
+            tx.send(format!("{{\"id\":\"r{i}\"}}")).unwrap();
+        }
+        drop(tx);
+        let plan = Arc::new(FaultPlan::from_events(
+            0,
+            vec![FaultEvent {
+                at_record: 5,
+                kind: FaultKind::AdaptorDisconnect,
+            }],
+        ));
+        let factory = ChaosAdaptorFactory::new(Arc::new(SocketAdaptorFactory), Arc::clone(&plan));
+        assert_eq!(factory.alias(), "chaos:socket_adaptor");
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("sockets".into(), "sock:chaos".into());
+        let mut adaptor = factory.create(&cfg, 0, &SimClock::fast()).unwrap();
+        let records = collect_run(adaptor.as_mut()); // unwraps Ok: graceful
+        assert_eq!(records.len(), 5, "stops exactly at the scheduled record");
+        assert_eq!(plan.records_seen(), 5);
+        unbind_socket("sock:chaos");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::adaptor::{AdaptorConfig, AdaptorRegistry};
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_adm::TypeRegistry;
-use asterix_common::{IngestError, IngestResult};
+use asterix_common::{FeedId, IngestError, IngestResult};
 use asterix_storage::Dataset;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -48,6 +48,8 @@ pub struct FeedDef {
 #[derive(Default)]
 struct CatalogState {
     feeds: HashMap<String, FeedDef>,
+    feed_ids: HashMap<String, FeedId>,
+    next_feed_id: u64,
     functions: HashMap<String, Udf>,
     policies: HashMap<String, IngestionPolicy>,
     datasets: HashMap<String, Arc<Dataset>>,
@@ -125,8 +127,23 @@ impl FeedCatalog {
                 def.name
             )));
         }
+        // catalog-assigned numeric identity, starting at 1 so FeedId(0) can
+        // keep meaning "unknown" in error paths
+        st.next_feed_id += 1;
+        let id = FeedId(st.next_feed_id);
+        st.feed_ids.insert(def.name.clone(), id);
         st.feeds.insert(def.name.clone(), def);
         Ok(())
+    }
+
+    /// The catalog-assigned id of a feed.
+    pub fn feed_id(&self, name: &str) -> IngestResult<FeedId> {
+        self.state
+            .read()
+            .feed_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| IngestError::Metadata(format!("unknown feed '{name}'")))
     }
 
     /// Look up a feed.
@@ -329,6 +346,18 @@ mod tests {
         assert_eq!(c.feed("TwitterFeed").unwrap().name, "TwitterFeed");
         assert!(c.feed("Nope").is_err());
         assert!(c.create_feed(primary("TwitterFeed", None)).is_err(), "dup");
+    }
+
+    #[test]
+    fn feeds_get_distinct_nonzero_ids() {
+        let c = catalog();
+        c.create_feed(primary("A", None)).unwrap();
+        c.create_feed(primary("B", None)).unwrap();
+        let a = c.feed_id("A").unwrap();
+        let b = c.feed_id("B").unwrap();
+        assert_ne!(a, FeedId(0), "0 is reserved for 'unknown'");
+        assert_ne!(a, b);
+        assert!(c.feed_id("Nope").is_err());
     }
 
     #[test]

@@ -39,7 +39,9 @@ use crate::ops::{
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_common::ids::IdGen;
-use asterix_common::{IngestError, IngestResult, NodeId, SimDuration};
+use asterix_common::{
+    FaultPlan, FeedId, IngestError, IngestResult, NodeId, SimDuration, SimInstant,
+};
 use asterix_hyracks::cluster::{Cluster, ClusterEvent};
 use asterix_hyracks::connector::ConnectorSpec;
 use asterix_hyracks::executor::{run_job, JobHandle, TaskContext};
@@ -93,6 +95,7 @@ struct ComputeSegment {
     out_joint: String,
     in_joint: String,
     udf: Udf,
+    feed_id: FeedId,
     compute_locations: Vec<NodeId>,
     policy: IngestionPolicy,
     metrics: Arc<FeedMetrics>,
@@ -106,12 +109,15 @@ struct Connection {
     id: ConnectionId,
     key: String,
     feed: String,
+    feed_id: FeedId,
     dataset: Arc<Dataset>,
     source_joint: String,
     policy: IngestionPolicy,
     metrics: Arc<FeedMetrics>,
     job: Option<JobHandle>,
     state: ConnectionState,
+    /// When the store node was lost (recovery-latency measurement).
+    suspended_at: Option<SimInstant>,
 }
 
 #[derive(Default)]
@@ -144,6 +150,9 @@ pub struct ControllerConfig {
     /// Sleep (µs) added per record at every compute stage — fixed per-node
     /// capacity modelling for scalability experiments (normally 0).
     pub compute_extra_delay_us: u64,
+    /// Chaos schedule handed to store-stage intakes (operator-panic
+    /// injection). `None` in production; the chaos harness sets it.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ControllerConfig {
@@ -156,6 +165,7 @@ impl Default for ControllerConfig {
             compute_node_offset: 0,
             compute_extra_spin: 0,
             compute_extra_delay_us: 0,
+            fault_plan: None,
         }
     }
 }
@@ -283,11 +293,17 @@ impl FeedController {
         // primary feed's name); each further stage is a UDF application
         // with its own joint id ("<root>:f1:...:fk", §5.3.1).
         let root_raw_joint = lineage[0].name.clone();
-        let mut stages: Vec<(String, Option<Udf>)> = vec![(root_raw_joint.clone(), None)];
+        // (joint id, udf, owning feed name)
+        let mut stages: Vec<(String, Option<Udf>, String)> =
+            vec![(root_raw_joint.clone(), None, lineage[0].name.clone())];
         for f in &lineage {
             if let Some(udf_name) = &f.udf {
                 let udf = self.catalog.function(udf_name)?;
-                stages.push((self.catalog.joint_id_for(&f.name)?, Some(udf)));
+                stages.push((
+                    self.catalog.joint_id_for(&f.name)?,
+                    Some(udf),
+                    f.name.clone(),
+                ));
             }
         }
         let source_joint = stages.last().unwrap().0.clone();
@@ -296,7 +312,7 @@ impl FeedController {
         // connected ancestor (§5.3.2). None ⇒ the head section must be
         // constructed too.
         let mut have = None;
-        for (i, (jid, _)) in stages.iter().enumerate().rev() {
+        for (i, (jid, _, _)) in stages.iter().enumerate().rev() {
             if st.joints.contains_key(jid) {
                 have = Some(i);
                 break;
@@ -337,12 +353,14 @@ impl FeedController {
             };
             planned_joints.push((root_raw_joint.clone(), locations));
         }
-        // (depth, in_joint, out_joint, udf, locations)
-        let mut compute_segments: Vec<(usize, String, String, Udf, Vec<NodeId>)> = Vec::new();
+        // (depth, in_joint, out_joint, udf, owning feed id, locations)
+        let mut compute_segments: Vec<(usize, String, String, Udf, FeedId, Vec<NodeId>)> =
+            Vec::new();
         for i in first_new_stage..stages.len() {
             let udf = stages[i].1.clone().expect("stages past 0 carry a UDF");
             let in_joint = stages[i - 1].0.clone();
             let out_joint = stages[i].0.clone();
+            let stage_feed = self.catalog.feed_id(&stages[i].2).unwrap_or(FeedId(0));
             let offset = self.config.compute_node_offset;
             let locs = dedup_nodes(
                 (0..compute_n)
@@ -350,7 +368,7 @@ impl FeedController {
                     .collect(),
             );
             planned_joints.push((out_joint.clone(), locs.clone()));
-            compute_segments.push((i, in_joint, out_joint, udf, locs));
+            compute_segments.push((i, in_joint, out_joint, udf, stage_feed, locs));
         }
         for (joint, locs) in &planned_joints {
             self.preregister_joint(joint, locs);
@@ -364,12 +382,14 @@ impl FeedController {
             id,
             key: key.clone(),
             feed: feed.to_string(),
+            feed_id: self.catalog.feed_id(feed).unwrap_or(FeedId(0)),
             dataset: Arc::clone(&dataset_arc),
             source_joint: source_joint.clone(),
             policy: policy.clone(),
             metrics: Arc::clone(&metrics),
             job: None,
             state: ConnectionState::Active,
+            suspended_at: None,
         };
         let job = self.spawn_store_job(&st, &conn)?;
         let mut conn = conn;
@@ -378,12 +398,13 @@ impl FeedController {
 
         // --- compute segments, deepest first --------------------------------
         compute_segments.sort_by_key(|s| std::cmp::Reverse(s.0));
-        for (depth, in_joint, out_joint, udf, locs) in compute_segments {
+        for (depth, in_joint, out_joint, udf, stage_feed, locs) in compute_segments {
             let seg_metrics = FeedMetrics::with_default_bucket(self.cluster.clock().clone());
             let seg = ComputeSegment {
                 out_joint: out_joint.clone(),
                 in_joint,
                 udf,
+                feed_id: stage_feed,
                 compute_locations: locs,
                 policy: policy.clone(),
                 metrics: seg_metrics,
@@ -602,7 +623,8 @@ impl FeedController {
                 out,
                 "  {} {} -> {} [{:?}]
     intake: {:?}  compute: {:?}  store: {:?}
-                     received: {} records  persisted: {}  instantaneous: {:.0} rec/s",
+                     received: {} records  persisted: {}  instantaneous: {:.0} rec/s
+                     hard recoveries: {}  zombie frames adopted: {}  last recovery: {} ms",
                 c.id,
                 c.feed,
                 c.dataset.config.name,
@@ -613,6 +635,9 @@ impl FeedController {
                 c.metrics.records_in.load(Ordering::Relaxed),
                 c.metrics.records_persisted.load(Ordering::Relaxed),
                 last_rate,
+                c.metrics.hard_failures_recovered.load(Ordering::Relaxed),
+                c.metrics.zombie_frames_adopted.load(Ordering::Relaxed),
+                c.metrics.last_recovery_millis.load(Ordering::Relaxed),
             );
         }
         out
@@ -662,6 +687,8 @@ impl FeedController {
             flow_capacity: self.config.flow_capacity,
             ack: None,
             connection_key: format!("compute:{}", seg.out_joint),
+            feed: seg.feed_id,
+            fault_plan: None,
         }));
         let assign = job.add_operator(Box::new(AssignDesc {
             udf: seg.udf.clone(),
@@ -716,6 +743,10 @@ impl FeedController {
             flow_capacity: self.config.flow_capacity,
             ack: ack_plumbing,
             connection_key: conn.key.clone(),
+            feed: conn.feed_id,
+            // only the store-stage intake panics on schedule: killing the
+            // collect side would sever the external source for good
+            fault_plan: self.config.fault_plan.clone(),
         }));
         let store = job.add_operator(Box::new(StoreDesc {
             dataset: Arc::clone(&conn.dataset),
@@ -811,6 +842,7 @@ impl FeedController {
     /// ran dry, and its connections stay connected (feeds are conceptually
     /// unbounded).
     fn sweep_dead_segments(&self) {
+        self.respawn_panicked_stores();
         // a finished job is a *self*-termination only when none of its
         // tasks died of a hard failure — those are the fault-tolerance
         // protocol's to handle (the heartbeat monitor lags the actual
@@ -892,6 +924,68 @@ impl FeedController {
         }
     }
 
+    /// Respawn store jobs that died of a runtime exception (an operator
+    /// panic, injected or real — surfaces as `Disconnected`) while their
+    /// nodes are all still alive (§6.2.3's "runtime exception" hard
+    /// failure). Node-loss deaths are left to `handle_node_failure`; the
+    /// alive-guard also filters the race where a node kill was the real
+    /// cause but the heartbeat monitor has not reported it yet, because
+    /// `kill_node` flips the liveness flag immediately.
+    fn respawn_panicked_stores(&self) {
+        fn panicked(job: &JobHandle) -> bool {
+            match job.try_outcome() {
+                None => false, // still running
+                Some(results) => {
+                    results
+                        .iter()
+                        .any(|(_, r)| matches!(r, Err(IngestError::Disconnected(_))))
+                        && !results
+                            .iter()
+                            .any(|(_, r)| matches!(r, Err(IngestError::NodeFailed(_))))
+                }
+            }
+        }
+        let mut st = self.state.lock();
+        let ids: Vec<ConnectionId> = st
+            .connections
+            .values()
+            .filter(|c| {
+                c.state == ConnectionState::Active
+                    && c.policy.recover_hard_failure
+                    && c.job.as_ref().map(panicked).unwrap_or(false)
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in ids {
+            let healthy = {
+                let c = st.connections.get(&id).unwrap();
+                let joint_up = st.joints.get(&c.source_joint).map(|locs| {
+                    locs.iter()
+                        .all(|n| self.cluster.node(*n).map(|h| h.is_alive()).unwrap_or(false))
+                });
+                let stores_up = c
+                    .dataset
+                    .config
+                    .nodegroup
+                    .iter()
+                    .all(|n| self.cluster.node(*n).map(|h| h.is_alive()).unwrap_or(false));
+                joint_up == Some(true) && stores_up
+            };
+            if !healthy {
+                continue; // a node really is down; §6.2.2 handles it
+            }
+            st.connections.get_mut(&id).unwrap().job.take();
+            let conn_ref = st.connections.get(&id).unwrap();
+            if let Ok(job) = self.spawn_store_job(&st, conn_ref) {
+                let c = st.connections.get_mut(&id).unwrap();
+                c.job = Some(job);
+                c.metrics
+                    .hard_failures_recovered
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     // -----------------------------------------------------------------------
     // fault-tolerance protocol (§6.2.2)
     // -----------------------------------------------------------------------
@@ -925,9 +1019,11 @@ impl FeedController {
                 }
             }
         }
+        let now = self.cluster.clock().now();
         for id in &suspend {
             if let Some(c) = st.connections.get_mut(id) {
                 c.state = ConnectionState::Suspended;
+                c.suspended_at = Some(now);
                 if let Some(job) = c.job.take() {
                     job.abort();
                 }
@@ -1079,6 +1175,15 @@ impl FeedController {
                 let c = st.connections.get_mut(&id).unwrap();
                 c.job = Some(job);
                 c.state = ConnectionState::Active;
+                c.metrics
+                    .hard_failures_recovered
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(t0) = c.suspended_at.take() {
+                    let elapsed = self.cluster.clock().now().since(t0);
+                    c.metrics
+                        .last_recovery_millis
+                        .store(elapsed.0, Ordering::Relaxed);
+                }
             }
         }
     }

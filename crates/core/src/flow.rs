@@ -23,7 +23,7 @@
 
 use crate::metrics::FeedMetrics;
 use crate::policy::{ExcessStrategy, IngestionPolicy};
-use asterix_common::{DataFrame, IngestError, IngestResult, Record, RecordId};
+use asterix_common::{DataFrame, FeedId, IngestError, IngestResult, Record, RecordId};
 use asterix_hyracks::operator::FrameWriter;
 use crossbeam_channel::{Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -45,6 +45,7 @@ pub struct ElasticRequest {
 pub struct SpillFile {
     segments: VecDeque<Vec<u8>>,
     bytes: usize,
+    encodes: u64,
 }
 
 impl SpillFile {
@@ -58,14 +59,28 @@ impl SpillFile {
             buf.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
             buf.extend_from_slice(&r.payload);
         }
+        self.encodes += 1;
         self.bytes += buf.len();
         self.segments.push_back(buf);
     }
 
-    /// Read back the oldest frame.
-    pub fn pop(&mut self) -> Option<DataFrame> {
+    /// Detach the oldest segment without decoding it.
+    pub fn pop_segment(&mut self) -> Option<Vec<u8>> {
         let buf = self.segments.pop_front()?;
         self.bytes -= buf.len();
+        Some(buf)
+    }
+
+    /// Re-queue an already-encoded segment at the *front* (a failed
+    /// de-spill). O(1): the serialized bytes are reused verbatim, no
+    /// re-encode of this — or any other — segment.
+    pub fn push_front_segment(&mut self, segment: Vec<u8>) {
+        self.bytes += segment.len();
+        self.segments.push_front(segment);
+    }
+
+    /// Decode one serialized segment back into a frame.
+    pub fn decode_segment(buf: &[u8]) -> DataFrame {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| {
             let s = &buf[*pos..*pos + n];
@@ -81,7 +96,13 @@ impl SpillFile {
             let payload = take(&mut pos, len);
             records.push(Record::tracked(RecordId(id), adaptor, payload));
         }
-        Some(DataFrame::from_records(records))
+        DataFrame::from_records(records)
+    }
+
+    /// Read back the oldest frame.
+    pub fn pop(&mut self) -> Option<DataFrame> {
+        let buf = self.pop_segment()?;
+        Some(SpillFile::decode_segment(&buf))
     }
 
     /// Bytes currently on disk.
@@ -92,6 +113,13 @@ impl SpillFile {
     /// Any spilled frames waiting?
     pub fn is_empty(&self) -> bool {
         self.segments.is_empty()
+    }
+
+    /// How many frame serializations this file performed. A failed de-spill
+    /// must not re-encode surviving segments, so this counts each spilled
+    /// frame exactly once regardless of re-queues.
+    pub fn encode_count(&self) -> u64 {
+        self.encodes
     }
 }
 
@@ -111,6 +139,7 @@ pub struct FlowController {
     spill: SpillFile,
     rng: SmallRng,
     elastic_tx: Option<Sender<ElasticRequest>>,
+    feed: FeedId,
     connection_key: String,
     elastic_signalled: bool,
 }
@@ -123,6 +152,7 @@ impl FlowController {
         metrics: Arc<FeedMetrics>,
         downstream: Box<dyn FrameWriter>,
         capacity: usize,
+        feed: FeedId,
         connection_key: impl Into<String>,
         elastic_tx: Option<Sender<ElasticRequest>>,
     ) -> FlowController {
@@ -161,6 +191,7 @@ impl FlowController {
             spill: SpillFile::default(),
             rng: SmallRng::seed_from_u64(0xF10C),
             elastic_tx,
+            feed,
             connection_key: connection_key.into(),
             elastic_signalled: false,
         }
@@ -204,7 +235,8 @@ impl FlowController {
             }
         }
         while !self.spill.is_empty() {
-            let frame = self.spill.pop().expect("non-empty spill");
+            let segment = self.spill.pop_segment().expect("non-empty spill");
+            let frame = SpillFile::decode_segment(&segment);
             let n = frame.len() as u64;
             match self.try_send(frame) {
                 Ok(()) => {
@@ -215,14 +247,9 @@ impl FlowController {
                         .spill_bytes
                         .store(self.spill.bytes() as u64, Ordering::Relaxed);
                 }
-                Err(Some(f)) => {
-                    // put it back at the front
-                    let mut tmp = SpillFile::default();
-                    tmp.push(&f);
-                    while let Some(seg) = self.spill.pop() {
-                        tmp.push(&seg);
-                    }
-                    self.spill = tmp;
+                Err(Some(_)) => {
+                    // no room: re-queue the encoded segment at the front
+                    self.spill.push_front_segment(segment);
                     self.metrics
                         .spill_bytes
                         .store(self.spill.bytes() as u64, Ordering::Relaxed);
@@ -289,7 +316,7 @@ impl FlowController {
         let sz = frame.size_bytes();
         if self.backlog_bytes + sz > self.policy.memory_budget_bytes {
             return Err(IngestError::FeedTerminated {
-                feed: asterix_common::FeedId(0),
+                feed: self.feed,
                 reason: format!(
                     "policy {}: in-memory excess buffer exceeded {} bytes",
                     self.policy.name, self.policy.memory_budget_bytes
@@ -346,9 +373,24 @@ impl FlowController {
         if kept.is_empty() {
             return Ok(());
         }
-        // pace the kept fraction through with a blocking send: throttling
-        // "regulates the rate of inflow"
         let frame = DataFrame::from_records(kept);
+        // FIFO: older deferred data must reach the pipeline before the kept
+        // fraction, so while anything is spilled or buffered the frame joins
+        // the back of that structure instead of jumping the queue.
+        if !self.spill.is_empty() {
+            let n = frame.len() as u64;
+            self.metrics.records_spilled.fetch_add(n, Ordering::Relaxed);
+            self.spill.push(&frame);
+            self.metrics
+                .spill_bytes
+                .store(self.spill.bytes() as u64, Ordering::Relaxed);
+            return Ok(());
+        }
+        if !self.backlog.is_empty() {
+            return self.buffer_excess(frame);
+        }
+        // nothing deferred: pace the kept fraction through with a blocking
+        // send — throttling "regulates the rate of inflow"
         match self.q_tx.as_ref().expect("flow active").send(frame) {
             Ok(()) => Ok(()),
             Err(_) => Err(IngestError::Disconnected("pipeline gone".into())),
@@ -365,15 +407,29 @@ impl FlowController {
         out
     }
 
-    /// Pre-load deferred frames (adopting zombie state).
-    pub fn adopt_deferred(&mut self, frames: Vec<DataFrame>) {
+    /// Pre-load deferred frames (adopting zombie state). The memory budget
+    /// applies here too: frames beyond `memory_budget_bytes` fall through to
+    /// the policy's excess strategy (spill/discard/terminate) rather than
+    /// silently over-committing the backlog. Order is preserved — overflow
+    /// lands *behind* the in-budget adopted frames (backlog drains before
+    /// spill).
+    pub fn adopt_deferred(&mut self, frames: Vec<DataFrame>) -> IngestResult<()> {
+        self.metrics
+            .zombie_frames_adopted
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
         for f in frames {
-            self.backlog_bytes += f.size_bytes();
+            let sz = f.size_bytes();
+            if self.backlog_bytes + sz > self.policy.memory_budget_bytes {
+                self.handle_excess(f)?;
+                continue;
+            }
+            self.backlog_bytes += sz;
             self.backlog.push_back(f);
         }
         self.metrics
             .buffer_bytes
             .store(self.backlog_bytes as u64, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Flush everything (blocking) and close the downstream gracefully.
@@ -508,6 +564,7 @@ mod tests {
             metrics(),
             Box::new(sink.clone()),
             2, // tiny queue: congestion after 2 frames
+            FeedId(7),
             "conn-test",
             None,
         )
@@ -671,6 +728,7 @@ mod tests {
             metrics(),
             Box::new(sink.clone()),
             2,
+            FeedId(7),
             "conn42",
             Some(tx),
         );
@@ -701,13 +759,152 @@ mod tests {
         let sink = GatedSink::default();
         sink.open_gate();
         let mut fc = controller(IngestionPolicy::basic(), &sink);
-        fc.adopt_deferred(vec![frame(0..10), frame(10..20)]);
+        fc.adopt_deferred(vec![frame(0..10), frame(10..20)])
+            .unwrap();
         fc.offer(frame(20..30)).unwrap();
         fc.finish().unwrap();
         assert_eq!(sink.records(), 30);
         // order preserved: adopted state first
         let first = sink.accepted.lock()[0].records()[0].id;
         assert_eq!(first, RecordId(0));
+    }
+
+    #[test]
+    fn throttle_defers_kept_records_behind_older_data() {
+        // regression: kept records used to be blocking-sent straight into
+        // the hand-off queue, overtaking adopted/buffered frames and
+        // breaking the FIFO that adopt_deferred relies on
+        let sink = GatedSink::default();
+        sink.open_gate();
+        sink.set_delay(3);
+        let mut fc = controller(IngestionPolicy::throttle(), &sink);
+        fc.adopt_deferred(vec![
+            frame(0..10),
+            frame(10..20),
+            frame(20..30),
+            frame(30..40),
+        ])
+        .unwrap();
+        for i in 4..12 {
+            fc.offer(frame(i * 10..i * 10 + 10)).unwrap();
+        }
+        sink.set_delay(0);
+        fc.finish().unwrap();
+        let mut last: Option<RecordId> = None;
+        for f in sink.accepted.lock().iter() {
+            for r in f.records() {
+                if let Some(prev) = last {
+                    assert!(
+                        r.id > prev,
+                        "throttled records overtook older data: {} after {}",
+                        r.id,
+                        prev
+                    );
+                }
+                last = Some(r.id);
+            }
+        }
+        assert!(last.is_some(), "nothing delivered");
+    }
+
+    #[test]
+    fn budget_blowout_reports_real_feed_id() {
+        // regression: the FeedTerminated error used to hardcode FeedId(0)
+        let sink = GatedSink::default(); // gate closed: full congestion
+        let mut policy = IngestionPolicy::basic();
+        policy.memory_budget_bytes = 2000;
+        let mut fc = controller(policy, &sink);
+        let err = congest(&mut fc, 100).unwrap_err();
+        match err {
+            IngestError::FeedTerminated { feed, .. } => {
+                assert_eq!(feed, FeedId(7), "error must name the real feed")
+            }
+            other => panic!("expected FeedTerminated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn failed_despill_requeues_without_reencoding() {
+        // regression: a failed de-spill used to rebuild the whole SpillFile
+        // by popping and re-serializing every remaining frame (O(spill) per
+        // drain attempt); the encoded segment is now reused as-is
+        let sink = GatedSink::default(); // gate closed
+        let mut fc = controller(IngestionPolicy::spill(), &sink);
+        congest(&mut fc, 10).unwrap(); // queue(2) + blocked pusher(≤1) + spill
+        let encodes_after_spill = fc.spill.encode_count();
+        assert!(
+            (7..=8).contains(&encodes_after_spill),
+            "each excess frame encoded once, got {encodes_after_spill}"
+        );
+        for _ in 0..5 {
+            // queue is full: every drain pops the head segment, fails to
+            // send it, and must put it back without touching the encoder
+            assert!(!fc.drain_deferred().unwrap());
+        }
+        assert_eq!(
+            fc.spill.encode_count(),
+            encodes_after_spill,
+            "failed de-spills must not re-encode surviving segments"
+        );
+        sink.open_gate();
+        fc.finish().unwrap();
+        assert_eq!(sink.records(), 100, "re-queues lost nothing");
+    }
+
+    #[test]
+    fn adopted_overflow_spills_under_spill_policy() {
+        let sink = GatedSink::default();
+        let mut policy = IngestionPolicy::spill();
+        // budget admits exactly one adopted frame; the rest must spill
+        policy.memory_budget_bytes = frame(0..10).size_bytes() + 1;
+        let m;
+        {
+            let mut fc = controller(policy, &sink);
+            m = Arc::clone(&fc.metrics);
+            fc.adopt_deferred(vec![frame(0..10), frame(10..20), frame(20..30)])
+                .unwrap();
+            assert!(
+                m.records_spilled.load(Ordering::Relaxed) >= 20,
+                "overflow beyond the budget must hit the excess strategy"
+            );
+            sink.open_gate();
+            fc.finish().unwrap();
+        }
+        assert_eq!(sink.records(), 30, "spilled adoptions lose nothing");
+        assert_eq!(m.zombie_frames_adopted.load(Ordering::Relaxed), 3);
+        // order preserved: in-budget backlog first, spilled overflow after
+        let first = sink.accepted.lock()[0].records()[0].id;
+        assert_eq!(first, RecordId(0));
+    }
+
+    #[test]
+    fn adopted_overflow_terminates_under_basic_policy() {
+        let sink = GatedSink::default();
+        let mut policy = IngestionPolicy::basic();
+        policy.memory_budget_bytes = frame(0..10).size_bytes() + 1;
+        let mut fc = controller(policy, &sink);
+        let err = fc
+            .adopt_deferred(vec![frame(0..10), frame(10..20)])
+            .unwrap_err();
+        assert!(matches!(err, IngestError::FeedTerminated { .. }), "{err}");
+    }
+
+    #[test]
+    fn adopted_overflow_drops_under_discard_policy() {
+        let sink = GatedSink::default();
+        let mut policy = IngestionPolicy::discard();
+        policy.memory_budget_bytes = frame(0..10).size_bytes() + 1;
+        let m;
+        {
+            let mut fc = controller(policy, &sink);
+            m = Arc::clone(&fc.metrics);
+            fc.adopt_deferred(vec![frame(0..10), frame(10..20), frame(20..30)])
+                .unwrap();
+            sink.open_gate();
+            fc.finish().unwrap();
+        }
+        assert_eq!(m.records_discarded.load(Ordering::Relaxed), 20);
+        assert_eq!(sink.records(), 10, "in-budget frame survives");
     }
 
     #[test]

@@ -46,10 +46,19 @@ pub struct FeedMetrics {
     /// records arriving through a joint from another feed's serialized
     /// output show up here.
     pub parse_calls: AtomicU64,
+    /// Hard failures (node loss, operator panic) this connection recovered
+    /// from (§6.2.2/§6.2.3).
+    pub hard_failures_recovered: AtomicU64,
+    /// Zombie frames adopted by replacement operator instances after a
+    /// failure (§6.2.2).
+    pub zombie_frames_adopted: AtomicU64,
     /// Current spill file size in bytes (gauge).
     pub spill_bytes: AtomicU64,
     /// Current in-memory excess buffer size in bytes (gauge).
     pub buffer_bytes: AtomicU64,
+    /// Sim-milliseconds the most recent hard-failure recovery took, from
+    /// failure handling to the connection going active again (gauge).
+    pub last_recovery_millis: AtomicU64,
     meter: RateMeter,
     clock: SimClock,
 }
@@ -72,8 +81,11 @@ impl FeedMetrics {
             elastic_scaleouts: AtomicU64::new(0),
             frames_stored: AtomicU64::new(0),
             parse_calls: AtomicU64::new(0),
+            hard_failures_recovered: AtomicU64::new(0),
+            zombie_frames_adopted: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
             buffer_bytes: AtomicU64::new(0),
+            last_recovery_millis: AtomicU64::new(0),
             meter: RateMeter::new(origin, bucket),
             clock,
         })
@@ -109,7 +121,7 @@ impl FeedMetrics {
     /// One-line summary for experiment output.
     pub fn summary(&self) -> String {
         format!(
-            "in={} computed={} persisted={} discarded={} throttled={} spilled={} despilled={} soft_failures={} replayed={} parse_calls={} frames_stored={}",
+            "in={} computed={} persisted={} discarded={} throttled={} spilled={} despilled={} soft_failures={} replayed={} parse_calls={} frames_stored={} hard_recoveries={} zombies_adopted={}",
             self.records_in.load(Ordering::Relaxed),
             self.records_computed.load(Ordering::Relaxed),
             self.records_persisted.load(Ordering::Relaxed),
@@ -121,6 +133,8 @@ impl FeedMetrics {
             self.records_replayed.load(Ordering::Relaxed),
             self.parse_calls.load(Ordering::Relaxed),
             self.frames_stored.load(Ordering::Relaxed),
+            self.hard_failures_recovered.load(Ordering::Relaxed),
+            self.zombie_frames_adopted.load(Ordering::Relaxed),
         )
     }
 }
@@ -163,5 +177,7 @@ mod tests {
         assert!(s.contains("discarded=2"));
         assert!(s.contains("persisted=0"));
         assert!(s.contains("frames_stored=0"));
+        assert!(s.contains("hard_recoveries=0"));
+        assert!(s.contains("zombies_adopted=0"));
     }
 }

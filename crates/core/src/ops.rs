@@ -30,7 +30,8 @@ use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_adm::{payload_from_value, AdmPayloadExt, AdmType, TypeRegistry};
 use asterix_common::{
-    DataFrame, FrameBuilder, IngestError, IngestResult, NodeId, Record, SimDuration, SimInstant,
+    DataFrame, FaultKind, FaultPlan, FeedId, FrameBuilder, IngestError, IngestResult, NodeId,
+    Record, SimDuration, SimInstant,
 };
 use asterix_hyracks::executor::{SourceHost, TaskContext, UnaryHost};
 use asterix_hyracks::job::{Constraint, OperatorDescriptor};
@@ -388,6 +389,11 @@ pub struct IntakeDesc {
     pub ack: Option<Arc<AckPlumbing>>,
     /// Connection key (for elastic requests and zombie state).
     pub connection_key: String,
+    /// The owning feed's catalog id (error attribution).
+    pub feed: FeedId,
+    /// Chaos schedule; due operator-panic events make this intake die hard
+    /// (§6.2.3 runtime-exception injection).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl OperatorDescriptor for IntakeDesc {
@@ -411,13 +417,14 @@ impl OperatorDescriptor for IntakeDesc {
             Arc::clone(&self.metrics),
             output,
             self.flow_capacity,
+            self.feed,
             self.connection_key.clone(),
             self.elastic_tx.clone(),
         );
         // adopt any zombie state parked by a previous incarnation (§6.2.2)
         let zombie = fm.take_zombie_state(&sub_key);
         if !zombie.is_empty() {
-            flow.adopt_deferred(zombie);
+            flow.adopt_deferred(zombie)?;
         }
         let tracker = match &self.ack {
             Some(plumbing) => {
@@ -443,6 +450,7 @@ impl OperatorDescriptor for IntakeDesc {
             metrics: Arc::clone(&self.metrics),
             flow: Some(flow),
             tracker,
+            fault_plan: self.fault_plan.clone(),
         })))
     }
 }
@@ -455,13 +463,34 @@ struct IntakeSource {
     metrics: Arc<FeedMetrics>,
     flow: Option<FlowController>,
     tracker: Option<AckTracker>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl IntakeSource {
     fn fail_with_zombie(&mut self, fm: &Arc<FeedManager>) {
         if let Some(flow) = self.flow.take() {
-            let deferred = flow.fail();
+            let mut deferred = flow.fail();
+            // The tracker's unacked records were in the hand-off queue or in
+            // flight toward the store when we died — without parking them the
+            // successor would never re-emit them and at-least-once would only
+            // hold for records the flow controller still had by value.
+            if let Some(t) = &self.tracker {
+                let pending = t.drain_pending();
+                if !pending.is_empty() {
+                    deferred.push(DataFrame::from_records(pending));
+                }
+            }
             fm.save_zombie_state(&self.sub_key, deferred);
+        }
+    }
+
+    /// Fire any due injected operator panic (§6.2.3): park deferred state
+    /// exactly like a real runtime exception unwinding this operator, then
+    /// surface a hard error so the job sees the instance die.
+    fn chaos_panic_due(&self) -> bool {
+        match &self.fault_plan {
+            Some(plan) => !plan.take_due(FaultKind::is_operator_event).is_empty(),
+            None => false,
         }
     }
 
@@ -526,6 +555,12 @@ impl SourceOperator for IntakeSource {
                     self.fail_with_zombie(&fm);
                     return Ok(());
                 }
+            }
+            if self.chaos_panic_due() {
+                self.fail_with_zombie(&fm);
+                return Err(IngestError::Disconnected(
+                    "chaos: injected operator panic".into(),
+                ));
             }
             match sub.recv(&self.clock, poll) {
                 JointRecv::Frame(frame) => {

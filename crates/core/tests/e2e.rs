@@ -475,6 +475,98 @@ fn store_node_failure_suspends_then_resumes_on_rejoin() {
 }
 
 #[test]
+fn kill_node_while_congested_recovers_without_loss() {
+    // the hard case: a store node dies while the flow controller is holding
+    // deferred work. Under FaultTolerant nothing may be lost — the zombie
+    // frames and the unacked tracker records must survive the rebuild — and
+    // the connection must walk Active -> Suspended -> Active.
+    let rig = TestRig::start_faulty(
+        3,
+        ControllerConfig {
+            flow_capacity: 2,
+            ..ControllerConfig::default()
+        },
+    );
+    let gen = rig.tweetgen("e2e-chaos:9000", 0, 400, 6); // 2400-tweet budget
+                                                         // a slow store keeps the flow controller congested when the kill lands
+    let nodegroup: Vec<NodeId> = rig.cluster.alive_nodes().iter().map(|n| n.id()).collect();
+    let dataset = Arc::new(
+        Dataset::create_with(
+            DatasetConfig {
+                name: "Tweets".into(),
+                datatype: "Tweet".into(),
+                primary_key: "id".into(),
+                nodegroup,
+            },
+            20_000,
+        )
+        .unwrap(),
+    );
+    rig.catalog.register_dataset(Arc::clone(&dataset));
+    rig.primary_feed("TwitterFeed", "e2e-chaos:9000");
+    let conn = rig
+        .controller
+        .connect_feed("TwitterFeed", "Tweets", "FaultTolerant")
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(15 * 3), || dataset.len() > 100));
+
+    // kill a node hosting a dataset partition but no intake, mid-stream
+    let intake_nodes = rig.controller.joint_locations("TwitterFeed");
+    let victim = dataset
+        .config
+        .nodegroup
+        .iter()
+        .copied()
+        .find(|n| !intake_nodes.contains(n))
+        .expect("a pure store node exists");
+    rig.cluster.kill_node(victim);
+    assert!(
+        wait_until(Duration::from_secs(10 * 3), || {
+            rig.controller.connection_state(conn) == ConnectionState::Suspended
+        }),
+        "connection should suspend on store-node loss"
+    );
+    rig.cluster.revive_node(victim);
+    assert!(
+        wait_until(Duration::from_secs(10 * 3), || {
+            rig.controller.connection_state(conn) == ConnectionState::Active
+        }),
+        "connection should resume on re-join"
+    );
+    let generated = wait_pattern_done(&gen);
+    assert!(
+        wait_until(Duration::from_secs(60 * 3), || dataset.len() as u64
+            >= generated),
+        "recovered only {} of {generated}",
+        dataset.len()
+    );
+    // at-least-once: every generated id made it despite the congested kill
+    let mut missing = 0u64;
+    let present: std::collections::BTreeSet<String> = dataset
+        .scan_all()
+        .iter()
+        .filter_map(|r| r.field("id").and_then(AdmValue::as_str).map(String::from))
+        .collect();
+    for i in 0..generated {
+        if !present.contains(&format!("0-{i}")) {
+            missing += 1;
+        }
+    }
+    assert_eq!(missing, 0, "lost {missing} of {generated} records");
+    let m = rig.controller.connection_metrics(conn).unwrap();
+    assert!(
+        m.hard_failures_recovered.load(Ordering::Relaxed) >= 1,
+        "recovery was not surfaced in metrics"
+    );
+    assert!(
+        m.last_recovery_millis.load(Ordering::Relaxed) > 0,
+        "recovery latency gauge never set"
+    );
+    gen.stop();
+    rig.stop();
+}
+
+#[test]
 fn discard_policy_sheds_load_under_overload() {
     let rig = TestRig::start_with(
         2,

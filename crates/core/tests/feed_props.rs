@@ -9,7 +9,7 @@
 //! * **Policy algebra** — custom-policy derivation never loses or invents
 //!   parameter state.
 
-use asterix_common::{DataFrame, Record, RecordId, SimClock, SimDuration};
+use asterix_common::{DataFrame, FeedId, Record, RecordId, SimClock, SimDuration};
 use asterix_feeds::flow::FlowController;
 use asterix_feeds::joint::{FeedJoint, JointRecv};
 use asterix_feeds::metrics::FeedMetrics;
@@ -117,6 +117,7 @@ proptest! {
             Arc::clone(&metrics),
             Box::new(sink.clone()),
             2,
+            FeedId(1),
             "prop",
             None,
         );
@@ -286,6 +287,7 @@ fn throttle_conserves_records() {
         Arc::clone(&metrics),
         Box::new(sink.clone()),
         1,
+        FeedId(1),
         "throttle-prop",
         None,
     );

@@ -14,7 +14,7 @@
 //! [`ClusterEvent::NodeFailed`].
 
 use crate::services::ServiceMap;
-use asterix_common::{NodeId, SimClock, SimDuration, SimInstant};
+use asterix_common::{FaultKind, FaultPlan, NodeId, SimClock, SimDuration, SimInstant};
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -201,6 +201,44 @@ impl Cluster {
         if let Some(n) = self.node(id) {
             n.inner.alive.store(false, Ordering::SeqCst);
         }
+    }
+
+    /// Arm a chaos schedule: a poller thread watches `plan` and executes
+    /// its due node events — [`FaultKind::KillNode`] hard-kills the victim,
+    /// [`FaultKind::ReviveNode`] re-joins it. The record counter that makes
+    /// events due is advanced elsewhere (by the chaos adaptor wrapper), so
+    /// the poll loop itself is cheap. The thread exits with the cluster or
+    /// once every node event in the plan has fired.
+    pub fn arm_fault_plan(&self, plan: Arc<FaultPlan>) {
+        let cluster = self.clone();
+        let inner = Arc::clone(&self.inner);
+        let remaining = plan
+            .events()
+            .iter()
+            .filter(|e| e.kind.is_node_event())
+            .count();
+        if remaining == 0 {
+            return;
+        }
+        std::thread::Builder::new()
+            .name("cc-chaos".into())
+            .spawn(move || {
+                let mut remaining = remaining;
+                while !inner.shutdown.load(Ordering::SeqCst) && remaining > 0 {
+                    for ev in plan.take_due(FaultKind::is_node_event) {
+                        match ev.kind {
+                            FaultKind::KillNode(n) => cluster.kill_node(n),
+                            FaultKind::ReviveNode(n) => {
+                                cluster.revive_node(n);
+                            }
+                            _ => unreachable!("filtered to node events"),
+                        }
+                        remaining -= 1;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            })
+            .expect("spawn chaos poller");
     }
 
     /// Subscribe to cluster events.
@@ -392,6 +430,41 @@ mod tests {
             ClusterEvent::NodeJoined(NodeId(0))
         );
         assert_eq!(c.alive_nodes().len(), 2);
+        c.shutdown();
+    }
+
+    #[test]
+    fn armed_fault_plan_kills_and_revives_on_schedule() {
+        use asterix_common::fault::FaultEvent;
+        let c = Cluster::start_default(3);
+        let plan = Arc::new(FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent {
+                    at_record: 100,
+                    kind: FaultKind::KillNode(NodeId(2)),
+                },
+                FaultEvent {
+                    at_record: 500,
+                    kind: FaultKind::ReviveNode(NodeId(2)),
+                },
+            ],
+        ));
+        c.arm_fault_plan(Arc::clone(&plan));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(c.node(NodeId(2)).unwrap().is_alive(), "nothing due yet");
+        plan.tick_records(100);
+        let t0 = std::time::Instant::now();
+        while c.node(NodeId(2)).unwrap().is_alive() {
+            assert!(t0.elapsed() < Duration::from_secs(5), "kill never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        plan.tick_records(400);
+        let t0 = std::time::Instant::now();
+        while !c.node(NodeId(2)).unwrap().is_alive() {
+            assert!(t0.elapsed() < Duration::from_secs(5), "revive never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
         c.shutdown();
     }
 

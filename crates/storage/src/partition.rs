@@ -557,6 +557,12 @@ impl DatasetPartition {
     pub fn corrupt_wal_tail(&self, bytes: usize) {
         self.inner.wal.corrupt_tail(bytes);
     }
+
+    /// Apply any due WAL-tear events of a chaos schedule to this
+    /// partition's log; returns how many were applied.
+    pub fn apply_fault_plan(&self, plan: &asterix_common::FaultPlan) -> usize {
+        self.inner.wal.apply_fault_plan(plan)
+    }
 }
 
 impl Drop for DatasetPartition {

@@ -31,7 +31,7 @@
 
 use asterix_adm::binary::{decode_prefix, encode_into};
 use asterix_adm::AdmValue;
-use asterix_common::{IngestError, IngestResult};
+use asterix_common::{FaultKind, FaultPlan, IngestError, IngestResult};
 use parking_lot::Mutex;
 
 const OP_PUT: u8 = 1;
@@ -364,6 +364,20 @@ impl WriteAheadLog {
             .map(|b| b.entry_count())
             .sum();
     }
+
+    /// Apply every due [`FaultKind::TearWalTail`] event of `plan` to this
+    /// log (the chaos rig's crash-mid-append injection). Returns how many
+    /// tears were applied; each claimed event fires on exactly one log.
+    pub fn apply_fault_plan(&self, plan: &FaultPlan) -> usize {
+        let mut applied = 0;
+        for ev in plan.take_due(FaultKind::is_wal_event) {
+            if let FaultKind::TearWalTail { bytes } = ev.kind {
+                self.corrupt_tail(bytes);
+                applied += 1;
+            }
+        }
+        applied
+    }
 }
 
 #[cfg(test)]
@@ -520,6 +534,33 @@ mod tests {
         // tearing the rest of the batch block leaves the first block intact
         wal.corrupt_tail(torn - 1);
         assert_eq!(wal.replay().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fault_plan_tears_apply_once_and_recover_all_or_nothing() {
+        use asterix_common::fault::FaultEvent;
+        let wal = WriteAheadLog::new();
+        wal.append(putop(1));
+        wal.append_put_batch([
+            (&AdmValue::Int(2), &recval(2)),
+            (&AdmValue::Int(3), &recval(3)),
+        ])
+        .unwrap();
+        let plan = FaultPlan::from_events(
+            0,
+            vec![FaultEvent {
+                at_record: 10,
+                kind: FaultKind::TearWalTail { bytes: 1 },
+            }],
+        );
+        assert_eq!(wal.apply_fault_plan(&plan), 0, "not due yet");
+        plan.tick_records(10);
+        assert_eq!(wal.apply_fault_plan(&plan), 1);
+        // the trailing group-committed batch vanishes whole
+        let recs = wal.replay().unwrap();
+        assert_eq!(recs.len(), 1);
+        // a claimed event never fires twice
+        assert_eq!(wal.apply_fault_plan(&plan), 0);
     }
 
     #[test]
