@@ -18,7 +18,6 @@ use asterix_bench::rig::{wait_pattern_done, wait_stable, wait_until, ExperimentR
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_common::{FaultPlan, FaultPlanConfig};
 use asterix_feeds::controller::ControllerConfig;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -142,9 +141,9 @@ fn main() {
         .iter()
         .map(|p| p.rate)
         .fold(f64::INFINITY, f64::min);
-    let hard = m.hard_failures_recovered.load(Ordering::Relaxed);
-    let zombies = m.zombie_frames_adopted.load(Ordering::Relaxed);
-    let latency = m.last_recovery_millis.load(Ordering::Relaxed);
+    let hard = m.hard_failures_recovered.get();
+    let zombies = m.zombie_frames_adopted.get();
+    let latency = m.last_recovery_millis.get();
     println!("\nanalysis:");
     println!("  generated {generated}, persisted {persisted}, missing {missing} (at-least-once)");
     println!("  throughput dip to {dip:.0} tw/s during the failure window");
@@ -174,5 +173,6 @@ fn main() {
         }],
     });
     gen.stop();
+    rig.export_metrics("chaos_recovery");
     rig.stop();
 }

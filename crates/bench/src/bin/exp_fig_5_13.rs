@@ -90,6 +90,7 @@ fn run_cascade(overlap: u64, f1_cost: u64, f2_cost: u64) -> (usize, usize) {
     let a = wait_stable(|| d1.len(), Duration::from_millis(300));
     let b = wait_stable(|| d2.len(), Duration::from_millis(300));
     gen.stop();
+    rig.export_metrics("fig_5_13");
     rig.stop();
     (a, b)
 }
@@ -126,6 +127,7 @@ fn run_independent(overlap: u64, f1_cost: u64) -> (usize, usize) {
     let a = wait_stable(|| d1.len(), Duration::from_millis(300));
     let b = wait_stable(|| d2.len(), Duration::from_millis(300));
     gen.stop();
+    rig.export_metrics("fig_5_13");
     rig.stop();
     (a, b)
 }

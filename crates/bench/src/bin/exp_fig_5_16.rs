@@ -87,12 +87,11 @@ fn run(nodes: usize, round: usize) -> (u64, usize, u64) {
         .controller
         .compute_metrics("TweetGenFeed:addHashTags")
         .expect("metrics");
-    let discarded = m
-        .records_discarded
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let discarded = m.records_discarded.get();
     for g in gens {
         g.stop();
     }
+    rig.export_metrics("fig_5_16");
     rig.stop();
     (generated, persisted, discarded)
 }

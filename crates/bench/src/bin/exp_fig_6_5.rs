@@ -183,5 +183,6 @@ fn main() {
     });
     g1.stop();
     g2.stop();
+    rig.export_metrics("fig_6_5");
     rig.stop();
 }

@@ -57,7 +57,17 @@ fn run_glued(concern: WriteConcern, addr: &str) -> SystemRun {
         clock.clone(),
     )
     .expect("bind");
-    let source = tweetgen::connect(addr).expect("connect");
+    let stamped = tweetgen::connect(addr).expect("connect");
+    // the Storm+Mongo glue consumes raw JSON lines; it has no notion of the
+    // generation stamps the native pipeline uses for ingestion lag
+    let (tx, source) = crossbeam_channel::unbounded();
+    std::thread::spawn(move || {
+        for tweet in stamped.iter() {
+            if tx.send(tweet.json).is_err() {
+                break;
+            }
+        }
+    });
     let report = run_storm_mongo(
         StormMongoConfig {
             concern,
@@ -128,6 +138,7 @@ fn run_asterix(addr: &str) -> SystemRun {
         rate: series.points.iter().map(|p| p.rate).collect(),
     };
     gen.stop();
+    rig.export_metrics("fig_7_11_12");
     rig.stop();
     out
 }

@@ -81,6 +81,7 @@ fn run(policy: &str) -> PatternStats {
         }
     }
     gen.stop();
+    rig.export_metrics("fig_7_9_10");
     rig.stop();
 
     // gap statistics

@@ -23,7 +23,6 @@ use asterix_bench::{write_json, ExperimentReport};
 use asterix_common::SimDuration;
 use asterix_feeds::controller::ControllerConfig;
 use asterix_feeds::udf::Udf;
-use std::sync::atomic::Ordering;
 use tweetgen::{Interval, PatternDescriptor};
 
 /// Per-record compute delay, µs → capacity ≈ 4000 records/s real per
@@ -111,17 +110,12 @@ fn run(policy: &str, round: usize) -> PolicyRun {
     let out = PolicyRun {
         policy: policy.into(),
         generated,
-        persisted: m.records_persisted.load(Ordering::Relaxed),
-        discarded: cm.records_discarded.load(Ordering::Relaxed)
-            + m.records_discarded.load(Ordering::Relaxed),
-        throttled: cm.records_throttled.load(Ordering::Relaxed)
-            + m.records_throttled.load(Ordering::Relaxed),
-        spilled: cm.records_spilled.load(Ordering::Relaxed)
-            + m.records_spilled.load(Ordering::Relaxed),
-        despilled: cm.records_despilled.load(Ordering::Relaxed)
-            + m.records_despilled.load(Ordering::Relaxed),
-        elastic_scaleouts: cm.elastic_scaleouts.load(Ordering::Relaxed)
-            + m.elastic_scaleouts.load(Ordering::Relaxed),
+        persisted: m.records_persisted.get(),
+        discarded: cm.records_discarded.get() + m.records_discarded.get(),
+        throttled: cm.records_throttled.get() + m.records_throttled.get(),
+        spilled: cm.records_spilled.get() + m.records_spilled.get(),
+        despilled: cm.records_despilled.get() + m.records_despilled.get(),
+        elastic_scaleouts: cm.elastic_scaleouts.get() + m.elastic_scaleouts.get(),
         final_compute_parallelism: rig
             .controller
             .compute_parallelism_of("TwitterFeed:addHashTags")
@@ -130,6 +124,7 @@ fn run(policy: &str, round: usize) -> PolicyRun {
         rate: series.points.iter().map(|p| p.rate).collect(),
     };
     gen.stop();
+    rig.export_metrics("fig_7_policies");
     rig.stop();
     out
 }

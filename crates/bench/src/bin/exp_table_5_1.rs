@@ -150,6 +150,10 @@ fn main() {
         data: rows,
     });
     std::fs::remove_file(&feed_file).ok();
+    asterix_bench::report::write_metrics_snapshot(
+        "table_5_1",
+        &engine.controller().registry().snapshot(),
+    );
     engine.controller().shutdown();
     cluster.shutdown();
 }

@@ -220,6 +220,33 @@ pub fn write_json<T: ToJson>(report: &ExperimentReport<T>) -> Option<PathBuf> {
     }
 }
 
+/// Write a metrics-registry snapshot next to the experiment's main report:
+/// `results/<experiment>.metrics.json` (JSON samples) and
+/// `results/<experiment>.prom` (Prometheus text exposition). Returns the two
+/// paths. Like [`write_json`], failures warn rather than abort.
+pub fn write_metrics_snapshot(
+    experiment: &str,
+    snap: &asterix_common::MetricsSnapshot,
+) -> Option<(PathBuf, PathBuf)> {
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return None;
+    }
+    let json_path = dir.join(format!("{experiment}.metrics.json"));
+    let prom_path = dir.join(format!("{experiment}.prom"));
+    for (path, body) in [
+        (&json_path, snap.to_json()),
+        (&prom_path, snap.to_prometheus()),
+    ] {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            return None;
+        }
+    }
+    Some((json_path, prom_path))
+}
+
 /// Render a simple aligned table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -2,9 +2,10 @@
 //! with helpers for the setups the paper's experiments repeat.
 
 use asterix_adm::types::paper_registry;
-use asterix_common::{FaultPlan, NodeId, SimClock, SimDuration};
-use asterix_feeds::adaptor::{AdaptorConfig, ChaosAdaptorFactory, TweetGenAdaptorFactory};
-use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
+use asterix_common::{FaultPlan, MetricsRegistry, MetricsSnapshot, NodeId, SimClock, SimDuration};
+use asterix_feeds::adaptor::{ChaosAdaptorFactory, TweetGenAdaptorFactory};
+use asterix_feeds::builder::FeedBuilder;
+use asterix_feeds::catalog::FeedCatalog;
 use asterix_feeds::controller::{ControllerConfig, FeedController};
 use asterix_hyracks::cluster::{Cluster, ClusterConfig};
 use asterix_storage::{Dataset, DatasetConfig};
@@ -114,20 +115,39 @@ impl ExperimentRig {
         .expect("bind tweetgen")
     }
 
+    /// The cluster-wide metrics registry every layer reports into.
+    pub fn registry(&self) -> MetricsRegistry {
+        self.controller.registry()
+    }
+
+    /// A timestamped snapshot of every registered metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry().snapshot_at(&self.clock)
+    }
+
+    /// Export the current metrics snapshot to
+    /// `results/<experiment>.metrics.json` and `results/<experiment>.prom`.
+    pub fn export_metrics(&self, experiment: &str) {
+        let snap = self.metrics();
+        if let Some((json, prom)) = crate::report::write_metrics_snapshot(experiment, &snap) {
+            println!("metrics: {} and {}", json.display(), prom.display());
+        }
+    }
+
+    /// Print a periodic one-line metrics digest to stdout until shutdown.
+    pub fn spawn_console_reporter(&self, every: SimDuration) {
+        self.cluster.spawn_console_reporter(every);
+    }
+
     /// Define a primary feed over TweetGen addresses, optionally with a UDF.
     pub fn primary_feed(&self, name: &str, datasource: &str, udf: Option<&str>) {
-        let mut config = AdaptorConfig::new();
-        config.insert("datasource".into(), datasource.into());
-        self.catalog
-            .create_feed(FeedDef {
-                name: name.into(),
-                kind: FeedKind::Primary {
-                    adaptor: "TweetGenAdaptor".into(),
-                    config,
-                },
-                udf: udf.map(str::to_string),
-            })
-            .expect("create feed");
+        let mut b = FeedBuilder::new(name)
+            .adaptor("TweetGenAdaptor")
+            .param("datasource", datasource);
+        if let Some(udf) = udf {
+            b = b.udf(udf);
+        }
+        b.register(&self.catalog).expect("create feed");
     }
 
     /// Define a primary feed whose TweetGen adaptor is wrapped in the
@@ -142,30 +162,19 @@ impl ExperimentRig {
                 Arc::new(TweetGenAdaptorFactory),
                 Arc::clone(plan),
             )));
-        let mut config = AdaptorConfig::new();
-        config.insert("datasource".into(), datasource.into());
-        self.catalog
-            .create_feed(FeedDef {
-                name: name.into(),
-                kind: FeedKind::Primary {
-                    adaptor: "chaos:TweetGenAdaptor".into(),
-                    config,
-                },
-                udf: None,
-            })
+        FeedBuilder::new(name)
+            .adaptor("chaos:TweetGenAdaptor")
+            .param("datasource", datasource)
+            .register(&self.catalog)
             .expect("create chaos feed");
     }
 
     /// Define a secondary feed.
     pub fn secondary_feed(&self, name: &str, parent: &str, udf: &str) {
-        self.catalog
-            .create_feed(FeedDef {
-                name: name.into(),
-                kind: FeedKind::Secondary {
-                    parent: parent.into(),
-                },
-                udf: Some(udf.into()),
-            })
+        FeedBuilder::new(name)
+            .parent(parent)
+            .udf(udf)
+            .register(&self.catalog)
             .expect("create secondary feed");
     }
 

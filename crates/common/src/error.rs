@@ -85,6 +85,17 @@ pub enum IngestError {
     Disconnected(String),
     /// Invalid configuration parameter.
     Config(String),
+    /// An ingestion-policy parameter name that no policy understands.
+    PolicyUnknownParam(String),
+    /// An ingestion-policy parameter whose value failed validation.
+    PolicyInvalidValue {
+        /// The parameter key (Table 4.1 name).
+        key: String,
+        /// The rejected value, verbatim.
+        value: String,
+        /// What a valid value would have looked like.
+        expected: String,
+    },
 }
 
 impl IngestError {
@@ -115,6 +126,17 @@ impl fmt::Display for IngestError {
             IngestError::Plan(m) => write!(f, "plan error: {m}"),
             IngestError::Disconnected(m) => write!(f, "disconnected: {m}"),
             IngestError::Config(m) => write!(f, "config error: {m}"),
+            IngestError::PolicyUnknownParam(k) => {
+                write!(f, "unknown policy parameter '{k}'")
+            }
+            IngestError::PolicyInvalidValue {
+                key,
+                value,
+                expected,
+            } => write!(
+                f,
+                "policy parameter {key}: expected {expected}, got '{value}'"
+            ),
         }
     }
 }

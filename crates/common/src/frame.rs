@@ -11,6 +11,7 @@
 //! only re-serialized at true materialization boundaries — UDF output, the
 //! write-ahead log, and disk spills.
 
+use crate::clock::SimInstant;
 use crate::ids::RecordId;
 use bytes::Bytes;
 use std::any::Any;
@@ -170,6 +171,13 @@ pub struct Record {
     /// Index of the feed-adaptor instance that sourced this record; used to
     /// group ack messages per adaptor instance.
     pub adaptor: u32,
+    /// Sim-time the record was *generated* at the external source (TweetGen
+    /// stamps this on the wire; socket adaptors stamp at receipt). Threaded
+    /// through every hop — including spill files and replays — so the store
+    /// stage can derive the end-to-end **ingestion lag** (generation →
+    /// durable) the observability layer exports. `None` for records whose
+    /// origin predates the stamp (e.g. synthetic test frames).
+    pub gen_at: Option<SimInstant>,
     /// Serialized payload (ADM text bytes) plus the shared parse cache.
     pub payload: RecordPayload,
 }
@@ -183,6 +191,7 @@ impl Record {
         Record {
             id: Self::UNTRACKED,
             adaptor,
+            gen_at: None,
             payload: payload.into(),
         }
     }
@@ -192,8 +201,15 @@ impl Record {
         Record {
             id,
             adaptor,
+            gen_at: None,
             payload: payload.into(),
         }
+    }
+
+    /// Builder-style stamp of the source generation time (lag numerator).
+    pub fn stamped(mut self, gen_at: SimInstant) -> Self {
+        self.gen_at = Some(gen_at);
+        self
     }
 
     /// Whether intake has assigned a tracking id.
@@ -344,6 +360,14 @@ mod tests {
         assert_eq!(r.payload_str(), Some("hello"));
         let t = Record::tracked(RecordId(5), 1, "x");
         assert!(t.is_tracked());
+    }
+
+    #[test]
+    fn stamped_records_carry_generation_time() {
+        let r = Record::untracked(0, "x").stamped(SimInstant(120));
+        assert_eq!(r.gen_at, Some(SimInstant(120)));
+        assert_eq!(rec(1).gen_at, None, "constructors default to unstamped");
+        assert!(r.clone().gen_at.is_some(), "clones keep the stamp");
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   timeline figures.
 //! * [`fault`] — the seeded deterministic fault-injection plan used by the
 //!   chaos harness to provoke §6 failure scenarios reproducibly.
+//! * [`metrics`] — the typed metrics registry (counters, gauges, histograms
+//!   with lock-free hot paths) every layer reports into, snapshottable as
+//!   JSON or Prometheus text.
+//! * [`trace`] — span-style tracing of structural events (feed connects,
+//!   recoveries, compactions) into per-node ring-buffer logs.
 
 pub mod clock;
 pub mod error;
@@ -27,6 +32,8 @@ pub mod fault;
 pub mod frame;
 pub mod ids;
 pub mod meter;
+pub mod metrics;
+pub mod trace;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use error::{IngestError, IngestResult, SoftError};
@@ -34,3 +41,8 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use frame::{DataFrame, FrameBuilder, Record, RecordPayload, DEFAULT_FRAME_CAPACITY};
 pub use ids::{FeedId, JobId, NodeId, OperatorId, RecordId};
 pub use meter::{RateMeter, ThroughputSeries};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use trace::{SpanGuard, TraceEvent, TraceHub, TraceLog};

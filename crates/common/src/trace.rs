@@ -1,0 +1,291 @@
+//! Lightweight span-style tracing with per-node ring-buffer event logs.
+//!
+//! The observability layer records the *rare, structural* events of the
+//! ingestion system — feed connects, hard-failure recoveries, LSM
+//! compactions — as timestamped events, optionally paired (span start →
+//! finish with duration). Each node of the simulated cluster owns a bounded
+//! ring buffer ([`TraceLog`]) so a chatty subsystem can never exhaust
+//! memory; [`TraceHub`] hands out the per-node logs and merges them for
+//! reporting.
+
+use crate::clock::{SimClock, SimInstant};
+use crate::ids::NodeId;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sim-time the event was recorded (span events record their *end*).
+    pub at: SimInstant,
+    /// Span/event name, e.g. `feed.connect`, `storage.compaction`.
+    pub span: String,
+    /// Free-form detail, e.g. the connection or partition involved.
+    pub detail: String,
+    /// For span events: sim-milliseconds from start to finish.
+    pub duration_millis: Option<u64>,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s with its own clock.
+#[derive(Debug)]
+pub struct TraceLog {
+    clock: SimClock,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl TraceLog {
+    /// A log holding at most `capacity` events (oldest evicted first).
+    pub fn new(clock: SimClock, capacity: usize) -> Arc<TraceLog> {
+        Arc::new(TraceLog {
+            clock,
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// Record an instantaneous event.
+    pub fn event(&self, span: &str, detail: impl Into<String>) {
+        self.push(TraceEvent {
+            at: self.clock.now(),
+            span: span.to_string(),
+            detail: detail.into(),
+            duration_millis: None,
+        });
+    }
+
+    /// Start a span; the returned guard records an event with the measured
+    /// duration when [`SpanGuard::finish`]ed or dropped.
+    pub fn span(self: &Arc<Self>, span: &str, detail: impl Into<String>) -> SpanGuard {
+        SpanGuard {
+            log: Arc::clone(self),
+            span: span.to_string(),
+            detail: detail.into(),
+            started: self.clock.now(),
+            done: false,
+        }
+    }
+
+    fn push(&self, e: TraceEvent) {
+        let mut q = self.events.lock();
+        if q.len() >= self.capacity {
+            q.pop_front();
+        }
+        q.push_back(e);
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+/// Open span; records its event (with duration) exactly once, on
+/// [`SpanGuard::finish`] or drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    log: Arc<TraceLog>,
+    span: String,
+    detail: String,
+    started: SimInstant,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Close the span now, optionally appending outcome detail.
+    pub fn finish(mut self, outcome: &str) {
+        if !outcome.is_empty() {
+            self.detail = format!("{} ({outcome})", self.detail);
+        }
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let now = self.log.clock.now();
+        self.log.push(TraceEvent {
+            at: now,
+            span: self.span.clone(),
+            detail: self.detail.clone(),
+            duration_millis: Some(now.since(self.started).0),
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Key for the hub's log table: a node's log, or the cluster-wide log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LogScope {
+    Cluster,
+    Node(NodeId),
+}
+
+/// Hands out one bounded [`TraceLog`] per node (plus a cluster-wide log for
+/// events that belong to no single node, like feed connects) and merges
+/// them for reporting.
+#[derive(Clone)]
+pub struct TraceHub {
+    clock: SimClock,
+    capacity: usize,
+    logs: Arc<Mutex<BTreeMap<LogScope, Arc<TraceLog>>>>,
+}
+
+impl TraceHub {
+    /// A hub whose logs each hold `capacity` events.
+    pub fn new(clock: SimClock, capacity: usize) -> TraceHub {
+        TraceHub {
+            clock,
+            capacity,
+            logs: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The cluster-wide log.
+    pub fn cluster_log(&self) -> Arc<TraceLog> {
+        self.log_for(LogScope::Cluster)
+    }
+
+    /// The ring-buffer log of one node.
+    pub fn node_log(&self, node: NodeId) -> Arc<TraceLog> {
+        self.log_for(LogScope::Node(node))
+    }
+
+    fn log_for(&self, scope: LogScope) -> Arc<TraceLog> {
+        Arc::clone(
+            self.logs
+                .lock()
+                .entry(scope)
+                .or_insert_with(|| TraceLog::new(self.clock.clone(), self.capacity)),
+        )
+    }
+
+    /// All buffered events across every log, merged and sorted by time.
+    /// Each entry carries the owning node (`None` = cluster-wide).
+    pub fn recent(&self) -> Vec<(Option<NodeId>, TraceEvent)> {
+        let logs: Vec<(LogScope, Arc<TraceLog>)> = self
+            .logs
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        let mut all: Vec<(Option<NodeId>, TraceEvent)> = Vec::new();
+        for (scope, log) in logs {
+            let node = match scope {
+                LogScope::Cluster => None,
+                LogScope::Node(n) => Some(n),
+            };
+            for e in log.events() {
+                all.push((node, e));
+            }
+        }
+        all.sort_by_key(|(_, e)| e.at);
+        all
+    }
+
+    /// Multi-line rendering of [`TraceHub::recent`] for console reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (node, e) in self.recent() {
+            let who = match node {
+                Some(n) => format!("{n}"),
+                None => "cluster".to_string(),
+            };
+            let dur = match e.duration_millis {
+                Some(d) => format!(" [{d} ms]"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "t={}ms {who} {}{dur}: {}\n",
+                e.at.0, e.span, e.detail
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceHub({} logs)", self.logs.lock().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let log = TraceLog::new(SimClock::fast(), 3);
+        for i in 0..5 {
+            log.event("e", format!("{i}"));
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "2");
+        assert_eq!(events[2].detail, "4");
+    }
+
+    #[test]
+    fn span_records_duration_once() {
+        let clock = SimClock::with_scale(5.0);
+        let log = TraceLog::new(clock.clone(), 16);
+        let span = log.span("feed.connect", "F -> D");
+        clock.sleep(SimDuration::from_millis(400));
+        span.finish("ok");
+        assert_eq!(log.len(), 1);
+        let e = &log.events()[0];
+        assert_eq!(e.span, "feed.connect");
+        assert!(e.detail.contains("ok"));
+        assert!(e.duration_millis.unwrap_or(0) >= 300, "{e:?}");
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        let log = TraceLog::new(SimClock::fast(), 16);
+        {
+            let _span = log.span("recovery", "node 2");
+        }
+        assert_eq!(log.len(), 1);
+        assert!(log.events()[0].duration_millis.is_some());
+    }
+
+    #[test]
+    fn hub_merges_node_logs_in_time_order() {
+        let clock = SimClock::with_scale(2.0);
+        let hub = TraceHub::new(clock.clone(), 8);
+        hub.node_log(NodeId(1)).event("a", "first");
+        clock.sleep(SimDuration::from_millis(50));
+        hub.cluster_log().event("b", "second");
+        let recent = hub.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].1.span, "a");
+        assert_eq!(recent[0].0, Some(NodeId(1)));
+        assert_eq!(recent[1].0, None);
+        assert!(hub.render().contains("cluster b"));
+        // same node gets the same log back
+        assert!(Arc::ptr_eq(
+            &hub.node_log(NodeId(1)),
+            &hub.node_log(NodeId(1))
+        ));
+    }
+}

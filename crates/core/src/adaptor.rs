@@ -151,8 +151,10 @@ impl FeedAdaptor for TweetGenAdaptor {
                 return Ok(());
             }
             match rx.recv_timeout(poll) {
-                Ok(line) => match translate(&line, self.instance) {
-                    Ok(rec) => emit(rec)?,
+                // the wire carries the generation stamp; it rides on the
+                // record so the store can derive end-to-end ingestion lag
+                Ok(tweet) => match translate(&tweet.json, self.instance) {
+                    Ok(rec) => emit(rec.stamped(tweet.gen_at))?,
                     Err(_) => self.parse_failures += 1,
                 },
                 Err(RecvTimeoutError::Timeout) => continue,

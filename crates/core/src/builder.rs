@@ -1,0 +1,292 @@
+//! Fluent construction of feed definitions.
+//!
+//! Hand-rolling a [`FeedDef`] struct literal forces every call site to spell
+//! out the [`FeedKind`] enum and leaves validation to whatever the catalog
+//! happens to check at `create_feed` time. [`FeedBuilder`] is the fluent
+//! front door: name the feed, pick an adaptor (or a parent feed), chain
+//! UDFs, choose a policy and a target dataset, and let [`FeedBuilder::build`]
+//! validate the combination before anything touches the catalog.
+//!
+//! ```
+//! use asterix_feeds::builder::FeedBuilder;
+//!
+//! let def = FeedBuilder::new("TwitterFeed")
+//!     .adaptor("TweetGenAdaptor")
+//!     .param("datasource", "twitter:9000")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(def.name, "TwitterFeed");
+//! ```
+
+use crate::adaptor::AdaptorConfig;
+use crate::catalog::{FeedCatalog, FeedDef, FeedKind};
+use crate::controller::{ConnectionId, FeedController};
+use asterix_common::{IngestError, IngestResult};
+
+/// Fluent builder for feed definitions (and, optionally, their connection).
+///
+/// The terminal operations escalate in scope:
+///
+/// * [`build`](FeedBuilder::build) — validate and return a [`FeedDef`];
+/// * [`register`](FeedBuilder::register) — build and `create_feed` it in a
+///   catalog, materializing a UDF *chain* as secondary feeds when more than
+///   one UDF was requested;
+/// * [`connect`](FeedBuilder::connect) — register, then connect the feed to
+///   its target dataset under the chosen policy.
+#[derive(Debug, Clone)]
+pub struct FeedBuilder {
+    name: String,
+    adaptor: Option<String>,
+    params: AdaptorConfig,
+    parent: Option<String>,
+    udfs: Vec<String>,
+    policy: Option<String>,
+    dataset: Option<String>,
+}
+
+impl FeedBuilder {
+    /// Start defining a feed called `name`.
+    pub fn new(name: impl Into<String>) -> FeedBuilder {
+        FeedBuilder {
+            name: name.into(),
+            adaptor: None,
+            params: AdaptorConfig::new(),
+            parent: None,
+            udfs: Vec::new(),
+            policy: None,
+            dataset: None,
+        }
+    }
+
+    /// Source the feed from the named adaptor (`create feed ... using X`).
+    /// Makes this a primary feed; mutually exclusive with
+    /// [`parent`](FeedBuilder::parent).
+    pub fn adaptor(mut self, alias: impl Into<String>) -> FeedBuilder {
+        self.adaptor = Some(alias.into());
+        self
+    }
+
+    /// Add one adaptor configuration parameter (the parenthesised
+    /// `("key"="value")` pairs of the AQL statement).
+    pub fn param(mut self, key: impl Into<String>, value: impl Into<String>) -> FeedBuilder {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Source the feed from another feed (`create secondary feed ... from
+    /// feed P`). Mutually exclusive with [`adaptor`](FeedBuilder::adaptor).
+    pub fn parent(mut self, feed: impl Into<String>) -> FeedBuilder {
+        self.parent = Some(feed.into());
+        self
+    }
+
+    /// Apply a UDF to every record. May be called repeatedly to build a
+    /// chain; a chain longer than one function is materialized as secondary
+    /// feeds by [`register`](FeedBuilder::register) (a single [`FeedDef`]
+    /// carries at most one function, so [`build`](FeedBuilder::build)
+    /// rejects longer chains).
+    pub fn udf(mut self, function: impl Into<String>) -> FeedBuilder {
+        self.udfs.push(function.into());
+        self
+    }
+
+    /// Ingestion policy used by [`connect`](FeedBuilder::connect)
+    /// (defaults to `Basic`).
+    pub fn policy(mut self, name: impl Into<String>) -> FeedBuilder {
+        self.policy = Some(name.into());
+        self
+    }
+
+    /// Target dataset used by [`connect`](FeedBuilder::connect).
+    pub fn into_dataset(mut self, name: impl Into<String>) -> FeedBuilder {
+        self.dataset = Some(name.into());
+        self
+    }
+
+    fn validate(&self) -> IngestResult<()> {
+        if self.name.trim().is_empty() {
+            return Err(IngestError::Metadata("feed name must be non-empty".into()));
+        }
+        match (&self.adaptor, &self.parent) {
+            (None, None) => Err(IngestError::Metadata(format!(
+                "feed '{}' needs an adaptor or a parent feed",
+                self.name
+            ))),
+            (Some(_), Some(_)) => Err(IngestError::Metadata(format!(
+                "feed '{}' cannot have both an adaptor and a parent feed",
+                self.name
+            ))),
+            (None, Some(_)) if !self.params.is_empty() => Err(IngestError::Metadata(format!(
+                "feed '{}': adaptor parameters make no sense on a secondary feed",
+                self.name
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    fn kind(&self) -> FeedKind {
+        match &self.adaptor {
+            Some(alias) => FeedKind::Primary {
+                adaptor: alias.clone(),
+                config: self.params.clone(),
+            },
+            None => FeedKind::Secondary {
+                parent: self.parent.clone().expect("validated"),
+            },
+        }
+    }
+
+    /// Validate and produce the [`FeedDef`]. Fails on a missing/ambiguous
+    /// source or a UDF chain longer than one function (which a single
+    /// definition cannot carry — use [`register`](FeedBuilder::register)).
+    pub fn build(self) -> IngestResult<FeedDef> {
+        self.validate()?;
+        if self.udfs.len() > 1 {
+            return Err(IngestError::Metadata(format!(
+                "feed '{}': a single FeedDef carries at most one UDF; \
+                 register() materializes a {}-function chain as secondary feeds",
+                self.name,
+                self.udfs.len()
+            )));
+        }
+        let kind = self.kind();
+        Ok(FeedDef {
+            name: self.name,
+            kind,
+            udf: self.udfs.into_iter().next(),
+        })
+    }
+
+    /// Build and `create_feed` in `catalog`. A UDF chain of N > 1 functions
+    /// becomes the named feed (carrying the first function) plus N-1
+    /// secondary feeds named `<name>#2..#N`; the returned [`FeedDef`] is the
+    /// *tail* of the chain — the one to connect to a dataset.
+    pub fn register(self, catalog: &FeedCatalog) -> IngestResult<FeedDef> {
+        self.validate()?;
+        let name = self.name.clone();
+        let udfs = self.udfs.clone();
+        let head = FeedDef {
+            name: name.clone(),
+            kind: self.kind(),
+            udf: udfs.first().cloned(),
+        };
+        catalog.create_feed(head.clone())?;
+        let mut tail = head;
+        for (i, udf) in udfs.iter().enumerate().skip(1) {
+            let link = FeedDef {
+                name: format!("{name}#{}", i + 1),
+                kind: FeedKind::Secondary {
+                    parent: tail.name.clone(),
+                },
+                udf: Some(udf.clone()),
+            };
+            catalog.create_feed(link.clone())?;
+            tail = link;
+        }
+        Ok(tail)
+    }
+
+    /// Register in `catalog`, then connect the (tail of the) feed to the
+    /// dataset chosen with [`into_dataset`](FeedBuilder::into_dataset) under
+    /// the chosen [`policy`](FeedBuilder::policy).
+    pub fn connect(
+        self,
+        catalog: &FeedCatalog,
+        controller: &FeedController,
+    ) -> IngestResult<ConnectionId> {
+        let dataset = self.dataset.clone().ok_or_else(|| {
+            IngestError::Metadata(format!(
+                "feed '{}': connect() needs into_dataset(...)",
+                self.name
+            ))
+        })?;
+        let policy = self.policy.clone().unwrap_or_else(|| "Basic".into());
+        let tail = self.register(catalog)?;
+        controller.connect_feed(&tail.name, &dataset, &policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::Udf;
+    use asterix_adm::types::paper_registry;
+
+    #[test]
+    fn builds_primary_and_secondary_defs() {
+        let def = FeedBuilder::new("TwitterFeed")
+            .adaptor("TweetGenAdaptor")
+            .param("datasource", "twitter:9000")
+            .build()
+            .unwrap();
+        assert_eq!(def.name, "TwitterFeed");
+        match def.kind {
+            FeedKind::Primary { adaptor, config } => {
+                assert_eq!(adaptor, "TweetGenAdaptor");
+                assert_eq!(config.get("datasource").unwrap(), "twitter:9000");
+            }
+            other => panic!("expected primary, got {other:?}"),
+        }
+
+        let def = FeedBuilder::new("Child")
+            .parent("TwitterFeed")
+            .udf("addHashTags")
+            .build()
+            .unwrap();
+        assert!(matches!(def.kind, FeedKind::Secondary { parent } if parent == "TwitterFeed"));
+        assert_eq!(def.udf.as_deref(), Some("addHashTags"));
+    }
+
+    #[test]
+    fn invalid_combinations_fail_at_build() {
+        assert!(
+            FeedBuilder::new("").adaptor("X").build().is_err(),
+            "empty name"
+        );
+        assert!(FeedBuilder::new("F").build().is_err(), "no source");
+        assert!(
+            FeedBuilder::new("F")
+                .adaptor("A")
+                .parent("P")
+                .build()
+                .is_err(),
+            "two sources"
+        );
+        assert!(
+            FeedBuilder::new("F")
+                .parent("P")
+                .param("k", "v")
+                .build()
+                .is_err(),
+            "params on secondary"
+        );
+        assert!(
+            FeedBuilder::new("F")
+                .adaptor("A")
+                .udf("f")
+                .udf("g")
+                .build()
+                .is_err(),
+            "chain needs register()"
+        );
+    }
+
+    #[test]
+    fn register_materializes_udf_chains() {
+        let catalog = FeedCatalog::new(paper_registry());
+        catalog.create_function(Udf::add_hash_tags()).unwrap();
+        catalog.create_function(Udf::sentiment_analysis()).unwrap();
+        let tail = FeedBuilder::new("TwitterFeed")
+            .adaptor("TweetGenAdaptor")
+            .param("datasource", "twitter:9000")
+            .udf("addHashTags")
+            .udf("tweetlib#sentimentAnalysis")
+            .register(&catalog)
+            .unwrap();
+        assert_eq!(tail.name, "TwitterFeed#2");
+        assert_eq!(
+            catalog.joint_id_for(&tail.name).unwrap(),
+            "TwitterFeed:addHashTags:tweetlib#sentimentAnalysis"
+        );
+    }
+}

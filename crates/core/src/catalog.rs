@@ -442,6 +442,38 @@ mod tests {
     }
 
     #[test]
+    fn every_builtin_policy_round_trips_through_the_catalog() {
+        use crate::policy::IngestionPolicy;
+        let c = catalog();
+        let builtins = [
+            IngestionPolicy::basic(),
+            IngestionPolicy::spill(),
+            IngestionPolicy::discard(),
+            IngestionPolicy::throttle(),
+            IngestionPolicy::elastic(),
+            IngestionPolicy::fault_tolerant(),
+        ];
+        for base in builtins {
+            // catalog lookup returns the builtin verbatim
+            assert_eq!(c.policy(&base.name).unwrap(), base);
+            // extend with a param override, register, and look it back up:
+            // nothing but the overridden field and the name may change
+            let custom_name = format!("{}_tuned", base.name);
+            let mut params = std::collections::BTreeMap::new();
+            params.insert("max.consecutive.soft.failures".into(), "7".into());
+            let created = c.create_policy(&custom_name, &base.name, &params).unwrap();
+            let looked_up = c.policy(&custom_name).unwrap();
+            assert_eq!(created, looked_up);
+            let mut expected = base.clone();
+            expected.name = custom_name;
+            expected.max_consecutive_soft_failures = 7;
+            assert_eq!(looked_up, expected);
+            // the base policy itself is untouched by the derivation
+            assert_eq!(c.policy(&base.name).unwrap(), base);
+        }
+    }
+
+    #[test]
     fn functions_register_once() {
         let c = catalog();
         c.create_function(Udf::add_hash_tags()).unwrap();

@@ -262,6 +262,15 @@ impl FeedController {
         &self.cluster
     }
 
+    /// The cluster-wide metrics registry — *the* public handle for reading
+    /// metrics. One [`asterix_common::MetricsRegistry::snapshot`] here
+    /// observes every connection's `feed.*` counters, the executor's
+    /// `operator.*` rates and latency histograms, and the target datasets'
+    /// `storage.*` gauges.
+    pub fn registry(&self) -> asterix_common::MetricsRegistry {
+        self.cluster.registry()
+    }
+
     // -----------------------------------------------------------------------
     // connect / disconnect
     // -----------------------------------------------------------------------
@@ -377,7 +386,17 @@ impl FeedController {
 
         // --- store segment (started first so its subscription is live) -----
         let id: ConnectionId = CONNECTION_IDS.next();
-        let metrics = FeedMetrics::with_default_bucket(self.cluster.clock().clone());
+        let connect_span = self
+            .cluster
+            .trace()
+            .cluster_log()
+            .span("feed.connect", key.clone());
+        dataset_arc.register_observability(&self.cluster.registry(), &self.cluster.trace());
+        let metrics = FeedMetrics::registered_default(
+            &self.cluster.registry(),
+            &key,
+            self.cluster.clock().clone(),
+        );
         let conn = Connection {
             id,
             key: key.clone(),
@@ -399,7 +418,11 @@ impl FeedController {
         // --- compute segments, deepest first --------------------------------
         compute_segments.sort_by_key(|s| std::cmp::Reverse(s.0));
         for (depth, in_joint, out_joint, udf, stage_feed, locs) in compute_segments {
-            let seg_metrics = FeedMetrics::with_default_bucket(self.cluster.clock().clone());
+            let seg_metrics = FeedMetrics::registered_default(
+                &self.cluster.registry(),
+                &out_joint,
+                self.cluster.clock().clone(),
+            );
             let seg = ComputeSegment {
                 out_joint: out_joint.clone(),
                 in_joint,
@@ -442,6 +465,7 @@ impl FeedController {
             st.collects.insert(root_raw_joint, seg);
         }
 
+        connect_span.finish("active");
         Ok(id)
     }
 
@@ -632,12 +656,12 @@ impl FeedController {
                 intake,
                 compute,
                 c.dataset.config.nodegroup,
-                c.metrics.records_in.load(Ordering::Relaxed),
-                c.metrics.records_persisted.load(Ordering::Relaxed),
+                c.metrics.records_in.get(),
+                c.metrics.records_persisted.get(),
                 last_rate,
-                c.metrics.hard_failures_recovered.load(Ordering::Relaxed),
-                c.metrics.zombie_frames_adopted.load(Ordering::Relaxed),
-                c.metrics.last_recovery_millis.load(Ordering::Relaxed),
+                c.metrics.hard_failures_recovered.get(),
+                c.metrics.zombie_frames_adopted.get(),
+                c.metrics.last_recovery_millis.get(),
             );
         }
         out
@@ -979,9 +1003,7 @@ impl FeedController {
             if let Ok(job) = self.spawn_store_job(&st, conn_ref) {
                 let c = st.connections.get_mut(&id).unwrap();
                 c.job = Some(job);
-                c.metrics
-                    .hard_failures_recovered
-                    .fetch_add(1, Ordering::Relaxed);
+                c.metrics.hard_failures_recovered.add(1);
             }
         }
     }
@@ -1000,6 +1022,11 @@ impl FeedController {
     }
 
     fn handle_node_failure(&self, dead: NodeId) {
+        let recovery_span = self
+            .cluster
+            .trace()
+            .node_log(dead)
+            .span("feed.recovery", format!("node {dead} failed"));
         // phase 1: decide what is affected, under the lock
         let mut st = self.state.lock();
 
@@ -1145,12 +1172,18 @@ impl FeedController {
                 st.connections.get_mut(&id).unwrap().job = Some(job);
             }
         }
+        recovery_span.finish(&format!("{} joints moved", moved_joints.len()));
     }
 
     fn handle_node_join(&self, node: NodeId) {
         // store-failure recovery: "as and when the failed store node re-joins
         // the cluster and becomes available, the data ingestion pipeline is
         // rescheduled" — after log-based recovery of its partitions (§6.2.3)
+        let rejoin_span = self
+            .cluster
+            .trace()
+            .node_log(node)
+            .span("feed.rejoin", format!("node {node} rejoined"));
         let mut st = self.state.lock();
         let ids: Vec<ConnectionId> = st
             .connections
@@ -1175,17 +1208,14 @@ impl FeedController {
                 let c = st.connections.get_mut(&id).unwrap();
                 c.job = Some(job);
                 c.state = ConnectionState::Active;
-                c.metrics
-                    .hard_failures_recovered
-                    .fetch_add(1, Ordering::Relaxed);
+                c.metrics.hard_failures_recovered.add(1);
                 if let Some(t0) = c.suspended_at.take() {
                     let elapsed = self.cluster.clock().now().since(t0);
-                    c.metrics
-                        .last_recovery_millis
-                        .store(elapsed.0, Ordering::Relaxed);
+                    c.metrics.last_recovery_millis.set(elapsed.0);
                 }
             }
         }
+        rejoin_span.finish("rescheduled");
     }
 
     // -----------------------------------------------------------------------
@@ -1247,6 +1277,10 @@ impl FeedController {
         let out = seg.out_joint.clone();
         let locs = seg.compute_locations.clone();
         let new_n = locs.len();
+        self.cluster
+            .trace()
+            .cluster_log()
+            .event("feed.scale", format!("{out}: {current} -> {new_n}"));
         st.joints.insert(out.clone(), locs.clone());
         self.preregister_joint(&out, &locs);
         let seg_ref = st.computes.get(&out).unwrap();

@@ -23,14 +23,13 @@
 
 use crate::metrics::FeedMetrics;
 use crate::policy::{ExcessStrategy, IngestionPolicy};
-use asterix_common::{DataFrame, FeedId, IngestError, IngestResult, Record, RecordId};
+use asterix_common::{DataFrame, FeedId, IngestError, IngestResult, Record, RecordId, SimInstant};
 use asterix_hyracks::operator::FrameWriter;
 use crossbeam_channel::{Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// A scale-out request emitted under the Elastic policy.
@@ -49,13 +48,16 @@ pub struct SpillFile {
 }
 
 impl SpillFile {
-    /// Append a frame (serialized).
+    /// Append a frame (serialized). The generation stamp spills with each
+    /// record (`u64::MAX` = unstamped) so ingestion lag keeps counting
+    /// time spent on disk.
     pub fn push(&mut self, frame: &DataFrame) {
         let mut buf = Vec::with_capacity(frame.size_bytes() + 16);
         buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
         for r in frame.records() {
             buf.extend_from_slice(&r.id.raw().to_le_bytes());
             buf.extend_from_slice(&r.adaptor.to_le_bytes());
+            buf.extend_from_slice(&r.gen_at.map_or(u64::MAX, |g| g.0).to_le_bytes());
             buf.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
             buf.extend_from_slice(&r.payload);
         }
@@ -92,9 +94,14 @@ impl SpillFile {
         for _ in 0..n {
             let id = u64::from_le_bytes(take(&mut pos, 8).try_into().unwrap());
             let adaptor = u32::from_le_bytes(take(&mut pos, 4).try_into().unwrap());
+            let gen_raw = u64::from_le_bytes(take(&mut pos, 8).try_into().unwrap());
             let len = u32::from_le_bytes(take(&mut pos, 4).try_into().unwrap()) as usize;
             let payload = take(&mut pos, len);
-            records.push(Record::tracked(RecordId(id), adaptor, payload));
+            let mut rec = Record::tracked(RecordId(id), adaptor, payload);
+            if gen_raw != u64::MAX {
+                rec = rec.stamped(SimInstant(gen_raw));
+            }
+            records.push(rec);
         }
         DataFrame::from_records(records)
     }
@@ -223,9 +230,7 @@ impl FlowController {
             match self.try_send(frame) {
                 Ok(()) => {
                     self.backlog_bytes -= sz;
-                    self.metrics
-                        .buffer_bytes
-                        .store(self.backlog_bytes as u64, Ordering::Relaxed);
+                    self.metrics.buffer_bytes.set(self.backlog_bytes as u64);
                 }
                 Err(Some(f)) => {
                     self.backlog.push_front(f);
@@ -240,19 +245,13 @@ impl FlowController {
             let n = frame.len() as u64;
             match self.try_send(frame) {
                 Ok(()) => {
-                    self.metrics
-                        .records_despilled
-                        .fetch_add(n, Ordering::Relaxed);
-                    self.metrics
-                        .spill_bytes
-                        .store(self.spill.bytes() as u64, Ordering::Relaxed);
+                    self.metrics.records_despilled.add(n);
+                    self.metrics.spill_bytes.set(self.spill.bytes() as u64);
                 }
                 Err(Some(_)) => {
                     // no room: re-queue the encoded segment at the front
                     self.spill.push_front_segment(segment);
-                    self.metrics
-                        .spill_bytes
-                        .store(self.spill.bytes() as u64, Ordering::Relaxed);
+                    self.metrics.spill_bytes.set(self.spill.bytes() as u64);
                     return Ok(false);
                 }
                 Err(None) => return Err(IngestError::Disconnected("pipeline gone".into())),
@@ -283,18 +282,14 @@ impl FlowController {
             ExcessStrategy::Buffer => self.buffer_excess(frame),
             ExcessStrategy::Spill => self.spill_excess(frame),
             ExcessStrategy::Discard => {
-                self.metrics
-                    .records_discarded
-                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                self.metrics.records_discarded.add(frame.len() as u64);
                 Ok(())
             }
             ExcessStrategy::Throttle => self.throttle_excess(frame),
             ExcessStrategy::Elastic => {
                 if !self.elastic_signalled {
                     self.elastic_signalled = true;
-                    self.metrics
-                        .elastic_scaleouts
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.elastic_scaleouts.add(1);
                     if let Some(tx) = &self.elastic_tx {
                         let _ = tx.send(ElasticRequest {
                             connection_key: self.connection_key.clone(),
@@ -325,9 +320,7 @@ impl FlowController {
         }
         self.backlog_bytes += sz;
         self.backlog.push_back(frame);
-        self.metrics
-            .buffer_bytes
-            .store(self.backlog_bytes as u64, Ordering::Relaxed);
+        self.metrics.buffer_bytes.set(self.backlog_bytes as u64);
         Ok(())
     }
 
@@ -338,21 +331,15 @@ impl FlowController {
                 return match self.policy.overflow_strategy() {
                     ExcessStrategy::Throttle => self.throttle_excess(frame),
                     _ => {
-                        self.metrics
-                            .records_discarded
-                            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                        self.metrics.records_discarded.add(frame.len() as u64);
                         Ok(())
                     }
                 };
             }
         }
-        self.metrics
-            .records_spilled
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.metrics.records_spilled.add(frame.len() as u64);
         self.spill.push(&frame);
-        self.metrics
-            .spill_bytes
-            .store(self.spill.bytes() as u64, Ordering::Relaxed);
+        self.metrics.spill_bytes.set(self.spill.bytes() as u64);
         Ok(())
     }
 
@@ -367,9 +354,7 @@ impl FlowController {
                 dropped += 1;
             }
         }
-        self.metrics
-            .records_throttled
-            .fetch_add(dropped, Ordering::Relaxed);
+        self.metrics.records_throttled.add(dropped);
         if kept.is_empty() {
             return Ok(());
         }
@@ -379,11 +364,9 @@ impl FlowController {
         // the back of that structure instead of jumping the queue.
         if !self.spill.is_empty() {
             let n = frame.len() as u64;
-            self.metrics.records_spilled.fetch_add(n, Ordering::Relaxed);
+            self.metrics.records_spilled.add(n);
             self.spill.push(&frame);
-            self.metrics
-                .spill_bytes
-                .store(self.spill.bytes() as u64, Ordering::Relaxed);
+            self.metrics.spill_bytes.set(self.spill.bytes() as u64);
             return Ok(());
         }
         if !self.backlog.is_empty() {
@@ -414,9 +397,7 @@ impl FlowController {
     /// lands *behind* the in-budget adopted frames (backlog drains before
     /// spill).
     pub fn adopt_deferred(&mut self, frames: Vec<DataFrame>) -> IngestResult<()> {
-        self.metrics
-            .zombie_frames_adopted
-            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        self.metrics.zombie_frames_adopted.add(frames.len() as u64);
         for f in frames {
             let sz = f.size_bytes();
             if self.backlog_bytes + sz > self.policy.memory_budget_bytes {
@@ -426,9 +407,7 @@ impl FlowController {
             self.backlog_bytes += sz;
             self.backlog.push_back(f);
         }
-        self.metrics
-            .buffer_bytes
-            .store(self.backlog_bytes as u64, Ordering::Relaxed);
+        self.metrics.buffer_bytes.set(self.backlog_bytes as u64);
         Ok(())
     }
 
@@ -449,12 +428,10 @@ impl FlowController {
                 let n = f.len() as u64;
                 tx.send(f)
                     .map_err(|_| IngestError::Disconnected("pipeline gone".into()))?;
-                self.metrics
-                    .records_despilled
-                    .fetch_add(n, Ordering::Relaxed);
+                self.metrics.records_despilled.add(n);
             }
-            self.metrics.buffer_bytes.store(0, Ordering::Relaxed);
-            self.metrics.spill_bytes.store(0, Ordering::Relaxed);
+            self.metrics.buffer_bytes.set(0);
+            self.metrics.spill_bytes.set(0);
         }
         drop(self.q_tx.take());
         match self.pusher.take() {
@@ -590,7 +567,7 @@ mod tests {
         }
         assert_eq!(sink.records(), 100);
         assert!(*sink.closed.lock());
-        assert_eq!(m.records_discarded.load(Ordering::Relaxed), 0);
+        assert_eq!(m.records_discarded.get(), 0);
     }
 
     #[test]
@@ -625,7 +602,7 @@ mod tests {
             sink.open_gate();
             fc.finish().unwrap();
         }
-        let discarded = m.records_discarded.load(Ordering::Relaxed);
+        let discarded = m.records_discarded.get();
         assert!(discarded > 0, "expected drops");
         assert_eq!(sink.records() as u64 + discarded, 100);
     }
@@ -638,16 +615,13 @@ mod tests {
             let mut fc = controller(IngestionPolicy::spill(), &sink);
             m = Arc::clone(&fc.metrics);
             congest(&mut fc, 10).unwrap();
-            assert!(m.records_spilled.load(Ordering::Relaxed) > 0);
-            assert!(m.spill_bytes.load(Ordering::Relaxed) > 0);
+            assert!(m.records_spilled.get() > 0);
+            assert!(m.spill_bytes.get() > 0);
             sink.open_gate();
             fc.finish().unwrap();
         }
         assert_eq!(sink.records(), 100, "spill loses nothing");
-        assert_eq!(
-            m.records_despilled.load(Ordering::Relaxed),
-            m.records_spilled.load(Ordering::Relaxed)
-        );
+        assert_eq!(m.records_despilled.get(), m.records_spilled.get());
     }
 
     #[test]
@@ -663,8 +637,8 @@ mod tests {
             sink.open_gate();
             fc.finish().unwrap();
         }
-        assert!(m.records_discarded.load(Ordering::Relaxed) > 0);
-        assert!(m.records_spilled.load(Ordering::Relaxed) > 0);
+        assert!(m.records_discarded.get() > 0);
+        assert!(m.records_spilled.get() > 0);
     }
 
     #[test]
@@ -690,11 +664,8 @@ mod tests {
             congest(&mut fc, 50).unwrap();
             fc.finish().unwrap();
         }
-        assert!(m.records_spilled.load(Ordering::Relaxed) > 0, "spill first");
-        assert!(
-            m.records_throttled.load(Ordering::Relaxed) > 0,
-            "then throttle"
-        );
+        assert!(m.records_spilled.get() > 0, "spill first");
+        assert!(m.records_throttled.get() > 0, "then throttle");
     }
 
     #[test]
@@ -711,7 +682,7 @@ mod tests {
             sink.set_delay(0);
             fc.finish().unwrap();
         }
-        let dropped = m.records_throttled.load(Ordering::Relaxed);
+        let dropped = m.records_throttled.get();
         assert!(dropped > 0);
         assert_eq!(sink.records() as u64 + dropped, 1000);
         // keep fraction is 0.5: roughly half of the excess records dropped
@@ -864,14 +835,14 @@ mod tests {
             fc.adopt_deferred(vec![frame(0..10), frame(10..20), frame(20..30)])
                 .unwrap();
             assert!(
-                m.records_spilled.load(Ordering::Relaxed) >= 20,
+                m.records_spilled.get() >= 20,
                 "overflow beyond the budget must hit the excess strategy"
             );
             sink.open_gate();
             fc.finish().unwrap();
         }
         assert_eq!(sink.records(), 30, "spilled adoptions lose nothing");
-        assert_eq!(m.zombie_frames_adopted.load(Ordering::Relaxed), 3);
+        assert_eq!(m.zombie_frames_adopted.get(), 3);
         // order preserved: in-budget backlog first, spilled overflow after
         let first = sink.accepted.lock()[0].records()[0].id;
         assert_eq!(first, RecordId(0));
@@ -903,7 +874,7 @@ mod tests {
             sink.open_gate();
             fc.finish().unwrap();
         }
-        assert_eq!(m.records_discarded.load(Ordering::Relaxed), 20);
+        assert_eq!(m.records_discarded.get(), 20);
         assert_eq!(sink.records(), 10, "in-budget frame survives");
     }
 
@@ -920,5 +891,16 @@ mod tests {
         assert_eq!(sf.pop().unwrap(), f2);
         assert!(sf.pop().is_none());
         assert_eq!(sf.bytes(), 0);
+    }
+
+    #[test]
+    fn spill_preserves_generation_stamps() {
+        let mut sf = SpillFile::default();
+        let stamped = Record::tracked(RecordId(1), 0, "{\"id\":1}").stamped(SimInstant(42));
+        let plain = Record::tracked(RecordId(2), 0, "{\"id\":2}");
+        sf.push(&DataFrame::from_records(vec![stamped, plain]));
+        let back = sf.pop().unwrap();
+        assert_eq!(back.records()[0].gen_at, Some(SimInstant(42)));
+        assert_eq!(back.records()[1].gen_at, None);
     }
 }

@@ -27,6 +27,8 @@
 //!   from the store stage, timeout-based replay;
 //! * [`catalog`] — the feeds metadata (§5.1): feed definitions, adaptor
 //!   factories, functions, policies and datasets;
+//! * [`builder`] — fluent [`FeedBuilder`] construction of feed definitions,
+//!   validated before they reach the catalog;
 //! * [`controller`] — the Central Feed Manager: connect/disconnect
 //!   lifecycle, cascade-network construction, the hard-failure protocol
 //!   (§6.2) and elastic restructuring (§7.3.5);
@@ -47,6 +49,7 @@
 
 pub mod ack;
 pub mod adaptor;
+pub mod builder;
 pub mod catalog;
 pub mod controller;
 pub mod flow;
@@ -58,10 +61,11 @@ pub mod policy;
 pub mod udf;
 
 pub use adaptor::{AdaptorConfig, AdaptorFactory, FeedAdaptor};
+pub use builder::FeedBuilder;
 pub use catalog::{FeedCatalog, FeedDef, FeedKind};
 pub use controller::{ConnectionId, FeedController};
 pub use joint::FeedJoint;
 pub use manager::FeedManager;
 pub use metrics::FeedMetrics;
-pub use policy::IngestionPolicy;
+pub use policy::{IngestionPolicy, PolicyParam};
 pub use udf::{Udf, UdfKind};

@@ -41,7 +41,6 @@ use asterix_hyracks::operator::{
 use asterix_storage::Dataset;
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::Mutex;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// One logged soft failure (§6.1.2).
@@ -133,7 +132,7 @@ impl Sandbox {
     }
 
     fn log_soft(&mut self, err: &IngestError, record: &Record) {
-        self.metrics.soft_failures.fetch_add(1, Ordering::Relaxed);
+        self.metrics.soft_failures.add(1);
         let entry = SoftFailureEntry {
             at: self.clock.now(),
             operator: self.name.clone(),
@@ -512,9 +511,7 @@ impl IntakeSource {
             None => return Ok(()),
         };
         if !due.is_empty() {
-            self.metrics
-                .records_replayed
-                .fetch_add(due.len() as u64, Ordering::Relaxed);
+            self.metrics.records_replayed.add(due.len() as u64);
             let flow = self.flow.as_mut().expect("flow active");
             flow.offer(DataFrame::from_records(due))?;
         }
@@ -564,9 +561,7 @@ impl SourceOperator for IntakeSource {
             }
             match sub.recv(&self.clock, poll) {
                 JointRecv::Frame(frame) => {
-                    self.metrics
-                        .records_in
-                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    self.metrics.records_in.add(frame.len() as u64);
                     let frame = self.track_frame(frame);
                     let flow = self.flow.as_mut().expect("flow active");
                     match flow.offer(frame) {
@@ -660,7 +655,7 @@ impl OperatorDescriptor for AssignDesc {
             // an attributed miss for despilled or externally-built records
             let value = rec
                 .payload
-                .adm_value_counted(&metrics.parse_calls)
+                .adm_value_counted(metrics.parse_calls.as_atomic())
                 .map_err(|e| IngestError::soft(e.to_string()))?;
             if extra_delay_us > 0 {
                 std::thread::sleep(std::time::Duration::from_micros(extra_delay_us));
@@ -679,12 +674,13 @@ impl OperatorDescriptor for AssignDesc {
             if matches!(out, asterix_adm::AdmValue::Missing) {
                 return Ok(None);
             }
-            metrics.records_computed.fetch_add(1, Ordering::Relaxed);
+            metrics.records_computed.add(1);
             // UDF output is a true materialization boundary: serialize the
             // new value once, seeding the cache so the store never re-parses
             Ok(Some(Record {
                 id: rec.id,
                 adaptor: rec.adaptor,
+                gen_at: rec.gen_at,
                 payload: payload_from_value(out),
             }))
         };
@@ -847,7 +843,7 @@ impl UnaryOperator for StoreFeed {
             // output); only despilled/externally-built records miss here
             let parsed = rec
                 .payload
-                .adm_value_counted(&self.metrics.parse_calls)
+                .adm_value_counted(self.metrics.parse_calls.as_atomic())
                 .map_err(|e| IngestError::soft(e.to_string()))
                 .and_then(|value| {
                     if let Some(reg) = &self.registry {
@@ -880,6 +876,11 @@ impl UnaryOperator for StoreFeed {
             match soft {
                 None => {
                     self.sandbox.record_ok();
+                    // the record is durable (post-group-commit): close the
+                    // end-to-end lag measurement opened at generation time
+                    if let Some(gen_at) = rec.gen_at {
+                        self.metrics.lag_from(gen_at);
+                    }
                     if let Some(s) = &mut self.ack_sender {
                         s.ack(rec);
                     }
@@ -891,7 +892,7 @@ impl UnaryOperator for StoreFeed {
             }
         }
         self.metrics.persisted(outcome.committed as u64);
-        self.metrics.frames_stored.fetch_add(1, Ordering::Relaxed);
+        self.metrics.frames_stored.add(1);
         Ok(())
     }
 
@@ -997,7 +998,7 @@ mod tests {
         meta.next_frame(frame_of(&["a", "bad", "b", "bad", "c"]), &mut out)
             .unwrap();
         assert_eq!(out.0[0].len(), 3);
-        assert_eq!(m.soft_failures.load(Ordering::Relaxed), 2);
+        assert_eq!(m.soft_failures.get(), 2);
         let entries = log.lock();
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].operator, "test-op");

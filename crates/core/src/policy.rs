@@ -19,6 +19,118 @@
 use asterix_common::{IngestError, IngestResult};
 use std::collections::BTreeMap;
 
+/// One typed ingestion-policy parameter (Table 4.1).
+///
+/// This is the structured face of the stringly `("key", "value")` pairs an
+/// AQL `with` clause carries: [`PolicyParam::parse`] is the shim that turns
+/// those pairs into typed values, and [`IngestionPolicy::set`] applies them.
+/// Constructing a variant directly skips string parsing entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyParam {
+    /// `excess.records.spill`
+    ExcessRecordsSpill(bool),
+    /// `excess.records.discard`
+    ExcessRecordsDiscard(bool),
+    /// `excess.records.throttle`
+    ExcessRecordsThrottle(bool),
+    /// `excess.records.elastic`
+    ExcessRecordsElastic(bool),
+    /// `recover.soft.failure`
+    RecoverSoftFailure(bool),
+    /// `recover.hard.failure`
+    RecoverHardFailure(bool),
+    /// `at.least.once.enabled`
+    AtLeastOnce(bool),
+    /// `memory.budget.bytes`
+    MemoryBudgetBytes(usize),
+    /// `max.spill.size.on.disk`
+    MaxSpillBytes(usize),
+    /// `max.consecutive.soft.failures`
+    MaxConsecutiveSoftFailures(usize),
+    /// `soft.failure.log.data`
+    LogSoftFailures(bool),
+    /// `throttle.keep.fraction` — fraction of records *kept*, in (0, 1].
+    ThrottleKeepFraction(f64),
+}
+
+impl PolicyParam {
+    /// The Table 4.1 parameter name this variant corresponds to.
+    pub fn key(&self) -> &'static str {
+        match self {
+            PolicyParam::ExcessRecordsSpill(_) => "excess.records.spill",
+            PolicyParam::ExcessRecordsDiscard(_) => "excess.records.discard",
+            PolicyParam::ExcessRecordsThrottle(_) => "excess.records.throttle",
+            PolicyParam::ExcessRecordsElastic(_) => "excess.records.elastic",
+            PolicyParam::RecoverSoftFailure(_) => "recover.soft.failure",
+            PolicyParam::RecoverHardFailure(_) => "recover.hard.failure",
+            PolicyParam::AtLeastOnce(_) => "at.least.once.enabled",
+            PolicyParam::MemoryBudgetBytes(_) => "memory.budget.bytes",
+            PolicyParam::MaxSpillBytes(_) => "max.spill.size.on.disk",
+            PolicyParam::MaxConsecutiveSoftFailures(_) => "max.consecutive.soft.failures",
+            PolicyParam::LogSoftFailures(_) => "soft.failure.log.data",
+            PolicyParam::ThrottleKeepFraction(_) => "throttle.keep.fraction",
+        }
+    }
+
+    /// Parse one stringly `key=value` pair from an AQL `with` clause into a
+    /// typed parameter. Unknown keys raise
+    /// [`IngestError::PolicyUnknownParam`]; malformed values raise
+    /// [`IngestError::PolicyInvalidValue`] naming what was expected.
+    pub fn parse(key: &str, value: &str) -> IngestResult<PolicyParam> {
+        fn invalid(key: &str, value: &str, expected: &str) -> IngestError {
+            IngestError::PolicyInvalidValue {
+                key: key.to_string(),
+                value: value.to_string(),
+                expected: expected.to_string(),
+            }
+        }
+        fn parse_bool(key: &str, v: &str) -> IngestResult<bool> {
+            v.parse::<bool>().map_err(|_| invalid(key, v, "true/false"))
+        }
+        fn parse_bytes(key: &str, v: &str) -> IngestResult<usize> {
+            let raw = v.trim();
+            let (num, mult) = if let Some(n) = raw.strip_suffix("GB") {
+                (n, 1 << 30)
+            } else if let Some(n) = raw.strip_suffix("MB") {
+                (n, 1 << 20)
+            } else if let Some(n) = raw.strip_suffix("KB") {
+                (n, 1 << 10)
+            } else {
+                (raw, 1)
+            };
+            num.trim()
+                .parse::<usize>()
+                .map(|n| n * mult)
+                .map_err(|_| invalid(key, v, "a byte size like 512MB"))
+        }
+        Ok(match key {
+            "excess.records.spill" => PolicyParam::ExcessRecordsSpill(parse_bool(key, value)?),
+            "excess.records.discard" => PolicyParam::ExcessRecordsDiscard(parse_bool(key, value)?),
+            "excess.records.throttle" => {
+                PolicyParam::ExcessRecordsThrottle(parse_bool(key, value)?)
+            }
+            "excess.records.elastic" => PolicyParam::ExcessRecordsElastic(parse_bool(key, value)?),
+            "recover.soft.failure" => PolicyParam::RecoverSoftFailure(parse_bool(key, value)?),
+            "recover.hard.failure" => PolicyParam::RecoverHardFailure(parse_bool(key, value)?),
+            "at.least.once.enabled" => PolicyParam::AtLeastOnce(parse_bool(key, value)?),
+            "memory.budget.bytes" => PolicyParam::MemoryBudgetBytes(parse_bytes(key, value)?),
+            "max.spill.size.on.disk" => PolicyParam::MaxSpillBytes(parse_bytes(key, value)?),
+            "max.consecutive.soft.failures" => PolicyParam::MaxConsecutiveSoftFailures(
+                value
+                    .parse()
+                    .map_err(|_| invalid(key, value, "a non-negative integer"))?,
+            ),
+            "soft.failure.log.data" => PolicyParam::LogSoftFailures(parse_bool(key, value)?),
+            "throttle.keep.fraction" => PolicyParam::ThrottleKeepFraction(
+                value
+                    .parse()
+                    .map_err(|_| invalid(key, value, "a fraction in (0, 1]"))?,
+            ),
+            other => return Err(IngestError::PolicyUnknownParam(other.to_string())),
+        })
+    }
+}
+
 /// How excess records are handled when the pipeline cannot keep up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExcessStrategy {
@@ -160,62 +272,40 @@ impl IngestionPolicy {
         Ok(p)
     }
 
-    /// Set one Table 4.1-style parameter.
-    pub fn set_param(&mut self, key: &str, value: &str) -> IngestResult<()> {
-        fn parse_bool(key: &str, v: &str) -> IngestResult<bool> {
-            v.parse::<bool>()
-                .map_err(|_| IngestError::Config(format!("{key}: expected true/false, got {v}")))
-        }
-        fn parse_bytes(key: &str, v: &str) -> IngestResult<usize> {
-            let v = v.trim();
-            let (num, mult) = if let Some(n) = v.strip_suffix("GB") {
-                (n, 1 << 30)
-            } else if let Some(n) = v.strip_suffix("MB") {
-                (n, 1 << 20)
-            } else if let Some(n) = v.strip_suffix("KB") {
-                (n, 1 << 10)
-            } else {
-                (v, 1)
-            };
-            num.trim()
-                .parse::<usize>()
-                .map(|n| n * mult)
-                .map_err(|_| IngestError::Config(format!("{key}: bad size '{v}'")))
-        }
-        match key {
-            "excess.records.spill" => self.excess_records_spill = parse_bool(key, value)?,
-            "excess.records.discard" => self.excess_records_discard = parse_bool(key, value)?,
-            "excess.records.throttle" => self.excess_records_throttle = parse_bool(key, value)?,
-            "excess.records.elastic" => self.excess_records_elastic = parse_bool(key, value)?,
-            "recover.soft.failure" => self.recover_soft_failure = parse_bool(key, value)?,
-            "recover.hard.failure" => self.recover_hard_failure = parse_bool(key, value)?,
-            "at.least.once.enabled" => self.at_least_once = parse_bool(key, value)?,
-            "memory.budget.bytes" => self.memory_budget_bytes = parse_bytes(key, value)?,
-            "max.spill.size.on.disk" => self.max_spill_bytes = Some(parse_bytes(key, value)?),
-            "max.consecutive.soft.failures" => {
-                self.max_consecutive_soft_failures = value
-                    .parse()
-                    .map_err(|_| IngestError::Config(format!("{key}: bad count '{value}'")))?
-            }
-            "soft.failure.log.data" => self.log_soft_failures_to_dataset = parse_bool(key, value)?,
-            "throttle.keep.fraction" => {
-                let f: f64 = value
-                    .parse()
-                    .map_err(|_| IngestError::Config(format!("{key}: bad fraction '{value}'")))?;
+    /// Apply one typed parameter. Range constraints that the type system
+    /// cannot express (the throttle fraction) are validated here, so a
+    /// hand-constructed [`PolicyParam`] gets the same checks as a parsed one.
+    pub fn set(&mut self, param: PolicyParam) -> IngestResult<()> {
+        match param {
+            PolicyParam::ExcessRecordsSpill(v) => self.excess_records_spill = v,
+            PolicyParam::ExcessRecordsDiscard(v) => self.excess_records_discard = v,
+            PolicyParam::ExcessRecordsThrottle(v) => self.excess_records_throttle = v,
+            PolicyParam::ExcessRecordsElastic(v) => self.excess_records_elastic = v,
+            PolicyParam::RecoverSoftFailure(v) => self.recover_soft_failure = v,
+            PolicyParam::RecoverHardFailure(v) => self.recover_hard_failure = v,
+            PolicyParam::AtLeastOnce(v) => self.at_least_once = v,
+            PolicyParam::MemoryBudgetBytes(v) => self.memory_budget_bytes = v,
+            PolicyParam::MaxSpillBytes(v) => self.max_spill_bytes = Some(v),
+            PolicyParam::MaxConsecutiveSoftFailures(v) => self.max_consecutive_soft_failures = v,
+            PolicyParam::LogSoftFailures(v) => self.log_soft_failures_to_dataset = v,
+            PolicyParam::ThrottleKeepFraction(f) => {
                 if !(f > 0.0 && f <= 1.0) {
-                    return Err(IngestError::Config(format!(
-                        "{key}: fraction must be in (0, 1], got {f}"
-                    )));
+                    return Err(IngestError::PolicyInvalidValue {
+                        key: "throttle.keep.fraction".into(),
+                        value: f.to_string(),
+                        expected: "a fraction in (0, 1]".into(),
+                    });
                 }
                 self.throttle_keep_fraction = f;
             }
-            other => {
-                return Err(IngestError::Config(format!(
-                    "unknown policy parameter '{other}'"
-                )))
-            }
         }
         Ok(())
+    }
+
+    /// Set one Table 4.1-style parameter from its stringly form (the AQL
+    /// `with`-clause shim over [`PolicyParam::parse`] + [`Self::set`]).
+    pub fn set_param(&mut self, key: &str, value: &str) -> IngestResult<()> {
+        self.set(PolicyParam::parse(key, value)?)
     }
 
     /// The primary strategy for excess records (Table 4.2). When several
@@ -354,6 +444,45 @@ mod tests {
         assert!(p.set_param("max.consecutive.soft.failures", "-3").is_err());
         p.set_param("throttle.keep.fraction", "0.25").unwrap();
         assert_eq!(p.throttle_keep_fraction, 0.25);
+    }
+
+    #[test]
+    fn typed_params_apply_without_string_parsing() {
+        let mut p = IngestionPolicy::basic();
+        p.set(PolicyParam::ExcessRecordsElastic(true)).unwrap();
+        p.set(PolicyParam::MemoryBudgetBytes(4096)).unwrap();
+        p.set(PolicyParam::ThrottleKeepFraction(0.75)).unwrap();
+        assert!(p.excess_records_elastic);
+        assert_eq!(p.memory_budget_bytes, 4096);
+        assert_eq!(p.throttle_keep_fraction, 0.75);
+        // out-of-range fraction is caught even without the parse shim
+        let err = p.set(PolicyParam::ThrottleKeepFraction(2.0)).unwrap_err();
+        assert!(matches!(err, IngestError::PolicyInvalidValue { .. }));
+    }
+
+    #[test]
+    fn parse_errors_are_structured() {
+        match PolicyParam::parse("no.such.param", "true") {
+            Err(IngestError::PolicyUnknownParam(k)) => assert_eq!(k, "no.such.param"),
+            other => panic!("expected PolicyUnknownParam, got {other:?}"),
+        }
+        match PolicyParam::parse("excess.records.spill", "yes") {
+            Err(IngestError::PolicyInvalidValue { key, value, .. }) => {
+                assert_eq!(key, "excess.records.spill");
+                assert_eq!(value, "yes");
+            }
+            other => panic!("expected PolicyInvalidValue, got {other:?}"),
+        }
+        assert_eq!(
+            PolicyParam::parse("memory.budget.bytes", "512MB").unwrap(),
+            PolicyParam::MemoryBudgetBytes(512 << 20)
+        );
+        assert_eq!(
+            PolicyParam::parse("at.least.once.enabled", "true")
+                .unwrap()
+                .key(),
+            "at.least.once.enabled"
+        );
     }
 
     #[test]

@@ -23,14 +23,14 @@ use asterix_adm::AdmValue;
 use asterix_common::{
     FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, NodeId, SimClock, SimDuration,
 };
-use asterix_feeds::adaptor::{AdaptorConfig, ChaosAdaptorFactory, TweetGenAdaptorFactory};
-use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
+use asterix_feeds::adaptor::{ChaosAdaptorFactory, TweetGenAdaptorFactory};
+use asterix_feeds::builder::FeedBuilder;
+use asterix_feeds::catalog::FeedCatalog;
 use asterix_feeds::controller::{ConnectionState, ControllerConfig, FeedController};
 use asterix_feeds::udf::Udf;
 use asterix_hyracks::cluster::{Cluster, ClusterConfig};
 use asterix_storage::{Dataset, DatasetConfig, DatasetPartition, PartitionConfig};
 use std::collections::BTreeSet;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tweetgen::{PatternDescriptor, TweetGen, TweetGenConfig};
@@ -165,17 +165,10 @@ fn soak_once(seed: u64, addr: &str) -> SoakOutcome {
         clock.clone(),
     )
     .unwrap();
-    let mut config = AdaptorConfig::new();
-    config.insert("datasource".into(), addr.into());
-    catalog
-        .create_feed(FeedDef {
-            name: "TwitterFeed".into(),
-            kind: FeedKind::Primary {
-                adaptor: "chaos:TweetGenAdaptor".into(),
-                config,
-            },
-            udf: None,
-        })
+    FeedBuilder::new("TwitterFeed")
+        .adaptor("chaos:TweetGenAdaptor")
+        .param("datasource", addr)
+        .register(&catalog)
         .unwrap();
     let conn = controller
         .connect_feed("TwitterFeed", "Tweets", "FaultTolerant")
@@ -204,8 +197,8 @@ fn soak_once(seed: u64, addr: &str) -> SoakOutcome {
         schedule,
         generated,
         ids: dataset_ids(&dataset),
-        hard_recoveries: m.hard_failures_recovered.load(Ordering::Relaxed),
-        last_recovery_millis: m.last_recovery_millis.load(Ordering::Relaxed),
+        hard_recoveries: m.hard_failures_recovered.get(),
+        last_recovery_millis: m.last_recovery_millis.get(),
     };
     gen.stop();
     controller.shutdown();
@@ -321,17 +314,10 @@ fn panic_run(policy: &str, addr: &str) -> PanicOutcome {
         clock.clone(),
     )
     .unwrap();
-    let mut config = AdaptorConfig::new();
-    config.insert("datasource".into(), addr.into());
-    catalog
-        .create_feed(FeedDef {
-            name: "TwitterFeed".into(),
-            kind: FeedKind::Primary {
-                adaptor: "chaos:TweetGenAdaptor".into(),
-                config,
-            },
-            udf: None,
-        })
+    FeedBuilder::new("TwitterFeed")
+        .adaptor("chaos:TweetGenAdaptor")
+        .param("datasource", addr)
+        .register(&catalog)
         .unwrap();
     let conn = controller
         .connect_feed("TwitterFeed", "Tweets", policy)
@@ -352,9 +338,9 @@ fn panic_run(policy: &str, addr: &str) -> PanicOutcome {
     let out = PanicOutcome {
         generated,
         ids: dataset_ids(&dataset),
-        hard_recoveries: m.hard_failures_recovered.load(Ordering::Relaxed),
-        zombies_adopted: m.zombie_frames_adopted.load(Ordering::Relaxed),
-        spilled: m.records_spilled.load(Ordering::Relaxed),
+        hard_recoveries: m.hard_failures_recovered.get(),
+        zombies_adopted: m.zombie_frames_adopted.get(),
+        spilled: m.records_spilled.get(),
     };
     gen.stop();
     controller.shutdown();
@@ -439,17 +425,10 @@ fn adaptor_disconnect_is_graceful_and_lands_at_exact_record() {
         clock.clone(),
     )
     .unwrap();
-    let mut config = AdaptorConfig::new();
-    config.insert("datasource".into(), "chaos-disc:9000".into());
-    catalog
-        .create_feed(FeedDef {
-            name: "TwitterFeed".into(),
-            kind: FeedKind::Primary {
-                adaptor: "chaos:TweetGenAdaptor".into(),
-                config,
-            },
-            udf: None,
-        })
+    FeedBuilder::new("TwitterFeed")
+        .adaptor("chaos:TweetGenAdaptor")
+        .param("datasource", "chaos-disc:9000")
+        .register(&catalog)
         .unwrap();
     let conn = controller
         .connect_feed("TwitterFeed", "Tweets", "Basic")
@@ -532,26 +511,15 @@ fn discard_gaps_contiguous_vs_throttle_under_identical_chaos() {
             clock.clone(),
         )
         .unwrap();
-        let mut config = AdaptorConfig::new();
-        config.insert("datasource".into(), addr.into());
-        catalog
-            .create_feed(FeedDef {
-                name: "TwitterFeed".into(),
-                kind: FeedKind::Primary {
-                    adaptor: "chaos:TweetGenAdaptor".into(),
-                    config,
-                },
-                udf: None,
-            })
+        FeedBuilder::new("TwitterFeed")
+            .adaptor("chaos:TweetGenAdaptor")
+            .param("datasource", addr)
+            .register(&catalog)
             .unwrap();
-        catalog
-            .create_feed(FeedDef {
-                name: "P".into(),
-                kind: FeedKind::Secondary {
-                    parent: "TwitterFeed".into(),
-                },
-                udf: Some("addHashTags".into()),
-            })
+        FeedBuilder::new("P")
+            .parent("TwitterFeed")
+            .udf("addHashTags")
+            .register(&catalog)
             .unwrap();
         controller.connect_feed("P", "Tweets", policy).unwrap();
         wait_pattern_done(&gen);

@@ -10,13 +10,13 @@
 use asterix_adm::types::paper_registry;
 use asterix_adm::AdmValue;
 use asterix_common::{NodeId, SimClock, SimDuration};
-use asterix_feeds::adaptor::{bind_socket, unbind_socket, AdaptorConfig};
-use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
+use asterix_feeds::adaptor::{bind_socket, unbind_socket};
+use asterix_feeds::builder::FeedBuilder;
+use asterix_feeds::catalog::FeedCatalog;
 use asterix_feeds::controller::{ConnectionState, ControllerConfig, FeedController};
 use asterix_feeds::udf::Udf;
 use asterix_hyracks::cluster::{Cluster, ClusterConfig};
 use asterix_storage::{Dataset, DatasetConfig};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tweetgen::{PatternDescriptor, TweetGen, TweetGenConfig};
@@ -103,29 +103,18 @@ impl TestRig {
     }
 
     fn primary_feed(&self, name: &str, datasource: &str) {
-        let mut config = AdaptorConfig::new();
-        config.insert("datasource".into(), datasource.into());
-        self.catalog
-            .create_feed(FeedDef {
-                name: name.into(),
-                kind: FeedKind::Primary {
-                    adaptor: "TweetGenAdaptor".into(),
-                    config,
-                },
-                udf: None,
-            })
+        FeedBuilder::new(name)
+            .adaptor("TweetGenAdaptor")
+            .param("datasource", datasource)
+            .register(&self.catalog)
             .unwrap();
     }
 
     fn secondary_feed(&self, name: &str, parent: &str, udf: &str) {
-        self.catalog
-            .create_feed(FeedDef {
-                name: name.into(),
-                kind: FeedKind::Secondary {
-                    parent: parent.into(),
-                },
-                udf: Some(udf.into()),
-            })
+        FeedBuilder::new(name)
+            .parent(parent)
+            .udf(udf)
+            .register(&self.catalog)
             .unwrap();
     }
 
@@ -182,11 +171,11 @@ fn primary_feed_ingests_into_dataset() {
     assert!(sample.field("id").is_some());
     assert!(sample.field("user").is_some());
     let m = rig.controller.connection_metrics(conn).unwrap();
-    assert_eq!(m.records_persisted.load(Ordering::Relaxed), generated);
-    assert_eq!(m.records_discarded.load(Ordering::Relaxed), 0);
-    assert_eq!(m.soft_failures.load(Ordering::Relaxed), 0);
+    assert_eq!(m.records_persisted.get(), generated);
+    assert_eq!(m.records_discarded.get(), 0);
+    assert_eq!(m.soft_failures.get(), 0);
     // the store stage group-commits per frame, not per record
-    let frames = m.frames_stored.load(Ordering::Relaxed);
+    let frames = m.frames_stored.get();
     assert!(frames >= 1, "no frames group-committed");
     assert!(
         frames < generated,
@@ -316,17 +305,10 @@ fn soft_failures_are_skipped_and_logged() {
     let rig = TestRig::start(2);
     let tx = bind_socket("e2e-soft:1", 1024).unwrap();
     let dataset = rig.dataset("Events", "Tweet");
-    let mut config = AdaptorConfig::new();
-    config.insert("sockets".into(), "e2e-soft:1".into());
-    rig.catalog
-        .create_feed(FeedDef {
-            name: "EventFeed".into(),
-            kind: FeedKind::Primary {
-                adaptor: "socket_adaptor".into(),
-                config,
-            },
-            udf: None,
-        })
+    FeedBuilder::new("EventFeed")
+        .adaptor("socket_adaptor")
+        .param("sockets", "e2e-soft:1")
+        .register(&rig.catalog)
         .unwrap();
     let conn = rig
         .controller
@@ -348,12 +330,9 @@ fn soft_failures_are_skipped_and_logged() {
     );
     let m = rig.controller.connection_metrics(conn).unwrap();
     assert!(
-        wait_until(Duration::from_secs(5 * 3), || m
-            .soft_failures
-            .load(Ordering::Relaxed)
-            >= 19),
+        wait_until(Duration::from_secs(5 * 3), || m.soft_failures.get() >= 19),
         "soft failures: {}",
-        m.soft_failures.load(Ordering::Relaxed)
+        m.soft_failures.get()
     );
     // log carries operator attribution and payloads
     let log = rig.controller.error_log();
@@ -555,11 +534,11 @@ fn kill_node_while_congested_recovers_without_loss() {
     assert_eq!(missing, 0, "lost {missing} of {generated} records");
     let m = rig.controller.connection_metrics(conn).unwrap();
     assert!(
-        m.hard_failures_recovered.load(Ordering::Relaxed) >= 1,
+        m.hard_failures_recovered.get() >= 1,
         "recovery was not surfaced in metrics"
     );
     assert!(
-        m.last_recovery_millis.load(Ordering::Relaxed) > 0,
+        m.last_recovery_millis.get() > 0,
         "recovery latency gauge never set"
     );
     gen.stop();
@@ -590,9 +569,7 @@ fn discard_policy_sheds_load_under_overload() {
         .compute_metrics("TwitterFeed:addHashTags")
         .unwrap();
     assert!(
-        wait_until(Duration::from_secs(20 * 3), || m
-            .records_discarded
-            .load(Ordering::Relaxed)
+        wait_until(Duration::from_secs(20 * 3), || m.records_discarded.get()
             > 0),
         "no records discarded under overload"
     );
@@ -670,7 +647,7 @@ fn at_least_once_tracks_and_survives_duplicates() {
     // equals distinct generated ids
     assert_eq!(dataset.len() as u64, generated);
     assert!(
-        m.records_persisted.load(Ordering::Relaxed) >= generated,
+        m.records_persisted.get() >= generated,
         "store-metric counts every (re)play"
     );
     gen.stop();
@@ -925,6 +902,87 @@ fn publish_subscribe_with_filter_feeds_and_dataset_union() {
         assert!(c == "US" || c == "JP", "unexpected country {c}");
     }
     assert!(union.len() < generated, "filters actually filtered");
+    gen.stop();
+    rig.stop();
+}
+
+#[test]
+fn registry_snapshot_is_complete_and_finite() {
+    // the acceptance bar for the observability layer: one snapshot from the
+    // cluster registry exposes per-operator throughput and latency, feed
+    // flow-control state, storage internals and end-to-end ingestion lag
+    let rig = TestRig::start(3);
+    let gen = rig.tweetgen("e2e-obs:9000", 0, 300, 4);
+    let dataset = rig.dataset("Tweets", "Tweet");
+    rig.catalog.create_function(Udf::add_hash_tags()).unwrap();
+    rig.primary_feed("TwitterFeed", "e2e-obs:9000");
+    rig.secondary_feed("P", "TwitterFeed", "addHashTags");
+    rig.controller.connect_feed("P", "Tweets", "Basic").unwrap();
+    let generated = wait_pattern_done(&gen);
+    assert!(
+        wait_until(Duration::from_secs(20 * 3), || dataset.len() as u64
+            >= generated),
+        "persisted {} of {generated}",
+        dataset.len()
+    );
+
+    let snap = rig.controller.registry().snapshot_at(&rig.clock);
+    assert!(!snap.is_empty(), "registry snapshot is empty");
+    assert!(snap.all_finite(), "snapshot contains non-finite values");
+
+    // per-operator throughput and frame latency (hyracks executor layer)
+    assert!(snap.counter("operator.frames_in") > 0);
+    assert!(snap.counter("operator.records_in") > 0);
+    assert!(snap.counter("operator.records_out") > 0);
+    let op_latency = snap
+        .histogram("operator.frame_latency_us")
+        .expect("operator latency histogram");
+    assert!(op_latency.count > 0, "no operator latencies recorded");
+
+    // per-connection feed counters, keyed by the connection scope label
+    assert_eq!(
+        snap.counter_for("feed.records_persisted", "P->Tweets"),
+        generated
+    );
+    assert!(snap.counter_for("feed.records_in", "P->Tweets") >= generated);
+    // flow-control state is registered even when the policy never trips it
+    assert!(
+        snap.has("feed.buffer_bytes"),
+        "intake backlog gauge missing"
+    );
+    assert_eq!(snap.counter("feed.records_discarded"), 0);
+    assert_eq!(snap.counter("feed.records_spilled"), 0);
+
+    // storage internals, per dataset/partition
+    assert!(snap.gauge("storage.wal_bytes").expect("wal bytes gauge") > 0);
+    assert!(snap.gauge("storage.lsm_components").is_some());
+    let batches = snap
+        .histogram("storage.group_commit_batch_size")
+        .expect("group-commit histogram");
+    assert!(batches.count > 0, "no group commits recorded");
+    assert!(
+        batches.sum >= generated,
+        "group commits cover fewer records ({}) than generated ({generated})",
+        batches.sum
+    );
+
+    // end-to-end ingestion lag: generation stamp -> durable store
+    let lag = snap
+        .histogram("feed.ingest_lag_millis")
+        .expect("ingestion lag histogram");
+    assert_eq!(lag.count, generated, "every persisted record closes a lag");
+    assert!(lag.mean().is_finite());
+
+    // both export formats render non-trivially
+    let json = snap.to_json();
+    assert!(json.contains("feed.ingest_lag_millis"), "{json}");
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("asterix_feed_records_persisted"), "{prom}");
+
+    // the trace hub saw the connect span
+    let trace = rig.cluster.trace().render();
+    assert!(trace.contains("feed.connect"), "{trace}");
+
     gen.stop();
     rig.stop();
 }

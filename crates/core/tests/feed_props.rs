@@ -17,7 +17,6 @@ use asterix_feeds::policy::IngestionPolicy;
 use asterix_hyracks::operator::FrameWriter;
 use parking_lot::Mutex;
 use proptest::prelude::*;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 fn frame(start: u64, len: usize) -> DataFrame {
@@ -142,7 +141,7 @@ proptest! {
                             std::thread::sleep(std::time::Duration::from_millis(30));
                             let delivered = sink.records();
                             let discarded =
-                                metrics.records_discarded.load(Ordering::Relaxed);
+                                metrics.records_discarded.get();
                             // queued frames may still be in the hand-off
                             // queue; drop the controller to flush
                             drop(fc);
@@ -170,7 +169,7 @@ proptest! {
         sink.add_budget(1_000_000);
         fc.finish().unwrap();
         let delivered = sink.records();
-        let discarded = metrics.records_discarded.load(Ordering::Relaxed);
+        let discarded = metrics.records_discarded.get();
         prop_assert_eq!(
             delivered + discarded,
             offered,
@@ -299,6 +298,6 @@ fn throttle_conserves_records() {
     }
     fc.finish().unwrap();
     let delivered = sink.records();
-    let throttled = metrics.records_throttled.load(Ordering::Relaxed);
+    let throttled = metrics.records_throttled.get();
     assert_eq!(delivered + throttled, offered);
 }

@@ -20,7 +20,6 @@ use asterix_feeds::udf::Udf;
 use asterix_hyracks::cluster::{Cluster, ClusterConfig};
 use asterix_storage::secondary::IndexKind;
 use asterix_storage::{Dataset, DatasetConfig};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -126,7 +125,7 @@ fn intake_to_store_parses_each_record_exactly_once() {
     // the per-feed cache-miss counter agrees: no stage downstream of the
     // adaptor ever parsed
     let metrics = controller.connection_metrics(conn).unwrap();
-    assert_eq!(metrics.parse_calls.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.parse_calls.get(), 0);
 
     // sanity: the records really went through the UDF and the store
     let sample = dataset.scan_all();

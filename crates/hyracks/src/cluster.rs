@@ -14,7 +14,9 @@
 //! [`ClusterEvent::NodeFailed`].
 
 use crate::services::ServiceMap;
-use asterix_common::{FaultKind, FaultPlan, NodeId, SimClock, SimDuration, SimInstant};
+use asterix_common::{
+    FaultKind, FaultPlan, MetricsRegistry, NodeId, SimClock, SimDuration, SimInstant, TraceHub,
+};
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -95,6 +97,8 @@ struct ClusterInner {
     config: ClusterConfig,
     nodes: RwLock<Vec<NodeHandle>>,
     subscribers: Mutex<Vec<Sender<ClusterEvent>>>,
+    registry: MetricsRegistry,
+    trace: TraceHub,
     shutdown: AtomicBool,
 }
 
@@ -107,12 +111,15 @@ pub struct Cluster {
 impl Cluster {
     /// Start a cluster of `n_nodes` with the given clock and config.
     pub fn start(n_nodes: usize, clock: SimClock, config: ClusterConfig) -> Self {
+        let trace = TraceHub::new(clock.clone(), 256);
         let cluster = Cluster {
             inner: Arc::new(ClusterInner {
                 clock,
                 config,
                 nodes: RwLock::new(Vec::new()),
                 subscribers: Mutex::new(Vec::new()),
+                registry: MetricsRegistry::new(),
+                trace,
                 shutdown: AtomicBool::new(false),
             }),
         };
@@ -131,6 +138,40 @@ impl Cluster {
     /// The shared clock.
     pub fn clock(&self) -> &SimClock {
         &self.inner.clock
+    }
+
+    /// The cluster-wide metrics registry. Every layer — executor, feed
+    /// operators, flow controllers, storage partitions — registers its
+    /// instruments here, so one [`MetricsRegistry::snapshot`] observes the
+    /// whole pipeline. This handle is *the* way to reach metrics; cheap to
+    /// clone (all clones share the same instrument table).
+    pub fn registry(&self) -> MetricsRegistry {
+        self.inner.registry.clone()
+    }
+
+    /// The cluster's trace hub: per-node ring-buffer logs of structural
+    /// events (feed connects, recoveries, compactions).
+    pub fn trace(&self) -> TraceHub {
+        self.inner.trace.clone()
+    }
+
+    /// Spawn a background reporter that prints a metrics-snapshot summary
+    /// to the console every `every` sim-duration until shutdown.
+    pub fn spawn_console_reporter(&self, every: SimDuration) {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name("cc-metrics-reporter".into())
+            .spawn(move || loop {
+                inner.clock.sleep(every);
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let snap = inner.registry.snapshot_at(&inner.clock);
+                if !snap.is_empty() {
+                    println!("{}", snap.console_summary());
+                }
+            })
+            .expect("spawn console reporter");
     }
 
     /// Add a node; it begins heartbeating immediately. Returns its handle.
@@ -465,6 +506,17 @@ mod tests {
             assert!(t0.elapsed() < Duration::from_secs(5), "revive never fired");
             std::thread::sleep(Duration::from_millis(2));
         }
+        c.shutdown();
+    }
+
+    #[test]
+    fn registry_and_trace_are_cluster_wide() {
+        let c = Cluster::start_default(2);
+        c.registry().counter("test.count", &[]).add(3);
+        // every clone observes the same instruments
+        assert_eq!(c.registry().snapshot().counter("test.count"), 3);
+        c.trace().cluster_log().event("test.event", "hello");
+        assert_eq!(c.trace().recent().len(), 1);
         c.shutdown();
     }
 

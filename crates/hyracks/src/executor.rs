@@ -16,7 +16,8 @@ use crate::job::{Constraint, JobSpec, OperatorSpecId};
 use crate::operator::{DevNull, FrameWriter, OperatorRuntime, StopToken};
 use asterix_common::ids::IdGen;
 use asterix_common::{
-    DataFrame, IngestError, IngestResult, JobId, NodeId, SimClock, DEFAULT_FRAME_CAPACITY,
+    Counter, DataFrame, Histogram, IngestError, IngestResult, JobId, MetricsRegistry, NodeId,
+    SimClock, DEFAULT_FRAME_CAPACITY,
 };
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -146,6 +147,71 @@ struct TaskRecord {
     join: std::thread::JoinHandle<IngestResult<()>>,
     stop: StopToken,
     is_source: bool,
+}
+
+/// Executor-level instruments for one operator, registered under
+/// `operator.*` with an `op` label. All partitions of the operator share
+/// the same handles (the registry returns the existing instrument for an
+/// identical name+labels key), so per-operator totals come for free.
+#[derive(Clone)]
+struct OpInstruments {
+    frames_in: Counter,
+    records_in: Counter,
+    latency_us: Histogram,
+}
+
+impl OpInstruments {
+    fn for_op(registry: &MetricsRegistry, op_name: &str) -> OpInstruments {
+        let labels = &[("op", op_name)];
+        OpInstruments {
+            frames_in: registry.counter("operator.frames_in", labels),
+            records_in: registry.counter("operator.records_in", labels),
+            latency_us: registry.histogram("operator.frame_latency_us", labels),
+        }
+    }
+}
+
+/// Wraps a task's output writer, counting emitted frames and records into
+/// the cluster registry (`operator.frames_out` / `operator.records_out`).
+struct CountingWriter {
+    inner: Box<dyn FrameWriter>,
+    frames_out: Counter,
+    records_out: Counter,
+}
+
+impl CountingWriter {
+    fn wrap(
+        inner: Box<dyn FrameWriter>,
+        registry: &MetricsRegistry,
+        op_name: &str,
+    ) -> Box<dyn FrameWriter> {
+        let labels = &[("op", op_name)];
+        Box::new(CountingWriter {
+            inner,
+            frames_out: registry.counter("operator.frames_out", labels),
+            records_out: registry.counter("operator.records_out", labels),
+        })
+    }
+}
+
+impl FrameWriter for CountingWriter {
+    fn open(&mut self) -> IngestResult<()> {
+        self.inner.open()
+    }
+
+    fn next_frame(&mut self, frame: DataFrame) -> IngestResult<()> {
+        self.frames_out.inc();
+        self.records_out.add(frame.len() as u64);
+        self.inner.next_frame(frame)
+    }
+
+    fn close(&mut self) -> IngestResult<()> {
+        self.inner.close()
+    }
+
+    fn fail(&mut self) {
+        self.inner.fail()
+    }
 }
 
 /// Handle to a scheduled job.
@@ -370,7 +436,9 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
                 1 => writers.pop().unwrap(),
                 _ => Box::new(TeeWriter::new(writers)),
             };
+            let output = CountingWriter::wrap(output, &cluster.registry(), &op_name);
             let runtime = op.instantiate(&ctx, output)?;
+            let instruments = OpInstruments::for_op(&cluster.registry(), &op_name);
             let is_source = matches!(runtime, OperatorRuntime::Source(_));
             let stop = StopToken::new();
             let placement_rec = TaskPlacement {
@@ -391,6 +459,7 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
                 rx,
                 expected,
                 stop.clone(),
+                instruments,
                 format!("{job_id}-{op_name}-{partition}"),
             )?;
             tasks.push(TaskRecord {
@@ -412,19 +481,23 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_task(
     runtime: OperatorRuntime,
     ctx: TaskContext,
     rx: Option<Receiver<TaskMsg>>,
     expected_closes: usize,
     stop: StopToken,
+    instruments: OpInstruments,
     thread_name: String,
 ) -> IngestResult<std::thread::JoinHandle<IngestResult<()>>> {
     std::thread::Builder::new()
         .name(thread_name)
         .spawn(move || match runtime {
             OperatorRuntime::Source(mut src) => run_source(&mut *src, &ctx, &stop),
-            OperatorRuntime::Unary(op) => run_unary(op, ctx, rx, expected_closes, stop),
+            OperatorRuntime::Unary(op) => {
+                run_unary(op, ctx, rx, expected_closes, stop, instruments)
+            }
         })
         .map_err(|e| IngestError::Plan(format!("spawn task: {e}")))
 }
@@ -507,6 +580,7 @@ fn run_unary(
     rx: Option<Receiver<TaskMsg>>,
     expected_closes: usize,
     stop: StopToken,
+    instruments: OpInstruments,
 ) -> IngestResult<()> {
     let rx = match rx {
         Some(rx) => rx,
@@ -531,7 +605,14 @@ fn run_unary(
         }
         match rx.recv_timeout(poll) {
             Ok(TaskMsg::Frame(frame)) => {
-                if let Err(e) = op.next_frame(frame, &mut DevNull) {
+                instruments.frames_in.inc();
+                instruments.records_in.add(frame.len() as u64);
+                let started = std::time::Instant::now();
+                let result = op.next_frame(frame, &mut DevNull);
+                instruments
+                    .latency_us
+                    .record(started.elapsed().as_micros() as u64);
+                if let Err(e) = result {
                     op.fail();
                     return Err(e);
                 }

@@ -12,7 +12,7 @@ use crate::partition::{BatchOutcome, DatasetPartition, PartitionConfig};
 use crate::secondary::IndexKind;
 use asterix_adm::hash::partition_for;
 use asterix_adm::AdmValue;
-use asterix_common::{IngestError, IngestResult, NodeId};
+use asterix_common::{IngestError, IngestResult, MetricsRegistry, NodeId, TraceHub};
 use std::sync::Arc;
 
 /// Static description of a dataset.
@@ -223,6 +223,36 @@ impl Dataset {
         Ok(())
     }
 
+    /// Register this dataset's storage instruments in a cluster registry:
+    /// per-partition `storage.lsm_components`, `storage.wal_bytes`,
+    /// `storage.wal_entries`, `storage.wal_group_commits` and
+    /// `storage.compactions` gauges (polled at snapshot time), plus one
+    /// `storage.group_commit_batch_size` histogram shared by all
+    /// partitions. Compaction rounds are traced as `storage.compaction`
+    /// spans into each hosting node's trace log.
+    pub fn register_observability(&self, registry: &MetricsRegistry, trace: &TraceHub) {
+        let dataset = self.config.name.as_str();
+        let batch_hist =
+            registry.histogram("storage.group_commit_batch_size", &[("dataset", dataset)]);
+        for (i, (node, part)) in self.partitions.iter().enumerate() {
+            let pstr = i.to_string();
+            let labels = &[("dataset", dataset), ("partition", pstr.as_str())];
+            let gauge = |name: &str, f: fn(&DatasetPartition) -> u64| {
+                let p = Arc::clone(part);
+                registry.gauge_fn(name, labels, move || f(&p));
+            };
+            gauge("storage.lsm_components", |p| p.component_count() as u64);
+            gauge("storage.wal_bytes", |p| p.wal_size_bytes() as u64);
+            gauge("storage.wal_entries", |p| p.wal_len() as u64);
+            gauge(
+                "storage.wal_group_commits",
+                DatasetPartition::wal_group_commits,
+            );
+            gauge("storage.compactions", DatasetPartition::compactions);
+            part.set_observability(batch_hist.clone(), trace.node_log(*node));
+        }
+    }
+
     /// Spatial query fanned out across partitions.
     pub fn query_rect(
         &self,
@@ -366,6 +396,29 @@ mod tests {
         failed.sort_unstable();
         assert_eq!(failed, vec![1, 2]);
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn observability_gauges_track_partition_state() {
+        use asterix_common::SimClock;
+        let d = dataset(2);
+        let registry = MetricsRegistry::new();
+        let trace = TraceHub::new(SimClock::fast(), 32);
+        d.register_observability(&registry, &trace);
+        let records: Vec<Arc<AdmValue>> = (0..50).map(|i| Arc::new(rec(i))).collect();
+        d.upsert_batch(&records).unwrap();
+        let snap = registry.snapshot();
+        let wal_entries: u64 = (0..2)
+            .filter_map(|i| snap.gauge_for("storage.wal_entries", &i.to_string()))
+            .sum();
+        assert_eq!(wal_entries, 50);
+        assert!(snap.gauge_for("storage.wal_bytes", "0").unwrap_or(0) > 0);
+        let batch = snap
+            .histogram("storage.group_commit_batch_size")
+            .expect("batch histogram");
+        assert_eq!(batch.count, 2, "one group commit per partition");
+        assert_eq!(batch.sum, 50);
+        assert!(snap.all_finite());
     }
 
     #[test]

@@ -27,11 +27,11 @@ use crate::lsm::{merge_components, LsmTree};
 use crate::secondary::{IndexKind, SecondaryIndex};
 use crate::wal::{LogOp, WriteAheadLog};
 use asterix_adm::AdmValue;
-use asterix_common::{IngestError, IngestResult};
+use asterix_common::{Histogram, IngestError, IngestResult, TraceLog};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -104,6 +104,10 @@ struct PartitionInner {
     signal_cv: Condvar,
     merging: AtomicBool,
     compactions: AtomicU64,
+    /// Observability hooks, attached once via `set_observability`:
+    /// group-commit batch sizes and compaction-round trace spans.
+    batch_hist: OnceLock<Histogram>,
+    trace: OnceLock<Arc<TraceLog>>,
 }
 
 impl PartitionInner {
@@ -143,6 +147,12 @@ impl PartitionInner {
         if snapshot.len() < 2 {
             return false;
         }
+        let span = self.trace.get().map(|log| {
+            log.span(
+                "storage.compaction",
+                format!("{} components", snapshot.len()),
+            )
+        });
         self.merging.store(true, Ordering::SeqCst);
         // the expensive part: runs on Arc'd component clones, lock-free
         let merged = Arc::new(merge_components(&snapshot, self.config.merge_spin));
@@ -150,6 +160,9 @@ impl PartitionInner {
         self.merging.store(false, Ordering::SeqCst);
         if installed {
             self.compactions.fetch_add(1, Ordering::SeqCst);
+        }
+        if let Some(span) = span {
+            span.finish(if installed { "installed" } else { "lost race" });
         }
         installed
     }
@@ -194,6 +207,8 @@ impl DatasetPartition {
             signal_cv: Condvar::new(),
             merging: AtomicBool::new(false),
             compactions: AtomicU64::new(0),
+            batch_hist: OnceLock::new(),
+            trace: OnceLock::new(),
             config,
         });
         let for_worker = Arc::clone(&inner);
@@ -359,6 +374,9 @@ impl DatasetPartition {
             self.inner
                 .wal
                 .append_put_batch(accepted.iter().map(|(i, key)| (key, &*records[*i])));
+            if let Some(h) = self.inner.batch_hist.get() {
+                h.record(accepted.len() as u64);
+            }
             for (i, key) in &accepted {
                 self.inner.spin();
                 let record = &records[*i];
@@ -550,6 +568,20 @@ impl DatasetPartition {
     /// Multi-entry (group-commit) WAL appends so far.
     pub fn wal_group_commits(&self) -> u64 {
         self.inner.wal.group_commits()
+    }
+
+    /// Total WAL bytes (headers included).
+    pub fn wal_size_bytes(&self) -> usize {
+        self.inner.wal.size_bytes()
+    }
+
+    /// Attach observability hooks: group-commit batch sizes are recorded
+    /// into `batch_hist` and compaction rounds are traced as
+    /// `storage.compaction` spans in `trace`. First call wins; later calls
+    /// are ignored (the hooks are write-once to stay off the hot path).
+    pub fn set_observability(&self, batch_hist: Histogram, trace: Arc<TraceLog>) {
+        let _ = self.inner.batch_hist.set(batch_hist);
+        let _ = self.inner.trace.set(trace);
     }
 
     /// Crash injection for recovery tests: tear `bytes` off the end of the

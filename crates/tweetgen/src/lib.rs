@@ -30,4 +30,4 @@ pub mod source;
 
 pub use gen::TweetFactory;
 pub use pattern::{Interval, PatternDescriptor};
-pub use source::{connect, TweetGen, TweetGenConfig};
+pub use source::{connect, StampedTweet, TweetGen, TweetGenConfig};

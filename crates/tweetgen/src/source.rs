@@ -11,12 +11,24 @@
 
 use crate::gen::TweetFactory;
 use crate::pattern::PatternDescriptor;
-use asterix_common::{IngestError, IngestResult, SimClock, SimDuration};
+use asterix_common::{IngestError, IngestResult, SimClock, SimDuration, SimInstant};
 use crossbeam_channel::{Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One tweet on the wire: the JSON body plus the sim-instant it was
+/// generated at the source. The generation stamp rides with the record all
+/// the way to durable storage, where the store derives the end-to-end
+/// *ingestion lag* metric from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampedTweet {
+    /// Sim-time the generator emitted this tweet.
+    pub gen_at: SimInstant,
+    /// The tweet body (JSON text).
+    pub json: String,
+}
 
 /// Configuration of one TweetGen instance.
 #[derive(Debug, Clone)]
@@ -128,9 +140,9 @@ impl Drop for TweetGen {
 }
 
 /// Handshake with the instance bound at `addr`. Generation starts now; the
-/// returned receiver yields JSON tweet strings until the pattern completes
-/// (channel closes) or the instance is stopped.
-pub fn connect(addr: &str) -> IngestResult<Receiver<String>> {
+/// returned receiver yields generation-stamped JSON tweets until the
+/// pattern completes (channel closes) or the instance is stopped.
+pub fn connect(addr: &str) -> IngestResult<Receiver<StampedTweet>> {
     let binding = {
         let reg = REGISTRY.lock();
         reg.as_ref()
@@ -143,7 +155,7 @@ pub fn connect(addr: &str) -> IngestResult<Receiver<String>> {
     Ok(rx)
 }
 
-fn spawn_pusher(binding: Arc<Binding>, tx: Sender<String>) {
+fn spawn_pusher(binding: Arc<Binding>, tx: Sender<StampedTweet>) {
     std::thread::Builder::new()
         .name(format!("tweetgen-{}", binding.config.addr))
         .spawn(move || {
@@ -174,7 +186,10 @@ fn spawn_pusher(binding: Arc<Binding>, tx: Sender<String>) {
                                 owed += r as f64 * dt;
                                 let to_send = owed as u64;
                                 for _ in 0..to_send {
-                                    let tweet = factory.next_json();
+                                    let tweet = StampedTweet {
+                                        gen_at: clock.now(),
+                                        json: factory.next_json(),
+                                    };
                                     binding.generated.fetch_add(1, Ordering::Relaxed);
                                     match tx.try_send(tweet) {
                                         Ok(()) => {}
@@ -197,7 +212,10 @@ fn spawn_pusher(binding: Arc<Binding>, tx: Sender<String>) {
                 let to_send = owed as u64;
                 owed -= to_send as f64;
                 for _ in 0..to_send {
-                    let tweet = factory.next_json();
+                    let tweet = StampedTweet {
+                        gen_at: clock.now(),
+                        json: factory.next_json(),
+                    };
                     binding.generated.fetch_add(1, Ordering::Relaxed);
                     match tx.try_send(tweet) {
                         Ok(()) => {}
@@ -228,13 +246,18 @@ mod tests {
         let pattern = PatternDescriptor::constant(100, 5); // 500 tweets total
         let gen = TweetGen::bind(TweetGenConfig::new("t1:9000", 0, pattern), clock()).unwrap();
         let rx = connect("t1:9000").unwrap();
-        let tweets: Vec<String> = rx.iter().collect(); // until pattern ends
-                                                       // rate control is approximate: allow 10% slack
+        let tweets: Vec<StampedTweet> = rx.iter().collect(); // until pattern ends
+                                                             // rate control is approximate: allow 10% slack
         assert!(
             tweets.len() as i64 >= 400 && tweets.len() as i64 <= 550,
             "got {} tweets",
             tweets.len()
         );
+        assert!(
+            tweets.windows(2).all(|w| w[0].gen_at <= w[1].gen_at),
+            "generation stamps are monotonic"
+        );
+        assert!(tweets.iter().all(|t| !t.json.is_empty()));
         assert_eq!(gen.wire_drops(), 0);
         gen.stop();
     }

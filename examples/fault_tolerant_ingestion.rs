@@ -8,8 +8,8 @@
 
 use asterixdb_ingestion::adm::types::paper_registry;
 use asterixdb_ingestion::common::{NodeId, SimClock, SimDuration};
-use asterixdb_ingestion::feeds::adaptor::AdaptorConfig;
-use asterixdb_ingestion::feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
+use asterixdb_ingestion::feeds::builder::FeedBuilder;
+use asterixdb_ingestion::feeds::catalog::FeedCatalog;
 use asterixdb_ingestion::feeds::controller::{ConnectionState, ControllerConfig, FeedController};
 use asterixdb_ingestion::feeds::udf::Udf;
 use asterixdb_ingestion::hyracks::cluster::{Cluster, ClusterConfig};
@@ -58,26 +58,15 @@ fn main() {
     catalog.register_dataset(Arc::clone(&dataset));
     catalog.create_function(Udf::add_hash_tags()).unwrap();
 
-    let mut config = AdaptorConfig::new();
-    config.insert("datasource".into(), "ft-demo:9000".into());
-    catalog
-        .create_feed(FeedDef {
-            name: "TwitterFeed".into(),
-            kind: FeedKind::Primary {
-                adaptor: "TweetGenAdaptor".into(),
-                config,
-            },
-            udf: None,
-        })
+    FeedBuilder::new("TwitterFeed")
+        .adaptor("TweetGenAdaptor")
+        .param("datasource", "ft-demo:9000")
+        .register(&catalog)
         .unwrap();
-    catalog
-        .create_feed(FeedDef {
-            name: "ProcessedTwitterFeed".into(),
-            kind: FeedKind::Secondary {
-                parent: "TwitterFeed".into(),
-            },
-            udf: Some("addHashTags".into()),
-        })
+    FeedBuilder::new("ProcessedTwitterFeed")
+        .parent("TwitterFeed")
+        .udf("addHashTags")
+        .register(&catalog)
         .unwrap();
     let conn = controller
         .connect_feed("ProcessedTwitterFeed", "ProcessedTweets", "FaultTolerant")
@@ -92,12 +81,8 @@ fn main() {
                 "  [{label}] state={:?} persisted={} soft_failures={} replayed={}",
                 controller.connection_state(conn),
                 dataset.len(),
-                metrics
-                    .soft_failures
-                    .load(std::sync::atomic::Ordering::Relaxed),
-                metrics
-                    .records_replayed
-                    .load(std::sync::atomic::Ordering::Relaxed),
+                metrics.soft_failures.get(),
+                metrics.records_replayed.get(),
             );
         }
     };

@@ -11,7 +11,6 @@ use asterixdb_ingestion::common::{SimClock, SimDuration};
 use asterixdb_ingestion::feeds::controller::ControllerConfig;
 use asterixdb_ingestion::hyracks::cluster::{Cluster, ClusterConfig};
 use asterixdb_ingestion::tweetgen::{PatternDescriptor, TweetGen, TweetGenConfig};
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 const DDL: &str = r#"
@@ -95,10 +94,10 @@ fn run(policy_stmts: &str, policy: &str, round: usize) {
         "  {policy:<20} generated={:<6} persisted={:<6} discarded={:<5} throttled={:<5} spilled={:<6} spill_peak={}KB",
         gen.generated(),
         dataset.len(),
-        m.records_discarded.load(Ordering::Relaxed),
-        m.records_throttled.load(Ordering::Relaxed),
-        m.records_spilled.load(Ordering::Relaxed),
-        m.spill_bytes.load(Ordering::Relaxed) / 1024,
+        m.records_discarded.get(),
+        m.records_throttled.get(),
+        m.records_spilled.get(),
+        m.spill_bytes.get() / 1024,
     );
     gen.stop();
     engine.controller().shutdown();

@@ -14,8 +14,8 @@
 use asterixdb_ingestion::adm::types::paper_registry;
 use asterixdb_ingestion::adm::AdmValue;
 use asterixdb_ingestion::common::{NodeId, SimClock, SimDuration};
-use asterixdb_ingestion::feeds::adaptor::AdaptorConfig;
-use asterixdb_ingestion::feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
+use asterixdb_ingestion::feeds::builder::FeedBuilder;
+use asterixdb_ingestion::feeds::catalog::FeedCatalog;
 use asterixdb_ingestion::feeds::controller::{ControllerConfig, FeedController};
 use asterixdb_ingestion::feeds::udf::Udf;
 use asterixdb_ingestion::hyracks::cluster::{Cluster, ClusterConfig};
@@ -63,17 +63,10 @@ fn main() {
     let _ = NodeId(0); // (import used by DatasetConfig construction above)
 
     // the published stream
-    let mut config = AdaptorConfig::new();
-    config.insert("datasource".into(), "pubsub:9000".into());
-    catalog
-        .create_feed(FeedDef {
-            name: "TwitterFeed".into(),
-            kind: FeedKind::Primary {
-                adaptor: "TweetGenAdaptor".into(),
-                config,
-            },
-            udf: None,
-        })
+    FeedBuilder::new("TwitterFeed")
+        .adaptor("TweetGenAdaptor")
+        .param("datasource", "pubsub:9000")
+        .register(&catalog)
         .unwrap();
 
     // three subscriptions: a country, a hashtag, and high-follower users
@@ -104,14 +97,10 @@ fn main() {
         ("UsSub", "fromUS", "UsTweets"),
         ("InfluencerSub", "influencers", "InfluencerTweets"),
     ] {
-        catalog
-            .create_feed(FeedDef {
-                name: feed.into(),
-                kind: FeedKind::Secondary {
-                    parent: "TwitterFeed".into(),
-                },
-                udf: Some(udf.into()),
-            })
+        FeedBuilder::new(feed)
+            .parent("TwitterFeed")
+            .udf(udf)
+            .register(&catalog)
             .unwrap();
         mk_dataset(dataset);
         controller.connect_feed(feed, dataset, "Basic").unwrap();
