@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The AsterixDB Data Model (ADM), reproduced in Rust.

@@ -14,24 +14,28 @@
 //! verified by a proptest round-trip suite.
 
 use crate::value::AdmValue;
+use asterix_common::metrics::Counter;
 use asterix_common::{IngestError, IngestResult};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-/// Process-wide count of text-parser invocations.
+/// Process-wide count of text-parser invocations, as a typed [`Counter`].
 ///
 /// The parse-once pipeline tests read this to assert that a record flowing
 /// adaptor → intake → assign → store is parsed exactly once; benchmarks use
 /// it to attribute cost. Incremented by every [`parse_value`] call.
-pub static PARSE_CALLS: AtomicU64 = AtomicU64::new(0);
+fn parse_counter() -> &'static Counter {
+    static PARSE_CALLS: OnceLock<Counter> = OnceLock::new();
+    PARSE_CALLS.get_or_init(Counter::new)
+}
 
 /// Current value of the global parse counter.
 pub fn parse_calls() -> u64 {
-    PARSE_CALLS.load(Ordering::Relaxed)
+    parse_counter().get()
 }
 
 /// Parse a complete ADM value; trailing non-whitespace is an error.
 pub fn parse_value(input: &str) -> IngestResult<AdmValue> {
-    PARSE_CALLS.fetch_add(1, Ordering::Relaxed);
+    parse_counter().inc();
     let mut p = Parser::new(input);
     let v = p.value()?;
     p.skip_ws();

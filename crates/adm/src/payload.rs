@@ -54,6 +54,8 @@ impl AdmPayloadExt for RecordPayload {
 
     fn adm_value_counted(&self, misses: &AtomicU64) -> IngestResult<Arc<AdmValue>> {
         downcast(self.parse_with(|bytes| {
+            // relaxed-ok: standalone cache-miss counter, nothing synchronises
+            // through it (the parsed value is published by parse_with)
             misses.fetch_add(1, Ordering::Relaxed);
             parse_erased(bytes)
         }))

@@ -6,6 +6,7 @@
 //! extra fields, closed ones do not.
 
 use crate::value::AdmValue;
+use asterix_common::sync::{read_or_recover, write_or_recover};
 use asterix_common::{IngestError, IngestResult};
 use std::collections::HashMap;
 use std::fmt;
@@ -121,30 +122,18 @@ impl TypeRegistry {
     /// Register a record type under its name. Re-registration replaces.
     pub fn register(&self, ty: RecordType) -> Arc<RecordType> {
         let arc = Arc::new(ty);
-        self.types
-            .write()
-            .expect("type registry poisoned")
-            .insert(arc.name.clone(), Arc::clone(&arc));
+        write_or_recover(&self.types).insert(arc.name.clone(), Arc::clone(&arc));
         arc
     }
 
     /// Look up a record type by name.
     pub fn get(&self, name: &str) -> Option<Arc<RecordType>> {
-        self.types
-            .read()
-            .expect("type registry poisoned")
-            .get(name)
-            .cloned()
+        read_or_recover(&self.types).get(name).cloned()
     }
 
     /// Names of all registered types.
     pub fn type_names(&self) -> Vec<String> {
-        self.types
-            .read()
-            .expect("type registry poisoned")
-            .keys()
-            .cloned()
-            .collect()
+        read_or_recover(&self.types).keys().cloned().collect()
     }
 
     /// Resolve a possibly-`Named` type to a concrete one.

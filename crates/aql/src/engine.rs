@@ -16,6 +16,7 @@ use crate::ast::{Expr, Statement, TypeExpr};
 use crate::eval::{eval, eval_flwor, Env, EvalContext};
 use crate::rewrite::{self, ChainStep};
 use asterix_adm::{payload_from_value, AdmType, AdmValue, Field, RecordType};
+use asterix_common::sync::Mutex;
 use asterix_common::{DataFrame, IngestError, IngestResult, NodeId, Record};
 use asterix_feeds::adaptor::AdaptorConfig;
 use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
@@ -31,7 +32,6 @@ use asterix_hyracks::job::{Constraint, JobSpec, OperatorDescriptor};
 use asterix_hyracks::operator::{FrameWriter, OperatorRuntime, VecSource};
 use asterix_storage::secondary::IndexKind;
 use asterix_storage::{Dataset, DatasetConfig};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -13,6 +13,8 @@
 //! the kill and recovery after the rejoin — plus the at-least-once audit:
 //! every generated record id is present in the dataset afterwards.
 
+#![forbid(unsafe_code)]
+
 use asterix_bench::json_fields;
 use asterix_bench::rig::{wait_pattern_done, wait_stable, wait_until, ExperimentRig, RigOptions};
 use asterix_bench::{write_json, ExperimentReport};

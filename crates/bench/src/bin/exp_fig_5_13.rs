@@ -10,6 +10,8 @@
 //! the Discard policy, so persisted counts measure effective capacity —
 //! the cascade wins, and the gap widens with %OVERLAP.
 
+#![forbid(unsafe_code)]
+
 use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
 use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};

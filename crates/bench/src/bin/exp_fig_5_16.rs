@@ -13,6 +13,8 @@
 //! may have a single physical core, where busy-spin capacity could not
 //! scale with simulated nodes).
 
+#![forbid(unsafe_code)]
+
 use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
 use asterix_bench::rig::{wait_pattern_done, ExperimentRig, RigOptions};

@@ -15,6 +15,8 @@
 //! 0–1, compute on nodes 2–3, dataset partitions on nodes 6–9 (never
 //! killed, so no connection suspends on a store loss).
 
+#![forbid(unsafe_code)]
+
 use asterix_bench::json_fields;
 use asterix_bench::rig::{ExperimentRig, RigOptions};
 use asterix_bench::{write_json, ExperimentReport};

@@ -9,6 +9,8 @@
 //! (Fig 7.12). AsterixDB persists durably (WAL per record) at native
 //! pipeline speed.
 
+#![forbid(unsafe_code)]
+
 use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
 use asterix_bench::rig::{wait_pattern_done, wait_stable, ExperimentRig, RigOptions};

@@ -6,6 +6,8 @@
 //! alternating low/high phases where the high phase exceeds the pipeline's
 //! capacity.
 
+#![forbid(unsafe_code)]
+
 use asterix_bench::json_fields;
 use asterix_bench::{write_json, ExperimentReport};
 use asterix_common::{RateMeter, SimClock, SimDuration};

@@ -6,6 +6,8 @@
 //! from the data source are persisted"). Throttle randomly samples →
 //! *uniform thinning* with only short gaps.
 
+#![forbid(unsafe_code)]
+
 use asterix_adm::AdmValue;
 use asterix_bench::json_fields;
 use asterix_bench::report::print_table;

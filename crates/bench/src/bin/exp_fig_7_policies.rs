@@ -16,6 +16,8 @@
 //! * **Elastic** (Fig 7.7) — the first congestion episode triggers a
 //!   scale-out; later high phases are ingested at full rate.
 
+#![forbid(unsafe_code)]
+
 use asterix_bench::json_fields;
 use asterix_bench::report::print_table;
 use asterix_bench::rig::{wait_pattern_done, ExperimentRig, RigOptions};

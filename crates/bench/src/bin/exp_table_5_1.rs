@@ -8,6 +8,8 @@
 //! feed ≪ batch(20) ≪ batch(1), with the per-record feed cost two orders
 //! of magnitude below batch(1).
 
+#![forbid(unsafe_code)]
+
 use asterix_aql::engine::AsterixEngine;
 use asterix_bench::json_fields;
 use asterix_bench::report::print_table;

@@ -244,11 +244,14 @@ impl FaultPlan {
     /// Advance the shared record counter by `n` (the adaptor calls this as
     /// it emits) and return the new total.
     pub fn tick_records(&self, n: u64) -> u64 {
+        // relaxed-ok: standalone progress counter; triggers compare against
+        // the RMW result itself, not against other memory
         self.records.fetch_add(n, Ordering::Relaxed) + n
     }
 
     /// Records counted so far.
     pub fn records_seen(&self) -> u64 {
+        // relaxed-ok: monitoring read of a lone counter
         self.records.load(Ordering::Relaxed)
     }
 

@@ -83,6 +83,8 @@ impl IdGen {
 
     /// Allocate the next raw id.
     pub fn next_raw(&self) -> u64 {
+        // relaxed-ok: uniqueness needs only the atomicity of the RMW; ids
+        // carry no ordering obligation toward other memory
         self.next.fetch_add(1, Ordering::Relaxed)
     }
 

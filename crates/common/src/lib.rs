@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Shared primitives for the AsterixDB data-feed reproduction.
@@ -23,6 +24,10 @@
 //! * [`metrics`] — the typed metrics registry (counters, gauges, histograms
 //!   with lock-free hot paths) every layer reports into, snapshottable as
 //!   JSON or Prometheus text.
+//! * [`sync`] — the workspace synchronization facade: poison-recovering
+//!   locks, the compactor [`sync::WakeSignal`], the bounded
+//!   [`sync::handoff`] channel, and cfg-switched atomics that build against
+//!   the vendored `loom` model checker under `RUSTFLAGS="--cfg loom"`.
 //! * [`trace`] — span-style tracing of structural events (feed connects,
 //!   recoveries, compactions) into per-node ring-buffer logs.
 
@@ -33,6 +38,7 @@ pub mod frame;
 pub mod ids;
 pub mod meter;
 pub mod metrics;
+pub mod sync;
 pub mod trace;
 
 pub use clock::{SimClock, SimDuration, SimInstant};

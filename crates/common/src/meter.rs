@@ -7,7 +7,7 @@
 //! finished series a harness prints.
 
 use crate::clock::{SimDuration, SimInstant};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// One bucket of a throughput timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -13,11 +13,38 @@
 //! atomics, so incrementing a counter or recording a histogram sample never
 //! takes the registry lock — the lock is touched only at registration and
 //! snapshot time.
+//!
+//! # Memory-ordering contract
+//!
+//! All atomics come from [`crate::sync::atomic`], so building with
+//! `RUSTFLAGS="--cfg loom"` swaps in the model checker; the contract below
+//! is proved over exhaustive interleavings by `tests/loom_metrics.rs`.
+//!
+//! * **Counters / gauges** are independent single words: updates and reads
+//!   are `Relaxed`. Nothing else is published through them, so no ordering
+//!   is required — a reader may observe a value that is an instant old, but
+//!   never a torn or invented one.
+//! * **Histograms** maintain a multi-word invariant (the bucket totals are
+//!   the sample count) and therefore use release/acquire publication, per
+//!   field:
+//!   - `sum`, `min`, `max` are updated with `Relaxed` RMWs, *before* the
+//!     bucket increment in program order;
+//!   - the `buckets[idx]` increment is the **`Release` publish**: it is the
+//!     last write of [`Histogram::record`] and carries the earlier field
+//!     updates with it;
+//!   - [`Histogram::snapshot`] loads every field with **`Acquire`**, reading
+//!     `buckets` *first* and deriving `count` as their total (there is no
+//!     separate count cell to fall out of sync). If a snapshot observes a
+//!     sample's bucket increment it also observes that sample's `sum`/
+//!     `min`/`max` contribution. A sample landing mid-snapshot can inflate
+//!     `sum` relative to `count` (the mean reads momentarily high) but can
+//!     never break the bucket/count invariant checked by
+//!     [`MetricsSnapshot::all_finite`].
 
 use crate::clock::SimClock;
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A monotonically increasing counter.
@@ -32,16 +59,19 @@ impl Counter {
 
     /// Increment by one.
     pub fn inc(&self) {
+        // relaxed-ok: independent monotonic word, nothing published through it
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Increment by `n`.
     pub fn add(&self, n: u64) {
+        // relaxed-ok: independent monotonic word, nothing published through it
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed-ok: a momentarily-old read of a lone counter is fine
         self.0.load(Ordering::Relaxed)
     }
 
@@ -64,24 +94,38 @@ impl Gauge {
 
     /// Set the current value.
     pub fn set(&self, v: u64) {
+        // relaxed-ok: last-value-wins word, nothing published through it
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed-ok: a momentarily-old read of a lone gauge is fine
         self.0.load(Ordering::Relaxed)
     }
 }
 
 /// Number of power-of-two histogram buckets (`u64` value range).
+/// Shrunk under loom so the exhaustive schedule tree stays tractable;
+/// values past the last bucket clamp into it.
+#[cfg(not(loom))]
 const HIST_BUCKETS: usize = 65;
+#[cfg(loom)]
+const HIST_BUCKETS: usize = 9;
 
+/// Shared histogram state. Per-field ordering contract (proved by
+/// `tests/loom_metrics.rs`; rationale in the module docs):
+///
+/// * `buckets[i]` — incremented `Release`, last write of `record()`; loaded
+///   `Acquire`, first reads of `snapshot()`. The sample count is *derived*
+///   as the bucket total, so it cannot disagree with the buckets.
+/// * `sum` / `min` / `max` — `Relaxed` RMWs sequenced before the bucket
+///   increment that publishes them; `Acquire` loads after the bucket reads.
 #[derive(Debug)]
 struct HistogramCore {
     /// `buckets[i]` counts samples `v` with `bit_width(v) == i`, i.e. bucket
     /// upper bounds 0, 1, 3, 7, … 2^i − 1 (base-2 exponential buckets).
     buckets: [AtomicU64; HIST_BUCKETS],
-    count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
@@ -98,11 +142,18 @@ impl Default for Histogram {
     fn default() -> Histogram {
         Histogram(Arc::new(HistogramCore {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }))
+    }
+}
+
+fn bucket_bound(i: usize) -> u64 {
+    if i + 1 >= HIST_BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
     }
 }
 
@@ -114,43 +165,54 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
-        let idx = (u64::BITS - v.leading_zeros()) as usize; // 0 for v == 0
+        let idx = ((u64::BITS - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1); // 0 for v == 0
         let c = &self.0;
-        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        c.count.fetch_add(1, Ordering::Relaxed);
-        c.sum.fetch_add(v, Ordering::Relaxed);
-        c.min.fetch_min(v, Ordering::Relaxed);
-        c.max.fetch_max(v, Ordering::Relaxed);
+        // sum/min/max are published by the Release bucket increment below
+        // (last write; see the HistogramCore contract)
+        c.sum.fetch_add(v, Ordering::Relaxed); // relaxed-ok: see above
+        c.min.fetch_min(v, Ordering::Relaxed); // relaxed-ok: see above
+        c.max.fetch_max(v, Ordering::Relaxed); // relaxed-ok: see above
+        c.buckets[idx].fetch_add(1, Ordering::Release);
     }
 
-    /// Total number of samples recorded.
+    /// Total number of samples recorded (the bucket total — there is no
+    /// separate count cell to fall out of sync with the buckets).
     pub fn count(&self) -> u64 {
-        self.0.count.load(Ordering::Relaxed)
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .sum()
     }
 
     /// Point-in-time copy of the distribution.
+    ///
+    /// Buckets are read first (`Acquire`, pairing with `record()`'s
+    /// `Release` increment), so every sample whose bucket increment is
+    /// visible has its `sum`/`min`/`max` contribution visible too.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let c = &self.0;
-        let count = c.count.load(Ordering::Relaxed);
+        let mut count = 0u64;
         let buckets: Vec<(u64, u64)> = c
             .buckets
             .iter()
             .enumerate()
             .map(|(i, b)| {
-                let bound = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
-                (bound, b.load(Ordering::Relaxed))
+                let n = b.load(Ordering::Acquire);
+                count += n;
+                (bucket_bound(i), n)
             })
             .filter(|&(_, n)| n > 0)
             .collect();
         HistogramSnapshot {
             count,
-            sum: c.sum.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Acquire),
             min: if count == 0 {
                 0
             } else {
-                c.min.load(Ordering::Relaxed)
+                c.min.load(Ordering::Acquire)
             },
-            max: c.max.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Acquire),
             buckets,
         }
     }

@@ -10,7 +10,7 @@
 
 use crate::clock::{SimClock, SimInstant};
 use crate::ids::NodeId;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 

@@ -1,0 +1,106 @@
+//! Loom model of the histogram hot path: exhaustively checks that
+//! concurrent `record()` / `snapshot()` can never produce a torn snapshot.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p asterix-common --test loom_metrics`
+//!
+//! The contract proved here (see the `metrics` module docs): `snapshot()`
+//! derives `count` from the buckets it actually read, and the `Release`
+//! bucket increment / `Acquire` bucket load pairing guarantees that any
+//! sample whose bucket increment is visible also has its `sum`/`min`/`max`
+//! contribution visible. The old layout (separate `count` cell, all-Relaxed
+//! accesses) fails both properties — kept below as a `#[should_panic]`
+//! regression so the model demonstrably has teeth against it.
+#![cfg(loom)]
+
+use asterix_common::metrics::Histogram;
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+
+/// Every sample is `VAL`, so a coherent snapshot must satisfy
+/// `sum >= VAL * count` (sum may run ahead of a mid-flight sample's bucket
+/// increment, never behind) and `min == VAL` whenever any sample is visible.
+const VAL: u64 = 5;
+
+fn assert_coherent(h: &Histogram, writers_done: bool, max_count: u64) {
+    let s = h.snapshot();
+    assert_eq!(
+        s.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+        s.count,
+        "bucket totals must equal the derived count"
+    );
+    assert!(
+        s.sum >= VAL * s.count,
+        "snapshot saw {} samples but only sum={} — torn publication",
+        s.count,
+        s.sum
+    );
+    if s.count > 0 {
+        assert_eq!(s.min, VAL, "visible sample must carry its min");
+        assert_eq!(s.max, VAL, "visible sample must carry its max");
+    }
+    assert!(s.mean().is_finite());
+    if writers_done {
+        assert_eq!(s.count, max_count, "all samples visible after join");
+        assert_eq!(s.sum, VAL * max_count);
+    }
+}
+
+#[test]
+fn concurrent_record_and_snapshot_never_tear() {
+    loom::model(|| {
+        let h = Histogram::new();
+        let writer = {
+            let h = h.clone();
+            loom::thread::spawn(move || {
+                h.record(VAL);
+                h.record(VAL);
+            })
+        };
+        // racing snapshot: must be coherent at every interleaving point
+        assert_coherent(&h, false, 2);
+        writer.join().unwrap();
+        assert_coherent(&h, true, 2);
+    });
+}
+
+#[test]
+fn two_writers_one_snapshotter() {
+    loom::model(|| {
+        let h = Histogram::new();
+        let spawn_writer = |h: &Histogram| {
+            let h = h.clone();
+            loom::thread::spawn(move || h.record(VAL))
+        };
+        let a = spawn_writer(&h);
+        let b = spawn_writer(&h);
+        assert_coherent(&h, false, 2);
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_coherent(&h, true, 2);
+        assert_eq!(h.count(), 2);
+    });
+}
+
+/// The pre-refactor layout: a separate `count` cell and Relaxed accesses
+/// everywhere. The checker must find the torn schedule (this is the bug the
+/// refactor removed — if this test ever *passes*, the model lost its teeth).
+#[test]
+#[should_panic]
+fn legacy_separate_count_cell_is_torn() {
+    loom::model(|| {
+        let bucket = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let (b2, c2) = (Arc::clone(&bucket), Arc::clone(&count));
+        let writer = loom::thread::spawn(move || {
+            b2.fetch_add(1, Ordering::Relaxed);
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        let seen_count = count.load(Ordering::Relaxed);
+        let seen_bucket = bucket.load(Ordering::Relaxed);
+        assert_eq!(
+            seen_bucket, seen_count,
+            "legacy snapshot tears: bucket={seen_bucket} count={seen_count}"
+        );
+        writer.join().unwrap();
+    });
+}

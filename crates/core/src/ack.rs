@@ -13,9 +13,9 @@
 //! without an ack are replayed."
 
 use asterix_common::ids::IdGen;
+use asterix_common::sync::Mutex;
 use asterix_common::{Record, RecordId, SimClock, SimDuration, SimInstant};
 use crossbeam_channel::{Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
 static TRACKING_IDS: IdGen = IdGen::new();

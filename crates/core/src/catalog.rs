@@ -11,9 +11,9 @@ use crate::adaptor::{AdaptorConfig, AdaptorRegistry};
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_adm::TypeRegistry;
+use asterix_common::sync::RwLock;
 use asterix_common::{FeedId, IngestError, IngestResult};
 use asterix_storage::Dataset;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 

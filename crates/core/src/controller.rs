@@ -39,6 +39,7 @@ use crate::ops::{
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_common::ids::IdGen;
+use asterix_common::sync::Mutex;
 use asterix_common::{
     FaultPlan, FeedId, IngestError, IngestResult, NodeId, SimDuration, SimInstant,
 };
@@ -49,7 +50,6 @@ use asterix_hyracks::job::{Constraint, JobSpec, OperatorDescriptor};
 use asterix_hyracks::operator::{FrameWriter, NullSink, OperatorRuntime};
 use asterix_storage::Dataset;
 use crossbeam_channel::Sender;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -23,10 +23,11 @@
 
 use crate::metrics::FeedMetrics;
 use crate::policy::{ExcessStrategy, IngestionPolicy};
+use asterix_common::sync::handoff::{self, TrySendError};
+use asterix_common::sync::Mutex;
 use asterix_common::{DataFrame, FeedId, IngestError, IngestResult, Record, RecordId, SimInstant};
 use asterix_hyracks::operator::FrameWriter;
-use crossbeam_channel::{Receiver, Sender, TrySendError};
-use parking_lot::Mutex;
+use crossbeam_channel::Sender;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -138,7 +139,7 @@ struct Shared {
 pub struct FlowController {
     policy: IngestionPolicy,
     metrics: Arc<FeedMetrics>,
-    q_tx: Option<Sender<DataFrame>>,
+    q_tx: Option<handoff::Sender<DataFrame>>,
     pusher: Option<std::thread::JoinHandle<IngestResult<()>>>,
     shared: Arc<Shared>,
     backlog: VecDeque<DataFrame>,
@@ -163,13 +164,12 @@ impl FlowController {
         connection_key: impl Into<String>,
         elastic_tx: Option<Sender<ElasticRequest>>,
     ) -> FlowController {
-        let (q_tx, q_rx): (Sender<DataFrame>, Receiver<DataFrame>) =
-            crossbeam_channel::bounded(capacity.max(1));
+        let (q_tx, q_rx) = handoff::bounded::<DataFrame>(capacity.max(1));
         let shared = Arc::new(Shared {
             error: Mutex::new(None),
         });
         let pusher_shared = Arc::clone(&shared);
-        let pusher = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("feed-flow-pusher".into())
             .spawn(move || {
                 let mut downstream = downstream;
@@ -185,13 +185,23 @@ impl FlowController {
                     }
                 }
                 downstream.close()
-            })
-            .expect("spawn flow pusher");
+            });
+        // a failed OS-thread spawn degrades the controller (first offer
+        // reports the error) instead of panicking the intake operator
+        let (q_tx, pusher) = match spawned {
+            Ok(handle) => (Some(q_tx), Some(handle)),
+            Err(e) => {
+                *shared.error.lock() = Some(IngestError::Plan(format!(
+                    "cannot spawn flow pusher thread: {e}"
+                )));
+                (None, None)
+            }
+        };
         FlowController {
             policy,
             metrics,
-            q_tx: Some(q_tx),
-            pusher: Some(pusher),
+            q_tx,
+            pusher,
             shared,
             backlog: VecDeque::new(),
             backlog_bytes: 0,
@@ -212,7 +222,12 @@ impl FlowController {
     }
 
     fn try_send(&mut self, frame: DataFrame) -> Result<(), Option<DataFrame>> {
-        match self.q_tx.as_ref().expect("flow active").try_send(frame) {
+        // a missing queue (failed spawn, already-finished flow) reads as
+        // disconnected rather than panicking
+        let Some(tx) = self.q_tx.as_ref() else {
+            return Err(None);
+        };
+        match tx.try_send(frame) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(f)) => Err(Some(f)),
             Err(TrySendError::Disconnected(_)) => Err(None),
@@ -239,8 +254,7 @@ impl FlowController {
                 Err(None) => return Err(IngestError::Disconnected("pipeline gone".into())),
             }
         }
-        while !self.spill.is_empty() {
-            let segment = self.spill.pop_segment().expect("non-empty spill");
+        while let Some(segment) = self.spill.pop_segment() {
             let frame = SpillFile::decode_segment(&segment);
             let n = frame.len() as u64;
             match self.try_send(frame) {
@@ -374,9 +388,9 @@ impl FlowController {
         }
         // nothing deferred: pace the kept fraction through with a blocking
         // send — throttling "regulates the rate of inflow"
-        match self.q_tx.as_ref().expect("flow active").send(frame) {
-            Ok(()) => Ok(()),
-            Err(_) => Err(IngestError::Disconnected("pipeline gone".into())),
+        match self.q_tx.as_ref().map(|tx| tx.send(frame)) {
+            Some(Ok(())) => Ok(()),
+            _ => Err(IngestError::Disconnected("pipeline gone".into())),
         }
     }
 
@@ -418,8 +432,7 @@ impl FlowController {
         // the deferred records as re-processed)
         let backlog: Vec<DataFrame> = self.backlog.drain(..).collect();
         self.backlog_bytes = 0;
-        {
-            let tx = self.q_tx.as_ref().expect("flow active");
+        if let Some(tx) = self.q_tx.as_ref() {
             for f in backlog {
                 tx.send(f)
                     .map_err(|_| IngestError::Disconnected("pipeline gone".into()))?;
@@ -477,8 +490,8 @@ impl std::fmt::Debug for FlowController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asterix_common::sync::Mutex as PMutex;
     use asterix_common::SimClock;
-    use parking_lot::Mutex as PMutex;
 
     fn frame(ids: std::ops::Range<u64>) -> DataFrame {
         DataFrame::from_records(

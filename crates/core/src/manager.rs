@@ -14,9 +14,9 @@
 //! at the same node) to adopt.
 
 use crate::joint::FeedJoint;
+use asterix_common::sync::Mutex;
 use asterix_common::DataFrame;
 use asterix_hyracks::cluster::NodeHandle;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

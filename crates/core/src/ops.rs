@@ -29,6 +29,7 @@ use crate::metrics::FeedMetrics;
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_adm::{payload_from_value, AdmPayloadExt, AdmType, TypeRegistry};
+use asterix_common::sync::Mutex;
 use asterix_common::{
     DataFrame, FaultKind, FaultPlan, FeedId, FrameBuilder, IngestError, IngestResult, NodeId,
     Record, SimDuration, SimInstant,
@@ -40,7 +41,6 @@ use asterix_hyracks::operator::{
 };
 use asterix_storage::Dataset;
 use crossbeam_channel::{Receiver, Sender};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// One logged soft failure (§6.1.2).

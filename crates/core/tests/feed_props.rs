@@ -9,13 +9,13 @@
 //! * **Policy algebra** — custom-policy derivation never loses or invents
 //!   parameter state.
 
+use asterix_common::sync::Mutex;
 use asterix_common::{DataFrame, FeedId, Record, RecordId, SimClock, SimDuration};
 use asterix_feeds::flow::FlowController;
 use asterix_feeds::joint::{FeedJoint, JointRecv};
 use asterix_feeds::metrics::FeedMetrics;
 use asterix_feeds::policy::IngestionPolicy;
 use asterix_hyracks::operator::FrameWriter;
-use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;
 

@@ -14,11 +14,11 @@
 //! [`ClusterEvent::NodeFailed`].
 
 use crate::services::ServiceMap;
+use asterix_common::sync::{Mutex, RwLock};
 use asterix_common::{
     FaultKind, FaultPlan, MetricsRegistry, NodeId, SimClock, SimDuration, SimInstant, TraceHub,
 };
 use crossbeam_channel::{Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -299,6 +299,8 @@ impl Cluster {
 
     fn emit(&self, event: ClusterEvent) {
         let mut subs = self.inner.subscribers.lock();
+        // lint-allow: guard-across-blocking (unbounded channel: the send
+        // cannot block; the lock keeps event order consistent per subscriber)
         subs.retain(|tx| tx.send(event.clone()).is_ok());
     }
 

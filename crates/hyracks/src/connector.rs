@@ -133,6 +133,8 @@ impl FrameWriter for RouterWriter {
                     return Ok(());
                 }
                 // route whole frames round-robin: cheap and preserves batching
+                // relaxed-ok: rotation cursor; only fairness depends on it,
+                // frame delivery is ordered by the channel send below
                 let target = next.fetch_add(1, Ordering::Relaxed) % self.consumers.len();
                 self.send(target, frame)
             }

@@ -15,12 +15,12 @@ use crate::connector::{ConnectorSpec, RouterWriter, TeeWriter};
 use crate::job::{Constraint, JobSpec, OperatorSpecId};
 use crate::operator::{DevNull, FrameWriter, OperatorRuntime, StopToken};
 use asterix_common::ids::IdGen;
+use asterix_common::sync::Mutex;
 use asterix_common::{
     Counter, DataFrame, Histogram, IngestError, IngestResult, JobId, MetricsRegistry, NodeId,
     SimClock, DEFAULT_FRAME_CAPACITY,
 };
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::time::Duration;
 

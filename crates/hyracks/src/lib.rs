@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! A Hyracks-like partitioned-parallel dataflow engine (§3.2 of the paper),

@@ -210,7 +210,7 @@ impl SourceOperator for VecSource {
 /// experiment harnesses).
 #[derive(Debug, Clone, Default)]
 pub struct Collector {
-    records: Arc<parking_lot::Mutex<Vec<asterix_common::Record>>>,
+    records: Arc<asterix_common::sync::Mutex<Vec<asterix_common::Record>>>,
     closed: Arc<AtomicBool>,
 }
 

@@ -7,7 +7,7 @@
 //! feeds crate can attach its per-node Feed Manager without `hyracks`
 //! knowing about feeds.
 
-use parking_lot::RwLock;
+use asterix_common::sync::RwLock;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::Arc;

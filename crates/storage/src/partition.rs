@@ -27,10 +27,10 @@ use crate::lsm::{merge_components, LsmTree};
 use crate::secondary::{IndexKind, SecondaryIndex};
 use crate::wal::{LogOp, WriteAheadLog};
 use asterix_adm::AdmValue;
+use asterix_common::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use asterix_common::sync::{Mutex, WakeEvent, WakeSignal};
 use asterix_common::{Histogram, IngestError, IngestResult, TraceLog};
-use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -89,19 +89,12 @@ struct PartitionState {
     secondaries: Vec<SecondaryIndex>,
 }
 
-#[derive(Default)]
-struct CompactorSignal {
-    wake: bool,
-    shutdown: bool,
-}
-
 /// State shared between the partition handle and its compaction worker.
 struct PartitionInner {
     config: PartitionConfig,
     wal: WriteAheadLog,
     state: Mutex<PartitionState>,
-    signal: Mutex<CompactorSignal>,
-    signal_cv: Condvar,
+    signal: WakeSignal,
     merging: AtomicBool,
     compactions: AtomicU64,
     /// Observability hooks, attached once via `set_observability`:
@@ -123,8 +116,7 @@ impl PartitionInner {
     /// Wake the compaction worker (called after a mutation sealed enough
     /// components; never while holding the state lock).
     fn nudge_compactor(&self) {
-        self.signal.lock().wake = true;
-        self.signal_cv.notify_all();
+        self.signal.wake();
     }
 
     /// One merge round: snapshot under a short lock, merge off-lock, swap
@@ -169,16 +161,11 @@ impl PartitionInner {
 
     fn compactor_loop(&self) {
         loop {
-            {
-                let mut sig = self.signal.lock();
-                if !sig.wake && !sig.shutdown {
-                    // the timeout doubles as a safety net if a nudge is lost
-                    self.signal_cv.wait_for(&mut sig, Duration::from_millis(20));
-                }
-                if sig.shutdown {
-                    return;
-                }
-                sig.wake = false;
+            // the timeout doubles as a safety net if a nudge is lost — the
+            // loom model of WakeSignal proves it never actually fires
+            match self.signal.wait_timeout(Duration::from_millis(20)) {
+                WakeEvent::Shutdown => return,
+                WakeEvent::Woken | WakeEvent::TimedOut => {}
             }
             // drain: keep merging while over threshold; stop on a lost race
             while self.compact_once(false) {}
@@ -203,8 +190,7 @@ impl DatasetPartition {
                 secondaries: Vec::new(),
             }),
             wal: WriteAheadLog::new(),
-            signal: Mutex::new(CompactorSignal::default()),
-            signal_cv: Condvar::new(),
+            signal: WakeSignal::new(),
             merging: AtomicBool::new(false),
             compactions: AtomicU64::new(0),
             batch_hist: OnceLock::new(),
@@ -590,6 +576,15 @@ impl DatasetPartition {
         self.inner.wal.corrupt_tail(bytes);
     }
 
+    /// Crash injection for poison-recovery tests: panic on the calling
+    /// thread *while holding the partition state lock*, as a bug in index
+    /// maintenance would. With a poisoning lock this would take down every
+    /// subsequent writer; the partition's locks recover instead.
+    pub fn panic_under_state_lock(&self) {
+        let _st = self.inner.state.lock();
+        panic!("injected panic while holding the partition state lock");
+    }
+
     /// Apply any due WAL-tear events of a chaos schedule to this
     /// partition's log; returns how many were applied.
     pub fn apply_fault_plan(&self, plan: &asterix_common::FaultPlan) -> usize {
@@ -599,8 +594,7 @@ impl DatasetPartition {
 
 impl Drop for DatasetPartition {
     fn drop(&mut self) {
-        self.inner.signal.lock().shutdown = true;
-        self.inner.signal_cv.notify_all();
+        self.inner.signal.shutdown();
         if let Some(handle) = self.worker.lock().take() {
             let _ = handle.join();
         }
@@ -928,6 +922,35 @@ mod tests {
         assert_eq!(p.component_count(), 1);
         assert_eq!(p.len(), 40);
         assert!(p.compactions() >= 1);
+    }
+
+    #[test]
+    fn poisoned_state_lock_does_not_take_down_the_partition() {
+        let p = Arc::new(part());
+        p.insert(&rec("before", "survives")).unwrap();
+        let recoveries_before = asterix_common::sync::poison_recoveries();
+        // a writer thread dies while holding the partition state lock
+        let p2 = Arc::clone(&p);
+        let crashed = std::thread::spawn(move || p2.panic_under_state_lock()).join();
+        assert!(crashed.is_err(), "injected panic must propagate to join");
+        // every subsequent operation recovers the lock instead of cascading
+        p.insert(&rec("after", "also fine")).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            p.get(&"before".into())
+                .unwrap()
+                .field("message_text")
+                .unwrap(),
+            &AdmValue::string("survives")
+        );
+        p.recover().expect("recovery path unaffected");
+        assert_eq!(p.len(), 2);
+        assert!(
+            asterix_common::sync::poison_recoveries() > recoveries_before,
+            "the recovery safety net must actually have fired"
+        );
+        // the compactor worker must still be alive and joinable
+        drop(Arc::try_unwrap(p).expect("sole owner"));
     }
 
     #[test]

@@ -31,8 +31,8 @@
 
 use asterix_adm::binary::{decode_prefix, encode_into};
 use asterix_adm::AdmValue;
+use asterix_common::sync::Mutex;
 use asterix_common::{FaultKind, FaultPlan, IngestError, IngestResult};
-use parking_lot::Mutex;
 
 const OP_PUT: u8 = 1;
 const OP_DELETE: u8 = 2;

@@ -180,7 +180,7 @@ fn run_impl(
         persisted: store.count(&collection),
         acked: acker.acked(),
         replayed: acker.replayed(),
-        spout_stalls: stalls_counter.load(std::sync::atomic::Ordering::Relaxed),
+        spout_stalls: stalls_counter.load(std::sync::atomic::Ordering::Relaxed), // relaxed-ok: report read after join
         throughput: meter.series(),
     })
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The "glued-together" baseline of Chapter 7.5: a Storm-like data-routing

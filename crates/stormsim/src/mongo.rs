@@ -15,8 +15,8 @@
 //! per-record overhead that AsterixDB's native pipeline amortizes away.
 
 use asterix_adm::AdmValue;
+use asterix_common::sync::Mutex;
 use asterix_common::{IngestError, IngestResult, SimClock, SimDuration};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Durability mode for inserts.
@@ -69,7 +69,7 @@ pub struct MongoStore {
     collections: Mutex<HashMap<String, Collection>>,
     /// generation counter bumped by each group commit
     commit_gen: Mutex<u64>,
-    journal_cv: parking_lot::Condvar,
+    journal_cv: asterix_common::sync::Condvar,
 }
 
 impl MongoStore {
@@ -81,7 +81,7 @@ impl MongoStore {
             clock,
             collections: Mutex::new(HashMap::new()),
             commit_gen: Mutex::new(0),
-            journal_cv: parking_lot::Condvar::new(),
+            journal_cv: asterix_common::sync::Condvar::new(),
         });
         let s = std::sync::Arc::clone(&store);
         std::thread::Builder::new()

@@ -16,9 +16,9 @@
 //! shape of the glued ingestion topology; each stage runs `parallelism`
 //! worker threads connected by bounded queues.
 
+use asterix_common::sync::Mutex;
 use asterix_common::{IngestError, IngestResult, SimClock, SimDuration, SimInstant};
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -107,16 +107,19 @@ impl Acker {
 
     /// Tuples fully processed.
     pub fn acked(&self) -> u64 {
+        // relaxed-ok: monitoring read of a lone counter
         self.acked.load(Ordering::Relaxed)
     }
 
     /// Tuples failed at some bolt.
     pub fn failed(&self) -> u64 {
+        // relaxed-ok: monitoring read of a lone counter
         self.failed.load(Ordering::Relaxed)
     }
 
     /// Tuples replayed after timeout or failure.
     pub fn replayed(&self) -> u64 {
+        // relaxed-ok: monitoring read of a lone counter
         self.replayed.load(Ordering::Relaxed)
     }
 
@@ -194,7 +197,7 @@ impl Topology {
                                     })
                                 };
                                 if let Some(t) = tuple {
-                                    acker.replayed.fetch_add(1, Ordering::Relaxed);
+                                    acker.replayed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
                                     let _ = replay_tx.try_send(t);
                                 }
                             }
@@ -215,7 +218,7 @@ impl Topology {
                                 out
                             };
                             for t in timed_out {
-                                acker.replayed.fetch_add(1, Ordering::Relaxed);
+                                acker.replayed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
                                 if first.send(t).is_err() {
                                     return;
                                 }
@@ -229,7 +232,7 @@ impl Topology {
                             }
                             // max.spout.pending gate
                             if acker.pending() >= cfg.max_spout_pending {
-                                stalled.fetch_add(1, Ordering::Relaxed);
+                                stalled.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
                                 std::thread::sleep(std::time::Duration::from_micros(200));
                                 continue;
                             }
@@ -241,7 +244,7 @@ impl Topology {
                                         let st = &mut *acker.state.lock();
                                         st.pending.insert(id, (payload.clone(), clock2.now()));
                                     }
-                                    emitted2.fetch_add(1, Ordering::Relaxed);
+                                    emitted2.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
                                     if first
                                         .send(StormTuple {
                                             message_id: id,
@@ -295,6 +298,7 @@ impl Topology {
                                             // terminal emit = ack
                                             let st = &mut *acker.state.lock();
                                             if st.pending.remove(&tuple.message_id).is_some() {
+                                                // relaxed-ok: stat
                                                 acker.acked.fetch_add(1, Ordering::Relaxed);
                                             }
                                         }
@@ -302,11 +306,12 @@ impl Topology {
                                     BoltOutcome::Ack => {
                                         let st = &mut *acker.state.lock();
                                         if st.pending.remove(&tuple.message_id).is_some() {
+                                            // relaxed-ok: stat
                                             acker.acked.fetch_add(1, Ordering::Relaxed);
                                         }
                                     }
                                     BoltOutcome::Fail => {
-                                        acker.failed.fetch_add(1, Ordering::Relaxed);
+                                        acker.failed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
                                         let _ = fail_tx.send(tuple.message_id);
                                     }
                                 },
@@ -335,11 +340,13 @@ impl Topology {
 
     /// Tuples emitted by the spout (excluding replays).
     pub fn emitted(&self) -> u64 {
+        // relaxed-ok: monitoring read of a lone counter
         self.emitted.load(Ordering::Relaxed)
     }
 
     /// Times the spout stalled on `max.spout.pending`.
     pub fn spout_stalls(&self) -> u64 {
+        // relaxed-ok: monitoring read of a lone counter
         self.spout_stalled.load(Ordering::Relaxed)
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! TweetGen — the paper's custom tweet generator (§5.7, Experimental Setup).

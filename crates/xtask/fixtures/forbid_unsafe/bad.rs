@@ -1,0 +1,9 @@
+//! BAD: a crate root without the `unsafe` guard-rail. Nothing stops an
+//! `unsafe` block from slipping into this crate in review.
+
+pub mod flow;
+pub mod storage;
+
+pub fn checked_add(a: u64, b: u64) -> Option<u64> {
+    a.checked_add(b)
+}

@@ -1,0 +1,12 @@
+//! GOOD: the crate opts out of `unsafe` wholesale; any future `unsafe`
+//! block is a compile error, so Miri/TSan findings can only come from
+//! logic, not from undefined behaviour in first-party code.
+
+#![forbid(unsafe_code)]
+
+pub mod flow;
+pub mod storage;
+
+pub fn checked_add(a: u64, b: u64) -> Option<u64> {
+    a.checked_add(b)
+}

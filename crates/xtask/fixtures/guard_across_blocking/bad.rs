@@ -1,0 +1,32 @@
+//! BAD: lock guards held across blocking calls. A bounded channel send that
+//! blocks while `q` is held stalls every other thread that needs the lock —
+//! and if the receiver needs the same lock to drain, that is a deadlock.
+
+use asterix_common::sync::Mutex;
+use crossbeam_channel::{Receiver, Sender};
+
+pub fn drain_queue(state: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let mut q = state.lock();
+    while let Some(v) = q.pop() {
+        tx.send(v).ok();
+    }
+}
+
+pub fn refill_queue(state: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    let mut q = state.lock();
+    if let Ok(v) = rx.recv() {
+        q.push(v);
+    }
+}
+
+pub fn wait_for_worker(state: &Mutex<Vec<u64>>, worker: std::thread::JoinHandle<()>) {
+    let guard = state.lock();
+    worker.join().ok();
+    drop(guard);
+}
+
+pub fn backoff_under_lock(state: &Mutex<Vec<u64>>) {
+    let mut q = state.lock();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    q.clear();
+}

@@ -1,0 +1,42 @@
+//! GOOD: the critical section only moves data; blocking calls happen after
+//! the guard is gone — scoped out, explicitly dropped, or never bound.
+
+use asterix_common::sync::Mutex;
+use crossbeam_channel::{Receiver, Sender};
+
+pub fn drain_queue(state: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let batch: Vec<u64> = {
+        let mut q = state.lock();
+        q.drain(..).collect()
+    };
+    for v in batch {
+        tx.send(v).ok();
+    }
+}
+
+pub fn refill_queue(state: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    if let Ok(v) = rx.recv() {
+        state.lock().push(v);
+    }
+}
+
+pub fn wait_for_worker(state: &Mutex<Vec<u64>>, worker: std::thread::JoinHandle<()>) {
+    let drained = {
+        let mut q = state.lock();
+        q.drain(..).count()
+    };
+    worker.join().ok();
+    let _ = drained;
+}
+
+pub fn drop_then_sleep(state: &Mutex<Vec<u64>>) {
+    let mut q = state.lock();
+    q.clear();
+    drop(q);
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+pub fn copy_out_then_send(counter: &Mutex<u64>, tx: &Sender<u64>) {
+    let n = *counter.lock();
+    tx.send(n).ok();
+}

@@ -1,0 +1,35 @@
+//! BAD: unwrapping lock results in runtime code. One panic while a writer
+//! holds the lock poisons it, and every later caller panics forever.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Store {
+    rows: Mutex<Vec<u64>>,
+    index: RwLock<Vec<usize>>,
+}
+
+impl Store {
+    pub fn push(&self, v: u64) {
+        self.rows.lock().unwrap().push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("rows lock poisoned").len()
+    }
+
+    pub fn lookup(&self, i: usize) -> Option<usize> {
+        self.index.read().unwrap().get(i).copied()
+    }
+
+    pub fn reindex(&self) {
+        self.index.write().unwrap().clear();
+    }
+
+    pub fn drain(&self) -> Vec<u64> {
+        let mut guard = self
+            .rows
+            .lock()
+            .unwrap();
+        guard.drain(..).collect()
+    }
+}

@@ -1,0 +1,45 @@
+//! GOOD: poison is recovered, not propagated. Runtime code goes through
+//! `asterix_common::sync` (either the facade types, whose `lock()` returns
+//! the guard directly, or `lock_or_recover` on a bare std lock); tests may
+//! still unwrap, and deliberate exceptions carry a visible waiver.
+
+use asterix_common::sync::{lock_or_recover, read_or_recover, write_or_recover, Mutex};
+
+pub struct Store {
+    rows: std::sync::Mutex<Vec<u64>>,
+    index: std::sync::RwLock<Vec<usize>>,
+    staged: Mutex<Vec<u64>>,
+}
+
+impl Store {
+    pub fn push(&self, v: u64) {
+        lock_or_recover(&self.rows).push(v);
+    }
+
+    pub fn stage(&self, v: u64) {
+        // The facade Mutex recovers poison internally; no Result to unwrap.
+        self.staged.lock().push(v);
+    }
+
+    pub fn lookup(&self, i: usize) -> Option<usize> {
+        read_or_recover(&self.index).get(i).copied()
+    }
+
+    pub fn reindex(&self) {
+        write_or_recover(&self.index).clear();
+    }
+
+    pub fn rows_snapshot_for_probe(&self) -> usize {
+        // A deliberate exception stays reviewable at the call site.
+        self.rows.lock().unwrap().len() // lint-allow: lock-unwrap (probe binary; a poisoned store should abort it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let m = std::sync::Mutex::new(41);
+        assert_eq!(*m.lock().unwrap() + 1, 42);
+    }
+}

@@ -1,0 +1,21 @@
+//! BAD: Relaxed orderings with no recorded argument for why the weakness is
+//! unobservable. The first one is a real publication bug (readers of `ready`
+//! may not see `value`); the second might be fine, but nobody wrote down why.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Cell {
+    value: AtomicU64,
+    ready: AtomicBool,
+}
+
+impl Cell {
+    pub fn publish(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn events_seen(&self, events: &AtomicU64) -> u64 {
+        events.load(Ordering::Relaxed)
+    }
+}

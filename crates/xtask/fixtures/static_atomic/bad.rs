@@ -1,0 +1,16 @@
+//! BAD: ad-hoc global counters. They are invisible to `MetricsRegistry`
+//! snapshots and exports, have no labels, and leak state across tests.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub static FRAMES_SEEN: AtomicU64 = AtomicU64::new(0);
+
+static ACTIVE_FEEDS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn note_frame() {
+    FRAMES_SEEN.fetch_add(1, Ordering::Release);
+}
+
+pub fn feed_started() {
+    ACTIVE_FEEDS.fetch_add(1, Ordering::Release);
+}

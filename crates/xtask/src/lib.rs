@@ -1,0 +1,121 @@
+//! Repo-local static analysis for the concurrency invariants.
+//!
+//! `cargo xtask lint` walks the `src/` tree of every first-party crate (the
+//! umbrella crate plus everything under `crates/`; the vendored `shims/` are
+//! exempt) and enforces:
+//!
+//! * `lock-unwrap` — no `.unwrap()`/`.expect()` on lock results in runtime
+//!   code; poison must be recovered via `asterix_common::sync`.
+//! * `guard-across-blocking` — no lock guard live across a channel
+//!   send/recv, thread join, or sleep.
+//! * `relaxed-ordering` — `Ordering::Relaxed` only at sites annotated with a
+//!   `// relaxed-ok: <reason>` comment recording the ordering argument.
+//! * `static-atomic` — no ad-hoc `static` atomics bypassing the typed
+//!   `MetricsRegistry`.
+//! * `forbid-unsafe` — every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! Test code is exempt: `tests/`, `benches/`, and `examples/` directories are
+//! never scanned, and in-file `#[cfg(test)]` items are skipped by the
+//! scanner. Deliberate exceptions are annotated in place with
+//! `// lint-allow: <rule>` so the waiver is visible in review next to the
+//! code it covers.
+
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{check_crate_root, check_file, RuleInfo, Violation, RULES};
+pub use scan::{parse_source, SourceFile};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collect `.rs` files under `dir`, recursively, in deterministic order.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The `src/` directories of every first-party crate in the repo.
+///
+/// Returns `(crate_name, src_dir)` pairs: the umbrella crate at the repo
+/// root plus each member under `crates/`. Vendored `shims/` are third-party
+/// API stand-ins and are deliberately not policed.
+pub fn crate_src_dirs(repo_root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut dirs = Vec::new();
+    let root_src = repo_root.join("src");
+    if root_src.is_dir() {
+        dirs.push(("asterixdb-ingestion".to_string(), root_src));
+    }
+    let crates = repo_root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            dirs.push((entry.file_name().to_string_lossy().into_owned(), src));
+        }
+    }
+    Ok(dirs)
+}
+
+/// Outcome of a full-tree lint run.
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+}
+
+/// Run every rule over every first-party crate under `repo_root`.
+pub fn lint_tree(repo_root: &Path) -> io::Result<LintReport> {
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for (_name, src_dir) in crate_src_dirs(repo_root)? {
+        // Crate roots: lib.rs, main.rs, and any bin targets.
+        let mut roots = vec![src_dir.join("lib.rs"), src_dir.join("main.rs")];
+        let bin_dir = src_dir.join("bin");
+        if bin_dir.is_dir() {
+            rs_files(&bin_dir, &mut roots)?;
+        }
+        for root in roots {
+            if root.is_file() {
+                let text = std::fs::read_to_string(&root)?;
+                violations.extend(check_crate_root(&root, &text));
+            }
+        }
+
+        let mut files = Vec::new();
+        rs_files(&src_dir, &mut files)?;
+        for path in files {
+            let text = std::fs::read_to_string(&path)?;
+            let parsed = parse_source(&path, &text);
+            violations.extend(check_file(&parsed));
+            files_scanned += 1;
+        }
+    }
+    Ok(LintReport {
+        files_scanned,
+        violations,
+    })
+}
+
+/// Repo root resolution: `$CARGO_MANIFEST_DIR/../..` when run through cargo
+/// (the xtask manifest lives at `crates/xtask`), else the current directory.
+pub fn repo_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(Path::parent) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}

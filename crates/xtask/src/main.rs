@@ -1,0 +1,87 @@
+//! `cargo xtask` — repo-local developer tasks.
+//!
+//! Currently one subcommand: `lint`, the concurrency-invariant checker (see
+//! the crate docs in `lib.rs` and the "Concurrency invariants & analysis"
+//! section of DESIGN.md).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask lint [--root <dir>] [--list-rules]\n\
+         \n\
+         Enforce the repo's concurrency invariants over every first-party\n\
+         crate. Exits non-zero when any violation is found."
+    );
+    ExitCode::FAILURE
+}
+
+fn list_rules() -> ExitCode {
+    for rule in xtask::RULES {
+        println!(
+            "{:<24} {}",
+            rule.name,
+            rule.summary
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn lint(root: PathBuf) -> ExitCode {
+    let report = match xtask::lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &report.violations {
+        // Paths relative to the repo root keep the output clickable and short.
+        let path = v.path.strip_prefix(&root).unwrap_or(&v.path);
+        println!("{}:{}: [{}] {}", path.display(), v.line, v.rule, v.message);
+        println!("    {}", v.excerpt);
+    }
+    if report.violations.is_empty() {
+        println!(
+            "xtask lint: clean — {} files, {} rules",
+            report.files_scanned,
+            xtask::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s) in {} files scanned",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = xtask::repo_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--list-rules" => return list_rules(),
+                    "--root" => match rest.next() {
+                        Some(dir) => root = PathBuf::from(dir),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            lint(root)
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,385 @@
+//! The lint rules.
+//!
+//! Every rule guards a concurrency invariant that the type system cannot
+//! express. Rules run on the [`crate::scan::SourceFile`] line model, skip
+//! test code (`tests/` directories are never scanned; in-file `#[cfg(test)]`
+//! items are marked by the scanner), and honour the escapes
+//! `// lint-allow: <rule>` and `// relaxed-ok: <reason>`. An escape on its
+//! own line covers the single statement that follows it; an escape at the
+//! end of a code line covers that line.
+
+use crate::scan::{Line, SourceFile};
+use std::path::{Path, PathBuf};
+
+/// Static description of one rule, for `--list-rules` and docs.
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "lock-unwrap",
+        summary: "runtime code must not .unwrap()/.expect() a Mutex/RwLock guard; \
+                  use asterix_common::sync::lock_or_recover or the sync facade types",
+    },
+    RuleInfo {
+        name: "guard-across-blocking",
+        summary: "a lock guard must not stay live across a channel send/recv, \
+                  thread join, or sleep — drop it or scope it first",
+    },
+    RuleInfo {
+        name: "relaxed-ordering",
+        summary: "Ordering::Relaxed needs a `// relaxed-ok:` comment stating why \
+                  the weak ordering cannot be observed",
+    },
+    RuleInfo {
+        name: "static-atomic",
+        summary: "no ad-hoc `static` atomics: route process-wide counters through \
+                  the typed MetricsRegistry",
+    },
+    RuleInfo {
+        name: "forbid-unsafe",
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+    },
+];
+
+/// One rule hit at one source line.
+#[derive(Debug)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub path: PathBuf,
+    pub line: usize, // 1-based
+    pub message: String,
+    pub excerpt: String,
+}
+
+fn push(out: &mut Vec<Violation>, rule: &'static str, file: &SourceFile, idx: usize, msg: String) {
+    out.push(Violation {
+        rule,
+        path: file.path.clone(),
+        line: idx + 1,
+        message: msg,
+        excerpt: file.lines[idx].raw.trim().to_string(),
+    });
+}
+
+/// Lines a rule should look at: runtime code only, not suppressed.
+fn active<'a>(file: &'a SourceFile, rule: &str) -> impl Iterator<Item = (usize, &'a Line)> {
+    let rule = rule.to_string();
+    file.lines
+        .iter()
+        .enumerate()
+        .filter(move |(_, l)| !l.in_test && !l.allows(&rule))
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-unwrap
+// ---------------------------------------------------------------------------
+
+const LOCK_CALLS: &[&str] = &[
+    ".lock()",
+    ".try_lock()",
+    ".read()",
+    ".try_read()",
+    ".write()",
+    ".try_write()",
+];
+
+fn check_lock_unwrap(file: &SourceFile, out: &mut Vec<Violation>) {
+    let squished: Vec<String> = file.lines.iter().map(|l| l.squished()).collect();
+    for (idx, _line) in active(file, "lock-unwrap") {
+        let sq = &squished[idx];
+        for call in LOCK_CALLS {
+            // Same-line chain: `m.lock().unwrap()` / `.expect(`
+            let mut from = 0;
+            while let Some(pos) = sq[from..].find(call) {
+                let after = &sq[from + pos + call.len()..];
+                if after.starts_with(".unwrap()") || after.starts_with(".expect(") {
+                    push(
+                        out,
+                        "lock-unwrap",
+                        file,
+                        idx,
+                        format!(
+                            "`{call}` result unwrapped; a poisoned lock would panic forever — \
+                             use asterix_common::sync::lock_or_recover (or the sync facade types)"
+                        ),
+                    );
+                }
+                from += pos + call.len();
+            }
+            // Split chain: line ends `.lock()` and the next code line starts
+            // `.unwrap()` / `.expect(`
+            if sq.ends_with(call) {
+                if let Some(next) = squished[idx + 1..].iter().find(|s| !s.is_empty()) {
+                    if next.starts_with(".unwrap()") || next.starts_with(".expect(") {
+                        push(
+                            out,
+                            "lock-unwrap",
+                            file,
+                            idx,
+                            format!(
+                                "`{call}` result unwrapped on the following line — \
+                                 use asterix_common::sync::lock_or_recover"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: guard-across-blocking
+// ---------------------------------------------------------------------------
+
+const BLOCKING_CALLS: &[&str] = &[
+    ".send(",
+    ".send_timeout(",
+    ".recv(",
+    ".recv_timeout(",
+    ".join()",
+    "thread::sleep(",
+];
+
+struct LiveGuard {
+    name: String,
+    depth: i32,
+    bound_at: usize, // 0-based line index
+}
+
+/// Try to read `let [mut] NAME [: ty] = <expr>.lock();` out of a line.
+///
+/// Only bindings whose right-hand side *ends* with the lock call produce a
+/// guard: `let n = *m.lock();` or `let v = m.lock().pop();` copy data out and
+/// drop the guard inside the statement.
+fn guard_binding(line: &Line, sq: &str) -> Option<String> {
+    let t = line.code.trim_start();
+    if !t.starts_with("let ") {
+        return None;
+    }
+    if !sq.ends_with(".lock();") && !sq.ends_with(".read();") && !sq.ends_with(".write();") {
+        return None;
+    }
+    // A deref on the RHS (`= *m.lock()`) copies the value; no guard survives.
+    if sq.find('=').is_some_and(|p| sq[p + 1..].starts_with('*')) {
+        return None;
+    }
+    let rest = t["let ".len()..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    // `let _ = m.lock();` drops the guard immediately; destructuring (`let (a,`)
+    // yields no name and is not a guard binding pattern we track.
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    Some(name)
+}
+
+fn check_guard_across_blocking(file: &SourceFile, out: &mut Vec<Violation>) {
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        // Scope exit kills guards bound deeper than the current depth.
+        guards.retain(|g| line.depth_at_start >= g.depth);
+        if line.in_test {
+            continue;
+        }
+        let sq = line.squished();
+        // `drop(guard)` / `std::mem::drop(guard)` ends the borrow early.
+        guards.retain(|g| !sq.contains(&format!("drop({})", g.name)));
+
+        if !guards.is_empty() && !line.allows("guard-across-blocking") {
+            for call in BLOCKING_CALLS {
+                if sq.contains(call) {
+                    let g = guards.last().unwrap();
+                    push(
+                        out,
+                        "guard-across-blocking",
+                        file,
+                        idx,
+                        format!(
+                            "blocking call `{call}..` while lock guard `{}` (bound on line {}) \
+                             is live — drop the guard or move the call out of its scope",
+                            g.name,
+                            g.bound_at + 1
+                        ),
+                    );
+                }
+            }
+        }
+
+        if !line.allows("guard-across-blocking") {
+            if let Some(name) = guard_binding(line, &sq) {
+                guards.push(LiveGuard {
+                    name,
+                    depth: line.depth_at_start,
+                    bound_at: idx,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: relaxed-ordering
+// ---------------------------------------------------------------------------
+
+fn check_relaxed_ordering(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in active(file, "relaxed-ordering") {
+        if line.code.contains("Ordering::Relaxed") {
+            push(
+                out,
+                "relaxed-ordering",
+                file,
+                idx,
+                "Ordering::Relaxed without a `// relaxed-ok:` comment — state why the \
+                 weak ordering cannot be observed, or use Acquire/Release"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: static-atomic
+// ---------------------------------------------------------------------------
+
+fn check_static_atomic(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in active(file, "static-atomic") {
+        let t = line.code.trim_start();
+        let after_vis = t
+            .strip_prefix("pub(crate) ")
+            .or_else(|| t.strip_prefix("pub(super) "))
+            .or_else(|| t.strip_prefix("pub "))
+            .unwrap_or(t);
+        if after_vis.starts_with("static ") && line.squished().contains(":Atomic") {
+            push(
+                out,
+                "static-atomic",
+                file,
+                idx,
+                "ad-hoc static atomic bypasses the MetricsRegistry — register a typed \
+                 Counter/Gauge instead (snapshots, labels, and export come for free)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: forbid-unsafe
+// ---------------------------------------------------------------------------
+
+/// Crate roots must opt the whole crate out of `unsafe`.
+///
+/// Runs on root files only (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`),
+/// not on every module.
+pub fn check_crate_root(path: &Path, text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !text.contains("#![forbid(unsafe_code)]") {
+        out.push(Violation {
+            rule: "forbid-unsafe",
+            path: path.to_path_buf(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            excerpt: text.lines().next().unwrap_or("").trim().to_string(),
+        });
+    }
+    out
+}
+
+/// Run all per-file rules (everything except `forbid-unsafe`).
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_lock_unwrap(file, &mut out);
+    check_guard_across_blocking(file, &mut out);
+    check_relaxed_ordering(file, &mut out);
+    check_static_atomic(file, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+    use std::path::Path;
+
+    fn violations(src: &str) -> Vec<Violation> {
+        check_file(&parse_source(Path::new("mem.rs"), src))
+    }
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        violations(src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn split_chain_unwrap_is_caught() {
+        let src = "let g = self.state\n    .lock()\n    .unwrap();\n";
+        assert!(rules_hit(src).contains(&"lock-unwrap"));
+    }
+
+    #[test]
+    fn lock_unwrap_in_cfg_test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { m.lock().unwrap(); }\n}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn guard_dropped_before_send_is_clean() {
+        let src = "fn f() {\n    let q = state.lock();\n    drop(q);\n    tx.send(1).ok();\n}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn guard_scoped_out_before_send_is_clean() {
+        let src = "fn f() {\n    let batch = {\n        let mut q = state.lock();\n        q.take()\n    };\n    tx.send(batch).ok();\n}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn deref_copy_does_not_bind_a_guard() {
+        let src = "fn f() {\n    let n = *counter.lock();\n    tx.send(n).ok();\n}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn send_under_live_guard_is_caught() {
+        let src = "fn f() {\n    let mut q = state.lock();\n    tx.send(q.pop()).ok();\n}\n";
+        assert_eq!(rules_hit(src), vec!["guard-across-blocking"]);
+    }
+
+    #[test]
+    fn relaxed_inside_a_string_is_not_code() {
+        let src = "fn f() { log(\"Ordering::Relaxed is fine here\"); }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn static_atomic_with_allow_is_clean() {
+        let src = "// lint-allow: static-atomic (poison counter; registry locks through here)\nstatic N: AtomicU64 = AtomicU64::new(0);\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn const_and_thread_local_atomics_are_not_statics() {
+        let src = "thread_local! {\n    static TL: Cell<u64> = Cell::new(0);\n}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_without_forbid_is_flagged() {
+        let v = check_crate_root(Path::new("lib.rs"), "pub fn f() {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "forbid-unsafe");
+        assert!(check_crate_root(
+            Path::new("lib.rs"),
+            "//! Doc.\n#![forbid(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+    }
+}

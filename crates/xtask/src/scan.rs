@@ -1,0 +1,441 @@
+//! Line-oriented source model for the lint rules.
+//!
+//! The rules in [`crate::rules`] are textual, so before they run we build a
+//! per-line view of each file in which
+//!
+//! * string/char literal *contents* are masked out (a log message that quotes
+//!   `".lock().unwrap()"` must not trip a rule),
+//! * comments are split away from code but kept, because comments carry the
+//!   lint escapes (`// lint-allow: <rule>` and `// relaxed-ok:`),
+//! * `#[cfg(test)]` items are tracked by brace depth so in-file test modules
+//!   are exempt exactly like `tests/` directories, and
+//! * brace depth at the start of every line is recorded for the
+//!   guard-lifetime heuristic in the `guard-across-blocking` rule.
+//!
+//! This is deliberately not a full parser: it only needs to be right about
+//! where code stops and comments/strings begin, which a small state machine
+//! handles, including nested block comments, raw strings, and the
+//! char-literal-vs-lifetime ambiguity of `'`.
+
+use std::path::{Path, PathBuf};
+
+/// One physical source line, split into its analysable parts.
+pub struct Line {
+    /// The original text, for excerpts in diagnostics.
+    pub raw: String,
+    /// Code with string/char contents masked and comments removed.
+    pub code: String,
+    /// Comment text found on this line (line and block comments merged).
+    pub comment: String,
+    /// True inside a `#[cfg(test)]` item (attribute line through closing brace).
+    pub in_test: bool,
+    /// Brace depth before any token on this line.
+    pub depth_at_start: i32,
+    /// Rule names suppressed at this line via annotations.
+    suppressed: Vec<String>,
+}
+
+impl Line {
+    /// Whether `rule` is suppressed here by a `lint-allow`/`relaxed-ok` escape.
+    pub fn allows(&self, rule: &str) -> bool {
+        self.suppressed.iter().any(|r| r == rule)
+    }
+
+    /// The code with all whitespace removed — pattern matching on method
+    /// chains is whitespace-insensitive this way.
+    pub fn squished(&self) -> String {
+        self.code.chars().filter(|c| !c.is_whitespace()).collect()
+    }
+}
+
+/// A parsed source file ready for rule checks.
+pub struct SourceFile {
+    pub path: PathBuf,
+    pub lines: Vec<Line>,
+}
+
+/// Split `text` into per-line `(code, comment)` pairs with literals masked.
+fn mask(text: &str) -> Vec<(String, String)> {
+    let cs: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut block_depth = 0u32;
+    let mut i = 0usize;
+
+    // Consume a quoted string body starting *after* the opening quote,
+    // honouring backslash escapes; newlines inside flush lines to `out`.
+    fn skip_str(
+        cs: &[char],
+        mut i: usize,
+        out: &mut Vec<(String, String)>,
+        code: &mut String,
+        comment: &mut String,
+    ) -> usize {
+        while i < cs.len() {
+            match cs[i] {
+                '\\' => i += 2,
+                '"' => return i + 1,
+                '\n' => {
+                    out.push((std::mem::take(code), std::mem::take(comment)));
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+            i += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            if c == '/' && cs.get(i + 1) == Some(&'*') {
+                block_depth += 1;
+                comment.push_str("/*");
+                i += 2;
+            } else if c == '*' && cs.get(i + 1) == Some(&'/') {
+                block_depth -= 1;
+                comment.push_str("*/");
+                i += 2;
+            } else {
+                comment.push(c);
+                i += 1;
+            }
+            continue;
+        }
+        match c {
+            '/' if cs.get(i + 1) == Some(&'/') => {
+                while i < cs.len() && cs[i] != '\n' {
+                    comment.push(cs[i]);
+                    i += 1;
+                }
+            }
+            '/' if cs.get(i + 1) == Some(&'*') => {
+                block_depth = 1;
+                comment.push_str("/*");
+                i += 2;
+            }
+            '"' => {
+                code.push('"');
+                i = skip_str(&cs, i + 1, &mut out, &mut code, &mut comment);
+                code.push('"');
+            }
+            // Raw (and byte/raw-byte) strings: r"..", r#".."#, br".."
+            'r' | 'b' if raw_string_hashes(&cs, i).is_some() && !prev_is_ident(&cs, i) => {
+                let (hashes, body_start) = raw_string_hashes(&cs, i).unwrap();
+                code.push('"');
+                i = body_start;
+                let closer: Vec<char> = format!("\"{}", "#".repeat(hashes)).chars().collect();
+                while i < cs.len() {
+                    if cs[i] == '\n' {
+                        out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+                        i += 1;
+                    } else if cs[i..].starts_with(&closer[..]) {
+                        i += closer.len();
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                code.push('"');
+            }
+            // Plain byte string b".."
+            'b' if cs.get(i + 1) == Some(&'"') && !prev_is_ident(&cs, i) => {
+                code.push('"');
+                i = skip_str(&cs, i + 2, &mut out, &mut code, &mut comment);
+                code.push('"');
+            }
+            '\'' => {
+                if cs.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: '\n', '\'', '\u{..}'
+                    code.push_str("''");
+                    i += 2;
+                    while i < cs.len() {
+                        match cs[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                } else if cs.get(i + 2) == Some(&'\'') && cs.get(i + 1) != Some(&'\'') {
+                    // Simple char literal 'x'
+                    code.push_str("''");
+                    i += 3;
+                } else {
+                    // Lifetime (or label): leave the tick, take following chars
+                    // through the normal path
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    out.push((code, comment));
+    out
+}
+
+/// If `cs[i]` begins a raw-string opener (`r"`, `r#"`, `br#"`...), return
+/// `(hash_count, index_after_opening_quote)`.
+fn raw_string_hashes(cs: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if cs.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if cs.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while cs.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if cs.get(j) == Some(&'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+fn prev_is_ident(cs: &[char], i: usize) -> bool {
+    i > 0 && (cs[i - 1].is_alphanumeric() || cs[i - 1] == '_')
+}
+
+/// Extract the rule names an annotation comment suppresses.
+///
+/// `// lint-allow: rule-a, rule-b` suppresses the named rules;
+/// `// relaxed-ok: <reason>` is sugar for suppressing `relaxed-ordering`.
+fn annotation_rules(comment: &str) -> Vec<String> {
+    let mut rules = Vec::new();
+    if comment.contains("relaxed-ok") {
+        rules.push("relaxed-ordering".to_string());
+    }
+    if let Some(pos) = comment.find("lint-allow:") {
+        let rest = &comment[pos + "lint-allow:".len()..];
+        // Rule names are kebab-case; stop the list at the first token that
+        // isn't one (so prose after the list doesn't register).
+        for tok in rest.split(',') {
+            let name: String = tok
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                .collect();
+            if name.is_empty() {
+                break;
+            }
+            rules.push(name);
+        }
+    }
+    rules
+}
+
+/// Does this attribute line gate an item on `cfg(test)`?
+///
+/// Matches `#[cfg(test)]` and compound forms like `#[cfg(all(test, ...))]`,
+/// but not `#[cfg(not(test))]` (that marks *runtime-only* code).
+fn is_cfg_test_attr(code: &str) -> bool {
+    code.contains("#[cfg(") && code.contains("test") && !code.contains("not(test")
+}
+
+/// Build the full line model for one file.
+pub fn parse_source(path: &Path, text: &str) -> SourceFile {
+    let masked = mask(text);
+    let raw_lines: Vec<&str> = text.split('\n').collect();
+
+    let mut lines = Vec::with_capacity(masked.len());
+    let mut depth = 0i32;
+    // Depths at which an active `#[cfg(test)]` region ends.
+    let mut test_regions: Vec<i32> = Vec::new();
+    // A `#[cfg(test)]` attribute has been seen; the next item starts a region.
+    let mut pending_cfg_test = false;
+    // Suppressions from a comment-only annotation line: apply to the
+    // statement that follows (code lines up to the first `;`/`{`/`}`), so a
+    // waiver can never silently cover a whole function body.
+    let mut pending_suppress: Vec<String> = Vec::new();
+
+    for (idx, (code, comment)) in masked.into_iter().enumerate() {
+        let raw = raw_lines.get(idx).copied().unwrap_or("");
+        let depth_at_start = depth;
+        let code_is_blank = code.trim().is_empty();
+
+        if raw.trim().is_empty() {
+            pending_suppress.clear();
+        }
+        let own = annotation_rules(&comment);
+        let mut suppressed = own.clone();
+        if code_is_blank {
+            pending_suppress.extend(own);
+        } else {
+            suppressed.extend(pending_suppress.iter().cloned());
+            let end = code.trim_end();
+            if end.ends_with(';') || end.ends_with('{') || end.ends_with('}') {
+                pending_suppress.clear();
+            }
+        }
+
+        let mut in_test = !test_regions.is_empty();
+        let attr_here = is_cfg_test_attr(&code);
+        if attr_here {
+            pending_cfg_test = true;
+            in_test = true;
+        }
+
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+        depth += opens - closes;
+
+        if pending_cfg_test && !code_is_blank && !attr_here {
+            in_test = true;
+            if code.trim_start().starts_with("#[") {
+                // Another attribute stacked on the same item; keep waiting.
+            } else if depth > depth_at_start {
+                // The gated item opens a block: the region runs until brace
+                // depth returns to where the item started.
+                test_regions.push(depth_at_start);
+                pending_cfg_test = false;
+            } else if code.trim_end().ends_with(';') {
+                // Braceless gated item (`#[cfg(test)] use ...;`).
+                pending_cfg_test = false;
+            }
+        }
+
+        while test_regions.last().is_some_and(|&d| depth <= d) {
+            test_regions.pop();
+        }
+
+        lines.push(Line {
+            raw: raw.to_string(),
+            code,
+            comment,
+            in_test,
+            depth_at_start,
+            suppressed,
+        });
+    }
+
+    SourceFile {
+        path: path.to_path_buf(),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn parse(text: &str) -> SourceFile {
+        parse_source(Path::new("mem.rs"), text)
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked_out_of_code() {
+        let f = parse("let x = \"Ordering::Relaxed\"; // Ordering::Relaxed\n");
+        assert!(!f.lines[0].code.contains("Relaxed"));
+        assert!(f.lines[0].comment.contains("Relaxed"));
+    }
+
+    #[test]
+    fn commented_out_code_is_not_code() {
+        let f = parse("// self.m.lock().unwrap();\n/* also .lock().unwrap() */\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[1].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f = parse("/* outer /* inner */ still comment */ let y = 1;\n");
+        assert!(f.lines[0].code.contains("let y = 1;"));
+        assert!(!f.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let f = parse("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet e = '\\n';\n");
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+        assert!(
+            !f.lines[1].code.contains('x'),
+            "char content masked: {}",
+            f.lines[1].code
+        );
+        assert!(f.lines[2].code.contains("let e = ''"));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let f = parse("let p = r#\".lock().unwrap()\"#;\nlet q = 1;\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[1].code.contains("let q = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked_through_closing_brace() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let f = parse(src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags[..6], [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts_but_cfg_not_test_does_not() {
+        let f = parse("#[cfg(all(test, feature = \"x\"))]\nmod m {\n}\n");
+        assert!(f.lines[1].in_test);
+        let g = parse("#[cfg(not(test))]\nfn runtime_only() {\n}\n");
+        assert!(!g.lines[1].in_test);
+    }
+
+    #[test]
+    fn same_line_annotation_applies_to_that_line() {
+        let f = parse("do_it(); // lint-allow: lock-unwrap\nnext();\n");
+        assert!(f.lines[0].allows("lock-unwrap"));
+        assert!(!f.lines[1].allows("lock-unwrap"));
+    }
+
+    #[test]
+    fn comment_only_annotation_covers_exactly_the_next_statement() {
+        let src =
+            "// relaxed-ok: counter published by a later Release write\na.b(\n    c,\n);\nd();\n";
+        let f = parse(src);
+        assert!(f.lines[1].allows("relaxed-ordering"));
+        assert!(f.lines[2].allows("relaxed-ordering"));
+        assert!(f.lines[3].allows("relaxed-ordering"));
+        assert!(
+            !f.lines[4].allows("relaxed-ordering"),
+            "waiver must not outlive the statement"
+        );
+    }
+
+    #[test]
+    fn annotation_does_not_leak_past_a_blank_line() {
+        let src = "// lint-allow: static-atomic\n\nstatic_item();\n";
+        let f = parse(src);
+        assert!(!f.lines[2].allows("static-atomic"));
+    }
+
+    #[test]
+    fn lint_allow_parses_a_rule_list() {
+        let f = parse("x(); // lint-allow: static-atomic, relaxed-ordering\n");
+        assert!(f.lines[0].allows("static-atomic"));
+        assert!(f.lines[0].allows("relaxed-ordering"));
+        assert!(!f.lines[0].allows("lock-unwrap"));
+    }
+
+    #[test]
+    fn depth_tracking_sees_only_code_braces() {
+        let f = parse("fn f() {\n    let s = \"}}}\"; // }}\n    g();\n}\n");
+        assert_eq!(f.lines[2].depth_at_start, 1);
+        assert_eq!(f.lines[3].depth_at_start, 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Every lint rule must flag its known-bad fixture and pass the good twin.
+//!
+//! The fixtures under `crates/xtask/fixtures/` are the rule suite's
+//! regression corpus: each `bad.rs` is a distilled version of a bug class
+//! the rule exists to stop, each `good.rs` shows the sanctioned pattern
+//! (including the escape-hatch annotations). They are plain text to the
+//! build — never compiled — so they may freely contain broken code.
+
+use std::path::{Path, PathBuf};
+use xtask::{check_crate_root, check_file, parse_source, Violation, RULES};
+
+fn fixture(dir: &str, which: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(dir)
+        .join(format!("{which}.rs"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    (path, text)
+}
+
+fn run_file_rules(dir: &str, which: &str) -> Vec<Violation> {
+    let (path, text) = fixture(dir, which);
+    check_file(&parse_source(&path, &text))
+}
+
+fn hits(violations: &[Violation], rule: &str) -> usize {
+    violations.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn lock_unwrap_flags_bad_and_passes_good() {
+    let bad = run_file_rules("lock_unwrap", "bad");
+    // push, len, lookup, reindex, and the split-chain drain: five unwraps.
+    assert_eq!(hits(&bad, "lock-unwrap"), 5, "bad: {bad:?}");
+    let good = run_file_rules("lock_unwrap", "good");
+    assert!(good.is_empty(), "good twin must be clean: {good:?}");
+}
+
+#[test]
+fn guard_across_blocking_flags_bad_and_passes_good() {
+    let bad = run_file_rules("guard_across_blocking", "bad");
+    // send, recv, join, sleep: one per function.
+    assert_eq!(hits(&bad, "guard-across-blocking"), 4, "bad: {bad:?}");
+    let good = run_file_rules("guard_across_blocking", "good");
+    assert!(good.is_empty(), "good twin must be clean: {good:?}");
+}
+
+#[test]
+fn relaxed_ordering_flags_bad_and_passes_good() {
+    let bad = run_file_rules("relaxed_ordering", "bad");
+    assert_eq!(hits(&bad, "relaxed-ordering"), 3, "bad: {bad:?}");
+    let good = run_file_rules("relaxed_ordering", "good");
+    assert!(good.is_empty(), "good twin must be clean: {good:?}");
+}
+
+#[test]
+fn static_atomic_flags_bad_and_passes_good() {
+    let bad = run_file_rules("static_atomic", "bad");
+    assert_eq!(hits(&bad, "static-atomic"), 2, "bad: {bad:?}");
+    let good = run_file_rules("static_atomic", "good");
+    assert!(good.is_empty(), "good twin must be clean: {good:?}");
+}
+
+#[test]
+fn forbid_unsafe_flags_bad_and_passes_good() {
+    let (path, text) = fixture("forbid_unsafe", "bad");
+    let bad = check_crate_root(&path, &text);
+    assert_eq!(hits(&bad, "forbid-unsafe"), 1, "bad: {bad:?}");
+    let (path, text) = fixture("forbid_unsafe", "good");
+    assert!(check_crate_root(&path, &text).is_empty());
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair() {
+    for rule in RULES {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(rule.name.replace('-', "_"));
+        for which in ["bad.rs", "good.rs"] {
+            assert!(
+                dir.join(which).is_file(),
+                "rule `{}` is missing fixtures/{}/{which}",
+                rule.name,
+                dir.file_name().unwrap().to_string_lossy()
+            );
+        }
+    }
+}
+
+/// The real tree must be clean: this is the same check CI's static-analysis
+/// job runs via `cargo xtask lint`, wired into `cargo test` so a plain test
+/// run catches violations too.
+#[test]
+fn whole_tree_is_clean() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let report = xtask::lint_tree(repo_root).expect("scan repo tree");
+    assert!(
+        report.files_scanned > 30,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{} [{}] {}", v.path.display(), v.line, v.rule, v.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "tree has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+/// Fixtures live outside `src/` and must never leak into a tree scan.
+#[test]
+fn tree_scan_skips_fixture_corpus() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let report = xtask::lint_tree(repo_root).expect("scan repo tree");
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.path.components().any(|c| c.as_os_str() == "fixtures")),
+        "fixture files must not be linted as part of the tree"
+    );
+}

@@ -1,0 +1,57 @@
+//! Vendored stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! The build environment has no crates.io access, so this workspace carries
+//! a miniature implementation of the parts of loom's API that
+//! `asterix_common::sync` uses. It is a *bounded* stateless model checker:
+//!
+//! * **Cooperative scheduling** — threads spawned inside [`model`] are real
+//!   OS threads, but exactly one runs at a time. Every synchronization
+//!   operation (atomic access, mutex lock/unlock, condvar wait/notify,
+//!   spawn/join) is a *schedule point* where the scheduler may switch
+//!   threads.
+//! * **DFS over schedules** — the closure passed to [`model`] is executed
+//!   repeatedly; each run follows a recorded decision path and the explorer
+//!   backtracks through untried alternatives until the (preemption-bounded)
+//!   tree is exhausted.
+//! * **Preemption bounding** — involuntary context switches per execution
+//!   are capped (default 2, `LOOM_MAX_PREEMPTIONS`). Almost all real
+//!   concurrency bugs manifest within two preemptions, and the bound keeps
+//!   the schedule tree tractable.
+//! * **Stale reads for `Relaxed` loads** — each atomic remembers its
+//!   previous value; a `load(Ordering::Relaxed)` may nondeterministically
+//!   observe it (subject to per-thread coherence: a thread never reads
+//!   older than what it has already seen). `Acquire`/`SeqCst` loads and all
+//!   RMWs observe the latest value, which matches the C11 guarantee that
+//!   RMWs read the latest value in modification order and approximates
+//!   acquire synchronization from above (sound for checking, at the cost of
+//!   missing some weak-memory-only bugs).
+//! * **Deadlock detection** — if every live thread is blocked, the model
+//!   panics with the offending schedule. A *lost wakeup* therefore shows up
+//!   as a deadlock in the interleaving that loses it, unless a timed wait
+//!   rescues it — timed waits are woken only when nothing else can run, and
+//!   each rescue is counted so tests can assert that no schedule relied on
+//!   the timeout safety net (see [`timed_out_waits`]).
+//!
+//! Limitations vs real loom: no full C11 memory-order graph (explorations
+//! are sequentially consistent interleavings plus the stale-read
+//! approximation), no `UnsafeCell` tracking, and bounded rather than
+//! exhaustive exploration (`LOOM_MAX_SCHEDULES`, default 50 000). Models
+//! must be deterministic apart from scheduling: no wall-clock time, no
+//! unseeded randomness.
+
+#![forbid(unsafe_code)]
+
+mod rt;
+
+pub mod sync;
+pub mod thread;
+
+pub use rt::{model, model_with, timed_out_waits, Config};
+
+/// `loom::hint` — spin-loop hints are schedule points.
+pub mod hint {
+    /// Schedule point standing in for `std::hint::spin_loop`.
+    pub fn spin_loop() {
+        crate::rt::schedule_point();
+    }
+}

@@ -1,0 +1,520 @@
+//! The cooperative scheduler and DFS schedule explorer.
+//!
+//! Exactly one model thread runs at a time. Every synchronization operation
+//! calls [`schedule_point`], which hands control to the scheduler: it picks
+//! the next thread to run from the runnable set, recording the pick as a
+//! decision on the current path. [`model_with`] re-executes the model
+//! closure, backtracking depth-first through untried decisions until the
+//! (preemption-bounded) schedule tree is exhausted.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Exploration bounds and modelling switches.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Involuntary context switches allowed per execution
+    /// (`LOOM_MAX_PREEMPTIONS`, default 2).
+    pub max_preemptions: usize,
+    /// Cap on schedules explored before truncating (`LOOM_MAX_SCHEDULES`,
+    /// default 50 000).
+    pub max_schedules: usize,
+    /// Model stale values for `Ordering::Relaxed` loads
+    /// (`LOOM_RELAXED_STALENESS`, default on; set `0` to disable).
+    pub relaxed_staleness: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        fn env_usize(key: &str, default: usize) -> usize {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        Config {
+            max_preemptions: env_usize("LOOM_MAX_PREEMPTIONS", 2),
+            max_schedules: env_usize("LOOM_MAX_SCHEDULES", 50_000),
+            relaxed_staleness: std::env::var("LOOM_RELAXED_STALENESS")
+                .map(|v| v != "0")
+                .unwrap_or(true),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked,
+    /// Blocked on a timed wait: woken (as a "timeout") only when nothing
+    /// else can run, so timeouts never mask a schedule where real progress
+    /// was possible.
+    TimedBlocked,
+    Finished,
+}
+
+/// One recorded scheduling decision: which of `alts` alternatives was taken.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    chosen: usize,
+    alts: usize,
+}
+
+struct ExecState {
+    path: Vec<Choice>,
+    pos: usize,
+    threads: Vec<Status>,
+    /// Per-thread flag: the latest wake from a timed wait was a timeout.
+    timed_out: Vec<bool>,
+    joiners: Vec<Vec<usize>>,
+    current: usize,
+    preemptions_left: usize,
+    timed_out_waits: u64,
+    child_panic: Option<String>,
+    abort: Option<String>,
+}
+
+pub(crate) struct Execution {
+    st: StdMutex<ExecState>,
+    cv: StdCondvar,
+    pub(crate) cfg: Config,
+}
+
+const DONE: usize = usize::MAX;
+
+impl Execution {
+    fn new(cfg: Config, path: Vec<Choice>) -> Execution {
+        Execution {
+            st: StdMutex::new(ExecState {
+                path,
+                pos: 0,
+                threads: vec![Status::Runnable],
+                timed_out: vec![false],
+                joiners: vec![Vec::new()],
+                current: 0,
+                preemptions_left: cfg.max_preemptions,
+                timed_out_waits: 0,
+                child_panic: None,
+                abort: None,
+            }),
+            cv: StdCondvar::new(),
+            cfg,
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, ExecState> {
+        match self.st.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Take (or record) the next decision among `alts` alternatives.
+    fn decide_inner(st: &mut ExecState, alts: usize) -> usize {
+        if alts <= 1 {
+            return 0;
+        }
+        if st.pos < st.path.len() {
+            let c = st.path[st.pos];
+            assert_eq!(
+                c.alts, alts,
+                "nondeterministic loom model: alternative count changed on replay \
+                 (models must be deterministic apart from scheduling)"
+            );
+            st.pos += 1;
+            c.chosen
+        } else {
+            st.path.push(Choice { chosen: 0, alts });
+            st.pos += 1;
+            0
+        }
+    }
+
+    /// The scheduler: record `me`'s new status, pick the next thread, and
+    /// (unless `me` finished) sleep until it is `me`'s turn again.
+    fn switch(&self, me: usize, new_status: Status) {
+        let mut st = self.lock_state();
+        if st.abort.is_some() && new_status != Status::Finished {
+            let msg = st.abort.clone().unwrap_or_default();
+            drop(st);
+            panic!("{msg}");
+        }
+        st.threads[me] = new_status;
+        loop {
+            let runnable: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|&(_, s)| *s == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                let timed: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, s)| *s == Status::TimedBlocked)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !timed.is_empty() {
+                    // nothing else can run: every timed wait "times out"
+                    for &t in &timed {
+                        st.threads[t] = Status::Runnable;
+                        st.timed_out[t] = true;
+                    }
+                    st.timed_out_waits += timed.len() as u64;
+                    continue;
+                }
+                if st.threads.iter().all(|&s| s == Status::Finished) {
+                    st.current = DONE;
+                    self.cv.notify_all();
+                    return;
+                }
+                let msg = format!(
+                    "loom: deadlock — every live thread is blocked (statuses: {:?}). \
+                     A lost wakeup reaches exactly this state in the schedule that loses it.",
+                    st.threads
+                );
+                st.abort = Some(msg.clone());
+                self.cv.notify_all();
+                drop(st);
+                panic!("{msg}");
+            }
+            // Preemption bounding: staying on the current thread is free;
+            // switching away from a still-runnable thread costs a
+            // preemption. Forced switches (blocked/finished) cost nothing.
+            let voluntary = new_status == Status::Runnable;
+            let opts: Vec<usize> = if voluntary {
+                if st.preemptions_left == 0 {
+                    vec![me]
+                } else {
+                    std::iter::once(me)
+                        .chain(runnable.iter().copied().filter(|&t| t != me))
+                        .collect()
+                }
+            } else {
+                runnable
+            };
+            let idx = Self::decide_inner(&mut st, opts.len());
+            let chosen = opts[idx];
+            if voluntary && chosen != me {
+                st.preemptions_left -= 1;
+            }
+            st.current = chosen;
+            break;
+        }
+        self.cv.notify_all();
+        if new_status == Status::Finished {
+            return;
+        }
+        while st.current != me {
+            if let Some(msg) = st.abort.clone() {
+                drop(st);
+                panic!("{msg}");
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// After the main closure returns: keep the remaining threads scheduled
+    /// until every thread has finished, then report any child panic.
+    fn drain_after_main(&self, main_panicked: bool) -> Option<String> {
+        let mut st = self.lock_state();
+        st.threads[0] = Status::Finished;
+        for j in std::mem::take(&mut st.joiners[0]) {
+            if st.threads[j] == Status::Blocked || st.threads[j] == Status::TimedBlocked {
+                st.threads[j] = Status::Runnable;
+            }
+        }
+        if main_panicked && st.abort.is_none() {
+            st.abort =
+                Some("loom: aborting execution — the main model thread panicked".to_string());
+        }
+        // hand the baton to some runnable thread (exploring the choice);
+        // after that the threads schedule among themselves
+        loop {
+            if st.threads.iter().all(|&s| s == Status::Finished) {
+                return st.child_panic.take();
+            }
+            let runnable: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|&(_, s)| *s == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                let timed: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, s)| *s == Status::TimedBlocked)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !timed.is_empty() {
+                    for &t in &timed {
+                        st.threads[t] = Status::Runnable;
+                        st.timed_out[t] = true;
+                    }
+                    st.timed_out_waits += timed.len() as u64;
+                    continue;
+                }
+                if st.abort.is_none() {
+                    st.abort = Some(
+                        "loom: deadlock after main returned — spawned threads are \
+                         blocked forever (did the model forget to join or signal them?)"
+                            .to_string(),
+                    );
+                }
+                self.cv.notify_all();
+            } else {
+                let idx = Self::decide_inner(&mut st, runnable.len());
+                st.current = runnable[idx];
+                self.cv.notify_all();
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> Option<R> {
+    CTX.with(|c| {
+        let b = c.borrow();
+        b.as_ref().map(|ctx| f(&ctx.exec, ctx.tid))
+    })
+}
+
+/// Are we running inside an active `model()` execution?
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+pub(crate) fn current_tid() -> usize {
+    with_ctx(|_, tid| tid).unwrap_or(0)
+}
+
+pub(crate) fn current_exec() -> Option<Arc<Execution>> {
+    with_ctx(|exec, _| Arc::clone(exec))
+}
+
+pub(crate) fn staleness_enabled() -> bool {
+    with_ctx(|exec, _| exec.cfg.relaxed_staleness).unwrap_or(false)
+}
+
+/// A point where the scheduler may preempt the current thread.
+pub(crate) fn schedule_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let _ = with_ctx(|exec, tid| {
+        let exec = Arc::clone(exec);
+        (exec, tid)
+    })
+    .map(|(exec, tid)| exec.switch(tid, Status::Runnable));
+}
+
+/// Record an explicit nondeterministic decision among `alts` alternatives
+/// (used by the stale-read model). Returns the chosen index.
+pub(crate) fn decide(alts: usize) -> usize {
+    with_ctx(|exec, _| {
+        let mut st = exec.lock_state();
+        Execution::decide_inner(&mut st, alts)
+    })
+    .unwrap_or(0)
+}
+
+/// Block the current thread until another thread unblocks it. With `timed`,
+/// the scheduler may instead wake it as a timeout when nothing else can
+/// run; returns whether the wake was a timeout.
+pub(crate) fn block_current(timed: bool) -> bool {
+    with_ctx(|exec, tid| (Arc::clone(exec), tid))
+        .map(|(exec, tid)| {
+            exec.switch(
+                tid,
+                if timed {
+                    Status::TimedBlocked
+                } else {
+                    Status::Blocked
+                },
+            );
+            let mut st = exec.lock_state();
+            let timed_out = st.timed_out[tid];
+            st.timed_out[tid] = false;
+            timed_out
+        })
+        .unwrap_or(false)
+}
+
+/// Make `tid` runnable again (it still runs only when scheduled).
+pub(crate) fn unblock(exec: &Execution, tid: usize) {
+    let mut st = exec.lock_state();
+    if st.threads[tid] == Status::Blocked || st.threads[tid] == Status::TimedBlocked {
+        st.threads[tid] = Status::Runnable;
+        st.timed_out[tid] = false;
+    }
+}
+
+/// Unblock a thread in the current execution by id (helper for sync types).
+pub(crate) fn unblock_current_exec(tid: usize) {
+    if let Some(exec) = current_exec() {
+        unblock(&exec, tid);
+    }
+}
+
+/// Register a new model thread; returns its id.
+pub(crate) fn alloc_thread(exec: &Execution) -> usize {
+    let mut st = exec.lock_state();
+    st.threads.push(Status::Runnable);
+    st.timed_out.push(false);
+    st.joiners.push(Vec::new());
+    st.threads.len() - 1
+}
+
+/// Called on the child OS thread: adopt the execution context and wait to
+/// be scheduled for the first time.
+pub(crate) fn enter_child(exec: &Arc<Execution>, tid: usize) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(exec),
+            tid,
+        })
+    });
+    let mut st = exec.lock_state();
+    while st.current != tid {
+        if let Some(msg) = st.abort.clone() {
+            drop(st);
+            panic!("{msg}");
+        }
+        st = match exec.cv.wait(st) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+    }
+}
+
+/// Called on the child OS thread when its closure is done (or panicked).
+pub(crate) fn finish_thread(exec: &Arc<Execution>, tid: usize, panic_msg: Option<String>) {
+    {
+        let mut st = exec.lock_state();
+        if let Some(msg) = panic_msg {
+            if st.child_panic.is_none() {
+                st.child_panic = Some(msg);
+            }
+        }
+        for j in std::mem::take(&mut st.joiners[tid]) {
+            if st.threads[j] == Status::Blocked || st.threads[j] == Status::TimedBlocked {
+                st.threads[j] = Status::Runnable;
+                st.timed_out[j] = false;
+            }
+        }
+    }
+    exec.switch(tid, Status::Finished);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Cooperatively wait until `target` has finished.
+pub(crate) fn join_thread(exec: &Arc<Execution>, target: usize) {
+    loop {
+        {
+            let mut st = exec.lock_state();
+            if st.threads[target] == Status::Finished {
+                break;
+            }
+            let me = current_tid();
+            st.joiners[target].push(me);
+        }
+        block_current(false);
+    }
+    schedule_point();
+}
+
+/// Number of timed waits that were woken by their timeout (rather than a
+/// notification) so far in the current execution. A model asserting
+/// "no lost wakeups" asserts this stays 0: the timeout safety net was never
+/// needed on any explored schedule. Returns 0 outside a model.
+pub fn timed_out_waits() -> u64 {
+    with_ctx(|exec, _| exec.lock_state().timed_out_waits).unwrap_or(0)
+}
+
+fn backtrack(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.alts {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Explore the model under the default [`Config`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f)
+}
+
+/// Explore every (preemption-bounded) interleaving of the threads spawned
+/// by `f`, re-running it once per schedule. Panics (assertion failures,
+/// deadlocks) abort the exploration and report the schedule number.
+pub fn model_with<F>(cfg: Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(!in_model(), "loom: nested model() calls are not supported");
+    let mut path: Vec<Choice> = Vec::new();
+    let mut schedules: usize = 0;
+    loop {
+        schedules += 1;
+        let exec = Arc::new(Execution::new(cfg, std::mem::take(&mut path)));
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                exec: Arc::clone(&exec),
+                tid: 0,
+            })
+        });
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        let child_panic = exec.drain_after_main(result.is_err());
+        CTX.with(|c| *c.borrow_mut() = None);
+        if let Err(payload) = result {
+            eprintln!(
+                "loom: model failed on schedule {schedules} \
+                 (decision path length {})",
+                exec.lock_state().path.len()
+            );
+            resume_unwind(payload);
+        }
+        if let Some(msg) = child_panic {
+            panic!("loom: model thread panicked on schedule {schedules}: {msg}");
+        }
+        path = std::mem::take(&mut exec.lock_state().path);
+        if !backtrack(&mut path) {
+            break;
+        }
+        if schedules >= cfg.max_schedules {
+            eprintln!(
+                "loom: schedule cap {} reached — exploration truncated \
+                 (raise LOOM_MAX_SCHEDULES for deeper coverage)",
+                cfg.max_schedules
+            );
+            break;
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Model-checked `std::sync` stand-ins: cooperative [`Mutex`] / [`Condvar`]
+//! (lock contention and waits become schedule points; lost wakeups surface
+//! as deadlocks or counted timeout rescues) and [`atomic`] types whose
+//! every access is a schedule point.
+//!
+//! Outside an active [`crate::model`] execution every type degrades to its
+//! plain `std` behavior, so code written against these types also runs (and
+//! can be unit-tested) without the checker.
+
+use crate::rt;
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+#[derive(Debug, Default)]
+struct MState {
+    owner: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+/// Cooperative mutex: contention blocks the thread in the model scheduler.
+/// Poisoning is swallowed (a panicking holder yields its inner guard), so
+/// behavior matches the workspace's poison-recovering lock discipline.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    state: StdMutex<MState>,
+    data: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+fn lock_plain<T: ?Sized>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl<T> Mutex<T> {
+    /// New mutex. (Not `const`, matching real loom.)
+    pub fn new(value: T) -> Self {
+        Mutex {
+            state: StdMutex::new(MState::default()),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.data.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire cooperative ownership without a leading schedule point
+    /// (used by `Condvar` re-acquire, where the wake itself was the point).
+    fn acquire(&self) -> StdMutexGuard<'_, T> {
+        if rt::in_model() {
+            let me = rt::current_tid();
+            loop {
+                {
+                    let mut ms = lock_plain(&self.state);
+                    if ms.owner.is_none() {
+                        ms.owner = Some(me);
+                        break;
+                    }
+                    ms.waiters.push(me);
+                }
+                rt::block_current(false);
+            }
+        }
+        lock_plain(&self.data)
+    }
+
+    /// Acquire the lock, blocking (in the model scheduler) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::schedule_point();
+        MutexGuard {
+            lock: self,
+            inner: Some(self.acquire()),
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        rt::schedule_point();
+        if rt::in_model() {
+            let me = rt::current_tid();
+            let mut ms = lock_plain(&self.state);
+            if ms.owner.is_some() {
+                return None;
+            }
+            ms.owner = Some(me);
+            drop(ms);
+            return Some(MutexGuard {
+                lock: self,
+                inner: Some(lock_plain(&self.data)),
+            });
+        }
+        match self.data.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.data.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Release cooperative ownership and wake all waiters to re-contend.
+    /// No schedule point: callers insert one where appropriate.
+    fn release_ownership(&self) {
+        if !rt::in_model() {
+            return;
+        }
+        let waiters = {
+            let mut ms = lock_plain(&self.state);
+            ms.owner = None;
+            std::mem::take(&mut ms.waiters)
+        };
+        for w in waiters {
+            rt::unblock_current_exec(w);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        self.lock.release_ownership();
+        // let a released waiter win the next acquire in some schedules
+        rt::schedule_point();
+    }
+}
+
+/// Result of a [`Condvar::wait_for`]: did the wait end by timeout?
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed. In the model, a
+    /// timed wait "times out" only on schedules where nothing else could
+    /// run — i.e. where the notification was lost and the timeout was the
+    /// safety net (each such rescue increments [`crate::timed_out_waits`]).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Cooperative condition variable pairing with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    waiters: StdMutex<Vec<usize>>,
+    std_cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    fn wait_inner<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Option<std::time::Duration>,
+    ) -> bool {
+        if !rt::in_model() {
+            // outside the model: a real std condvar wait on the data mutex
+            let inner = guard.inner.take().expect("guard present");
+            let (inner, timed_out) = match timeout {
+                None => {
+                    let g = match self.std_cv.wait(inner) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    (g, false)
+                }
+                Some(dur) => {
+                    let (g, res) = match self.std_cv.wait_timeout(inner, dur) {
+                        Ok((g, res)) => (g, res),
+                        Err(p) => {
+                            let (g, res) = p.into_inner();
+                            (g, res)
+                        }
+                    };
+                    (g, res.timed_out())
+                }
+            };
+            guard.inner = Some(inner);
+            return timed_out;
+        }
+        let me = rt::current_tid();
+        lock_plain(&self.waiters).push(me);
+        // release the mutex WITHOUT a schedule point: registration and
+        // release are atomic in the cooperative model, so a notify between
+        // "about to sleep" and "asleep" cannot be lost
+        guard.inner.take();
+        guard.lock.release_ownership();
+        let timed_out = rt::block_current(timeout.is_some());
+        if timed_out {
+            // timeout rescue: withdraw our registration
+            lock_plain(&self.waiters).retain(|&t| t != me);
+        }
+        guard.inner = Some(guard.lock.acquire());
+        timed_out
+    }
+
+    /// Block until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_inner(guard, None);
+    }
+
+    /// Block until notified or the timeout elapses. In the model the
+    /// duration is abstract: timeouts fire only when no other thread can
+    /// make progress.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult {
+            timed_out: self.wait_inner(guard, Some(timeout)),
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        if !rt::in_model() {
+            self.std_cv.notify_one();
+            return;
+        }
+        rt::schedule_point();
+        let w = {
+            let mut ws = lock_plain(&self.waiters);
+            if ws.is_empty() {
+                None
+            } else {
+                Some(ws.remove(0))
+            }
+        };
+        if let Some(w) = w {
+            rt::unblock_current_exec(w);
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        if !rt::in_model() {
+            self.std_cv.notify_all();
+            return;
+        }
+        rt::schedule_point();
+        let ws = std::mem::take(&mut *lock_plain(&self.waiters));
+        for w in ws {
+            rt::unblock_current_exec(w);
+        }
+    }
+}
+
+/// Reader-writer lock, modelled conservatively as an exclusive lock:
+/// readers are serialized too. This shrinks the schedule space and cannot
+/// hide writer/reader races (it only removes reader/reader concurrency,
+/// which is side-effect-free for correct code).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: Mutex<T>,
+}
+
+/// Shared-access guard for [`RwLock`] (exclusive in the model).
+pub struct RwLockReadGuard<'a, T: ?Sized>(MutexGuard<'a, T>);
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(MutexGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// New reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.inner.lock())
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.inner.lock())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}

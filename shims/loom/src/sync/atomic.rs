@@ -1,0 +1,245 @@
+//! Model-checked atomics. Every operation is a schedule point.
+//!
+//! Memory-order modelling, deliberately simple but *coherent*:
+//!
+//! * All RMWs (`fetch_add`, `swap`, `compare_exchange`, …) read the latest
+//!   value — C11 guarantees RMWs read the latest value in modification
+//!   order regardless of their ordering argument.
+//! * `Acquire`/`SeqCst` (and `AcqRel`) loads read the latest value. This is
+//!   an over-approximation of visibility (real acquire loads may read
+//!   older values when no release synchronizes), so checking misses some
+//!   weak-memory-only bugs but never reports false races for them.
+//! * `Relaxed` loads may nondeterministically observe the *previous* value
+//!   in modification order, subject to per-thread coherence: a thread never
+//!   reads a version older than one it has already read or written. This is
+//!   what gives `Ordering::Relaxed` real teeth under the checker — code
+//!   whose invariants silently rely on acquire/release publication fails
+//!   here.
+
+use crate::rt;
+use std::collections::HashMap;
+use std::sync::Mutex as StdMutex;
+
+pub use std::sync::atomic::Ordering;
+
+fn is_relaxed(order: Ordering) -> bool {
+    matches!(order, Ordering::Relaxed)
+}
+
+#[derive(Debug, Default)]
+struct Meta<P> {
+    /// Version of the latest value (0 = initial value).
+    version: u64,
+    /// `(version, value)` of the previous modification, if any.
+    prev: Option<(u64, P)>,
+    /// Last version each model thread has observed (coherence floor).
+    seen: HashMap<usize, u64>,
+}
+
+macro_rules! atomic_impl {
+    ($name:ident, $std:path, $prim:ty, [$($rmw:ident => $op:expr),* $(,)?]) => {
+        /// Model-checked atomic (see module docs for the memory model).
+        #[derive(Debug, Default)]
+        pub struct $name {
+            v: $std,
+            meta: StdMutex<Meta<$prim>>,
+        }
+
+        impl $name {
+            /// New atomic holding `value`.
+            pub fn new(value: $prim) -> Self {
+                Self {
+                    v: <$std>::new(value),
+                    meta: StdMutex::new(Meta::default()),
+                }
+            }
+
+            fn meta(&self) -> std::sync::MutexGuard<'_, Meta<$prim>> {
+                match self.meta.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                }
+            }
+
+            /// Note that the current thread has observed `version`.
+            fn observe(m: &mut Meta<$prim>, version: u64) {
+                let tid = rt::current_tid();
+                let e = m.seen.entry(tid).or_insert(0);
+                if version > *e {
+                    *e = version;
+                }
+            }
+
+            /// Load; `Relaxed` may observe the previous value in the model.
+            pub fn load(&self, order: Ordering) -> $prim {
+                rt::schedule_point();
+                if !rt::in_model() {
+                    return self.v.load(order);
+                }
+                let mut m = self.meta();
+                let latest = self.v.load(Ordering::SeqCst);
+                if is_relaxed(order) && rt::staleness_enabled() {
+                    if let Some((pv, pval)) = m.prev {
+                        let floor = m
+                            .seen
+                            .get(&rt::current_tid())
+                            .copied()
+                            .unwrap_or(0);
+                        if pv >= floor && pval != latest && rt::decide(2) == 1 {
+                            Self::observe(&mut m, pv);
+                            return pval;
+                        }
+                    }
+                }
+                let version = m.version;
+                Self::observe(&mut m, version);
+                latest
+            }
+
+            /// Store a new value.
+            pub fn store(&self, value: $prim, _order: Ordering) {
+                rt::schedule_point();
+                if !rt::in_model() {
+                    self.v.store(value, _order);
+                    return;
+                }
+                let mut m = self.meta();
+                let old = self.v.load(Ordering::SeqCst);
+                let version = m.version;
+                m.prev = Some((version, old));
+                m.version += 1;
+                let version = m.version;
+                Self::observe(&mut m, version);
+                self.v.store(value, Ordering::SeqCst);
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |_| value)
+            }
+
+            /// Compare-and-exchange on the latest value.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                rt::schedule_point();
+                if !rt::in_model() {
+                    return self.v.compare_exchange(current, new, success, _failure);
+                }
+                let mut m = self.meta();
+                let latest = self.v.load(Ordering::SeqCst);
+                if latest != current {
+                    let version = m.version;
+                    Self::observe(&mut m, version);
+                    return Err(latest);
+                }
+                let version = m.version;
+                m.prev = Some((version, latest));
+                m.version += 1;
+                let version = m.version;
+                Self::observe(&mut m, version);
+                self.v.store(new, Ordering::SeqCst);
+                Ok(latest)
+            }
+
+            /// Weak CAS — modelled identically to the strong version.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            fn rmw(&self, _order: Ordering, f: impl Fn($prim) -> $prim) -> $prim {
+                rt::schedule_point();
+                if !rt::in_model() {
+                    // outside the model: emulate via a CAS loop on std
+                    let mut cur = self.v.load(Ordering::SeqCst);
+                    loop {
+                        let new = f(cur);
+                        match self.v.compare_exchange(
+                            cur,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        ) {
+                            Ok(old) => return old,
+                            Err(actual) => cur = actual,
+                        }
+                    }
+                }
+                let mut m = self.meta();
+                let old = self.v.load(Ordering::SeqCst);
+                let version = m.version;
+                m.prev = Some((version, old));
+                m.version += 1;
+                let version = m.version;
+                Self::observe(&mut m, version);
+                self.v.store(f(old), Ordering::SeqCst);
+                old
+            }
+
+            $(
+                /// RMW (always reads the latest value, per C11).
+                pub fn $rmw(&self, value: $prim, order: Ordering) -> $prim {
+                    #[allow(clippy::redundant_closure_call)]
+                    self.rmw(order, |old| ($op)(old, value))
+                }
+            )*
+
+            /// Consume the atomic, returning the inner value.
+            pub fn into_inner(self) -> $prim {
+                self.v.into_inner()
+            }
+        }
+    };
+}
+
+atomic_impl!(AtomicU64, std::sync::atomic::AtomicU64, u64, [
+    fetch_add => |old: u64, v: u64| old.wrapping_add(v),
+    fetch_sub => |old: u64, v: u64| old.wrapping_sub(v),
+    fetch_min => |old: u64, v: u64| old.min(v),
+    fetch_max => |old: u64, v: u64| old.max(v),
+    fetch_or => |old: u64, v: u64| old | v,
+    fetch_and => |old: u64, v: u64| old & v,
+]);
+
+atomic_impl!(AtomicU32, std::sync::atomic::AtomicU32, u32, [
+    fetch_add => |old: u32, v: u32| old.wrapping_add(v),
+    fetch_sub => |old: u32, v: u32| old.wrapping_sub(v),
+    fetch_min => |old: u32, v: u32| old.min(v),
+    fetch_max => |old: u32, v: u32| old.max(v),
+    fetch_or => |old: u32, v: u32| old | v,
+    fetch_and => |old: u32, v: u32| old & v,
+]);
+
+atomic_impl!(AtomicUsize, std::sync::atomic::AtomicUsize, usize, [
+    fetch_add => |old: usize, v: usize| old.wrapping_add(v),
+    fetch_sub => |old: usize, v: usize| old.wrapping_sub(v),
+    fetch_min => |old: usize, v: usize| old.min(v),
+    fetch_max => |old: usize, v: usize| old.max(v),
+    fetch_or => |old: usize, v: usize| old | v,
+    fetch_and => |old: usize, v: usize| old & v,
+]);
+
+atomic_impl!(AtomicI64, std::sync::atomic::AtomicI64, i64, [
+    fetch_add => |old: i64, v: i64| old.wrapping_add(v),
+    fetch_sub => |old: i64, v: i64| old.wrapping_sub(v),
+    fetch_min => |old: i64, v: i64| old.min(v),
+    fetch_max => |old: i64, v: i64| old.max(v),
+    fetch_or => |old: i64, v: i64| old | v,
+    fetch_and => |old: i64, v: i64| old & v,
+]);
+
+atomic_impl!(AtomicBool, std::sync::atomic::AtomicBool, bool, [
+    fetch_or => |old: bool, v: bool| old | v,
+    fetch_and => |old: bool, v: bool| old & v,
+    fetch_xor => |old: bool, v: bool| old ^ v,
+]);

@@ -1,0 +1,82 @@
+//! Model-aware threads: inside [`crate::model`] a spawned thread becomes a
+//! scheduler-controlled participant; outside it degrades to `std::thread`.
+
+use crate::rt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    std: std::thread::JoinHandle<T>,
+    exec_tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (cooperatively, in the model) for the thread to finish and
+    /// return its result. A panicked thread yields `Err` exactly like
+    /// `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.exec_tid {
+            if let Some(exec) = rt::current_exec() {
+                rt::join_thread(&exec, tid);
+            }
+        }
+        self.std.join()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Spawn a thread. Inside a model it is registered with the scheduler and
+/// runs only when scheduled; outside it is a plain `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current_exec() {
+        None => JoinHandle {
+            std: std::thread::spawn(f),
+            exec_tid: None,
+        },
+        Some(exec) => {
+            let tid = rt::alloc_thread(&exec);
+            let child_exec = std::sync::Arc::clone(&exec);
+            let std = std::thread::Builder::new()
+                .name(format!("loom-{tid}"))
+                .spawn(move || {
+                    rt::enter_child(&child_exec, tid);
+                    let result = catch_unwind(AssertUnwindSafe(f));
+                    let panic_msg = result.as_ref().err().map(|p| panic_message(p.as_ref()));
+                    rt::finish_thread(&child_exec, tid, panic_msg);
+                    match result {
+                        Ok(v) => v,
+                        Err(p) => resume_unwind(p),
+                    }
+                })
+                .expect("spawn loom model thread");
+            // give the scheduler a chance to run the child right away
+            rt::schedule_point();
+            JoinHandle {
+                std,
+                exec_tid: Some(tid),
+            }
+        }
+    }
+}
+
+/// Voluntary schedule point (no-op outside a model beyond a std yield).
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::schedule_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,202 @@
+//! Self-tests for the vendored loom shim: the checker must accept correct
+//! protocols, and — just as importantly — must *catch* broken ones.
+
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+
+#[test]
+fn atomic_increments_are_not_lost() {
+    loom::model(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                loom::thread::spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // RMWs always act on the latest value: no increment can be lost
+        assert_eq!(counter.load(Ordering::Acquire), 2);
+    });
+}
+
+#[test]
+fn release_acquire_publication_holds() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d, r) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = loom::thread::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            r.store(true, Ordering::Release);
+        });
+        if ready.load(Ordering::Acquire) {
+            // acquire observed the flag: the payload must be visible
+            assert_eq!(data.load(Ordering::Acquire), 42);
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic]
+fn relaxed_publication_is_caught() {
+    // The classic broken publication pattern: the flag is released but the
+    // payload is read with Relaxed, so a stale read of the payload is
+    // possible. The stale-read model must catch it.
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d, r) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = loom::thread::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            r.store(true, Ordering::Release);
+        });
+        if ready.load(Ordering::Acquire) {
+            // BUG under test: Relaxed load may observe the stale 0
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic]
+fn torn_multi_word_read_is_caught() {
+    // Writer updates two counters in sequence; a fully-Relaxed reader can
+    // observe b incremented but a stale — some schedule must trip the
+    // assertion. (This is exactly the torn-histogram-snapshot shape.)
+    loom::model(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = loom::thread::spawn(move || {
+            a2.fetch_add(1, Ordering::Relaxed);
+            b2.fetch_add(1, Ordering::Relaxed);
+        });
+        let seen_b = b.load(Ordering::Relaxed);
+        let seen_a = a.load(Ordering::Relaxed);
+        assert!(
+            seen_a >= seen_b,
+            "observed b={seen_b} before its matching a={seen_a}"
+        );
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn mutex_is_mutually_exclusive() {
+    loom::model(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                loom::thread::spawn(move || {
+                    let mut g = m.lock();
+                    let v = *g;
+                    loom::thread::yield_now(); // invite a preemption mid-critical-section
+                    *g = v + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 2, "lost update under the mutex");
+    });
+}
+
+#[test]
+fn condvar_wakeup_is_never_lost() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = loom::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            *ready = true;
+            cv.notify_all();
+        });
+        {
+            let (m, cv) = &*pair;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(loom::timed_out_waits(), 0);
+    });
+}
+
+#[test]
+#[should_panic]
+fn lost_wakeup_is_detected_as_deadlock() {
+    // BUG under test: the flag is set *outside* the mutex after the notify,
+    // so a schedule exists where the waiter re-checks, sees false, sleeps
+    // forever — and the checker reports a deadlock.
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new(), AtomicBool::new(false)));
+        let p2 = Arc::clone(&pair);
+        let t = loom::thread::spawn(move || {
+            let (_, cv, flag) = &*p2;
+            cv.notify_all(); // notify BEFORE the waiter necessarily waits
+            flag.store(true, Ordering::Release);
+        });
+        {
+            let (m, cv, flag) = &*pair;
+            let mut g = m.lock();
+            while !flag.load(Ordering::Acquire) {
+                cv.wait(&mut g); // untimed: a lost notify deadlocks here
+            }
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn timed_wait_rescues_but_is_counted() {
+    // Same broken protocol, but with a timed wait: the checker rescues the
+    // schedule instead of deadlocking, and the rescue is observable.
+    let rescued = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let rescued2 = std::sync::Arc::clone(&rescued);
+    loom::model(move || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new(), AtomicBool::new(false)));
+        let p2 = Arc::clone(&pair);
+        let t = loom::thread::spawn(move || {
+            let (_, cv, flag) = &*p2;
+            cv.notify_all();
+            flag.store(true, Ordering::Release);
+        });
+        {
+            let (m, cv, flag) = &*pair;
+            let mut g = m.lock();
+            while !flag.load(Ordering::Acquire) {
+                cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+            }
+        }
+        t.join().unwrap();
+        if loom::timed_out_waits() > 0 {
+            rescued2.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    assert!(
+        rescued.load(std::sync::atomic::Ordering::Relaxed),
+        "some schedule must have needed the timeout safety net"
+    );
+}
+
+#[test]
+fn works_outside_a_model_too() {
+    // Plain passthrough behavior without model(): types act like std.
+    let m = Mutex::new(5u64);
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 6);
+    let a = AtomicU64::new(1);
+    a.fetch_add(2, Ordering::SeqCst);
+    assert_eq!(a.load(Ordering::SeqCst), 3);
+}

@@ -27,7 +27,14 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 128 }
+            // Like upstream proptest: let PROPTEST_CASES trim (or grow) the
+            // per-test case count — slow interpreters (Miri) set it low.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(128);
+            Config { cases }
         }
     }
 

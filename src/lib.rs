@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Umbrella crate: re-exports every crate of the AsterixDB data-feed reproduction.
