@@ -63,13 +63,14 @@ fn run_glued(concern: WriteConcern, addr: &str) -> SystemRun {
     // the Storm+Mongo glue consumes raw JSON lines; it has no notion of the
     // generation stamps the native pipeline uses for ingestion lag
     let (tx, source) = crossbeam_channel::unbounded();
-    std::thread::spawn(move || {
+    asterix_common::sync::thread::spawn_named("glue-json-pump", move || {
         for tweet in stamped.iter() {
             if tx.send(tweet.json).is_err() {
                 break;
             }
         }
-    });
+    })
+    .expect("spawn json pump");
     let report = run_storm_mongo(
         StormMongoConfig {
             concern,

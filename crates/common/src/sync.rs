@@ -20,6 +20,11 @@
 //! * [`handoff`] — a small bounded MPSC channel used for the feed-flow
 //!   spill-queue handoff, replacing the previous crossbeam queue on that
 //!   path so the lost-wakeup proof covers the real code.
+//! * [`thread`] — the workspace's only sanctioned way to start an OS
+//!   thread. Runtime code is forbidden (by the `raw-thread-spawn` lint
+//!   rule) from calling `std::thread::spawn` directly; every background
+//!   thread goes through [`thread::spawn_named`] so it carries a name and
+//!   is countable.
 
 use std::sync::atomic::AtomicU64 as StdAtomicU64;
 use std::sync::atomic::Ordering as StdOrdering;
@@ -481,6 +486,15 @@ pub mod handoff {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no value available.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
     #[derive(Debug)]
     struct State<T> {
         queue: VecDeque<T>,
@@ -585,6 +599,27 @@ pub mod handoff {
             }
         }
 
+        /// Dequeue, blocking until a value arrives, every sender is gone,
+        /// or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.0.state.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                self.0.not_empty.wait_for(&mut st, deadline - now);
+            }
+        }
+
         /// Dequeue without blocking.
         pub fn try_recv(&self) -> Option<T> {
             let mut st = self.0.state.lock();
@@ -632,6 +667,69 @@ pub mod handoff {
         fn next(&mut self) -> Option<T> {
             self.rx.recv().ok()
         }
+    }
+}
+
+pub mod thread {
+    //! Thread-spawn facade: the one place in the workspace allowed to call
+    //! `std::thread` spawn primitives directly.
+    //!
+    //! Every background thread in runtime code must come through
+    //! [`spawn_named`] so it (a) carries a meaningful name for debuggers
+    //! and `/proc`, and (b) is visible to the process-wide live-thread
+    //! count, which the scheduler smoke tests and the console reporter use
+    //! to prove the runtime is *not* spawning a thread per operator. The
+    //! `raw-thread-spawn` xtask rule rejects direct `std::thread::spawn` /
+    //! `thread::Builder` calls elsewhere.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Live threads started through [`spawn_named`] that have not yet
+    /// finished their closure.
+    // lint-allow: static-atomic
+    static FACADE_THREADS: AtomicU64 = AtomicU64::new(0);
+
+    /// Number of threads started via [`spawn_named`] still running.
+    pub fn live_threads() -> u64 {
+        // relaxed-ok: standalone diagnostic counter, carries no payload
+        FACADE_THREADS.load(Ordering::Relaxed)
+    }
+
+    struct LiveGuard;
+
+    impl Drop for LiveGuard {
+        fn drop(&mut self) {
+            // relaxed-ok: standalone diagnostic counter, carries no payload
+            FACADE_THREADS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Spawn a named OS thread.
+    ///
+    /// Returns `Err` only if the OS refuses to create the thread (resource
+    /// exhaustion); callers on degradable paths (e.g. the feed-flow pusher)
+    /// can downgrade instead of panicking.
+    pub fn spawn_named<T, F>(
+        name: impl Into<String>,
+        f: F,
+    ) -> std::io::Result<std::thread::JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        // relaxed-ok: standalone diagnostic counter, carries no payload
+        FACADE_THREADS.fetch_add(1, Ordering::Relaxed);
+        let res = std::thread::Builder::new() // spawn-ok: this IS the facade
+            .name(name.into())
+            .spawn(move || {
+                let _live = LiveGuard;
+                f()
+            });
+        if res.is_err() {
+            // relaxed-ok: standalone diagnostic counter, carries no payload
+            FACADE_THREADS.fetch_sub(1, Ordering::Relaxed);
+        }
+        res
     }
 }
 
@@ -744,6 +842,43 @@ mod tests {
             Err(handoff::TrySendError::Disconnected(9))
         ));
         assert_eq!(tx.send(9), Err(handoff::SendError(9)));
+    }
+
+    #[test]
+    fn handoff_recv_timeout_paths() {
+        let (tx, rx) = handoff::bounded(2);
+        tx.try_send(1u32).expect("room");
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(1));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(handoff::RecvTimeoutError::Timeout)
+        );
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(2u32)
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(2));
+        t.join().expect("sender thread").expect("send succeeds");
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(handoff::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn spawn_named_runs_and_counts() {
+        let h = thread::spawn_named("sync-facade-test", || 40 + 2).expect("spawn");
+        assert_eq!(h.join().expect("join"), 42);
+        // the LiveGuard decrements before the closure's thread exits; after
+        // join the count must not include this thread any more
+        let (tx, rx) = handoff::bounded::<()>(1);
+        let h = thread::spawn_named("sync-facade-park", move || {
+            let _ = rx.recv();
+        })
+        .expect("spawn");
+        assert!(thread::live_threads() >= 1);
+        drop(tx);
+        h.join().expect("join");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use crate::ops::{
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_common::ids::IdGen;
-use asterix_common::sync::Mutex;
+use asterix_common::sync::{handoff, thread as sync_thread, Mutex};
 use asterix_common::{
     FaultPlan, FeedId, IngestError, IngestResult, NodeId, SimDuration, SimInstant,
 };
@@ -48,6 +48,7 @@ use asterix_hyracks::connector::ConnectorSpec;
 use asterix_hyracks::executor::{run_job, JobHandle, TaskContext};
 use asterix_hyracks::job::{Constraint, JobSpec, OperatorDescriptor};
 use asterix_hyracks::operator::{FrameWriter, NullSink, OperatorRuntime};
+use asterix_hyracks::transport::TransportKind;
 use asterix_storage::Dataset;
 use crossbeam_channel::Sender;
 use std::collections::HashMap;
@@ -153,6 +154,9 @@ pub struct ControllerConfig {
     /// Chaos schedule handed to store-stage intakes (operator-panic
     /// injection). `None` in production; the chaos harness sets it.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Wire the controller's pipeline segments ride on: in-process ports
+    /// (default) or length-prefixed TCP over loopback.
+    pub transport: TransportKind,
 }
 
 impl Default for ControllerConfig {
@@ -166,6 +170,7 @@ impl Default for ControllerConfig {
             compute_extra_spin: 0,
             compute_extra_delay_us: 0,
             fault_plan: None,
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -204,35 +209,31 @@ impl FeedController {
         // failure monitor
         let events = cluster.subscribe();
         let c1 = Arc::clone(&ctrl);
-        std::thread::Builder::new()
-            .name("cfm-failure-monitor".into())
-            .spawn(move || {
-                while !c1.shutdown.load(Ordering::SeqCst) {
-                    match events.recv_timeout(std::time::Duration::from_millis(20)) {
-                        Ok(ClusterEvent::NodeFailed(n)) => c1.handle_node_failure(n),
-                        Ok(ClusterEvent::NodeJoined(n)) => c1.handle_node_join(n),
-                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
-                            c1.sweep_dead_segments();
-                        }
-                        Err(_) => break,
+        sync_thread::spawn_named("cfm-failure-monitor", move || {
+            while !c1.shutdown.load(Ordering::SeqCst) {
+                match events.recv_timeout(std::time::Duration::from_millis(20)) {
+                    Ok(ClusterEvent::NodeFailed(n)) => c1.handle_node_failure(n),
+                    Ok(ClusterEvent::NodeJoined(n)) => c1.handle_node_join(n),
+                    Err(handoff::RecvTimeoutError::Timeout) => {
+                        c1.sweep_dead_segments();
                     }
+                    Err(_) => break,
                 }
-            })
-            .expect("spawn cfm monitor");
+            }
+        })
+        .expect("spawn cfm monitor");
         // elastic monitor
         let c2 = Arc::clone(&ctrl);
-        std::thread::Builder::new()
-            .name("cfm-elastic-monitor".into())
-            .spawn(move || {
-                while !c2.shutdown.load(Ordering::SeqCst) {
-                    match elastic_rx.recv_timeout(std::time::Duration::from_millis(20)) {
-                        Ok(req) => c2.handle_elastic_request(&req),
-                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-                        Err(_) => break,
-                    }
+        sync_thread::spawn_named("cfm-elastic-monitor", move || {
+            while !c2.shutdown.load(Ordering::SeqCst) {
+                match elastic_rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                    Ok(req) => c2.handle_elastic_request(&req),
+                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                    Err(_) => break,
                 }
-            })
-            .expect("spawn elastic monitor");
+            }
+        })
+        .expect("spawn elastic monitor");
         ctrl
     }
 
@@ -681,6 +682,7 @@ impl FeedController {
 
     fn spawn_collect_job(&self, seg: &CollectSegment) -> IngestResult<JobHandle> {
         let mut job = JobSpec::new(format!("collect:{}", seg.joint_id));
+        job.transport = self.config.transport;
         let collect = job.add_operator(Box::new(CollectDesc {
             joint_id: seg.joint_id.clone(),
             factory: Arc::clone(&seg.factory),
@@ -701,6 +703,7 @@ impl FeedController {
             .cloned()
             .ok_or_else(|| IngestError::Plan(format!("no live joint '{}'", seg.in_joint)))?;
         let mut job = JobSpec::new(format!("compute:{}", seg.out_joint));
+        job.transport = self.config.transport;
         let intake = job.add_operator(Box::new(IntakeDesc {
             joint_id: seg.in_joint.clone(),
             sub_key: format!("compute:{}", seg.out_joint),
@@ -757,6 +760,7 @@ impl FeedController {
             (None, None)
         };
         let mut job = JobSpec::new(format!("store:{}", conn.key));
+        job.transport = self.config.transport;
         let intake = job.add_operator(Box::new(IntakeDesc {
             joint_id: conn.source_joint.clone(),
             sub_key: format!("conn:{}", conn.key),

@@ -24,7 +24,7 @@
 use crate::metrics::FeedMetrics;
 use crate::policy::{ExcessStrategy, IngestionPolicy};
 use asterix_common::sync::handoff::{self, TrySendError};
-use asterix_common::sync::Mutex;
+use asterix_common::sync::{thread as sync_thread, Mutex};
 use asterix_common::{DataFrame, FeedId, IngestError, IngestResult, Record, RecordId, SimInstant};
 use asterix_hyracks::operator::FrameWriter;
 use crossbeam_channel::Sender;
@@ -169,23 +169,21 @@ impl FlowController {
             error: Mutex::new(None),
         });
         let pusher_shared = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
-            .name("feed-flow-pusher".into())
-            .spawn(move || {
-                let mut downstream = downstream;
-                if let Err(e) = downstream.open() {
+        let spawned = sync_thread::spawn_named("feed-flow-pusher", move || {
+            let mut downstream = downstream;
+            if let Err(e) = downstream.open() {
+                *pusher_shared.error.lock() = Some(e.clone());
+                return Err(e);
+            }
+            for frame in q_rx.iter() {
+                if let Err(e) = downstream.next_frame(frame) {
                     *pusher_shared.error.lock() = Some(e.clone());
+                    downstream.fail();
                     return Err(e);
                 }
-                for frame in q_rx.iter() {
-                    if let Err(e) = downstream.next_frame(frame) {
-                        *pusher_shared.error.lock() = Some(e.clone());
-                        downstream.fail();
-                        return Err(e);
-                    }
-                }
-                downstream.close()
-            });
+            }
+            downstream.close()
+        });
         // a failed OS-thread spawn degrades the controller (first offer
         // reports the error) instead of panicking the intake operator
         let (q_tx, pusher) = match spawned {

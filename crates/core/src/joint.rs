@@ -23,9 +23,8 @@
 //! its old subscription — the queue contents accumulated while the pipeline
 //! was down are exactly the paper's "buffer mode" during failure recovery.
 
-use asterix_common::sync::Mutex;
+use asterix_common::sync::{handoff, Mutex};
 use asterix_common::{DataFrame, IngestResult, SimClock, SimDuration};
-use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -57,12 +56,18 @@ enum JointMsg {
 }
 
 struct SubEntry {
-    tx: Sender<JointMsg>,
-    /// kept so re-attaching subscribers can clone the receiver and resume
-    /// the same queue
-    rx: Receiver<JointMsg>,
+    tx: handoff::Sender<JointMsg>,
+    /// kept so re-attaching subscribers can share the receiver and resume
+    /// the same queue (the entry's reference also keeps the queue alive
+    /// across pipeline rebuilds)
+    rx: Arc<handoff::Receiver<JointMsg>>,
     queued_bytes: Arc<AtomicU64>,
 }
+
+/// Per-subscriber queue bound, in messages. Congestion isolation holds up
+/// to this depth; past it, deposits exert backpressure on the producing
+/// pipeline instead of growing memory without bound.
+const SUBSCRIBER_QUEUE_CAP: usize = 1024;
 
 struct JointInner {
     subscribers: HashMap<String, SubEntry>,
@@ -111,16 +116,16 @@ impl FeedJoint {
         let key = key.into();
         let mut inner = self.inner.lock();
         let entry = inner.subscribers.entry(key.clone()).or_insert_with(|| {
-            let (tx, rx) = crossbeam_channel::unbounded();
+            let (tx, rx) = handoff::bounded(SUBSCRIBER_QUEUE_CAP);
             SubEntry {
                 tx,
-                rx,
+                rx: Arc::new(rx),
                 queued_bytes: Arc::new(AtomicU64::new(0)),
             }
         });
         JointSubscription {
             key,
-            rx: entry.rx.clone(),
+            rx: Arc::clone(&entry.rx),
             queued_bytes: Arc::clone(&entry.queued_bytes),
             joint: Arc::clone(self),
         }
@@ -133,7 +138,7 @@ impl FeedJoint {
         let entry = self.inner.lock().subscribers.remove(key);
         if let Some(entry) = entry {
             // drain this subscriber's queue, releasing bucket holds
-            while let Ok(msg) = entry.rx.try_recv() {
+            while let Some(msg) = entry.rx.try_recv() {
                 if let JointMsg::Bucket(b) = msg {
                     if b.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                         // relaxed-ok: standalone stat; reclamation itself is
@@ -159,49 +164,55 @@ impl FeedJoint {
     /// shared data bucket for many. No subscribers → the frame is dropped
     /// (the collect operator defers adaptor creation until someone
     /// subscribes, so this only happens in teardown windows).
+    ///
+    /// Sends happen on *bounded* queues and outside the joint lock: a full
+    /// subscriber queue blocks only this depositor (backpressure on the
+    /// producing pipeline), never other joint operations. The tradeoff is a
+    /// narrow teardown race — a deposit that passed the retired check may
+    /// land after a concurrent [`FeedJoint::retire`] notification; consumers
+    /// treat `Retired` as terminal, so such a frame is dropped, equivalent
+    /// to depositing just after retirement.
     pub fn deposit(&self, frame: DataFrame) -> IngestResult<()> {
-        let inner = self.inner.lock();
-        if inner.retired {
-            return Err(asterix_common::IngestError::Disconnected(format!(
-                "joint {} retired",
-                self.id
-            )));
-        }
-        // relaxed-ok: routing/backpressure stats; frame contents are
-        // published by the channel send, not by these counters
-        self.stats.frames_routed.fetch_add(1, Ordering::Relaxed);
-        let n = inner.subscribers.len();
-        match n {
+        // snapshot the delivery plan under the lock, send outside it
+        let targets: Vec<(handoff::Sender<JointMsg>, Arc<AtomicU64>)> = {
+            let inner = self.inner.lock();
+            if inner.retired {
+                return Err(asterix_common::IngestError::Disconnected(format!(
+                    "joint {} retired",
+                    self.id
+                )));
+            }
+            // relaxed-ok: routing/backpressure stats; frame contents are
+            // published by the channel send, not by these counters
+            self.stats.frames_routed.fetch_add(1, Ordering::Relaxed);
+            inner
+                .subscribers
+                .values()
+                .map(|e| (e.tx.clone(), Arc::clone(&e.queued_bytes)))
+                .collect()
+        };
+        match targets.len() {
             0 => Ok(()),
             1 => {
-                let entry = inner.subscribers.values().next().unwrap();
+                let (tx, queued_bytes) = &targets[0];
                 // relaxed-ok: backpressure stat, see above
-                entry
-                    .queued_bytes
-                    .fetch_add(frame.size_bytes() as u64, Ordering::Relaxed);
+                queued_bytes.fetch_add(frame.size_bytes() as u64, Ordering::Relaxed);
                 // relaxed-ok: routing stat, see above
                 self.stats.short_circuited.fetch_add(1, Ordering::Relaxed);
-                // lint-allow: guard-across-blocking (unbounded channel: the
-                // send cannot block; the lock orders deposits against retire)
-                let _ = entry.tx.send(JointMsg::Direct(frame));
+                let _ = tx.send(JointMsg::Direct(frame));
                 Ok(())
             }
-            _ => {
+            n => {
                 let bucket = Arc::new(DataBucket {
                     pending: AtomicUsize::new(n),
                     frame,
                 });
                 // relaxed-ok: routing stat, see above
                 self.stats.buckets_created.fetch_add(1, Ordering::Relaxed);
-                for entry in inner.subscribers.values() {
+                for (tx, queued_bytes) in &targets {
                     // relaxed-ok: backpressure stat, see above
-                    entry
-                        .queued_bytes
-                        .fetch_add(bucket.frame.size_bytes() as u64, Ordering::Relaxed);
-                    // lint-allow: guard-across-blocking (unbounded channel:
-                    // the send cannot block; the lock orders deposits
-                    // against retire)
-                    let _ = entry.tx.send(JointMsg::Bucket(Arc::clone(&bucket)));
+                    queued_bytes.fetch_add(bucket.frame.size_bytes() as u64, Ordering::Relaxed);
+                    let _ = tx.send(JointMsg::Bucket(Arc::clone(&bucket)));
                 }
                 Ok(())
             }
@@ -210,14 +221,19 @@ impl FeedJoint {
 
     /// Retire the joint: all subscribers see end-of-stream, further deposits
     /// error. Used when a feed is dismantled entirely.
+    ///
+    /// The end-of-stream marker is sent with `try_send` so a subscriber
+    /// whose queue is already full cannot wedge teardown; such a subscriber
+    /// still observes retirement because [`JointSubscription::recv`] checks
+    /// the retired flag once its queue drains empty.
     pub fn retire(&self) {
-        let mut inner = self.inner.lock();
-        inner.retired = true;
-        for entry in inner.subscribers.values() {
-            // lint-allow: guard-across-blocking (unbounded channel: the send
-            // cannot block; holding the lock makes retirement atomic — no
-            // deposit can interleave between the flag and the notifications)
-            let _ = entry.tx.send(JointMsg::Retired);
+        let senders: Vec<handoff::Sender<JointMsg>> = {
+            let mut inner = self.inner.lock();
+            inner.retired = true;
+            inner.subscribers.values().map(|e| e.tx.clone()).collect()
+        };
+        for tx in senders {
+            let _ = tx.try_send(JointMsg::Retired);
         }
     }
 
@@ -253,23 +269,22 @@ pub enum JointRecv {
 pub struct JointSubscription {
     /// Subscription key (stable across pipeline rebuilds).
     pub key: String,
-    rx: Receiver<JointMsg>,
+    rx: Arc<handoff::Receiver<JointMsg>>,
     queued_bytes: Arc<AtomicU64>,
     joint: Arc<FeedJoint>,
 }
 
 impl JointSubscription {
-    /// Receive the next frame, waiting up to `timeout` of sim-time.
-    pub fn recv(&self, clock: &SimClock, timeout: SimDuration) -> JointRecv {
-        match self.rx.recv_timeout(clock.to_real(timeout)) {
-            Ok(JointMsg::Direct(frame)) => {
+    fn on_msg(&self, msg: JointMsg) -> JointRecv {
+        match msg {
+            JointMsg::Direct(frame) => {
                 // relaxed-ok: backpressure stat; the frame arrived via the
                 // channel, nothing synchronises through this counter
                 self.queued_bytes
                     .fetch_sub(frame.size_bytes() as u64, Ordering::Relaxed);
                 JointRecv::Frame(frame)
             }
-            Ok(JointMsg::Bucket(bucket)) => {
+            JointMsg::Bucket(bucket) => {
                 // relaxed-ok: backpressure stat, see above
                 self.queued_bytes
                     .fetch_sub(bucket.frame.size_bytes() as u64, Ordering::Relaxed);
@@ -286,9 +301,35 @@ impl JointSubscription {
                 }
                 JointRecv::Frame(frame)
             }
-            Ok(JointMsg::Retired) => JointRecv::Retired,
-            Err(RecvTimeoutError::Timeout) => JointRecv::Timeout,
-            Err(RecvTimeoutError::Disconnected) => JointRecv::Retired,
+            JointMsg::Retired => JointRecv::Retired,
+        }
+    }
+
+    /// Receive the next frame, waiting up to `timeout` of sim-time.
+    pub fn recv(&self, clock: &SimClock, timeout: SimDuration) -> JointRecv {
+        match self.rx.recv_timeout(clock.to_real(timeout)) {
+            Ok(msg) => self.on_msg(msg),
+            Err(handoff::RecvTimeoutError::Timeout) => {
+                // an empty queue on a retired joint means end-of-stream even
+                // if the Retired marker was squeezed out by a full queue
+                if self.joint.is_retired() {
+                    JointRecv::Retired
+                } else {
+                    JointRecv::Timeout
+                }
+            }
+            Err(handoff::RecvTimeoutError::Disconnected) => JointRecv::Retired,
+        }
+    }
+
+    /// Receive without blocking: `None` when the queue is empty. Cooperative
+    /// intake tasks poll this from the scheduler instead of parking a whole
+    /// OS thread in [`JointSubscription::recv`].
+    pub fn try_recv(&self) -> Option<JointRecv> {
+        match self.rx.try_recv() {
+            Some(msg) => Some(self.on_msg(msg)),
+            None if self.joint.is_retired() => Some(JointRecv::Retired),
+            None => None,
         }
     }
 

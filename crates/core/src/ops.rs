@@ -23,13 +23,13 @@
 use crate::ack::{AckBatch, AckSender, AckTracker};
 use crate::adaptor::{AdaptorConfig, AdaptorFactory};
 use crate::flow::{ElasticRequest, FlowController};
-use crate::joint::{FeedJoint, JointRecv};
+use crate::joint::{FeedJoint, JointRecv, JointSubscription};
 use crate::manager::FeedManager;
 use crate::metrics::FeedMetrics;
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_adm::{payload_from_value, AdmPayloadExt, AdmType, TypeRegistry};
-use asterix_common::sync::Mutex;
+use asterix_common::sync::{thread as sync_thread, Mutex};
 use asterix_common::{
     DataFrame, FaultKind, FaultPlan, FeedId, FrameBuilder, IngestError, IngestResult, NodeId,
     Record, SimDuration, SimInstant,
@@ -37,7 +37,7 @@ use asterix_common::{
 use asterix_hyracks::executor::{SourceHost, TaskContext, UnaryHost};
 use asterix_hyracks::job::{Constraint, OperatorDescriptor};
 use asterix_hyracks::operator::{
-    FrameWriter, OperatorRuntime, SourceOperator, StopToken, UnaryOperator,
+    FrameWriter, OperatorRuntime, SourceOperator, SourcePoll, StopToken, UnaryOperator,
 };
 use asterix_storage::Dataset;
 use crossbeam_channel::{Receiver, Sender};
@@ -322,20 +322,18 @@ impl SourceOperator for CollectSource {
         let flusher_joint = Arc::clone(&joint);
         let flusher_stop = StopToken::new();
         let flusher_stop2 = flusher_stop.clone();
-        let flusher = std::thread::Builder::new()
-            .name("collect-flusher".into())
-            .spawn(move || {
-                while !flusher_stop2.is_stopped() {
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                    let partial = flusher_builder.lock().flush();
-                    if let Some(f) = partial {
-                        if flusher_joint.deposit(f).is_err() {
-                            return;
-                        }
+        let flusher = sync_thread::spawn_named("collect-flusher", move || {
+            while !flusher_stop2.is_stopped() {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let partial = flusher_builder.lock().flush();
+                if let Some(f) = partial {
+                    if flusher_joint.deposit(f).is_err() {
+                        return;
                     }
                 }
-            })
-            .map_err(|e| IngestError::Plan(format!("spawn flusher: {e}")))?;
+            }
+        })
+        .map_err(|e| IngestError::Plan(format!("spawn flusher: {e}")))?;
         let emit_builder = Arc::clone(&builder);
         let emit_joint = Arc::clone(&joint);
         let mut emit = |rec: Record| -> IngestResult<()> {
@@ -450,6 +448,7 @@ impl OperatorDescriptor for IntakeDesc {
             flow: Some(flow),
             tracker,
             fault_plan: self.fault_plan.clone(),
+            sub: None,
         })))
     }
 }
@@ -463,7 +462,12 @@ struct IntakeSource {
     flow: Option<FlowController>,
     tracker: Option<AckTracker>,
     fault_plan: Option<Arc<FaultPlan>>,
+    /// Lazily created on the first scheduler poll (cooperative mode).
+    sub: Option<JointSubscription>,
 }
+
+/// Frames an intake task pulls off its joint per scheduler slice.
+const INTAKE_FRAMES_PER_SLICE: usize = 8;
 
 impl IntakeSource {
     fn fail_with_zombie(&mut self, fm: &Arc<FeedManager>) {
@@ -596,6 +600,110 @@ impl SourceOperator for IntakeSource {
                 }
             }
         }
+    }
+
+    fn cooperative(&self) -> bool {
+        true
+    }
+
+    /// One scheduler slice of intake work: pull a bounded batch of frames
+    /// off the joint subscription and offer them to the flow controller.
+    /// Replaces the thread-parking loop in [`IntakeSource::run`] — an idle
+    /// intake costs a queued task, not a blocked OS thread.
+    fn poll_produce(
+        &mut self,
+        _output: &mut dyn FrameWriter,
+        stop: &StopToken,
+    ) -> IngestResult<SourcePoll> {
+        let fm = FeedManager::on(&self.node);
+        if self.sub.is_none() {
+            let joint = fm.search_joint(&self.joint_id).ok_or_else(|| {
+                IngestError::Plan(format!(
+                    "no joint '{}' on node {}",
+                    self.joint_id,
+                    self.node.id()
+                ))
+            })?;
+            self.sub = Some(joint.subscribe(self.sub_key.clone()));
+        }
+        if !self.node.is_alive() {
+            // hard failure of this node: vanish (state on this node is
+            // lost with the node)
+            self.flow = None;
+            return Err(IngestError::NodeFailed(self.node.id()));
+        }
+        match stop.mode() {
+            asterix_hyracks::operator::StopMode::Running => {}
+            asterix_hyracks::operator::StopMode::Graceful => {
+                // graceful disconnect: drain and leave
+                if let Some(sub) = self.sub.take() {
+                    sub.unsubscribe();
+                }
+                let flow = self.flow.take().expect("flow active");
+                flow.finish()?;
+                return Ok(SourcePoll::Done);
+            }
+            asterix_hyracks::operator::StopMode::Abandon => {
+                // pipeline rebuild: park deferred work and exit while
+                // the subscription keeps buffering for the successor
+                self.fail_with_zombie(&fm);
+                return Ok(SourcePoll::Done);
+            }
+        }
+        if self.chaos_panic_due() {
+            self.fail_with_zombie(&fm);
+            return Err(IngestError::Disconnected(
+                "chaos: injected operator panic".into(),
+            ));
+        }
+        let mut produced = false;
+        for _ in 0..INTAKE_FRAMES_PER_SLICE {
+            let recv = self.sub.as_ref().expect("subscribed above").try_recv();
+            match recv {
+                Some(JointRecv::Frame(frame)) => {
+                    produced = true;
+                    self.metrics.records_in.add(frame.len() as u64);
+                    let frame = self.track_frame(frame);
+                    let flow = self.flow.as_mut().expect("flow active");
+                    match flow.offer(frame) {
+                        Ok(()) => {}
+                        Err(e @ IngestError::FeedTerminated { .. }) => {
+                            if let Some(sub) = self.sub.take() {
+                                sub.unsubscribe();
+                            }
+                            self.flow = None;
+                            return Err(e);
+                        }
+                        Err(e) => {
+                            // downstream died: park state, keep the
+                            // subscription buffering for the rebuild
+                            self.fail_with_zombie(&fm);
+                            return Err(e);
+                        }
+                    }
+                }
+                Some(JointRecv::Retired) => {
+                    let flow = self.flow.take().expect("flow active");
+                    flow.finish()?;
+                    return Ok(SourcePoll::Done);
+                }
+                Some(JointRecv::Timeout) | None => break,
+            }
+        }
+        if produced {
+            return Ok(SourcePoll::Produced);
+        }
+        // quiet slice: the same housekeeping the thread loop did on timeout
+        let flow = self.flow.as_mut().expect("flow active");
+        if let Err(e) = flow.drain_deferred() {
+            self.fail_with_zombie(&fm);
+            return Err(e);
+        }
+        if let Err(e) = self.handle_acks_and_replays() {
+            self.fail_with_zombie(&fm);
+            return Err(e);
+        }
+        Ok(SourcePoll::Idle)
     }
 }
 

@@ -29,6 +29,7 @@ use asterix_feeds::catalog::FeedCatalog;
 use asterix_feeds::controller::{ConnectionState, ControllerConfig, FeedController};
 use asterix_feeds::udf::Udf;
 use asterix_hyracks::cluster::{Cluster, ClusterConfig};
+use asterix_hyracks::transport::TransportKind;
 use asterix_storage::{Dataset, DatasetConfig, DatasetPartition, PartitionConfig};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -106,6 +107,12 @@ struct SoakOutcome {
 }
 
 fn soak_once(seed: u64, addr: &str) -> SoakOutcome {
+    soak_once_with(seed, addr, TransportKind::InProcess)
+}
+
+/// Same soak, but the pipeline's edges ride the chosen wire (`Tcp` routes
+/// every inter-operator frame through a length-prefixed loopback socket).
+fn soak_once_with(seed: u64, addr: &str, transport: TransportKind) -> SoakOutcome {
     let clock = SimClock::with_scale(100.0); // 100 real ms per sim-second
     let cluster = Cluster::start(
         4,
@@ -144,6 +151,7 @@ fn soak_once(seed: u64, addr: &str) -> SoakOutcome {
         Arc::clone(&catalog),
         ControllerConfig {
             fault_plan: Some(Arc::clone(&plan)),
+            transport,
             ..ControllerConfig::default()
         },
     );
@@ -242,6 +250,26 @@ fn same_seed_replays_schedule_and_record_ids() {
     // and a different seed diverges in schedule
     let other = FaultPlan::generate(seed ^ 1, &FaultPlanConfig::default());
     assert_ne!(a.schedule, other.describe());
+}
+
+#[test]
+fn tcp_transport_replays_to_the_same_record_ids() {
+    // the wire must be invisible to recovery: a chaos run whose frames all
+    // cross loopback TCP sockets converges to the same post-recovery
+    // record-id set as the in-process run of the same seed
+    let seed = 0xFEED_FACE_CAFE_0002;
+    let local = soak_once_with(seed, "chaos-wire-a:9000", TransportKind::InProcess);
+    let wired = soak_once_with(seed, "chaos-wire-b:9000", TransportKind::Tcp);
+    assert_eq!(
+        local.schedule, wired.schedule,
+        "same seed must replay the schedule regardless of transport"
+    );
+    assert_eq!(local.generated, wired.generated);
+    assert_eq!(
+        local.ids, wired.ids,
+        "record-id sets must match across transports"
+    );
+    assert!(wired.hard_recoveries >= 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -973,11 +973,24 @@ fn registry_snapshot_is_complete_and_finite() {
     assert_eq!(lag.count, generated, "every persisted record closes a lag");
     assert!(lag.mean().is_finite());
 
+    // execution-runtime metrics: the pipeline ran as cooperative tasks on
+    // the work-stealing scheduler, not on per-operator threads
+    assert!(snap.counter("scheduler.tasks_spawned") > 0);
+    assert!(snap.counter("scheduler.polls") > 0);
+    assert!(snap.gauge("scheduler.workers").unwrap_or(0) > 0);
+    assert!(snap.has("scheduler.steals"), "steal counter missing");
+    assert!(snap.has("scheduler.yields"), "yield counter missing");
+    assert!(
+        snap.has("scheduler.queue.global_depth"),
+        "injector depth gauge missing"
+    );
+
     // both export formats render non-trivially
     let json = snap.to_json();
     assert!(json.contains("feed.ingest_lag_millis"), "{json}");
     let prom = snap.to_prometheus();
     assert!(prom.contains("asterix_feed_records_persisted"), "{prom}");
+    assert!(prom.contains("asterix_scheduler_tasks_spawned"), "{prom}");
 
     // the trace hub saw the connect span
     let trace = rig.cluster.trace().render();

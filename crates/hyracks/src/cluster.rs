@@ -13,13 +13,14 @@
 //! their outputs, and after the detection threshold the monitor emits
 //! [`ClusterEvent::NodeFailed`].
 
+use crate::operator::StopToken;
+use crate::scheduler::Scheduler;
 use crate::services::ServiceMap;
-use asterix_common::sync::{Mutex, RwLock};
+use asterix_common::sync::{handoff, thread as sync_thread, Mutex, RwLock};
 use asterix_common::{
     FaultKind, FaultPlan, MetricsRegistry, NodeId, SimClock, SimDuration, SimInstant, TraceHub,
 };
-use crossbeam_channel::{Receiver, Sender};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cluster-membership events (§6.2.1's "cluster-events").
@@ -56,6 +57,9 @@ pub(crate) struct NodeInner {
     last_heartbeat: Mutex<SimInstant>,
     /// set when the failure monitor has already reported this node
     reported_failed: AtomicBool,
+    /// stop tokens fired when the node dies, so blocking source tasks
+    /// (which have no poll loop to observe the alive flag) wind down
+    death_watchers: Mutex<Vec<StopToken>>,
 }
 
 /// Handle to one node of the cluster.
@@ -79,6 +83,29 @@ impl NodeHandle {
     pub fn services(&self) -> &ServiceMap {
         &self.inner.services
     }
+
+    /// Register a stop token fired when this node dies (fired immediately
+    /// if the node is already dead). Used by the executor for blocking
+    /// source tasks, which cannot poll the alive flag.
+    pub fn on_death(&self, token: StopToken) {
+        if !self.is_alive() {
+            token.stop();
+            return;
+        }
+        let mut watchers = self.inner.death_watchers.lock();
+        // prune tokens whose tasks already stopped for other reasons
+        watchers.retain(|t| !t.is_stopped());
+        watchers.push(token);
+    }
+
+    /// Flip the node dead and fire its death watchers.
+    pub(crate) fn mark_dead(&self) {
+        self.inner.alive.store(false, Ordering::SeqCst);
+        let watchers: Vec<StopToken> = std::mem::take(&mut *self.inner.death_watchers.lock());
+        for t in watchers {
+            t.stop();
+        }
+    }
 }
 
 impl std::fmt::Debug for NodeHandle {
@@ -96,11 +123,20 @@ struct ClusterInner {
     clock: SimClock,
     config: ClusterConfig,
     nodes: RwLock<Vec<NodeHandle>>,
-    subscribers: Mutex<Vec<Sender<ClusterEvent>>>,
+    /// Bounded event channels, id-tagged so senders whose receiver has
+    /// been dropped can be pruned after an emit.
+    subscribers: Mutex<Vec<(u64, handoff::Sender<ClusterEvent>)>>,
+    next_sub: AtomicU64,
     registry: MetricsRegistry,
     trace: TraceHub,
+    scheduler: Scheduler,
     shutdown: AtomicBool,
 }
+
+/// Capacity of each subscriber's event queue. Membership events are rare
+/// (joins, failures, revivals), so a small bound suffices; a subscriber
+/// that stops draining stalls `emit`, not the whole cluster lock.
+const SUBSCRIBER_QUEUE_CAP: usize = 256;
 
 /// The whole simulated cluster: Cluster Controller plus its nodes.
 #[derive(Clone)]
@@ -109,17 +145,33 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Start a cluster of `n_nodes` with the given clock and config.
+    /// Start a cluster of `n_nodes` with the given clock and config, on a
+    /// worker pool sized by [`Scheduler::default_workers`].
     pub fn start(n_nodes: usize, clock: SimClock, config: ClusterConfig) -> Self {
+        Cluster::start_with_workers(n_nodes, clock, config, Scheduler::default_workers())
+    }
+
+    /// Start a cluster whose shared task scheduler uses exactly `workers`
+    /// worker threads (used by scaling benchmarks).
+    pub fn start_with_workers(
+        n_nodes: usize,
+        clock: SimClock,
+        config: ClusterConfig,
+        workers: usize,
+    ) -> Self {
         let trace = TraceHub::new(clock.clone(), 256);
+        let registry = MetricsRegistry::new();
+        let scheduler = Scheduler::new(workers, &registry);
         let cluster = Cluster {
             inner: Arc::new(ClusterInner {
                 clock,
                 config,
                 nodes: RwLock::new(Vec::new()),
                 subscribers: Mutex::new(Vec::new()),
-                registry: MetricsRegistry::new(),
+                next_sub: AtomicU64::new(0),
+                registry,
                 trace,
+                scheduler,
                 shutdown: AtomicBool::new(false),
             }),
         };
@@ -155,23 +207,28 @@ impl Cluster {
         self.inner.trace.clone()
     }
 
+    /// The cluster-wide work-stealing task scheduler. All cooperative
+    /// operator tasks of every job run on this shared worker pool, so the
+    /// number of OS threads is fixed regardless of how many feeds run.
+    pub fn scheduler(&self) -> Scheduler {
+        self.inner.scheduler.clone()
+    }
+
     /// Spawn a background reporter that prints a metrics-snapshot summary
     /// to the console every `every` sim-duration until shutdown.
     pub fn spawn_console_reporter(&self, every: SimDuration) {
         let inner = Arc::clone(&self.inner);
-        std::thread::Builder::new()
-            .name("cc-metrics-reporter".into())
-            .spawn(move || loop {
-                inner.clock.sleep(every);
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                let snap = inner.registry.snapshot_at(&inner.clock);
-                if !snap.is_empty() {
-                    println!("{}", snap.console_summary());
-                }
-            })
-            .expect("spawn console reporter");
+        sync_thread::spawn_named("cc-metrics-reporter", move || loop {
+            inner.clock.sleep(every);
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let snap = inner.registry.snapshot_at(&inner.clock);
+            if !snap.is_empty() {
+                println!("{}", snap.console_summary());
+            }
+        })
+        .expect("spawn console reporter");
     }
 
     /// Add a node; it begins heartbeating immediately. Returns its handle.
@@ -185,6 +242,7 @@ impl Cluster {
                 services: ServiceMap::new(),
                 last_heartbeat: Mutex::new(self.inner.clock.now()),
                 reported_failed: AtomicBool::new(false),
+                death_watchers: Mutex::new(Vec::new()),
             }),
         };
         nodes.push(handle.clone());
@@ -240,7 +298,7 @@ impl Cluster {
     /// reports [`ClusterEvent::NodeFailed`] after the detection threshold.
     pub fn kill_node(&self, id: NodeId) {
         if let Some(n) = self.node(id) {
-            n.inner.alive.store(false, Ordering::SeqCst);
+            n.mark_dead();
         }
     }
 
@@ -261,93 +319,104 @@ impl Cluster {
         if remaining == 0 {
             return;
         }
-        std::thread::Builder::new()
-            .name("cc-chaos".into())
-            .spawn(move || {
-                let mut remaining = remaining;
-                while !inner.shutdown.load(Ordering::SeqCst) && remaining > 0 {
-                    for ev in plan.take_due(FaultKind::is_node_event) {
-                        match ev.kind {
-                            FaultKind::KillNode(n) => cluster.kill_node(n),
-                            FaultKind::ReviveNode(n) => {
-                                cluster.revive_node(n);
-                            }
-                            _ => unreachable!("filtered to node events"),
+        sync_thread::spawn_named("cc-chaos", move || {
+            let mut remaining = remaining;
+            while !inner.shutdown.load(Ordering::SeqCst) && remaining > 0 {
+                for ev in plan.take_due(FaultKind::is_node_event) {
+                    match ev.kind {
+                        FaultKind::KillNode(n) => cluster.kill_node(n),
+                        FaultKind::ReviveNode(n) => {
+                            cluster.revive_node(n);
                         }
-                        remaining -= 1;
+                        _ => unreachable!("filtered to node events"),
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    remaining -= 1;
                 }
-            })
-            .expect("spawn chaos poller");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+        .expect("spawn chaos poller");
     }
 
-    /// Subscribe to cluster events.
-    pub fn subscribe(&self) -> Receiver<ClusterEvent> {
-        let (tx, rx) = crossbeam_channel::unbounded();
-        self.inner.subscribers.lock().push(tx);
+    /// Subscribe to cluster events over a bounded channel. A subscriber
+    /// that never drains its queue eventually stalls event emission — drain
+    /// promptly or drop the receiver to unsubscribe.
+    pub fn subscribe(&self) -> handoff::Receiver<ClusterEvent> {
+        let (tx, rx) = handoff::bounded(SUBSCRIBER_QUEUE_CAP);
+        // relaxed-ok: unique-id allocation; the id is published via the
+        // subscribers lock below
+        let id = self.inner.next_sub.fetch_add(1, Ordering::Relaxed);
+        self.inner.subscribers.lock().push((id, tx));
         rx
     }
 
-    /// Tear the cluster down (stops monitor and heartbeat threads).
+    /// Tear the cluster down (stops monitor, heartbeat and worker threads).
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         for n in self.nodes() {
-            n.inner.alive.store(false, Ordering::SeqCst);
+            n.mark_dead();
         }
+        self.inner.scheduler.shutdown();
     }
 
     fn emit(&self, event: ClusterEvent) {
-        let mut subs = self.inner.subscribers.lock();
-        // lint-allow: guard-across-blocking (unbounded channel: the send
-        // cannot block; the lock keeps event order consistent per subscriber)
-        subs.retain(|tx| tx.send(event.clone()).is_ok());
+        // snapshot the subscriber list, then send *outside* the lock so a
+        // slow subscriber cannot wedge every thread that touches the list
+        let subs: Vec<(u64, handoff::Sender<ClusterEvent>)> = self.inner.subscribers.lock().clone();
+        let mut gone = Vec::new();
+        for (id, tx) in &subs {
+            if tx.send(event.clone()).is_err() {
+                gone.push(*id);
+            }
+        }
+        if !gone.is_empty() {
+            self.inner
+                .subscribers
+                .lock()
+                .retain(|(id, _)| !gone.contains(id));
+        }
     }
 
     fn spawn_heartbeat(&self, node: NodeHandle) {
         let inner = Arc::clone(&self.inner);
-        std::thread::Builder::new()
-            .name(format!("hb-{}", node.id()))
-            .spawn(move || {
-                while node.is_alive() && !inner.shutdown.load(Ordering::SeqCst) {
-                    *node.inner.last_heartbeat.lock() = inner.clock.now();
-                    inner.clock.sleep(inner.config.heartbeat_interval);
-                }
-            })
-            .expect("spawn heartbeat thread");
+        sync_thread::spawn_named(format!("hb-{}", node.id()), move || {
+            while node.is_alive() && !inner.shutdown.load(Ordering::SeqCst) {
+                *node.inner.last_heartbeat.lock() = inner.clock.now();
+                inner.clock.sleep(inner.config.heartbeat_interval);
+            }
+        })
+        .expect("spawn heartbeat thread");
     }
 
     fn spawn_monitor(&self) {
         let inner = Arc::clone(&self.inner);
         let cluster = self.clone();
-        std::thread::Builder::new()
-            .name("cc-failure-monitor".into())
-            .spawn(move || {
-                while !inner.shutdown.load(Ordering::SeqCst) {
-                    inner.clock.sleep(inner.config.heartbeat_interval);
-                    let now = inner.clock.now();
-                    let nodes = inner.nodes.read().clone();
-                    for n in nodes {
-                        if n.inner.reported_failed.load(Ordering::SeqCst) {
-                            continue;
-                        }
-                        let last = *n.inner.last_heartbeat.lock();
-                        let silent = now.since(last);
-                        if silent >= inner.config.failure_threshold
-                            && n.inner
-                                .reported_failed
-                                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-                                .is_ok()
-                        {
-                            // the node may still think it's alive (e.g. a
-                            // network partition); declare it dead anyway
-                            n.inner.alive.store(false, Ordering::SeqCst);
-                            cluster.emit(ClusterEvent::NodeFailed(n.id()));
-                        }
+        sync_thread::spawn_named("cc-failure-monitor", move || {
+            while !inner.shutdown.load(Ordering::SeqCst) {
+                inner.clock.sleep(inner.config.heartbeat_interval);
+                let now = inner.clock.now();
+                let nodes = inner.nodes.read().clone();
+                for n in nodes {
+                    if n.inner.reported_failed.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    let last = *n.inner.last_heartbeat.lock();
+                    let silent = now.since(last);
+                    if silent >= inner.config.failure_threshold
+                        && n.inner
+                            .reported_failed
+                            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                    {
+                        // the node may still think it's alive (e.g. a
+                        // network partition); declare it dead anyway
+                        n.mark_dead();
+                        cluster.emit(ClusterEvent::NodeFailed(n.id()));
                     }
                 }
-            })
-            .expect("spawn failure monitor");
+            }
+        })
+        .expect("spawn failure monitor");
     }
 }
 
@@ -417,7 +486,7 @@ mod tests {
                         "never saw NodeFailed(NC1)"
                     );
                 }
-                Err(e) => panic!("no failure event: {e}"),
+                Err(e) => panic!("no failure event: {e:?}"),
             }
         }
         assert!(!c.alive_nodes().iter().any(|n| n.id() == NodeId(1)));
@@ -439,7 +508,7 @@ mod tests {
         let rx = c.subscribe();
         // wait several heartbeat periods of real time
         std::thread::sleep(Duration::from_millis(100));
-        assert!(rx.try_recv().is_err(), "no spurious failure events");
+        assert!(rx.try_recv().is_none(), "no spurious failure events");
         assert!(c.node(NodeId(0)).unwrap().is_alive());
         c.shutdown();
     }

@@ -5,8 +5,8 @@
 //! each record by primary-key hash) and the `RandomPartitioningConnector`
 //! (intake → compute spreads records over UDF instances).
 
-use crate::executor::TaskInput;
 use crate::operator::FrameWriter;
+use crate::port::PortSender;
 use asterix_common::{DataFrame, FrameBuilder, IngestError, IngestResult, Record};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -41,7 +41,7 @@ impl std::fmt::Debug for ConnectorSpec {
 /// partition to the consumer partitions' input queues.
 pub struct RouterWriter {
     strategy: RouteStrategy,
-    consumers: Vec<TaskInput>,
+    consumers: Vec<PortSender>,
     producer_partition: usize,
     /// per-consumer frame builders for partitioned strategies
     builders: Vec<FrameBuilder>,
@@ -58,7 +58,7 @@ impl RouterWriter {
     /// Build the router for `producer_partition` of an edge.
     pub fn new(
         spec: &ConnectorSpec,
-        consumers: Vec<TaskInput>,
+        consumers: Vec<PortSender>,
         producer_partition: usize,
         frame_capacity: usize,
     ) -> IngestResult<Self> {
@@ -170,6 +170,14 @@ impl FrameWriter for RouterWriter {
             }
         }
     }
+
+    fn is_saturated(&self) -> bool {
+        match &self.strategy {
+            // a one-to-one edge only ever touches its own partition's queue
+            RouteStrategy::OneToOne => self.consumers[self.producer_partition].is_saturated(),
+            _ => self.consumers.iter().any(|c| c.is_saturated()),
+        }
+    }
 }
 
 impl std::fmt::Debug for RouterWriter {
@@ -233,12 +241,16 @@ impl FrameWriter for TeeWriter {
             w.fail();
         }
     }
+
+    fn is_saturated(&self) -> bool {
+        self.writers.iter().any(|w| w.is_saturated())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::TaskInput;
+    use crate::port::{frame_port, PortPop, PortReceiver, TaskMsg};
     use asterix_common::RecordId;
 
     fn rec(i: u64) -> Record {
@@ -249,25 +261,19 @@ mod tests {
         DataFrame::from_records(ids.map(rec).collect())
     }
 
-    fn inputs(
-        n: usize,
-    ) -> (
-        Vec<TaskInput>,
-        Vec<crossbeam_channel::Receiver<crate::executor::TaskMsg>>,
-    ) {
-        (0..n).map(|_| TaskInput::bounded(64)).unzip()
+    fn inputs(n: usize) -> (Vec<PortSender>, Vec<PortReceiver>) {
+        (0..n).map(|_| frame_port(64)).unzip()
     }
 
-    fn drain_records(
-        rx: &crossbeam_channel::Receiver<crate::executor::TaskMsg>,
-    ) -> (Vec<Record>, usize) {
+    fn drain_records(rx: &PortReceiver) -> (Vec<Record>, usize) {
         let mut recs = Vec::new();
         let mut closes = 0;
-        while let Ok(msg) = rx.try_recv() {
-            match msg {
-                crate::executor::TaskMsg::Frame(f) => recs.extend(f.into_records()),
-                crate::executor::TaskMsg::Close => closes += 1,
-                crate::executor::TaskMsg::Fail => {}
+        loop {
+            match rx.pop() {
+                PortPop::Msg(TaskMsg::Frame(f)) => recs.extend(f.into_records()),
+                PortPop::Msg(TaskMsg::Close) => closes += 1,
+                PortPop::Msg(TaskMsg::Fail) => {}
+                PortPop::Empty | PortPop::Disconnected => break,
             }
         }
         (recs, closes)
@@ -342,10 +348,7 @@ mod tests {
         let mut w = RouterWriter::new(&ConnectorSpec::MNRandomPartition, ins, 0, 8).unwrap();
         w.fail();
         for rx in &rxs {
-            assert!(matches!(
-                rx.try_recv().unwrap(),
-                crate::executor::TaskMsg::Fail
-            ));
+            assert!(matches!(rx.pop(), PortPop::Msg(TaskMsg::Fail)));
         }
     }
 

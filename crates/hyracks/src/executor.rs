@@ -1,95 +1,57 @@
 //! Job scheduling and execution.
 //!
-//! The executor turns a [`JobSpec`] into running threads: one task per
+//! The executor turns a [`JobSpec`] into cooperative tasks on the cluster's
+//! work-stealing [`Scheduler`](crate::scheduler::Scheduler): one task per
 //! operator partition, placed on nodes according to the operator's count or
-//! location constraints, connected by bounded channels. Bounded queues give
-//! the pipeline its back-pressure: a slow consumer stalls its producers,
-//! which is precisely the congestion mechanism Chapter 7 studies.
+//! location constraints, connected by bounded frame ports
+//! ([`crate::port`]). Operator count is therefore no longer 1:1 with OS
+//! threads — ten thousand feed pipelines multiplex over a fixed worker
+//! pool, the way real Hyracks multiplexes activities over node-controller
+//! executors.
 //!
-//! Tasks scheduled on a node observe the node's alive flag; when the node is
-//! killed they exit *without* closing their outputs — the frames in their
-//! input queues are simply lost, as they would be on a real machine crash.
+//! Back-pressure survives the translation: a task whose output ports are
+//! saturated *yields* ([`SliceState::Pending`]) instead of blocking, and is
+//! re-woken when a consumer drains below capacity. Dedicated threads
+//! (blocking sources, the feed-flow pusher, TCP pumps) still use classic
+//! blocking sends — that blocking is the congestion mechanism Chapter 7
+//! studies.
+//!
+//! Tasks scheduled on a node observe the node's alive flag; when the node
+//! is killed they exit *without* closing their outputs — the frames in
+//! their input ports are simply lost, as they would be on a real machine
+//! crash. With [`TransportKind::Tcp`] every edge's frames additionally
+//! traverse a real loopback socket (see [`crate::transport`]), exercising
+//! the process boundary.
 
 use crate::cluster::{Cluster, NodeHandle};
 use crate::connector::{ConnectorSpec, RouterWriter, TeeWriter};
 use crate::job::{Constraint, JobSpec, OperatorSpecId};
-use crate::operator::{DevNull, FrameWriter, OperatorRuntime, StopToken};
+use crate::operator::{
+    DevNull, FrameWriter, OperatorRuntime, SourceOperator, SourcePoll, StopToken,
+};
+use crate::port::{frame_port, PortHook, PortPop, PortReceiver, PortSender, SaturationProbe};
+use crate::scheduler::{SliceState, Task, TaskHandle};
+use crate::transport::TransportKind;
 use asterix_common::ids::IdGen;
 use asterix_common::sync::Mutex;
 use asterix_common::{
     Counter, DataFrame, Histogram, IngestError, IngestResult, JobId, MetricsRegistry, NodeId,
     SimClock, DEFAULT_FRAME_CAPACITY,
 };
-use crossbeam_channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::collections::HashMap;
 use std::time::Duration;
 
+pub use crate::port::TaskMsg;
+
 static JOB_IDS: IdGen = IdGen::new();
 
-/// Message on an inter-task queue.
-#[derive(Debug)]
-pub enum TaskMsg {
-    /// A data frame.
-    Frame(DataFrame),
-    /// Graceful end-of-stream from one producer.
-    Close,
-    /// Abnormal termination signal.
-    Fail,
-}
+/// Messages a unary task drains per slice before re-queueing itself, so one
+/// busy pipeline cannot monopolize a worker.
+const MSGS_PER_SLICE: usize = 8;
 
-/// Sender side of a task's input queue.
-#[derive(Debug, Clone)]
-pub struct TaskInput {
-    tx: Sender<TaskMsg>,
-}
-
-impl TaskInput {
-    /// Create a bounded input queue; returns the sender and receiver halves.
-    pub fn bounded(capacity: usize) -> (TaskInput, Receiver<TaskMsg>) {
-        let (tx, rx) = crossbeam_channel::bounded(capacity);
-        (TaskInput { tx }, rx)
-    }
-
-    /// Blocking send (back-pressure point).
-    pub fn send_frame(&self, frame: DataFrame) -> IngestResult<()> {
-        self.tx
-            .send(TaskMsg::Frame(frame))
-            .map_err(|_| IngestError::Disconnected("consumer gone".into()))
-    }
-
-    /// Non-blocking send; on a full queue the frame is handed back so the
-    /// caller (an ingestion-policy writer) can decide what to do with the
-    /// excess.
-    pub fn try_send_frame(&self, frame: DataFrame) -> Result<(), TrySendFrame> {
-        match self.tx.try_send(TaskMsg::Frame(frame)) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(TaskMsg::Frame(f))) => Err(TrySendFrame::Full(f)),
-            Err(TrySendError::Disconnected(_)) => Err(TrySendFrame::Disconnected),
-            Err(_) => unreachable!("only frames are try-sent"),
-        }
-    }
-
-    /// Signal graceful end-of-stream.
-    pub fn send_close(&self) -> IngestResult<()> {
-        self.tx
-            .send(TaskMsg::Close)
-            .map_err(|_| IngestError::Disconnected("consumer gone".into()))
-    }
-
-    /// Signal abnormal termination (best effort).
-    pub fn send_fail(&self) {
-        let _ = self.tx.send(TaskMsg::Fail);
-    }
-}
-
-/// Outcome of a failed [`TaskInput::try_send_frame`].
-#[derive(Debug)]
-pub enum TrySendFrame {
-    /// Queue full; the frame is returned to the caller.
-    Full(DataFrame),
-    /// Consumer is gone.
-    Disconnected,
-}
+/// Pending-deadline safety net: stop requests and node deaths are observed
+/// within this bound even if no waker ever fires.
+const POLL_SAFETY: Duration = Duration::from_millis(20);
 
 /// Runtime context handed to operator descriptors at instantiation.
 #[derive(Clone)]
@@ -144,7 +106,7 @@ pub struct TaskPlacement {
 
 struct TaskRecord {
     placement: TaskPlacement,
-    join: std::thread::JoinHandle<IngestResult<()>>,
+    handle: TaskHandle,
     stop: StopToken,
     is_source: bool,
 }
@@ -212,6 +174,10 @@ impl FrameWriter for CountingWriter {
     fn fail(&mut self) {
         self.inner.fail()
     }
+
+    fn is_saturated(&self) -> bool {
+        self.inner.is_saturated()
+    }
 }
 
 /// Handle to a scheduled job.
@@ -270,13 +236,7 @@ impl JobHandle {
         let tasks: Vec<TaskRecord> = std::mem::take(&mut *self.tasks.lock());
         let fresh: TaskResults = tasks
             .into_iter()
-            .map(|t| {
-                let r = t
-                    .join
-                    .join()
-                    .unwrap_or_else(|_| Err(IngestError::Plan("task panicked".into())));
-                (t.placement, r)
-            })
+            .map(|t| (t.placement, t.handle.join()))
             .collect();
         let mut cache = self.results.lock();
         cache.get_or_insert_with(Vec::new).extend(fresh);
@@ -304,7 +264,7 @@ impl JobHandle {
 
     /// Are any tasks still running?
     pub fn is_running(&self) -> bool {
-        self.tasks.lock().iter().any(|t| !t.join.is_finished())
+        self.tasks.lock().iter().any(|t| !t.handle.is_finished())
     }
 }
 
@@ -352,6 +312,8 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
     spec.topo_order()?; // validates the DAG
     let job_id: JobId = JOB_IDS.next();
     let n_ops = spec.operators().len();
+    let scheduler = cluster.scheduler();
+    let registry = cluster.registry();
 
     // 1. placements
     let mut placements: Vec<Vec<NodeHandle>> = Vec::with_capacity(n_ops);
@@ -366,19 +328,38 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
         placements.push(p);
     }
 
-    // 2. input queues for every operator with producers
-    let mut inputs: HashMap<OperatorSpecId, Vec<TaskInput>> = HashMap::new();
-    let mut receivers: HashMap<OperatorSpecId, Vec<Receiver<TaskMsg>>> = HashMap::new();
+    // 2. input ports for every operator with producers. With the TCP
+    // transport, each consumer partition's sender is replaced by a relay
+    // whose messages traverse a loopback socket before reaching the port.
+    let mut inputs: HashMap<OperatorSpecId, Vec<PortSender>> = HashMap::new();
+    let mut receivers: HashMap<OperatorSpecId, Vec<Option<PortReceiver>>> = HashMap::new();
+    let mut hooks: HashMap<OperatorSpecId, Vec<PortHook>> = HashMap::new();
     for (i, placement) in placements.iter().enumerate() {
         let id = OperatorSpecId(i);
         if spec.producers_of(id).is_empty() {
             continue;
         }
-        let (ins, rxs): (Vec<_>, Vec<_>) = (0..placement.len())
-            .map(|_| TaskInput::bounded(spec.queue_capacity))
-            .unzip();
+        let mut ins = Vec::with_capacity(placement.len());
+        let mut rxs = Vec::with_capacity(placement.len());
+        let mut hks = Vec::with_capacity(placement.len());
+        for p in 0..placement.len() {
+            let (tx, rx) = frame_port(spec.queue_capacity);
+            let tx = match spec.transport {
+                TransportKind::InProcess => tx,
+                TransportKind::Tcp => crate::transport::bridge_consumer(
+                    &registry,
+                    tx,
+                    spec.queue_capacity,
+                    &format!("{job_id}-{}-{p}", spec.operator(id).name()),
+                )?,
+            };
+            hks.push(rx.hook());
+            ins.push(tx);
+            rxs.push(Some(rx));
+        }
         inputs.insert(id, ins);
         receivers.insert(id, rxs);
+        hooks.insert(id, hks);
     }
 
     // 3. expected Close count per consumer partition
@@ -403,9 +384,12 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
         };
     }
 
-    // 4. spawn tasks
+    // 4. build tasks. Two-phase start: every cooperative task is created
+    // un-queued, wakers are wired into its ports, and only then is the
+    // whole job kicked — so no task can park before its wake path exists.
     let mut tasks = Vec::new();
     let mut layout = Vec::new();
+    let mut to_wake: Vec<TaskHandle> = Vec::new();
     for (i, placement) in placements.iter().enumerate() {
         let op_id = OperatorSpecId(i);
         let op = spec.operator(op_id);
@@ -422,8 +406,10 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
             };
             // output writer: tee of routers over outgoing edges
             let mut writers: Vec<Box<dyn FrameWriter>> = Vec::new();
+            let mut downstream: Vec<PortSender> = Vec::new();
             for e in &out_edges {
                 let consumer_inputs = inputs.get(&e.to).expect("consumer has inputs").clone();
+                downstream.extend(consumer_inputs.iter().cloned());
                 writers.push(Box::new(RouterWriter::new(
                     &e.connector,
                     consumer_inputs,
@@ -431,14 +417,15 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
                     DEFAULT_FRAME_CAPACITY,
                 )?));
             }
+            let probe = SaturationProbe::new(downstream);
             let output: Box<dyn FrameWriter> = match writers.len() {
                 0 => Box::new(DevNull),
                 1 => writers.pop().unwrap(),
                 _ => Box::new(TeeWriter::new(writers)),
             };
-            let output = CountingWriter::wrap(output, &cluster.registry(), &op_name);
+            let output = CountingWriter::wrap(output, &registry, &op_name);
             let runtime = op.instantiate(&ctx, output)?;
-            let instruments = OpInstruments::for_op(&cluster.registry(), &op_name);
+            let instruments = OpInstruments::for_op(&registry, &op_name);
             let is_source = matches!(runtime, OperatorRuntime::Source(_));
             let stop = StopToken::new();
             let placement_rec = TaskPlacement {
@@ -447,29 +434,77 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
                 partition,
                 node: node.id(),
             };
-            let rx = if has_input {
-                Some(receivers.get_mut(&op_id).unwrap()[partition].clone())
-            } else {
-                None
+            let task_name = format!("{job_id}-{op_name}-{partition}");
+            let handle = match runtime {
+                OperatorRuntime::Source(src) if src.cooperative() => {
+                    let h = scheduler.create_task(
+                        task_name,
+                        Box::new(SourceTask {
+                            src,
+                            ctx,
+                            stop: stop.clone(),
+                            probe: probe.clone(),
+                            backoff_ms: 1,
+                        }),
+                    );
+                    probe.attach_producer_waker(&h.waker());
+                    to_wake.push(h.clone());
+                    h
+                }
+                OperatorRuntime::Source(mut src) => {
+                    // inherently blocking source: dedicated thread, classic
+                    // blocking back-pressure, stop fired on node death
+                    node.on_death(stop.clone());
+                    let blocking_stop = stop.clone();
+                    scheduler
+                        .spawn_blocking(task_name, move || src.run(&mut DevNull, &blocking_stop))
+                }
+                OperatorRuntime::Unary(uop) => {
+                    let rx = receivers
+                        .get_mut(&op_id)
+                        .and_then(|v| v[partition].take())
+                        .ok_or_else(|| {
+                            IngestError::Plan("unary operator scheduled without an input".into())
+                        })?;
+                    let expected = expected_closes.get(&op_id).copied().unwrap_or(0);
+                    let h = scheduler.create_task(
+                        task_name,
+                        Box::new(UnaryTask {
+                            op: uop,
+                            ctx,
+                            rx,
+                            expected_closes: expected.max(1),
+                            closes: 0,
+                            stop: stop.clone(),
+                            instruments,
+                            probe: probe.clone(),
+                            opened: false,
+                        }),
+                    );
+                    if has_input {
+                        hooks.get(&op_id).expect("consumer has hooks")[partition]
+                            .set_consumer_waker(h.waker());
+                    }
+                    probe.attach_producer_waker(&h.waker());
+                    to_wake.push(h.clone());
+                    h
+                }
             };
-            let expected = expected_closes.get(&op_id).copied().unwrap_or(0);
-            let join = spawn_task(
-                runtime,
-                ctx,
-                rx,
-                expected,
-                stop.clone(),
-                instruments,
-                format!("{job_id}-{op_name}-{partition}"),
-            )?;
             tasks.push(TaskRecord {
                 placement: placement_rec.clone(),
-                join,
+                handle,
                 stop,
                 is_source,
             });
             layout.push(placement_rec);
         }
+    }
+
+    // 5. drop the executor's sender clones (`inputs`) so port sender counts
+    // reflect only live producers, then start everything
+    drop(inputs);
+    for h in to_wake {
+        h.waker().wake();
     }
 
     Ok(JobHandle {
@@ -481,57 +516,124 @@ pub fn run_job(cluster: &Cluster, spec: JobSpec) -> IngestResult<JobHandle> {
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn spawn_task(
-    runtime: OperatorRuntime,
-    ctx: TaskContext,
-    rx: Option<Receiver<TaskMsg>>,
-    expected_closes: usize,
-    stop: StopToken,
-    instruments: OpInstruments,
-    thread_name: String,
-) -> IngestResult<std::thread::JoinHandle<IngestResult<()>>> {
-    std::thread::Builder::new()
-        .name(thread_name)
-        .spawn(move || match runtime {
-            OperatorRuntime::Source(mut src) => run_source(&mut *src, &ctx, &stop),
-            OperatorRuntime::Unary(op) => {
-                run_unary(op, ctx, rx, expected_closes, stop, instruments)
-            }
-        })
-        .map_err(|e| IngestError::Plan(format!("spawn task: {e}")))
-}
-
 // Calling convention: `OperatorDescriptor::instantiate` receives the output
 // writer and must move it into the runtime it returns — wrap sources in
 // [`SourceHost`] and unary operators in [`UnaryHost`]. The drive loops below
 // therefore pass a `DevNull` placeholder for the writer parameter of the
 // operator traits; the real writer lives inside the host.
-fn run_source(
-    src: &mut dyn crate::operator::SourceOperator,
-    ctx: &TaskContext,
-    stop: &StopToken,
-) -> IngestResult<()> {
-    // watcher: node death fires the stop token so blocked sources exit
-    let watcher_stop = stop.clone();
-    let node = ctx.node.clone();
-    let watcher = std::thread::Builder::new()
-        .name("source-watcher".into())
-        .spawn(move || {
-            while !watcher_stop.is_stopped() {
-                if !node.is_alive() {
-                    watcher_stop.stop();
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(10));
+
+/// One cooperative source partition: polls the source for bounded bursts,
+/// yielding on saturation and backing off exponentially while idle.
+struct SourceTask {
+    src: Box<dyn SourceOperator>,
+    ctx: TaskContext,
+    stop: StopToken,
+    probe: SaturationProbe,
+    backoff_ms: u64,
+}
+
+impl Task for SourceTask {
+    fn run_slice(&mut self) -> SliceState {
+        if !self.ctx.node_alive() {
+            // node death requests a stop; the source observes it on its
+            // next poll and winds down (the old watcher-thread semantics)
+            self.stop.stop();
+        }
+        if self.probe.saturated() {
+            // back-pressure: yield until a consumer drains (waker) or the
+            // safety deadline re-checks stop/node state
+            return SliceState::Pending(Some(POLL_SAFETY));
+        }
+        match self.src.poll_produce(&mut DevNull, &self.stop) {
+            Err(e) => SliceState::Done(Err(e)),
+            Ok(SourcePoll::Done) => SliceState::Done(Ok(())),
+            Ok(SourcePoll::Produced) => {
+                self.backoff_ms = 1;
+                SliceState::Ready
             }
-        })
-        .map_err(|e| IngestError::Plan(format!("spawn watcher: {e}")))?;
-    let mut sink = DevNull;
-    let result = src.run(&mut sink, stop);
-    stop.stop();
-    let _ = watcher.join();
-    result
+            Ok(SourcePoll::Idle) => {
+                let wait = Duration::from_millis(self.backoff_ms);
+                self.backoff_ms = (self.backoff_ms * 2).min(32);
+                SliceState::Pending(Some(wait))
+            }
+        }
+    }
+}
+
+/// One unary operator partition: drains its input port a bounded number of
+/// messages per slice.
+struct UnaryTask {
+    op: Box<dyn crate::operator::UnaryOperator>,
+    ctx: TaskContext,
+    rx: PortReceiver,
+    expected_closes: usize,
+    closes: usize,
+    stop: StopToken,
+    instruments: OpInstruments,
+    probe: SaturationProbe,
+    opened: bool,
+}
+
+impl Task for UnaryTask {
+    fn run_slice(&mut self) -> SliceState {
+        if !self.ctx.node_alive() {
+            // hard failure: vanish without closing downstream
+            self.op.fail();
+            return SliceState::Done(Err(IngestError::NodeFailed(self.ctx.node.id())));
+        }
+        if self.stop.is_stopped() {
+            self.op.fail();
+            return SliceState::Done(Ok(()));
+        }
+        if !self.opened {
+            if let Err(e) = self.op.open(&mut DevNull) {
+                self.op.fail();
+                return SliceState::Done(Err(e));
+            }
+            self.opened = true;
+        }
+        if self.probe.saturated() {
+            return SliceState::Pending(Some(POLL_SAFETY));
+        }
+        for _ in 0..MSGS_PER_SLICE {
+            match self.rx.pop() {
+                PortPop::Msg(TaskMsg::Frame(frame)) => {
+                    self.instruments.frames_in.inc();
+                    self.instruments.records_in.add(frame.len() as u64);
+                    let started = std::time::Instant::now();
+                    let result = self.op.next_frame(frame, &mut DevNull);
+                    self.instruments
+                        .latency_us
+                        .record(started.elapsed().as_micros() as u64);
+                    if let Err(e) = result {
+                        self.op.fail();
+                        return SliceState::Done(Err(e));
+                    }
+                }
+                PortPop::Msg(TaskMsg::Close) => {
+                    self.closes += 1;
+                    if self.closes >= self.expected_closes {
+                        return SliceState::Done(self.op.close(&mut DevNull));
+                    }
+                }
+                PortPop::Msg(TaskMsg::Fail) => {
+                    self.op.fail();
+                    return SliceState::Done(Err(IngestError::Disconnected(
+                        "upstream failed".into(),
+                    )));
+                }
+                PortPop::Empty => return SliceState::Pending(Some(POLL_SAFETY)),
+                PortPop::Disconnected => {
+                    // all producers vanished without Close: abnormal
+                    self.op.fail();
+                    return SliceState::Done(Err(IngestError::Disconnected(
+                        "producers disappeared".into(),
+                    )));
+                }
+            }
+        }
+        SliceState::Ready
+    }
 }
 
 /// Hosts a source operator together with its output writer, adapting it to
@@ -542,97 +644,58 @@ fn run_source(
 /// Ok(OperatorRuntime::Source(Box::new(SourceHost::new(my_source, output))))
 /// ```
 pub struct SourceHost {
-    source: Box<dyn crate::operator::SourceOperator>,
-    output: Option<Box<dyn FrameWriter>>,
+    source: Box<dyn SourceOperator>,
+    output: Box<dyn FrameWriter>,
+    opened: bool,
 }
 
 impl SourceHost {
     /// Pair a source with the output writer the executor handed the
     /// descriptor.
-    pub fn new(
-        source: Box<dyn crate::operator::SourceOperator>,
-        output: Box<dyn FrameWriter>,
-    ) -> Self {
+    pub fn new(source: Box<dyn SourceOperator>, output: Box<dyn FrameWriter>) -> Self {
         SourceHost {
             source,
-            output: Some(output),
+            output,
+            opened: false,
         }
     }
 }
 
-impl crate::operator::SourceOperator for SourceHost {
+impl SourceOperator for SourceHost {
     fn run(&mut self, _ignored: &mut dyn FrameWriter, stop: &StopToken) -> IngestResult<()> {
-        let mut output = self.output.take().expect("source host runs once");
-        output.open()?;
-        match self.source.run(&mut *output, stop) {
-            Ok(()) => output.close(),
+        self.output.open()?;
+        self.opened = true;
+        match self.source.run(&mut *self.output, stop) {
+            Ok(()) => self.output.close(),
             Err(e) => {
-                output.fail();
+                self.output.fail();
                 Err(e)
             }
         }
     }
-}
 
-fn run_unary(
-    mut op: Box<dyn crate::operator::UnaryOperator>,
-    ctx: TaskContext,
-    rx: Option<Receiver<TaskMsg>>,
-    expected_closes: usize,
-    stop: StopToken,
-    instruments: OpInstruments,
-) -> IngestResult<()> {
-    let rx = match rx {
-        Some(rx) => rx,
-        None => {
-            return Err(IngestError::Plan(
-                "unary operator scheduled without an input".into(),
-            ))
+    fn cooperative(&self) -> bool {
+        self.source.cooperative()
+    }
+
+    fn poll_produce(
+        &mut self,
+        _ignored: &mut dyn FrameWriter,
+        stop: &StopToken,
+    ) -> IngestResult<SourcePoll> {
+        if !self.opened {
+            self.output.open()?;
+            self.opened = true;
         }
-    };
-    let mut closes = 0usize;
-    let poll = Duration::from_millis(20);
-    op.open(&mut DevNull)?;
-    loop {
-        if !ctx.node_alive() {
-            // hard failure: vanish without closing downstream
-            op.fail();
-            return Err(IngestError::NodeFailed(ctx.node.id()));
-        }
-        if stop.is_stopped() {
-            op.fail();
-            return Ok(());
-        }
-        match rx.recv_timeout(poll) {
-            Ok(TaskMsg::Frame(frame)) => {
-                instruments.frames_in.inc();
-                instruments.records_in.add(frame.len() as u64);
-                let started = std::time::Instant::now();
-                let result = op.next_frame(frame, &mut DevNull);
-                instruments
-                    .latency_us
-                    .record(started.elapsed().as_micros() as u64);
-                if let Err(e) = result {
-                    op.fail();
-                    return Err(e);
-                }
+        match self.source.poll_produce(&mut *self.output, stop) {
+            Ok(SourcePoll::Done) => {
+                self.output.close()?;
+                Ok(SourcePoll::Done)
             }
-            Ok(TaskMsg::Close) => {
-                closes += 1;
-                if closes >= expected_closes.max(1) {
-                    op.close(&mut DevNull)?;
-                    return Ok(());
-                }
-            }
-            Ok(TaskMsg::Fail) => {
-                op.fail();
-                return Err(IngestError::Disconnected("upstream failed".into()));
-            }
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => {
-                // all producers vanished without Close: abnormal
-                op.fail();
-                return Err(IngestError::Disconnected("producers disappeared".into()));
+            Ok(p) => Ok(p),
+            Err(e) => {
+                self.output.fail();
+                Err(e)
             }
         }
     }

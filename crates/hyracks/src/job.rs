@@ -8,6 +8,7 @@
 use crate::connector::ConnectorSpec;
 use crate::executor::TaskContext;
 use crate::operator::{FrameWriter, OperatorRuntime};
+use crate::transport::TransportKind;
 use asterix_common::{IngestResult, NodeId};
 
 /// Index of an operator within a [`JobSpec`].
@@ -72,6 +73,9 @@ pub struct JobSpec {
     /// Capacity (in frames) of each inter-operator queue. Bounded queues are
     /// the source of back-pressure along the pipeline.
     pub queue_capacity: usize,
+    /// Which wire the job's edges ride on: in-process ports (default) or
+    /// length-prefixed TCP over loopback.
+    pub transport: TransportKind,
 }
 
 impl JobSpec {
@@ -82,6 +86,7 @@ impl JobSpec {
             ops: Vec::new(),
             edges: Vec::new(),
             queue_capacity: 32,
+            transport: TransportKind::InProcess,
         }
     }
 

@@ -21,18 +21,28 @@
 //!   lifecycle, heartbeats, failure detection, cluster/job event
 //!   subscription, node-local services (used by feeds for the per-node Feed
 //!   Manager), and failure injection for the Chapter 6 experiments;
-//! * [`executor`] — schedules a job's tasks onto nodes and runs them as
-//!   threads connected by bounded channels (bounded queues are what gives
-//!   the pipeline its back-pressure, the mechanism behind Chapter 7's
-//!   congestion study).
+//! * [`scheduler`] — the execution runtime: a sharded work-stealing pool
+//!   where every operator instance is a lightweight cooperative task
+//!   (per-worker deques, a global injector, steal-from-the-back), so
+//!   operator count is decoupled from OS thread count;
+//! * [`port`] — bounded frame queues between tasks; saturation makes a
+//!   cooperative producer *yield* (back-pressure, the mechanism behind
+//!   Chapter 7's congestion study) instead of blocking a thread;
+//! * [`transport`] — the pluggable wire behind connectors: in-process
+//!   ports or length-prefixed TCP reusing the binary ADM codec, so the
+//!   halves of a pipeline can run in separate OS processes;
+//! * [`executor`] — plans a job's tasks onto nodes and spawns them on the
+//!   node's scheduler (blocking sources get dedicated facade threads).
 //!
 //! ## Simplifications vs. real Hyracks
 //!
 //! Real Hyracks expands operators into activities and schedules stage by
 //! stage. Ingestion pipelines are single-stage pipelined jobs, so this
-//! engine co-schedules all tasks of a job at once. Frames move over
-//! `crossbeam` bounded channels instead of TCP, and a "node" is a logical
-//! container of threads rather than a machine — see DESIGN.md for why this
+//! engine co-schedules all tasks of a job at once. A "node" is a logical
+//! container of tasks rather than a machine, and frames move over
+//! in-process ports by default — but [`transport::TransportKind::Tcp`]
+//! routes every edge through real length-prefixed sockets, so the process
+//! boundary is exercisable everywhere — see DESIGN.md for why this
 //! preserves the behaviour the paper measures.
 
 pub mod cluster;
@@ -40,10 +50,17 @@ pub mod connector;
 pub mod executor;
 pub mod job;
 pub mod operator;
+pub mod port;
+pub mod scheduler;
 pub mod services;
+pub mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterEvent, NodeHandle};
 pub use connector::ConnectorSpec;
 pub use executor::{JobHandle, TaskContext};
 pub use job::{Constraint, JobSpec, OperatorDescriptor, OperatorSpecId};
-pub use operator::{FrameWriter, OperatorRuntime, SourceOperator, StopToken, UnaryOperator};
+pub use operator::{
+    FrameWriter, OperatorRuntime, SourceOperator, SourcePoll, StopToken, UnaryOperator,
+};
+pub use scheduler::{Scheduler, SliceState, Task, TaskHandle, Waker};
+pub use transport::TransportKind;

@@ -23,6 +23,14 @@ pub trait FrameWriter: Send {
     fn close(&mut self) -> IngestResult<()>;
     /// Abnormal termination: the downstream operator should abandon work.
     fn fail(&mut self);
+    /// True when the downstream queue(s) behind this writer are at capacity.
+    ///
+    /// Cooperative tasks consult this to *yield* instead of blocking — the
+    /// scheduler re-runs them once a consumer drains. Writers with no
+    /// bounded queue report `false` (never saturated).
+    fn is_saturated(&self) -> bool {
+        false
+    }
 }
 
 /// A writer that drops everything (used behind `NullSink` and in tests).
@@ -96,11 +104,43 @@ impl StopToken {
     }
 }
 
+/// One step of a cooperative source (see [`SourceOperator::poll_produce`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourcePoll {
+    /// Emitted at least one frame; poll again soon.
+    Produced,
+    /// Nothing available right now; poll again after a backoff.
+    Idle,
+    /// Input exhausted; the engine will close the output.
+    Done,
+}
+
 /// A self-driving operator (runs a loop producing frames).
 pub trait SourceOperator: Send {
     /// Produce frames into `output` until done or `stop` fires. The engine
     /// calls `output.open()` before and `output.close()`/`fail()` after.
     fn run(&mut self, output: &mut dyn FrameWriter, stop: &StopToken) -> IngestResult<()>;
+
+    /// Whether this source supports slice-at-a-time execution via
+    /// [`poll_produce`](SourceOperator::poll_produce).
+    ///
+    /// Cooperative sources run as lightweight tasks on the shared worker
+    /// pool; non-cooperative ones (whose `run` blocks on I/O or channels)
+    /// get a dedicated blocking thread. Default: not cooperative.
+    fn cooperative(&self) -> bool {
+        false
+    }
+
+    /// Produce a bounded amount of output and return, instead of looping
+    /// until exhaustion. Only called when
+    /// [`cooperative`](SourceOperator::cooperative) is true; must not block.
+    fn poll_produce(
+        &mut self,
+        _output: &mut dyn FrameWriter,
+        _stop: &StopToken,
+    ) -> IngestResult<SourcePoll> {
+        Ok(SourcePoll::Done)
+    }
 }
 
 /// A frame-at-a-time operator.
@@ -203,6 +243,27 @@ impl SourceOperator for VecSource {
             output.next_frame(frame)?;
         }
         Ok(())
+    }
+
+    fn cooperative(&self) -> bool {
+        true
+    }
+
+    fn poll_produce(
+        &mut self,
+        output: &mut dyn FrameWriter,
+        stop: &StopToken,
+    ) -> IngestResult<SourcePoll> {
+        if stop.is_stopped() || self.frames.is_empty() {
+            self.frames.clear();
+            return Ok(SourcePoll::Done);
+        }
+        output.next_frame(self.frames.remove(0))?;
+        Ok(if self.frames.is_empty() {
+            SourcePoll::Done
+        } else {
+            SourcePoll::Produced
+        })
     }
 }
 

@@ -1,0 +1,123 @@
+//! Two-process wire smoke: a sender in a *separate OS process* streams
+//! frames over real TCP into this process, Node-Controller-to-Cluster-
+//! Controller style. The child half re-executes this test binary with a
+//! role env var set (the classic fork-via-self-exec test harness trick).
+
+use asterix_common::sync::Mutex;
+use asterix_common::{DataFrame, IngestResult, MetricsRegistry, Record, RecordId};
+use asterix_hyracks::operator::FrameWriter;
+use asterix_hyracks::transport::{drive_connection, TcpFrameSender};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FRAMES: u64 = 100;
+const PER_FRAME: u64 = 10;
+const ROLE_ENV: &str = "ASTERIX_WIRE_E2E_ADDR";
+
+#[derive(Clone, Default)]
+struct CollectWriter {
+    records: Arc<Mutex<Vec<Record>>>,
+    closes: Arc<Mutex<usize>>,
+}
+
+impl FrameWriter for CollectWriter {
+    fn open(&mut self) -> IngestResult<()> {
+        Ok(())
+    }
+    fn next_frame(&mut self, frame: DataFrame) -> IngestResult<()> {
+        self.records.lock().extend(frame.records().iter().cloned());
+        Ok(())
+    }
+    fn close(&mut self) -> IngestResult<()> {
+        *self.closes.lock() += 1;
+        Ok(())
+    }
+    fn fail(&mut self) {}
+}
+
+/// The child role: connect to the parent's listener and stream the frames.
+/// When the env var is absent (the normal test run) this is a no-op pass.
+#[test]
+fn wire_e2e_child_sender() {
+    let Ok(addr) = std::env::var(ROLE_ENV) else {
+        return;
+    };
+    let registry = MetricsRegistry::new();
+    let mut sender =
+        TcpFrameSender::connect(addr.parse().expect("addr"), &registry, 16).expect("connect");
+    sender.open().unwrap();
+    for f in 0..FRAMES {
+        let frame = DataFrame::from_records(
+            (0..PER_FRAME)
+                .map(|i| {
+                    let id = f * PER_FRAME + i;
+                    Record::tracked(RecordId(id), 0, format!("cross-process-{id}"))
+                })
+                .collect(),
+        );
+        sender.next_frame(frame).expect("send");
+    }
+    sender.close().expect("drain and close");
+    assert_eq!(
+        registry.snapshot().counter("transport.frames_sent"),
+        FRAMES,
+        "child counted every frame onto the wire"
+    );
+}
+
+#[test]
+fn frames_cross_a_real_process_boundary() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let mut child = std::process::Command::new(exe)
+        .args(["wire_e2e_child_sender", "--exact", "--nocapture"])
+        .env(ROLE_ENV, addr.to_string())
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn sender process");
+
+    // accept with a deadline so a crashed child fails the test instead of
+    // hanging it
+    listener.set_nonblocking(true).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let conn = loop {
+        match listener.accept() {
+            Ok((conn, _)) => break conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                assert!(Instant::now() < deadline, "child never connected");
+                if let Some(status) = child.try_wait().unwrap() {
+                    panic!("child exited before connecting: {status}");
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("accept: {e}"),
+        }
+    };
+    conn.set_nonblocking(false).unwrap();
+
+    let registry = MetricsRegistry::new();
+    let mut collector = CollectWriter::default();
+    drive_connection(conn, &mut collector, &registry).expect("clean ingress");
+
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "sender process failed: {status}");
+
+    let got = collector.records.lock();
+    assert_eq!(got.len(), (FRAMES * PER_FRAME) as usize);
+    let ids: std::collections::BTreeSet<u64> = got.iter().map(|r| r.id.raw()).collect();
+    assert_eq!(ids.len(), got.len(), "no duplicates across the wire");
+    assert_eq!(*ids.iter().next_back().unwrap(), FRAMES * PER_FRAME - 1);
+    assert_eq!(*collector.closes.lock(), 1);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("transport.frames_received"), FRAMES);
+    assert!(snap.counter("transport.bytes_received") > 0);
+    // wire counters flow through the standard exporters
+    assert!(snap.to_json().contains("transport.bytes_received"));
+    assert!(snap
+        .to_prometheus()
+        .contains("asterix_transport_frames_received"));
+}

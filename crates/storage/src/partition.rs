@@ -28,7 +28,7 @@ use crate::secondary::{IndexKind, SecondaryIndex};
 use crate::wal::{LogOp, WriteAheadLog};
 use asterix_adm::AdmValue;
 use asterix_common::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use asterix_common::sync::{Mutex, WakeEvent, WakeSignal};
+use asterix_common::sync::{thread as sync_thread, Mutex, WakeEvent, WakeSignal};
 use asterix_common::{Histogram, IngestError, IngestResult, TraceLog};
 use std::collections::BTreeSet;
 use std::sync::{Arc, OnceLock};
@@ -198,10 +198,8 @@ impl DatasetPartition {
             config,
         });
         let for_worker = Arc::clone(&inner);
-        let worker = std::thread::Builder::new()
-            .name("lsm-compactor".into())
-            .spawn(move || for_worker.compactor_loop())
-            .ok();
+        let worker =
+            sync_thread::spawn_named("lsm-compactor", move || for_worker.compactor_loop()).ok();
         DatasetPartition {
             inner,
             worker: Mutex::new(worker),

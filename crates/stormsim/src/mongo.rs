@@ -15,7 +15,7 @@
 //! per-record overhead that AsterixDB's native pipeline amortizes away.
 
 use asterix_adm::AdmValue;
-use asterix_common::sync::Mutex;
+use asterix_common::sync::{thread as sync_thread, Mutex};
 use asterix_common::{IngestError, IngestResult, SimClock, SimDuration};
 use std::collections::HashMap;
 
@@ -84,18 +84,16 @@ impl MongoStore {
             journal_cv: asterix_common::sync::Condvar::new(),
         });
         let s = std::sync::Arc::clone(&store);
-        std::thread::Builder::new()
-            .name("mongo-journal".into())
-            .spawn(move || loop {
-                s.clock.sleep(s.config.commit_interval);
-                s.group_commit();
-                // the store lives as long as anyone holds an Arc; when only
-                // the journal thread remains, stop
-                if std::sync::Arc::strong_count(&s) == 1 {
-                    break;
-                }
-            })
-            .expect("spawn journal");
+        sync_thread::spawn_named("mongo-journal", move || loop {
+            s.clock.sleep(s.config.commit_interval);
+            s.group_commit();
+            // the store lives as long as anyone holds an Arc; when only
+            // the journal thread remains, stop
+            if std::sync::Arc::strong_count(&s) == 1 {
+                break;
+            }
+        })
+        .expect("spawn journal");
         store
     }
 

@@ -16,7 +16,7 @@
 //! shape of the glued ingestion topology; each stage runs `parallelism`
 //! worker threads connected by bounded queues.
 
-use asterix_common::sync::Mutex;
+use asterix_common::sync::{thread as sync_thread, Mutex};
 use asterix_common::{IngestError, IngestResult, SimClock, SimDuration, SimInstant};
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
@@ -179,92 +179,90 @@ impl Topology {
             let stalled = Arc::clone(&spout_stalled);
             let cfg = config.clone();
             threads.push(
-                std::thread::Builder::new()
-                    .name("storm-spout".into())
-                    .spawn(move || {
-                        let mut next_id = 0u64;
-                        loop {
-                            if stop.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            // process failures → replay
-                            while let Ok(failed_id) = fail_rx.try_recv() {
-                                let tuple = {
-                                    let st = &mut *acker.state.lock();
-                                    st.pending.get(&failed_id).map(|(p, _)| StormTuple {
-                                        message_id: failed_id,
-                                        payload: p.clone(),
-                                    })
-                                };
-                                if let Some(t) = tuple {
-                                    acker.replayed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
-                                    let _ = replay_tx.try_send(t);
-                                }
-                            }
-                            // timeout replays
-                            let now = clock2.now();
-                            let timed_out: Vec<StormTuple> = {
+                sync_thread::spawn_named("storm-spout", move || {
+                    let mut next_id = 0u64;
+                    loop {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        // process failures → replay
+                        while let Ok(failed_id) = fail_rx.try_recv() {
+                            let tuple = {
                                 let st = &mut *acker.state.lock();
-                                let mut out = Vec::new();
-                                for (id, (p, deadline)) in st.pending.iter_mut() {
-                                    if now.since(*deadline) >= cfg.message_timeout {
-                                        *deadline = now;
-                                        out.push(StormTuple {
-                                            message_id: *id,
-                                            payload: p.clone(),
-                                        });
-                                    }
-                                }
-                                out
+                                st.pending.get(&failed_id).map(|(p, _)| StormTuple {
+                                    message_id: failed_id,
+                                    payload: p.clone(),
+                                })
                             };
-                            for t in timed_out {
+                            if let Some(t) = tuple {
                                 acker.replayed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
-                                if first.send(t).is_err() {
-                                    return;
-                                }
-                            }
-                            // replays first
-                            if let Ok(t) = replay_rx.try_recv() {
-                                if first.send(t).is_err() {
-                                    return;
-                                }
-                                continue;
-                            }
-                            // max.spout.pending gate
-                            if acker.pending() >= cfg.max_spout_pending {
-                                stalled.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
-                                std::thread::sleep(std::time::Duration::from_micros(200));
-                                continue;
-                            }
-                            match spout.next() {
-                                Some(payload) => {
-                                    let id = next_id;
-                                    next_id += 1;
-                                    {
-                                        let st = &mut *acker.state.lock();
-                                        st.pending.insert(id, (payload.clone(), clock2.now()));
-                                    }
-                                    emitted2.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
-                                    if first
-                                        .send(StormTuple {
-                                            message_id: id,
-                                            payload,
-                                        })
-                                        .is_err()
-                                    {
-                                        return;
-                                    }
-                                }
-                                None => {
-                                    if spout.exhausted() && acker.pending() == 0 {
-                                        return; // drop senders → bolts drain out
-                                    }
-                                    std::thread::sleep(std::time::Duration::from_micros(200));
-                                }
+                                let _ = replay_tx.try_send(t);
                             }
                         }
-                    })
-                    .map_err(|e| IngestError::Plan(format!("spawn spout: {e}")))?,
+                        // timeout replays
+                        let now = clock2.now();
+                        let timed_out: Vec<StormTuple> = {
+                            let st = &mut *acker.state.lock();
+                            let mut out = Vec::new();
+                            for (id, (p, deadline)) in st.pending.iter_mut() {
+                                if now.since(*deadline) >= cfg.message_timeout {
+                                    *deadline = now;
+                                    out.push(StormTuple {
+                                        message_id: *id,
+                                        payload: p.clone(),
+                                    });
+                                }
+                            }
+                            out
+                        };
+                        for t in timed_out {
+                            acker.replayed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
+                            if first.send(t).is_err() {
+                                return;
+                            }
+                        }
+                        // replays first
+                        if let Ok(t) = replay_rx.try_recv() {
+                            if first.send(t).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
+                        // max.spout.pending gate
+                        if acker.pending() >= cfg.max_spout_pending {
+                            stalled.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            continue;
+                        }
+                        match spout.next() {
+                            Some(payload) => {
+                                let id = next_id;
+                                next_id += 1;
+                                {
+                                    let st = &mut *acker.state.lock();
+                                    st.pending.insert(id, (payload.clone(), clock2.now()));
+                                }
+                                emitted2.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
+                                if first
+                                    .send(StormTuple {
+                                        message_id: id,
+                                        payload,
+                                    })
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                            None => {
+                                if spout.exhausted() && acker.pending() == 0 {
+                                    return; // drop senders → bolts drain out
+                                }
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                        }
+                    }
+                })
+                .map_err(|e| IngestError::Plan(format!("spawn spout: {e}")))?,
             );
         }
 
@@ -280,46 +278,44 @@ impl Topology {
                 let stop = Arc::clone(&stop);
                 let fail_tx = fail_tx.clone();
                 threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("storm-bolt{i}-{w}"))
-                        .spawn(move || loop {
-                            if stop.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            match rx.recv_timeout(std::time::Duration::from_millis(20)) {
-                                Ok(tuple) => match bolt.execute(&tuple.payload) {
-                                    BoltOutcome::Emit(payload) => {
-                                        if let Some(tx) = &next_tx {
-                                            let _ = tx.send(StormTuple {
-                                                message_id: tuple.message_id,
-                                                payload,
-                                            });
-                                        } else {
-                                            // terminal emit = ack
-                                            let st = &mut *acker.state.lock();
-                                            if st.pending.remove(&tuple.message_id).is_some() {
-                                                // relaxed-ok: stat
-                                                acker.acked.fetch_add(1, Ordering::Relaxed);
-                                            }
-                                        }
-                                    }
-                                    BoltOutcome::Ack => {
+                    sync_thread::spawn_named(format!("storm-bolt{i}-{w}"), move || loop {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        match rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                            Ok(tuple) => match bolt.execute(&tuple.payload) {
+                                BoltOutcome::Emit(payload) => {
+                                    if let Some(tx) = &next_tx {
+                                        let _ = tx.send(StormTuple {
+                                            message_id: tuple.message_id,
+                                            payload,
+                                        });
+                                    } else {
+                                        // terminal emit = ack
                                         let st = &mut *acker.state.lock();
                                         if st.pending.remove(&tuple.message_id).is_some() {
                                             // relaxed-ok: stat
                                             acker.acked.fetch_add(1, Ordering::Relaxed);
                                         }
                                     }
-                                    BoltOutcome::Fail => {
-                                        acker.failed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
-                                        let _ = fail_tx.send(tuple.message_id);
+                                }
+                                BoltOutcome::Ack => {
+                                    let st = &mut *acker.state.lock();
+                                    if st.pending.remove(&tuple.message_id).is_some() {
+                                        // relaxed-ok: stat
+                                        acker.acked.fetch_add(1, Ordering::Relaxed);
                                     }
-                                },
-                                Err(RecvTimeoutError::Timeout) => continue,
-                                Err(RecvTimeoutError::Disconnected) => return,
-                            }
-                        })
-                        .map_err(|e| IngestError::Plan(format!("spawn bolt: {e}")))?,
+                                }
+                                BoltOutcome::Fail => {
+                                    acker.failed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
+                                    let _ = fail_tx.send(tuple.message_id);
+                                }
+                            },
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => return,
+                        }
+                    })
+                    .map_err(|e| IngestError::Plan(format!("spawn bolt: {e}")))?,
                 );
             }
         }

@@ -11,7 +11,7 @@
 
 use crate::gen::TweetFactory;
 use crate::pattern::PatternDescriptor;
-use asterix_common::sync::Mutex;
+use asterix_common::sync::{thread as sync_thread, Mutex};
 use asterix_common::{IngestError, IngestResult, SimClock, SimDuration, SimInstant};
 use crossbeam_channel::{Receiver, Sender, TrySendError};
 use std::collections::HashMap;
@@ -158,82 +158,80 @@ pub fn connect(addr: &str) -> IngestResult<Receiver<StampedTweet>> {
 }
 
 fn spawn_pusher(binding: Arc<Binding>, tx: Sender<StampedTweet>) {
-    std::thread::Builder::new()
-        .name(format!("tweetgen-{}", binding.config.addr))
-        .spawn(move || {
-            let mut factory = TweetFactory::new(binding.config.instance, binding.config.seed);
-            let clock = binding.clock.clone();
-            let start = clock.now();
-            let tick = binding.config.tick;
-            let mut owed = 0.0f64;
-            let mut last = start;
-            loop {
-                if !binding.running.load(Ordering::SeqCst) {
-                    break;
-                }
-                let now = clock.now();
-                let offset = now.since(start);
-                let (rate, final_tick) = match binding.config.pattern.rate_at(offset) {
-                    Some(r) => (r, false),
-                    None => {
-                        // pattern complete: emit what was still owed for the
-                        // span between the last tick and the pattern's end,
-                        // at the rate in effect back then (keeps totals
-                        // accurate when the generator thread lags)
-                        let end = start.plus(binding.config.pattern.total_duration());
-                        let last_offset = last.since(start);
-                        match binding.config.pattern.rate_at(last_offset) {
-                            Some(r) if end > last => {
-                                let dt = end.since(last).as_millis() as f64 / 1000.0;
-                                owed += r as f64 * dt;
-                                let to_send = owed as u64;
-                                for _ in 0..to_send {
-                                    let tweet = StampedTweet {
-                                        gen_at: clock.now(),
-                                        json: factory.next_json(),
-                                    };
-                                    binding.generated.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
-                                    match tx.try_send(tweet) {
-                                        Ok(()) => {}
-                                        Err(TrySendError::Full(_)) => {
-                                            // relaxed-ok: stat
-                                            binding.wire_drops.fetch_add(1, Ordering::Relaxed);
-                                        }
-                                        Err(TrySendError::Disconnected(_)) => return,
+    sync_thread::spawn_named(format!("tweetgen-{}", binding.config.addr), move || {
+        let mut factory = TweetFactory::new(binding.config.instance, binding.config.seed);
+        let clock = binding.clock.clone();
+        let start = clock.now();
+        let tick = binding.config.tick;
+        let mut owed = 0.0f64;
+        let mut last = start;
+        loop {
+            if !binding.running.load(Ordering::SeqCst) {
+                break;
+            }
+            let now = clock.now();
+            let offset = now.since(start);
+            let (rate, final_tick) = match binding.config.pattern.rate_at(offset) {
+                Some(r) => (r, false),
+                None => {
+                    // pattern complete: emit what was still owed for the
+                    // span between the last tick and the pattern's end,
+                    // at the rate in effect back then (keeps totals
+                    // accurate when the generator thread lags)
+                    let end = start.plus(binding.config.pattern.total_duration());
+                    let last_offset = last.since(start);
+                    match binding.config.pattern.rate_at(last_offset) {
+                        Some(r) if end > last => {
+                            let dt = end.since(last).as_millis() as f64 / 1000.0;
+                            owed += r as f64 * dt;
+                            let to_send = owed as u64;
+                            for _ in 0..to_send {
+                                let tweet = StampedTweet {
+                                    gen_at: clock.now(),
+                                    json: factory.next_json(),
+                                };
+                                binding.generated.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
+                                match tx.try_send(tweet) {
+                                    Ok(()) => {}
+                                    Err(TrySendError::Full(_)) => {
+                                        // relaxed-ok: stat
+                                        binding.wire_drops.fetch_add(1, Ordering::Relaxed);
                                     }
+                                    Err(TrySendError::Disconnected(_)) => return,
                                 }
                             }
-                            _ => {}
                         }
-                        break;
+                        _ => {}
                     }
-                };
-                let _ = final_tick;
-                let dt = now.since(last).as_millis() as f64 / 1000.0;
-                last = now;
-                owed += rate as f64 * dt;
-                let to_send = owed as u64;
-                owed -= to_send as f64;
-                for _ in 0..to_send {
-                    let tweet = StampedTweet {
-                        gen_at: clock.now(),
-                        json: factory.next_json(),
-                    };
-                    binding.generated.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
-                    match tx.try_send(tweet) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(_)) => {
-                            // push-based source: the wire drops it
-                            binding.wire_drops.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
-                        }
-                        Err(TrySendError::Disconnected(_)) => return,
-                    }
+                    break;
                 }
-                clock.sleep(tick);
+            };
+            let _ = final_tick;
+            let dt = now.since(last).as_millis() as f64 / 1000.0;
+            last = now;
+            owed += rate as f64 * dt;
+            let to_send = owed as u64;
+            owed -= to_send as f64;
+            for _ in 0..to_send {
+                let tweet = StampedTweet {
+                    gen_at: clock.now(),
+                    json: factory.next_json(),
+                };
+                binding.generated.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
+                match tx.try_send(tweet) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // push-based source: the wire drops it
+                        binding.wire_drops.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stat
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
             }
-            // channel closes when tx drops → receiver sees end of stream
-        })
-        .expect("spawn tweetgen pusher");
+            clock.sleep(tick);
+        }
+        // channel closes when tx drops → receiver sees end of stream
+    })
+    .expect("spawn tweetgen pusher");
 }
 
 #[cfg(test)]

@@ -1,0 +1,25 @@
+//! BAD: raw thread spawns. They bypass the `common::sync::thread` facade,
+//! so the thread is unnamed in debuggers and invisible to the
+//! `sync.facade_threads` count — "how many threads does this process run"
+//! stops being answerable from a metrics snapshot.
+
+use std::thread;
+
+pub fn start_pump() {
+    thread::spawn(|| loop {
+        // drain the queue forever
+    });
+}
+
+pub fn start_named_pump() {
+    thread::Builder::new()
+        .name("pump".into())
+        .spawn(|| {})
+        .unwrap();
+}
+
+pub fn start_split_call() {
+    std::thread::spawn(
+        move || { /* work */ },
+    );
+}

@@ -1,0 +1,25 @@
+//! GOOD: threads go through the facade, which names them and counts them
+//! in `sync.facade_threads`; the rare deliberate exception carries a
+//! visible `// spawn-ok:` waiver explaining itself.
+
+use asterix_common::sync::thread as sync_thread;
+
+pub fn start_pump() {
+    sync_thread::spawn_named("queue-pump", || loop {
+        // drain the queue forever
+    })
+    .expect("spawn queue pump");
+}
+
+pub fn start_scoped_helper() {
+    // spawn-ok: scoped thread joins before return; the facade has no scoped API
+    std::thread::spawn(|| {}).join().ok();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_threads_are_exempt() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

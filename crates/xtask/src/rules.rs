@@ -42,6 +42,12 @@ pub const RULES: &[RuleInfo] = &[
         name: "forbid-unsafe",
         summary: "every crate root must carry #![forbid(unsafe_code)]",
     },
+    RuleInfo {
+        name: "raw-thread-spawn",
+        summary: "runtime code must not call std::thread::spawn/Builder directly; \
+                  use asterix_common::sync::thread::spawn_named (or a scheduler task) \
+                  so threads are named and counted, or add `// spawn-ok: <reason>`",
+    },
 ];
 
 /// One rule hit at one source line.
@@ -272,6 +278,32 @@ fn check_static_atomic(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-thread-spawn
+// ---------------------------------------------------------------------------
+
+fn check_raw_thread_spawn(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in active(file, "raw-thread-spawn") {
+        let sq = line.squished();
+        // `thread::spawn(` catches both `std::thread::spawn(` and a
+        // `use std::thread`-style call; `spawn_named` does not match because
+        // the paren must follow `spawn` directly.
+        if sq.contains("thread::spawn(") || sq.contains("thread::Builder::new(") {
+            push(
+                out,
+                "raw-thread-spawn",
+                file,
+                idx,
+                "raw std::thread spawn bypasses the sync facade — use \
+                 asterix_common::sync::thread::spawn_named (named + counted) or a \
+                 scheduler task; if a bare thread is genuinely required, annotate \
+                 with `// spawn-ok: <reason>`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: forbid-unsafe
 // ---------------------------------------------------------------------------
 
@@ -300,6 +332,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     check_guard_across_blocking(file, &mut out);
     check_relaxed_ordering(file, &mut out);
     check_static_atomic(file, &mut out);
+    check_raw_thread_spawn(file, &mut out);
     out
 }
 
@@ -368,6 +401,28 @@ mod tests {
     #[test]
     fn const_and_thread_local_atomics_are_not_statics() {
         let src = "thread_local! {\n    static TL: Cell<u64> = Cell::new(0);\n}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawn_is_caught() {
+        let src = "fn f() {\n    std::thread::spawn(move || work());\n}\n";
+        assert_eq!(rules_hit(src), vec!["raw-thread-spawn"]);
+        let src = "fn f() {\n    std::thread::Builder::new().name(\"x\".into()).spawn(f);\n}\n";
+        assert_eq!(rules_hit(src), vec!["raw-thread-spawn"]);
+    }
+
+    #[test]
+    fn facade_spawn_and_annotated_spawn_are_clean() {
+        let src = "fn f() {\n    sync_thread::spawn_named(\"w\", move || work());\n}\n";
+        assert!(rules_hit(src).is_empty());
+        let src = "fn f() {\n    std::thread::spawn(f); // spawn-ok: facade internals\n}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_in_cfg_test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(f); }\n}\n";
         assert!(rules_hit(src).is_empty());
     }
 

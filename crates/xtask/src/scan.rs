@@ -216,11 +216,15 @@ fn prev_is_ident(cs: &[char], i: usize) -> bool {
 /// Extract the rule names an annotation comment suppresses.
 ///
 /// `// lint-allow: rule-a, rule-b` suppresses the named rules;
-/// `// relaxed-ok: <reason>` is sugar for suppressing `relaxed-ordering`.
+/// `// relaxed-ok: <reason>` is sugar for suppressing `relaxed-ordering`;
+/// `// spawn-ok: <reason>` is sugar for suppressing `raw-thread-spawn`.
 fn annotation_rules(comment: &str) -> Vec<String> {
     let mut rules = Vec::new();
     if comment.contains("relaxed-ok") {
         rules.push("relaxed-ordering".to_string());
+    }
+    if comment.contains("spawn-ok") {
+        rules.push("raw-thread-spawn".to_string());
     }
     if let Some(pos) = comment.find("lint-allow:") {
         let rest = &comment[pos + "lint-allow:".len()..];

@@ -72,6 +72,15 @@ fn forbid_unsafe_flags_bad_and_passes_good() {
 }
 
 #[test]
+fn raw_thread_spawn_flags_bad_and_passes_good() {
+    let bad = run_file_rules("raw_thread_spawn", "bad");
+    // bare spawn, Builder::new, and the split-across-lines spawn: three.
+    assert_eq!(hits(&bad, "raw-thread-spawn"), 3, "bad: {bad:?}");
+    let good = run_file_rules("raw_thread_spawn", "good");
+    assert!(good.is_empty(), "good twin must be clean: {good:?}");
+}
+
+#[test]
 fn every_rule_has_a_fixture_pair() {
     for rule in RULES {
         let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
