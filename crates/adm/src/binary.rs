@@ -130,6 +130,47 @@ pub fn decode_prefix(input: &[u8]) -> IngestResult<(AdmValue, &[u8])> {
     Ok((v, &input[r.pos..]))
 }
 
+/// Zero-copy field lookup: return the encoded byte slice of `field` inside an
+/// encoded record, without materializing any `AdmValue`.
+///
+/// The scan path uses this to pull one column out of an uncompacted record:
+/// every sibling field is *skipped* (length arithmetic only, no allocation),
+/// so the cost is proportional to the record's byte length, not its value
+/// tree. Returns `Ok(None)` when the record does not carry the field, and an
+/// error when `record` is not an encoded record at all.
+pub fn record_field_slice<'a>(record: &'a [u8], field: &str) -> IngestResult<Option<&'a [u8]>> {
+    let mut r = Reader {
+        buf: record,
+        pos: 0,
+    };
+    if r.u8()? != TAG_RECORD {
+        return Err(r.err("field lookup on non-record value"));
+    }
+    let n = r.count()?;
+    for _ in 0..n {
+        let name = r.str_slice()?;
+        let start = r.pos;
+        r.skip_value()?;
+        if name == field.as_bytes() {
+            return Ok(Some(&record[start..r.pos]));
+        }
+    }
+    Ok(None)
+}
+
+/// Decode a single field out of an encoded record without decoding the rest.
+///
+/// `decode_field_at(&encode_value(&v), f)` equals `v.field(f).cloned()` for
+/// every record `v` whose first occurrence of `f` is at any position — only
+/// the requested field's value is materialized. Returns `Ok(None)` for an
+/// absent field and an error for a non-record input.
+pub fn decode_field_at(record: &[u8], field: &str) -> IngestResult<Option<AdmValue>> {
+    match record_field_slice(record, field)? {
+        Some(slice) => decode_value(slice).map(Some),
+        None => Ok(None),
+    }
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -173,6 +214,40 @@ impl<'a> Reader<'a> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    /// Raw bytes of a length-prefixed string, without UTF-8 validation or
+    /// allocation — used for name comparisons on the zero-copy scan path.
+    fn str_slice(&mut self) -> IngestResult<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Advance past one encoded value without materializing it.
+    fn skip_value(&mut self) -> IngestResult<()> {
+        match self.u8()? {
+            TAG_NULL | TAG_MISSING => Ok(()),
+            TAG_BOOLEAN => self.take(1).map(|_| ()),
+            TAG_INT | TAG_DOUBLE | TAG_DATETIME => self.take(8).map(|_| ()),
+            TAG_POINT => self.take(16).map(|_| ()),
+            TAG_STRING => self.str_slice().map(|_| ()),
+            TAG_ORDERED_LIST | TAG_UNORDERED_LIST => {
+                let n = self.count()?;
+                for _ in 0..n {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            TAG_RECORD => {
+                let n = self.count()?;
+                for _ in 0..n {
+                    self.str_slice()?;
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            _ => Err(self.err("unknown type tag")),
+        }
     }
 
     /// Guard collection counts against allocating on garbage: a count can
@@ -305,6 +380,64 @@ mod tests {
         let mut garbage = vec![TAG_ORDERED_LIST];
         garbage.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_value(&garbage).is_err());
+    }
+
+    #[test]
+    fn decode_field_at_matches_full_decode() {
+        let v = tweet();
+        let bytes = encode_value(&v);
+        let fields = match &v {
+            AdmValue::Record(fields) => fields,
+            _ => unreachable!(),
+        };
+        for (name, value) in fields {
+            assert_eq!(
+                decode_field_at(&bytes, name).unwrap().as_ref(),
+                Some(value),
+                "field {name}"
+            );
+        }
+        assert_eq!(decode_field_at(&bytes, "absent").unwrap(), None);
+    }
+
+    #[test]
+    fn decode_field_at_returns_first_occurrence_of_duplicate() {
+        let v = AdmValue::Record(vec![
+            ("a".into(), AdmValue::Int(1)),
+            ("a".into(), AdmValue::Int(2)),
+        ]);
+        let bytes = encode_value(&v);
+        assert_eq!(
+            decode_field_at(&bytes, "a").unwrap(),
+            Some(AdmValue::Int(1))
+        );
+    }
+
+    #[test]
+    fn decode_field_at_rejects_non_records_and_truncation() {
+        assert!(decode_field_at(&encode_value(&AdmValue::Int(3)), "f").is_err());
+        let bytes = encode_value(&tweet());
+        for cut in 1..bytes.len() {
+            // either a clean "absent" (cut before the field) or an error,
+            // never a panic or a bogus value
+            let _ = decode_field_at(&bytes[..cut], "score");
+        }
+        assert!(decode_field_at(&bytes[..bytes.len() - 1], "maybe").is_err());
+    }
+
+    #[test]
+    fn record_field_slice_is_a_subslice() {
+        let v = tweet();
+        let bytes = encode_value(&v);
+        let slice = record_field_slice(&bytes, "user").unwrap().unwrap();
+        assert_eq!(
+            decode_value(slice).unwrap(),
+            AdmValue::record(vec![("name", "alice".into())])
+        );
+        // zero-copy: the slice points into the original buffer
+        let base = bytes.as_ptr() as usize;
+        let p = slice.as_ptr() as usize;
+        assert!(p >= base && p + slice.len() <= base + bytes.len());
     }
 
     #[test]

@@ -1,0 +1,1091 @@
+//! Compacted (columnar-ish) block layout for sealed LSM components.
+//!
+//! A sealed component holds a batch of open ADM records. Storing each one
+//! fully self-describing repeats every field name and type tag per record —
+//! the "schema tax" the LSM-based tuple-compaction approach removes. This
+//! module is the storage half of that idea: given the rows of a component
+//! and the slot fields chosen from an [`InferredSchema`](crate::schema),
+//! [`CompactedBlock::encode`] lays the component out as
+//!
+//! * a **schema header** — slot field names, per-field encoding and lattice
+//!   stats, written once per component instead of once per record;
+//! * one **column** per slot field — values stored contiguously so a
+//!   single-field scan touches one stride of bytes;
+//! * a sparse **residual section** — fields outside the schema (and whole
+//!   non-record values), binary-encoded with the ordinary
+//!   [`binary`](crate::binary) codec;
+//! * a **shape section** — per-record field order for the rare records whose
+//!   field order deviates from canonical (slots in schema order, then
+//!   residual fields), so `materialize(row)` rebuilds every record
+//!   **bit-exactly**, duplicates and field order included.
+//!
+//! Column encodings, picked per field from what the rows actually contain:
+//!
+//! | enc | name      | layout per row                                      |
+//! |-----|-----------|-----------------------------------------------------|
+//! | 0   | tagged    | offsets + binary-codec value; empty span = absent   |
+//! | 1   | int64     | 8 bytes LE (present in all rows, uniform type)      |
+//! | 2   | double    | 8 bytes LE bits                                     |
+//! | 3   | datetime  | 8 bytes LE                                          |
+//! | 4   | boolean   | 1 byte                                              |
+//! | 5   | point     | 16 bytes LE                                         |
+//! | 6   | string    | offsets + raw UTF-8 (no tag, no length prefix)      |
+//! | 7   | record    | offsets + concatenated binary subvalues; the nested |
+//! |     |           | field-name sequence is hoisted into the header      |
+//!
+//! Encoding 7 is what pays for tweets: the nested `user` record's six field
+//! names are written once per component instead of once per record.
+//!
+//! The corresponding *uncompacted* layout is [`OpenBlock`]: one
+//! binary-codec record per row behind an offset table. Components whose
+//! schema churn defeats inference fall back to it wholesale.
+
+use crate::binary::{self, decode_field_at, decode_prefix, decode_value, encode_value};
+use crate::schema::{FieldType, InferredSchema, RecordShape, SlotType};
+use crate::value::AdmValue;
+use asterix_common::{IngestError, IngestResult};
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 4] = b"ACB1";
+/// High bit of a shape item: set = residual-field ordinal, clear = slot index.
+const RESIDUAL_BIT: u32 = 0x8000_0000;
+
+const ENC_TAGGED: u8 = 0;
+const ENC_INT: u8 = 1;
+const ENC_DOUBLE: u8 = 2;
+const ENC_DATETIME: u8 = 3;
+const ENC_BOOL: u8 = 4;
+const ENC_POINT: u8 = 5;
+const ENC_STR: u8 = 6;
+const ENC_RECORD: u8 = 7;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Encoding {
+    Tagged,
+    FixedInt,
+    FixedDouble,
+    FixedDateTime,
+    FixedBool,
+    FixedPoint,
+    Str,
+    RecFixed(Vec<String>),
+}
+
+impl Encoding {
+    fn tag(&self) -> u8 {
+        match self {
+            Encoding::Tagged => ENC_TAGGED,
+            Encoding::FixedInt => ENC_INT,
+            Encoding::FixedDouble => ENC_DOUBLE,
+            Encoding::FixedDateTime => ENC_DATETIME,
+            Encoding::FixedBool => ENC_BOOL,
+            Encoding::FixedPoint => ENC_POINT,
+            Encoding::Str => ENC_STR,
+            Encoding::RecFixed(_) => ENC_RECORD,
+        }
+    }
+
+    /// Fixed row width, or `None` for the offset-delimited encodings.
+    fn width(&self) -> Option<usize> {
+        match self {
+            Encoding::FixedInt | Encoding::FixedDouble | Encoding::FixedDateTime => Some(8),
+            Encoding::FixedBool => Some(1),
+            Encoding::FixedPoint => Some(16),
+            _ => None,
+        }
+    }
+}
+
+fn field_of<'a>(row: &'a AdmValue, name: &str) -> Option<&'a AdmValue> {
+    match row {
+        AdmValue::Record(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Pick the tightest encoding the rows allow for one slot field. Fixed and
+/// string/record encodings require the field present in *every* row with an
+/// exactly uniform value type — the encoder checks values, not the lattice,
+/// so `Int` widened to `Double` in the schema still round-trips bit-exactly
+/// (such a column stays tagged).
+fn plan_for(rows: &[&AdmValue], name: &str) -> Encoding {
+    let mut plan: Option<Encoding> = None;
+    for row in rows {
+        let v = match field_of(row, name) {
+            Some(v) => v,
+            None => return Encoding::Tagged,
+        };
+        let candidate = match v {
+            AdmValue::Int(_) => Encoding::FixedInt,
+            AdmValue::Double(_) => Encoding::FixedDouble,
+            AdmValue::DateTime(_) => Encoding::FixedDateTime,
+            AdmValue::Boolean(_) => Encoding::FixedBool,
+            AdmValue::Point(_, _) => Encoding::FixedPoint,
+            AdmValue::String(_) => Encoding::Str,
+            AdmValue::Record(sub) => {
+                Encoding::RecFixed(sub.iter().map(|(n, _)| n.clone()).collect())
+            }
+            _ => return Encoding::Tagged,
+        };
+        match &plan {
+            None => plan = Some(candidate),
+            Some(p) if *p == candidate => {}
+            _ => return Encoding::Tagged,
+        }
+    }
+    plan.unwrap_or(Encoding::Tagged)
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn ty_byte(ty: FieldType) -> u8 {
+    match ty {
+        FieldType::Stable(SlotType::Boolean) => 0,
+        FieldType::Stable(SlotType::Int) => 1,
+        FieldType::Stable(SlotType::Double) => 2,
+        FieldType::Stable(SlotType::String) => 3,
+        FieldType::Stable(SlotType::Point) => 4,
+        FieldType::Stable(SlotType::DateTime) => 5,
+        FieldType::Stable(SlotType::OrderedList) => 6,
+        FieldType::Stable(SlotType::UnorderedList) => 7,
+        FieldType::Stable(SlotType::Record) => 8,
+        FieldType::Mixed => 9,
+        FieldType::Empty => 10,
+    }
+}
+
+fn ty_from_byte(b: u8) -> IngestResult<FieldType> {
+    Ok(match b {
+        0 => FieldType::Stable(SlotType::Boolean),
+        1 => FieldType::Stable(SlotType::Int),
+        2 => FieldType::Stable(SlotType::Double),
+        3 => FieldType::Stable(SlotType::String),
+        4 => FieldType::Stable(SlotType::Point),
+        5 => FieldType::Stable(SlotType::DateTime),
+        6 => FieldType::Stable(SlotType::OrderedList),
+        7 => FieldType::Stable(SlotType::UnorderedList),
+        8 => FieldType::Stable(SlotType::Record),
+        9 => FieldType::Mixed,
+        10 => FieldType::Empty,
+        other => {
+            return Err(IngestError::Parse(format!(
+                "compacted block: unknown field type byte {other}"
+            )))
+        }
+    })
+}
+
+#[derive(Debug, Clone)]
+struct FieldMeta {
+    name: String,
+    encoding: Encoding,
+    ty: FieldType,
+    present: u64,
+    nulls: u64,
+    /// Var-width columns: byte position of the `(records + 1)` offset words.
+    offsets_pos: usize,
+    data_pos: usize,
+    data_len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ResidualMeta {
+    row: u32,
+    /// `true`: payload is the whole (non-record) row value; `false`: payload
+    /// is a record of the row's leftover (non-slot) fields in row order.
+    whole: bool,
+    start: usize,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ShapeMeta {
+    row: u32,
+    items: Vec<u32>,
+}
+
+/// A component encoded in the compacted, schema-headed columnar layout.
+///
+/// Holds the flat byte image plus parsed section offsets, so per-field and
+/// per-row accessors are slice arithmetic + leaf decode only.
+#[derive(Debug, Clone)]
+pub struct CompactedBlock {
+    bytes: Vec<u8>,
+    records: u32,
+    total_items: u64,
+    opaque_rows: u32,
+    fields: Vec<FieldMeta>,
+    residual: Vec<ResidualMeta>,
+    shapes: Vec<ShapeMeta>,
+}
+
+impl CompactedBlock {
+    /// Encode `rows` (key order of the component) against the chosen `slots`
+    /// (subset of `schema`'s fields). The schema's stats ride along in the
+    /// header so merges can widen without re-reading every input record.
+    pub fn encode(rows: &[&AdmValue], schema: &InferredSchema, slots: &[String]) -> CompactedBlock {
+        let plans: Vec<Encoding> = slots.iter().map(|s| plan_for(rows, s)).collect();
+        let slot_index: HashMap<&str, u32> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i as u32))
+            .collect();
+
+        // --- column payloads -------------------------------------------------
+        let mut columns: Vec<(Option<Vec<u32>>, Vec<u8>)> = Vec::with_capacity(slots.len());
+        for (slot, plan) in slots.iter().zip(&plans) {
+            let mut data = Vec::new();
+            match plan {
+                Encoding::Tagged => {
+                    let mut offsets = Vec::with_capacity(rows.len() + 1);
+                    offsets.push(0u32);
+                    for row in rows {
+                        if let Some(v) = field_of(row, slot) {
+                            binary::encode_into(v, &mut data);
+                        }
+                        offsets.push(data.len() as u32);
+                    }
+                    columns.push((Some(offsets), data));
+                }
+                Encoding::Str => {
+                    let mut offsets = Vec::with_capacity(rows.len() + 1);
+                    offsets.push(0u32);
+                    for row in rows {
+                        match field_of(row, slot) {
+                            Some(AdmValue::String(s)) => data.extend_from_slice(s.as_bytes()),
+                            _ => unreachable!("str column planned over non-uniform rows"),
+                        }
+                        offsets.push(data.len() as u32);
+                    }
+                    columns.push((Some(offsets), data));
+                }
+                Encoding::RecFixed(_) => {
+                    let mut offsets = Vec::with_capacity(rows.len() + 1);
+                    offsets.push(0u32);
+                    for row in rows {
+                        match field_of(row, slot) {
+                            Some(AdmValue::Record(sub)) => {
+                                for (_, sv) in sub {
+                                    binary::encode_into(sv, &mut data);
+                                }
+                            }
+                            _ => unreachable!("record column planned over non-uniform rows"),
+                        }
+                        offsets.push(data.len() as u32);
+                    }
+                    columns.push((Some(offsets), data));
+                }
+                fixed => {
+                    for row in rows {
+                        match (fixed, field_of(row, slot)) {
+                            (Encoding::FixedInt, Some(AdmValue::Int(i))) => {
+                                data.extend_from_slice(&i.to_le_bytes())
+                            }
+                            (Encoding::FixedDouble, Some(AdmValue::Double(d))) => {
+                                data.extend_from_slice(&d.to_bits().to_le_bytes())
+                            }
+                            (Encoding::FixedDateTime, Some(AdmValue::DateTime(ms))) => {
+                                data.extend_from_slice(&ms.to_le_bytes())
+                            }
+                            (Encoding::FixedBool, Some(AdmValue::Boolean(b))) => {
+                                data.push(*b as u8)
+                            }
+                            (Encoding::FixedPoint, Some(AdmValue::Point(x, y))) => {
+                                data.extend_from_slice(&x.to_bits().to_le_bytes());
+                                data.extend_from_slice(&y.to_bits().to_le_bytes());
+                            }
+                            _ => unreachable!("fixed column planned over non-uniform rows"),
+                        }
+                    }
+                    columns.push((None, data));
+                }
+            }
+        }
+
+        // --- residual + shape ------------------------------------------------
+        let mut residual: Vec<(u32, u8, Vec<u8>)> = Vec::new();
+        let mut shapes: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (ri, row) in rows.iter().enumerate() {
+            let ri = ri as u32;
+            let fields = match row {
+                AdmValue::Record(fields) => fields,
+                other => {
+                    residual.push((ri, 1, encode_value(other)));
+                    continue;
+                }
+            };
+            let mut items = Vec::with_capacity(fields.len());
+            let mut leftovers: Vec<(String, AdmValue)> = Vec::new();
+            let mut slotted: Vec<u32> = Vec::new();
+            for (name, value) in fields {
+                match slot_index.get(name.as_str()) {
+                    Some(&si) if !slotted.contains(&si) => {
+                        slotted.push(si);
+                        items.push(si);
+                    }
+                    _ => {
+                        items.push(RESIDUAL_BIT | leftovers.len() as u32);
+                        leftovers.push((name.clone(), value.clone()));
+                    }
+                }
+            }
+            if !leftovers.is_empty() {
+                residual.push((ri, 0, encode_value(&AdmValue::Record(leftovers))));
+            }
+            if !canonical_order(&items) {
+                shapes.push((ri, items));
+            }
+        }
+
+        // --- assemble --------------------------------------------------------
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        push_u32(&mut bytes, rows.len() as u32);
+        push_u64(&mut bytes, schema.total_items);
+        push_u32(&mut bytes, schema.opaque_rows as u32);
+        push_u32(&mut bytes, slots.len() as u32);
+        for (slot, plan) in slots.iter().zip(&plans) {
+            push_str(&mut bytes, slot);
+            bytes.push(plan.tag());
+            let stats = schema.fields.iter().find(|f| &f.name == slot);
+            let (ty, present, nulls) = match stats {
+                Some(f) => (f.ty, f.present, f.nulls),
+                None => (FieldType::Empty, 0, 0),
+            };
+            bytes.push(ty_byte(ty));
+            push_u32(&mut bytes, present as u32);
+            push_u32(&mut bytes, nulls as u32);
+            if let Encoding::RecFixed(sub) = plan {
+                push_u32(&mut bytes, sub.len() as u32);
+                for name in sub {
+                    push_str(&mut bytes, name);
+                }
+            }
+        }
+        for (offsets, data) in &columns {
+            if let Some(offsets) = offsets {
+                for o in offsets {
+                    push_u32(&mut bytes, *o);
+                }
+                push_u32(&mut bytes, data.len() as u32);
+            }
+            bytes.extend_from_slice(data);
+        }
+        push_u32(&mut bytes, residual.len() as u32);
+        for (row, kind, payload) in &residual {
+            push_u32(&mut bytes, *row);
+            bytes.push(*kind);
+            push_u32(&mut bytes, payload.len() as u32);
+            bytes.extend_from_slice(payload);
+        }
+        push_u32(&mut bytes, shapes.len() as u32);
+        for (row, items) in &shapes {
+            push_u32(&mut bytes, *row);
+            push_u32(&mut bytes, items.len() as u32);
+            for it in items {
+                push_u32(&mut bytes, *it);
+            }
+        }
+
+        CompactedBlock::from_bytes(bytes).expect("freshly encoded compacted block must parse back")
+    }
+
+    /// Parse a compacted block from its byte image, validating section
+    /// structure (magic, offset monotonicity, spans in bounds).
+    pub fn from_bytes(bytes: Vec<u8>) -> IngestResult<CompactedBlock> {
+        let mut c = Cursor {
+            buf: &bytes,
+            pos: 0,
+        };
+        if c.take(4)? != MAGIC {
+            return Err(IngestError::Parse("compacted block: bad magic".into()));
+        }
+        let records = c.u32()?;
+        let total_items = c.u64()?;
+        let opaque_rows = c.u32()?;
+        let field_count = c.u32()? as usize;
+        if field_count > bytes.len() {
+            return Err(IngestError::Parse(
+                "compacted block: field count exceeds input".into(),
+            ));
+        }
+        let mut fields = Vec::with_capacity(field_count);
+        for _ in 0..field_count {
+            let name = c.string()?;
+            let enc_tag = c.u8()?;
+            let ty = ty_from_byte(c.u8()?)?;
+            let present = c.u32()? as u64;
+            let nulls = c.u32()? as u64;
+            let encoding = match enc_tag {
+                ENC_TAGGED => Encoding::Tagged,
+                ENC_INT => Encoding::FixedInt,
+                ENC_DOUBLE => Encoding::FixedDouble,
+                ENC_DATETIME => Encoding::FixedDateTime,
+                ENC_BOOL => Encoding::FixedBool,
+                ENC_POINT => Encoding::FixedPoint,
+                ENC_STR => Encoding::Str,
+                ENC_RECORD => {
+                    let n = c.u32()? as usize;
+                    if n > bytes.len() {
+                        return Err(IngestError::Parse(
+                            "compacted block: subfield count exceeds input".into(),
+                        ));
+                    }
+                    let mut sub = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        sub.push(c.string()?);
+                    }
+                    Encoding::RecFixed(sub)
+                }
+                other => {
+                    return Err(IngestError::Parse(format!(
+                        "compacted block: unknown encoding tag {other}"
+                    )))
+                }
+            };
+            fields.push(FieldMeta {
+                name,
+                encoding,
+                ty,
+                present,
+                nulls,
+                offsets_pos: 0,
+                data_pos: 0,
+                data_len: 0,
+            });
+        }
+        for meta in &mut fields {
+            match meta.encoding.width() {
+                Some(w) => {
+                    meta.data_pos = c.pos;
+                    meta.data_len = w * records as usize;
+                    c.take(meta.data_len)?;
+                }
+                None => {
+                    meta.offsets_pos = c.pos;
+                    c.take(4 * (records as usize + 1))?;
+                    let data_len = c.u32()? as usize;
+                    meta.data_pos = c.pos;
+                    meta.data_len = data_len;
+                    c.take(data_len)?;
+                    let last = read_u32_at(&bytes, meta.offsets_pos + 4 * records as usize);
+                    if last as usize != data_len {
+                        return Err(IngestError::Parse(
+                            "compacted block: offset table does not cover column data".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        let residual_count = c.u32()? as usize;
+        if residual_count > bytes.len() {
+            return Err(IngestError::Parse(
+                "compacted block: residual count exceeds input".into(),
+            ));
+        }
+        let mut residual = Vec::with_capacity(residual_count);
+        for _ in 0..residual_count {
+            let row = c.u32()?;
+            let kind = c.u8()?;
+            let len = c.u32()? as usize;
+            let start = c.pos;
+            c.take(len)?;
+            if row >= records || kind > 1 {
+                return Err(IngestError::Parse(
+                    "compacted block: bad residual entry".into(),
+                ));
+            }
+            if let Some(prev) = residual.last() {
+                let prev: &ResidualMeta = prev;
+                if prev.row >= row {
+                    return Err(IngestError::Parse(
+                        "compacted block: residual rows not ascending".into(),
+                    ));
+                }
+            }
+            residual.push(ResidualMeta {
+                row,
+                whole: kind == 1,
+                start,
+                len,
+            });
+        }
+        let shape_count = c.u32()? as usize;
+        if shape_count > bytes.len() {
+            return Err(IngestError::Parse(
+                "compacted block: shape count exceeds input".into(),
+            ));
+        }
+        let mut shapes: Vec<ShapeMeta> = Vec::with_capacity(shape_count);
+        for _ in 0..shape_count {
+            let row = c.u32()?;
+            let n = c.u32()? as usize;
+            if n > bytes.len() || row >= records {
+                return Err(IngestError::Parse(
+                    "compacted block: bad shape entry".into(),
+                ));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(c.u32()?);
+            }
+            if let Some(prev) = shapes.last() {
+                if prev.row >= row {
+                    return Err(IngestError::Parse(
+                        "compacted block: shape rows not ascending".into(),
+                    ));
+                }
+            }
+            shapes.push(ShapeMeta { row, items });
+        }
+        if c.pos != bytes.len() {
+            return Err(IngestError::Parse(format!(
+                "compacted block: {} trailing bytes",
+                bytes.len() - c.pos
+            )));
+        }
+        Ok(CompactedBlock {
+            bytes,
+            records,
+            total_items,
+            opaque_rows,
+            fields,
+            residual,
+            shapes,
+        })
+    }
+
+    /// Number of records in the block.
+    pub fn records(&self) -> usize {
+        self.records as usize
+    }
+
+    /// Size of the encoded image — the disk-equivalent component footprint.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The raw encoded image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Slot field names in schema order.
+    pub fn slot_names(&self) -> Vec<String> {
+        self.fields.iter().map(|f| f.name.clone()).collect()
+    }
+
+    /// Number of residual entries (rows carrying open fields or opaque
+    /// values) — the block's realized churn.
+    pub fn residual_entries(&self) -> usize {
+        self.residual.len()
+    }
+
+    /// Reconstruct the slot-field half of the inferred schema from the
+    /// header (stats for residual-only fields are not stored).
+    pub fn schema(&self) -> InferredSchema {
+        InferredSchema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| crate::schema::FieldStats {
+                    name: f.name.clone(),
+                    present: f.present,
+                    nulls: f.nulls,
+                    ty: f.ty,
+                    shape: match &f.encoding {
+                        Encoding::RecFixed(sub) => RecordShape::Uniform(sub.clone()),
+                        _ => RecordShape::Unseen,
+                    },
+                })
+                .collect(),
+            records: self.records as u64,
+            opaque_rows: self.opaque_rows as u64,
+            total_items: self.total_items,
+        }
+    }
+
+    fn residual_for(&self, row: u32) -> Option<&ResidualMeta> {
+        self.residual
+            .binary_search_by(|m| m.row.cmp(&row))
+            .ok()
+            .map(|i| &self.residual[i])
+    }
+
+    fn shape_for(&self, row: u32) -> Option<&ShapeMeta> {
+        self.shapes
+            .binary_search_by(|m| m.row.cmp(&row))
+            .ok()
+            .map(|i| &self.shapes[i])
+    }
+
+    fn residual_value(&self, meta: &ResidualMeta) -> Option<AdmValue> {
+        decode_value(&self.bytes[meta.start..meta.start + meta.len]).ok()
+    }
+
+    /// Decode one column cell. `None` = field absent in that row.
+    fn column_value(&self, fi: usize, row: usize) -> Option<AdmValue> {
+        let meta = &self.fields[fi];
+        match &meta.encoding {
+            Encoding::Tagged | Encoding::Str | Encoding::RecFixed(_) => {
+                let start = read_u32_at(&self.bytes, meta.offsets_pos + 4 * row) as usize;
+                let end = read_u32_at(&self.bytes, meta.offsets_pos + 4 * (row + 1)) as usize;
+                let slice = &self.bytes[meta.data_pos + start..meta.data_pos + end];
+                match &meta.encoding {
+                    Encoding::Tagged => {
+                        if slice.is_empty() {
+                            None
+                        } else {
+                            decode_value(slice).ok()
+                        }
+                    }
+                    Encoding::Str => std::str::from_utf8(slice)
+                        .ok()
+                        .map(|s| AdmValue::String(s.to_string())),
+                    Encoding::RecFixed(sub) => {
+                        let mut rest = slice;
+                        let mut fields = Vec::with_capacity(sub.len());
+                        for name in sub {
+                            let (v, r) = decode_prefix(rest).ok()?;
+                            fields.push((name.clone(), v));
+                            rest = r;
+                        }
+                        if rest.is_empty() {
+                            Some(AdmValue::Record(fields))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            fixed => {
+                let w = fixed.width().expect("fixed encoding has a width");
+                let at = meta.data_pos + w * row;
+                let slice = &self.bytes[at..at + w];
+                Some(match fixed {
+                    Encoding::FixedInt => AdmValue::Int(i64::from_le_bytes(
+                        slice.try_into().expect("8-byte int cell"),
+                    )),
+                    Encoding::FixedDouble => AdmValue::Double(f64::from_bits(u64::from_le_bytes(
+                        slice.try_into().expect("8-byte double cell"),
+                    ))),
+                    Encoding::FixedDateTime => AdmValue::DateTime(i64::from_le_bytes(
+                        slice.try_into().expect("8-byte datetime cell"),
+                    )),
+                    Encoding::FixedBool => AdmValue::Boolean(slice[0] != 0),
+                    Encoding::FixedPoint => AdmValue::Point(
+                        f64::from_bits(u64::from_le_bytes(slice[..8].try_into().expect("point x"))),
+                        f64::from_bits(u64::from_le_bytes(slice[8..].try_into().expect("point y"))),
+                    ),
+                    _ => unreachable!(),
+                })
+            }
+        }
+    }
+
+    /// Lazily materialize one field of one row — the vectorized scan
+    /// primitive. Slot fields cost one column-cell decode; open fields fall
+    /// back to the row's residual record. `None` = absent.
+    pub fn field_value(&self, row: usize, name: &str) -> Option<AdmValue> {
+        if row >= self.records as usize {
+            return None;
+        }
+        if let Some(meta) = self.residual_for(row as u32) {
+            if meta.whole {
+                return match self.residual_value(meta)? {
+                    AdmValue::Record(fields) => {
+                        fields.into_iter().find(|(n, _)| n == name).map(|(_, v)| v)
+                    }
+                    _ => None,
+                };
+            }
+        }
+        if let Some(fi) = self.fields.iter().position(|f| f.name == name) {
+            // a slot field's first occurrence always lives in the column, so
+            // an empty cell means the row genuinely lacks the field
+            return self.column_value(fi, row);
+        }
+        let meta = self.residual_for(row as u32)?;
+        match self.residual_value(meta)? {
+            AdmValue::Record(fields) => fields.into_iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Rebuild the full record for `row`, bit-exactly equal to the value the
+    /// component was sealed with (field order and duplicates included).
+    pub fn materialize(&self, row: usize) -> Option<AdmValue> {
+        if row >= self.records as usize {
+            return None;
+        }
+        let residual = self.residual_for(row as u32);
+        if let Some(meta) = residual {
+            if meta.whole {
+                return self.residual_value(meta);
+            }
+        }
+        let leftovers: Vec<(String, AdmValue)> = match residual {
+            Some(meta) => match self.residual_value(meta)? {
+                AdmValue::Record(fields) => fields,
+                _ => return None,
+            },
+            None => Vec::new(),
+        };
+        if let Some(shape) = self.shape_for(row as u32) {
+            let mut fields = Vec::with_capacity(shape.items.len());
+            let mut leftovers = leftovers.into_iter();
+            for &item in &shape.items {
+                if item & RESIDUAL_BIT != 0 {
+                    fields.push(leftovers.next()?);
+                } else {
+                    let fi = item as usize;
+                    let v = self.column_value(fi, row)?;
+                    fields.push((self.fields[fi].name.clone(), v));
+                }
+            }
+            return Some(AdmValue::Record(fields));
+        }
+        let mut fields = Vec::new();
+        for fi in 0..self.fields.len() {
+            if let Some(v) = self.column_value(fi, row) {
+                fields.push((self.fields[fi].name.clone(), v));
+            }
+        }
+        fields.extend(leftovers);
+        Some(AdmValue::Record(fields))
+    }
+}
+
+/// Canonical row order: slotted fields in ascending slot order, then all
+/// residual fields. Rows in canonical order need no shape entry.
+fn canonical_order(items: &[u32]) -> bool {
+    let mut last_slot: Option<u32> = None;
+    let mut seen_residual = false;
+    for &it in items {
+        if it & RESIDUAL_BIT != 0 {
+            seen_residual = true;
+        } else {
+            if seen_residual {
+                return false;
+            }
+            if let Some(ls) = last_slot {
+                if it <= ls {
+                    return false;
+                }
+            }
+            last_slot = Some(it);
+        }
+    }
+    true
+}
+
+fn read_u32_at(bytes: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("u32 in bounds"))
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: &str) -> IngestError {
+        IngestError::Parse(format!("compacted block: {msg} at byte {}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> IngestResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.err("truncated input"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> IngestResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> IngestResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> IngestResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> IngestResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8"))
+    }
+}
+
+/// The uncompacted fallback layout: one binary-codec record per row behind
+/// an offset table. Used verbatim for components whose schema churn defeats
+/// inference, and as the baseline in size/throughput comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct OpenBlock {
+    offsets: Vec<u32>,
+    data: Vec<u8>,
+}
+
+impl OpenBlock {
+    /// Encode `rows` self-describing, in order.
+    pub fn encode(rows: &[&AdmValue]) -> OpenBlock {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0u32);
+        let mut data = Vec::new();
+        for row in rows {
+            binary::encode_into(row, &mut data);
+            offsets.push(data.len() as u32);
+        }
+        OpenBlock { offsets, data }
+    }
+
+    /// Number of records in the block.
+    pub fn records(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Disk-equivalent footprint: record bytes plus the offset table.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() + 4 * self.offsets.len()
+    }
+
+    /// The encoded bytes of one record.
+    pub fn record_slice(&self, row: usize) -> Option<&[u8]> {
+        let start = *self.offsets.get(row)? as usize;
+        let end = *self.offsets.get(row + 1)? as usize;
+        self.data.get(start..end)
+    }
+
+    /// Decode one field of one row via the zero-copy skip decoder.
+    pub fn field_value(&self, row: usize, name: &str) -> Option<AdmValue> {
+        decode_field_at(self.record_slice(row)?, name)
+            .ok()
+            .flatten()
+    }
+
+    /// Decode the whole record for `row`.
+    pub fn materialize(&self, row: usize) -> Option<AdmValue> {
+        decode_value(self.record_slice(row)?).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn rec(fields: Vec<(&str, AdmValue)>) -> AdmValue {
+        AdmValue::Record(
+            fields
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+        )
+    }
+
+    fn tweet(i: i64) -> AdmValue {
+        rec(vec![
+            ("id", AdmValue::String(format!("t-{i}"))),
+            (
+                "user",
+                rec(vec![
+                    ("screen_name", AdmValue::String(format!("u{i}"))),
+                    ("lang", "en".into()),
+                    ("friends_count", AdmValue::Int(i * 3)),
+                ]),
+            ),
+            ("latitude", AdmValue::Double(i as f64 * 0.5)),
+            ("retweets", AdmValue::Int(i)),
+            ("verified", AdmValue::Boolean(i % 2 == 0)),
+            ("where", AdmValue::Point(i as f64, -(i as f64))),
+            ("at", AdmValue::DateTime(1_400_000_000_000 + i)),
+            ("message_text", AdmValue::String(format!("hello #{i}"))),
+        ])
+    }
+
+    fn encode_rows(rows: &[AdmValue], min_presence: f64) -> CompactedBlock {
+        let mut b = SchemaBuilder::new();
+        for r in rows {
+            b.observe(r);
+        }
+        let schema = b.finish();
+        let slots = schema.slot_fields(min_presence);
+        let refs: Vec<&AdmValue> = rows.iter().collect();
+        CompactedBlock::encode(&refs, &schema, &slots)
+    }
+
+    #[test]
+    fn uniform_tweets_round_trip_and_use_fixed_columns() {
+        let rows: Vec<AdmValue> = (0..50).map(tweet).collect();
+        let block = encode_rows(&rows, 0.5);
+        assert_eq!(block.records(), 50);
+        assert_eq!(block.residual_entries(), 0);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(block.materialize(i).as_ref(), Some(row), "row {i}");
+        }
+        // nested user names hoisted: encoding tag for `user` is RecFixed
+        let user = block
+            .fields
+            .iter()
+            .find(|f| f.name == "user")
+            .expect("user slot");
+        assert!(matches!(user.encoding, Encoding::RecFixed(_)));
+        // and the fixed columns really are fixed
+        for (name, want) in [
+            ("retweets", ENC_INT),
+            ("latitude", ENC_DOUBLE),
+            ("verified", ENC_BOOL),
+            ("where", ENC_POINT),
+            ("at", ENC_DATETIME),
+            ("message_text", ENC_STR),
+        ] {
+            let f = block.fields.iter().find(|f| f.name == name).expect(name);
+            assert_eq!(f.encoding.tag(), want, "{name}");
+        }
+    }
+
+    #[test]
+    fn compacted_is_smaller_than_open_for_uniform_records() {
+        let rows: Vec<AdmValue> = (0..200).map(tweet).collect();
+        let refs: Vec<&AdmValue> = rows.iter().collect();
+        let open = OpenBlock::encode(&refs);
+        let block = encode_rows(&rows, 0.5);
+        assert!(
+            (block.size_bytes() as f64) * 1.5 < open.size_bytes() as f64,
+            "compacted {} vs open {}",
+            block.size_bytes(),
+            open.size_bytes()
+        );
+    }
+
+    #[test]
+    fn field_value_agrees_with_materialize() {
+        let mut rows: Vec<AdmValue> = (0..20).map(tweet).collect();
+        rows[7].set_field("extra", AdmValue::Int(99));
+        rows[9] = AdmValue::Int(5); // opaque row
+        let block = encode_rows(&rows, 0.5);
+        for (i, row) in rows.iter().enumerate() {
+            for name in ["id", "user", "retweets", "extra", "absent", "message_text"] {
+                assert_eq!(
+                    block.field_value(i, name),
+                    field_of(row, name).cloned(),
+                    "row {i} field {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_fields_and_odd_order_round_trip_exactly() {
+        let rows = vec![
+            rec(vec![("a", AdmValue::Int(1)), ("b", "x".into())]),
+            // extra open field between slots
+            rec(vec![
+                ("a", AdmValue::Int(2)),
+                ("weird", AdmValue::Null),
+                ("b", "y".into()),
+            ]),
+            // slots out of order
+            rec(vec![("b", "z".into()), ("a", AdmValue::Int(3))]),
+            // duplicate slot name: first occurrence slots, second residual
+            AdmValue::Record(vec![
+                ("a".into(), AdmValue::Int(4)),
+                ("a".into(), AdmValue::Int(5)),
+                ("b".into(), "w".into()),
+            ]),
+            // opaque non-record row
+            AdmValue::OrderedList(vec![AdmValue::Int(6)]),
+        ];
+        let block = encode_rows(&rows, 0.5);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(block.materialize(i).as_ref(), Some(row), "row {i}");
+        }
+        assert!(block.residual_entries() >= 3);
+    }
+
+    #[test]
+    fn byte_image_round_trips_through_from_bytes() {
+        let mut rows: Vec<AdmValue> = (0..30).map(tweet).collect();
+        rows[11].set_field("open1", "o".into());
+        let block = encode_rows(&rows, 0.5);
+        let reparsed = CompactedBlock::from_bytes(block.as_bytes().to_vec()).expect("reparse");
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(reparsed.materialize(i).as_ref(), Some(row), "row {i}");
+        }
+        assert_eq!(reparsed.schema(), block.schema());
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation_without_panicking() {
+        let rows: Vec<AdmValue> = (0..5).map(tweet).collect();
+        let block = encode_rows(&rows, 0.5);
+        let bytes = block.as_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                CompactedBlock::from_bytes(bytes[..cut].to_vec()).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn int_widened_to_double_stays_tagged_and_bit_exact() {
+        let rows = vec![
+            rec(vec![("n", AdmValue::Int(1))]),
+            rec(vec![("n", AdmValue::Double(2.5))]),
+            rec(vec![("n", AdmValue::Int(3))]),
+        ];
+        let block = encode_rows(&rows, 0.5);
+        assert_eq!(block.fields[0].encoding, Encoding::Tagged);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(block.materialize(i).as_ref(), Some(row));
+        }
+    }
+
+    #[test]
+    fn open_block_round_trips_and_serves_fields() {
+        let rows: Vec<AdmValue> = (0..10).map(tweet).collect();
+        let refs: Vec<&AdmValue> = rows.iter().collect();
+        let open = OpenBlock::encode(&refs);
+        assert_eq!(open.records(), 10);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(open.materialize(i).as_ref(), Some(row));
+            assert_eq!(
+                open.field_value(i, "id"),
+                field_of(row, "id").cloned(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_component_encodes_and_decodes() {
+        let block = encode_rows(&[], 0.5);
+        assert_eq!(block.records(), 0);
+        assert!(block.materialize(0).is_none());
+        let open = OpenBlock::encode(&[]);
+        assert_eq!(open.records(), 0);
+    }
+}

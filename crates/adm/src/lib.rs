@@ -22,6 +22,11 @@
 //! * [`binary`] — a compact length-prefixed binary codec (`AdmValue` ↔
 //!   bytes), the analogue of AsterixDB's binary ADM format, used by the
 //!   write-ahead log and external-system glue;
+//! * [`schema`] — single-pass schema inference over open records (per-field
+//!   type lattice with counts), feeding the compacted storage layout;
+//! * [`compact`] — the compacted columnar-ish component codec (schema
+//!   header + per-field columns + sparse residual), plus the uncompacted
+//!   [`compact::OpenBlock`] fallback;
 //! * [`payload`] — typed access to the shared lazy parse cache carried by
 //!   every [`asterix_common::RecordPayload`], the heart of the parse-once
 //!   ingestion pipeline;
@@ -31,17 +36,21 @@
 //!   records across a dataset's nodegroup.
 
 pub mod binary;
+pub mod compact;
 pub mod functions;
 pub mod hash;
 pub mod parse;
 pub mod payload;
 pub mod print;
+pub mod schema;
 pub mod types;
 pub mod value;
 
-pub use binary::{decode_value, encode_value};
+pub use binary::{decode_field_at, decode_value, encode_value, record_field_slice};
+pub use compact::{CompactedBlock, OpenBlock};
 pub use parse::{parse_calls, parse_value};
 pub use payload::{payload_from_value, AdmPayloadExt};
 pub use print::to_adm_string;
+pub use schema::{InferredSchema, SchemaBuilder};
 pub use types::{AdmType, Field, RecordType, TypeRegistry};
 pub use value::AdmValue;

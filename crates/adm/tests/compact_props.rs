@@ -1,0 +1,181 @@
+//! Property tests for the compacted component codec: encode/decode
+//! round-trips arbitrary open ADM records bit-exactly, agrees with the
+//! uncompacted [`OpenBlock`] layout row for row, and the zero-copy field
+//! decoder matches full-record field access.
+
+use asterix_adm::compact::{CompactedBlock, OpenBlock};
+use asterix_adm::schema::SchemaBuilder;
+use asterix_adm::{decode_field_at, encode_value, AdmValue};
+use proptest::prelude::*;
+
+/// Arbitrary ADM values with finite doubles (NaN breaks `PartialEq`-based
+/// bit-exactness assertions; the codec itself is bits-through).
+fn adm_value() -> impl Strategy<Value = AdmValue> {
+    let leaf = prop_oneof![
+        Just(AdmValue::Null),
+        Just(AdmValue::Missing),
+        any::<bool>().prop_map(AdmValue::Boolean),
+        any::<i64>().prop_map(AdmValue::Int),
+        prop::num::f64::NORMAL.prop_map(AdmValue::Double),
+        Just(AdmValue::Double(0.0)),
+        "[a-zA-Z0-9 #@_]{0,16}".prop_map(AdmValue::String),
+        (prop::num::f64::NORMAL, prop::num::f64::NORMAL).prop_map(|(x, y)| AdmValue::Point(x, y)),
+        any::<i64>().prop_map(AdmValue::DateTime),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(AdmValue::OrderedList),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(AdmValue::UnorderedList),
+            prop::collection::vec(("[a-f_]{1,4}", inner), 0..5).prop_map(|fields| {
+                let mut seen = std::collections::HashSet::new();
+                AdmValue::Record(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+/// Component rows: mostly records (drawn from a small field-name alphabet so
+/// rows share a partial schema), with arbitrary values — including opaque
+/// non-record rows — mixed in.
+fn component_rows() -> impl Strategy<Value = Vec<AdmValue>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => prop::collection::vec(("[a-f]{1,3}", adm_value()), 0..6).prop_map(|fields| {
+                let mut seen = std::collections::HashSet::new();
+                AdmValue::Record(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+            1 => adm_value(),
+        ],
+        0..32,
+    )
+}
+
+fn compacted(rows: &[AdmValue], min_presence: f64) -> CompactedBlock {
+    let mut b = SchemaBuilder::new();
+    for r in rows {
+        b.observe(r);
+    }
+    let schema = b.finish();
+    let slots = schema.slot_fields(min_presence);
+    let refs: Vec<&AdmValue> = rows.iter().collect();
+    CompactedBlock::encode(&refs, &schema, &slots)
+}
+
+proptest! {
+    #[test]
+    fn compacted_round_trips_bit_exactly(rows in component_rows(), minp in 0u8..=10) {
+        let block = compacted(&rows, f64::from(minp) / 10.0);
+        prop_assert_eq!(block.records(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let got = block.materialize(i);
+            prop_assert_eq!(got.as_ref(), Some(row), "row {}", i);
+        }
+    }
+
+    #[test]
+    fn compacted_agrees_with_open_layout(rows in component_rows()) {
+        let refs: Vec<&AdmValue> = rows.iter().collect();
+        let open = OpenBlock::encode(&refs);
+        let block = compacted(&rows, 0.5);
+        prop_assert_eq!(open.records(), block.records());
+        for i in 0..rows.len() {
+            prop_assert_eq!(block.materialize(i), open.materialize(i), "row {}", i);
+        }
+    }
+
+    #[test]
+    fn field_access_matches_across_layouts(rows in component_rows()) {
+        let refs: Vec<&AdmValue> = rows.iter().collect();
+        let open = OpenBlock::encode(&refs);
+        let block = compacted(&rows, 0.5);
+        // every name observed anywhere, plus one certainly-absent name
+        let mut names: Vec<String> = rows
+            .iter()
+            .filter_map(|r| match r {
+                AdmValue::Record(fields) => {
+                    Some(fields.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>())
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        names.push("zz_absent".to_string());
+        names.sort();
+        names.dedup();
+        for (i, row) in rows.iter().enumerate() {
+            for name in &names {
+                let want = match row {
+                    AdmValue::Record(fields) => fields
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v.clone()),
+                    _ => None,
+                };
+                prop_assert_eq!(
+                    block.field_value(i, name),
+                    want.clone(),
+                    "compacted row {} field {}",
+                    i,
+                    name
+                );
+                prop_assert_eq!(open.field_value(i, name), want, "open row {} field {}", i, name);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_image_reparses_identically(rows in component_rows()) {
+        let block = compacted(&rows, 0.5);
+        let reparsed = CompactedBlock::from_bytes(block.as_bytes().to_vec())
+            .expect("own image must reparse");
+        for (i, row) in rows.iter().enumerate() {
+            let got = reparsed.materialize(i);
+            prop_assert_eq!(got.as_ref(), Some(row), "row {}", i);
+        }
+        prop_assert_eq!(reparsed.schema(), block.schema());
+    }
+
+    #[test]
+    fn from_bytes_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = CompactedBlock::from_bytes(bytes);
+    }
+
+    #[test]
+    fn from_bytes_rejects_any_truncation(rows in component_rows()) {
+        let block = compacted(&rows, 0.5);
+        let bytes = block.as_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                CompactedBlock::from_bytes(bytes[..cut].to_vec()).is_err(),
+                "truncation at {} accepted",
+                cut
+            );
+        }
+    }
+
+    #[test]
+    fn decode_field_at_matches_record_field(v in adm_value()) {
+        if let AdmValue::Record(fields) = &v {
+            let bytes = encode_value(&v);
+            for (name, _) in fields {
+                prop_assert_eq!(
+                    decode_field_at(&bytes, name).expect("valid record"),
+                    v.field(name).cloned()
+                );
+            }
+            prop_assert_eq!(decode_field_at(&bytes, "zz_absent").expect("valid record"), None);
+        }
+    }
+}

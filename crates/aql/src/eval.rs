@@ -7,13 +7,13 @@
 //! transparent expressions evaluated through this module (unlike external
 //! UDFs, which stay black boxes).
 
-use crate::ast::{BinOp, Expr, FlworClause};
+use crate::ast::{BinOp, Expr, FlworClause, GroupBy};
 use asterix_adm::functions as builtins;
 use asterix_adm::AdmValue;
 use asterix_common::{IngestError, IngestResult};
 use asterix_storage::Dataset;
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Resolves names the evaluator cannot know by itself.
@@ -169,20 +169,43 @@ pub fn eval_flwor(expr: &Expr, env: &Env, ctx: &dyn EvalContext) -> IngestResult
     };
     // expand clauses into a stream of environments
     let mut envs = vec![env.clone()];
-    for clause in clauses {
+    for (ci, clause) in clauses.iter().enumerate() {
         match clause {
             FlworClause::For { var, source } => {
+                // projection pushdown: a dataset scan whose bound variable
+                // is only ever used through direct field accesses downstream
+                // scans just those fields — on compacted components only the
+                // requested columns are decoded
+                let prescanned: Option<Vec<AdmValue>> = if let Expr::DatasetScan(name) = source {
+                    match projection_for(
+                        var,
+                        &clauses[ci + 1..],
+                        where_clause.as_deref(),
+                        group_by.as_ref(),
+                        ret,
+                    ) {
+                        Some(fields) => Some(ctx.dataset(name)?.scan_projected(&fields)),
+                        None => None,
+                    }
+                } else {
+                    None
+                };
                 let mut next = Vec::new();
                 for e in envs {
-                    let coll = eval(source, &e, ctx)?;
-                    let items: Vec<AdmValue> = match coll {
-                        AdmValue::OrderedList(v) | AdmValue::UnorderedList(v) => v,
-                        AdmValue::Null | AdmValue::Missing => Vec::new(),
-                        other => {
-                            return Err(IngestError::Type(format!(
-                                "for..in over non-collection {}",
-                                other.type_name()
-                            )))
+                    let items: Vec<AdmValue> = match &prescanned {
+                        Some(items) => items.clone(),
+                        None => {
+                            let coll = eval(source, &e, ctx)?;
+                            match coll {
+                                AdmValue::OrderedList(v) | AdmValue::UnorderedList(v) => v,
+                                AdmValue::Null | AdmValue::Missing => Vec::new(),
+                                other => {
+                                    return Err(IngestError::Type(format!(
+                                        "for..in over non-collection {}",
+                                        other.type_name()
+                                    )))
+                                }
+                            }
                         }
                     };
                     for item in items {
@@ -248,6 +271,114 @@ pub fn eval_flwor(expr: &Expr, env: &Env, ctx: &dyn EvalContext) -> IngestResult
             }
             Ok(rows)
         }
+    }
+}
+
+/// The field set a dataset-scan variable can be projected down to, or
+/// `None` when the whole record is needed. Projection is sound only when
+/// every downstream use of `$var` is a direct field access `$var.<f>`: a
+/// bare `$var` (returned, regrouped by `with`, passed to a function, ...)
+/// needs the full record. Later clauses rebinding the variable shadow it,
+/// ending the analysis early.
+fn projection_for(
+    var: &str,
+    tail: &[FlworClause],
+    where_clause: Option<&Expr>,
+    group_by: Option<&GroupBy>,
+    ret: &Expr,
+) -> Option<Vec<String>> {
+    let mut fields = BTreeSet::new();
+    if flwor_tail_projects(var, tail, where_clause, group_by, ret, &mut fields) {
+        Some(fields.into_iter().collect())
+    } else {
+        None
+    }
+}
+
+/// Walk the remainder of a FLWOR (clauses after the binding, then where /
+/// group-by / return) collecting `$var.<f>` accesses into `fields`.
+/// Returns false as soon as a whole-record use is found.
+fn flwor_tail_projects(
+    var: &str,
+    tail: &[FlworClause],
+    where_clause: Option<&Expr>,
+    group_by: Option<&GroupBy>,
+    ret: &Expr,
+    fields: &mut BTreeSet<String>,
+) -> bool {
+    for clause in tail {
+        let (bound, expr) = match clause {
+            FlworClause::For { var: v, source } => (v, source),
+            FlworClause::Let { var: v, value } => (v, value),
+        };
+        if !collect_projected(expr, var, fields) {
+            return false;
+        }
+        if bound == var {
+            return true; // shadowed from here on
+        }
+    }
+    if let Some(w) = where_clause {
+        if !collect_projected(w, var, fields) {
+            return false;
+        }
+    }
+    if let Some(g) = group_by {
+        if !collect_projected(&g.key_expr, var, fields) {
+            return false;
+        }
+        if g.with_var == var {
+            return false; // the records are regrouped whole
+        }
+        if g.key_var == var {
+            return true; // the return expression sees the group key instead
+        }
+    }
+    collect_projected(ret, var, fields)
+}
+
+/// Collect direct `$var.<f>` accesses in `expr` into `fields`; false when
+/// the variable is used whole anywhere.
+fn collect_projected(expr: &Expr, var: &str, fields: &mut BTreeSet<String>) -> bool {
+    match expr {
+        Expr::Var(v) => v != var,
+        Expr::FieldAccess(inner, f) => {
+            if matches!(inner.as_ref(), Expr::Var(v) if v == var) {
+                fields.insert(f.clone());
+                true
+            } else {
+                collect_projected(inner, var, fields)
+            }
+        }
+        Expr::Literal(_) | Expr::DatasetScan(_) | Expr::FeedIntake(_) => true,
+        Expr::RecordCtor(fs) => fs.iter().all(|(_, e)| collect_projected(e, var, fields)),
+        Expr::ListCtor(items) => items.iter().all(|e| collect_projected(e, var, fields)),
+        Expr::Call(_, args) => args.iter().all(|e| collect_projected(e, var, fields)),
+        Expr::Bin(_, l, r) => {
+            collect_projected(l, var, fields) && collect_projected(r, var, fields)
+        }
+        Expr::Not(inner) => collect_projected(inner, var, fields),
+        Expr::Some {
+            var: sv,
+            source,
+            predicate,
+        } => {
+            collect_projected(source, var, fields)
+                && (sv == var || collect_projected(predicate, var, fields))
+        }
+        Expr::Flwor {
+            clauses,
+            where_clause,
+            group_by,
+            ret,
+        } => flwor_tail_projects(
+            var,
+            clauses,
+            where_clause.as_deref(),
+            group_by.as_ref(),
+            ret,
+            fields,
+        ),
     }
 }
 
@@ -508,6 +639,136 @@ mod tests {
     fn feed_intake_is_not_evaluable() {
         let e = parse_expr("for $x in feed_intake(\"F\") return $x").unwrap();
         assert!(eval(&e, &Env::new(), &EmptyContext).is_err());
+    }
+
+    fn analyze(src: &str) -> Option<Vec<String>> {
+        let Expr::Flwor {
+            clauses,
+            where_clause,
+            group_by,
+            ret,
+        } = parse_expr(src).unwrap()
+        else {
+            panic!("not a FLWOR");
+        };
+        let FlworClause::For { var, .. } = &clauses[0] else {
+            panic!("first clause not a for");
+        };
+        projection_for(
+            var,
+            &clauses[1..],
+            where_clause.as_deref(),
+            group_by.as_ref(),
+            &ret,
+        )
+    }
+
+    #[test]
+    fn projection_analysis_identifies_field_only_uses() {
+        // pure field accesses: project down to the used fields
+        assert_eq!(
+            analyze(r#"for $t in dataset T where $t.country = "US" return $t.message_text"#),
+            Some(vec!["country".to_string(), "message_text".to_string()])
+        );
+        // returning the whole record needs everything
+        assert_eq!(analyze("for $t in dataset T return $t"), None);
+        // regrouping the records whole (`with $t`) needs everything
+        assert_eq!(
+            analyze(
+                "for $t in dataset T group by $c := $t.country with $t \
+                 return { \"c\": $c, \"n\": count($t) }"
+            ),
+            None
+        );
+        // a whole use inside a function call needs everything
+        assert_eq!(analyze("for $t in dataset T return word-tokens($t)"), None);
+        // quantifier over a field is still a field access
+        assert_eq!(
+            analyze(
+                r##"for $t in dataset T
+                    where some $h in $t.topics satisfies ($h = "#x")
+                    return $t.id"##
+            ),
+            Some(vec!["id".to_string(), "topics".to_string()])
+        );
+        // a later `for` rebinding the variable shadows it
+        assert_eq!(
+            analyze("for $t in dataset T for $t in $t.items return $t"),
+            Some(vec!["items".to_string()])
+        );
+    }
+
+    fn tweet_dataset() -> Arc<Dataset> {
+        use asterix_common::NodeId;
+        use asterix_storage::DatasetConfig;
+        let d = Dataset::create(DatasetConfig {
+            name: "T".into(),
+            datatype: "Tweet".into(),
+            primary_key: "id".into(),
+            nodegroup: vec![NodeId(0)],
+        })
+        .unwrap();
+        for i in 0..40 {
+            d.upsert(&AdmValue::record(vec![
+                ("id", format!("t{i:02}").as_str().into()),
+                (
+                    "country",
+                    if i % 3 == 0 { "US".into() } else { "CA".into() },
+                ),
+                ("message_text", format!("msg {i}").as_str().into()),
+            ]))
+            .unwrap();
+        }
+        d.force_merge_all(); // sealed into a compacted component
+        Arc::new(d)
+    }
+
+    struct OneDataset(Arc<Dataset>);
+
+    impl EvalContext for OneDataset {
+        fn dataset(&self, name: &str) -> IngestResult<Arc<Dataset>> {
+            if name == self.0.config.name {
+                Ok(Arc::clone(&self.0))
+            } else {
+                Err(IngestError::Metadata(format!("unknown dataset {name}")))
+            }
+        }
+
+        fn call_udf(&self, name: &str, _arg: &AdmValue) -> IngestResult<AdmValue> {
+            Err(IngestError::Metadata(format!("no function {name}")))
+        }
+    }
+
+    #[test]
+    fn projected_dataset_scan_matches_unprojected_results() {
+        let ctx = OneDataset(tweet_dataset());
+        // this query takes the projected path (checked by the analysis test)
+        let projected = run_ctx(
+            r#"for $t in dataset T where $t.country = "US" return $t.message_text"#,
+            &ctx,
+        );
+        // forcing the whole-record path (`$t` escapes into the result) must
+        // select the same rows
+        let whole = run_ctx(
+            r#"for $t in dataset T where $t.country = "US" return { "m": $t.message_text, "r": $t }"#,
+            &ctx,
+        );
+        let projected_rows = projected.as_list().unwrap();
+        let whole_rows = whole.as_list().unwrap();
+        assert_eq!(projected_rows.len(), whole_rows.len());
+        assert!(!projected_rows.is_empty());
+        for (p, w) in projected_rows.iter().zip(whole_rows) {
+            assert_eq!(Some(p), w.field("m"));
+            assert_eq!(
+                w.field("r").unwrap().field("country"),
+                Some(&AdmValue::string("US"))
+            );
+        }
+    }
+
+    fn run_ctx(src: &str, ctx: &dyn EvalContext) -> AdmValue {
+        let e = parse_expr(src).unwrap();
+        eval(&e, &Env::new(), ctx).unwrap()
     }
 
     #[test]

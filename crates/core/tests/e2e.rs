@@ -966,6 +966,38 @@ fn registry_snapshot_is_complete_and_finite() {
         batches.sum
     );
 
+    // storage-layout observability: the compaction gauges are registered up
+    // front; forcing a seal makes them go live in the next snapshot
+    assert!(snap.has("storage.bytes_per_record"));
+    assert!(snap.has("compaction.schema_inferred_components"));
+    assert!(snap.has("compaction.fallback_components"));
+    dataset.force_merge_all();
+    let sealed_snap = rig.controller.registry().snapshot_at(&rig.clock);
+    assert!(
+        sealed_snap.gauge("storage.bytes_per_record").unwrap_or(0) > 0,
+        "sealed components report no bytes/record"
+    );
+    assert!(
+        sealed_snap
+            .gauge("compaction.schema_inferred_components")
+            .unwrap_or(0)
+            > 0,
+        "the uniform tweet workload must seal compacted, not fall back"
+    );
+    let sealed_prom = sealed_snap.to_prometheus();
+    assert!(
+        sealed_prom.contains("asterix_storage_bytes_per_record"),
+        "{sealed_prom}"
+    );
+    assert!(
+        sealed_prom.contains("asterix_compaction_schema_inferred_components"),
+        "{sealed_prom}"
+    );
+    assert!(
+        sealed_prom.contains("asterix_compaction_fallback_components"),
+        "{sealed_prom}"
+    );
+
     // end-to-end ingestion lag: generation stamp -> durable store
     let lag = snap
         .histogram("feed.ingest_lag_millis")

@@ -133,6 +133,26 @@ fn intake_to_store_parses_each_record_exactly_once() {
         .iter()
         .all(|r| !matches!(r.field("topics"), None | Some(AdmValue::Missing))));
 
+    // scans never re-parse text either: sealing into (compacted) storage
+    // images and reading back — full scans, projected column scans and
+    // point field lookups — all decode binary images or reuse the cached
+    // values, so the global text-parse counter must not move
+    let at_seal = parse_calls();
+    dataset.force_merge_all();
+    let full = dataset.scan_all();
+    let projected = dataset.scan_projected(&["message_text".into()]);
+    assert_eq!(full.len(), projected.len());
+    for (f, p) in full.iter().zip(&projected) {
+        assert_eq!(f.field("message_text"), p.field("message_text"));
+    }
+    let key = full[0].field("id").unwrap();
+    assert!(dataset.get_field(key, "message_text").is_some());
+    assert_eq!(
+        parse_calls() - at_seal,
+        0,
+        "seal + scans re-parsed record text"
+    );
+
     controller.shutdown();
     cluster.shutdown();
     unbind_socket("parse-once:9000");

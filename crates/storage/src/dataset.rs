@@ -44,6 +44,18 @@ impl Dataset {
 
     /// Create with a per-insert busy-spin cost (capacity experiments).
     pub fn create_with(config: DatasetConfig, insert_spin: u64) -> IngestResult<Self> {
+        let mut pc = PartitionConfig::keyed_on(config.primary_key.clone());
+        pc.insert_spin = insert_spin;
+        Self::create_configured(config, pc)
+    }
+
+    /// Create with a fully custom partition config (storage layout, spins,
+    /// LSM tuning). The partition key field is forced to the dataset's
+    /// primary key — routing and storage must agree on it.
+    pub fn create_configured(
+        config: DatasetConfig,
+        partition_config: PartitionConfig,
+    ) -> IngestResult<Self> {
         if config.nodegroup.is_empty() {
             return Err(IngestError::Config(format!(
                 "dataset {} has an empty nodegroup",
@@ -54,8 +66,8 @@ impl Dataset {
             .nodegroup
             .iter()
             .map(|&node| {
-                let mut pc = PartitionConfig::keyed_on(config.primary_key.clone());
-                pc.insert_spin = insert_spin;
+                let mut pc = partition_config.clone();
+                pc.primary_key_field = config.primary_key.clone();
                 (node, Arc::new(DatasetPartition::new(pc)))
             })
             .collect();
@@ -210,6 +222,53 @@ impl Dataset {
             .collect()
     }
 
+    /// Projected scan: each live record reduced to the requested fields (in
+    /// the requested order; absent fields are skipped, per ADM `MISSING`
+    /// semantics). On compacted components only the requested columns are
+    /// decoded — the full records are never materialized.
+    pub fn scan_projected(&self, fields: &[String]) -> Vec<AdmValue> {
+        self.partitions
+            .iter()
+            .flat_map(|(_, p)| p.scan_projected(fields))
+            .collect()
+    }
+
+    /// Point lookup of one field, decoding only that field's column cell on
+    /// compacted components.
+    pub fn get_field(&self, key: &AdmValue, field: &str) -> Option<AdmValue> {
+        let idx = self.partition_index_for(key);
+        self.partitions[idx].1.get_field(key, field)
+    }
+
+    /// Total sealed component storage bytes across partitions.
+    pub fn storage_bytes(&self) -> usize {
+        self.partitions.iter().map(|(_, p)| p.storage_bytes()).sum()
+    }
+
+    /// Average storage bytes per sealed live record across all partitions
+    /// (0.0 when nothing is sealed).
+    pub fn bytes_per_record(&self) -> f64 {
+        let bytes: usize = self.partitions.iter().map(|(_, p)| p.storage_bytes()).sum();
+        let records: usize = self
+            .partitions
+            .iter()
+            .map(|(_, p)| p.sealed_records())
+            .sum();
+        if records == 0 {
+            0.0
+        } else {
+            bytes as f64 / records as f64
+        }
+    }
+
+    /// Seal and merge every partition down to one component, synchronously
+    /// (benchmarks and tests: makes storage-size numbers deterministic).
+    pub fn force_merge_all(&self) {
+        for (_, p) in &self.partitions {
+            p.force_merge();
+        }
+    }
+
     /// Add a secondary index on every partition.
     pub fn create_index(
         &self,
@@ -225,9 +284,11 @@ impl Dataset {
 
     /// Register this dataset's storage instruments in a cluster registry:
     /// per-partition `storage.lsm_components`, `storage.wal_bytes`,
-    /// `storage.wal_entries`, `storage.wal_group_commits` and
-    /// `storage.compactions` gauges (polled at snapshot time), plus one
-    /// `storage.group_commit_batch_size` histogram shared by all
+    /// `storage.wal_entries`, `storage.wal_group_commits`,
+    /// `storage.compactions`, `storage.bytes_per_record` (rounded),
+    /// `compaction.schema_inferred_components` and
+    /// `compaction.fallback_components` gauges (polled at snapshot time),
+    /// plus one `storage.group_commit_batch_size` histogram shared by all
     /// partitions. Compaction rounds are traced as `storage.compaction`
     /// spans into each hosting node's trace log.
     pub fn register_observability(&self, registry: &MetricsRegistry, trace: &TraceHub) {
@@ -249,6 +310,17 @@ impl Dataset {
                 DatasetPartition::wal_group_commits,
             );
             gauge("storage.compactions", DatasetPartition::compactions);
+            gauge("storage.bytes_per_record", |p| {
+                p.bytes_per_record().round() as u64
+            });
+            gauge(
+                "compaction.schema_inferred_components",
+                DatasetPartition::schema_inferred_components,
+            );
+            gauge(
+                "compaction.fallback_components",
+                DatasetPartition::fallback_components,
+            );
             part.set_observability(batch_hist.clone(), trace.node_log(*node));
         }
     }
@@ -419,6 +491,66 @@ mod tests {
         assert_eq!(batch.count, 2, "one group commit per partition");
         assert_eq!(batch.sum, 50);
         assert!(snap.all_finite());
+    }
+
+    #[test]
+    fn projected_scan_matches_full_scan_and_compaction_metrics_register() {
+        use crate::partition::LayoutConfig;
+        use asterix_common::SimClock;
+        use asterix_common::TraceHub;
+        let compact = dataset(2);
+        let mut pc = PartitionConfig::keyed_on("id");
+        pc.lsm.layout = LayoutConfig::open();
+        let open = Dataset::create_configured(
+            DatasetConfig {
+                name: "TweetsOpen".into(),
+                datatype: "Tweet".into(),
+                primary_key: "id".into(),
+                nodegroup: (0..2).map(NodeId).collect(),
+            },
+            pc,
+        )
+        .unwrap();
+        for d in [&compact, &open] {
+            for i in 0..80 {
+                d.upsert(&rec(i)).unwrap();
+            }
+            d.force_merge_all();
+        }
+        // projection agrees with the full scan, layout-independently
+        for d in [&compact, &open] {
+            let projected = d.scan_projected(&["message_text".into()]);
+            let full = d.scan_all();
+            assert_eq!(projected.len(), full.len());
+            for (p, f) in projected.iter().zip(&full) {
+                assert_eq!(p.field("message_text"), f.field("message_text"));
+                assert!(p.field("id").is_none());
+            }
+        }
+        assert_eq!(
+            compact.get_field(&"t7".into(), "message_text"),
+            Some(AdmValue::string("hi"))
+        );
+        // the compacted layout stores the same rows in fewer bytes
+        assert!(compact.storage_bytes() > 0);
+        assert!(compact.bytes_per_record() < open.bytes_per_record());
+        // and the new gauges land in the registry
+        let registry = MetricsRegistry::new();
+        let trace = TraceHub::new(SimClock::fast(), 32);
+        compact.register_observability(&registry, &trace);
+        let snap = registry.snapshot();
+        assert!(snap.gauge_for("storage.bytes_per_record", "0").unwrap_or(0) > 0);
+        let inferred: u64 = (0..2)
+            .filter_map(|i| snap.gauge_for("compaction.schema_inferred_components", &i.to_string()))
+            .sum();
+        assert!(
+            inferred >= 2,
+            "each partition sealed at least one compacted component"
+        );
+        assert_eq!(
+            snap.gauge_for("compaction.fallback_components", "0"),
+            Some(0)
+        );
     }
 
     #[test]

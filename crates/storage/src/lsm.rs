@@ -19,8 +19,27 @@
 //! them. Values are `Arc`-shared with the caller: an insert through
 //! [`LsmTree::put_shared`] stores the caller's `Arc` directly — no deep
 //! clone of the record on the hot path.
+//!
+//! # Compacted component storage
+//!
+//! Sealing (and merging) additionally builds a **storage image** for the
+//! component — the disk-equivalent byte layout. A single-pass schema
+//! inferencer ([`asterix_adm::schema`]) runs over the sealed records; if the
+//! component's schema churn stays under [`LayoutConfig::churn_threshold`]
+//! the image is a schema-headed columnar
+//! [`CompactedBlock`](asterix_adm::compact::CompactedBlock) (field names and
+//! types written once per component, values in per-field column strides),
+//! otherwise the component falls back to the uncompacted
+//! [`OpenBlock`](asterix_adm::compact::OpenBlock) layout. The vectorized
+//! read path ([`LsmTree::for_each_live_ref`], [`LsmTree::get_field`])
+//! serves single-field scans and point lookups from the column strides
+//! without materializing whole records; full-record reads keep using the
+//! `Arc`-shared entries. Merging re-infers the merged schema but never
+//! drops a slot that every input component already agreed on.
 
 use crate::KeyOrd;
+use asterix_adm::compact::{CompactedBlock, OpenBlock};
+use asterix_adm::schema::SchemaBuilder;
 use asterix_adm::AdmValue;
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -35,10 +54,80 @@ pub enum Entry {
     Tombstone,
 }
 
+/// A borrowed view of one live record during a vectorized scan.
+///
+/// Field access on a sealed record decodes one cell of the component's
+/// storage image (a column-stride read for compacted components) instead of
+/// walking the whole record; [`LiveRef::shared`] is the full-record escape
+/// hatch, costing only an `Arc` bump.
+#[derive(Debug)]
+pub enum LiveRef<'a> {
+    /// The record lives in the memtable.
+    Mem(&'a Arc<AdmValue>),
+    /// The record is sealed: component, storage-image row, shared value.
+    Sealed(&'a Component, usize, &'a Arc<AdmValue>),
+}
+
+impl LiveRef<'_> {
+    /// Lazily materialize one field (`None` = absent).
+    pub fn field(&self, name: &str) -> Option<AdmValue> {
+        match self {
+            LiveRef::Mem(v) => v.field(name).cloned(),
+            LiveRef::Sealed(c, row, _) => c.field_at(*row, name),
+        }
+    }
+
+    /// The whole record, `Arc`-shared.
+    pub fn shared(&self) -> &Arc<AdmValue> {
+        match self {
+            LiveRef::Mem(v) => v,
+            LiveRef::Sealed(_, _, v) => v,
+        }
+    }
+}
+
+/// The disk-equivalent byte image of a sealed component.
+#[derive(Debug, Clone)]
+pub enum ComponentStorage {
+    /// Schema-inferred columnar layout (schema header + column strides +
+    /// sparse residual).
+    Compacted(CompactedBlock),
+    /// Uncompacted fallback: self-describing binary records behind an
+    /// offset table — used when schema churn defeats inference.
+    Open(OpenBlock),
+}
+
+impl ComponentStorage {
+    /// Byte size of the image.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ComponentStorage::Compacted(b) => b.size_bytes(),
+            ComponentStorage::Open(b) => b.size_bytes(),
+        }
+    }
+
+    /// Is this the schema-inferred compacted layout?
+    pub fn is_compacted(&self) -> bool {
+        matches!(self, ComponentStorage::Compacted(_))
+    }
+
+    fn field_at(&self, row: usize, name: &str) -> Option<AdmValue> {
+        match self {
+            ComponentStorage::Compacted(b) => b.field_value(row, name),
+            ComponentStorage::Open(b) => b.field_value(row, name),
+        }
+    }
+}
+
 /// An immutable sorted run.
 #[derive(Debug, Default)]
 pub struct Component {
     entries: BTreeMap<KeyOrd, Entry>,
+    /// Disk-equivalent image; row `i` holds the `i`-th live entry in key
+    /// order. `None` only for hand-built components (tests).
+    storage: Option<ComponentStorage>,
+    /// Keys of live entries in key order — the row index of the image.
+    put_keys: Vec<KeyOrd>,
 }
 
 impl Component {
@@ -56,6 +145,117 @@ impl Component {
     pub fn iter(&self) -> impl Iterator<Item = (&KeyOrd, &Entry)> {
         self.entries.iter()
     }
+
+    /// The component's storage image, if one was built.
+    pub fn storage(&self) -> Option<&ComponentStorage> {
+        self.storage.as_ref()
+    }
+
+    /// Byte size of the storage image (0 when none was built).
+    pub fn storage_size_bytes(&self) -> usize {
+        self.storage.as_ref().map_or(0, |s| s.size_bytes())
+    }
+
+    /// Number of live (non-tombstone) entries.
+    pub fn live_records(&self) -> usize {
+        if self.storage.is_some() {
+            self.put_keys.len()
+        } else {
+            self.entries
+                .values()
+                .filter(|e| matches!(e, Entry::Put(_)))
+                .count()
+        }
+    }
+
+    /// Storage row of `key`, if it holds a live entry.
+    fn row_of(&self, key: &KeyOrd) -> Option<usize> {
+        self.put_keys.binary_search(key).ok()
+    }
+
+    /// Lazily decode one field of the `row`-th live entry from the storage
+    /// image (one column stride for compacted components); falls back to
+    /// the in-memory entry when no image exists.
+    pub fn field_at(&self, row: usize, name: &str) -> Option<AdmValue> {
+        match &self.storage {
+            Some(s) => s.field_at(row, name),
+            None => match self
+                .entries
+                .values()
+                .filter_map(|e| match e {
+                    Entry::Put(v) => Some(v),
+                    Entry::Tombstone => None,
+                })
+                .nth(row)
+            {
+                Some(v) => v.field(name).cloned(),
+                None => None,
+            },
+        }
+    }
+
+    /// Lazily decode one field of the live entry under `key`.
+    pub fn field_at_key(&self, key: &KeyOrd, name: &str) -> Option<AdmValue> {
+        if self.storage.is_some() {
+            let row = self.row_of(key)?;
+            return self.field_at(row, name);
+        }
+        match self.entries.get(key) {
+            Some(Entry::Put(v)) => v.field(name).cloned(),
+            _ => None,
+        }
+    }
+}
+
+/// Build a component from sealed entries: choose and encode the storage
+/// image per `layout`. `stable_slots` (from a merge's input components)
+/// are slotted even when the re-inferred stats alone would not qualify
+/// them — merged components never drop a slot their inputs agreed on.
+fn build_component(
+    entries: BTreeMap<KeyOrd, Entry>,
+    layout: &LayoutConfig,
+    stable_slots: Option<&[String]>,
+) -> Component {
+    let puts: Vec<Arc<AdmValue>> = entries
+        .values()
+        .filter_map(|e| match e {
+            Entry::Put(v) => Some(Arc::clone(v)),
+            Entry::Tombstone => None,
+        })
+        .collect();
+    let put_keys: Vec<KeyOrd> = entries
+        .iter()
+        .filter(|(_, e)| matches!(e, Entry::Put(_)))
+        .map(|(k, _)| k.clone())
+        .collect();
+    let rows: Vec<&AdmValue> = puts.iter().map(|a| a.as_ref()).collect();
+    let storage = if layout.compact {
+        let mut builder = SchemaBuilder::new();
+        for r in &rows {
+            builder.observe(r);
+        }
+        let schema = builder.finish();
+        let mut slots = schema.slot_fields(layout.min_slot_presence);
+        if let Some(stable) = stable_slots {
+            for s in stable {
+                if !slots.contains(s) && schema.fields.iter().any(|f| &f.name == s) {
+                    slots.push(s.clone());
+                }
+            }
+        }
+        if schema.churn(&slots) > layout.churn_threshold {
+            ComponentStorage::Open(OpenBlock::encode(&rows))
+        } else {
+            ComponentStorage::Compacted(CompactedBlock::encode(&rows, &schema, &slots))
+        }
+    } else {
+        ComponentStorage::Open(OpenBlock::encode(&rows))
+    };
+    Component {
+        entries,
+        storage: Some(storage),
+        put_keys,
+    }
 }
 
 /// Merge `inputs` (newest first, as [`LsmTree::components_snapshot`] returns
@@ -70,6 +270,18 @@ impl Component {
 /// `spin_per_entry` busy-spins per surviving entry, modelling merge I/O cost
 /// in capacity experiments (0 = free).
 pub fn merge_components(inputs: &[Arc<Component>], spin_per_entry: u64) -> Component {
+    merge_components_with(inputs, spin_per_entry, &LayoutConfig::default())
+}
+
+/// [`merge_components`] with an explicit storage-layout policy: the merged
+/// component's schema is *re-inferred* over the surviving entries, but any
+/// slot that every compacted input agreed on stays a slot (conforming
+/// slots are never rewritten into the residual by a merge).
+pub fn merge_components_with(
+    inputs: &[Arc<Component>],
+    spin_per_entry: u64,
+    layout: &LayoutConfig,
+) -> Component {
     // newest version of each key wins: walk oldest → newest, later inserts
     // overwrite. Everything here is a borrow; nothing is cloned yet.
     let mut newest: BTreeMap<&KeyOrd, &Entry> = BTreeMap::new();
@@ -91,7 +303,60 @@ pub fn merge_components(inputs: &[Arc<Component>], spin_per_entry: u64) -> Compo
             entries.insert(k.clone(), Entry::Put(Arc::clone(v)));
         }
     }
-    Component { entries }
+    // Slot stability across the merge: the intersection of the inputs'
+    // slot sets (only meaningful when every input carried a compacted
+    // image — a fallback input has no slots to preserve).
+    let stable: Option<Vec<String>> = inputs
+        .iter()
+        .map(|c| match c.storage() {
+            Some(ComponentStorage::Compacted(b)) => Some(b.slot_names()),
+            _ => None,
+        })
+        .try_fold(None::<Vec<String>>, |acc, names| {
+            let names = names?;
+            Some(Some(match acc {
+                None => names,
+                Some(acc) => acc.into_iter().filter(|n| names.contains(n)).collect(),
+            }))
+        })
+        .flatten();
+    build_component(entries, layout, stable.as_deref())
+}
+
+/// Storage-layout policy for sealed components.
+#[derive(Debug, Clone)]
+pub struct LayoutConfig {
+    /// Attempt the schema-inferred compacted layout at all. When unset,
+    /// every component uses the uncompacted open layout.
+    pub compact: bool,
+    /// Fall back to the open layout when the fraction of field occurrences
+    /// landing in the residual section would exceed this.
+    pub churn_threshold: f64,
+    /// A field earns a column slot only when present in at least this
+    /// fraction of the component's records (sparser fields cost more in
+    /// offsets than they save, and belong in the residual).
+    pub min_slot_presence: f64,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig {
+            compact: true,
+            churn_threshold: 0.35,
+            min_slot_presence: 0.5,
+        }
+    }
+}
+
+impl LayoutConfig {
+    /// An always-open (uncompacted) layout — the pre-compaction behaviour,
+    /// kept for comparisons and as the forced-fallback escape hatch.
+    pub fn open() -> Self {
+        LayoutConfig {
+            compact: false,
+            ..LayoutConfig::default()
+        }
+    }
 }
 
 /// Tuning knobs.
@@ -106,6 +371,8 @@ pub struct LsmConfig {
     /// background worker) is responsible for merging. When unset, exceeding
     /// `max_components` merges inline as part of the flush.
     pub defer_merge: bool,
+    /// Storage layout for sealed/merged components.
+    pub layout: LayoutConfig,
 }
 
 impl Default for LsmConfig {
@@ -114,6 +381,7 @@ impl Default for LsmConfig {
             memtable_budget: 4096,
             max_components: 4,
             defer_merge: false,
+            layout: LayoutConfig::default(),
         }
     }
 }
@@ -127,6 +395,8 @@ pub struct LsmTree {
     components: Vec<Arc<Component>>,
     flushes: u64,
     merges: u64,
+    schema_inferred: u64,
+    fallbacks: u64,
 }
 
 impl LsmTree {
@@ -138,6 +408,8 @@ impl LsmTree {
             components: Vec::new(),
             flushes: 0,
             merges: 0,
+            schema_inferred: 0,
+            fallbacks: 0,
         }
     }
 
@@ -225,6 +497,96 @@ impl LsmTree {
         self.for_each_live_in(None, None, f)
     }
 
+    /// Visit the newest version of every live key as a [`LiveRef`] — the
+    /// vectorized scan entry point. Sealed entries are addressed by their
+    /// storage-image row, so per-field reads decode one column cell instead
+    /// of touching the whole record.
+    pub fn for_each_live_ref(&self, mut f: impl FnMut(&AdmValue, LiveRef<'_>)) {
+        enum Src<'a> {
+            Mem(&'a Entry),
+            Comp(usize, usize, &'a Entry),
+        }
+        let mut newest: BTreeMap<&KeyOrd, Src> = BTreeMap::new();
+        // oldest → newest so later versions overwrite; row counters track
+        // each component's live entries in key order (its image row order)
+        for (ci, c) in self.components.iter().enumerate().rev() {
+            let mut row = 0usize;
+            for (k, e) in c.entries.iter() {
+                match e {
+                    Entry::Put(_) => {
+                        newest.insert(k, Src::Comp(ci, row, e));
+                        row += 1;
+                    }
+                    Entry::Tombstone => {
+                        newest.insert(k, Src::Comp(ci, 0, e));
+                    }
+                }
+            }
+        }
+        for (k, e) in self.memtable.iter() {
+            newest.insert(k, Src::Mem(e));
+        }
+        for (k, src) in newest {
+            match src {
+                Src::Mem(Entry::Put(v)) => f(&k.0, LiveRef::Mem(v)),
+                Src::Comp(ci, row, Entry::Put(v)) => {
+                    f(&k.0, LiveRef::Sealed(&self.components[ci], row, v))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Visit one field of every live record — single-field scans touch one
+    /// column stride per compacted component. The value is `None` when the
+    /// record lacks the field.
+    pub fn for_each_live_field(&self, name: &str, mut f: impl FnMut(&AdmValue, Option<AdmValue>)) {
+        self.for_each_live_ref(|k, r| f(k, r.field(name)));
+    }
+
+    /// Point lookup of a single field: resolves the key's component, then
+    /// decodes only the requested field from its storage image.
+    pub fn get_field(&self, key: &AdmValue, name: &str) -> Option<AdmValue> {
+        let k = KeyOrd(key.clone());
+        if let Some(e) = self.memtable.get(&k) {
+            return match e {
+                Entry::Put(v) => v.field(name).cloned(),
+                Entry::Tombstone => None,
+            };
+        }
+        for c in &self.components {
+            if let Some(e) = c.entries.get(&k) {
+                return match e {
+                    Entry::Put(_) => c.field_at_key(&k, name),
+                    Entry::Tombstone => None,
+                };
+            }
+        }
+        None
+    }
+
+    /// Total bytes of the components' storage images — the tree's
+    /// disk-equivalent footprint (the memtable is not counted).
+    pub fn storage_bytes(&self) -> usize {
+        self.components.iter().map(|c| c.storage_size_bytes()).sum()
+    }
+
+    /// Live records across sealed components (memtable excluded) — the
+    /// denominator for bytes-per-record accounting.
+    pub fn component_live_records(&self) -> usize {
+        self.components.iter().map(|c| c.live_records()).sum()
+    }
+
+    /// Lifetime count of components sealed/merged into the compacted layout.
+    pub fn schema_inferred_components(&self) -> u64 {
+        self.schema_inferred
+    }
+
+    /// Lifetime count of components that fell back to the open layout.
+    pub fn fallback_components(&self) -> u64 {
+        self.fallbacks
+    }
+
     /// Range scan over live records, `lo..=hi` inclusive on both ends (pass
     /// `None` for open ends). Results are key-ordered; surviving entries are
     /// cloned exactly once.
@@ -252,13 +614,25 @@ impl LsmTree {
 
     /// Seal the memtable into an immutable component (no merge, ever) —
     /// the only mutation a hot-path insert can trigger in deferred mode.
+    /// Sealing runs the single-pass schema inferencer and encodes the
+    /// component's storage image (compacted, or open on churn fallback).
     pub fn seal(&mut self) {
         if self.memtable.is_empty() {
             return;
         }
         let entries = std::mem::take(&mut self.memtable);
-        self.components.insert(0, Arc::new(Component { entries }));
+        let component = build_component(entries, &self.config.layout, None);
+        self.note_component(&component);
+        self.components.insert(0, Arc::new(component));
         self.flushes += 1;
+    }
+
+    fn note_component(&mut self, c: &Component) {
+        match c.storage() {
+            Some(ComponentStorage::Compacted(_)) => self.schema_inferred += 1,
+            Some(ComponentStorage::Open(_)) => self.fallbacks += 1,
+            None => {}
+        }
     }
 
     /// Force a memtable flush. In deferred-merge mode this only seals; in
@@ -299,6 +673,7 @@ impl LsmTree {
         if !tail_matches {
             return false;
         }
+        self.note_component(merged.as_ref());
         self.components.truncate(tail_start);
         self.components.push(merged);
         self.merges += 1;
@@ -309,7 +684,9 @@ impl LsmTree {
     /// and dropping tombstones (all older versions are in the merge input).
     pub fn merge_all(&mut self) {
         let snapshot = self.components_snapshot();
-        self.components = vec![Arc::new(merge_components(&snapshot, 0))];
+        let merged = merge_components_with(&snapshot, 0, &self.config.layout);
+        self.note_component(&merged);
+        self.components = vec![Arc::new(merged)];
         self.merges += 1;
     }
 
@@ -355,6 +732,7 @@ mod tests {
             memtable_budget: 4,
             max_components: 2,
             defer_merge: false,
+            layout: LayoutConfig::default(),
         })
     }
 
@@ -444,6 +822,7 @@ mod tests {
             memtable_budget: 2,
             max_components: 1,
             defer_merge: true,
+            layout: LayoutConfig::default(),
         });
         for i in 0..8 {
             t.put(k(i), v("x"));
@@ -466,6 +845,7 @@ mod tests {
             memtable_budget: 2,
             max_components: 1,
             defer_merge: true,
+            layout: LayoutConfig::default(),
         });
         for i in 0..4 {
             t.put(k(i), v("old"));
@@ -491,6 +871,7 @@ mod tests {
             memtable_budget: 2,
             max_components: 1,
             defer_merge: true,
+            layout: LayoutConfig::default(),
         });
         for i in 0..4 {
             t.put(k(i), v("x"));
@@ -511,6 +892,7 @@ mod tests {
             memtable_budget: 2,
             max_components: 10,
             defer_merge: true,
+            layout: LayoutConfig::default(),
         });
         t.put(k(1), v("v1"));
         t.put(k(2), v("x"));
@@ -576,5 +958,142 @@ mod tests {
         let mut t = LsmTree::default();
         t.put(v("tweet-1"), v("payload"));
         assert_eq!(t.get(&v("tweet-1")), Some(v("payload")));
+    }
+
+    fn rec(i: i64) -> AdmValue {
+        AdmValue::record(vec![
+            ("id", k(i)),
+            ("name", v(&format!("n{i}"))),
+            ("score", AdmValue::Double(i as f64)),
+        ])
+    }
+
+    #[test]
+    fn sealing_records_builds_a_compacted_image() {
+        let mut t = small_tree();
+        for i in 0..4 {
+            t.put(k(i), rec(i));
+        }
+        assert_eq!(t.component_count(), 1);
+        assert_eq!(t.schema_inferred_components(), 1);
+        assert_eq!(t.fallback_components(), 0);
+        assert!(t.storage_bytes() > 0);
+        assert_eq!(t.component_live_records(), 4);
+        let snap = t.components_snapshot();
+        assert!(snap[0].storage().unwrap().is_compacted());
+    }
+
+    #[test]
+    fn opaque_values_fall_back_to_the_open_layout() {
+        let mut t = small_tree();
+        for i in 0..4 {
+            t.put(k(i), v("just a string"));
+        }
+        assert_eq!(t.schema_inferred_components(), 0);
+        assert_eq!(t.fallback_components(), 1);
+        let snap = t.components_snapshot();
+        assert!(!snap[0].storage().unwrap().is_compacted());
+        // reads still work through the open image
+        assert_eq!(t.get(&k(2)), Some(v("just a string")));
+    }
+
+    #[test]
+    fn compaction_disabled_always_uses_open_layout() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_budget: 4,
+            max_components: 2,
+            defer_merge: false,
+            layout: LayoutConfig::open(),
+        });
+        for i in 0..4 {
+            t.put(k(i), rec(i));
+        }
+        assert_eq!(t.schema_inferred_components(), 0);
+        assert_eq!(t.fallback_components(), 1);
+    }
+
+    #[test]
+    fn get_field_and_live_field_scan_agree_with_full_reads() {
+        let mut t = small_tree();
+        for i in 0..10 {
+            t.put(k(i), rec(i));
+        }
+        t.delete(k(3));
+        t.put(k(4), rec(400)); // newer version shadows sealed one
+        for i in 0..10 {
+            let want = t.get(&k(i)).and_then(|r| r.field("name").cloned());
+            assert_eq!(t.get_field(&k(i), "name"), want, "key {i}");
+        }
+        assert_eq!(t.get_field(&k(99), "name"), None);
+        let mut scanned = Vec::new();
+        t.for_each_live_field("name", |key, val| scanned.push((key.clone(), val)));
+        let full: Vec<(AdmValue, Option<AdmValue>)> = t
+            .scan_all()
+            .into_iter()
+            .map(|(key, r)| {
+                let f = r.field("name").cloned();
+                (key, f)
+            })
+            .collect();
+        assert_eq!(scanned, full);
+    }
+
+    #[test]
+    fn merge_preserves_slots_the_inputs_agreed_on() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_budget: 4,
+            max_components: 10,
+            defer_merge: true,
+            layout: LayoutConfig::default(),
+        });
+        // two compacted components over the same schema
+        for i in 0..8 {
+            t.put(k(i), rec(i));
+        }
+        let snap = t.components_snapshot();
+        assert_eq!(snap.len(), 2);
+        let input_slots: Vec<Vec<String>> = snap
+            .iter()
+            .map(|c| match c.storage().unwrap() {
+                ComponentStorage::Compacted(b) => b.slot_names(),
+                ComponentStorage::Open(_) => panic!("expected compacted inputs"),
+            })
+            .collect();
+        let merged = merge_components_with(&snap, 0, &LayoutConfig::default());
+        let merged_slots = match merged.storage().unwrap() {
+            ComponentStorage::Compacted(b) => b.slot_names(),
+            ComponentStorage::Open(_) => panic!("merge of compacted inputs stayed compacted"),
+        };
+        for slot in input_slots[0].iter().filter(|s| input_slots[1].contains(s)) {
+            assert!(
+                merged_slots.contains(slot),
+                "slot {slot} dropped by the merge"
+            );
+        }
+        assert_eq!(merged.live_records(), 8);
+    }
+
+    #[test]
+    fn merged_image_serves_reads_after_install() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_budget: 2,
+            max_components: 1,
+            defer_merge: true,
+            layout: LayoutConfig::default(),
+        });
+        for i in 0..8 {
+            t.put(k(i), rec(i));
+        }
+        let snap = t.components_snapshot();
+        let merged = Arc::new(merge_components_with(&snap, 0, &LayoutConfig::default()));
+        assert!(t.install_merged(&snap, merged));
+        assert!(t.schema_inferred_components() >= snap.len() as u64);
+        for i in 0..8 {
+            assert_eq!(
+                t.get_field(&k(i), "name"),
+                Some(v(&format!("n{i}"))),
+                "key {i}"
+            );
+        }
     }
 }

@@ -23,7 +23,7 @@
 //!   entirely outside the partition lock and swaps the result in under a
 //!   short lock, so a merge of any size never stalls intake.
 
-use crate::lsm::{merge_components, LsmTree};
+use crate::lsm::{merge_components_with, LsmTree};
 use crate::secondary::{IndexKind, SecondaryIndex};
 use crate::wal::{LogOp, WriteAheadLog};
 use asterix_adm::AdmValue;
@@ -35,7 +35,7 @@ use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-pub use crate::lsm::LsmConfig;
+pub use crate::lsm::{LayoutConfig, LsmConfig};
 
 /// Partition tuning.
 #[derive(Debug, Clone)]
@@ -146,8 +146,14 @@ impl PartitionInner {
             )
         });
         self.merging.store(true, Ordering::SeqCst);
-        // the expensive part: runs on Arc'd component clones, lock-free
-        let merged = Arc::new(merge_components(&snapshot, self.config.merge_spin));
+        // the expensive part: runs on Arc'd component clones, lock-free —
+        // including re-inferring the merged schema and re-encoding the
+        // merged component under the configured storage layout
+        let merged = Arc::new(merge_components_with(
+            &snapshot,
+            self.config.merge_spin,
+            &self.config.lsm.layout,
+        ));
         let installed = self.state.lock().primary.install_merged(&snapshot, merged);
         self.merging.store(false, Ordering::SeqCst);
         if installed {
@@ -418,6 +424,41 @@ impl DatasetPartition {
         self.inner.state.lock().primary.scan_all()
     }
 
+    /// Point lookup of a single field by primary key. On a compacted
+    /// component this decodes only the requested field's column cell —
+    /// the record is never fully materialized.
+    pub fn get_field(&self, key: &AdmValue, field: &str) -> Option<AdmValue> {
+        self.inner.state.lock().primary.get_field(key, field)
+    }
+
+    /// Vectorized single-field scan: `(key, field value)` for every live
+    /// record in key order. Sealed components answer straight from their
+    /// storage image (one column cell per row on the compacted layout);
+    /// full records are never rebuilt.
+    pub fn scan_field(&self, field: &str) -> Vec<(AdmValue, Option<AdmValue>)> {
+        let st = self.inner.state.lock();
+        let mut out = Vec::with_capacity(st.primary.live_count());
+        st.primary
+            .for_each_live_field(field, |k, v| out.push((k.clone(), v)));
+        out
+    }
+
+    /// Vectorized projected scan: for each live record (in key order), a
+    /// record holding just the requested fields, in the requested order.
+    /// Fields absent from a record are skipped (ADM `MISSING` semantics).
+    pub fn scan_projected(&self, fields: &[String]) -> Vec<AdmValue> {
+        let st = self.inner.state.lock();
+        let mut out = Vec::with_capacity(st.primary.live_count());
+        st.primary.for_each_live_ref(|_, r| {
+            let projected: Vec<(String, AdmValue)> = fields
+                .iter()
+                .filter_map(|f| r.field(f).map(|v| (f.clone(), v)))
+                .collect();
+            out.push(AdmValue::Record(projected));
+        });
+        out
+    }
+
     /// Live record count.
     pub fn len(&self) -> usize {
         self.inner.state.lock().primary.live_count()
@@ -557,6 +598,39 @@ impl DatasetPartition {
     /// Total WAL bytes (headers included).
     pub fn wal_size_bytes(&self) -> usize {
         self.inner.wal.size_bytes()
+    }
+
+    /// Total bytes of sealed component storage images.
+    pub fn storage_bytes(&self) -> usize {
+        self.inner.state.lock().primary.storage_bytes()
+    }
+
+    /// Live records held in sealed components (excludes the memtable).
+    pub fn sealed_records(&self) -> usize {
+        self.inner.state.lock().primary.component_live_records()
+    }
+
+    /// Average storage bytes per live record across sealed components
+    /// (0.0 with no sealed records) — the compaction-efficiency metric.
+    pub fn bytes_per_record(&self) -> f64 {
+        let st = self.inner.state.lock();
+        let records = st.primary.component_live_records();
+        if records == 0 {
+            return 0.0;
+        }
+        st.primary.storage_bytes() as f64 / records as f64
+    }
+
+    /// Components sealed or merged into the schema-inferred compacted
+    /// layout so far.
+    pub fn schema_inferred_components(&self) -> u64 {
+        self.inner.state.lock().primary.schema_inferred_components()
+    }
+
+    /// Components that fell back to the open layout (schema churn over the
+    /// configured threshold, or compaction disabled).
+    pub fn fallback_components(&self) -> u64 {
+        self.inner.state.lock().primary.fallback_components()
     }
 
     /// Attach observability hooks: group-commit batch sizes are recorded
@@ -949,6 +1023,75 @@ mod tests {
         );
         // the compactor worker must still be alive and joinable
         drop(Arc::try_unwrap(p).expect("sole owner"));
+    }
+
+    #[test]
+    fn field_scans_match_full_scans_on_sealed_components() {
+        let p = part();
+        for i in 0..30 {
+            p.insert(&rec(&format!("t{i:02}"), &format!("m{i}")))
+                .unwrap();
+        }
+        p.force_merge(); // everything sealed into one (compacted) component
+        let full = p.scan_all();
+        let texts = p.scan_field("message_text");
+        assert_eq!(texts.len(), full.len());
+        for ((k, v), (fk, fv)) in full.iter().zip(&texts) {
+            assert_eq!(k, fk);
+            assert_eq!(v.field("message_text"), fv.as_ref());
+        }
+        let projected = p.scan_projected(&["message_text".into(), "id".into()]);
+        for (proj, (k, v)) in projected.iter().zip(&full) {
+            assert_eq!(proj.field("id"), Some(k));
+            assert_eq!(proj.field("message_text"), v.field("message_text"));
+            assert!(
+                proj.field("location").is_none(),
+                "unrequested field projected"
+            );
+        }
+        assert_eq!(
+            p.get_field(&"t03".into(), "message_text"),
+            Some(AdmValue::string("m3"))
+        );
+        assert_eq!(p.get_field(&"t03".into(), "nope"), None);
+        assert_eq!(p.get_field(&"zz".into(), "message_text"), None);
+    }
+
+    #[test]
+    fn compacted_layout_shrinks_storage_and_counts_components() {
+        let mut open_cfg = PartitionConfig::keyed_on("id");
+        open_cfg.lsm.layout = LayoutConfig::open();
+        let open = DatasetPartition::new(open_cfg);
+        let compact = part();
+        for p in [&open, &compact] {
+            for i in 0..120 {
+                p.insert(&rec(&format!("t{i:03}"), "steady text")).unwrap();
+            }
+            p.force_merge();
+        }
+        assert_eq!(
+            open.scan_all(),
+            compact.scan_all(),
+            "layout is invisible to reads"
+        );
+        assert!(
+            compact.storage_bytes() < open.storage_bytes(),
+            "compacted {} >= open {}",
+            compact.storage_bytes(),
+            open.storage_bytes()
+        );
+        assert!(compact.bytes_per_record() < open.bytes_per_record());
+        assert!(compact.schema_inferred_components() >= 1);
+        assert_eq!(
+            compact.fallback_components(),
+            0,
+            "uniform records never fall back"
+        );
+        assert_eq!(open.schema_inferred_components(), 0);
+        assert!(
+            open.fallback_components() >= 1,
+            "forced-open components count as fallbacks"
+        );
     }
 
     #[test]

@@ -3,12 +3,29 @@
 
 use asterix_adm::AdmValue;
 use asterix_common::NodeId;
-use asterix_storage::lsm::{LsmConfig, LsmTree};
+use asterix_storage::lsm::{LayoutConfig, LsmConfig, LsmTree};
 use asterix_storage::partition::{DatasetPartition, PartitionConfig};
 use asterix_storage::{Dataset, DatasetConfig};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// A record whose field set and per-field value types vary with the inputs,
+/// so sealed components range from perfectly uniform (all slots) through
+/// partially sparse (residuals) to churn-heavy (forcing the open-layout
+/// fallback past the threshold).
+fn layout_rec(k: u8, v: u16) -> AdmValue {
+    let mut fields = vec![("id".to_string(), AdmValue::Int(i64::from(k)))];
+    if v.is_multiple_of(3) {
+        fields.push(("v".to_string(), AdmValue::Int(i64::from(v))));
+    } else {
+        fields.push(("v".to_string(), AdmValue::string(format!("s{v}"))));
+    }
+    if v.is_multiple_of(2) {
+        fields.push(("extra".to_string(), AdmValue::Double(f64::from(v))));
+    }
+    AdmValue::Record(fields)
+}
 
 fn batch_rec(batch: usize, row: usize) -> Arc<AdmValue> {
     Arc::new(AdmValue::record(vec![
@@ -39,7 +56,12 @@ proptest! {
     /// merge timing.
     #[test]
     fn lsm_matches_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
-        let mut tree = LsmTree::new(LsmConfig { memtable_budget: 8, max_components: 3, defer_merge: false });
+        let mut tree = LsmTree::new(LsmConfig {
+            memtable_budget: 8,
+            max_components: 3,
+            defer_merge: false,
+            ..LsmConfig::default()
+        });
         let mut model: BTreeMap<i64, i64> = BTreeMap::new();
         for op in ops {
             match op {
@@ -62,6 +84,62 @@ proptest! {
             .collect();
         let want: Vec<(i64, i64)> = model.into_iter().collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// The storage layout is invisible to reads: the same operation
+    /// sequence — including flushes and merges at arbitrary points — leaves
+    /// a schema-inferred compacted tree and an always-open tree in
+    /// observationally identical states, for full scans, single-field scans
+    /// and point field lookups alike. Mixed-type fields in the generated
+    /// records push some components over the churn threshold, so the
+    /// per-component fallback path is exercised under the same assertions.
+    #[test]
+    fn storage_layout_is_invisible_to_reads(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut compacted = LsmTree::new(LsmConfig {
+            memtable_budget: 8,
+            max_components: 3,
+            defer_merge: false,
+            ..LsmConfig::default()
+        });
+        let mut open = LsmTree::new(LsmConfig {
+            memtable_budget: 8,
+            max_components: 3,
+            defer_merge: false,
+            layout: LayoutConfig::open(),
+        });
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let key = AdmValue::Int(i64::from(k));
+                    compacted.put(key.clone(), layout_rec(k, v));
+                    open.put(key, layout_rec(k, v));
+                }
+                Op::Delete(k) => {
+                    compacted.delete(AdmValue::Int(i64::from(k)));
+                    open.delete(AdmValue::Int(i64::from(k)));
+                }
+                Op::Flush => {
+                    compacted.flush();
+                    open.flush();
+                }
+                Op::Merge => {
+                    compacted.merge_all();
+                    open.merge_all();
+                }
+            }
+        }
+        prop_assert_eq!(compacted.scan_all(), open.scan_all());
+        for field in ["id", "v", "extra", "zz_absent"] {
+            let mut a = Vec::new();
+            compacted.for_each_live_field(field, |k, val| a.push((k.clone(), val)));
+            let mut b = Vec::new();
+            open.for_each_live_field(field, |k, val| b.push((k.clone(), val)));
+            prop_assert_eq!(&a, &b, "field scan '{}' diverged", field);
+            for (k, want) in a {
+                prop_assert_eq!(compacted.get_field(&k, field), want, "get_field '{}'", field);
+            }
+        }
+        prop_assert_eq!(open.schema_inferred_components(), 0);
     }
 
     /// Replaying the WAL reproduces the exact partition contents.
