@@ -17,6 +17,8 @@
 //! | `exp_fig_7_policies` | Figs 7.3–7.7 — ingestion policies under overload |
 //! | `exp_fig_7_9_10` | Figs 7.9/7.10 — Discard vs Throttle persisted-id pattern |
 //! | `exp_fig_7_11_12` | Figs 7.11/7.12 — Storm+MongoDB durable / non-durable |
+//! | `exp_compaction` | Compacted LSM components — bytes/record + scan speedup |
+//! | `exp_elastic` | §7.3.5 extended — closed-loop governor under a 10x ramp |
 //!
 //! Each binary prints a human-readable table plus CSV series, and writes a
 //! JSON record under `results/`. Absolute numbers are simulator-scale; the

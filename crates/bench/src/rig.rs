@@ -26,6 +26,13 @@ pub struct RigOptions {
     pub controller: ControllerConfig,
     /// Per-record store busy-spin (capacity knob).
     pub store_spin: u64,
+    /// Scheduler worker threads; `None` uses
+    /// [`asterix_hyracks::scheduler::Scheduler::default_workers`].
+    /// Experiments using the per-record delay capacity model must size this
+    /// to at least the peak number of concurrently-delaying instances, or
+    /// the delay sleeps serialize on the pool and capacity stops scaling
+    /// with instance count.
+    pub workers: Option<usize>,
 }
 
 impl Default for RigOptions {
@@ -36,6 +43,7 @@ impl Default for RigOptions {
             failure_detection: false,
             controller: ControllerConfig::default(),
             store_spin: 0,
+            workers: None,
         }
     }
 }
@@ -68,7 +76,10 @@ impl ExperimentRig {
                 failure_threshold: SimDuration::from_secs(1_000_000),
             }
         };
-        let cluster = Cluster::start(opts.nodes, clock.clone(), cluster_cfg);
+        let cluster = match opts.workers {
+            Some(w) => Cluster::start_with_workers(opts.nodes, clock.clone(), cluster_cfg, w),
+            None => Cluster::start(opts.nodes, clock.clone(), cluster_cfg),
+        };
         let catalog = FeedCatalog::new(paper_registry());
         let controller =
             FeedController::start(cluster.clone(), Arc::clone(&catalog), opts.controller);

@@ -261,6 +261,40 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Samples recorded since `prev` was taken: per-bucket saturating
+    /// subtraction of an earlier snapshot of the *same* histogram. Gives
+    /// control loops (the scaling governor) a windowed view — "lag p99 over
+    /// the last tick" — instead of the since-boot distribution, which an
+    /// early overload episode would otherwise poison forever.
+    ///
+    /// `min`/`max` of the window are not recoverable from cumulative
+    /// buckets; the delta reports `min` 0 and `max` as the highest bucket
+    /// bound that gained samples — bucket-resolution, same as `quantile`.
+    pub fn delta(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let prev_n = |bound: u64| -> u64 {
+            prev.buckets
+                .iter()
+                .find(|&&(b, _)| b == bound)
+                .map_or(0, |&(_, n)| n)
+        };
+        let mut buckets: Vec<(u64, u64)> = Vec::new();
+        let mut max = 0u64;
+        for &(bound, n) in &self.buckets {
+            let d = n.saturating_sub(prev_n(bound));
+            if d > 0 {
+                max = bound;
+                buckets.push((bound, d));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            min: 0,
+            max: max.min(self.max),
+            buckets,
+        }
+    }
 }
 
 /// Identity of one metric: name plus label set.
@@ -540,6 +574,25 @@ impl MetricsSnapshot {
         merged
     }
 
+    /// Merge of histogram series named `name` whose label sets contain
+    /// `label_value` — the per-connection variant of [`Self::histogram`],
+    /// so the governor can window one feed's lag without cross-feed bleed.
+    pub fn histogram_for(&self, name: &str, label_value: &str) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for m in self.samples(name) {
+            if !m.has_label_value(label_value) {
+                continue;
+            }
+            if let MetricValue::Histogram(h) = &m.value {
+                merged = Some(match merged {
+                    None => h.clone(),
+                    Some(acc) => merge_hist(acc, h),
+                });
+            }
+        }
+        merged
+    }
+
     /// Sorted set of distinct metric names present.
     pub fn names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self.metrics.iter().map(|m| m.name.as_str()).collect();
@@ -776,6 +829,51 @@ mod tests {
         polled.store(7, Ordering::Relaxed);
         assert_eq!(reg.snapshot().gauge("storage.components"), Some(7));
         assert_eq!(snap.gauge("absent"), None);
+    }
+
+    #[test]
+    fn histogram_delta_windows_recent_samples() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(5); // old, fast samples
+        }
+        let before = h.snapshot();
+        for _ in 0..10 {
+            h.record(5_000); // recent, slow samples
+        }
+        let after = h.snapshot();
+        // cumulative p99 is poisoned by the 90 old samples...
+        assert!(after.quantile(0.99) >= 5_000);
+        // ...but so would p50 be diluted; the window sees only the slow ones
+        let window = after.delta(&before);
+        assert_eq!(window.count, 10);
+        assert!(window.quantile(0.5) >= 5_000, "window p50 is slow");
+        assert!(window.mean() >= 5_000.0);
+        // empty window
+        let none = after.delta(&after);
+        assert_eq!(none.count, 0);
+        assert_eq!(none.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_for_scopes_to_one_label_value() {
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram("feed.ingest_lag_millis", &[("conn", "f->d")]);
+        let b = reg.histogram("feed.ingest_lag_millis", &[("conn", "g->d")]);
+        a.record(10);
+        b.record(10_000);
+        let snap = reg.snapshot();
+        let f = snap
+            .histogram_for("feed.ingest_lag_millis", "f->d")
+            .unwrap();
+        assert_eq!(f.count, 1);
+        assert!(
+            f.quantile(0.99) < 1_000,
+            "other feed's lag did not bleed in"
+        );
+        assert!(snap
+            .histogram_for("feed.ingest_lag_millis", "absent")
+            .is_none());
     }
 
     #[test]

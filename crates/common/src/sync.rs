@@ -548,6 +548,17 @@ pub mod handoff {
             Ok(())
         }
 
+        /// Values currently queued — the congestion sensor's depth reading
+        /// (a point-in-time read; the queue may move before it is used).
+        pub fn len(&self) -> usize {
+            self.0.state.lock().queue.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Enqueue, blocking while the queue is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.0.state.lock();

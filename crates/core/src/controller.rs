@@ -30,30 +30,33 @@
 
 use crate::catalog::{FeedCatalog, FeedKind};
 use crate::flow::ElasticRequest;
+use crate::governor::{decide, GovernorConfig, GovernorSample, GovernorState, ScaleDecision};
 use crate::manager::FeedManager;
 use crate::metrics::FeedMetrics;
 use crate::ops::{
-    new_soft_failure_log, AckPlumbing, AssignDesc, CollectDesc, IntakeDesc, SoftFailureLog,
-    StoreAck, StoreDesc,
+    new_soft_failure_log, AckPlumbing, AssignDesc, CollectDesc, IntakeDesc, SoftFailureEntry,
+    SoftFailureLog, StoreAck, StoreDesc,
 };
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_common::ids::IdGen;
 use asterix_common::sync::{handoff, thread as sync_thread, Mutex};
 use asterix_common::{
-    FaultPlan, FeedId, IngestError, IngestResult, NodeId, SimDuration, SimInstant,
+    FaultPlan, FeedId, HistogramSnapshot, IngestError, IngestResult, NodeId, SimDuration,
+    SimInstant,
 };
 use asterix_hyracks::cluster::{Cluster, ClusterEvent};
 use asterix_hyracks::connector::ConnectorSpec;
 use asterix_hyracks::executor::{run_job, JobHandle, TaskContext};
 use asterix_hyracks::job::{Constraint, JobSpec, OperatorDescriptor};
 use asterix_hyracks::operator::{FrameWriter, NullSink, OperatorRuntime};
+use asterix_hyracks::scheduler::TaskHandle;
 use asterix_hyracks::transport::TransportKind;
 use asterix_storage::Dataset;
 use crossbeam_channel::Sender;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 static CONNECTION_IDS: IdGen = IdGen::new();
 
@@ -104,6 +107,14 @@ struct ComputeSegment {
     extra_spin: u64,
     extra_delay_us: u64,
     job: JobHandle,
+    /// At-least-once custody for processed feeds (§5.6): the tracker sits
+    /// at this segment's intake — which for the depth-1 stage is the
+    /// adaptor-side node — and holds every record until the *store* stage
+    /// acks it, so a compute- or store-node death never strands the only
+    /// copy mid-pipeline. Deeper stages and non-ALO segments carry `None`.
+    ack: Option<Arc<AckPlumbing>>,
+    /// Ack senders handed to every store job consuming this chain.
+    store_ack: Option<Arc<StoreAck>>,
 }
 
 struct Connection {
@@ -157,6 +168,9 @@ pub struct ControllerConfig {
     /// Wire the controller's pipeline segments ride on: in-process ports
     /// (default) or length-prefixed TCP over loopback.
     pub transport: TransportKind,
+    /// Closed-loop scaling governor tuning; disabled by default, in which
+    /// case elastic requests fall back to the open-loop scale-by-one path.
+    pub governor: GovernorConfig,
 }
 
 impl Default for ControllerConfig {
@@ -171,8 +185,45 @@ impl Default for ControllerConfig {
             compute_extra_delay_us: 0,
             fault_plan: None,
             transport: TransportKind::InProcess,
+            governor: GovernorConfig::default(),
         }
     }
+}
+
+/// Per-connection control-loop bookkeeping carried between governor ticks.
+#[derive(Default)]
+struct ConnGovernor {
+    control: GovernorState,
+    /// Previous tick's cumulative lag snapshot — subtracted from the current
+    /// one so the governor reacts to the *recent* window, not lifetime lag.
+    prev_lag: Option<HistogramSnapshot>,
+    /// Previous tick's cumulative pressure-counter sum.
+    prev_pressure: u64,
+    /// Open-loop elastic requests received since the last tick; folded into
+    /// the sample as pressure so the hot-path signal is never lost, but
+    /// acted on under the governor's hysteresis/cooldown instead of
+    /// immediately.
+    pending_requests: u64,
+}
+
+#[derive(Default)]
+struct GovernorRuntime {
+    conns: HashMap<String, ConnGovernor>,
+}
+
+/// One aborted pipeline job whose partition state must settle before the
+/// successor owns the stream. The job is awaited *after* the controller
+/// lock is released; then, if the placement changed, frames stranded on
+/// abandoned partitions (parked zombie state plus anything still queued in
+/// the old joint subscriptions) are harvested and re-parked on the
+/// successor partitions' nodes.
+struct Migration {
+    job: JobHandle,
+    /// `(joint id, sub-key prefix, old placement, new placement)`; `None`
+    /// when the placement is unchanged — the successor resumes the same
+    /// queues and late zombie adoption alone closes the park-after-start
+    /// window.
+    repartition: Option<(String, String, Vec<NodeId>, Vec<NodeId>)>,
 }
 
 /// The Central Feed Manager.
@@ -181,7 +232,16 @@ pub struct FeedController {
     catalog: Arc<FeedCatalog>,
     config: ControllerConfig,
     state: Mutex<State>,
-    elastic_tx: Sender<ElasticRequest>,
+    /// Hot-path congestion reports land here. Held as an `Option` so
+    /// shutdown can drop the last sender, which disconnects the channel and
+    /// lets the elastic monitor exit deterministically.
+    elastic_tx: Mutex<Option<Sender<ElasticRequest>>>,
+    /// The monitor threads, joined on shutdown so no `cfm-*` thread
+    /// outlives the controller.
+    monitors: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The periodic governor task on the cluster scheduler (when enabled).
+    governor_task: Mutex<Option<TaskHandle>>,
+    governor: Mutex<GovernorRuntime>,
     log: SoftFailureLog,
     log_dataset: Mutex<Option<Arc<Dataset>>>,
     shutdown: AtomicBool,
@@ -201,7 +261,10 @@ impl FeedController {
             catalog,
             config,
             state: Mutex::new(State::default()),
-            elastic_tx,
+            elastic_tx: Mutex::new(Some(elastic_tx)),
+            monitors: Mutex::new(Vec::new()),
+            governor_task: Mutex::new(None),
+            governor: Mutex::new(GovernorRuntime::default()),
             log: new_soft_failure_log(),
             log_dataset: Mutex::new(None),
             shutdown: AtomicBool::new(false),
@@ -209,7 +272,7 @@ impl FeedController {
         // failure monitor
         let events = cluster.subscribe();
         let c1 = Arc::clone(&ctrl);
-        sync_thread::spawn_named("cfm-failure-monitor", move || {
+        let failure_monitor = sync_thread::spawn_named("cfm-failure-monitor", move || {
             while !c1.shutdown.load(Ordering::SeqCst) {
                 match events.recv_timeout(std::time::Duration::from_millis(20)) {
                     Ok(ClusterEvent::NodeFailed(n)) => c1.handle_node_failure(n),
@@ -224,7 +287,7 @@ impl FeedController {
         .expect("spawn cfm monitor");
         // elastic monitor
         let c2 = Arc::clone(&ctrl);
-        sync_thread::spawn_named("cfm-elastic-monitor", move || {
+        let elastic_monitor = sync_thread::spawn_named("cfm-elastic-monitor", move || {
             while !c2.shutdown.load(Ordering::SeqCst) {
                 match elastic_rx.recv_timeout(std::time::Duration::from_millis(20)) {
                     Ok(req) => c2.handle_elastic_request(&req),
@@ -234,6 +297,26 @@ impl FeedController {
             }
         })
         .expect("spawn elastic monitor");
+        ctrl.monitors
+            .lock()
+            .extend([failure_monitor, elastic_monitor]);
+        // closed-loop scaling governor: periodic housekeeping on the shared
+        // scheduler, like the console reporter — a Weak reference so the
+        // task never keeps a dropped controller alive
+        if ctrl.config.governor.enabled {
+            let weak: Weak<FeedController> = Arc::downgrade(&ctrl);
+            let interval = cluster.clock().to_real(ctrl.config.governor.interval);
+            let task = cluster
+                .scheduler()
+                .spawn_periodic("cfm-governor", interval, move || match weak.upgrade() {
+                    Some(c) if !c.shutdown.load(Ordering::SeqCst) => {
+                        c.governor_tick();
+                        true
+                    }
+                    _ => false,
+                });
+            *ctrl.governor_task.lock() = Some(task);
+        }
         ctrl
     }
 
@@ -270,6 +353,26 @@ impl FeedController {
     /// `storage.*` gauges.
     pub fn registry(&self) -> asterix_common::MetricsRegistry {
         self.cluster.registry()
+    }
+
+    /// A sender for hot-path elastic requests, `None` once shutdown closed
+    /// the channel.
+    fn elastic_sender(&self) -> Option<Sender<ElasticRequest>> {
+        self.elastic_tx.lock().clone()
+    }
+
+    /// Report congestion for `connection_key` through the same channel the
+    /// flow controllers use (manual scale trigger / tests). Returns false
+    /// once shutdown has closed the channel.
+    pub fn request_elastic(&self, connection_key: &str) -> bool {
+        match self.elastic_sender() {
+            Some(tx) => tx
+                .send(ElasticRequest {
+                    connection_key: connection_key.to_string(),
+                })
+                .is_ok(),
+            None => false,
+        }
     }
 
     // -----------------------------------------------------------------------
@@ -385,7 +488,7 @@ impl FeedController {
             st.joints.insert(joint.clone(), locs.clone());
         }
 
-        // --- store segment (started first so its subscription is live) -----
+        // --- connection record -----------------------------------------------
         let id: ConnectionId = CONNECTION_IDS.next();
         let connect_span = self
             .cluster
@@ -411,19 +514,32 @@ impl FeedController {
             state: ConnectionState::Active,
             suspended_at: None,
         };
-        let job = self.spawn_store_job(&st, &conn)?;
-        let mut conn = conn;
-        conn.job = Some(job);
-        st.connections.insert(id, conn);
 
-        // --- compute segments, deepest first --------------------------------
+        // --- compute segments registered first (jobs still detached) --------
+        // The store job must find the chain's at-least-once plumbing, so the
+        // segment records go into the state before anything is spawned; the
+        // compute *jobs* still start after the store job, whose subscription
+        // must be live first.
         compute_segments.sort_by_key(|s| std::cmp::Reverse(s.0));
+        let new_outs: Vec<String> = compute_segments.iter().map(|s| s.2.clone()).collect();
         for (depth, in_joint, out_joint, udf, stage_feed, locs) in compute_segments {
             let seg_metrics = FeedMetrics::registered_default(
                 &self.cluster.registry(),
                 &out_joint,
                 self.cluster.clock().clone(),
             );
+            // At-least-once custody belongs at the earliest intake under the
+            // adaptor (§5.6): only the depth-1 stage — whose intake rides on
+            // the collect joint's (adaptor) nodes — gets the tracker
+            // plumbing. The channel count is pinned to the in-joint's
+            // instance count, which scale_intake keeps constant.
+            let (ack, store_ack) = if policy.at_least_once && in_joint == root_raw_joint {
+                let partitions = st.joints.get(&in_joint).map_or(0, Vec::len);
+                let (plumbing, sender) = self.new_ack_channels(partitions);
+                (Some(plumbing), Some(sender))
+            } else {
+                (None, None)
+            };
             let seg = ComputeSegment {
                 out_joint: out_joint.clone(),
                 in_joint,
@@ -436,11 +552,23 @@ impl FeedController {
                 extra_spin: self.config.compute_extra_spin,
                 extra_delay_us: self.config.compute_extra_delay_us,
                 job: JobHandle::detached(),
+                ack,
+                store_ack,
             };
-            let job = self.spawn_compute_job(&st, &seg)?;
-            let mut seg = seg;
-            seg.job = job;
             st.computes.insert(out_joint, seg);
+        }
+
+        // --- store job (started first so its subscription is live) ----------
+        let job = self.spawn_store_job(&st, &conn)?;
+        let mut conn = conn;
+        conn.job = Some(job);
+        st.connections.insert(id, conn);
+
+        // --- compute jobs, deepest first ------------------------------------
+        for out in new_outs {
+            let seg_ref = st.computes.get(&out).unwrap();
+            let job = self.spawn_compute_job(&st, seg_ref)?;
+            st.computes.get_mut(&out).unwrap().job = job;
         }
 
         // --- collect segment, last -------------------------------------------
@@ -497,9 +625,18 @@ impl FeedController {
         Ok(())
     }
 
-    /// Stop everything.
+    /// Stop everything. Teardown is deterministic: the governor task is
+    /// joined first (so it cannot respawn jobs mid-teardown), then the
+    /// pipeline jobs are dismantled, and finally the elastic channel is
+    /// closed and both monitor threads are joined — no `cfm-*` thread
+    /// survives this call.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(task) = self.governor_task.lock().take() {
+            // fire a tick early: it observes the shutdown flag and completes
+            task.waker().wake();
+            let _ = task.join();
+        }
         let (jobs, all_joints) = {
             let mut st = self.state.lock();
             let mut jobs = Vec::new();
@@ -530,6 +667,13 @@ impl FeedController {
         }
         for j in jobs {
             let _ = j.wait();
+        }
+        // dropping the last sender disconnects the channel, so the elastic
+        // monitor exits on its next recv instead of leaking past shutdown
+        *self.elastic_tx.lock() = None;
+        let monitors: Vec<std::thread::JoinHandle<()>> = std::mem::take(&mut *self.monitors.lock());
+        for m in monitors {
+            let _ = m.join();
         }
     }
 
@@ -710,9 +854,9 @@ impl FeedController {
             locations: in_locations,
             policy: seg.policy.clone(),
             metrics: Arc::clone(&seg.metrics),
-            elastic_tx: Some(self.elastic_tx.clone()),
+            elastic_tx: self.elastic_sender(),
             flow_capacity: self.config.flow_capacity,
-            ack: None,
+            ack: seg.ack.clone(),
             connection_key: format!("compute:{}", seg.out_joint),
             feed: seg.feed_id,
             fault_plan: None,
@@ -732,30 +876,60 @@ impl FeedController {
         run_job(&self.cluster, job)
     }
 
+    /// Paired at-least-once channels for `partitions` tracker partitions.
+    fn new_ack_channels(&self, partitions: usize) -> (Arc<AckPlumbing>, Arc<StoreAck>) {
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for _ in 0..partitions {
+            let (tx, rx) = crossbeam_channel::unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        (
+            Arc::new(AckPlumbing {
+                rxs,
+                timeout: self.config.ack_timeout,
+            }),
+            Arc::new(StoreAck {
+                txs,
+                window: self.config.ack_window,
+            }),
+        )
+    }
+
+    /// The ack sender of the chain feeding `source_joint`, held by its
+    /// depth-1 (adaptor-side) compute segment. `None` for raw feeds and for
+    /// chains whose root segment was built without at-least-once plumbing.
+    fn chain_store_ack(&self, st: &State, source_joint: &str) -> Option<Arc<StoreAck>> {
+        let mut seg = st.computes.get(source_joint)?;
+        while let Some(parent) = st.computes.get(&seg.in_joint) {
+            seg = parent;
+        }
+        seg.store_ack.clone()
+    }
+
     fn spawn_store_job(&self, st: &State, conn: &Connection) -> IngestResult<JobHandle> {
         let in_locations =
             st.joints.get(&conn.source_joint).cloned().ok_or_else(|| {
                 IngestError::Plan(format!("no live joint '{}'", conn.source_joint))
             })?;
-        // at-least-once plumbing
-        let (ack_plumbing, store_ack) = if conn.policy.at_least_once {
-            let mut txs = Vec::new();
-            let mut rxs = Vec::new();
-            for _ in 0..in_locations.len() {
-                let (tx, rx) = crossbeam_channel::unbounded();
-                txs.push(tx);
-                rxs.push(rx);
-            }
-            (
-                Some(Arc::new(AckPlumbing {
-                    rxs,
-                    timeout: self.config.ack_timeout,
-                })),
-                Some(Arc::new(StoreAck {
-                    txs,
-                    window: self.config.ack_window,
-                })),
-            )
+        // At-least-once plumbing. A processed feed's tracker sits at the
+        // chain's adaptor-side compute intake (§5.6) — this job's intake
+        // follows the compute joint onto arbitrary worker nodes, and a
+        // tracker there would be the only custodian of in-flight records
+        // when such a node dies. Route the store's acks up the chain and
+        // leave this intake untracked. A raw feed keeps the tracker here:
+        // its store intake IS the adaptor-side stage.
+        let chain_ack = if conn.policy.at_least_once {
+            self.chain_store_ack(st, &conn.source_joint)
+        } else {
+            None
+        };
+        let (ack_plumbing, store_ack) = if let Some(sender) = chain_ack {
+            (None, Some(sender))
+        } else if conn.policy.at_least_once {
+            let (plumbing, sender) = self.new_ack_channels(in_locations.len());
+            (Some(plumbing), Some(sender))
         } else {
             (None, None)
         };
@@ -767,7 +941,7 @@ impl FeedController {
             locations: in_locations,
             policy: conn.policy.clone(),
             metrics: Arc::clone(&conn.metrics),
-            elastic_tx: Some(self.elastic_tx.clone()),
+            elastic_tx: self.elastic_sender(),
             flow_capacity: self.config.flow_capacity,
             ack: ack_plumbing,
             connection_key: conn.key.clone(),
@@ -1228,69 +1402,326 @@ impl FeedController {
 
     fn handle_elastic_request(&self, req: &ElasticRequest) {
         // the congested pipeline names either a connection ("F->D") or a
-        // compute segment ("compute:<joint>"); scale the compute segment
-        // feeding it out by one instance
+        // compute segment ("compute:<joint>")
         let joint = {
             let st = self.state.lock();
             if let Some(rest) = req.connection_key.strip_prefix("compute:") {
-                Some(rest.to_string())
+                st.computes.contains_key(rest).then(|| rest.to_string())
             } else {
                 st.connections
                     .values()
-                    .find(|c| c.key == req.connection_key)
+                    .find(|c| c.key == req.connection_key && c.state != ConnectionState::Ended)
                     .map(|c| c.source_joint.clone())
             }
         };
-        if let Some(joint) = joint {
+        let Some(joint) = joint else {
+            // a request that names no live connection must not vanish
+            // silently: it is a symptom of a key mismatch or a race with
+            // disconnect, so count it and log it like any soft failure
+            self.cluster
+                .registry()
+                .counter(
+                    "elastic.requests_dropped",
+                    &[("conn", req.connection_key.as_str())],
+                )
+                .inc();
+            self.log.lock().push(SoftFailureEntry {
+                at: self.cluster.clock().now(),
+                operator: "cfm-elastic-monitor".into(),
+                message: format!(
+                    "elastic request for unknown connection '{}' dropped",
+                    req.connection_key
+                ),
+                payload: None,
+            });
+            return;
+        };
+        if self.config.governor.enabled {
+            // record the congestion vote for the control loop; the governor
+            // folds it into its next sample under hysteresis and cooldown
+            self.governor
+                .lock()
+                .conns
+                .entry(req.connection_key.clone())
+                .or_default()
+                .pending_requests += 1;
+        } else {
+            // legacy open-loop behaviour: one request, one extra instance
             let _ = self.scale_compute(&joint, 1);
         }
     }
 
-    /// Change the parallelism of the compute segment publishing `joint_id`
-    /// by `delta` instances (elastic scale-out/in). Dependent store
-    /// segments are rebuilt to follow the joint.
-    pub fn scale_compute(&self, joint_id: &str, delta: i64) -> IngestResult<usize> {
-        let mut st = self.state.lock();
-        let alive: Vec<NodeId> = self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
-        let seg = st.computes.get_mut(joint_id).ok_or_else(|| {
-            IngestError::Metadata(format!("no compute segment publishes '{joint_id}'"))
-        })?;
-        let current = seg.compute_locations.len() as i64;
-        let target = (current + delta).max(1) as usize;
-        let target = target.min(alive.len().max(1));
-        if target == seg.compute_locations.len() {
-            return Ok(target);
+    /// One tick of the closed-loop scaling governor: sample the metrics
+    /// registry per live connection, run the pure control law, and apply
+    /// the decision to both the compute and intake stages. Exported as
+    /// `elastic.*` metrics and `elastic.governor` trace events.
+    fn governor_tick(&self) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return;
         }
-        if target > seg.compute_locations.len() {
-            // add nodes not yet used, round-robin
-            let mut candidates: Vec<NodeId> = alive
-                .iter()
-                .copied()
-                .filter(|n| !seg.compute_locations.contains(n))
-                .collect();
-            while seg.compute_locations.len() < target {
-                match candidates.pop() {
-                    Some(n) => seg.compute_locations.push(n),
-                    None => break,
+        let cfg = self.config.governor.clone();
+        let registry = self.cluster.registry();
+        let snap = registry.snapshot();
+        let now = self.cluster.clock().now();
+        struct TickTarget {
+            key: String,
+            source_joint: String,
+            /// Metric scopes of the whole chain: the connection key plus
+            /// each compute segment's out-joint.
+            scopes: Vec<String>,
+            compute_n: Option<usize>,
+            root_joint: Option<String>,
+            intake_w: Option<usize>,
+        }
+        // collect the per-connection layout under the lock, act after
+        // dropping it (scale_* re-take the non-reentrant state lock)
+        let targets: Vec<TickTarget> = {
+            let st = self.state.lock();
+            st.connections
+                .values()
+                .filter(|c| c.state == ConnectionState::Active)
+                .map(|c| {
+                    let mut scopes = vec![c.key.clone()];
+                    let mut j = c.source_joint.clone();
+                    while let Some(seg) = st.computes.get(&j) {
+                        scopes.push(j.clone());
+                        j = seg.in_joint.clone();
+                    }
+                    let root = st.collects.get(&j).map(|s| s.joint_id.clone());
+                    let intake_w = st
+                        .collects
+                        .get(&j)
+                        .map(|s| dedup_nodes(s.locations.clone()).len());
+                    TickTarget {
+                        key: c.key.clone(),
+                        source_joint: c.source_joint.clone(),
+                        compute_n: st
+                            .computes
+                            .get(&c.source_joint)
+                            .map(|s| s.compute_locations.len()),
+                        root_joint: root,
+                        intake_w,
+                        scopes,
+                    }
+                })
+                .collect()
+        };
+        for t in targets {
+            let mut backlog = 0u64;
+            let mut queue = 0u64;
+            let mut pressure_now = 0u64;
+            for scope in &t.scopes {
+                backlog += snap.gauge_for("feed.buffer_bytes", scope).unwrap_or(0)
+                    + snap.gauge_for("feed.spill_bytes", scope).unwrap_or(0);
+                queue = queue.max(
+                    snap.gauge_for("feed.handoff_queue_frames", scope)
+                        .unwrap_or(0),
+                );
+                pressure_now += snap.counter_for("feed.records_throttled", scope)
+                    + snap.counter_for("feed.records_discarded", scope)
+                    + snap.counter_for("feed.records_spilled", scope)
+                    + snap.counter_for("feed.elastic_scaleouts", scope);
+            }
+            let lag_hist = snap.histogram_for("feed.ingest_lag_millis", &t.key);
+            let (sample, decision) = {
+                let mut gov = self.governor.lock();
+                let per = gov.conns.entry(t.key.clone()).or_default();
+                // windowed lag: current cumulative snapshot minus the
+                // previous tick's, so old congestion cannot dominate p99
+                let lag_p99 = match (&lag_hist, per.prev_lag.take()) {
+                    (Some(h), Some(prev)) => {
+                        let window = h.delta(&prev);
+                        per.prev_lag = Some(h.clone());
+                        if window.count > 0 {
+                            window.quantile(0.99)
+                        } else {
+                            0
+                        }
+                    }
+                    (Some(h), None) => {
+                        per.prev_lag = Some(h.clone());
+                        if h.count > 0 {
+                            h.quantile(0.99)
+                        } else {
+                            0
+                        }
+                    }
+                    (None, prev) => {
+                        per.prev_lag = prev;
+                        0
+                    }
+                };
+                let pressure_delta = pressure_now.saturating_sub(per.prev_pressure)
+                    + std::mem::take(&mut per.pending_requests);
+                per.prev_pressure = pressure_now;
+                let sample = GovernorSample {
+                    lag_p99_millis: lag_p99,
+                    backlog_bytes: backlog,
+                    queue_frames: queue,
+                    pressure_delta,
+                };
+                let decision = decide(&cfg, now, &sample, &mut per.control);
+                (sample, decision)
+            };
+            let labels = &[("conn", t.key.as_str())];
+            registry.counter("elastic.governor_ticks", labels).inc();
+            registry
+                .gauge("elastic.lag_p99_millis", labels)
+                .set(sample.lag_p99_millis);
+            registry
+                .gauge("elastic.backlog_bytes", labels)
+                .set(sample.backlog_bytes);
+            if let Some(n) = t.compute_n {
+                registry
+                    .gauge("elastic.compute_partitions", labels)
+                    .set(n as u64);
+            }
+            if let Some(w) = t.intake_w {
+                registry
+                    .gauge("elastic.intake_partitions", labels)
+                    .set(w as u64);
+            }
+            let delta = match decision {
+                ScaleDecision::Hold => continue,
+                ScaleDecision::Out => 1i64,
+                ScaleDecision::In => -1i64,
+            };
+            let mut changed = false;
+            if let Some(n) = t.compute_n {
+                let within = if delta > 0 {
+                    n < cfg.max_compute
+                } else {
+                    n > cfg.min_compute
+                };
+                if within {
+                    if let Ok(new_n) = self.scale_compute(&t.source_joint, delta) {
+                        changed |= new_n != n;
+                    }
                 }
             }
-        } else {
-            seg.compute_locations.truncate(target);
+            if let (Some(root), Some(w)) = (&t.root_joint, t.intake_w) {
+                let within = if delta > 0 {
+                    w < cfg.max_intake
+                } else {
+                    w > cfg.min_intake
+                };
+                if within {
+                    if let Ok(new_w) = self.scale_intake(root, delta) {
+                        changed |= new_w != w;
+                    }
+                }
+            }
+            if changed {
+                let counter = if delta > 0 {
+                    "elastic.scale_out_total"
+                } else {
+                    "elastic.scale_in_total"
+                };
+                registry.counter(counter, labels).inc();
+                self.cluster.trace().cluster_log().event(
+                    "elastic.governor",
+                    format!(
+                        "{}: {} (lag p99 {} ms, backlog {} B, queue {} frames, pressure {})",
+                        t.key,
+                        if delta > 0 { "scale-out" } else { "scale-in" },
+                        sample.lag_p99_millis,
+                        sample.backlog_bytes,
+                        sample.queue_frames,
+                        sample.pressure_delta,
+                    ),
+                );
+            }
         }
-        seg.job.abort();
-        let out = seg.out_joint.clone();
-        let locs = seg.compute_locations.clone();
-        let new_n = locs.len();
-        self.cluster
-            .trace()
-            .cluster_log()
-            .event("feed.scale", format!("{out}: {current} -> {new_n}"));
-        st.joints.insert(out.clone(), locs.clone());
-        self.preregister_joint(&out, &locs);
-        let seg_ref = st.computes.get(&out).unwrap();
-        let job = self.spawn_compute_job(&st, seg_ref)?;
-        st.computes.get_mut(&out).unwrap().job = job;
-        // rebuild dependents
+    }
+
+    /// Wait for aborted predecessor jobs to fully exit, then repartition
+    /// their stranded frames onto the successor partition set. Runs with no
+    /// controller lock held: `JobHandle::abort` is asynchronous, so without
+    /// this settling step a dying intake could park zombie state *after*
+    /// the successor's instantiate-time adoption already ran, orphaning the
+    /// frames forever.
+    fn settle_and_migrate(&self, migrations: Vec<Migration>) {
+        // first make every old job quiescent: no more deposits into the old
+        // joint instances, no more late zombie parks
+        for m in &migrations {
+            m.job.abort();
+            let _ = m.job.wait();
+        }
+        for m in migrations {
+            if let Some((joint_id, prefix, old, new)) = m.repartition {
+                self.migrate_partition_state(&joint_id, &prefix, &old, &new);
+            }
+        }
+    }
+
+    /// Harvest frames stranded on abandoned partitions of `joint_id` —
+    /// parked zombie state first, then whatever is still queued in the old
+    /// joint subscription (order preserves the stream: parked frames were
+    /// consumed before the queued ones arrived) — and re-park them as
+    /// zombie state keyed for the successor partition on its node, where
+    /// the successor's late-adoption poll picks them up.
+    fn migrate_partition_state(
+        &self,
+        joint_id: &str,
+        prefix: &str,
+        old: &[NodeId],
+        new: &[NodeId],
+    ) {
+        if new.is_empty() {
+            return;
+        }
+        let mut moved = 0u64;
+        for (p, node) in old.iter().enumerate() {
+            if p < new.len() && new[p] == *node {
+                // the successor resumes the same queue under the same key;
+                // late zombie adoption covers the park-after-start window
+                continue;
+            }
+            // a dead node's memory is gone with the node (§6.2.2) — its
+            // in-flight frames are the at-least-once tracker's to replay
+            let Some(src) = self.cluster.node(*node).filter(|n| n.is_alive()) else {
+                continue;
+            };
+            let src_fm = FeedManager::on(&src);
+            let key = format!("{prefix}#p{p}");
+            let mut frames = src_fm.take_zombie_state(&key);
+            if let Some(joint) = src_fm.search_joint(joint_id) {
+                frames.extend(joint.detach_queued(&key));
+            }
+            if frames.is_empty() {
+                continue;
+            }
+            let successor = p % new.len();
+            let Some(dst) = self.cluster.node(new[successor]) else {
+                continue;
+            };
+            moved += frames.iter().map(|f| f.len() as u64).sum::<u64>();
+            FeedManager::on(&dst).save_zombie_state(&format!("{prefix}#p{successor}"), frames);
+        }
+        if moved > 0 {
+            self.cluster
+                .registry()
+                .counter("elastic.frames_migrated", &[("joint", joint_id)])
+                .add(moved);
+            self.cluster.trace().cluster_log().event(
+                "elastic.repartition",
+                format!("{joint_id}: {moved} records re-parked for successors"),
+            );
+        }
+    }
+
+    /// Rebuild the segments consuming `out` after its placement changed
+    /// from `old_locs` to `new_locs`: dependent store connections and
+    /// downstream compute segments re-subscribe on the new placement, and
+    /// their aborted predecessors are queued for settling + migration.
+    fn rebuild_dependents(
+        &self,
+        st: &mut State,
+        out: &str,
+        old_locs: &[NodeId],
+        new_locs: &[NodeId],
+        migrations: &mut Vec<Migration>,
+    ) {
         let conn_ids: Vec<ConnectionId> = st
             .connections
             .values()
@@ -1298,12 +1729,25 @@ impl FeedController {
             .map(|c| c.id)
             .collect();
         for id in conn_ids {
-            if let Some(job) = st.connections.get_mut(&id).unwrap().job.take() {
-                job.abort();
+            let old_job = st.connections.get_mut(&id).unwrap().job.take();
+            if let Some(j) = &old_job {
+                j.abort();
             }
             let conn_ref = st.connections.get(&id).unwrap();
-            if let Ok(job) = self.spawn_store_job(&st, conn_ref) {
+            let key = conn_ref.key.clone();
+            if let Ok(job) = self.spawn_store_job(st, conn_ref) {
                 st.connections.get_mut(&id).unwrap().job = Some(job);
+            }
+            if let Some(job) = old_job {
+                migrations.push(Migration {
+                    job,
+                    repartition: Some((
+                        out.to_string(),
+                        format!("conn:{key}"),
+                        old_locs.to_vec(),
+                        new_locs.to_vec(),
+                    )),
+                });
             }
         }
         let compute_keys: Vec<String> = st
@@ -1315,11 +1759,153 @@ impl FeedController {
         for key in compute_keys {
             st.computes.get_mut(&key).unwrap().job.abort();
             let seg_ref = st.computes.get(&key).unwrap();
-            if let Ok(job) = self.spawn_compute_job(&st, seg_ref) {
-                st.computes.get_mut(&key).unwrap().job = job;
+            if let Ok(job) = self.spawn_compute_job(st, seg_ref) {
+                let old_job = std::mem::replace(&mut st.computes.get_mut(&key).unwrap().job, job);
+                migrations.push(Migration {
+                    job: old_job,
+                    repartition: Some((
+                        out.to_string(),
+                        format!("compute:{key}"),
+                        old_locs.to_vec(),
+                        new_locs.to_vec(),
+                    )),
+                });
             }
         }
+    }
+
+    /// Change the parallelism of the compute segment publishing `joint_id`
+    /// by `delta` instances (elastic scale-out/in). Dependent store and
+    /// compute segments are rebuilt to follow the joint; once the aborted
+    /// predecessors have exited, frames stranded on removed partitions are
+    /// migrated to their successors (no-loss scale-in).
+    pub fn scale_compute(&self, joint_id: &str, delta: i64) -> IngestResult<usize> {
+        let mut migrations: Vec<Migration> = Vec::new();
+        let new_n = {
+            let mut st = self.state.lock();
+            let alive: Vec<NodeId> = self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
+            let seg = st.computes.get_mut(joint_id).ok_or_else(|| {
+                IngestError::Metadata(format!("no compute segment publishes '{joint_id}'"))
+            })?;
+            let current = seg.compute_locations.len() as i64;
+            let target = (current + delta).max(1) as usize;
+            let target = target.min(alive.len().max(1));
+            if target == seg.compute_locations.len() {
+                return Ok(target);
+            }
+            let old_locs = seg.compute_locations.clone();
+            if target > seg.compute_locations.len() {
+                // add nodes not yet used, round-robin
+                let mut candidates: Vec<NodeId> = alive
+                    .iter()
+                    .copied()
+                    .filter(|n| !seg.compute_locations.contains(n))
+                    .collect();
+                while seg.compute_locations.len() < target {
+                    match candidates.pop() {
+                        Some(n) => seg.compute_locations.push(n),
+                        None => break,
+                    }
+                }
+            } else {
+                seg.compute_locations.truncate(target);
+            }
+            seg.job.abort();
+            let out = seg.out_joint.clone();
+            let locs = seg.compute_locations.clone();
+            let new_n = locs.len();
+            self.cluster
+                .trace()
+                .cluster_log()
+                .event("feed.scale", format!("{out}: {current} -> {new_n}"));
+            st.joints.insert(out.clone(), locs.clone());
+            self.preregister_joint(&out, &locs);
+            let seg_ref = st.computes.get(&out).unwrap();
+            let job = self.spawn_compute_job(&st, seg_ref)?;
+            let old_main = std::mem::replace(&mut st.computes.get_mut(&out).unwrap().job, job);
+            // the segment's own intake keeps its placement (it follows the
+            // *in*-joint): wait out the predecessor so its parked state is
+            // visible, but no repartitioning is needed
+            migrations.push(Migration {
+                job: old_main,
+                repartition: None,
+            });
+            self.rebuild_dependents(&mut st, &out, &old_locs, &locs, &mut migrations);
+            new_n
+        };
+        self.settle_and_migrate(migrations);
         Ok(new_n)
+    }
+
+    /// Distinct nodes currently running collect instances for `joint_id`
+    /// (the intake width the governor steers).
+    pub fn intake_width_of(&self, joint_id: &str) -> Option<usize> {
+        self.state
+            .lock()
+            .collects
+            .get(joint_id)
+            .map(|s| dedup_nodes(s.locations.clone()).len())
+    }
+
+    /// Change the *width* of the collect segment publishing `joint_id` by
+    /// `delta` distinct nodes (elastic intake scale-out/in). The number of
+    /// collect instances is fixed by the adaptor's constraint (one per
+    /// external datasource); scaling redistributes those instances across
+    /// more or fewer nodes. Dependent segments are rebuilt to follow the
+    /// joint, with the same settle-and-migrate no-loss protocol as
+    /// [`FeedController::scale_compute`].
+    pub fn scale_intake(&self, joint_id: &str, delta: i64) -> IngestResult<usize> {
+        let mut migrations: Vec<Migration> = Vec::new();
+        let new_w = {
+            let mut st = self.state.lock();
+            let alive: Vec<NodeId> = self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
+            let seg = st.collects.get_mut(joint_id).ok_or_else(|| {
+                IngestError::Metadata(format!("no collect segment publishes '{joint_id}'"))
+            })?;
+            let instances = seg.locations.len();
+            let old_locs = seg.locations.clone();
+            let current_nodes = dedup_nodes(old_locs.clone());
+            let current_w = current_nodes.len();
+            let max_w = instances.min(alive.len()).max(1);
+            let target = ((current_w as i64 + delta).max(1) as usize).min(max_w);
+            if target == current_w {
+                return Ok(current_w);
+            }
+            // keep current nodes for stability, grow with unused alive ones
+            let mut nodes = current_nodes;
+            for n in &alive {
+                if nodes.len() >= target {
+                    break;
+                }
+                if !nodes.contains(n) {
+                    nodes.push(*n);
+                }
+            }
+            nodes.truncate(target);
+            let new_locs: Vec<NodeId> = (0..instances).map(|i| nodes[i % nodes.len()]).collect();
+            seg.locations = new_locs.clone();
+            seg.job.abort();
+            self.cluster.trace().cluster_log().event(
+                "feed.scale_intake",
+                format!("{joint_id}: width {current_w} -> {target}"),
+            );
+            st.joints.insert(joint_id.to_string(), new_locs.clone());
+            self.preregister_joint(joint_id, &new_locs);
+            let seg_ref = st.collects.get(joint_id).unwrap();
+            let job = self.spawn_collect_job(seg_ref)?;
+            let old_main = std::mem::replace(&mut st.collects.get_mut(joint_id).unwrap().job, job);
+            // the old collect must stop depositing into the old joint
+            // instances before dependents' queues are harvested; its
+            // external sockets survive the swap (persistent source wire)
+            migrations.push(Migration {
+                job: old_main,
+                repartition: None,
+            });
+            self.rebuild_dependents(&mut st, joint_id, &old_locs, &new_locs, &mut migrations);
+            target
+        };
+        self.settle_and_migrate(migrations);
+        Ok(new_w)
     }
 }
 

@@ -150,6 +150,7 @@ pub struct FlowController {
     feed: FeedId,
     connection_key: String,
     elastic_signalled: bool,
+    capacity: usize,
 }
 
 impl FlowController {
@@ -209,6 +210,7 @@ impl FlowController {
             feed,
             connection_key: connection_key.into(),
             elastic_signalled: false,
+            capacity: capacity.max(1),
         }
     }
 
@@ -236,6 +238,12 @@ impl FlowController {
     /// if everything deferred has drained.
     pub fn drain_deferred(&mut self) -> IngestResult<bool> {
         self.check_downstream()?;
+        // refresh the congestion gauge from every housekeeping pass, not
+        // just offers — a drained-but-idle feed must read as depth 0 or the
+        // governor would keep seeing the last congested value forever
+        self.metrics
+            .handoff_queue_frames
+            .set(self.queue_depth() as u64);
         // memory backlog first (it is older under Basic; under Spill the
         // memory backlog is unused)
         while let Some(frame) = self.backlog.pop_front() {
@@ -269,7 +277,22 @@ impl FlowController {
                 Err(None) => return Err(IngestError::Disconnected("pipeline gone".into())),
             }
         }
+        // Everything deferred has drained. If the hand-off queue is also
+        // below its low-water mark (half capacity), the congestion episode
+        // is over: re-arm the elastic signal so the *next* episode can
+        // request scale-out again — without this a feed could only ever
+        // signal once in its lifetime. The low-water check keeps a
+        // still-saturated queue (one slot freeing momentarily) from
+        // flapping signal → drain-one-frame → re-arm → signal.
+        if self.elastic_signalled && self.queue_depth() * 2 <= self.capacity {
+            self.elastic_signalled = false;
+        }
         Ok(true)
+    }
+
+    /// Frames currently in the hand-off queue (the congestion sensor).
+    fn queue_depth(&self) -> usize {
+        self.q_tx.as_ref().map_or(0, |tx| tx.len())
     }
 
     /// Offer one frame to the pipeline, applying the ingestion policy to any
@@ -278,6 +301,9 @@ impl FlowController {
     pub fn offer(&mut self, frame: DataFrame) -> IngestResult<()> {
         self.check_downstream()?;
         let all_clear = self.drain_deferred()?;
+        self.metrics
+            .handoff_queue_frames
+            .set(self.queue_depth() as u64);
         if all_clear {
             match self.try_send(frame) {
                 Ok(()) => return Ok(()),
@@ -512,6 +538,9 @@ mod tests {
         fn open_gate(&self) {
             *self.gate.lock() = true;
         }
+        fn close_gate(&self) {
+            *self.gate.lock() = false;
+        }
         fn set_delay(&self, ms: u64) {
             *self.delay_ms.lock() = ms;
         }
@@ -724,6 +753,48 @@ mod tests {
         sink.open_gate();
         fc.finish().unwrap();
         assert_eq!(sink.records(), 150, "elastic buffered everything");
+    }
+
+    #[test]
+    fn elastic_rearms_after_congestion_clears() {
+        let sink = GatedSink::default();
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let mut fc = FlowController::new(
+            IngestionPolicy::elastic(),
+            metrics(),
+            Box::new(sink.clone()),
+            2,
+            FeedId(7),
+            "conn43",
+            Some(tx),
+        );
+        // episode 1: downstream stalled, excess signals scale-out once
+        congest(&mut fc, 10).unwrap();
+        assert!(rx.try_recv().is_ok(), "first episode signals");
+        assert!(rx.try_recv().is_err(), "exactly once per episode");
+        // congestion clears: downstream unblocks and the backlog drains
+        sink.open_gate();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let drained = fc.drain_deferred().unwrap();
+            if drained && sink.records() == 100 {
+                break; // queue empty (all delivered) and no deferred left
+            }
+            assert!(std::time::Instant::now() < deadline, "drain stalled");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // the queue is below low-water: the signal re-armed on its own
+        fc.drain_deferred().unwrap();
+        // episode 2: downstream stalls again — no manual reset needed
+        sink.close_gate();
+        congest(&mut fc, 10).unwrap();
+        assert!(
+            rx.try_recv().is_ok(),
+            "re-armed after congestion cleared; second episode signals"
+        );
+        sink.open_gate();
+        fc.finish().unwrap();
+        assert_eq!(sink.records(), 200, "elastic buffered everything");
     }
 
     #[test]

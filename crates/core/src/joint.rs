@@ -150,6 +150,36 @@ impl FeedJoint {
         }
     }
 
+    /// Remove the subscription under `key` and return the frames still
+    /// queued for it, in arrival order. This is the harvesting half of the
+    /// elastic repartitioning protocol: when scaling moves a partition off a
+    /// node, its successor subscribes elsewhere and would otherwise never
+    /// see frames buffered here. Shared-bucket holds are released exactly as
+    /// in [`FeedJoint::unsubscribe`], so the other subscribers are
+    /// unaffected; the returned frames are re-parked as zombie state on the
+    /// successor's node.
+    pub fn detach_queued(&self, key: &str) -> Vec<DataFrame> {
+        let entry = self.inner.lock().subscribers.remove(key);
+        let mut frames = Vec::new();
+        if let Some(entry) = entry {
+            while let Some(msg) = entry.rx.try_recv() {
+                match msg {
+                    JointMsg::Direct(frame) => frames.push(frame),
+                    JointMsg::Bucket(b) => {
+                        frames.push(b.frame.clone());
+                        if b.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            // relaxed-ok: standalone stat; reclamation is
+                            // ordered by the SeqCst refcount decrement above
+                            self.stats.buckets_reclaimed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    JointMsg::Retired => {}
+                }
+            }
+        }
+        frames
+    }
+
     /// Current number of subscribers.
     pub fn subscriber_count(&self) -> usize {
         self.inner.lock().subscribers.len()
@@ -470,6 +500,24 @@ mod tests {
         assert!(sub.queued_bytes() > 0);
         drain(&sub, 1);
         assert_eq!(sub.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn detach_queued_harvests_frames_and_releases_buckets() {
+        let joint = FeedJoint::new("F");
+        let s1 = joint.subscribe("a");
+        let _s2 = joint.subscribe("b");
+        joint.deposit(frame(0..2)).unwrap();
+        joint.deposit(frame(2..4)).unwrap();
+        drain(&s1, 2); // `a` consumed both; `b` still holds its copies
+        let harvested = joint.detach_queued("b");
+        assert_eq!(harvested.len(), 2);
+        assert_eq!(harvested[0].records()[0].id, RecordId(0));
+        assert_eq!(harvested[1].records()[0].id, RecordId(2));
+        assert_eq!(joint.stats.buckets_reclaimed.load(Ordering::Relaxed), 2);
+        assert_eq!(joint.subscriber_count(), 1);
+        // detaching an unknown key is a harmless no-op
+        assert!(joint.detach_queued("nope").is_empty());
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod builder;
 pub mod catalog;
 pub mod controller;
 pub mod flow;
+pub mod governor;
 pub mod joint;
 pub mod manager;
 pub mod metrics;

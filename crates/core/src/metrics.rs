@@ -65,6 +65,9 @@ pub struct FeedMetrics {
     pub spill_bytes: Gauge,
     /// Current in-memory excess buffer size in bytes (gauge).
     pub buffer_bytes: Gauge,
+    /// Current hand-off queue depth in frames (gauge) — the congestion
+    /// sensor the scaling governor samples.
+    pub handoff_queue_frames: Gauge,
     /// Sim-milliseconds the most recent hard-failure recovery took, from
     /// failure handling to the connection going active again (gauge).
     pub last_recovery_millis: Gauge,
@@ -107,6 +110,7 @@ impl FeedMetrics {
             zombie_frames_adopted: counter("zombie_frames_adopted"),
             spill_bytes: gauge("spill_bytes"),
             buffer_bytes: gauge("buffer_bytes"),
+            handoff_queue_frames: gauge("handoff_queue_frames"),
             last_recovery_millis: gauge("last_recovery_millis"),
             ingest_lag_millis: registry.histogram("feed.ingest_lag_millis", labels),
             meter: RateMeter::new(origin, bucket),

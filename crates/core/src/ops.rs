@@ -506,6 +506,26 @@ impl IntakeSource {
         }
     }
 
+    /// Adopt zombie state parked *after* this instance was instantiated.
+    ///
+    /// Instantiate-time adoption (§6.2.2) only sees frames the predecessor
+    /// had already parked. During an elastic rebuild the old job is aborted
+    /// asynchronously, so it can park its deferred work after the successor
+    /// started — and the repartitioning sweep re-parks migrated frames under
+    /// this key once the old job has fully exited. Polling from the quiet
+    /// paths closes both windows without any cross-job handshake.
+    fn adopt_late_zombies(&mut self, fm: &Arc<FeedManager>) -> IngestResult<()> {
+        if !fm.has_zombie_state(&self.sub_key) {
+            return Ok(());
+        }
+        let zombie = fm.take_zombie_state(&self.sub_key);
+        if zombie.is_empty() {
+            return Ok(());
+        }
+        let flow = self.flow.as_mut().expect("flow active");
+        flow.adopt_deferred(zombie)
+    }
+
     fn handle_acks_and_replays(&mut self) -> IngestResult<()> {
         let due = match &self.tracker {
             Some(t) => {
@@ -562,6 +582,12 @@ impl SourceOperator for IntakeSource {
                 return Err(IngestError::Disconnected(
                     "chaos: injected operator panic".into(),
                 ));
+            }
+            // adopt re-parked state every iteration, busy or not: migrated
+            // frames must not wait for the stream to dry up
+            if let Err(e) = self.adopt_late_zombies(&fm) {
+                self.fail_with_zombie(&fm);
+                return Err(e);
             }
             match sub.recv(&self.clock, poll) {
                 JointRecv::Frame(frame) => {
@@ -655,6 +681,14 @@ impl SourceOperator for IntakeSource {
             return Err(IngestError::Disconnected(
                 "chaos: injected operator panic".into(),
             ));
+        }
+        // adopt re-parked state on every slice, busy or quiet: under a
+        // sustained load a successor intake may not see a quiet slice for
+        // the lifetime of the ramp, and migrated frames must not wait for
+        // the stream to dry up (the probe is one map lookup)
+        if let Err(e) = self.adopt_late_zombies(&fm) {
+            self.fail_with_zombie(&fm);
+            return Err(e);
         }
         let mut produced = false;
         for _ in 0..INTAKE_FRAMES_PER_SLICE {

@@ -595,6 +595,172 @@ fn discard_gaps_contiguous_vs_throttle_under_identical_chaos() {
 }
 
 // ---------------------------------------------------------------------------
+// elastic scale-in under chaos: a node dies mid-repartition and the
+// settle-and-migrate protocol plus at-least-once replay still converge to
+// the exact generated record-id set
+// ---------------------------------------------------------------------------
+
+/// One scale-in chaos round: a 4-node FaultTolerant connection with a
+/// compute stage scales out to three partitions under flow, then scales
+/// back in right before a scheduled kill of an unprotected node, so the
+/// kill lands while the removed partitions' state is being settled and
+/// migrated. The revived node rejoins before the pattern ends. Whatever
+/// interleaving the seed produces, the dataset must converge to every
+/// generated id (at-least-once, no gaps).
+fn scale_in_soak_once(seed: u64, addr: &str, kill_at: u64) -> SoakOutcome {
+    let clock = SimClock::with_scale(100.0); // 100 real ms per sim-second
+    let cluster = Cluster::start(
+        4,
+        clock.clone(),
+        ClusterConfig {
+            heartbeat_interval: SimDuration::from_millis(250),
+            failure_threshold: SimDuration::from_millis(1500),
+        },
+    );
+    // node 0 is protected (it hosts the collect job); the victim is the
+    // last node, which carries compute/store partitions after scale-out
+    let victim = NodeId(3);
+    let plan = Arc::new(FaultPlan::from_events(
+        seed,
+        vec![
+            FaultEvent {
+                at_record: kill_at,
+                kind: FaultKind::KillNode(victim),
+            },
+            FaultEvent {
+                at_record: kill_at + 600,
+                kind: FaultKind::ReviveNode(victim),
+            },
+        ],
+    ));
+    let schedule = plan.describe();
+    cluster.arm_fault_plan(Arc::clone(&plan));
+
+    let catalog = FeedCatalog::new(paper_registry());
+    catalog
+        .adaptors()
+        .register(Arc::new(ChaosAdaptorFactory::new(
+            Arc::new(TweetGenAdaptorFactory),
+            Arc::clone(&plan),
+        )));
+    let controller = FeedController::start(
+        cluster.clone(),
+        Arc::clone(&catalog),
+        ControllerConfig {
+            compute_parallelism: Some(1),
+            fault_plan: Some(Arc::clone(&plan)),
+            ..ControllerConfig::default()
+        },
+    );
+    let nodegroup: Vec<NodeId> = cluster.alive_nodes().iter().map(|n| n.id()).collect();
+    let dataset = Arc::new(
+        Dataset::create(DatasetConfig {
+            name: "Tweets".into(),
+            datatype: "Tweet".into(),
+            primary_key: "id".into(),
+            nodegroup,
+        })
+        .unwrap(),
+    );
+    catalog.register_dataset(Arc::clone(&dataset));
+    catalog.create_function(Udf::add_hash_tags()).unwrap();
+    let gen = TweetGen::bind(
+        TweetGenConfig::new(addr, 0, PatternDescriptor::constant(200, 10)),
+        clock.clone(),
+    )
+    .unwrap();
+    FeedBuilder::new("TwitterFeed")
+        .adaptor("chaos:TweetGenAdaptor")
+        .param("datasource", addr)
+        .register(&catalog)
+        .unwrap();
+    FeedBuilder::new("ProcessedTwitterFeed")
+        .parent("TwitterFeed")
+        .udf("addHashTags")
+        .register(&catalog)
+        .unwrap();
+    let conn = controller
+        .connect_feed("ProcessedTwitterFeed", "Tweets", "FaultTolerant")
+        .unwrap();
+    let joint = "TwitterFeed:addHashTags";
+
+    // scale out early, while the stream is flowing
+    assert!(
+        wait_until(Duration::from_secs(30), || dataset.len() > 50),
+        "seed {seed:#x}: pipeline never started flowing"
+    );
+    assert_eq!(controller.scale_compute(joint, 2).unwrap(), 3);
+    // hold the scale-in until just before the kill becomes due, so the
+    // repartitioning and the node death overlap
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            plan.records_seen() + 150 >= kill_at
+        }),
+        "seed {seed:#x}: stream stalled before the kill point"
+    );
+    assert_eq!(controller.scale_compute(joint, -2).unwrap(), 1);
+
+    let generated = wait_pattern_done(&gen);
+    assert!(
+        wait_until(Duration::from_secs(60), || dataset.len() as u64
+            >= generated),
+        "seed {seed:#x}: recovered to {} of {generated} records; schedule:\n{schedule}",
+        dataset.len()
+    );
+    assert_eq!(
+        plan.unfired_count(),
+        0,
+        "seed {seed:#x}: schedule did not fully fire:\n{schedule}"
+    );
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            controller.connection_state(conn) == ConnectionState::Active
+        }),
+        "seed {seed:#x}: connection never returned to Active"
+    );
+    assert_eq!(
+        controller.compute_parallelism_of(joint),
+        Some(1),
+        "seed {seed:#x}: scale-in did not stick across the kill"
+    );
+    let m = controller.connection_metrics(conn).unwrap();
+    let out = SoakOutcome {
+        schedule,
+        generated,
+        ids: dataset_ids(&dataset),
+        hard_recoveries: m.hard_failures_recovered.get(),
+        last_recovery_millis: m.last_recovery_millis.get(),
+    };
+    gen.stop();
+    controller.shutdown();
+    cluster.shutdown();
+    out
+}
+
+#[test]
+fn scale_in_soak_survives_node_kill_mid_repartition() {
+    for i in 0..soak_iters() {
+        let seed = 0x5CA1_E000_0000_0000 | i;
+        // slide the kill across the scale-in window so successive
+        // iterations exercise different interleavings of the settle-and-
+        // migrate protocol and the node death
+        let kill_at = 1_000 + i * 150;
+        let out = scale_in_soak_once(seed, &format!("chaos-scalein-{i}:9000"), kill_at);
+        assert_eq!(
+            out.ids,
+            expected_ids(0, out.generated),
+            "seed {seed:#x}: record-id set diverged; schedule:\n{}",
+            out.schedule
+        );
+        assert!(
+            out.hard_recoveries >= 1,
+            "seed {seed:#x}: no hard failure was recorded as recovered"
+        );
+        assert!(out.last_recovery_millis > 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // torn WAL tail: recovery is all-or-nothing
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,70 @@
+//! Controller teardown must be deterministic: `FeedController::shutdown`
+//! closes the elastic channel and joins both `cfm-*` monitor threads, so no
+//! named controller thread survives the call. Kept in its own test binary —
+//! the assertion scans the whole process's thread list, which would race
+//! against sibling tests spinning up their own controllers.
+
+use asterix_adm::types::paper_registry;
+use asterix_common::{SimClock, SimDuration};
+use asterix_feeds::catalog::FeedCatalog;
+use asterix_feeds::controller::{ControllerConfig, FeedController};
+use asterix_feeds::governor::GovernorConfig;
+use asterix_hyracks::cluster::{Cluster, ClusterConfig};
+use std::time::{Duration, Instant};
+
+/// Names of this process's live threads starting with `cfm-` (Linux comm
+/// names are truncated to 15 bytes, so match on the prefix only).
+fn cfm_threads() -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(dir) = std::fs::read_dir("/proc/self/task") {
+        for task in dir.flatten() {
+            if let Ok(name) = std::fs::read_to_string(task.path().join("comm")) {
+                let name = name.trim().to_string();
+                if name.starts_with("cfm-") {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn shutdown_leaves_no_cfm_thread_behind() {
+    let clock = SimClock::with_scale(10.0);
+    let cluster = Cluster::start(
+        2,
+        clock,
+        ClusterConfig {
+            heartbeat_interval: SimDuration::from_secs(5),
+            failure_threshold: SimDuration::from_secs(1_000_000),
+        },
+    );
+    let catalog = FeedCatalog::new(paper_registry());
+    let controller = FeedController::start(
+        cluster.clone(),
+        catalog,
+        ControllerConfig {
+            governor: GovernorConfig {
+                enabled: true,
+                ..GovernorConfig::default()
+            },
+            ..ControllerConfig::default()
+        },
+    );
+    // both monitors are up before shutdown
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while cfm_threads().len() < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(cfm_threads().len(), 2, "monitors did not start");
+    controller.shutdown();
+    // shutdown joins: the threads are gone the moment it returns
+    assert!(
+        cfm_threads().is_empty(),
+        "leaked controller threads: {:?}",
+        cfm_threads()
+    );
+    cluster.shutdown();
+}

@@ -416,6 +416,33 @@ impl Scheduler {
         }
     }
 
+    /// Run `f` every `interval` as a cooperative task — the housekeeping
+    /// shape (control loops, monitors): no dedicated thread, parks between
+    /// ticks, re-checks within `interval` of a wake. `f` returning `true`
+    /// schedules the next tick; `false` completes the task. A waker from
+    /// the handle fires a tick early (used to make shutdown prompt).
+    pub fn spawn_periodic(
+        &self,
+        name: impl Into<String>,
+        interval: Duration,
+        f: impl FnMut() -> bool + Send + 'static,
+    ) -> TaskHandle {
+        struct Periodic<F> {
+            interval: Duration,
+            f: F,
+        }
+        impl<F: FnMut() -> bool + Send> Task for Periodic<F> {
+            fn run_slice(&mut self) -> SliceState {
+                if (self.f)() {
+                    SliceState::Pending(Some(self.interval))
+                } else {
+                    SliceState::Done(Ok(()))
+                }
+            }
+        }
+        self.spawn(name, Box::new(Periodic { interval, f }))
+    }
+
     /// Stop the pool: workers exit, then every unfinished cooperative task
     /// is failed so joiners cannot hang. Blocking tasks keep running until
     /// their own stop conditions fire (they hold their own threads).
@@ -654,6 +681,33 @@ mod tests {
             self.hits.fetch_add(1, Ordering::SeqCst);
             SliceState::Ready
         }
+    }
+
+    #[test]
+    fn spawn_periodic_ticks_until_false_and_wakes_early() {
+        let (s, _reg) = sched(2);
+        let ticks = Arc::new(StdAtomicUsize::new(0));
+        let t = Arc::clone(&ticks);
+        // long interval: without early wakes this would take ~minutes
+        let h = s.spawn_periodic("ticker", Duration::from_secs(60), move || {
+            t.fetch_add(1, Ordering::SeqCst) + 1 < 3
+        });
+        // first tick fires on spawn
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while ticks.load(Ordering::SeqCst) < 1 {
+            assert!(Instant::now() < deadline, "first tick never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // a wake runs the next tick well before the interval elapses
+        h.waker().wake();
+        while ticks.load(Ordering::SeqCst) < 2 {
+            assert!(Instant::now() < deadline, "woken tick never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        h.waker().wake(); // third tick returns false → task completes
+        h.join().expect("periodic task ok");
+        assert_eq!(ticks.load(Ordering::SeqCst), 3);
+        s.shutdown();
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! (the socket) is full, further tweets are counted as dropped-on-the-wire —
 //! the external source "continues to send data irrespective of any failures
 //! that have occurred inside the data management system" (§1.1.4).
+//!
+//! The socket outlives any single consumer: a receiver that goes away (a
+//! collect job being rebuilt during an elastic repartition) leaves the
+//! buffer and the generator's position intact, and the next handshake
+//! resumes the stream rather than restarting the pattern.
 
 use crate::gen::TweetFactory;
 use crate::pattern::PatternDescriptor;
@@ -67,6 +72,12 @@ struct Binding {
     running: Arc<AtomicBool>,
     generated: Arc<AtomicU64>,
     wire_drops: Arc<AtomicU64>,
+    /// The persistent "socket": created on the first handshake, shared by
+    /// every later one. A receiver that disconnects (e.g. a collect job
+    /// being rebuilt during an intake scale) does not tear the wire down —
+    /// buffered tweets wait in the socket buffer and the next [`connect`]
+    /// resumes the same stream where the previous consumer left off.
+    wire: Mutex<Option<Receiver<StampedTweet>>>,
 }
 
 static REGISTRY: Mutex<Option<HashMap<String, Arc<Binding>>>> = Mutex::new(None);
@@ -99,6 +110,7 @@ impl TweetGen {
             running: Arc::clone(&running),
             generated: Arc::clone(&generated),
             wire_drops: Arc::clone(&wire_drops),
+            wire: Mutex::new(None),
         });
         map.insert(config.addr.clone(), binding);
         Ok(TweetGen {
@@ -141,9 +153,13 @@ impl Drop for TweetGen {
     }
 }
 
-/// Handshake with the instance bound at `addr`. Generation starts now; the
-/// returned receiver yields generation-stamped JSON tweets until the
-/// pattern completes (channel closes) or the instance is stopped.
+/// Handshake with the instance bound at `addr`. Generation starts at the
+/// *first* handshake; the returned receiver yields generation-stamped JSON
+/// tweets until the pattern completes (channel closes) or the instance is
+/// stopped. A later handshake — e.g. a rebuilt collect job during an
+/// elastic intake repartition — resumes the same stream: the socket buffer
+/// and the generator's position survive the consumer swap, so nothing is
+/// re-generated from zero and nothing buffered is lost.
 pub fn connect(addr: &str) -> IngestResult<Receiver<StampedTweet>> {
     let binding = {
         let reg = REGISTRY.lock();
@@ -152,7 +168,13 @@ pub fn connect(addr: &str) -> IngestResult<Receiver<StampedTweet>> {
             .cloned()
             .ok_or_else(|| IngestError::Disconnected(format!("no TweetGen bound at {addr}")))?
     };
+    let mut wire = binding.wire.lock();
+    if let Some(rx) = wire.as_ref() {
+        return Ok(rx.clone());
+    }
     let (tx, rx) = crossbeam_channel::bounded(binding.config.socket_buffer);
+    *wire = Some(rx.clone());
+    drop(wire);
     spawn_pusher(binding, tx);
     Ok(rx)
 }
@@ -302,6 +324,30 @@ mod tests {
         let received = rx.try_iter().count();
         assert!(received <= 16 + 1);
         assert!(g.wire_drops() > 0, "expected drops, got none");
+        g.stop();
+    }
+
+    #[test]
+    fn reconnect_resumes_stream_without_restart_or_loss() {
+        let p = PatternDescriptor::constant(100, 5); // ~500 tweets
+        let g = TweetGen::bind(TweetGenConfig::new("t6:9000", 3, p), clock()).unwrap();
+        let rx1 = connect("t6:9000").unwrap();
+        let mut tweets: Vec<StampedTweet> = Vec::new();
+        for _ in 0..50 {
+            tweets.push(rx1.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
+        }
+        drop(rx1); // consumer goes away mid-pattern (e.g. collect rebuild)
+        let rx2 = connect("t6:9000").unwrap();
+        tweets.extend(rx2.iter()); // resumes the same stream to its end
+        assert_eq!(g.wire_drops(), 0, "buffer survived the consumer swap");
+        let n = tweets.len();
+        assert!((400..=550).contains(&n), "got {n} tweets");
+        // ids are contiguous from zero with no duplicates: the pattern was
+        // neither restarted (dup ids) nor advanced blindly (gaps)
+        for (i, t) in tweets.iter().enumerate() {
+            let want = format!("\"3-{i}\"");
+            assert!(t.json.contains(&want), "tweet {i} missing id {want}");
+        }
         g.stop();
     }
 
