@@ -37,7 +37,8 @@ pub enum Statement {
         /// `rtree` or `btree`.
         rtree: bool,
     },
-    /// `create feed <name> using <adaptor>(params) [apply function <f>]`.
+    /// `create feed <name> using <adaptor>(params) [apply function <f>]
+    /// [route [multicast] to <arm>, ...]`.
     CreateFeed {
         /// Feed name.
         name: String,
@@ -47,6 +48,12 @@ pub enum Statement {
         params: BTreeMap<String, String>,
         /// Optional pre-processing function.
         apply: Option<String>,
+        /// Routing arms of a multi-sink ingestion plan (empty for a plain
+        /// single-sink feed).
+        route: Vec<RouteArm>,
+        /// `route multicast to ...`: deliver to every matching arm instead
+        /// of the first.
+        multicast: bool,
     },
     /// `create secondary feed <name> from feed <parent> [apply function <f>]`.
     CreateSecondaryFeed {
@@ -84,6 +91,11 @@ pub enum Statement {
         /// Policy name (`Basic` when omitted, §4.5).
         policy: String,
     },
+    /// `connect plan <feed>` — activate every sink of a routed feed at once.
+    ConnectPlan {
+        /// Feed (plan) name.
+        feed: String,
+    },
     /// `disconnect feed <feed> from dataset <dataset>`.
     DisconnectFeed {
         /// Feed name.
@@ -102,6 +114,24 @@ pub enum Statement {
     },
     /// A bare query.
     Query(Expr),
+}
+
+/// One routing arm of `create feed ... route to`.
+///
+/// `to <dataset> where <expr>` routes records satisfying the predicate;
+/// `to <dataset> otherwise` (no predicate) is the catch-all arm. Each arm
+/// may carry its own ingestion policy, optionally with parameter overrides:
+/// `with policy Spill ("max.spill.size.on.disk"="512MB")`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteArm {
+    /// Target dataset.
+    pub dataset: String,
+    /// Routing predicate; `None` means `otherwise`.
+    pub predicate: Option<Expr>,
+    /// Ingestion policy name (controller default applies when omitted).
+    pub policy: Option<String>,
+    /// Policy parameter overrides.
+    pub policy_params: BTreeMap<String, String>,
 }
 
 /// A field declaration in `create type`.

@@ -15,14 +15,15 @@
 use crate::ast::{Expr, Statement, TypeExpr};
 use crate::eval::{eval, eval_flwor, Env, EvalContext};
 use crate::rewrite::{self, ChainStep};
+use crate::route::compile_route_predicate;
 use asterix_adm::{payload_from_value, AdmType, AdmValue, Field, RecordType};
 use asterix_common::sync::Mutex;
 use asterix_common::{DataFrame, IngestError, IngestResult, NodeId, Record};
-use asterix_feeds::adaptor::AdaptorConfig;
-use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
+use asterix_feeds::catalog::FeedCatalog;
 use asterix_feeds::controller::{ConnectionId, ControllerConfig, FeedController};
 use asterix_feeds::metrics::FeedMetrics;
 use asterix_feeds::ops::{new_soft_failure_log, store_key_fn, StoreDesc};
+use asterix_feeds::plan::{IngestPlanBuilder, SinkSpec};
 use asterix_feeds::policy::IngestionPolicy;
 use asterix_feeds::udf::{Udf, UdfKind};
 use asterix_hyracks::cluster::Cluster;
@@ -42,6 +43,8 @@ pub enum ExecOutcome {
     Done(String),
     /// A feed was connected.
     Connected(ConnectionId),
+    /// A routed plan was connected: one connection per sink, in arm order.
+    ConnectedPlan(Vec<ConnectionId>),
     /// An insert completed; number of records inserted.
     Inserted(usize),
     /// A query produced rows.
@@ -228,25 +231,54 @@ impl AsterixEngine {
                 adaptor,
                 params,
                 apply,
+                route,
+                multicast,
             } => {
-                let config: AdaptorConfig = params.into_iter().collect();
-                self.catalog.create_feed(FeedDef {
-                    name: name.clone(),
-                    kind: FeedKind::Primary { adaptor, config },
-                    udf: apply,
-                })?;
-                Ok(ExecOutcome::Done(format!("feed {name} created")))
+                let mut b = IngestPlanBuilder::new(name.clone()).adaptor(adaptor);
+                for (k, v) in params {
+                    b = b.param(k, v);
+                }
+                if let Some(f) = apply {
+                    b = b.udf(f);
+                }
+                if route.is_empty() {
+                    // plain single-sink feed: register the head definition;
+                    // the target dataset arrives later via `connect feed`
+                    b.register_feeds(&self.catalog)?;
+                    return Ok(ExecOutcome::Done(format!("feed {name} created")));
+                }
+                if multicast {
+                    b = b.multicast();
+                }
+                for arm in route {
+                    let mut sink = SinkSpec::to(arm.dataset);
+                    if let Some(pred) = &arm.predicate {
+                        sink = sink.route(compile_route_predicate(pred)?);
+                    }
+                    if let Some(p) = arm.policy {
+                        sink = sink.policy(p);
+                    }
+                    for (k, v) in arm.policy_params {
+                        sink = sink.policy_param(k, v);
+                    }
+                    b = b.sink(sink);
+                }
+                let plan = b.register(&self.catalog)?;
+                Ok(ExecOutcome::Done(format!(
+                    "feed {name} created routing to {} sinks",
+                    plan.sinks.len()
+                )))
             }
             Statement::CreateSecondaryFeed {
                 name,
                 parent,
                 apply,
             } => {
-                self.catalog.create_feed(FeedDef {
-                    name: name.clone(),
-                    kind: FeedKind::Secondary { parent },
-                    udf: apply,
-                })?;
+                let mut b = IngestPlanBuilder::new(name.clone()).parent(parent);
+                if let Some(f) = apply {
+                    b = b.udf(f);
+                }
+                b.register_feeds(&self.catalog)?;
                 Ok(ExecOutcome::Done(format!("secondary feed {name} created")))
             }
             Statement::CreateFunction { name, param, body } => {
@@ -294,6 +326,11 @@ impl AsterixEngine {
             } => {
                 let id = self.controller.connect_feed(&feed, &dataset, &policy)?;
                 Ok(ExecOutcome::Connected(id))
+            }
+            Statement::ConnectPlan { feed } => {
+                let plan = self.catalog.plan(&feed)?;
+                let ids = self.controller.connect_plan(&plan)?;
+                Ok(ExecOutcome::ConnectedPlan(ids))
             }
             Statement::DisconnectFeed { feed, dataset } => {
                 self.controller.disconnect_feed(&feed, &dataset)?;

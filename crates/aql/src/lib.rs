@@ -24,14 +24,25 @@
 //!   inspection exactly as the paper's Listings 5.3/5.7 show it;
 //! * [`engine`] — [`engine::AsterixEngine`]: parses statements and executes
 //!   them against the cluster, the storage layer and the feed controller.
+//!
+//! The `create feed` DDL extends past the paper into declarative ingestion
+//! plans: `route [multicast] to <dataset> where <pred>, to <dataset>
+//! otherwise with policy <name> (...)` arms compile ([`route`]) into the
+//! typed plan IR of `asterix_feeds::plan`, and `connect plan <feed>`
+//! activates every sink at once. [`pretty`] prints any parsed AST back to
+//! statement text such that reparsing reproduces the AST node for node.
 
 pub mod ast;
 pub mod engine;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod pretty;
 pub mod rewrite;
+pub mod route;
 
 pub use ast::{Expr, Statement};
 pub use engine::{AsterixEngine, ExecOutcome};
 pub use parser::parse_statements;
+pub use pretty::{pretty_statement, pretty_statements};
+pub use route::compile_route_predicate;

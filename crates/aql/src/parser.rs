@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the mini-AQL grammar.
 
-use crate::ast::{BinOp, Expr, FlworClause, GroupBy, Statement, TypeExpr, TypeField};
+use crate::ast::{BinOp, Expr, FlworClause, GroupBy, RouteArm, Statement, TypeExpr, TypeField};
 use crate::lexer::{tokenize, Token};
 use asterix_adm::AdmValue;
 use asterix_common::{IngestError, IngestResult};
@@ -139,6 +139,11 @@ impl Parser {
             return self.create_statement();
         }
         if self.eat_kw("connect") {
+            if self.eat_kw("plan") {
+                return Ok(Statement::ConnectPlan {
+                    feed: self.ident()?,
+                });
+            }
             self.expect_kw("feed")?;
             let feed = self.ident()?;
             self.expect_kw("to")?;
@@ -271,11 +276,14 @@ impl Parser {
             let adaptor = self.ident()?;
             let params = self.param_list()?;
             let apply = self.apply_clause()?;
+            let (route, multicast) = self.route_clause()?;
             return Ok(Statement::CreateFeed {
                 name,
                 adaptor,
                 params,
                 apply,
+                route,
+                multicast,
             });
         }
         if self.eat_kw("function") {
@@ -331,6 +339,44 @@ impl Parser {
             self.expect_punct(")")?;
         }
         Ok(params)
+    }
+
+    /// `route [multicast] to <ds> [where <expr> | otherwise]
+    /// [with policy <name> [(params)]] , ...` — the multi-sink arm list of
+    /// an ingestion plan. Absent clause means a plain single-sink feed.
+    fn route_clause(&mut self) -> IngestResult<(Vec<RouteArm>, bool)> {
+        if !self.eat_kw("route") {
+            return Ok((Vec::new(), false));
+        }
+        let multicast = self.eat_kw("multicast");
+        let mut arms = Vec::new();
+        loop {
+            self.expect_kw("to")?;
+            let dataset = self.ident()?;
+            let predicate = if self.eat_kw("where") {
+                Some(self.or_expr()?)
+            } else {
+                // `otherwise` is optional syntax for the catch-all arm
+                self.eat_kw("otherwise");
+                None
+            };
+            let (policy, policy_params) = if self.eat_kw("with") {
+                self.expect_kw("policy")?;
+                (Some(self.ident()?), self.param_list()?)
+            } else {
+                (None, BTreeMap::new())
+            };
+            arms.push(RouteArm {
+                dataset,
+                predicate,
+                policy,
+                policy_params,
+            });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok((arms, multicast))
     }
 
     fn apply_clause(&mut self) -> IngestResult<Option<String>> {
@@ -625,6 +671,10 @@ impl Parser {
                     self.bump();
                     return Ok(Expr::Literal(AdmValue::Null));
                 }
+                if name.eq_ignore_ascii_case("missing") {
+                    self.bump();
+                    return Ok(Expr::Literal(AdmValue::Missing));
+                }
                 self.bump();
                 // function call?
                 if self.eat_punct("(") {
@@ -724,14 +774,85 @@ mod tests {
                 adaptor,
                 params,
                 apply,
+                route,
+                multicast,
             } => {
                 assert_eq!(name, "TwitterFeed");
                 assert_eq!(adaptor, "TwitterAdaptor");
                 assert_eq!(params.get("query").unwrap(), "Obama");
                 assert!(apply.is_none());
+                assert!(route.is_empty());
+                assert!(!multicast);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_routed_create_feed() {
+        let stmts = parse_statements(
+            r#"create feed SplitFeed using socket_adaptor ("sockets"="nc:9000")
+                 route to UsTweets where $t.country = "US",
+                       to PopularTweets where $t.user.followers_count > 50000
+                           with policy Spill,
+                       to RestTweets otherwise
+                           with policy Discard ("excess.records.discard"="true");"#,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::CreateFeed {
+                name,
+                route,
+                multicast,
+                ..
+            } => {
+                assert_eq!(name, "SplitFeed");
+                assert!(!multicast);
+                assert_eq!(route.len(), 3);
+                assert_eq!(route[0].dataset, "UsTweets");
+                assert!(matches!(
+                    route[0].predicate,
+                    Some(Expr::Bin(BinOp::Eq, _, _))
+                ));
+                assert_eq!(route[1].policy.as_deref(), Some("Spill"));
+                assert!(route[2].predicate.is_none());
+                assert_eq!(
+                    route[2]
+                        .policy_params
+                        .get("excess.records.discard")
+                        .unwrap(),
+                    "true"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multicast_route_and_connect_plan() {
+        let stmts = parse_statements(
+            r#"create feed TeeFeed using socket_adaptor ("sockets"="nc:9001")
+                 route multicast to AllTweets,
+                       to UsOnly where $t.country = "US";
+               connect plan TeeFeed;"#,
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::CreateFeed {
+                route, multicast, ..
+            } => {
+                assert!(multicast);
+                assert_eq!(route.len(), 2);
+                assert!(route[0].predicate.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            stmts[1],
+            Statement::ConnectPlan {
+                feed: "TeeFeed".into()
+            }
+        );
     }
 
     #[test]

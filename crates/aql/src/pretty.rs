@@ -1,0 +1,448 @@
+//! The AQL pretty-printer: AST back to statement text.
+//!
+//! The printer is the inverse of the parser over everything the parser can
+//! produce: `parse(pretty(parse(text)))` equals `parse(text)` node for node
+//! (the round-trip property the `roundtrip` integration tests pin down).
+//! Binary expressions are printed precedence-aware, inserting parentheses
+//! exactly where reparsing would otherwise associate differently.
+//!
+//! Literal values that have no AQL literal syntax (points, datetimes,
+//! lists, records — only constructible programmatically, never by the
+//! parser) are printed as the equivalent constructor expressions
+//! (`create-point(...)`, `[...]`, `{...}`), which evaluate back to the same
+//! value but reparse as calls/constructors rather than literals.
+
+use crate::ast::{BinOp, Expr, FlworClause, RouteArm, Statement, TypeExpr};
+use asterix_adm::AdmValue;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Print a statement batch, one statement per line, `;`-terminated.
+pub fn pretty_statements(stmts: &[Statement]) -> String {
+    stmts
+        .iter()
+        .map(pretty_statement)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Print one statement, `;`-terminated.
+pub fn pretty_statement(stmt: &Statement) -> String {
+    let mut s = String::new();
+    match stmt {
+        Statement::UseDataverse(name) => write_str(&mut s, format_args!("use dataverse {name}")),
+        Statement::CreateType { name, open, fields } => {
+            let kw = if *open { "open" } else { "closed" };
+            write_str(&mut s, format_args!("create type {name} as {kw} {{ "));
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let opt = if f.optional { "?" } else { "" };
+                write_str(
+                    &mut s,
+                    format_args!("{}: {}{opt}", f.name, type_expr(&f.ty)),
+                );
+            }
+            s.push_str(" }");
+        }
+        Statement::CreateDataset {
+            name,
+            datatype,
+            primary_key,
+        } => write_str(
+            &mut s,
+            format_args!("create dataset {name}({datatype}) primary key {primary_key}"),
+        ),
+        Statement::CreateIndex {
+            name,
+            dataset,
+            field,
+            rtree,
+        } => {
+            let kind = if *rtree { "rtree" } else { "btree" };
+            write_str(
+                &mut s,
+                format_args!("create index {name} on {dataset}({field}) type {kind}"),
+            );
+        }
+        Statement::CreateFeed {
+            name,
+            adaptor,
+            params,
+            apply,
+            route,
+            multicast,
+        } => {
+            write_str(&mut s, format_args!("create feed {name} using {adaptor}"));
+            s.push_str(&param_list(params));
+            if let Some(f) = apply {
+                write_str(&mut s, format_args!(" apply function {}", name_token(f)));
+            }
+            if !route.is_empty() {
+                s.push_str(" route");
+                if *multicast {
+                    s.push_str(" multicast");
+                }
+                for (i, arm) in route.iter().enumerate() {
+                    s.push_str(if i == 0 { " " } else { ", " });
+                    s.push_str(&route_arm(arm));
+                }
+            }
+        }
+        Statement::CreateSecondaryFeed {
+            name,
+            parent,
+            apply,
+        } => {
+            write_str(
+                &mut s,
+                format_args!("create secondary feed {name} from feed {parent}"),
+            );
+            if let Some(f) = apply {
+                write_str(&mut s, format_args!(" apply function {}", name_token(f)));
+            }
+        }
+        Statement::CreateFunction { name, param, body } => write_str(
+            &mut s,
+            format_args!(
+                "create function {name}(${param}) {{ {} }}",
+                pretty_expr(body)
+            ),
+        ),
+        Statement::CreatePolicy { name, base, params } => {
+            write_str(
+                &mut s,
+                format_args!("create ingestion policy {name} from policy {base}"),
+            );
+            s.push_str(&param_list(params));
+        }
+        Statement::ConnectFeed {
+            feed,
+            dataset,
+            policy,
+        } => write_str(
+            &mut s,
+            format_args!("connect feed {feed} to dataset {dataset} using policy {policy}"),
+        ),
+        Statement::ConnectPlan { feed } => write_str(&mut s, format_args!("connect plan {feed}")),
+        Statement::DisconnectFeed { feed, dataset } => write_str(
+            &mut s,
+            format_args!("disconnect feed {feed} from dataset {dataset}"),
+        ),
+        Statement::DropFeed(name) => write_str(&mut s, format_args!("drop feed {name}")),
+        Statement::Insert { dataset, query } => write_str(
+            &mut s,
+            format_args!("insert into dataset {dataset} ({})", pretty_expr(query)),
+        ),
+        Statement::Query(e) => s.push_str(&pretty_expr(e)),
+    }
+    s.push(';');
+    s
+}
+
+fn write_str(s: &mut String, args: std::fmt::Arguments<'_>) {
+    // writing to a String cannot fail
+    let _ = s.write_fmt(args);
+}
+
+fn route_arm(arm: &RouteArm) -> String {
+    let mut s = format!("to {}", arm.dataset);
+    match &arm.predicate {
+        Some(p) => write_str(&mut s, format_args!(" where {}", pretty_expr(p))),
+        None => s.push_str(" otherwise"),
+    }
+    if let Some(policy) = &arm.policy {
+        write_str(&mut s, format_args!(" with policy {policy}"));
+        s.push_str(&param_list(&arm.policy_params));
+    }
+    s
+}
+
+fn param_list(params: &BTreeMap<String, String>) -> String {
+    if params.is_empty() {
+        return String::new();
+    }
+    let pairs: Vec<String> = params
+        .iter()
+        .map(|(k, v)| format!("{}={}", quote(k), quote(v)))
+        .collect();
+    format!(" ({})", pairs.join(", "))
+}
+
+fn type_expr(te: &TypeExpr) -> String {
+    match te {
+        TypeExpr::Named(n) => n.clone(),
+        TypeExpr::OrderedList(inner) => format!("[{}]", type_expr(inner)),
+        TypeExpr::UnorderedList(inner) => format!("{{{{{}}}}}", type_expr(inner)),
+    }
+}
+
+/// Print a function/adaptor name bare when the lexer would read it back as
+/// one identifier token, quoted otherwise.
+fn name_token(name: &str) -> String {
+    let ident_ish = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '#' || c == '-')
+        && !name.contains("--")
+        && !name.ends_with('-');
+    if ident_ish {
+        name.to_string()
+    } else {
+        quote(name)
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// -- expressions -------------------------------------------------------------
+
+/// Parse precedence of an expression node: how tightly the parser binds it.
+/// Used to decide where reparsing needs explicit parentheses.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Flwor { .. } => 0,
+        Expr::Bin(op, ..) => match op {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+        },
+        // quantifiers sit at comparison level in the grammar
+        Expr::Some { .. } => 3,
+        _ => 6,
+    }
+}
+
+fn op_text(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Eq => "=",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+    }
+}
+
+/// Print an expression so it reparses to the same AST.
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(v) => literal(v),
+        Expr::Var(v) => format!("${v}"),
+        Expr::DatasetScan(ds) => format!("dataset {ds}"),
+        Expr::FeedIntake(f) => format!("feed_intake({})", quote(f)),
+        Expr::FieldAccess(base, field) => {
+            format!("{}.{field}", postfix_operand(base))
+        }
+        Expr::RecordCtor(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}: {}", quote(k), pretty_expr(v)))
+                .collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+        Expr::ListCtor(items) => {
+            let inner: Vec<String> = items.iter().map(pretty_expr).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Expr::Call(name, args) => {
+            let inner: Vec<String> = args.iter().map(pretty_expr).collect();
+            format!("{}({})", name_token(name), inner.join(", "))
+        }
+        Expr::Bin(op, l, r) => {
+            let p = prec(e);
+            // comparisons do not chain in the grammar, so a comparison
+            // operand of a comparison must be parenthesized on both sides;
+            // elsewhere left-associativity only forces parens on the right
+            let lhs = if prec(l) < p || (p == 3 && prec(l) == 3) {
+                paren(l)
+            } else {
+                pretty_expr(l)
+            };
+            let rhs = if prec(r) <= p {
+                paren(r)
+            } else {
+                pretty_expr(r)
+            };
+            format!("{lhs} {} {rhs}", op_text(*op))
+        }
+        Expr::Not(inner) => format!("not {}", postfix_operand(inner)),
+        Expr::Some {
+            var,
+            source,
+            predicate,
+        } => format!(
+            "some ${var} in {} satisfies ({})",
+            postfix_operand(source),
+            pretty_expr(predicate)
+        ),
+        Expr::Flwor {
+            clauses,
+            where_clause,
+            group_by,
+            ret,
+        } => {
+            let mut s = String::new();
+            for c in clauses {
+                match c {
+                    FlworClause::For { var, source } => {
+                        let src = if prec(source) == 0 {
+                            paren(source)
+                        } else {
+                            pretty_expr(source)
+                        };
+                        write_str(&mut s, format_args!("for ${var} in {src} "));
+                    }
+                    FlworClause::Let { var, value } => {
+                        let val = if prec(value) == 0 {
+                            paren(value)
+                        } else {
+                            pretty_expr(value)
+                        };
+                        write_str(&mut s, format_args!("let ${var} := {val} "));
+                    }
+                }
+            }
+            if let Some(w) = where_clause {
+                write_str(&mut s, format_args!("where {} ", pretty_expr(w)));
+            }
+            if let Some(g) = group_by {
+                write_str(
+                    &mut s,
+                    format_args!(
+                        "group by ${} := {} with ${} ",
+                        g.key_var,
+                        pretty_expr(&g.key_expr),
+                        g.with_var
+                    ),
+                );
+            }
+            let ret = if prec(ret) == 0 {
+                paren(ret)
+            } else {
+                pretty_expr(ret)
+            };
+            write_str(&mut s, format_args!("return {ret}"));
+            s
+        }
+    }
+}
+
+fn paren(e: &Expr) -> String {
+    format!("({})", pretty_expr(e))
+}
+
+/// Operands that must sit at postfix level in the grammar (field-access
+/// bases, `not` and `some ... in` operands) get parenthesized whenever the
+/// expression would otherwise reassociate.
+fn postfix_operand(e: &Expr) -> String {
+    match e {
+        Expr::Bin(..) | Expr::Some { .. } | Expr::Flwor { .. } | Expr::Not(_) => paren(e),
+        _ => pretty_expr(e),
+    }
+}
+
+fn literal(v: &AdmValue) -> String {
+    match v {
+        AdmValue::Null => "null".into(),
+        AdmValue::Missing => "missing".into(),
+        AdmValue::Boolean(b) => b.to_string(),
+        AdmValue::Int(i) => i.to_string(),
+        AdmValue::Double(d) => format!("{d:?}"),
+        AdmValue::String(s) => quote(s),
+        // no literal syntax — constructor expressions evaluating to the
+        // same value (see module docs)
+        AdmValue::Point(x, y) => format!("create-point({x:?}, {y:?})"),
+        AdmValue::DateTime(ms) => format!("datetime({ms})"),
+        AdmValue::OrderedList(items) | AdmValue::UnorderedList(items) => {
+            let inner: Vec<String> = items.iter().map(literal).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        AdmValue::Record(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}: {}", quote(k), literal(v)))
+                .collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_statements};
+
+    fn rt(src: &str) {
+        let ast = parse_expr(src).unwrap();
+        let printed = pretty_expr(&ast);
+        let reparsed =
+            parse_expr(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(ast, reparsed, "printed as {printed:?}");
+    }
+
+    #[test]
+    fn expressions_round_trip() {
+        rt("1 + 2 * 3 = 7 and true");
+        rt("(1 + 2) * 3");
+        rt("$t.user.followers_count >= 50000 or $t.country != \"US\"");
+        rt("not ($x.a = 1) and exists($x.b)");
+        rt("$a - $b"); // subtraction, not the identifier `a-b`
+        rt("[1, 2.5, \"x\\n\", null, missing, false]");
+        rt(r#"{ "id": $x.id, "n": count($x.topics) }"#);
+        rt(r#"some $h in $t.topics satisfies ($h = "Obama")"#);
+        rt("1 - 2 - 3"); // left-assoc chains keep shape
+        rt("1 - (2 - 3)");
+        rt("window(1000, 250)");
+    }
+
+    #[test]
+    fn statements_round_trip() {
+        let src = r#"
+            use dataverse feeds;
+            create dataset Tweets(Tweet) primary key id;
+            connect feed F to dataset Tweets using policy Spill;
+            connect plan SplitFeed;
+            drop feed F;
+        "#;
+        let ast = parse_statements(src).unwrap();
+        let printed = pretty_statements(&ast);
+        assert_eq!(parse_statements(&printed).unwrap(), ast, "{printed}");
+    }
+
+    #[test]
+    fn exotic_names_are_quoted() {
+        assert_eq!(name_token("tweetlib#f"), "tweetlib#f");
+        assert_eq!(name_token("word-tokens"), "word-tokens");
+        assert_eq!(name_token("has space"), "\"has space\"");
+        assert_eq!(name_token("9starts_with_digit"), "\"9starts_with_digit\"");
+    }
+}

@@ -164,6 +164,80 @@ fn paper_scenario_in_aql_end_to_end() {
 }
 
 #[test]
+fn routed_plan_in_aql_end_to_end() {
+    const RECORDS: u64 = 300;
+    let (engine, cluster, _clock) = engine(2);
+    engine.execute(DDL).unwrap();
+    engine
+        .execute(
+            r#"
+            create dataset UsTweets(Tweet) primary key id;
+            create dataset OtherTweets(Tweet) primary key id;
+            "#,
+        )
+        .unwrap();
+
+    let tx = asterix_feeds::adaptor::bind_socket("aql-fanout:9000", 1024).unwrap();
+    // the routing DDL survives a pretty-print round-trip before executing:
+    // what we run is the reparse of what we print
+    let ddl = r#"
+        create feed SplitFeed using socket_adaptor ("sockets"="aql-fanout:9000")
+          route to UsTweets where $t.country = "US",
+                to OtherTweets otherwise with policy Spill;
+        connect plan SplitFeed;
+    "#;
+    let stmts = asterix_aql::parse_statements(ddl).unwrap();
+    let printed = asterix_aql::pretty_statements(&stmts);
+    assert_eq!(asterix_aql::parse_statements(&printed).unwrap(), stmts);
+    let outcomes = engine.execute(&printed).unwrap();
+    match &outcomes[1] {
+        ExecOutcome::ConnectedPlan(ids) => assert_eq!(ids.len(), 2),
+        other => panic!("{other:?}"),
+    }
+
+    // the DDL-compiled plan is the oracle for the expected split
+    let plan = engine.catalog().plan("SplitFeed").unwrap();
+    let mut factory = tweetgen::TweetFactory::new(4, 17);
+    let lines: Vec<String> = (0..RECORDS).map(|_| factory.next_json()).collect();
+    let expect_us = lines
+        .iter()
+        .filter(|l| {
+            let v = asterix_adm::parse_value(l).unwrap();
+            plan.route_record(&v, None) == vec![0]
+        })
+        .count();
+    assert!(
+        expect_us > 0 && (expect_us as u64) < RECORDS,
+        "useless seed"
+    );
+
+    for line in &lines {
+        tx.send(line.clone()).unwrap();
+    }
+    let us = engine.catalog().dataset("UsTweets").unwrap();
+    let other = engine.catalog().dataset("OtherTweets").unwrap();
+    assert!(
+        wait_until(Duration::from_secs(30), || us.len() == expect_us
+            && other.len() == RECORDS as usize - expect_us),
+        "us={} (want {expect_us}) other={} (want {})",
+        us.len(),
+        other.len(),
+        RECORDS as usize - expect_us
+    );
+
+    // per-sink connections disconnect independently through plain AQL
+    engine
+        .execute("disconnect feed SplitFeed from dataset UsTweets;")
+        .unwrap();
+    engine
+        .execute("disconnect feed SplitFeed from dataset OtherTweets;")
+        .unwrap();
+    engine.controller().shutdown();
+    cluster.shutdown();
+    asterix_feeds::adaptor::unbind_socket("aql-fanout:9000");
+}
+
+#[test]
 fn insert_statement_runs_as_a_job() {
     let (engine, cluster, _clock) = engine(2);
     engine.execute(DDL).unwrap();

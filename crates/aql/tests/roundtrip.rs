@@ -1,0 +1,121 @@
+//! Parse → AST → pretty-print → reparse round-trips.
+//!
+//! The pretty-printer must be a faithful inverse of the parser: reparsing
+//! its output reproduces the original AST node for node, for every
+//! statement form — including the routing DDL of declarative ingestion
+//! plans, which is the surface the `IngestPlan` IR round-trips through.
+
+use asterix_aql::ast::Statement;
+use asterix_aql::parser::parse_statements;
+use asterix_aql::pretty::{pretty_statement, pretty_statements};
+
+fn round_trip(src: &str) {
+    let ast = parse_statements(src).unwrap();
+    let printed = pretty_statements(&ast);
+    let reparsed = parse_statements(&printed)
+        .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+    assert_eq!(ast, reparsed, "--- printed ---\n{printed}");
+    // printing is a fixpoint after one round: pretty(parse(pretty(x)))
+    // equals pretty(x)
+    assert_eq!(pretty_statements(&reparsed), printed);
+}
+
+#[test]
+fn routing_ddl_round_trips() {
+    round_trip(
+        r#"
+        create feed SplitFeed using socket_adaptor ("sockets"="nc:9000")
+          route to UsTweets where $t.country = "US",
+                to PopularTweets where $t.user.followers_count > 50000
+                    with policy Spill,
+                to FreshTweets where window(1000, 250),
+                to LocatedTweets where exists($t.location) and not ($t.retweet = true),
+                to RestTweets otherwise
+                    with policy Discard ("excess.records.discard"="true");
+        connect plan SplitFeed;
+        "#,
+    );
+}
+
+#[test]
+fn multicast_routing_round_trips() {
+    round_trip(
+        r#"create feed TeeFeed using socket_adaptor ("sockets"="nc:9001")
+             apply function addHashTags
+             route multicast
+               to AllTweets otherwise,
+               to UsOnly where $t.country = "US" or $t.country = "BR";"#,
+    );
+}
+
+#[test]
+fn paper_listings_round_trip() {
+    round_trip(
+        r#"
+        use dataverse feeds;
+        create type Tweet as open {
+            id: string,
+            latitude: double?,
+            topics: [string],
+            cells: {{string}},
+            user: TwitterUser
+        };
+        create dataset Tweets(Tweet) primary key id;
+        create index locationIndex on ProcessedTweets(location) type rtree;
+        create feed TwitterFeed using TwitterAdaptor ("query"="Obama", "interval"="60");
+        create secondary feed ProcessedTwitterFeed from feed TwitterFeed
+            apply function addHashTags;
+        create secondary feed S from feed P apply function "tweetlib#sentimentAnalysis";
+        create ingestion policy Spill_then_Throttle from policy Spill
+            (("max.spill.size.on.disk"="512MB", "excess.records.throttle"="true"));
+        connect feed ProcessedTwitterFeed to dataset ProcessedTweets;
+        connect feed TwitterFeed to dataset RawTweets using policy Basic;
+        disconnect feed ProcessedTwitterFeed from dataset ProcessedTweets;
+        drop feed TwitterFeed;
+        "#,
+    );
+}
+
+#[test]
+fn functions_and_queries_round_trip() {
+    round_trip(
+        r##"
+        create function addHashTags($x) {
+            let $topics := (for $token in word-tokens($x.message_text)
+                            where starts-with($token, "#")
+                            return $token)
+            return {
+                "id": $x.id,
+                "message_text": $x.message_text,
+                "topics": $topics
+            };
+        };
+        insert into dataset ProcessedTweets (
+            for $x in feed_intake("TwitterFeed")
+            let $y := addHashTags($x)
+            return $y
+        );
+        for $tweet in dataset ProcessedTweets
+            let $region := create-rectangle(create-point(33.13, -124.27),
+                                            create-point(48.57, -66.18))
+            where spatial-intersect($tweet.location, $region) and
+                  some $hashTag in $tweet.topics satisfies ($hashTag = "Obama")
+            group by $c := spatial-cell($tweet.location, $leftBottom, 3.0, 3.0) with $tweet
+            return { "cell": $c, "count": count($tweet) };
+        "##,
+    );
+}
+
+#[test]
+fn default_policy_is_explicit_after_printing() {
+    // `connect feed F to dataset D` defaults to Basic; printing makes the
+    // default explicit and the explicit form reparses to the same AST
+    let ast = parse_statements("connect feed F to dataset D;").unwrap();
+    let printed = pretty_statement(&ast[0]);
+    assert!(printed.contains("using policy Basic"), "{printed}");
+    assert_eq!(parse_statements(&printed).unwrap(), ast);
+    match &ast[0] {
+        Statement::ConnectFeed { policy, .. } => assert_eq!(policy, "Basic"),
+        other => panic!("{other:?}"),
+    }
+}

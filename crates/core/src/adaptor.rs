@@ -18,16 +18,26 @@
 //!   registry;
 //! * [`FileAdaptorFactory`] (`file_based_feed`) — reads ADM/JSON records
 //!   (one per line) from a file, the §5.7.1 "simulated feed" used to compare
-//!   batch inserts against feed ingestion.
+//!   batch inserts against feed ingestion;
+//! * [`TraceAdaptorFactory`] (`trace_adaptor`) — replays a recorded trace
+//!   file of `offset_millis<TAB>payload` lines on the simulation clock,
+//!   re-emitting each record at its original offset with its original
+//!   generation stamp, so a captured workload reruns deterministically.
+//!
+//! Adaptors that *skip* unparseable input instead of failing the feed count
+//! every skipped line in the connection's registered
+//! `parse.malformed_lines` counter (handed to [`AdaptorFactory::create`]),
+//! so silent drops at the front door are observable in metrics snapshots.
 
 use asterix_adm::{parse_value, payload_from_value};
 use asterix_common::sync::Mutex;
-use asterix_common::{FaultKind, FaultPlan, IngestError, IngestResult, Record, SimClock};
+use asterix_common::{
+    Counter, FaultKind, FaultPlan, IngestError, IngestResult, Record, SimClock, SimDuration,
+};
 use asterix_hyracks::job::Constraint;
 use asterix_hyracks::operator::StopToken;
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,12 +64,16 @@ pub trait AdaptorFactory: Send + Sync {
     /// The §5.3.1 `getConstraints()` API: how many instances, where.
     fn constraints(&self, config: &AdaptorConfig) -> IngestResult<Constraint>;
 
-    /// Build the instance for `partition`.
+    /// Build the instance for `partition`. `malformed_lines` is the
+    /// connection's registered `parse.malformed_lines` counter: an adaptor
+    /// that skips unparseable input rather than failing the feed must count
+    /// every skipped line there.
     fn create(
         &self,
         config: &AdaptorConfig,
         partition: usize,
         clock: &SimClock,
+        malformed_lines: &Counter,
     ) -> IngestResult<Box<dyn FeedAdaptor>>;
 }
 
@@ -116,6 +130,7 @@ impl AdaptorFactory for TweetGenAdaptorFactory {
         config: &AdaptorConfig,
         partition: usize,
         _clock: &SimClock,
+        malformed_lines: &Counter,
     ) -> IngestResult<Box<dyn FeedAdaptor>> {
         let addrs = parse_datasource_list(config, "datasource")?;
         let addr = addrs
@@ -130,7 +145,7 @@ impl AdaptorFactory for TweetGenAdaptorFactory {
         Ok(Box::new(TweetGenAdaptor {
             addr,
             instance: partition as u32,
-            parse_failures: 0,
+            malformed_lines: malformed_lines.clone(),
         }))
     }
 }
@@ -138,7 +153,7 @@ impl AdaptorFactory for TweetGenAdaptorFactory {
 struct TweetGenAdaptor {
     addr: String,
     instance: u32,
-    parse_failures: u64,
+    malformed_lines: Counter,
 }
 
 impl FeedAdaptor for TweetGenAdaptor {
@@ -155,7 +170,7 @@ impl FeedAdaptor for TweetGenAdaptor {
                 // record so the store can derive end-to-end ingestion lag
                 Ok(tweet) => match translate(&tweet.json, self.instance) {
                     Ok(rec) => emit(rec.stamped(tweet.gen_at))?,
-                    Err(_) => self.parse_failures += 1,
+                    Err(_) => self.malformed_lines.inc(),
                 },
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => {
@@ -218,6 +233,7 @@ impl AdaptorFactory for SocketAdaptorFactory {
         config: &AdaptorConfig,
         partition: usize,
         _clock: &SimClock,
+        malformed_lines: &Counter,
     ) -> IngestResult<Box<dyn FeedAdaptor>> {
         let addrs = parse_datasource_list(config, "sockets")?;
         let addr = addrs
@@ -232,7 +248,7 @@ impl AdaptorFactory for SocketAdaptorFactory {
         Ok(Box::new(SocketAdaptor {
             rx,
             instance: partition as u32,
-            parse_failures: Arc::new(AtomicU64::new(0)),
+            malformed_lines: malformed_lines.clone(),
         }))
     }
 }
@@ -240,7 +256,7 @@ impl AdaptorFactory for SocketAdaptorFactory {
 struct SocketAdaptor {
     rx: Receiver<String>,
     instance: u32,
-    parse_failures: Arc<AtomicU64>,
+    malformed_lines: Counter,
 }
 
 impl FeedAdaptor for SocketAdaptor {
@@ -253,10 +269,7 @@ impl FeedAdaptor for SocketAdaptor {
             match self.rx.recv_timeout(poll) {
                 Ok(line) => match translate(&line, self.instance) {
                     Ok(rec) => emit(rec)?,
-                    Err(_) => {
-                        // relaxed-ok: standalone soft-failure counter
-                        self.parse_failures.fetch_add(1, Ordering::Relaxed);
-                    }
+                    Err(_) => self.malformed_lines.inc(),
                 },
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => return Ok(()),
@@ -287,6 +300,7 @@ impl AdaptorFactory for FileAdaptorFactory {
         config: &AdaptorConfig,
         _partition: usize,
         _clock: &SimClock,
+        _malformed_lines: &Counter,
     ) -> IngestResult<Box<dyn FeedAdaptor>> {
         let path = config
             .get("path")
@@ -331,6 +345,132 @@ impl FeedAdaptor for FileAdaptor {
 }
 
 // ---------------------------------------------------------------------------
+// Trace replay adaptor
+// ---------------------------------------------------------------------------
+
+/// Factory for the trace-replay adaptor (`trace_adaptor`).
+///
+/// A trace file holds one record per line as `offset_millis<TAB>payload`:
+/// the sim-milliseconds since replay start at which the record originally
+/// arrived, then its JSON/ADM text. Replay walks the file on the
+/// *simulation clock* — each record is emitted once the clock reaches
+/// `start + offset` and is stamped with that instant as its generation
+/// time, so ingestion-lag histograms and windowed routing predicates see
+/// the recorded timeline, not the replay wall clock. Capturing a live
+/// workload into this format ([`write_trace`]) turns any one-off incident
+/// into a deterministic, rerunnable experiment.
+#[derive(Debug, Default)]
+pub struct TraceAdaptorFactory;
+
+impl AdaptorFactory for TraceAdaptorFactory {
+    fn alias(&self) -> &str {
+        "trace_adaptor"
+    }
+
+    fn constraints(&self, config: &AdaptorConfig) -> IngestResult<Constraint> {
+        if !config.contains_key("path") {
+            return Err(IngestError::Config("trace_adaptor requires 'path'".into()));
+        }
+        Ok(Constraint::Count(1))
+    }
+
+    fn create(
+        &self,
+        config: &AdaptorConfig,
+        partition: usize,
+        clock: &SimClock,
+        malformed_lines: &Counter,
+    ) -> IngestResult<Box<dyn FeedAdaptor>> {
+        let path = config
+            .get("path")
+            .ok_or_else(|| IngestError::Config("trace_adaptor requires 'path'".into()))?
+            .clone();
+        Ok(Box::new(TraceAdaptor {
+            path,
+            instance: partition as u32,
+            clock: clock.clone(),
+            malformed_lines: malformed_lines.clone(),
+        }))
+    }
+}
+
+/// Write `(offset_millis, payload)` pairs as a trace file the
+/// [`TraceAdaptorFactory`] can replay. Payloads must be single-line.
+pub fn write_trace<'a>(
+    path: &std::path::Path,
+    records: impl IntoIterator<Item = (u64, &'a str)>,
+) -> IngestResult<()> {
+    use std::io::Write;
+    let mut out = std::io::BufWriter::new(
+        std::fs::File::create(path)
+            .map_err(|e| IngestError::Config(format!("create {}: {e}", path.display())))?,
+    );
+    for (offset, payload) in records {
+        if payload.contains('\n') {
+            return Err(IngestError::Config(
+                "trace payloads must be single-line".into(),
+            ));
+        }
+        writeln!(out, "{offset}\t{payload}")
+            .map_err(|e| IngestError::Config(format!("write {}: {e}", path.display())))?;
+    }
+    out.flush()
+        .map_err(|e| IngestError::Config(format!("flush {}: {e}", path.display())))
+}
+
+struct TraceAdaptor {
+    path: String,
+    instance: u32,
+    clock: SimClock,
+    malformed_lines: Counter,
+}
+
+impl FeedAdaptor for TraceAdaptor {
+    fn run(&mut self, emit: EmitFn<'_>, stop: &StopToken) -> IngestResult<()> {
+        use std::io::BufRead;
+        let file = std::fs::File::open(&self.path)
+            .map_err(|e| IngestError::Config(format!("open {}: {e}", self.path)))?;
+        let reader = std::io::BufReader::new(file);
+        let start = self.clock.now();
+        for line in reader.lines() {
+            let line = line.map_err(|e| IngestError::Config(format!("read {}: {e}", self.path)))?;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            // a line without the offset frame means the *trace* is corrupt
+            // (not merely one recorded payload) — that is not survivable
+            let (offset, payload) = trimmed.split_once('\t').ok_or_else(|| {
+                IngestError::Config(format!("trace {}: line lacks offset<TAB>", self.path))
+            })?;
+            let offset: u64 = offset.parse().map_err(|_| {
+                IngestError::Config(format!("trace {}: bad offset '{offset}'", self.path))
+            })?;
+            let due = start.plus(SimDuration(offset));
+            // sleep toward the record's instant in short slices so a stop
+            // request interrupts long recorded gaps promptly
+            loop {
+                if stop.is_stopped() {
+                    return Ok(());
+                }
+                let now = self.clock.now();
+                if now.0 >= due.0 {
+                    break;
+                }
+                self.clock.sleep(SimDuration(due.since(now).0.min(20)));
+            }
+            // a recorded payload that never parsed is replayed faithfully:
+            // skipped and counted, exactly as the live adaptor treated it
+            match translate(payload, self.instance) {
+                Ok(rec) => emit(rec.stamped(due))?,
+                Err(_) => self.malformed_lines.inc(),
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Chaos wrapper
 // ---------------------------------------------------------------------------
 
@@ -370,9 +510,12 @@ impl AdaptorFactory for ChaosAdaptorFactory {
         config: &AdaptorConfig,
         partition: usize,
         clock: &SimClock,
+        malformed_lines: &Counter,
     ) -> IngestResult<Box<dyn FeedAdaptor>> {
         Ok(Box::new(ChaosAdaptor {
-            inner: self.inner.create(config, partition, clock)?,
+            inner: self
+                .inner
+                .create(config, partition, clock, malformed_lines)?,
             plan: Arc::clone(&self.plan),
         }))
     }
@@ -426,6 +569,7 @@ impl AdaptorRegistry {
         reg.register(Arc::new(TweetGenAdaptorFactory));
         reg.register(Arc::new(SocketAdaptorFactory));
         reg.register(Arc::new(FileAdaptorFactory));
+        reg.register(Arc::new(TraceAdaptorFactory));
         reg
     }
 
@@ -479,6 +623,7 @@ mod tests {
         assert!(reg.get("TweetGenAdaptor").is_ok());
         assert!(reg.get("socket_adaptor").is_ok());
         assert!(reg.get("file_based_feed").is_ok());
+        assert!(reg.get("trace_adaptor").is_ok());
         assert!(matches!(
             reg.get("CNNAdaptor"),
             Err(IngestError::Metadata(_))
@@ -507,7 +652,9 @@ mod tests {
         .unwrap();
         let mut cfg = AdaptorConfig::new();
         cfg.insert("datasource".into(), "adap:9000".into());
-        let mut adaptor = TweetGenAdaptorFactory.create(&cfg, 0, &clock).unwrap();
+        let mut adaptor = TweetGenAdaptorFactory
+            .create(&cfg, 0, &clock, &Counter::new())
+            .unwrap();
         let records = collect_run(adaptor.as_mut());
         assert!(records.len() > 100, "got {}", records.len());
         // payload is canonical ADM, reparseable, with an id field
@@ -518,7 +665,7 @@ mod tests {
     }
 
     #[test]
-    fn socket_adaptor_skips_malformed_lines() {
+    fn socket_adaptor_skips_and_counts_malformed_lines() {
         let tx = bind_socket("sock:1", 16).unwrap();
         tx.send("{\"id\":\"a\"}".into()).unwrap();
         tx.send("not adm at all {{{".into()).unwrap();
@@ -526,11 +673,14 @@ mod tests {
         drop(tx);
         let mut cfg = AdaptorConfig::new();
         cfg.insert("sockets".into(), "sock:1".into());
+        let malformed = Counter::new();
         let mut adaptor = SocketAdaptorFactory
-            .create(&cfg, 0, &SimClock::fast())
+            .create(&cfg, 0, &SimClock::fast(), &malformed)
             .unwrap();
         let records = collect_run(adaptor.as_mut());
         assert_eq!(records.len(), 2);
+        // the skipped line is visible, not silently dropped
+        assert_eq!(malformed.get(), 1);
         unbind_socket("sock:1");
     }
 
@@ -549,7 +699,7 @@ mod tests {
         let mut cfg = AdaptorConfig::new();
         cfg.insert("path".into(), path.to_string_lossy().into_owned());
         let mut adaptor = FileAdaptorFactory
-            .create(&cfg, 0, &SimClock::fast())
+            .create(&cfg, 0, &SimClock::fast(), &Counter::new())
             .unwrap();
         let records = collect_run(adaptor.as_mut());
         assert_eq!(records.len(), 2);
@@ -561,7 +711,7 @@ mod tests {
         let mut cfg = AdaptorConfig::new();
         cfg.insert("path".into(), "/definitely/not/here.adm".into());
         let mut adaptor = FileAdaptorFactory
-            .create(&cfg, 0, &SimClock::fast())
+            .create(&cfg, 0, &SimClock::fast(), &Counter::new())
             .unwrap();
         let stop = StopToken::new();
         let mut emit = |_r: Record| Ok(());
@@ -587,11 +737,92 @@ mod tests {
         assert_eq!(factory.alias(), "chaos:socket_adaptor");
         let mut cfg = AdaptorConfig::new();
         cfg.insert("sockets".into(), "sock:chaos".into());
-        let mut adaptor = factory.create(&cfg, 0, &SimClock::fast()).unwrap();
+        let mut adaptor = factory
+            .create(&cfg, 0, &SimClock::fast(), &Counter::new())
+            .unwrap();
         let records = collect_run(adaptor.as_mut()); // unwraps Ok: graceful
         assert_eq!(records.len(), 5, "stops exactly at the scheduled record");
         assert_eq!(plan.records_seen(), 5);
         unbind_socket("sock:chaos");
+    }
+
+    #[test]
+    fn trace_adaptor_replays_records_on_the_sim_clock() {
+        let path = std::env::temp_dir().join("asterix_trace_adaptor_test.trace");
+        write_trace(
+            &path,
+            [
+                (0u64, "{\"id\":\"a\"}"),
+                (150, "{\"id\":\"b\"}"),
+                (150, "not adm {{{"),
+                (400, "{\"id\":\"c\"}"),
+            ],
+        )
+        .unwrap();
+        let clock = SimClock::with_scale(10.0);
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("path".into(), path.to_string_lossy().into_owned());
+        assert_eq!(
+            TraceAdaptorFactory.constraints(&cfg).unwrap(),
+            Constraint::Count(1)
+        );
+        let malformed = Counter::new();
+        let start = clock.now();
+        let mut adaptor = TraceAdaptorFactory
+            .create(&cfg, 0, &clock, &malformed)
+            .unwrap();
+        let records = collect_run(adaptor.as_mut());
+        std::fs::remove_file(&path).ok();
+        // the well-formed payloads arrive in order, the recorded junk line
+        // is skipped and counted
+        assert_eq!(records.len(), 3);
+        assert_eq!(malformed.get(), 1);
+        let ids: Vec<String> = records
+            .iter()
+            .map(|r| {
+                parse_value(r.payload_str().unwrap())
+                    .unwrap()
+                    .field("id")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(ids, ["a", "b", "c"]);
+        // generation stamps reproduce the recorded offsets (relative to the
+        // replay's own start instant), and replay really waited out the
+        // last offset on the sim clock
+        let stamps: Vec<u64> = records
+            .iter()
+            .map(|r| r.gen_at.unwrap().as_millis())
+            .collect();
+        let relative: Vec<u64> = stamps.iter().map(|s| s - stamps[0]).collect();
+        assert_eq!(relative, [0, 150, 400]);
+        assert!(clock.now().since(start).0 >= 400);
+    }
+
+    #[test]
+    fn trace_adaptor_rejects_corrupt_frames() {
+        let path = std::env::temp_dir().join("asterix_trace_adaptor_corrupt.trace");
+        std::fs::write(&path, "no tab here\n").unwrap();
+        let mut cfg = AdaptorConfig::new();
+        cfg.insert("path".into(), path.to_string_lossy().into_owned());
+        let mut adaptor = TraceAdaptorFactory
+            .create(&cfg, 0, &SimClock::fast(), &Counter::new())
+            .unwrap();
+        let stop = StopToken::new();
+        let mut emit = |_r: Record| Ok(());
+        assert!(adaptor.run(&mut emit, &stop).is_err());
+        std::fs::write(&path, "xyz\t{\"id\":\"a\"}\n").unwrap();
+        let mut adaptor = TraceAdaptorFactory
+            .create(&cfg, 0, &SimClock::fast(), &Counter::new())
+            .unwrap();
+        assert!(adaptor.run(&mut emit, &stop).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(TraceAdaptorFactory
+            .constraints(&AdaptorConfig::new())
+            .is_err());
     }
 
     #[test]
@@ -600,7 +831,7 @@ mod tests {
         let mut cfg = AdaptorConfig::new();
         cfg.insert("sockets".into(), "sock:3".into());
         let mut adaptor = SocketAdaptorFactory
-            .create(&cfg, 0, &SimClock::fast())
+            .create(&cfg, 0, &SimClock::fast(), &Counter::new())
             .unwrap();
         let stop = StopToken::new();
         stop.stop();

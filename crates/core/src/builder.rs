@@ -1,11 +1,13 @@
-//! Fluent construction of feed definitions.
+//! Fluent construction of feed definitions — the legacy single-sink surface.
 //!
-//! Hand-rolling a [`FeedDef`] struct literal forces every call site to spell
-//! out the [`FeedKind`] enum and leaves validation to whatever the catalog
-//! happens to check at `create_feed` time. [`FeedBuilder`] is the fluent
-//! front door: name the feed, pick an adaptor (or a parent feed), chain
-//! UDFs, choose a policy and a target dataset, and let [`FeedBuilder::build`]
-//! validate the combination before anything touches the catalog.
+//! [`FeedBuilder`] predates ingestion plans and is kept as *the* front door
+//! for the common case of one feed flowing into one dataset. It is now a
+//! thin shim over [`IngestPlanBuilder`](crate::plan::IngestPlanBuilder):
+//! `connect` compiles to a *degenerate* plan (one sink, no routing
+//! predicate), which the controller recognizes and runs through the exact
+//! single-connection pipeline it always built — zero behavior change, but
+//! one construction path and one typed error taxonomy
+//! ([`PlanError`](crate::plan::PlanError)) for both surfaces.
 //!
 //! ```
 //! use asterix_feeds::builder::FeedBuilder;
@@ -18,10 +20,9 @@
 //! assert_eq!(def.name, "TwitterFeed");
 //! ```
 
-use crate::adaptor::AdaptorConfig;
-use crate::catalog::{FeedCatalog, FeedDef, FeedKind};
+use crate::catalog::{FeedCatalog, FeedDef};
 use crate::controller::{ConnectionId, FeedController};
-use asterix_common::{IngestError, IngestResult};
+use crate::plan::{IngestPlanBuilder, PlanError, PlanResult, SinkSpec};
 
 /// Fluent builder for feed definitions (and, optionally, their connection).
 ///
@@ -32,14 +33,14 @@ use asterix_common::{IngestError, IngestResult};
 ///   catalog, materializing a UDF *chain* as secondary feeds when more than
 ///   one UDF was requested;
 /// * [`connect`](FeedBuilder::connect) — register, then connect the feed to
-///   its target dataset under the chosen policy.
+///   its target dataset under the chosen policy (internally: a degenerate
+///   single-sink ingestion plan).
+///
+/// All terminal operations return [`PlanResult`]; [`PlanError`] converts
+/// into `IngestError` so existing `?` call sites keep working.
 #[derive(Debug, Clone)]
 pub struct FeedBuilder {
-    name: String,
-    adaptor: Option<String>,
-    params: AdaptorConfig,
-    parent: Option<String>,
-    udfs: Vec<String>,
+    inner: IngestPlanBuilder,
     policy: Option<String>,
     dataset: Option<String>,
 }
@@ -48,11 +49,7 @@ impl FeedBuilder {
     /// Start defining a feed called `name`.
     pub fn new(name: impl Into<String>) -> FeedBuilder {
         FeedBuilder {
-            name: name.into(),
-            adaptor: None,
-            params: AdaptorConfig::new(),
-            parent: None,
-            udfs: Vec::new(),
+            inner: IngestPlanBuilder::new(name),
             policy: None,
             dataset: None,
         }
@@ -62,21 +59,21 @@ impl FeedBuilder {
     /// Makes this a primary feed; mutually exclusive with
     /// [`parent`](FeedBuilder::parent).
     pub fn adaptor(mut self, alias: impl Into<String>) -> FeedBuilder {
-        self.adaptor = Some(alias.into());
+        self.inner = self.inner.adaptor(alias);
         self
     }
 
     /// Add one adaptor configuration parameter (the parenthesised
     /// `("key"="value")` pairs of the AQL statement).
     pub fn param(mut self, key: impl Into<String>, value: impl Into<String>) -> FeedBuilder {
-        self.params.insert(key.into(), value.into());
+        self.inner = self.inner.param(key, value);
         self
     }
 
     /// Source the feed from another feed (`create secondary feed ... from
     /// feed P`). Mutually exclusive with [`adaptor`](FeedBuilder::adaptor).
     pub fn parent(mut self, feed: impl Into<String>) -> FeedBuilder {
-        self.parent = Some(feed.into());
+        self.inner = self.inner.parent(feed);
         self
     }
 
@@ -86,7 +83,7 @@ impl FeedBuilder {
     /// carries at most one function, so [`build`](FeedBuilder::build)
     /// rejects longer chains).
     pub fn udf(mut self, function: impl Into<String>) -> FeedBuilder {
-        self.udfs.push(function.into());
+        self.inner = self.inner.udf(function);
         self
     }
 
@@ -103,112 +100,50 @@ impl FeedBuilder {
         self
     }
 
-    fn validate(&self) -> IngestResult<()> {
-        if self.name.trim().is_empty() {
-            return Err(IngestError::Metadata("feed name must be non-empty".into()));
-        }
-        match (&self.adaptor, &self.parent) {
-            (None, None) => Err(IngestError::Metadata(format!(
-                "feed '{}' needs an adaptor or a parent feed",
-                self.name
-            ))),
-            (Some(_), Some(_)) => Err(IngestError::Metadata(format!(
-                "feed '{}' cannot have both an adaptor and a parent feed",
-                self.name
-            ))),
-            (None, Some(_)) if !self.params.is_empty() => Err(IngestError::Metadata(format!(
-                "feed '{}': adaptor parameters make no sense on a secondary feed",
-                self.name
-            ))),
-            _ => Ok(()),
-        }
-    }
-
-    fn kind(&self) -> FeedKind {
-        match &self.adaptor {
-            Some(alias) => FeedKind::Primary {
-                adaptor: alias.clone(),
-                config: self.params.clone(),
-            },
-            None => FeedKind::Secondary {
-                parent: self.parent.clone().expect("validated"),
-            },
-        }
-    }
-
     /// Validate and produce the [`FeedDef`]. Fails on a missing/ambiguous
     /// source or a UDF chain longer than one function (which a single
     /// definition cannot carry — use [`register`](FeedBuilder::register)).
-    pub fn build(self) -> IngestResult<FeedDef> {
-        self.validate()?;
-        if self.udfs.len() > 1 {
-            return Err(IngestError::Metadata(format!(
-                "feed '{}': a single FeedDef carries at most one UDF; \
-                 register() materializes a {}-function chain as secondary feeds",
-                self.name,
-                self.udfs.len()
-            )));
-        }
-        let kind = self.kind();
-        Ok(FeedDef {
-            name: self.name,
-            kind,
-            udf: self.udfs.into_iter().next(),
-        })
+    pub fn build(self) -> PlanResult<FeedDef> {
+        self.inner.build_feed_def()
     }
 
     /// Build and `create_feed` in `catalog`. A UDF chain of N > 1 functions
     /// becomes the named feed (carrying the first function) plus N-1
     /// secondary feeds named `<name>#2..#N`; the returned [`FeedDef`] is the
     /// *tail* of the chain — the one to connect to a dataset.
-    pub fn register(self, catalog: &FeedCatalog) -> IngestResult<FeedDef> {
-        self.validate()?;
-        let name = self.name.clone();
-        let udfs = self.udfs.clone();
-        let head = FeedDef {
-            name: name.clone(),
-            kind: self.kind(),
-            udf: udfs.first().cloned(),
-        };
-        catalog.create_feed(head.clone())?;
-        let mut tail = head;
-        for (i, udf) in udfs.iter().enumerate().skip(1) {
-            let link = FeedDef {
-                name: format!("{name}#{}", i + 1),
-                kind: FeedKind::Secondary {
-                    parent: tail.name.clone(),
-                },
-                udf: Some(udf.clone()),
-            };
-            catalog.create_feed(link.clone())?;
-            tail = link;
-        }
-        Ok(tail)
+    pub fn register(self, catalog: &FeedCatalog) -> PlanResult<FeedDef> {
+        self.inner.register_feeds(catalog)
     }
 
     /// Register in `catalog`, then connect the (tail of the) feed to the
     /// dataset chosen with [`into_dataset`](FeedBuilder::into_dataset) under
-    /// the chosen [`policy`](FeedBuilder::policy).
+    /// the chosen [`policy`](FeedBuilder::policy) — compiled as a degenerate
+    /// single-sink ingestion plan.
     pub fn connect(
         self,
         catalog: &FeedCatalog,
         controller: &FeedController,
-    ) -> IngestResult<ConnectionId> {
-        let dataset = self.dataset.clone().ok_or_else(|| {
-            IngestError::Metadata(format!(
-                "feed '{}': connect() needs into_dataset(...)",
-                self.name
-            ))
-        })?;
+    ) -> PlanResult<ConnectionId> {
+        let name = self.inner.plan_name().to_string();
+        let dataset = self.dataset.clone().ok_or(PlanError::NoDataset(name))?;
         let policy = self.policy.clone().unwrap_or_else(|| "Basic".into());
-        let tail = self.register(catalog)?;
-        controller.connect_feed(&tail.name, &dataset, &policy)
+        let plan = self
+            .inner
+            .sink(SinkSpec::to(dataset).policy(policy))
+            .build()?;
+        // legacy surface: feeds enter the catalog, the degenerate plan does
+        // not (it is an implementation detail of this one connection)
+        let builder_for_feeds = IngestPlanBuilder::from_plan(&plan);
+        builder_for_feeds.register_feeds(catalog)?;
+        let ids = controller.connect_plan(&plan).map_err(PlanError::from)?;
+        Ok(ids[0])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::FeedKind;
     use crate::udf::Udf;
     use asterix_adm::types::paper_registry;
 
@@ -239,36 +174,72 @@ mod tests {
 
     #[test]
     fn invalid_combinations_fail_at_build() {
-        assert!(
-            FeedBuilder::new("").adaptor("X").build().is_err(),
-            "empty name"
+        assert_eq!(
+            FeedBuilder::new("").adaptor("X").build().unwrap_err(),
+            PlanError::EmptyName
         );
-        assert!(FeedBuilder::new("F").build().is_err(), "no source");
         assert!(
-            FeedBuilder::new("F")
-                .adaptor("A")
-                .parent("P")
-                .build()
-                .is_err(),
+            matches!(
+                FeedBuilder::new("F").build().unwrap_err(),
+                PlanError::NoSource(_)
+            ),
+            "no source"
+        );
+        assert!(
+            matches!(
+                FeedBuilder::new("F")
+                    .adaptor("A")
+                    .parent("P")
+                    .build()
+                    .unwrap_err(),
+                PlanError::TwoSources(_)
+            ),
             "two sources"
         );
         assert!(
-            FeedBuilder::new("F")
-                .parent("P")
-                .param("k", "v")
-                .build()
-                .is_err(),
+            matches!(
+                FeedBuilder::new("F")
+                    .parent("P")
+                    .param("k", "v")
+                    .build()
+                    .unwrap_err(),
+                PlanError::ParamsOnSecondary(_)
+            ),
             "params on secondary"
         );
         assert!(
-            FeedBuilder::new("F")
-                .adaptor("A")
-                .udf("f")
-                .udf("g")
-                .build()
-                .is_err(),
+            matches!(
+                FeedBuilder::new("F")
+                    .adaptor("A")
+                    .udf("f")
+                    .udf("g")
+                    .build()
+                    .unwrap_err(),
+                PlanError::ChainNeedsRegister { udfs: 2, .. }
+            ),
             "chain needs register()"
         );
+    }
+
+    #[test]
+    fn connect_without_dataset_is_a_typed_error() {
+        use crate::controller::ControllerConfig;
+        use asterix_common::SimClock;
+        use asterix_hyracks::cluster::{Cluster, ClusterConfig};
+        let catalog = FeedCatalog::new(paper_registry());
+        let cluster = Cluster::start(1, SimClock::fast(), ClusterConfig::default());
+        let controller = FeedController::start(
+            cluster.clone(),
+            std::sync::Arc::clone(&catalog),
+            ControllerConfig::default(),
+        );
+        let err = FeedBuilder::new("F")
+            .adaptor("TweetGenAdaptor")
+            .connect(&catalog, &controller)
+            .unwrap_err();
+        assert_eq!(err, PlanError::NoDataset("F".into()));
+        controller.shutdown();
+        cluster.shutdown();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! machinery needs to target.
 
 use crate::adaptor::{AdaptorConfig, AdaptorRegistry};
+use crate::plan::{IngestPlan, PlanError, PlanResult};
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_adm::TypeRegistry;
@@ -53,6 +54,7 @@ struct CatalogState {
     functions: HashMap<String, Udf>,
     policies: HashMap<String, IngestionPolicy>,
     datasets: HashMap<String, Arc<Dataset>>,
+    plans: HashMap<String, IngestPlan>,
 }
 
 /// The feeds metadata catalog.
@@ -267,6 +269,39 @@ impl FeedCatalog {
             .ok_or_else(|| IngestError::Metadata(format!("unknown policy '{name}'")))
     }
 
+    // -- ingestion plans ----------------------------------------------------
+
+    /// Register a validated ingestion plan (one record of the notional
+    /// `IngestionPlans` metadata dataset). The plan's feed chain must
+    /// already exist; `IngestPlanBuilder::register` does both.
+    pub fn register_plan(&self, plan: IngestPlan) -> PlanResult<()> {
+        plan.validate()?;
+        let mut st = self.state.write();
+        if st.plans.contains_key(&plan.name) {
+            return Err(PlanError::Metadata(format!(
+                "plan '{}' already exists",
+                plan.name
+            )));
+        }
+        st.plans.insert(plan.name.clone(), plan);
+        Ok(())
+    }
+
+    /// Look up a registered ingestion plan.
+    pub fn plan(&self, name: &str) -> PlanResult<IngestPlan> {
+        self.state
+            .read()
+            .plans
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PlanError::Metadata(format!("unknown plan '{name}'")))
+    }
+
+    /// Registered plan names.
+    pub fn plan_names(&self) -> Vec<String> {
+        self.state.read().plans.keys().cloned().collect()
+    }
+
     // -- datasets -----------------------------------------------------------
 
     /// Register a dataset as a feed target.
@@ -317,26 +352,21 @@ mod tests {
     }
 
     fn primary(name: &str, udf: Option<&str>) -> FeedDef {
-        let mut config = AdaptorConfig::new();
-        config.insert("datasource".into(), "x:1".into());
-        FeedDef {
-            name: name.into(),
-            kind: FeedKind::Primary {
-                adaptor: "TweetGenAdaptor".into(),
-                config,
-            },
-            udf: udf.map(str::to_string),
+        let mut b = crate::builder::FeedBuilder::new(name)
+            .adaptor("TweetGenAdaptor")
+            .param("datasource", "x:1");
+        if let Some(u) = udf {
+            b = b.udf(u);
         }
+        b.build().unwrap()
     }
 
     fn secondary(name: &str, parent: &str, udf: Option<&str>) -> FeedDef {
-        FeedDef {
-            name: name.into(),
-            kind: FeedKind::Secondary {
-                parent: parent.into(),
-            },
-            udf: udf.map(str::to_string),
+        let mut b = crate::builder::FeedBuilder::new(name).parent(parent);
+        if let Some(u) = udf {
+            b = b.udf(u);
         }
+        b.build().unwrap()
     }
 
     #[test]
@@ -471,6 +501,29 @@ mod tests {
             // the base policy itself is untouched by the derivation
             assert_eq!(c.policy(&base.name).unwrap(), base);
         }
+    }
+
+    #[test]
+    fn plans_register_validate_and_lookup() {
+        use crate::plan::{IngestPlanBuilder, RoutePredicate, SinkSpec};
+        let c = catalog();
+        let plan = IngestPlanBuilder::new("FanOut")
+            .adaptor("TweetGenAdaptor")
+            .param("datasource", "x:1")
+            .sink(SinkSpec::to("US").route(RoutePredicate::eq("country", "US")))
+            .sink(SinkSpec::to("Rest"))
+            .build()
+            .unwrap();
+        c.register_plan(plan.clone()).unwrap();
+        assert_eq!(c.plan("FanOut").unwrap(), plan);
+        assert!(c.register_plan(plan).is_err(), "dup");
+        assert!(c.plan("Nope").is_err());
+        assert_eq!(c.plan_names(), vec!["FanOut".to_string()]);
+        // structurally invalid plans never enter the catalog
+        let mut bad = c.plan("FanOut").unwrap();
+        bad.name = "Bad".into();
+        bad.sinks[1].dataset = "US".into();
+        assert!(c.register_plan(bad).is_err());
     }
 
     #[test]

@@ -34,9 +34,10 @@ use crate::governor::{decide, GovernorConfig, GovernorSample, GovernorState, Sca
 use crate::manager::FeedManager;
 use crate::metrics::FeedMetrics;
 use crate::ops::{
-    new_soft_failure_log, AckPlumbing, AssignDesc, CollectDesc, IntakeDesc, SoftFailureEntry,
-    SoftFailureLog, StoreAck, StoreDesc,
+    new_soft_failure_log, AckPlumbing, AssignDesc, CollectDesc, IntakeDesc, RouteDesc,
+    SoftFailureEntry, SoftFailureLog, StoreAck, StoreDesc,
 };
+use crate::plan::{IngestPlan, SinkSpec};
 use crate::policy::IngestionPolicy;
 use crate::udf::Udf;
 use asterix_common::ids::IdGen;
@@ -117,6 +118,30 @@ struct ComputeSegment {
     store_ack: Option<Arc<StoreAck>>,
 }
 
+/// The fan-out joint of a multi-sink ingestion plan: one Hyracks job
+/// (`FeedIntake(tail joint) → Route`) evaluating every sink's routing
+/// predicate once per record and depositing matches into per-sink joints,
+/// each consumed by an independent store connection.
+struct RouteSegment {
+    plan: Arc<IngestPlan>,
+    /// The plan's tail feed joint the router subscribes to.
+    in_joint: String,
+    /// Per-sink out joints (`plan:<plan>:<dataset>`), sink-index aligned.
+    out_joints: Vec<String>,
+    feed_id: FeedId,
+    /// The router rides on the in-joint's nodes (no repartitioning).
+    locations: Vec<NodeId>,
+    /// Trunk policy governing the router's intake (always lossless Spill:
+    /// per-sink loss semantics belong to the sink connections downstream).
+    policy: IngestionPolicy,
+    metrics: Arc<FeedMetrics>,
+    /// Per-sink `plan.sink.records_routed` counters, sink-index aligned.
+    routed: Vec<asterix_common::Counter>,
+    /// `plan.route.no_match_total` for this plan.
+    no_match: asterix_common::Counter,
+    job: JobHandle,
+}
+
 struct Connection {
     id: ConnectionId,
     key: String,
@@ -138,6 +163,8 @@ struct State {
     joints: HashMap<String, Vec<NodeId>>,
     collects: HashMap<String, CollectSegment>,
     computes: HashMap<String, ComputeSegment>,
+    /// plan name → fan-out joint of that multi-sink plan
+    routes: HashMap<String, RouteSegment>,
     connections: HashMap<ConnectionId, Connection>,
 }
 
@@ -224,6 +251,27 @@ struct Migration {
     /// queues and late zombie adoption alone closes the park-after-start
     /// window.
     repartition: Option<(String, String, Vec<NodeId>, Vec<NodeId>)>,
+}
+
+/// The producer side of a connection, planned under the state lock by
+/// [`FeedController::build_producer_chain`]: joints pre-registered, compute
+/// segment records inserted, jobs not yet spawned (consumer subscriptions
+/// must be live first — [`FeedController::finish_producer_chain`] starts
+/// them deepest-first, the collect job last).
+struct ChainPlan {
+    /// Stage-0 joint (the primary feed's name).
+    root_raw_joint: String,
+    /// The chain's tail joint — what the consumer (store or route job)
+    /// subscribes to.
+    source_joint: String,
+    /// Adaptor factory + config when a new collect segment is needed
+    /// (`None` reuses a live ancestor's head section).
+    collect_factory: Option<(
+        Arc<dyn crate::adaptor::AdaptorFactory>,
+        crate::adaptor::AdaptorConfig,
+    )>,
+    /// Out joints of the newly planned compute segments, deepest first.
+    new_outs: Vec<String>,
 }
 
 /// The Central Feed Manager.
@@ -387,8 +435,18 @@ impl FeedController {
         policy_name: &str,
     ) -> IngestResult<ConnectionId> {
         let policy = self.catalog.policy(policy_name)?;
+        self.connect_feed_with(feed, dataset, policy)
+    }
+
+    /// Connect with an already-resolved policy (the single-sink pipeline
+    /// both `connect feed` and a degenerate ingestion plan compile to).
+    fn connect_feed_with(
+        &self,
+        feed: &str,
+        dataset: &str,
+        policy: IngestionPolicy,
+    ) -> IngestResult<ConnectionId> {
         let dataset_arc = self.catalog.dataset(dataset)?;
-        let lineage = self.catalog.lineage(feed)?;
         let key = format!("{feed}->{dataset}");
 
         let mut st = self.state.lock();
@@ -402,91 +460,7 @@ impl FeedController {
             )));
         }
 
-        // Build the stage chain: stage 0 is the raw collect joint (the
-        // primary feed's name); each further stage is a UDF application
-        // with its own joint id ("<root>:f1:...:fk", §5.3.1).
-        let root_raw_joint = lineage[0].name.clone();
-        // (joint id, udf, owning feed name)
-        let mut stages: Vec<(String, Option<Udf>, String)> =
-            vec![(root_raw_joint.clone(), None, lineage[0].name.clone())];
-        for f in &lineage {
-            if let Some(udf_name) = &f.udf {
-                let udf = self.catalog.function(udf_name)?;
-                stages.push((
-                    self.catalog.joint_id_for(&f.name)?,
-                    Some(udf),
-                    f.name.clone(),
-                ));
-            }
-        }
-        let source_joint = stages.last().unwrap().0.clone();
-
-        // Find the deepest stage whose joint is already live — the nearest
-        // connected ancestor (§5.3.2). None ⇒ the head section must be
-        // constructed too.
-        let mut have = None;
-        for (i, (jid, _, _)) in stages.iter().enumerate().rev() {
-            if st.joints.contains_key(jid) {
-                have = Some(i);
-                break;
-            }
-        }
-        let need_collect = have.is_none();
-        let first_new_stage = have.map(|i| i + 1).unwrap_or(1);
-
-        // resources
-        let alive: Vec<NodeId> = self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
-        if alive.is_empty() {
-            return Err(IngestError::Plan("no alive nodes".into()));
-        }
-        let compute_n = self
-            .config
-            .compute_parallelism
-            .unwrap_or(alive.len())
-            .clamp(1, alive.len().max(1));
-
-        // --- pre-register every joint so no startup frame is lost ----------
-        let mut planned_joints: Vec<(String, Vec<NodeId>)> = Vec::new();
-        if need_collect {
-            let root_def = &lineage[0];
-            let (factory, config) = match &root_def.kind {
-                FeedKind::Primary { adaptor, config } => {
-                    (self.catalog.adaptors().get(adaptor)?, config.clone())
-                }
-                FeedKind::Secondary { .. } => {
-                    return Err(IngestError::Plan(
-                        "lineage root must be a primary feed".into(),
-                    ))
-                }
-            };
-            let constraint = factory.constraints(&config)?;
-            let locations: Vec<NodeId> = match constraint {
-                Constraint::Count(n) => (0..n).map(|i| alive[i % alive.len()]).collect(),
-                Constraint::Locations(locs) => locs,
-            };
-            planned_joints.push((root_raw_joint.clone(), locations));
-        }
-        // (depth, in_joint, out_joint, udf, owning feed id, locations)
-        let mut compute_segments: Vec<(usize, String, String, Udf, FeedId, Vec<NodeId>)> =
-            Vec::new();
-        for i in first_new_stage..stages.len() {
-            let udf = stages[i].1.clone().expect("stages past 0 carry a UDF");
-            let in_joint = stages[i - 1].0.clone();
-            let out_joint = stages[i].0.clone();
-            let stage_feed = self.catalog.feed_id(&stages[i].2).unwrap_or(FeedId(0));
-            let offset = self.config.compute_node_offset;
-            let locs = dedup_nodes(
-                (0..compute_n)
-                    .map(|k| alive[(offset + k) % alive.len()])
-                    .collect(),
-            );
-            planned_joints.push((out_joint.clone(), locs.clone()));
-            compute_segments.push((i, in_joint, out_joint, udf, stage_feed, locs));
-        }
-        for (joint, locs) in &planned_joints {
-            self.preregister_joint(joint, locs);
-            st.joints.insert(joint.clone(), locs.clone());
-        }
+        let chain = self.build_producer_chain(&mut st, feed, &policy)?;
 
         // --- connection record -----------------------------------------------
         let id: ConnectionId = CONNECTION_IDS.next();
@@ -507,56 +481,13 @@ impl FeedController {
             feed: feed.to_string(),
             feed_id: self.catalog.feed_id(feed).unwrap_or(FeedId(0)),
             dataset: Arc::clone(&dataset_arc),
-            source_joint: source_joint.clone(),
-            policy: policy.clone(),
+            source_joint: chain.source_joint.clone(),
+            policy,
             metrics: Arc::clone(&metrics),
             job: None,
             state: ConnectionState::Active,
             suspended_at: None,
         };
-
-        // --- compute segments registered first (jobs still detached) --------
-        // The store job must find the chain's at-least-once plumbing, so the
-        // segment records go into the state before anything is spawned; the
-        // compute *jobs* still start after the store job, whose subscription
-        // must be live first.
-        compute_segments.sort_by_key(|s| std::cmp::Reverse(s.0));
-        let new_outs: Vec<String> = compute_segments.iter().map(|s| s.2.clone()).collect();
-        for (depth, in_joint, out_joint, udf, stage_feed, locs) in compute_segments {
-            let seg_metrics = FeedMetrics::registered_default(
-                &self.cluster.registry(),
-                &out_joint,
-                self.cluster.clock().clone(),
-            );
-            // At-least-once custody belongs at the earliest intake under the
-            // adaptor (§5.6): only the depth-1 stage — whose intake rides on
-            // the collect joint's (adaptor) nodes — gets the tracker
-            // plumbing. The channel count is pinned to the in-joint's
-            // instance count, which scale_intake keeps constant.
-            let (ack, store_ack) = if policy.at_least_once && in_joint == root_raw_joint {
-                let partitions = st.joints.get(&in_joint).map_or(0, Vec::len);
-                let (plumbing, sender) = self.new_ack_channels(partitions);
-                (Some(plumbing), Some(sender))
-            } else {
-                (None, None)
-            };
-            let seg = ComputeSegment {
-                out_joint: out_joint.clone(),
-                in_joint,
-                udf,
-                feed_id: stage_feed,
-                compute_locations: locs,
-                policy: policy.clone(),
-                metrics: seg_metrics,
-                depth,
-                extra_spin: self.config.compute_extra_spin,
-                extra_delay_us: self.config.compute_extra_delay_us,
-                job: JobHandle::detached(),
-                ack,
-                store_ack,
-            };
-            st.computes.insert(out_joint, seg);
-        }
 
         // --- store job (started first so its subscription is live) ----------
         let job = self.spawn_store_job(&st, &conn)?;
@@ -564,38 +495,176 @@ impl FeedController {
         conn.job = Some(job);
         st.connections.insert(id, conn);
 
-        // --- compute jobs, deepest first ------------------------------------
-        for out in new_outs {
-            let seg_ref = st.computes.get(&out).unwrap();
-            let job = self.spawn_compute_job(&st, seg_ref)?;
-            st.computes.get_mut(&out).unwrap().job = job;
-        }
-
-        // --- collect segment, last -------------------------------------------
-        if need_collect {
-            let root_def = &lineage[0];
-            let (factory, config) = match &root_def.kind {
-                FeedKind::Primary { adaptor, config } => {
-                    (self.catalog.adaptors().get(adaptor)?, config.clone())
-                }
-                FeedKind::Secondary { .. } => unreachable!("validated above"),
-            };
-            let locations = st.joints.get(&root_raw_joint).unwrap().clone();
-            let seg = CollectSegment {
-                joint_id: root_raw_joint.clone(),
-                factory,
-                config,
-                locations,
-                job: JobHandle::detached(),
-            };
-            let job = self.spawn_collect_job(&seg)?;
-            let mut seg = seg;
-            seg.job = job;
-            st.collects.insert(root_raw_joint, seg);
-        }
+        // --- producer jobs, deepest first, collect last ----------------------
+        self.finish_producer_chain(&mut st, chain)?;
 
         connect_span.finish("active");
         Ok(id)
+    }
+
+    /// `connect plan <plan>` — compile an [`IngestPlan`] into a running
+    /// cascade. A *degenerate* plan (one sink, no predicate) runs through
+    /// the exact single-connection pipeline `connect feed` always built —
+    /// zero behavior change for the legacy surface. A multi-sink plan gets
+    /// a fan-out [`RouteSegment`] between the producer chain and N
+    /// independent store connections, each with its own dataset, policy,
+    /// flow control and (at-least-once) custody.
+    ///
+    /// Returns one [`ConnectionId`] per sink, sink-index aligned.
+    pub fn connect_plan(&self, plan: &IngestPlan) -> IngestResult<Vec<ConnectionId>> {
+        plan.validate()?;
+        let tail = plan.tail_feed_name();
+        if plan.is_degenerate() {
+            let sink = &plan.sinks[0];
+            let policy = self.resolve_sink_policy(sink)?;
+            let id = self.connect_feed_with(&tail, &sink.dataset, policy)?;
+            return Ok(vec![id]);
+        }
+
+        // resolve every sink's dataset and policy before touching state
+        let mut sink_res: Vec<(Arc<Dataset>, IngestionPolicy)> = Vec::new();
+        for sink in &plan.sinks {
+            let ds = self.catalog.dataset(&sink.dataset)?;
+            let policy = self.resolve_sink_policy(sink)?;
+            sink_res.push((ds, policy));
+        }
+        // The trunk (producer chain + router intake) is always lossless
+        // Spill: per-sink loss semantics (Discard's gaps, Basic's budget)
+        // belong downstream of the routing decision, otherwise one sink's
+        // policy would drop records destined for another.
+        let trunk_policy = IngestionPolicy::spill();
+        let feed_id = self.catalog.feed_id(&tail).unwrap_or(FeedId(0));
+
+        let mut st = self.state.lock();
+        if st.routes.contains_key(&plan.name) {
+            return Err(IngestError::Metadata(format!(
+                "plan {} is already connected",
+                plan.name
+            )));
+        }
+        for sink in &plan.sinks {
+            let key = format!("{tail}->{}", sink.dataset);
+            if st
+                .connections
+                .values()
+                .any(|c| c.key == key && c.state != ConnectionState::Ended)
+            {
+                return Err(IngestError::Metadata(format!(
+                    "feed {tail} is already connected to dataset {}",
+                    sink.dataset
+                )));
+            }
+        }
+
+        let connect_span = self
+            .cluster
+            .trace()
+            .cluster_log()
+            .span("feed.connect_plan", plan.name.clone());
+        let chain = self.build_producer_chain(&mut st, &tail, &trunk_policy)?;
+
+        // the router rides on the tail joint's nodes; its out joints are
+        // co-located so routed frames never cross a node boundary twice
+        let route_locs =
+            st.joints.get(&chain.source_joint).cloned().ok_or_else(|| {
+                IngestError::Plan(format!("no live joint '{}'", chain.source_joint))
+            })?;
+        let out_joints: Vec<String> = (0..plan.sinks.len())
+            .map(|i| plan.sink_joint_id(i))
+            .collect();
+        for oj in &out_joints {
+            self.preregister_joint(oj, &route_locs);
+            st.joints.insert(oj.clone(), route_locs.clone());
+        }
+
+        let registry = self.cluster.registry();
+        let trunk_metrics = FeedMetrics::registered_default(
+            &registry,
+            &format!("route:{}", plan.name),
+            self.cluster.clock().clone(),
+        );
+        let routed: Vec<asterix_common::Counter> = (0..plan.sinks.len())
+            .map(|i| {
+                let label = plan.sink_label(i);
+                registry.counter("plan.sink.records_routed", &[("conn", label.as_str())])
+            })
+            .collect();
+        let no_match =
+            registry.counter("plan.route.no_match_total", &[("plan", plan.name.as_str())]);
+        st.routes.insert(
+            plan.name.clone(),
+            RouteSegment {
+                plan: Arc::new(plan.clone()),
+                in_joint: chain.source_joint.clone(),
+                out_joints: out_joints.clone(),
+                feed_id,
+                locations: route_locs,
+                policy: trunk_policy,
+                metrics: trunk_metrics,
+                routed,
+                no_match,
+                job: JobHandle::detached(),
+            },
+        );
+
+        // --- sink store jobs first (their subscriptions must be live) -------
+        let mut ids = Vec::new();
+        for (i, sink) in plan.sinks.iter().enumerate() {
+            let (ds, policy) = &sink_res[i];
+            let key = format!("{tail}->{}", sink.dataset);
+            let id: ConnectionId = CONNECTION_IDS.next();
+            ds.register_observability(&registry, &self.cluster.trace());
+            let metrics =
+                FeedMetrics::registered_default(&registry, &key, self.cluster.clock().clone());
+            let conn = Connection {
+                id,
+                key,
+                feed: tail.clone(),
+                feed_id,
+                dataset: Arc::clone(ds),
+                source_joint: out_joints[i].clone(),
+                policy: policy.clone(),
+                metrics,
+                job: None,
+                state: ConnectionState::Active,
+                suspended_at: None,
+            };
+            // per-sink at-least-once custody: `chain_store_ack` finds no
+            // compute segment behind a `plan:` joint, so an ALO sink gets
+            // its tracker at its own store intake — the custody boundary is
+            // the routing decision, which is this sink's earliest stage
+            let job = self.spawn_store_job(&st, &conn)?;
+            let mut conn = conn;
+            conn.job = Some(job);
+            st.connections.insert(id, conn);
+            ids.push(id);
+        }
+
+        // --- route job (before the producers start depositing) ---------------
+        let seg_ref = st.routes.get(&plan.name).unwrap();
+        let job = self.spawn_route_job(&st, seg_ref)?;
+        st.routes.get_mut(&plan.name).unwrap().job = job;
+
+        // --- producer jobs, deepest first, collect last ----------------------
+        self.finish_producer_chain(&mut st, chain)?;
+
+        connect_span.finish("active");
+        Ok(ids)
+    }
+
+    /// Resolve a sink's policy name + inline parameter overrides into an
+    /// [`IngestionPolicy`] (an override set derives a connection-private
+    /// policy named `<policy>@<dataset>`).
+    fn resolve_sink_policy(&self, sink: &SinkSpec) -> IngestResult<IngestionPolicy> {
+        let base = self.catalog.policy(&sink.policy)?;
+        if sink.policy_params.is_empty() {
+            Ok(base)
+        } else {
+            base.extend(
+                format!("{}@{}", sink.policy, sink.dataset),
+                &sink.policy_params,
+            )
+        }
     }
 
     /// `disconnect feed <feed> from dataset <dataset>` — graceful: already
@@ -645,6 +714,9 @@ impl FeedController {
                 if let Some(j) = c.job.take() {
                     jobs.push(j);
                 }
+            }
+            for (_, seg) in st.routes.drain() {
+                jobs.push(seg.job);
             }
             for (_, seg) in st.computes.drain() {
                 jobs.push(seg.job);
@@ -824,6 +896,187 @@ impl FeedController {
         }
     }
 
+    /// Spawn the jobs of a producer chain planned by
+    /// [`FeedController::build_producer_chain`], in the order that loses no
+    /// startup frame: the consumer side (store/route jobs) must already be
+    /// subscribed, so the caller spawns those first, then calls this —
+    /// compute jobs deepest-first, the collect job (external source) last.
+    fn finish_producer_chain(&self, st: &mut State, chain: ChainPlan) -> IngestResult<()> {
+        for out in chain.new_outs {
+            let seg_ref = st.computes.get(&out).unwrap();
+            let job = self.spawn_compute_job(st, seg_ref)?;
+            st.computes.get_mut(&out).unwrap().job = job;
+        }
+        if let Some((factory, config)) = chain.collect_factory {
+            let locations = st.joints.get(&chain.root_raw_joint).unwrap().clone();
+            let seg = CollectSegment {
+                joint_id: chain.root_raw_joint.clone(),
+                factory,
+                config,
+                locations,
+                job: JobHandle::detached(),
+            };
+            let job = self.spawn_collect_job(&seg)?;
+            let mut seg = seg;
+            seg.job = job;
+            st.collects.insert(chain.root_raw_joint, seg);
+        }
+        Ok(())
+    }
+
+    /// Plan and register the producer side of a connection up to `feed`'s
+    /// tail joint: resolve the feed's lineage into a stage chain, reuse the
+    /// nearest live ancestor joint (§5.3.2), pre-register every new joint
+    /// and insert the new compute segments (jobs still detached — the
+    /// caller starts them via [`FeedController::finish_producer_chain`]
+    /// after its own consumer jobs are subscribed).
+    fn build_producer_chain(
+        &self,
+        st: &mut State,
+        feed: &str,
+        policy: &IngestionPolicy,
+    ) -> IngestResult<ChainPlan> {
+        let lineage = self.catalog.lineage(feed)?;
+
+        // Build the stage chain: stage 0 is the raw collect joint (the
+        // primary feed's name); each further stage is a UDF application
+        // with its own joint id ("<root>:f1:...:fk", §5.3.1).
+        let root_raw_joint = lineage[0].name.clone();
+        // (joint id, udf, owning feed name)
+        let mut stages: Vec<(String, Option<Udf>, String)> =
+            vec![(root_raw_joint.clone(), None, lineage[0].name.clone())];
+        for f in &lineage {
+            if let Some(udf_name) = &f.udf {
+                let udf = self.catalog.function(udf_name)?;
+                stages.push((
+                    self.catalog.joint_id_for(&f.name)?,
+                    Some(udf),
+                    f.name.clone(),
+                ));
+            }
+        }
+        let source_joint = stages.last().unwrap().0.clone();
+
+        // Find the deepest stage whose joint is already live — the nearest
+        // connected ancestor (§5.3.2). None ⇒ the head section must be
+        // constructed too.
+        let mut have = None;
+        for (i, (jid, _, _)) in stages.iter().enumerate().rev() {
+            if st.joints.contains_key(jid) {
+                have = Some(i);
+                break;
+            }
+        }
+        let need_collect = have.is_none();
+        let first_new_stage = have.map(|i| i + 1).unwrap_or(1);
+
+        // resources
+        let alive: Vec<NodeId> = self.cluster.alive_nodes().iter().map(|n| n.id()).collect();
+        if alive.is_empty() {
+            return Err(IngestError::Plan("no alive nodes".into()));
+        }
+        let compute_n = self
+            .config
+            .compute_parallelism
+            .unwrap_or(alive.len())
+            .clamp(1, alive.len().max(1));
+
+        // --- pre-register every joint so no startup frame is lost ----------
+        let mut planned_joints: Vec<(String, Vec<NodeId>)> = Vec::new();
+        let mut collect_factory = None;
+        if need_collect {
+            let root_def = &lineage[0];
+            let (factory, config) = match &root_def.kind {
+                FeedKind::Primary { adaptor, config } => {
+                    (self.catalog.adaptors().get(adaptor)?, config.clone())
+                }
+                FeedKind::Secondary { .. } => {
+                    return Err(IngestError::Plan(
+                        "lineage root must be a primary feed".into(),
+                    ))
+                }
+            };
+            let constraint = factory.constraints(&config)?;
+            let locations: Vec<NodeId> = match constraint {
+                Constraint::Count(n) => (0..n).map(|i| alive[i % alive.len()]).collect(),
+                Constraint::Locations(locs) => locs,
+            };
+            planned_joints.push((root_raw_joint.clone(), locations));
+            collect_factory = Some((factory, config));
+        }
+        // (depth, in_joint, out_joint, udf, owning feed id, locations)
+        let mut compute_segments: Vec<(usize, String, String, Udf, FeedId, Vec<NodeId>)> =
+            Vec::new();
+        for i in first_new_stage..stages.len() {
+            let udf = stages[i].1.clone().expect("stages past 0 carry a UDF");
+            let in_joint = stages[i - 1].0.clone();
+            let out_joint = stages[i].0.clone();
+            let stage_feed = self.catalog.feed_id(&stages[i].2).unwrap_or(FeedId(0));
+            let offset = self.config.compute_node_offset;
+            let locs = dedup_nodes(
+                (0..compute_n)
+                    .map(|k| alive[(offset + k) % alive.len()])
+                    .collect(),
+            );
+            planned_joints.push((out_joint.clone(), locs.clone()));
+            compute_segments.push((i, in_joint, out_joint, udf, stage_feed, locs));
+        }
+        for (joint, locs) in &planned_joints {
+            self.preregister_joint(joint, locs);
+            st.joints.insert(joint.clone(), locs.clone());
+        }
+
+        // --- compute segments registered now (jobs still detached) ----------
+        // The store job must find the chain's at-least-once plumbing, so the
+        // segment records go into the state before anything is spawned; the
+        // compute *jobs* still start after the consumer jobs, whose
+        // subscriptions must be live first.
+        compute_segments.sort_by_key(|s| std::cmp::Reverse(s.0));
+        let new_outs: Vec<String> = compute_segments.iter().map(|s| s.2.clone()).collect();
+        for (depth, in_joint, out_joint, udf, stage_feed, locs) in compute_segments {
+            let seg_metrics = FeedMetrics::registered_default(
+                &self.cluster.registry(),
+                &out_joint,
+                self.cluster.clock().clone(),
+            );
+            // At-least-once custody belongs at the earliest intake under the
+            // adaptor (§5.6): only the depth-1 stage — whose intake rides on
+            // the collect joint's (adaptor) nodes — gets the tracker
+            // plumbing. The channel count is pinned to the in-joint's
+            // instance count, which scale_intake keeps constant.
+            let (ack, store_ack) = if policy.at_least_once && in_joint == root_raw_joint {
+                let partitions = st.joints.get(&in_joint).map_or(0, Vec::len);
+                let (plumbing, sender) = self.new_ack_channels(partitions);
+                (Some(plumbing), Some(sender))
+            } else {
+                (None, None)
+            };
+            let seg = ComputeSegment {
+                out_joint: out_joint.clone(),
+                in_joint,
+                udf,
+                feed_id: stage_feed,
+                compute_locations: locs,
+                policy: policy.clone(),
+                metrics: seg_metrics,
+                depth,
+                extra_spin: self.config.compute_extra_spin,
+                extra_delay_us: self.config.compute_extra_delay_us,
+                job: JobHandle::detached(),
+                ack,
+                store_ack,
+            };
+            st.computes.insert(out_joint, seg);
+        }
+
+        Ok(ChainPlan {
+            root_raw_joint,
+            source_joint,
+            collect_factory,
+            new_outs,
+        })
+    }
+
     fn spawn_collect_job(&self, seg: &CollectSegment) -> IngestResult<JobHandle> {
         let mut job = JobSpec::new(format!("collect:{}", seg.joint_id));
         job.transport = self.config.transport;
@@ -832,6 +1085,12 @@ impl FeedController {
             factory: Arc::clone(&seg.factory),
             config: seg.config.clone(),
             locations: seg.locations.clone(),
+            // skipped-unparseable-input counter for all adaptor instances of
+            // this feed, visible in registry snapshots and the exporters
+            malformed_lines: self
+                .cluster
+                .registry()
+                .counter("parse.malformed_lines", &[("feed", &seg.joint_id)]),
         }));
         let sink = job.add_operator(Box::new(NullSinkDesc {
             locations: seg.locations.clone(),
@@ -873,6 +1132,41 @@ impl FeedController {
             extra_delay_us: seg.extra_delay_us,
         }));
         job.connect(intake, assign, ConnectorSpec::MNRandomPartition);
+        run_job(&self.cluster, job)
+    }
+
+    fn spawn_route_job(&self, st: &State, seg: &RouteSegment) -> IngestResult<JobHandle> {
+        let in_locations = st
+            .joints
+            .get(&seg.in_joint)
+            .cloned()
+            .ok_or_else(|| IngestError::Plan(format!("no live joint '{}'", seg.in_joint)))?;
+        let mut job = JobSpec::new(format!("route:{}", seg.plan.name));
+        job.transport = self.config.transport;
+        let intake = job.add_operator(Box::new(IntakeDesc {
+            joint_id: seg.in_joint.clone(),
+            sub_key: format!("route:{}", seg.plan.name),
+            locations: in_locations,
+            policy: seg.policy.clone(),
+            metrics: Arc::clone(&seg.metrics),
+            elastic_tx: self.elastic_sender(),
+            flow_capacity: self.config.flow_capacity,
+            ack: None,
+            connection_key: format!("route:{}", seg.plan.name),
+            feed: seg.feed_id,
+            fault_plan: None,
+        }));
+        let route = job.add_operator(Box::new(RouteDesc {
+            plan: Arc::clone(&seg.plan),
+            out_joints: seg.out_joints.clone(),
+            locations: seg.locations.clone(),
+            metrics: Arc::clone(&seg.metrics),
+            routed: seg.routed.clone(),
+            no_match: seg.no_match.clone(),
+        }));
+        // the router is co-located with its intake: routing is a local
+        // decision, repartitioning happens at each sink's store job
+        job.connect(intake, route, ConnectorSpec::OneToOne);
         run_job(&self.cluster, job)
     }
 
@@ -982,47 +1276,94 @@ impl FeedController {
             .sum()
     }
 
-    /// Reclaim compute and collect segments whose joints have no
-    /// subscribers left.
+    /// Reclaim route, compute and collect segments whose joints have no
+    /// subscribers left. Route segments go first (they are the most
+    /// downstream producers): dismantling one unsubscribes its intake from
+    /// the tail joint, which the loop then reclaims upstream.
     pub fn gc_segments(&self) {
+        enum Victim {
+            /// plan name — all out joints subscriber-free
+            Route(String),
+            Compute(String),
+            Collect(String),
+        }
         loop {
             let victim = {
                 let st = self.state.lock();
-                let mut found: Option<(bool, String)> = None;
-                for (out, seg) in &st.computes {
-                    let locs = st.joints.get(out).cloned().unwrap_or_default();
-                    if self.joint_subscriber_count(out, &locs) == 0 {
-                        found = Some((false, seg.out_joint.clone()));
+                let mut found: Option<Victim> = None;
+                for (name, seg) in &st.routes {
+                    let subs: usize = seg
+                        .out_joints
+                        .iter()
+                        .map(|oj| {
+                            let locs = st.joints.get(oj).cloned().unwrap_or_default();
+                            self.joint_subscriber_count(oj, &locs)
+                        })
+                        .sum();
+                    if subs == 0 {
+                        found = Some(Victim::Route(name.clone()));
                         break;
+                    }
+                }
+                if found.is_none() {
+                    for (out, seg) in &st.computes {
+                        let locs = st.joints.get(out).cloned().unwrap_or_default();
+                        if self.joint_subscriber_count(out, &locs) == 0 {
+                            found = Some(Victim::Compute(seg.out_joint.clone()));
+                            break;
+                        }
                     }
                 }
                 if found.is_none() {
                     for (root, seg) in &st.collects {
                         let locs = st.joints.get(root).cloned().unwrap_or_default();
                         if self.joint_subscriber_count(root, &locs) == 0 {
-                            found = Some((true, seg.joint_id.clone()));
+                            found = Some(Victim::Collect(seg.joint_id.clone()));
                             break;
                         }
                     }
                 }
                 found
             };
-            let Some((is_collect, joint)) = victim else {
+            let Some(victim) = victim else {
                 return;
             };
-            let (job, locations) = {
+            let (job, retire) = {
                 let mut st = self.state.lock();
-                let locations = st.joints.remove(&joint).unwrap_or_default();
-                let job = if is_collect {
-                    st.collects.remove(&joint).map(|s| s.job)
-                } else {
-                    st.computes.remove(&joint).map(|s| s.job)
-                };
-                (job, locations)
+                match victim {
+                    Victim::Route(name) => {
+                        let seg = st.routes.remove(&name);
+                        let mut retire = Vec::new();
+                        if let Some(seg) = &seg {
+                            for oj in &seg.out_joints {
+                                if let Some(locs) = st.joints.remove(oj) {
+                                    retire.push((oj.clone(), locs));
+                                }
+                            }
+                        }
+                        (seg.map(|s| s.job), retire)
+                    }
+                    Victim::Compute(joint) => {
+                        let locs = st.joints.remove(&joint).unwrap_or_default();
+                        (
+                            st.computes.remove(&joint).map(|s| s.job),
+                            vec![(joint, locs)],
+                        )
+                    }
+                    Victim::Collect(joint) => {
+                        let locs = st.joints.remove(&joint).unwrap_or_default();
+                        (
+                            st.collects.remove(&joint).map(|s| s.job),
+                            vec![(joint, locs)],
+                        )
+                    }
+                }
             };
-            for n in &locations {
-                if let Some(node) = self.cluster.node(*n) {
-                    FeedManager::on(&node).retire_joint(&joint);
+            for (joint, locs) in &retire {
+                for n in locs {
+                    if let Some(node) = self.cluster.node(*n) {
+                        FeedManager::on(&node).retire_joint(joint);
+                    }
                 }
             }
             if let Some(job) = job {
@@ -1068,18 +1409,6 @@ impl FeedController {
             .filter(|(_, s)| self_terminated(&s.job))
             .map(|(k, _)| k.clone())
             .collect();
-        if dead.is_empty() {
-            // still mark connections whose own store job self-terminated
-            for c in st.connections.values_mut() {
-                if c.state == ConnectionState::Active
-                    && c.job.as_ref().map(self_terminated).unwrap_or(false)
-                {
-                    c.state = ConnectionState::Ended;
-                    c.job.take();
-                }
-            }
-            return;
-        }
         let mut i = 0;
         while i < dead.len() {
             let joint = dead[i].clone();
@@ -1092,11 +1421,39 @@ impl FeedController {
             dead.extend(downstream);
             i += 1;
         }
-        // end dependent connections
+        // route segments die with their trunk (in-joint in the dead set)
+        // or on their own (e.g. the trunk's spill budget raised
+        // FeedTerminated at the router's intake)
+        let dead_routes: Vec<String> = st
+            .routes
+            .iter()
+            .filter(|(_, s)| self_terminated(&s.job) || dead.contains(&s.in_joint))
+            .map(|(k, _)| k.clone())
+            .collect();
+        if dead.is_empty() && dead_routes.is_empty() {
+            // still mark connections whose own store job self-terminated
+            for c in st.connections.values_mut() {
+                if c.state == ConnectionState::Active
+                    && c.job.as_ref().map(self_terminated).unwrap_or(false)
+                {
+                    c.state = ConnectionState::Ended;
+                    c.job.take();
+                }
+            }
+            return;
+        }
+        // connections end when their source joint is a dead compute's out
+        // joint or a dead route's sink joint
+        let mut dead_source_joints = dead.clone();
+        for name in &dead_routes {
+            dead_source_joints.extend(st.routes.get(name).unwrap().out_joints.clone());
+        }
         let conn_ids: Vec<ConnectionId> = st
             .connections
             .values()
-            .filter(|c| c.state == ConnectionState::Active && dead.contains(&c.source_joint))
+            .filter(|c| {
+                c.state == ConnectionState::Active && dead_source_joints.contains(&c.source_joint)
+            })
             .map(|c| c.id)
             .collect();
         for id in conn_ids {
@@ -1108,6 +1465,16 @@ impl FeedController {
         }
         // dismantle the dead segments and retire their joints
         let mut to_retire: Vec<(String, Vec<NodeId>)> = Vec::new();
+        for name in &dead_routes {
+            if let Some(seg) = st.routes.remove(name) {
+                seg.job.abort();
+                for oj in seg.out_joints {
+                    if let Some(locs) = st.joints.remove(&oj) {
+                        to_retire.push((oj, locs));
+                    }
+                }
+            }
+        }
         for joint in &dead {
             if let Some(seg) = st.computes.remove(joint) {
                 seg.job.abort();
@@ -1322,6 +1689,44 @@ impl FeedController {
             let seg_ref = st.computes.get(&key).unwrap();
             if let Ok(job) = self.spawn_compute_job(&st, seg_ref) {
                 st.computes.get_mut(&key).unwrap().job = job;
+            }
+        }
+
+        // route segments: the router follows its in-joint, and its out
+        // joints move with it — rebuilt *before* the store pass so sink
+        // connections re-subscribe on the new placement
+        let route_keys: Vec<String> = st.routes.keys().cloned().collect();
+        for key in route_keys {
+            let (needs_rebuild, in_joint, out_joints) = {
+                let seg = st.routes.get(&key).unwrap();
+                let hit = seg.locations.contains(&dead)
+                    || moved_joints.contains(&seg.in_joint)
+                    || st
+                        .joints
+                        .get(&seg.in_joint)
+                        .map(|l| l.contains(&dead))
+                        .unwrap_or(false);
+                (hit, seg.in_joint.clone(), seg.out_joints.clone())
+            };
+            if !needs_rebuild {
+                continue;
+            }
+            let Some(new_locs) = st.joints.get(&in_joint).cloned() else {
+                continue;
+            };
+            {
+                let seg = st.routes.get_mut(&key).unwrap();
+                seg.job.abort();
+                seg.locations = new_locs.clone();
+            }
+            for oj in &out_joints {
+                st.joints.insert(oj.clone(), new_locs.clone());
+                self.preregister_joint(oj, &new_locs);
+                moved_joints.push(oj.clone());
+            }
+            let seg_ref = st.routes.get(&key).unwrap();
+            if let Ok(job) = self.spawn_route_job(&st, seg_ref) {
+                st.routes.get_mut(&key).unwrap().job = job;
             }
         }
 
@@ -1772,6 +2177,47 @@ impl FeedController {
                 });
             }
         }
+        // route segments follow their in-joint; their out joints (and the
+        // sink connections subscribed there) move with them
+        let route_keys: Vec<String> = st
+            .routes
+            .iter()
+            .filter(|(_, s)| s.in_joint == out)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in route_keys {
+            let out_joints = st.routes.get(&key).unwrap().out_joints.clone();
+            let old_job = {
+                let seg = st.routes.get_mut(&key).unwrap();
+                seg.locations = new_locs.to_vec();
+                std::mem::replace(&mut seg.job, JobHandle::detached())
+            };
+            old_job.abort();
+            migrations.push(Migration {
+                job: old_job,
+                repartition: Some((
+                    out.to_string(),
+                    format!("route:{key}"),
+                    old_locs.to_vec(),
+                    new_locs.to_vec(),
+                )),
+            });
+            for oj in &out_joints {
+                let old_oj = st
+                    .joints
+                    .insert(oj.clone(), new_locs.to_vec())
+                    .unwrap_or_default();
+                self.preregister_joint(oj, new_locs);
+                // sink connections re-subscribe on the moved out joint
+                // (recursion bottoms out: nothing consumes a sink joint but
+                // its store connections)
+                self.rebuild_dependents(st, oj, &old_oj, new_locs, migrations);
+            }
+            let seg_ref = st.routes.get(&key).unwrap();
+            if let Ok(job) = self.spawn_route_job(st, seg_ref) {
+                st.routes.get_mut(&key).unwrap().job = job;
+            }
+        }
     }
 
     /// Change the parallelism of the compute segment publishing `joint_id`
@@ -1914,10 +2360,11 @@ impl std::fmt::Debug for FeedController {
         let st = self.state.lock();
         write!(
             f,
-            "FeedController({} connections, {} computes, {} collects)",
+            "FeedController({} connections, {} computes, {} collects, {} routes)",
             st.connections.len(),
             st.computes.len(),
-            st.collects.len()
+            st.collects.len(),
+            st.routes.len()
         )
     }
 }

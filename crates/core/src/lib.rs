@@ -28,8 +28,13 @@
 //!   from the store stage, timeout-based replay;
 //! * [`catalog`] — the feeds metadata (§5.1): feed definitions, adaptor
 //!   factories, functions, policies and datasets;
-//! * [`builder`] — fluent [`FeedBuilder`] construction of feed definitions,
-//!   validated before they reach the catalog;
+//! * [`plan`] — declarative ingestion plans: the typed [`IngestPlan`] IR
+//!   (source → UDF stages → predicate routing → N sinks, each with its own
+//!   dataset, policy and durability knobs) and the fluent
+//!   [`IngestPlanBuilder`];
+//! * [`builder`] — fluent [`FeedBuilder`] construction of feed definitions
+//!   (now a thin single-sink shim over the plan builder), validated before
+//!   they reach the catalog;
 //! * [`controller`] — the Central Feed Manager: connect/disconnect
 //!   lifecycle, cascade-network construction, the hard-failure protocol
 //!   (§6.2) and elastic restructuring (§7.3.5);
@@ -59,6 +64,7 @@ pub mod joint;
 pub mod manager;
 pub mod metrics;
 pub mod ops;
+pub mod plan;
 pub mod policy;
 pub mod udf;
 
@@ -69,5 +75,9 @@ pub use controller::{ConnectionId, FeedController};
 pub use joint::FeedJoint;
 pub use manager::FeedManager;
 pub use metrics::FeedMetrics;
+pub use plan::{
+    CmpOp, IngestPlan, IngestPlanBuilder, PlanError, PlanResult, PlanSource, RoutePredicate,
+    RoutingMode, SinkSpec,
+};
 pub use policy::{IngestionPolicy, PolicyParam};
 pub use udf::{Udf, UdfKind};

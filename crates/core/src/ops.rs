@@ -31,8 +31,8 @@ use crate::udf::Udf;
 use asterix_adm::{payload_from_value, AdmPayloadExt, AdmType, TypeRegistry};
 use asterix_common::sync::{thread as sync_thread, Mutex};
 use asterix_common::{
-    DataFrame, FaultKind, FaultPlan, FeedId, FrameBuilder, IngestError, IngestResult, NodeId,
-    Record, SimDuration, SimInstant,
+    Counter, DataFrame, FaultKind, FaultPlan, FeedId, FrameBuilder, IngestError, IngestResult,
+    NodeId, Record, SimDuration, SimInstant,
 };
 use asterix_hyracks::executor::{SourceHost, TaskContext, UnaryHost};
 use asterix_hyracks::job::{Constraint, OperatorDescriptor};
@@ -265,6 +265,9 @@ pub struct CollectDesc {
     /// Pinned locations (the controller resolves Count constraints up front
     /// so that failure recovery can substitute individual nodes).
     pub locations: Vec<NodeId>,
+    /// Registered `parse.malformed_lines` counter the adaptor instances
+    /// count skipped unparseable input into.
+    pub malformed_lines: Counter,
 }
 
 impl OperatorDescriptor for CollectDesc {
@@ -283,9 +286,12 @@ impl OperatorDescriptor for CollectDesc {
     ) -> IngestResult<OperatorRuntime> {
         let fm = FeedManager::on(&ctx.node);
         let joint = fm.register_joint(&self.joint_id);
-        let adaptor = self
-            .factory
-            .create(&self.config, ctx.partition, &ctx.clock)?;
+        let adaptor = self.factory.create(
+            &self.config,
+            ctx.partition,
+            &ctx.clock,
+            &self.malformed_lines,
+        )?;
         let source = CollectSource {
             adaptor: Some(adaptor),
             joint,
@@ -871,6 +877,118 @@ impl FrameWriter for JointWriter {
     fn fail(&mut self) {
         self.close_path.fail();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Route stage (ingestion plans)
+// ---------------------------------------------------------------------------
+
+/// Descriptor for the routing operator of a multi-sink ingestion plan: it
+/// subscribes (through an [`IntakeDesc`] upstream) to the plan's tail feed
+/// joint, evaluates every sink's routing predicate **once** per record
+/// against the lazy parse cache, and deposits each record into the joints
+/// of the sinks it matched. Each out joint is consumed by an independent
+/// store pipeline with its own policy, flow control and custody.
+pub struct RouteDesc {
+    /// The compiled plan whose [`IngestPlan::route_record`] drives fan-out.
+    ///
+    /// [`IngestPlan::route_record`]: crate::plan::IngestPlan::route_record
+    pub plan: Arc<crate::plan::IngestPlan>,
+    /// Joint ids registered at the operator's outputs, one per sink
+    /// (`plan:<plan>:<dataset>`), index-aligned with the plan's sinks.
+    pub out_joints: Vec<String>,
+    /// Pinned locations (the in-joint's nodes; routing never repartitions).
+    pub locations: Vec<NodeId>,
+    /// Trunk metrics (parse-cache miss attribution).
+    pub metrics: Arc<FeedMetrics>,
+    /// Per-sink `plan.sink.records_routed` counters, index-aligned with
+    /// `out_joints`.
+    pub routed: Vec<asterix_common::Counter>,
+    /// `plan.route.no_match_total`: records that matched no sink (possible
+    /// only without an `otherwise` arm) or whose payload failed to parse.
+    pub no_match: asterix_common::Counter,
+}
+
+impl OperatorDescriptor for RouteDesc {
+    fn name(&self) -> String {
+        format!("Route({})", self.plan.name)
+    }
+
+    fn constraints(&self) -> Constraint {
+        Constraint::Locations(self.locations.clone())
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &TaskContext,
+        output: Box<dyn FrameWriter>,
+    ) -> IngestResult<OperatorRuntime> {
+        let fm = FeedManager::on(&ctx.node);
+        let outputs: Vec<Box<dyn FrameWriter>> = self
+            .out_joints
+            .iter()
+            .zip(&self.routed)
+            .map(|(oj, routed)| {
+                Box::new(CountingJointWriter {
+                    joint: fm.register_joint(oj),
+                    routed: routed.clone(),
+                }) as Box<dyn FrameWriter>
+            })
+            .collect();
+        let plan = Arc::clone(&self.plan);
+        let parse_calls = self.metrics.parse_calls.clone();
+        let no_match = self.no_match.clone();
+        let route_fn = Arc::new(move |rec: &Record| -> Vec<usize> {
+            // one predicate evaluation pass per record, against the shared
+            // parse cache (a hit when the adaptor seeded the payload)
+            match rec.payload.adm_value_counted(parse_calls.as_atomic()) {
+                Ok(value) => {
+                    let targets = plan.route_record(&value, rec.gen_at);
+                    if targets.is_empty() {
+                        no_match.inc();
+                    }
+                    targets
+                }
+                Err(_) => {
+                    // unparseable records cannot be routed; count them with
+                    // the no-match family rather than killing the trunk
+                    no_match.inc();
+                    Vec::new()
+                }
+            }
+        });
+        let router = asterix_hyracks::operator::RouterOperator::new(route_fn, outputs);
+        Ok(OperatorRuntime::Unary(Box::new(UnaryHost::new(
+            Box::new(router),
+            output,
+        ))))
+    }
+}
+
+/// Writer depositing frames into one sink's joint while metering routed
+/// records. Unlike [`JointWriter`] there is no close path: the router's
+/// host output carries the job-edge lifecycle, and the out joints are
+/// retired by the controller when the plan is dismantled.
+struct CountingJointWriter {
+    joint: Arc<FeedJoint>,
+    routed: asterix_common::Counter,
+}
+
+impl FrameWriter for CountingJointWriter {
+    fn open(&mut self) -> IngestResult<()> {
+        Ok(())
+    }
+
+    fn next_frame(&mut self, frame: DataFrame) -> IngestResult<()> {
+        self.routed.add(frame.len() as u64);
+        self.joint.deposit(frame)
+    }
+
+    fn close(&mut self) -> IngestResult<()> {
+        Ok(())
+    }
+
+    fn fail(&mut self) {}
 }
 
 // ---------------------------------------------------------------------------

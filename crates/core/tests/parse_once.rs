@@ -13,8 +13,9 @@
 use asterix_adm::types::paper_registry;
 use asterix_adm::{parse_calls, AdmValue};
 use asterix_common::{NodeId, SimClock, SimDuration};
-use asterix_feeds::adaptor::{bind_socket, unbind_socket, AdaptorConfig};
-use asterix_feeds::catalog::{FeedCatalog, FeedDef, FeedKind};
+use asterix_feeds::adaptor::{bind_socket, unbind_socket};
+use asterix_feeds::builder::FeedBuilder;
+use asterix_feeds::catalog::FeedCatalog;
 use asterix_feeds::controller::{ControllerConfig, FeedController};
 use asterix_feeds::udf::Udf;
 use asterix_hyracks::cluster::{Cluster, ClusterConfig};
@@ -74,26 +75,15 @@ fn intake_to_store_parses_each_record_exactly_once() {
     // socket-fed primary feed with a UDF'd secondary feed on top: the full
     // collect → intake → assign → hash-partition → store pipeline
     let tx = bind_socket("parse-once:9000", 1024).unwrap();
-    let mut config = AdaptorConfig::new();
-    config.insert("sockets".into(), "parse-once:9000".into());
-    catalog
-        .create_feed(FeedDef {
-            name: "RawFeed".into(),
-            kind: FeedKind::Primary {
-                adaptor: "socket_adaptor".into(),
-                config,
-            },
-            udf: None,
-        })
+    FeedBuilder::new("RawFeed")
+        .adaptor("socket_adaptor")
+        .param("sockets", "parse-once:9000")
+        .register(&catalog)
         .unwrap();
-    catalog
-        .create_feed(FeedDef {
-            name: "ProcessedFeed".into(),
-            kind: FeedKind::Secondary {
-                parent: "RawFeed".into(),
-            },
-            udf: Some("addHashTags".into()),
-        })
+    FeedBuilder::new("ProcessedFeed")
+        .parent("RawFeed")
+        .udf("addHashTags")
+        .register(&catalog)
         .unwrap();
     let conn = controller
         .connect_feed("ProcessedFeed", "Tweets", "Basic")

@@ -1,0 +1,146 @@
+//! Property tests over the ingestion-plan routing IR.
+//!
+//! The load-bearing invariant of first-match routing: when a plan carries a
+//! catch-all `otherwise` arm, the arms **partition** the stream — every
+//! record routes to exactly one sink (exhaustive, non-overlapping), the
+//! chosen arm is the first whose predicate matches, and the multicast view
+//! of the same arms is always a superset containing that choice. The
+//! routing operator, the `exp_fanout` bench oracle and these tests all call
+//! the same [`IngestPlan::route_record`], so whatever these properties pin
+//! down is what the pipeline does.
+
+use asterix_adm::AdmValue;
+use asterix_common::SimInstant;
+use asterix_feeds::adaptor::AdaptorConfig;
+use asterix_feeds::plan::{IngestPlan, PlanSource, RoutePredicate, RoutingMode, SinkSpec};
+use proptest::prelude::*;
+
+fn country() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("US"), Just("DE"), Just("FR"), Just("BR")]
+}
+
+fn leaf() -> impl Strategy<Value = RoutePredicate> {
+    prop_oneof![
+        country().prop_map(|c| RoutePredicate::eq("country", c)),
+        (0i64..100_000).prop_map(|n| RoutePredicate::gt("user.followers_count", n)),
+        (0i64..100_000).prop_map(|n| RoutePredicate::lt("user.followers_count", n)),
+        Just(RoutePredicate::exists("location")),
+        // windowed arms exercise the gen_at-dependent branch
+        (1u64..5_000, 0u64..5_000).prop_map(|(p, o)| RoutePredicate::window(p, o)),
+    ]
+}
+
+fn pred() -> impl Strategy<Value = RoutePredicate> {
+    prop_oneof![
+        leaf(),
+        prop::collection::vec(leaf(), 1..3).prop_map(RoutePredicate::all),
+        prop::collection::vec(leaf(), 1..3).prop_map(RoutePredicate::any),
+        leaf().prop_map(RoutePredicate::negate),
+    ]
+}
+
+fn record() -> impl Strategy<Value = AdmValue> {
+    (country(), 0i64..100_000, any::<bool>(), 0u64..10_000).prop_map(
+        |(c, followers, has_location, id)| {
+            let mut fields = vec![
+                ("id", AdmValue::String(format!("r{id}"))),
+                ("country", c.into()),
+                (
+                    "user",
+                    AdmValue::record(vec![("followers_count", AdmValue::Int(followers))]),
+                ),
+            ];
+            if has_location {
+                fields.push(("location", AdmValue::Point(1.0, 2.0)));
+            }
+            AdmValue::record(fields)
+        },
+    )
+}
+
+/// N predicate arms plus a final `otherwise` arm.
+fn plan(mode: RoutingMode, preds: Vec<RoutePredicate>) -> IngestPlan {
+    let mut sinks: Vec<SinkSpec> = preds
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| SinkSpec::to(format!("D{i}")).route(p))
+        .collect();
+    sinks.push(SinkSpec::to("Rest"));
+    IngestPlan {
+        name: "Prop".into(),
+        source: PlanSource::Adaptor {
+            alias: "socket_adaptor".into(),
+            config: AdaptorConfig::new(),
+        },
+        stages: Vec::new(),
+        mode,
+        sinks,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn first_match_with_otherwise_partitions_the_stream(
+        preds in prop::collection::vec(pred(), 0..5),
+        records in prop::collection::vec(
+            (record(), any::<bool>(), 0u64..20_000), 1..40),
+    ) {
+        let fm = plan(RoutingMode::FirstMatch, preds.clone());
+        fm.validate().unwrap();
+        prop_assert!(fm.has_otherwise());
+        let mc = plan(RoutingMode::Multicast, preds);
+
+        for (rec, timed, at) in &records {
+            let gen_at = timed.then_some(SimInstant(*at));
+            let targets = fm.route_record(rec, gen_at);
+
+            // exhaustive and non-overlapping: exactly one sink, always
+            prop_assert_eq!(targets.len(), 1, "partition violated: {:?}", targets);
+            let chosen = targets[0];
+
+            // cross-validate against independent per-arm evaluation: no arm
+            // before the chosen one matches, and the chosen one does (or is
+            // the catch-all)
+            for (i, sink) in fm.sinks.iter().enumerate().take(chosen) {
+                let p = sink.predicate.as_ref().expect("otherwise is last");
+                prop_assert!(
+                    !p.matches(rec, gen_at),
+                    "arm {i} matches but arm {chosen} was chosen"
+                );
+            }
+            if let Some(p) = &fm.sinks[chosen].predicate {
+                prop_assert!(p.matches(rec, gen_at), "chosen arm does not match");
+            }
+
+            // the multicast view of the same arms is a superset whose
+            // minimum is the first-match choice; its catch-all always fires
+            let all = mc.route_record(rec, gen_at);
+            prop_assert!(all.contains(&(mc.sinks.len() - 1)));
+            prop_assert_eq!(chosen, *all.iter().min().unwrap());
+        }
+    }
+
+    /// Without `otherwise`, first-match routes to at most one sink and
+    /// drops exactly the records no arm matches — never duplicates.
+    #[test]
+    fn first_match_without_otherwise_never_duplicates(
+        preds in prop::collection::vec(pred(), 1..5),
+        records in prop::collection::vec(record(), 1..40),
+    ) {
+        let mut p = plan(RoutingMode::FirstMatch, preds);
+        p.sinks.pop(); // drop the otherwise arm
+        p.validate().unwrap();
+        prop_assert!(!p.has_otherwise());
+        for rec in &records {
+            let targets = p.route_record(rec, None);
+            prop_assert!(targets.len() <= 1);
+            let matches_any = p
+                .sinks
+                .iter()
+                .any(|s| s.predicate.as_ref().expect("no otherwise").matches(rec, None));
+            prop_assert_eq!(targets.is_empty(), !matches_any);
+        }
+    }
+}

@@ -60,7 +60,8 @@ pub use connector::ConnectorSpec;
 pub use executor::{JobHandle, TaskContext};
 pub use job::{Constraint, JobSpec, OperatorDescriptor, OperatorSpecId};
 pub use operator::{
-    FrameWriter, OperatorRuntime, SourceOperator, SourcePoll, StopToken, UnaryOperator,
+    FrameWriter, OperatorRuntime, RouterOperator, SourceOperator, SourcePoll, StopToken,
+    UnaryOperator,
 };
 pub use scheduler::{Scheduler, SliceState, Task, TaskHandle, Waker};
 pub use transport::TransportKind;

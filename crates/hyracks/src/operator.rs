@@ -9,7 +9,7 @@
 //! * [`UnaryOperator`] — consumes frames pushed by an upstream operator and
 //!   emits frames downstream.
 
-use asterix_common::{DataFrame, IngestResult};
+use asterix_common::{DataFrame, IngestResult, Record};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -222,6 +222,80 @@ where
     }
 }
 
+/// A routing/replicating operator: evaluates a routing function once per
+/// record and re-frames each record toward the output(s) the function
+/// names.
+///
+/// Unlike [`FnUnary`], the router terminates its job edge — it owns its
+/// fan-out writers outright (one per routing target, typically depositing
+/// into distinct feed joints) because a Hyracks connector edge carries
+/// exactly one downstream. A record routed to several targets is
+/// replicated; a record routed nowhere is dropped (callers count those in
+/// the routing function itself).
+pub struct RouterOperator {
+    route_fn: RouteFn,
+    outputs: Vec<Box<dyn FrameWriter>>,
+}
+
+/// A shared routing function: maps a record to the indices of the outputs
+/// that receive it.
+pub type RouteFn = Arc<dyn Fn(&Record) -> Vec<usize> + Send + Sync>;
+
+impl RouterOperator {
+    /// A router fanning records out over `outputs` as directed by
+    /// `route_fn` (which returns the indices of the receiving outputs).
+    pub fn new(route_fn: RouteFn, outputs: Vec<Box<dyn FrameWriter>>) -> RouterOperator {
+        RouterOperator { route_fn, outputs }
+    }
+}
+
+impl UnaryOperator for RouterOperator {
+    fn open(&mut self, _output: &mut dyn FrameWriter) -> IngestResult<()> {
+        for o in &mut self.outputs {
+            o.open()?;
+        }
+        Ok(())
+    }
+
+    fn next_frame(&mut self, frame: DataFrame, _output: &mut dyn FrameWriter) -> IngestResult<()> {
+        let mut buckets: Vec<Vec<Record>> = (0..self.outputs.len()).map(|_| Vec::new()).collect();
+        for rec in frame.into_records() {
+            let targets = (self.route_fn)(&rec);
+            // replicate only past the first target; the common single-sink
+            // route moves the record
+            for idx in targets.iter().skip(1) {
+                if let Some(b) = buckets.get_mut(*idx) {
+                    b.push(rec.clone());
+                }
+            }
+            if let Some(first) = targets.first() {
+                if let Some(b) = buckets.get_mut(*first) {
+                    b.push(rec);
+                }
+            }
+        }
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.outputs[i].next_frame(DataFrame::from_records(bucket))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, _output: &mut dyn FrameWriter) -> IngestResult<()> {
+        for o in &mut self.outputs {
+            o.close()?;
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self) {
+        for o in &mut self.outputs {
+            o.fail();
+        }
+    }
+}
+
 /// A source emitting a fixed set of frames (tests and the insert path).
 pub struct VecSource {
     frames: Vec<DataFrame>,
@@ -415,6 +489,54 @@ mod tests {
             .next_frame(frame(0..10), &mut W(&mut downstream))
             .unwrap();
         assert_eq!(collector.len(), 5);
+    }
+
+    #[test]
+    fn router_replicates_and_drops_by_route_fn() {
+        struct Sink(Collector, bool);
+        impl FrameWriter for Sink {
+            fn open(&mut self) -> IngestResult<()> {
+                self.1 = true;
+                Ok(())
+            }
+            fn next_frame(&mut self, f: DataFrame) -> IngestResult<()> {
+                self.0.records.lock().extend(f.into_records());
+                Ok(())
+            }
+            fn close(&mut self) -> IngestResult<()> {
+                self.0.closed.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+            fn fail(&mut self) {}
+        }
+        let (a, b) = (Collector::new(), Collector::new());
+        // evens to both sinks, id 1 to sink b only, everything else dropped
+        let mut router = RouterOperator::new(
+            Arc::new(|r: &Record| {
+                if r.id.raw().is_multiple_of(2) {
+                    vec![0, 1]
+                } else if r.id.raw() == 1 {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }),
+            vec![
+                Box::new(Sink(a.clone(), false)),
+                Box::new(Sink(b.clone(), false)),
+            ],
+        );
+        router.open(&mut DevNull).unwrap();
+        router.next_frame(frame(0..6), &mut DevNull).unwrap();
+        router.close(&mut DevNull).unwrap();
+        let ids = |c: &Collector| {
+            let mut v: Vec<u64> = c.records().iter().map(|r| r.id.raw()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&a), vec![0, 2, 4]);
+        assert_eq!(ids(&b), vec![0, 1, 2, 4]);
+        assert!(a.is_closed() && b.is_closed());
     }
 
     #[test]
